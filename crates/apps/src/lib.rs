@@ -1,0 +1,31 @@
+//! Macrobenchmark applications reproducing Figure 6 of *Cache-Conscious
+//! Structure Layout*: RADIANCE and VIS.
+//!
+//! The paper's applications are 60 k and 160 k lines of C; what its
+//! Figure 6 measures, though, is the behaviour of each program's *primary
+//! data structure*:
+//!
+//! * [`radiance`] — RADIANCE's octree over the modelled scene, traversed
+//!   by rays. The paper changed the octree to use subtree clustering and
+//!   colored it (no `ccmalloc`: RADIANCE already lays the octree out
+//!   depth-first), for a 42% speedup. Our mini-RADIANCE is a from-scratch
+//!   octree ray caster over a synthetic box scene with the same three
+//!   layouts: depth-first (base), clustered, clustered + colored.
+//! * [`vis`] — VIS's multi-level logic networks represented as Binary
+//!   Decision Diagrams. BDDs are DAGs, so `ccmorph` does not apply; the
+//!   paper modified VIS to allocate BDD nodes with `ccmalloc`'s new-block
+//!   strategy, for a 27% speedup, noting the change took "a few hours,
+//!   with little understanding of the application". Our mini-VIS is a
+//!   from-scratch ROBDD engine (unique table, ITE with memoization,
+//!   satisfy-count, evaluation) whose nodes come from a pluggable
+//!   allocator — swapping `malloc` for `ccmalloc(hint = lo-child)` is
+//!   exactly the paper's one-argument change.
+//!
+//! Both report a [`cc_sim::Breakdown`] so the harness can print Figure 6's
+//! normalized execution-time bars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod radiance;
+pub mod vis;

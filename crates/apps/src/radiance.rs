@@ -1,0 +1,523 @@
+//! Mini-RADIANCE: an octree-based ray caster (paper Section 4.3).
+//!
+//! RADIANCE models the distribution of visible radiation in a space; its
+//! primary data structure is a highly optimized octree over the scene,
+//! laid out in depth-first order. The paper changed that octree to
+//! subtree clustering plus coloring and measured a 42% speedup, *including
+//! the reorganization cost*.
+//!
+//! The mini version builds an octree over a synthetic scene of
+//! axis-aligned boxes and casts rays by leaf marching: locate the leaf
+//! containing the ray's current point (a root-down chain of dependent
+//! loads — the hot top of the octree), test the leaf's objects, then
+//! advance past the leaf boundary. That access pattern — repeated
+//! root-down descents with object tests at the fringe — is what makes
+//! clustering and coloring pay in the real program.
+
+use cc_core::ccmorph::{ccmorph, CcMorphParams, ColorConfig};
+use cc_core::cluster::ClusterKind;
+use cc_core::rng::SplitMix64;
+use cc_core::Topology;
+use cc_heap::{Allocator, Malloc, VirtualSpace};
+use cc_sim::event::EventSink;
+use cc_sim::{Breakdown, MachineConfig, Pipeline, PipelineConfig};
+
+/// Bytes per octree node. RADIANCE's octree is highly compact — "the
+/// program uses explicit knowledge of the structure's layout to eliminate
+/// pointers, much like an implicit heap" (Section 4.3) — so a node is a
+/// child-block offset plus an object-list handle: 32 bytes, two per
+/// 64-byte L2 block.
+pub const OCT_NODE_BYTES: u64 = 32;
+/// Bytes per scene object (box) record.
+pub const OBJ_BYTES: u64 = 32;
+
+const NIL: u32 = u32::MAX;
+
+/// An axis-aligned box in the integer world cube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aabb {
+    /// Minimum corner (inclusive).
+    pub min: [i64; 3],
+    /// Maximum corner (exclusive).
+    pub max: [i64; 3],
+}
+
+impl Aabb {
+    /// Whether this box overlaps `other`.
+    pub fn overlaps(&self, other: &Aabb) -> bool {
+        (0..3).all(|i| self.min[i] < other.max[i] && self.max[i] > other.min[i])
+    }
+
+    /// Whether the point lies inside.
+    pub fn contains(&self, p: [i64; 3]) -> bool {
+        (0..3).all(|i| p[i] >= self.min[i] && p[i] < self.max[i])
+    }
+}
+
+/// A synthetic scene: `n` pseudo-random boxes inside a cube of edge
+/// `world`.
+pub fn synthetic_scene(n: usize, world: i64, seed: u64) -> Vec<Aabb> {
+    let mut rng = SplitMix64::new(seed);
+    let mut boxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Mostly small objects (furniture-scale), occasionally large ones
+        // (walls): small objects drive deep local subdivision, large ones
+        // populate many leaves.
+        let size = if rng.below(64) == 0 {
+            world / 64 + rng.below(world as u64 / 64) as i64
+        } else {
+            4 + rng.below(28) as i64
+        };
+        let x = rng.below((world - size) as u64) as i64;
+        let y = rng.below((world - size) as u64) as i64;
+        let z = rng.below((world - size) as u64) as i64;
+        boxes.push(Aabb {
+            min: [x, y, z],
+            max: [x + size, y + size, z + size],
+        });
+    }
+    boxes
+}
+
+#[derive(Clone, Debug)]
+struct ONode {
+    kids: [u32; 8],
+    objs: Vec<u32>,
+    addr: u64,
+}
+
+/// Octree layout variants measured in Figure 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// RADIANCE's native depth-first allocation order.
+    Base,
+    /// `ccmorph` subtree clustering.
+    Cluster,
+    /// `ccmorph` subtree clustering + coloring.
+    ClusterColor,
+}
+
+impl Layout {
+    /// All variants in Figure 6 order.
+    pub const ALL: [Layout; 3] = [Layout::Base, Layout::Cluster, Layout::ClusterColor];
+
+    /// Bar label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layout::Base => "base",
+            Layout::Cluster => "clustering",
+            Layout::ClusterColor => "clustering+coloring",
+        }
+    }
+}
+
+/// The scene octree.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    nodes: Vec<ONode>,
+    root: u32,
+    world: i64,
+    /// Base simulated address of the object array.
+    obj_base: u64,
+    scene: Vec<Aabb>,
+}
+
+/// Max objects in a leaf before subdividing.
+const LEAF_OBJS: usize = 2;
+/// Minimum leaf edge.
+const MIN_EDGE: i64 = 8;
+
+impl Octree {
+    /// Builds the octree over `scene` (depth-first allocation through
+    /// `alloc`, like RADIANCE's implicit-heap layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is not a power of two.
+    pub fn build<A: Allocator, S: EventSink>(
+        scene: Vec<Aabb>,
+        world: i64,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> Self {
+        assert!(
+            world > 0 && (world as u64).is_power_of_two(),
+            "world edge must be a power of two"
+        );
+        let obj_base = alloc.alloc((scene.len().max(1) as u64) * OBJ_BYTES);
+        let mut t = Octree {
+            nodes: Vec::new(),
+            root: NIL,
+            world,
+            obj_base,
+            scene,
+        };
+        let all: Vec<u32> = (0..t.scene.len() as u32).collect();
+        let cube = Aabb {
+            min: [0, 0, 0],
+            max: [world, world, world],
+        };
+        t.root = t.subdivide(&all, cube, alloc, sink);
+        t
+    }
+
+    fn subdivide<A: Allocator, S: EventSink>(
+        &mut self,
+        objs: &[u32],
+        cube: Aabb,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        sink.inst(alloc.cost_insts());
+        let addr = alloc.alloc(OCT_NODE_BYTES);
+        sink.store(addr, OCT_NODE_BYTES as u32);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ONode {
+            kids: [NIL; 8],
+            objs: Vec::new(),
+            addr,
+        });
+
+        let edge = cube.max[0] - cube.min[0];
+        if objs.len() <= LEAF_OBJS || edge <= MIN_EDGE {
+            self.nodes[id as usize].objs = objs.to_vec();
+            return id;
+        }
+        let h = edge / 2;
+        for oct in 0..8 {
+            let off = [
+                if oct & 1 != 0 { h } else { 0 },
+                if oct & 2 != 0 { h } else { 0 },
+                if oct & 4 != 0 { h } else { 0 },
+            ];
+            let sub = Aabb {
+                min: [
+                    cube.min[0] + off[0],
+                    cube.min[1] + off[1],
+                    cube.min[2] + off[2],
+                ],
+                max: [
+                    cube.min[0] + off[0] + h,
+                    cube.min[1] + off[1] + h,
+                    cube.min[2] + off[2] + h,
+                ],
+            };
+            let inside: Vec<u32> = objs
+                .iter()
+                .copied()
+                .filter(|&o| self.scene[o as usize].overlaps(&sub))
+                .collect();
+            let kid = self.subdivide(&inside, sub, alloc, sink);
+            self.nodes[id as usize].kids[oct] = kid;
+        }
+        id
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// World edge length.
+    pub fn world(&self) -> i64 {
+        self.world
+    }
+
+    /// Reorganizes the octree with `ccmorph`, charging the copy (the
+    /// paper includes restructuring overhead in RADIANCE's numbers).
+    pub fn morph<S: EventSink>(
+        &mut self,
+        machine: &MachineConfig,
+        color: bool,
+        sink: &mut S,
+    ) {
+        let mut vspace = VirtualSpace::new(machine.page_bytes);
+        vspace.skip_pages((1 << 33) / machine.page_bytes);
+        let params = CcMorphParams {
+            cache: machine.l2,
+            page_bytes: machine.page_bytes,
+            elem_bytes: OCT_NODE_BYTES,
+            color: color.then(ColorConfig::default),
+            cluster_kind: ClusterKind::SubtreeBfs,
+        };
+        let old: Vec<u64> = self.nodes.iter().map(|n| n.addr).collect();
+        let layout = ccmorph(self, &mut vspace, &params);
+        layout.charge_copy_cost(sink, |id| old[id]);
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            node.addr = layout.addr_of(id);
+        }
+    }
+
+    /// Locates the leaf containing `p`, emitting the root-down dependent
+    /// loads, and returns (leaf id, leaf cube).
+    fn locate<S: EventSink>(&self, p: [i64; 3], sink: &mut S) -> (u32, Aabb) {
+        let mut cube = Aabb {
+            min: [0, 0, 0],
+            max: [self.world, self.world, self.world],
+        };
+        let mut cur = self.root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            sink.load(n.addr, OCT_NODE_BYTES as u32);
+            sink.inst(6);
+            sink.branch(1);
+            if n.kids[0] == NIL {
+                return (cur, cube);
+            }
+            let h = (cube.max[0] - cube.min[0]) / 2;
+            let mut oct = 0usize;
+            let mut min = cube.min;
+            for i in 0..3 {
+                if p[i] >= cube.min[i] + h {
+                    oct |= 1 << i;
+                    min[i] += h;
+                }
+            }
+            cube = Aabb {
+                min,
+                max: [min[0] + h, min[1] + h, min[2] + h],
+            };
+            cur = n.kids[oct];
+        }
+    }
+
+    /// Casts an axis-aligned ray from `origin` along `dir` (exactly one
+    /// component is ±1), marching leaf to leaf. Returns the id of the
+    /// nearest object hit, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one component of `dir` is ±1 and the rest 0.
+    pub fn cast<S: EventSink>(&self, origin: [i64; 3], dir: [i64; 3], sink: &mut S) -> Option<u32> {
+        let axis = (0..3)
+            .find(|&i| dir[i] != 0)
+            .expect("direction must be nonzero");
+        assert!(
+            dir[axis].abs() == 1 && (0..3).filter(|&i| dir[i] != 0).count() == 1,
+            "direction must be a unit axis vector"
+        );
+        let sign = dir[axis];
+        let mut p = origin;
+        loop {
+            if !(0..3).all(|i| p[i] >= 0 && p[i] < self.world) {
+                return None;
+            }
+            let (leaf, cube) = self.locate(p, sink);
+            // Distance to the leaf's exit face along the ray.
+            let step = if sign == 1 {
+                cube.max[axis] - p[axis]
+            } else {
+                p[axis] - cube.min[axis] + 1
+            };
+            // Test the leaf's objects (array-resident: independent loads)
+            // for the nearest intersection within this leaf segment.
+            let node = &self.nodes[leaf as usize];
+            let mut best: Option<(i64, u32)> = None;
+            for &o in &node.objs {
+                sink.load_indep(self.obj_base + u64::from(o) * OBJ_BYTES, OBJ_BYTES as u32);
+                sink.inst(8);
+                sink.branch(1);
+                let b = &self.scene[o as usize];
+                let sideways_inside =
+                    (0..3).all(|i| i == axis || (p[i] >= b.min[i] && p[i] < b.max[i]));
+                if !sideways_inside {
+                    continue;
+                }
+                let t = if sign == 1 {
+                    if p[axis] >= b.max[axis] {
+                        continue; // behind the ray
+                    }
+                    (b.min[axis] - p[axis]).max(0)
+                } else {
+                    if p[axis] < b.min[axis] {
+                        continue;
+                    }
+                    (p[axis] - (b.max[axis] - 1)).max(0)
+                };
+                if t <= step && best.is_none_or(|bst| (t, o) < bst) {
+                    best = Some((t, o));
+                }
+            }
+            if let Some((_, o)) = best {
+                return Some(o);
+            }
+            sink.inst(10);
+            p[axis] += sign * step;
+        }
+    }
+}
+
+impl Topology for Octree {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+    fn root(&self) -> Option<usize> {
+        (self.root != NIL).then_some(self.root as usize)
+    }
+    fn max_kids(&self) -> usize {
+        8
+    }
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        let k = self.nodes[node].kids[i];
+        (k != NIL).then_some(k as usize)
+    }
+}
+
+/// Result of one mini-RADIANCE run.
+#[derive(Clone, Debug)]
+pub struct RadianceResult {
+    /// Layout measured.
+    pub layout: Layout,
+    /// Stall breakdown.
+    pub breakdown: Breakdown,
+    /// Hit-count checksum (layout invariant).
+    pub checksum: u64,
+}
+
+/// Parameters for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RadianceParams {
+    /// Number of scene boxes.
+    pub objects: usize,
+    /// World cube edge (power of two).
+    pub world: i64,
+    /// Rays to cast.
+    pub rays: usize,
+    /// Scene/ray seed.
+    pub seed: u64,
+}
+
+impl Default for RadianceParams {
+    fn default() -> Self {
+        RadianceParams {
+            objects: 60_000,
+            world: 8192,
+            rays: 150_000,
+            seed: 0xACE5,
+        }
+    }
+}
+
+/// Runs mini-RADIANCE with the given octree layout on `machine`.
+pub fn run(layout: Layout, params: &RadianceParams, machine: &MachineConfig) -> RadianceResult {
+    let mut pipe = Pipeline::new(PipelineConfig::table1(), *machine);
+    let mut heap = Malloc::new(machine.page_bytes);
+    let scene = synthetic_scene(params.objects, params.world, params.seed);
+    let mut tree = Octree::build(scene, params.world, &mut heap, &mut pipe);
+
+    match layout {
+        Layout::Base => {}
+        Layout::Cluster => tree.morph(machine, false, &mut pipe),
+        Layout::ClusterColor => tree.morph(machine, true, &mut pipe),
+    }
+
+    // Cast rays from pseudo-random origins along axis directions.
+    let mut rng = SplitMix64::new(params.seed ^ 0xFEED);
+    let mut checksum = 0u64;
+    const DIRS: [[i64; 3]; 6] = [
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+    ];
+    for _ in 0..params.rays {
+        let o = [
+            rng.below(params.world as u64) as i64,
+            rng.below(params.world as u64) as i64,
+            rng.below(params.world as u64) as i64,
+        ];
+        let d = DIRS[rng.below(6) as usize];
+        if let Some(hit) = tree.cast(o, d, &mut pipe) {
+            checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(hit) + 1);
+        }
+    }
+
+    RadianceResult {
+        layout,
+        breakdown: pipe.finish(),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::event::NullSink;
+
+    fn small() -> RadianceParams {
+        RadianceParams {
+            objects: 60,
+            world: 256,
+            rays: 800,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn octree_covers_all_objects() {
+        let p = small();
+        let scene = synthetic_scene(p.objects, p.world, p.seed);
+        let mut heap = Malloc::new(8192);
+        let t = Octree::build(scene.clone(), p.world, &mut heap, &mut NullSink);
+        // Every object appears in at least one leaf.
+        let mut seen = vec![false; scene.len()];
+        for n in &t.nodes {
+            for &o in &n.objs {
+                seen[o as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ray_into_object_hits_it() {
+        let scene = vec![Aabb {
+            min: [100, 100, 100],
+            max: [150, 150, 150],
+        }];
+        let mut heap = Malloc::new(8192);
+        let t = Octree::build(scene, 256, &mut heap, &mut NullSink);
+        let hit = t.cast([0, 120, 120], [1, 0, 0], &mut NullSink);
+        assert_eq!(hit, Some(0));
+        let miss = t.cast([0, 200, 200], [1, 0, 0], &mut NullSink);
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn checksums_agree_across_layouts() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let p = small();
+        let base = run(Layout::Base, &p, &machine);
+        for l in Layout::ALL {
+            let r = run(l, &p, &machine);
+            assert_eq!(r.checksum, base.checksum, "{l:?}");
+        }
+    }
+
+    /// The Figure 6 effect needs an octree several times the L2 and a
+    /// ray-dominated run — minutes in a debug build, so opt-in:
+    /// `cargo test -p cc-apps --release -- --ignored`.
+    #[test]
+    #[ignore = "large-structure effect; run with --release -- --ignored"]
+    fn clustering_and_coloring_beat_base() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let p = RadianceParams::default();
+        let base = run(Layout::Base, &p, &machine);
+        let cc = run(Layout::ClusterColor, &p, &machine);
+        assert!(
+            cc.breakdown.total() < base.breakdown.total(),
+            "cc {} vs base {}",
+            cc.breakdown.total(),
+            base.breakdown.total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn world_must_be_pow2() {
+        let mut heap = Malloc::new(8192);
+        let _ = Octree::build(vec![], 1000, &mut heap, &mut NullSink);
+    }
+}

@@ -1,0 +1,591 @@
+//! Mini-VIS: a reduced ordered binary decision diagram (ROBDD) engine
+//! (paper Section 4.3).
+//!
+//! VIS represents multi-level logic networks as BDDs. BDDs are DAGs —
+//! nodes have multiple parents — so `ccmorph` cannot be used; instead the
+//! paper modified VIS's allocation sites to call
+//! `ccmalloc(size, hint)` with the new-block strategy and measured a 27%
+//! speedup. The mini version is a complete ROBDD package: hash-consing
+//! unique table, memoized ITE, negation, satisfy-counting, and
+//! assignment evaluation. Every BDD node is allocated through a pluggable
+//! [`Allocator`]; the cache-conscious variant hints each new node with its
+//! `lo` child — the one-line change the paper describes.
+//!
+//! The measured workload builds adder output functions under a
+//! *deliberately poor variable ordering* (all `a` bits before all `b`
+//! bits), which makes the BDDs exponential in the operand width — the
+//! classic blow-up that makes model checkers memory-bound — then
+//! verifies an algebraic identity and runs a large batch of assignment
+//! evaluations (each one a root-to-terminal pointer chase).
+
+use cc_core::rng::SplitMix64;
+use cc_heap::{Allocator, CcMalloc, Malloc, Strategy};
+use cc_sim::event::EventSink;
+use cc_sim::{Breakdown, MachineConfig, Pipeline, PipelineConfig};
+use std::collections::HashMap;
+
+/// Bytes per BDD node: variable index + two child pointers + ref/hash
+/// link (32-bit layout).
+pub const BDD_NODE_BYTES: u64 = 16;
+
+/// The FALSE terminal.
+pub const FALSE: u32 = 0;
+/// The TRUE terminal.
+pub const TRUE: u32 = 1;
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+    addr: u64,
+}
+
+/// Allocation policy for BDD nodes — Figure 6's two VIS bars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AllocPolicy {
+    /// Conventional `malloc`.
+    Base,
+    /// `ccmalloc` with the new-block strategy, hinting the `lo` child.
+    CcMallocNewBlock,
+}
+
+impl AllocPolicy {
+    /// Both policies in Figure 6 order.
+    pub const ALL: [AllocPolicy; 2] = [AllocPolicy::Base, AllocPolicy::CcMallocNewBlock];
+
+    /// Bar label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocPolicy::Base => "base",
+            AllocPolicy::CcMallocNewBlock => "ccmalloc new-block",
+        }
+    }
+}
+
+/// A ROBDD manager over `nvars` variables.
+///
+/// # Example
+///
+/// ```
+/// use cc_apps::vis::{Bdd, TRUE, FALSE};
+/// use cc_heap::Malloc;
+/// use cc_sim::event::NullSink;
+///
+/// let mut heap = Malloc::new(8192);
+/// let mut sink = NullSink;
+/// let mut bdd = Bdd::new(2, false);
+/// let x0 = bdd.var(0, &mut heap, &mut sink);
+/// let x1 = bdd.var(1, &mut heap, &mut sink);
+/// let and = bdd.and(x0, x1, &mut heap, &mut sink);
+/// assert_eq!(bdd.sat_count(and, &mut sink), 1); // only x0=1,x1=1
+/// let or = bdd.or(x0, x1, &mut heap, &mut sink);
+/// assert_eq!(bdd.sat_count(or, &mut sink), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_memo: HashMap<(u32, u32, u32), u32>,
+    nvars: u32,
+    use_hint: bool,
+    /// Simulated base address of the unique-table bucket array.
+    unique_base: u64,
+    /// Simulated base address of the ITE memo array.
+    memo_base: u64,
+}
+
+impl Bdd {
+    /// Creates a manager; `use_hint` selects the `ccmalloc` hinting of the
+    /// cache-conscious variant (ignored by allocators that ignore hints).
+    pub fn new(nvars: u32, use_hint: bool) -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: FALSE,
+                    hi: FALSE,
+                    addr: 0x100,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: TRUE,
+                    hi: TRUE,
+                    addr: 0x110,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_memo: HashMap::new(),
+            nvars,
+            use_hint,
+            unique_base: 0x4_0000_0000,
+            memo_base: 0x5_0000_0000,
+        }
+    }
+
+    /// Number of nodes ever created (terminals included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> u32 {
+        self.nvars
+    }
+
+    fn is_terminal(id: u32) -> bool {
+        id <= TRUE
+    }
+
+    /// Emits the trace of reading node `id` (a dependent pointer chase).
+    fn touch<S: EventSink>(&self, id: u32, sink: &mut S) {
+        sink.load(self.nodes[id as usize].addr, BDD_NODE_BYTES as u32);
+        sink.inst(2);
+        sink.branch(1);
+    }
+
+    /// Hash-consing constructor (the unique table).
+    fn mk<A: Allocator, S: EventSink>(
+        &mut self,
+        var: u32,
+        lo: u32,
+        hi: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        // Unique-table probe: hash + one bucket load.
+        sink.inst(6);
+        let h = (u64::from(var) << 40) ^ (u64::from(lo) << 20) ^ u64::from(hi);
+        sink.load_indep(self.unique_base + (h % 65536) * 8, 8);
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        // Allocate the new node, hinted with its lo child (the paper's
+        // one-argument change to VIS's allocation sites).
+        let hint = if self.use_hint {
+            let lo_node = if !Self::is_terminal(lo) { lo } else { hi };
+            (!Self::is_terminal(lo_node)).then(|| self.nodes[lo_node as usize].addr)
+        } else {
+            None
+        };
+        sink.inst(alloc.cost_insts());
+        let addr = alloc.alloc_hint(BDD_NODE_BYTES, hint);
+        sink.store(addr, BDD_NODE_BYTES as u32);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi, addr });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The projection function for variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn var<A: Allocator, S: EventSink>(&mut self, i: u32, alloc: &mut A, sink: &mut S) -> u32 {
+        assert!(i < self.nvars, "variable {i} out of range");
+        self.mk(i, FALSE, TRUE, alloc, sink)
+    }
+
+    fn var_of(&self, id: u32) -> u32 {
+        self.nodes[id as usize].var
+    }
+
+    /// If-then-else: the universal BDD operation.
+    pub fn ite<A: Allocator, S: EventSink>(
+        &mut self,
+        f: u32,
+        g: u32,
+        h: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        // Terminal cases.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        // Memo probe.
+        sink.inst(8);
+        let hsh = (u64::from(f) << 42) ^ (u64::from(g) << 21) ^ u64::from(h);
+        sink.load_indep(self.memo_base + (hsh % 262_144) * 16, 8);
+        if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            return r;
+        }
+        // Read the operand nodes (pointer chases).
+        self.touch(f, sink);
+        if !Self::is_terminal(g) {
+            self.touch(g, sink);
+        }
+        if !Self::is_terminal(h) {
+            self.touch(h, sink);
+        }
+        let top = [f, g, h]
+            .into_iter()
+            .filter(|&x| !Self::is_terminal(x))
+            .map(|x| self.var_of(x))
+            .min()
+            .expect("f is not terminal");
+        let cof = |b: &Bdd, x: u32, hi: bool| -> u32 {
+            if Self::is_terminal(x) || b.var_of(x) != top {
+                x
+            } else if hi {
+                b.nodes[x as usize].hi
+            } else {
+                b.nodes[x as usize].lo
+            }
+        };
+        let (f0, f1) = (cof(self, f, false), cof(self, f, true));
+        let (g0, g1) = (cof(self, g, false), cof(self, g, true));
+        let (h0, h1) = (cof(self, h, false), cof(self, h, true));
+        let lo = self.ite(f0, g0, h0, alloc, sink);
+        let hi = self.ite(f1, g1, h1, alloc, sink);
+        let r = self.mk(top, lo, hi, alloc, sink);
+        sink.store(self.memo_base + (hsh % 262_144) * 16, 8);
+        self.ite_memo.insert((f, g, h), r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and<A: Allocator, S: EventSink>(
+        &mut self,
+        f: u32,
+        g: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        self.ite(f, g, FALSE, alloc, sink)
+    }
+
+    /// Disjunction.
+    pub fn or<A: Allocator, S: EventSink>(
+        &mut self,
+        f: u32,
+        g: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        self.ite(f, TRUE, g, alloc, sink)
+    }
+
+    /// Negation.
+    pub fn not<A: Allocator, S: EventSink>(&mut self, f: u32, alloc: &mut A, sink: &mut S) -> u32 {
+        self.ite(f, FALSE, TRUE, alloc, sink)
+    }
+
+    /// Exclusive or.
+    pub fn xor<A: Allocator, S: EventSink>(
+        &mut self,
+        f: u32,
+        g: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u32 {
+        let ng = self.not(g, alloc, sink);
+        self.ite(f, ng, g, alloc, sink)
+    }
+
+    /// Number of satisfying assignments over all `nvars` variables,
+    /// emitting one dependent load per node visited.
+    pub fn sat_count<S: EventSink>(&self, f: u32, sink: &mut S) -> u64 {
+        let mut memo: HashMap<u32, u64> = HashMap::new();
+        let total_vars = self.nvars;
+        self.sat_rec(f, 0, total_vars, &mut memo, sink)
+    }
+
+    fn sat_rec<S: EventSink>(
+        &self,
+        f: u32,
+        depth_var: u32,
+        total_vars: u32,
+        memo: &mut HashMap<u32, u64>,
+        sink: &mut S,
+    ) -> u64 {
+        // Count assignments of variables in [depth_var, total) satisfying f.
+        if f == FALSE {
+            return 0;
+        }
+        if f == TRUE {
+            return 1u64 << (total_vars - depth_var);
+        }
+        let v = self.var_of(f);
+        let skipped = v - depth_var;
+        let below = if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            self.touch(f, sink);
+            let n = &self.nodes[f as usize];
+            let lo = self.sat_rec(n.lo, v + 1, total_vars, memo, sink);
+            let hi = self.sat_rec(n.hi, v + 1, total_vars, memo, sink);
+            memo.insert(f, lo + hi);
+            lo + hi
+        };
+        below << skipped
+    }
+
+    /// Evaluates `f` under the assignment encoded in the bits of `input`
+    /// (bit `i` = variable `i`): a pure root-to-terminal pointer chase.
+    pub fn eval<S: EventSink>(&self, f: u32, input: u64, sink: &mut S) -> bool {
+        let mut cur = f;
+        while !Self::is_terminal(cur) {
+            self.touch(cur, sink);
+            let n = &self.nodes[cur as usize];
+            cur = if input >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+}
+
+/// Parameters for the mini-VIS workload.
+#[derive(Clone, Copy, Debug)]
+pub struct VisParams {
+    /// Adder operand width. The poor variable ordering makes BDD size
+    /// exponential in this; 16 already exceeds the E5000's 1 MB L2.
+    pub bits: u32,
+    /// Number of assignment evaluations in the query phase.
+    pub evals: u64,
+    /// Evaluation seed.
+    pub seed: u64,
+}
+
+impl Default for VisParams {
+    fn default() -> Self {
+        VisParams {
+            bits: 14,
+            evals: 400_000,
+            seed: 0xB0D,
+        }
+    }
+}
+
+/// Result of one mini-VIS run.
+#[derive(Clone, Debug)]
+pub struct VisResult {
+    /// Allocation policy measured.
+    pub policy: AllocPolicy,
+    /// Stall breakdown.
+    pub breakdown: Breakdown,
+    /// Workload checksum (policy invariant).
+    pub checksum: u64,
+    /// Live BDD nodes at the end.
+    pub nodes: usize,
+}
+
+/// Runs the mini-VIS workload: builds the sum and carry functions of an
+/// adder under a poor variable ordering (variable `i` of operand `a` is
+/// BDD variable `i`, of `b` is `bits + i`), checks the identity
+/// `a ⊕ b ⊕ c = (a + b) mod 2` bitwise against a re-derivation, then
+/// sat-counts and evaluates.
+pub fn run(policy: AllocPolicy, params: &VisParams, machine: &MachineConfig) -> VisResult {
+    let mut pipe = Pipeline::new(PipelineConfig::table1(), *machine);
+    let mut alloc: Box<dyn Allocator> = match policy {
+        AllocPolicy::Base => Box::new(Malloc::new(machine.page_bytes)),
+        AllocPolicy::CcMallocNewBlock => Box::new(CcMalloc::new(machine, Strategy::NewBlock)),
+    };
+    let use_hint = policy == AllocPolicy::CcMallocNewBlock;
+    let n = params.bits;
+    let mut bdd = Bdd::new(2 * n, use_hint);
+
+    // Variables: a_i at index i, b_i at n + i (the poor ordering).
+    let a: Vec<u32> = (0..n).map(|i| bdd.var(i, &mut alloc, &mut pipe)).collect();
+    let b: Vec<u32> = (0..n)
+        .map(|i| bdd.var(n + i, &mut alloc, &mut pipe))
+        .collect();
+
+    // Ripple-carry sum bits.
+    let mut carry = FALSE;
+    let mut sums = Vec::with_capacity(n as usize);
+    for i in 0..n as usize {
+        let axb = bdd.xor(a[i], b[i], &mut alloc, &mut pipe);
+        let sum = bdd.xor(axb, carry, &mut alloc, &mut pipe);
+        let ab = bdd.and(a[i], b[i], &mut alloc, &mut pipe);
+        let ac = bdd.and(axb, carry, &mut alloc, &mut pipe);
+        carry = bdd.or(ab, ac, &mut alloc, &mut pipe);
+        sums.push(sum);
+    }
+
+    // Verification: re-derive each sum bit by a different formula
+    // (s = (a ∨ b ∨ c) ∧ ¬maj ∨ (a ∧ b ∧ c)) and check canonicity gives
+    // the identical node.
+    let mut verified = 0u64;
+    let mut carry2 = FALSE;
+    for i in 0..n as usize {
+        let ab_or = bdd.or(a[i], b[i], &mut alloc, &mut pipe);
+        let any = bdd.or(ab_or, carry2, &mut alloc, &mut pipe);
+        let ab = bdd.and(a[i], b[i], &mut alloc, &mut pipe);
+        let bc = bdd.and(b[i], carry2, &mut alloc, &mut pipe);
+        let ca = bdd.and(carry2, a[i], &mut alloc, &mut pipe);
+        let maj_ab = bdd.or(ab, bc, &mut alloc, &mut pipe);
+        let maj = bdd.or(maj_ab, ca, &mut alloc, &mut pipe);
+        let nmaj = bdd.not(maj, &mut alloc, &mut pipe);
+        let lo = bdd.and(any, nmaj, &mut alloc, &mut pipe);
+        let abc = bdd.and(ab, carry2, &mut alloc, &mut pipe);
+        let s2 = bdd.or(lo, abc, &mut alloc, &mut pipe);
+        if s2 == sums[i] {
+            verified += 1;
+        }
+        carry2 = maj;
+    }
+    assert_eq!(verified, u64::from(n), "adder identity must verify");
+    assert_eq!(carry2, carry, "carry chains must agree");
+
+    // Query phase: sat-count the top carry and a middle sum bit, then a
+    // large batch of assignment evaluations.
+    let mut checksum = bdd.sat_count(carry, &mut pipe);
+    checksum = checksum.wrapping_mul(31).wrapping_add(
+        bdd.sat_count(sums[n as usize / 2], &mut pipe),
+    );
+    let mut rng = SplitMix64::new(params.seed);
+    let mut trues = 0u64;
+    for _ in 0..params.evals {
+        let input = rng.next_u64() & ((1u64 << (2 * n)) - 1);
+        let f = sums[(rng.below(u64::from(n))) as usize];
+        if bdd.eval(f, input, &mut pipe) {
+            trues += 1;
+        }
+    }
+    checksum = checksum.wrapping_mul(31).wrapping_add(trues);
+    checksum = checksum.wrapping_mul(31).wrapping_add(verified);
+
+    VisResult {
+        policy,
+        breakdown: pipe.finish(),
+        checksum,
+        nodes: bdd.node_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::event::NullSink;
+
+    fn mgr(nvars: u32) -> (Malloc, NullSink, Bdd) {
+        (Malloc::new(8192), NullSink, Bdd::new(nvars, false))
+    }
+
+    #[test]
+    fn basic_boolean_algebra() {
+        let (mut heap, mut s, mut bdd) = mgr(3);
+        let x = bdd.var(0, &mut heap, &mut s);
+        let y = bdd.var(1, &mut heap, &mut s);
+        let nx = bdd.not(x, &mut heap, &mut s);
+        assert_eq!(bdd.and(x, nx, &mut heap, &mut s), FALSE);
+        assert_eq!(bdd.or(x, nx, &mut heap, &mut s), TRUE);
+        let xy = bdd.and(x, y, &mut heap, &mut s);
+        let yx = bdd.and(y, x, &mut heap, &mut s);
+        assert_eq!(xy, yx, "hash consing canonicalizes");
+        let xx = bdd.xor(x, x, &mut heap, &mut s);
+        assert_eq!(xx, FALSE);
+    }
+
+    #[test]
+    fn sat_counts() {
+        let (mut heap, mut s, mut bdd) = mgr(4);
+        let vars: Vec<u32> = (0..4).map(|i| bdd.var(i, &mut heap, &mut s)).collect();
+        // x0 & x1: 1 * 2^2 assignments of the other two vars.
+        let f = bdd.and(vars[0], vars[1], &mut heap, &mut s);
+        assert_eq!(bdd.sat_count(f, &mut s), 4);
+        // Parity of 4 vars: half of 16.
+        let mut p = FALSE;
+        for &v in &vars {
+            p = bdd.xor(p, v, &mut heap, &mut s);
+        }
+        assert_eq!(bdd.sat_count(p, &mut s), 8);
+    }
+
+    #[test]
+    fn eval_agrees_with_semantics() {
+        let (mut heap, mut s, mut bdd) = mgr(6);
+        let vars: Vec<u32> = (0..6).map(|i| bdd.var(i, &mut heap, &mut s)).collect();
+        // f = (x0 & x1) | (x2 ^ x5)
+        let c = bdd.and(vars[0], vars[1], &mut heap, &mut s);
+        let x = bdd.xor(vars[2], vars[5], &mut heap, &mut s);
+        let f = bdd.or(c, x, &mut heap, &mut s);
+        for input in 0u64..64 {
+            let want = (input & 3 == 3) || ((input >> 2 & 1) ^ (input >> 5 & 1) == 1);
+            assert_eq!(bdd.eval(f, input, &mut NullSink), want, "input {input:b}");
+        }
+    }
+
+    #[test]
+    fn poor_ordering_blows_up() {
+        // The run() workload relies on exponential growth; confirm the
+        // trend holds (node count roughly doubles per extra bit).
+        let small = run(
+            AllocPolicy::Base,
+            &VisParams {
+                bits: 6,
+                evals: 10,
+                seed: 1,
+            },
+            &MachineConfig::ultrasparc_e5000(),
+        );
+        let big = run(
+            AllocPolicy::Base,
+            &VisParams {
+                bits: 9,
+                evals: 10,
+                seed: 1,
+            },
+            &MachineConfig::ultrasparc_e5000(),
+        );
+        assert!(big.nodes > 4 * small.nodes, "{} vs {}", big.nodes, small.nodes);
+    }
+
+    #[test]
+    fn checksums_agree_across_policies() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let p = VisParams {
+            bits: 8,
+            evals: 2000,
+            seed: 5,
+        };
+        let a = run(AllocPolicy::Base, &p, &machine);
+        let b = run(AllocPolicy::CcMallocNewBlock, &p, &machine);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.nodes, b.nodes, "same DAG regardless of placement");
+    }
+
+    #[test]
+    fn ccmalloc_colocates_lo_chains() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut heap = CcMalloc::new(&machine, Strategy::NewBlock);
+        let mut s = NullSink;
+        let mut bdd = Bdd::new(8, true);
+        let vars: Vec<u32> = (0..8).map(|i| bdd.var(i, &mut heap, &mut s)).collect();
+        let mut f = vars[7];
+        for i in (0..7).rev() {
+            f = bdd.and(vars[i], f, &mut heap, &mut s);
+        }
+        // Walking the all-ones path: count block transitions.
+        let mut cur = f;
+        let mut prev_block = None;
+        let mut same = 0;
+        let mut steps = 0;
+        while !Bdd::is_terminal(cur) {
+            let blk = bdd.nodes[cur as usize].addr / 64;
+            if prev_block == Some(blk) {
+                same += 1;
+            }
+            prev_block = Some(blk);
+            cur = bdd.nodes[cur as usize].hi;
+            steps += 1;
+        }
+        assert!(steps >= 7);
+        assert!(same > 0, "hinted chain shares at least one block");
+    }
+}

@@ -1,0 +1,53 @@
+//! Host-time trend bench for the Figure 5 microbenchmark machinery:
+//! simulated random searches under each tree layout.
+
+use cc_core::ccmorph::CcMorphParams;
+use cc_core::cluster::Order;
+use cc_core::rng::SplitMix64;
+use cc_heap::VirtualSpace;
+use cc_sim::{MachineConfig, MemorySink};
+use cc_trees::bst::Bst;
+use cc_trees::BST_NODE_BYTES;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: u64 = (1 << 15) - 1;
+const SEARCHES: u64 = 2_000;
+
+fn searches(c: &mut Criterion, name: &str, tree: &Bst, machine: &MachineConfig) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut sink = MemorySink::new(*machine);
+            let mut rng = SplitMix64::new(3);
+            for _ in 0..SEARCHES {
+                black_box(tree.search(2 * rng.below(N), &mut sink, false));
+            }
+            black_box(sink.memory_cycles())
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut tree = Bst::build_complete(N);
+
+    tree.layout_sequential(Order::Random { seed: 1 });
+    searches(c, "fig5/search_random_layout", &tree, &machine);
+
+    tree.layout_sequential(Order::DepthFirst);
+    searches(c, "fig5/search_dfs_layout", &tree, &machine);
+
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree.morph(
+        &mut vs,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    searches(c, "fig5/search_ctree_layout", &tree, &machine);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out:
+//!
+//! 1. **coloring hot fraction** — how much of the cache to reserve for the
+//!    structure's top (the paper's `Color_const`; it uses 1/2);
+//! 2. **cluster kind** — subtree packing vs depth-first chains, per
+//!    traversal pattern (the Section 2.1 caveat);
+//! 3. **ccmalloc strategy** — closest / new-block / first-fit across the
+//!    churn-heavy benchmark (health).
+//!
+//! All numbers are simulated cycles on the paper's machines.
+
+use cc_bench::header;
+use cc_core::ccmorph::{CcMorphParams, ColorConfig};
+use cc_core::cluster::{ClusterKind, Order};
+use cc_core::rng::SplitMix64;
+use cc_heap::VirtualSpace;
+use cc_olden::{health, treeadd, Scheme};
+use cc_sim::{MachineConfig, MemorySink};
+use cc_trees::bst::Bst;
+use cc_trees::BST_NODE_BYTES;
+
+fn search_time(machine: &MachineConfig, tree: &Bst, n: u64) -> f64 {
+    let mut sink = MemorySink::new(*machine);
+    let mut rng = SplitMix64::new(99);
+    for _ in 0..30_000 {
+        tree.search(2 * rng.below(n), &mut sink, false);
+    }
+    sink.reset_stats();
+    let m = 100_000;
+    for _ in 0..m {
+        tree.search(2 * rng.below(n), &mut sink, false);
+    }
+    (sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0) / m as f64
+}
+
+fn main() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let n = (1u64 << 20) - 1;
+
+    header(
+        "Ablation 1: coloring hot fraction (C-tree, random searches)",
+        "cycles per search on a 2^20-key tree; paper uses hot fraction 1/2",
+    );
+    let mut tree = Bst::build_complete(n);
+    tree.layout_sequential(Order::Random { seed: 5 });
+    println!("  {:<18} {:>14.1}", "no morph (random)", search_time(&machine, &tree, n));
+    for frac in [0.0, 0.125, 0.25, 0.5, 0.75] {
+        let mut t = Bst::build_complete(n);
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        let params = CcMorphParams {
+            color: (frac > 0.0).then_some(ColorConfig { hot_fraction: frac }),
+            ..CcMorphParams::clustering_only(&machine, BST_NODE_BYTES)
+        };
+        t.morph(&mut vs, &params);
+        let label = if frac == 0.0 {
+            "cluster only".to_string()
+        } else {
+            format!("hot fraction {frac}")
+        };
+        println!("  {:<18} {:>14.1}", label, search_time(&machine, &t, n));
+    }
+
+    header(
+        "Ablation 2: cluster kind vs traversal (treeadd, Table 1 machine)",
+        "total cycles, 64 K nodes, 4 depth-first summation passes",
+    );
+    let t1 = MachineConfig::table1();
+    for (label, kind) in [
+        ("subtree clusters", ClusterKind::SubtreeBfs),
+        ("depth-first chains", ClusterKind::DepthFirstChain),
+    ] {
+        // Reuse the treeadd runner but override the morph kind by running
+        // the pieces manually.
+        let mut pipe = Scheme::CcMorphCluster.pipeline(&t1);
+        let mut alloc = Scheme::CcMorphCluster.allocator(&t1);
+        let mut tree =
+            cc_olden::treeadd::TreeAdd::build(65_536, &mut alloc, &mut pipe, false);
+        let mut vs = VirtualSpace::new(t1.page_bytes);
+        vs.skip_pages((1 << 33) / t1.page_bytes);
+        let params = CcMorphParams {
+            cache: t1.l2,
+            page_bytes: t1.page_bytes,
+            elem_bytes: cc_olden::treeadd::TREE_NODE_BYTES,
+            color: None,
+            cluster_kind: kind,
+        };
+        tree.morph(&mut vs, &params, &mut pipe);
+        for _ in 0..4 {
+            tree.sum(&mut pipe, false);
+        }
+        println!("  {:<20} {:>14}", label, pipe.finish().total());
+    }
+    let base = treeadd::run_iters(Scheme::Base, 65_536, 4, &t1);
+    println!("  {:<20} {:>14}", "base (no morph)", base.breakdown.total());
+    println!("  (subtree packing refetches blocks under a pure DFS sweep — Section 2.1's caveat)");
+
+    header(
+        "Ablation 3: ccmalloc strategy under churn (health, Table 1 machine)",
+        "total cycles, level 3, 300 steps",
+    );
+    for s in [
+        Scheme::Base,
+        Scheme::CcMallocFirstFit,
+        Scheme::CcMallocClosest,
+        Scheme::CcMallocNewBlock,
+    ] {
+        let r = health::run(s, 3, 300, &t1);
+        println!(
+            "  {:<12} {:>14} cycles  footprint {:>10}",
+            s.label(),
+            r.breakdown.total(),
+            cc_bench::human_bytes(r.heap.footprint_bytes())
+        );
+    }
+}

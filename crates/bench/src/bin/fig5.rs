@@ -1,0 +1,148 @@
+//! Figure 5 — the binary tree microbenchmark (paper Section 4.2).
+//!
+//! Measures the average search time of a large balanced binary search
+//! tree under four layouts, as a function of the number of repeated
+//! random searches:
+//!
+//! * randomly clustered binary tree,
+//! * depth-first clustered binary tree,
+//! * in-core B-tree (colored),
+//! * transparent C-tree (`ccmorph`: subtree clustering + coloring).
+//!
+//! The paper's tree has 2,097,151 keys and consumes 40 MB — forty times
+//! the E5000's 1 MB L2 — and is searched up to one million times. Times
+//! come from the Section 5.1 latency formula over the simulated cache's
+//! measured behaviour (plus TLB penalties), converted to microseconds at
+//! the machine's 167 MHz clock.
+
+use cc_bench::header;
+use cc_core::ccmorph::CcMorphParams;
+use cc_core::cluster::Order;
+use cc_core::rng::SplitMix64;
+use cc_heap::VirtualSpace;
+use cc_sim::{MachineConfig, MemorySink};
+use cc_trees::bst::Bst;
+use cc_trees::btree::BTree;
+use cc_trees::BST_NODE_BYTES;
+
+/// Search-count checkpoints (the x-axis decades).
+const CHECKPOINTS: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+fn keys(n: u64) -> u64 {
+    n // keys are 2*i for i in 0..n; searches draw uniformly
+}
+
+/// Runs 1M random searches against `search`, reporting average
+/// microseconds per search at each checkpoint.
+fn measure<F>(machine: &MachineConfig, n: u64, mut search: F) -> Vec<f64>
+where
+    F: FnMut(u64, &mut MemorySink),
+{
+    let mut sink = MemorySink::new(*machine);
+    let mut rng = SplitMix64::new(0x51EE7);
+    let mut out = Vec::new();
+    let mut done = 0u64;
+    for &cp in &CHECKPOINTS {
+        while done < cp {
+            let key = 2 * rng.below(keys(n));
+            search(key, &mut sink);
+            done += 1;
+        }
+        let cycles = sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0;
+        out.push(cycles / done as f64 / machine.cycles_per_us());
+    }
+    out
+}
+
+fn main() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or((1 << 21) - 1);
+
+    header(
+        "Figure 5: binary tree microbenchmark",
+        &format!(
+            "{n} keys, {} of tree data ({}x the 1 MB L2); avg search time vs repeated searches",
+            cc_bench::human_bytes(n * BST_NODE_BYTES),
+            n * BST_NODE_BYTES / (1 << 20),
+        ),
+    );
+
+    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
+
+    eprintln!("building random-clustered tree…");
+    let mut t = Bst::build_complete(n);
+    t.layout_sequential(Order::Random { seed: 0xA11 });
+    results.push((
+        "random clustered",
+        measure(&machine, n, |k, s| {
+            t.search(k, s, false);
+        }),
+    ));
+
+    eprintln!("building depth-first clustered tree…");
+    t.layout_sequential(Order::DepthFirst);
+    results.push((
+        "depth-first clustered",
+        measure(&machine, n, |k, s| {
+            t.search(k, s, false);
+        }),
+    ));
+
+    eprintln!("building colored B-tree…");
+    let ks: Vec<u64> = (0..n).map(|i| 2 * i).collect();
+    let mut bt = BTree::build_from_sorted(&ks, machine.l2.block_bytes(), 0.7);
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    bt.color(&mut vs, &machine, 0.5);
+    results.push((
+        "in-core B-tree",
+        measure(&machine, n, |k, s| {
+            bt.search(k, s);
+        }),
+    ));
+
+    eprintln!("building transparent C-tree…");
+    let mut vs2 = VirtualSpace::new(machine.page_bytes);
+    t.morph(
+        &mut vs2,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    results.push((
+        "transparent C-tree",
+        measure(&machine, n, |k, s| {
+            t.search(k, s, false);
+        }),
+    ));
+
+    println!("\navg search time (microseconds) after N random searches:");
+    print!("{:<24}", "layout \\ searches");
+    for cp in CHECKPOINTS {
+        print!("{cp:>10}");
+    }
+    println!();
+    for (label, times) in &results {
+        print!("{label:<24}");
+        for t in times {
+            print!("{t:>10.2}");
+        }
+        println!();
+    }
+
+    let at = |i: usize| results[i].1.last().copied().unwrap_or(f64::NAN);
+    let (rand, dfs, btree, ctree) = (at(0), at(1), at(2), at(3));
+    println!("\nsteady-state ratios (paper's claims in parentheses):");
+    println!(
+        "  C-tree vs random clustered:      {:.2}x  (paper: 4-5x)",
+        rand / ctree
+    );
+    println!(
+        "  C-tree vs depth-first clustered: {:.2}x  (paper: 2.5-3x)",
+        dfs / ctree
+    );
+    println!(
+        "  C-tree vs B-tree:                {:.2}x  (paper: ~1.5x)",
+        btree / ctree
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 7 — cache-conscious data placement on the Olden benchmarks
+//! (paper Section 4.4), plus the Section 4.4 memory-overhead numbers.
+//!
+//! Four benchmarks × eight schemes, each bar normalized to the
+//! benchmark's base run and split into busy / instruction-stall /
+//! data-stall / store-stall components using the paper's cycle
+//! attribution rule on the Table 1 machine.
+
+use cc_bench::{header, human_bytes, print_breakdown_row};
+use cc_olden::{health, mst, perimeter, treeadd, RunResult, Scheme};
+use cc_sim::MachineConfig;
+
+fn run_all(name: &str, runner: &dyn Fn(Scheme) -> RunResult) -> Vec<RunResult> {
+    let results: Vec<RunResult> = Scheme::FIGURE7
+        .iter()
+        .map(|&s| {
+            eprintln!("  {name}: {}", s.label());
+            runner(s)
+        })
+        .collect();
+    let base = results[0].clone();
+    println!("\n{name}:");
+    for r in &results {
+        print_breakdown_row(r.scheme.label(), &r.breakdown, &base.breakdown);
+        assert_eq!(r.checksum, base.checksum, "scheme changed the answer!");
+    }
+    results
+}
+
+fn overhead_line(name: &str, results: &[RunResult]) {
+    let by = |s: Scheme| {
+        results
+            .iter()
+            .find(|r| r.scheme == s)
+            .expect("scheme present")
+            .heap
+    };
+    let nb = by(Scheme::CcMallocNewBlock);
+    let ca = by(Scheme::CcMallocClosest);
+    let fa = by(Scheme::CcMallocFirstFit);
+    println!(
+        "  {name:<10} new-block {:>9}  vs closest {:>+6.1}%  vs first-fit {:>+6.1}%",
+        human_bytes(nb.footprint_bytes()),
+        nb.overhead_vs(&ca),
+        nb.overhead_vs(&fa),
+    );
+}
+
+fn main() {
+    let machine = MachineConfig::table1();
+    let scale: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    header(
+        "Figure 7: performance of cache-conscious data placement (Olden)",
+        "normalized execution time (base = 100); bars split into busy/inst/data/store",
+    );
+    println!(
+        "schemes: B=base HP=hw-prefetch SP=sw-prefetch FA/CA/NA=ccmalloc \
+         first-fit/closest/new-block CI=ccmorph-cluster CI+Col=+coloring"
+    );
+
+    // treeadd: 256 K nodes (Table 2), four summation passes for steady
+    // state (see EXPERIMENTS.md).
+    let ta = run_all("treeadd", &|s| {
+        treeadd::run_iters(s, 262_144 / scale.max(1), 4, &machine)
+    });
+
+    // health: village level 3, scaled step count.
+    let he = run_all("health", &|s| health::run(s, 3, 500 / scale.max(1).min(8), &machine));
+
+    // mst: 512 vertices (Table 2).
+    let ms = run_all("mst", &|s| mst::run(s, (512 / scale.max(1)) as usize, 16, &machine));
+
+    // perimeter: disk in a scaled image (Table 2 uses 4K x 4K; 1K here —
+    // the quadtree is ~40x the 256 KB L2 either way).
+    let pe = run_all("perimeter", &|s| {
+        perimeter::run(s, (1024 / scale.max(1)) as u32, &machine)
+    });
+
+    header(
+        "Section 4.4: ccmalloc memory overheads",
+        "paper: new-block costs +12% (treeadd), +30% (perimeter), +7% (health), +3% (mst)",
+    );
+    overhead_line("treeadd", &ta);
+    overhead_line("health", &he);
+    overhead_line("mst", &ms);
+    overhead_line("perimeter", &pe);
+}

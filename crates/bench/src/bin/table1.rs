@@ -1,0 +1,76 @@
+//! Table 1 — simulation parameters, printed from the live configuration
+//! so the table can never drift from what the simulator actually runs.
+
+use cc_bench::header;
+use cc_sim::{MachineConfig, PipelineConfig};
+
+fn main() {
+    let m = MachineConfig::table1();
+    let p = PipelineConfig::table1();
+    header(
+        "Table 1: simulation parameters (Olden runs)",
+        "paper values in parentheses where the model simplifies",
+    );
+    let rows: Vec<(&str, String)> = vec![
+        ("Issue width", format!("{} (4)", p.issue_width)),
+        (
+            "Functional units",
+            "abstracted into issue width (2 Int, 2 FP, 2 Addr, 1 Branch)".into(),
+        ),
+        ("Reorder buffer size", format!("{} (64)", p.rob_size)),
+        (
+            "Branch prediction",
+            format!(
+                "{}% mispredict, {}-cycle refill (2-bit counters, 512 entries)",
+                p.mispredict_rate * 100.0,
+                p.mispredict_penalty
+            ),
+        ),
+        (
+            "L1 data cache",
+            format!("{} write-through ({:?})", m.l1, m.l1_policy),
+        ),
+        ("Write buffer", format!("{} entries (8)", p.write_buffer)),
+        (
+            "L2 cache",
+            format!("{} write-back ({:?})", m.l2, m.l2_policy),
+        ),
+        (
+            "Cache line size",
+            format!("{} bytes (128)", m.l2.block_bytes()),
+        ),
+        ("L1 hit", format!("{} cycle (1)", m.latency.l1_hit)),
+        (
+            "L1 miss (to L2)",
+            format!("{} cycles total (9)", m.latency.l1_hit + m.latency.l1_miss),
+        ),
+        ("L2 miss", format!("{} cycles (60)", m.latency.l2_miss)),
+        ("MSHRs (L1, L2)", format!("{0}, {0} (8, 8)", p.mshrs)),
+        (
+            "TLB",
+            format!(
+                "{} entries, {}-cycle software miss (not in RSIM's table)",
+                m.tlb_entries, m.latency.tlb_miss
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        println!("  {k:<24} {v}");
+    }
+
+    let e = MachineConfig::ultrasparc_e5000();
+    header(
+        "Microbenchmark / macrobenchmark machine (Section 4.1)",
+        "Sun Ultraserver E5000",
+    );
+    println!("  {:<24} {}", "L1 data cache", e.l1);
+    println!("  {:<24} {}", "L2 cache", e.l2);
+    println!(
+        "  {:<24} t_h={} t_m,L1={} t_m,L2={}",
+        "latencies", e.latency.l1_hit, e.latency.l1_miss, e.latency.l2_miss
+    );
+    println!(
+        "  {:<24} {} MHz, {} B pages",
+        "clock / pages", e.clock_mhz, e.page_bytes
+    );
+}

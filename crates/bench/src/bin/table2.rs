@@ -1,0 +1,62 @@
+//! Table 2 — benchmark characteristics, measured by actually building
+//! each Olden benchmark's structures at the paper's input sizes.
+
+use cc_bench::{header, human_bytes};
+use cc_olden::{health, mst, perimeter, treeadd, Scheme};
+use cc_sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::table1();
+    header(
+        "Table 2: benchmark characteristics",
+        "structures built at (scaled) paper inputs; memory = allocator footprint",
+    );
+    println!(
+        "{:<11} {:<34} {:<22} {:>12}",
+        "name", "description", "input", "memory"
+    );
+
+    eprintln!("building treeadd…");
+    let ta = treeadd::run(Scheme::Base, 262_144, &machine);
+    println!(
+        "{:<11} {:<34} {:<22} {:>12}",
+        "treeadd",
+        "sums the values stored in a tree",
+        "256 K nodes",
+        human_bytes(ta.heap.footprint_bytes())
+    );
+
+    eprintln!("building health…");
+    let he = health::run(Scheme::Base, 3, 500, &machine);
+    println!(
+        "{:<11} {:<34} {:<22} {:>12}",
+        "health",
+        "Columbian health-care simulation",
+        "level 3, 500 steps",
+        human_bytes(he.heap.footprint_bytes())
+    );
+
+    eprintln!("building mst…");
+    let ms = mst::run(Scheme::Base, 512, 16, &machine);
+    println!(
+        "{:<11} {:<34} {:<22} {:>12}",
+        "mst",
+        "minimum spanning tree of a graph",
+        "512 nodes",
+        human_bytes(ms.heap.footprint_bytes())
+    );
+
+    eprintln!("building perimeter…");
+    let pe = perimeter::run(Scheme::Base, 1024, &machine);
+    println!(
+        "{:<11} {:<34} {:<22} {:>12}",
+        "perimeter",
+        "perimeter of regions in images",
+        "1K x 1K image (paper 4K)",
+        human_bytes(pe.heap.footprint_bytes())
+    );
+
+    println!(
+        "\npaper: treeadd 4 MB / health 828 KB (3000 steps) / mst 12 KB / perimeter 64 MB (4K image)"
+    );
+}

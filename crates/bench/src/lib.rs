@@ -1,0 +1,88 @@
+//! Experiment harness for the *Cache-Conscious Structure Layout*
+//! reproduction: shared text-figure plumbing for the binaries that
+//! regenerate each of the paper's tables and figures.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — simulation parameters |
+//! | `table2` | Table 2 — benchmark characteristics |
+//! | `table3` | Table 3 — technique trade-off summary |
+//! | `fig5` | Figure 5 — tree microbenchmark search times |
+//! | `fig6` | Figure 6 — RADIANCE & VIS normalized time |
+//! | `fig7` | Figure 7 — Olden stall breakdowns (+ §4.4 memory overheads) |
+//! | `fig10` | Figure 10 — predicted vs measured C-tree speedup |
+//! | `control` | §4.4 control experiment — ccmalloc with null hints |
+//! | `ablation` | design-choice sweeps (hot fraction, cluster kind, strategy) |
+//!
+//! Run any of them with `cargo run --release -p cc-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_sim::Breakdown;
+
+/// Renders a horizontal text bar of `pct` percent (100% = `width` chars).
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round().max(0.0) as usize;
+    let mut s = String::with_capacity(filled + 2);
+    for _ in 0..filled {
+        s.push('█');
+    }
+    s
+}
+
+/// Prints one Figure 6/7-style stacked bar: normalized total plus the
+/// busy / inst / data / store split in percent of the *base* total.
+pub fn print_breakdown_row(label: &str, b: &Breakdown, base: &Breakdown) {
+    let scale = |x: u64| 100.0 * x as f64 / base.total().max(1) as f64;
+    let total = b.normalized_to(base);
+    println!(
+        "  {label:<22} {:>6.1}  |{:<52}| busy {:>5.1} inst {:>4.1} data {:>5.1} store {:>4.1}",
+        total,
+        bar(total, 50),
+        scale(b.busy),
+        scale(b.inst_stall),
+        scale(b.data_stall),
+        scale(b.store_stall),
+    );
+}
+
+/// Prints a figure/table header in a consistent style.
+pub fn header(title: &str, subtitle: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    if !subtitle.is_empty() {
+        println!("{subtitle}");
+    }
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a byte count as a human-readable string.
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(100.0, 10).chars().count(), 10);
+        assert_eq!(bar(50.0, 10).chars().count(), 5);
+        assert_eq!(bar(0.0, 10).chars().count(), 0);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MB");
+    }
+}

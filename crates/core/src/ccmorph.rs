@@ -1,0 +1,412 @@
+//! **`ccmorph`** — transparent cache-conscious tree reorganization
+//! (paper Section 3.1.1).
+//!
+//! `ccmorph` copies a tree-like structure into a contiguous, page-aligned
+//! region, packing subtrees into cache blocks ([`crate::cluster`]) and
+//! optionally coloring the topmost elements into a reserved region of the
+//! cache ([`crate::color`]). It is *semantics-preserving provided the
+//! programmer's guarantee holds*: homogeneous elements, no external
+//! pointers into the middle of the structure. It is appropriate for
+//! read-mostly structures, and can be re-invoked periodically for
+//! structures that change slowly (the Olden `health` benchmark does
+//! exactly that).
+//!
+//! The programmer supplies what the paper's Figure 3 shows: the structure
+//! (via the [`Topology`] trait, the analogue of `next_node`), the cache
+//! parameters, and the color constant. The reorganizer returns a
+//! [`Layout`] assigning every reachable node a new simulated address; the
+//! client then rewrites its arena's address fields (the "copy") and can
+//! charge the copying cost to the simulated machine with
+//! [`Layout::charge_copy_cost`].
+
+use crate::cluster::{dfs_chain_clusters, subtree_clusters, ClusterKind};
+use crate::color::ColoredSpace;
+use crate::topology::Topology;
+use cc_heap::VirtualSpace;
+use cc_sim::event::EventSink;
+use cc_sim::{CacheGeometry, MachineConfig};
+
+/// Coloring parameters (the paper's `Color_const` argument).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColorConfig {
+    /// Fraction of the cache's sets reserved for the structure's hot top
+    /// (`p / C` in Figure 2). The paper's microbenchmark uses one half.
+    pub hot_fraction: f64,
+}
+
+impl Default for ColorConfig {
+    fn default() -> Self {
+        ColorConfig { hot_fraction: 0.5 }
+    }
+}
+
+/// Everything `ccmorph` needs to know about the machine and the structure
+/// element (paper Figure 3: `Cache_sets`, `Cache_blk_size`,
+/// `Cache_associativity`, `Color_const`).
+#[derive(Clone, Copy, Debug)]
+pub struct CcMorphParams {
+    /// Geometry of the cache being optimized for (the L2, as with
+    /// `ccmalloc`).
+    pub cache: CacheGeometry,
+    /// Virtual-memory page size (coloring gaps must be page multiples).
+    pub page_bytes: u64,
+    /// Size of one structure element in bytes.
+    pub elem_bytes: u64,
+    /// `Some` to color the layout; `None` for clustering only.
+    pub color: Option<ColorConfig>,
+    /// Which nodes share a block: subtrees (search workloads) or
+    /// depth-first chains (sweep workloads) — see [`ClusterKind`].
+    pub cluster_kind: ClusterKind,
+}
+
+impl CcMorphParams {
+    /// Subtree clustering only (the paper's "CI" configuration).
+    pub fn clustering_only(machine: &MachineConfig, elem_bytes: u64) -> Self {
+        CcMorphParams {
+            cache: machine.l2,
+            page_bytes: machine.page_bytes,
+            elem_bytes,
+            color: None,
+            cluster_kind: ClusterKind::SubtreeBfs,
+        }
+    }
+
+    /// Sets the cluster kind (builder-style).
+    pub fn with_cluster_kind(self, cluster_kind: ClusterKind) -> Self {
+        CcMorphParams {
+            cluster_kind,
+            ..self
+        }
+    }
+
+    /// Subtree clustering plus default (half-cache) coloring — the
+    /// paper's "CI+Col" configuration and the transparent C-tree layout.
+    pub fn clustering_and_coloring(machine: &MachineConfig, elem_bytes: u64) -> Self {
+        CcMorphParams {
+            color: Some(ColorConfig::default()),
+            ..Self::clustering_only(machine, elem_bytes)
+        }
+    }
+
+    /// Elements per cache block: the paper's `k = ⌊b/e⌋`, at least 1.
+    pub fn elems_per_block(&self) -> usize {
+        self.cache.elems_per_block(self.elem_bytes) as usize
+    }
+
+    /// Bytes reserved per cluster: one cache block, or a whole number of
+    /// blocks for oversized elements.
+    fn slot_bytes(&self) -> u64 {
+        if self.elem_bytes > self.cache.block_bytes() {
+            self.elem_bytes.next_multiple_of(self.cache.block_bytes())
+        } else {
+            self.cache.block_bytes()
+        }
+    }
+}
+
+/// The address assignment `ccmorph` produced.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    addr: Vec<Option<u64>>,
+    elem_bytes: u64,
+    hot_elems: usize,
+    pages_touched: u64,
+}
+
+impl Layout {
+    /// New address of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not reachable from the root when `ccmorph`
+    /// ran (unreachable arena slots are not laid out).
+    pub fn addr_of(&self, node: usize) -> u64 {
+        self.try_addr_of(node)
+            .unwrap_or_else(|| panic!("node {node} was not laid out"))
+    }
+
+    /// New address of `node`, or `None` if it was unreachable.
+    pub fn try_addr_of(&self, node: usize) -> Option<u64> {
+        self.addr.get(node).copied().flatten()
+    }
+
+    /// Number of elements placed in the colored hot region (0 without
+    /// coloring).
+    pub fn hot_elems(&self) -> usize {
+        self.hot_elems
+    }
+
+    /// Pages of physical memory the new layout touches (coloring gaps
+    /// excluded — untouched pages cost no RAM).
+    pub fn pages_touched(&self) -> u64 {
+        self.pages_touched
+    }
+
+    /// Number of nodes laid out.
+    pub fn len(&self) -> usize {
+        self.addr.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether no nodes were laid out.
+    pub fn is_empty(&self) -> bool {
+        self.addr.iter().all(|a| a.is_none())
+    }
+
+    /// Charges the cost of the reorganization copy to the simulated
+    /// machine: one load of each element at its old address and one store
+    /// at its new one, plus bookkeeping instructions. The paper includes
+    /// this overhead in its measurements ("the performance results include
+    /// the overhead of restructuring the octree", Section 4.3).
+    ///
+    /// `old_addr_of(node)` must return the node's address before the
+    /// reorganization.
+    pub fn charge_copy_cost<S, F>(&self, sink: &mut S, old_addr_of: F)
+    where
+        S: EventSink,
+        F: Fn(usize) -> u64,
+    {
+        let size = self.elem_bytes as u32;
+        for (node, slot) in self.addr.iter().enumerate() {
+            if let Some(new) = slot {
+                sink.inst(6);
+                // The copy loop iterates the arena: loads are independent
+                // (array-indexed), unlike the pointer chases of traversal.
+                sink.load_indep(old_addr_of(node), size);
+                sink.store(*new, size);
+            }
+        }
+    }
+}
+
+/// Reorganizes the structure, returning its new layout.
+///
+/// Subtrees of `k = ⌊b/e⌋` elements are packed one per cache block, blocks
+/// laid out in breadth-first cluster order. With coloring enabled the
+/// clusters nearest the root — the elements a random search is most likely
+/// to touch — fill the reserved hot region (up to its conflict-free
+/// capacity `p·b·a`); the rest interleave through the cold slots, with
+/// page-multiple gaps where hot slots were skipped.
+///
+/// See the crate-level example for usage.
+pub fn ccmorph<T: Topology>(t: &T, vspace: &mut VirtualSpace, params: &CcMorphParams) -> Layout {
+    assert!(params.elem_bytes > 0, "element size must be nonzero");
+    let k = params.elems_per_block();
+    let clusters = match params.cluster_kind {
+        ClusterKind::SubtreeBfs => subtree_clusters(t, k),
+        ClusterKind::DepthFirstChain => dfs_chain_clusters(t, k),
+    };
+    let slot = params.slot_bytes();
+    let mut addr = vec![None; t.node_count()];
+
+    let (hot_clusters, pages_touched) = match params.color {
+        None => {
+            let total = clusters.len() as u64 * slot;
+            let base = vspace.align_to(params.cache.block_bytes().max(vspace.page_bytes()));
+            if total > 0 {
+                vspace.alloc_bytes(total);
+            }
+            for (i, cluster) in clusters.iter().enumerate() {
+                let block_base = base + i as u64 * slot;
+                for (j, &node) in cluster.nodes.iter().enumerate() {
+                    addr[node] = Some(block_base + j as u64 * params.elem_bytes);
+                }
+            }
+            (0, total.div_ceil(vspace.page_bytes()))
+        }
+        Some(cfg) => {
+            let total = clusters.len() as u64 * slot;
+            let mut cs = ColoredSpace::new(
+                vspace,
+                params.cache,
+                params.page_bytes,
+                cfg.hot_fraction,
+                total,
+            );
+            // Hot clusters are the *shallowest* in the cluster tree — the
+            // "first p elements traversed" of the paper (under random
+            // root-to-leaf searches, shallow elements are touched most).
+            // Selection is by depth; layout order stays DFS for both
+            // regions.
+            let hot_budget = (cs.hot_capacity() / slot) as usize;
+            let mut by_depth: Vec<usize> = (0..clusters.len()).collect();
+            by_depth.sort_by_key(|&i| clusters[i].depth);
+            let mut is_hot = vec![false; clusters.len()];
+            for &i in by_depth.iter().take(hot_budget) {
+                is_hot[i] = true;
+            }
+            let mut hot_elems = 0;
+            for (i, cluster) in clusters.iter().enumerate() {
+                let block_base = if is_hot[i] {
+                    hot_elems += cluster.nodes.len();
+                    cs.alloc_hot(slot)
+                } else {
+                    cs.alloc_cold(slot)
+                };
+                for (j, &node) in cluster.nodes.iter().enumerate() {
+                    addr[node] = Some(block_base + j as u64 * params.elem_bytes);
+                }
+            }
+            (hot_elems, cs.pages_touched())
+        }
+    };
+
+    Layout {
+        addr,
+        elem_bytes: params.elem_bytes,
+        hot_elems: hot_clusters,
+        pages_touched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::VecTree;
+    use cc_sim::event::TraceBuffer;
+    use cc_sim::MachineConfig;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::ultrasparc_e5000()
+    }
+
+    #[test]
+    fn clustering_packs_subtrees_into_blocks() {
+        let t = VecTree::complete_binary(4095);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        // k = 3: every parent of a full subtree shares a block with its
+        // two children.
+        let block = |n: usize| layout.addr_of(n) / 64;
+        assert_eq!(block(0), block(1));
+        assert_eq!(block(0), block(2));
+        assert_eq!(block(3), block(7));
+        assert_eq!(block(3), block(8));
+        // Grandchildren of a cluster root start fresh blocks.
+        assert_ne!(block(0), block(3));
+    }
+
+    #[test]
+    fn all_reachable_nodes_get_unique_addresses() {
+        let t = VecTree::complete_binary(1000);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        let mut addrs: Vec<u64> = (0..1000).map(|n| layout.addr_of(n)).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 1000);
+        assert_eq!(layout.len(), 1000);
+    }
+
+    #[test]
+    fn coloring_places_top_of_tree_hot() {
+        let t = VecTree::complete_binary((1 << 18) - 1);
+        let mut vs = VirtualSpace::new(8192);
+        let params = CcMorphParams::clustering_and_coloring(&machine(), 20);
+        let layout = ccmorph(&t, &mut vs, &params);
+        assert!(layout.hot_elems() > 0);
+        // The root must be hot; the deepest leaf must be cold. Hot slots
+        // are offsets < 512 KB within each 1 MB chunk.
+        let way = 1 << 20;
+        let hot_bytes = 512 * 1024;
+        let off = |n: usize| (layout.addr_of(n)) % way;
+        assert!(off(0) < hot_bytes, "root in hot region");
+        let leaf = (1 << 18) - 2;
+        assert!(off(leaf) >= hot_bytes, "deep leaf in cold region");
+    }
+
+    #[test]
+    fn hot_capacity_respected() {
+        let t = VecTree::complete_binary((1 << 18) - 1);
+        let mut vs = VirtualSpace::new(8192);
+        let params = CcMorphParams::clustering_and_coloring(&machine(), 20);
+        let layout = ccmorph(&t, &mut vs, &params);
+        // Hot capacity is 512 KB; at one 3-node cluster per 64-byte block
+        // that is 8192 clusters = 24576 elements.
+        assert_eq!(layout.hot_elems(), 24576);
+    }
+
+    #[test]
+    fn coloring_costs_no_extra_pages() {
+        let t = VecTree::complete_binary((1 << 16) - 1);
+        let mut vs1 = VirtualSpace::new(8192);
+        let plain = ccmorph(&t, &mut vs1, &CcMorphParams::clustering_only(&machine(), 20));
+        let mut vs2 = VirtualSpace::new(8192);
+        let colored = ccmorph(
+            &t,
+            &mut vs2,
+            &CcMorphParams::clustering_and_coloring(&machine(), 20),
+        );
+        // The colored layout's *touched* pages match the plain layout
+        // within a page per region: gaps are address space, not memory.
+        let diff = colored.pages_touched().abs_diff(plain.pages_touched());
+        assert!(diff <= 2, "colored {} vs plain {}", colored.pages_touched(), plain.pages_touched());
+    }
+
+    #[test]
+    fn lists_cluster_consecutive_cells() {
+        let t = VecTree::list(100);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 16));
+        // k = 4 cells per 64-byte block.
+        let block = |n: usize| layout.addr_of(n) / 64;
+        assert_eq!(block(0), block(3));
+        assert_ne!(block(0), block(4));
+        assert_eq!(block(4), block(7));
+    }
+
+    #[test]
+    fn oversized_elements_get_block_multiples() {
+        let t = VecTree::complete_binary(31);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 100));
+        // 100-byte elements: one per 128-byte (2-block) slot.
+        let a: Vec<u64> = (0..31).map(|n| layout.addr_of(n)).collect();
+        for w in a.windows(2) {
+            assert!(w[1].abs_diff(w[0]) >= 128);
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_not_laid_out() {
+        let mut t = VecTree::new(2);
+        let root = t.add_node();
+        let kid = t.add_node();
+        let _orphan = t.add_node();
+        t.link(root, kid);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        assert!(layout.try_addr_of(2).is_none());
+        assert_eq!(layout.len(), 2);
+    }
+
+    #[test]
+    fn copy_cost_emits_load_store_per_node() {
+        let t = VecTree::complete_binary(7);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        let mut buf = TraceBuffer::new();
+        layout.charge_copy_cost(&mut buf, |n| 0xdead_0000 + n as u64 * 32);
+        assert_eq!(buf.memory_refs(), 14); // 7 loads + 7 stores
+    }
+
+    #[test]
+    fn empty_structure_is_fine() {
+        let t = VecTree::new(2);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        assert!(layout.is_empty());
+        assert_eq!(layout.pages_touched(), 0);
+    }
+
+    #[test]
+    fn separate_morphs_do_not_overlap() {
+        let t = VecTree::complete_binary(1000);
+        let mut vs = VirtualSpace::new(8192);
+        let params = CcMorphParams::clustering_and_coloring(&machine(), 20);
+        let a = ccmorph(&t, &mut vs, &params);
+        let b = ccmorph(&t, &mut vs, &params);
+        let max_a = (0..1000).map(|n| a.addr_of(n)).max().unwrap();
+        let min_b = (0..1000).map(|n| b.addr_of(n)).min().unwrap();
+        assert!(min_b > max_a, "regions must be disjoint");
+    }
+}

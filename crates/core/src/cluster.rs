@@ -1,0 +1,324 @@
+//! Clustering (paper Section 2.1): choosing which structure elements share
+//! a cache block.
+//!
+//! For a series of random tree searches, a cache block holding a *k-node
+//! subtree* is accessed ~log2(k+1) times per fetch, while a block holding a
+//! depth-first parent-child-grandchild chain is accessed < 2 times
+//! (paper's geometric-series argument in Section 2.1). [`subtree_clusters`]
+//! computes the subtree packing; [`order`] produces the baseline layouts
+//! (depth-first, breadth-first, random) the evaluation compares against.
+
+use crate::rng::SplitMix64;
+use crate::topology::Topology;
+use std::collections::VecDeque;
+
+/// Baseline layout orders for a tree-like structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Order {
+    /// Pre-order depth-first — what allocation order produces when a tree
+    /// is built by a recursive constructor (the Olden benchmarks), and the
+    /// "depth-first clustered" layout of the paper's microbenchmark.
+    DepthFirst,
+    /// Level order.
+    BreadthFirst,
+    /// A seeded random permutation — the "randomly clustered" baseline,
+    /// modelling a heap whose allocation order bears no relation to the
+    /// structure (e.g. after heavy churn).
+    Random {
+        /// PRNG seed, for reproducibility.
+        seed: u64,
+    },
+}
+
+/// Lists the structure's reachable nodes in the given order.
+///
+/// # Example
+///
+/// ```
+/// use cc_core::cluster::{order, Order};
+/// use cc_core::topology::VecTree;
+///
+/// let t = VecTree::complete_binary(7);
+/// assert_eq!(order(&t, Order::DepthFirst), vec![0, 1, 3, 4, 2, 5, 6]);
+/// assert_eq!(order(&t, Order::BreadthFirst), vec![0, 1, 2, 3, 4, 5, 6]);
+/// ```
+pub fn order<T: Topology>(t: &T, order: Order) -> Vec<usize> {
+    let mut out = Vec::with_capacity(t.node_count());
+    let Some(root) = t.root() else {
+        return out;
+    };
+    match order {
+        Order::DepthFirst => {
+            // Explicit stack; trees can be millions of nodes deep in the
+            // pathological case and must not overflow the host stack.
+            let mut stack = vec![root];
+            while let Some(n) = stack.pop() {
+                out.push(n);
+                let kids: Vec<usize> = t.children(n).collect();
+                // Push right-to-left so the leftmost child is visited next.
+                for c in kids.into_iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        Order::BreadthFirst => {
+            let mut q = VecDeque::from([root]);
+            while let Some(n) = q.pop_front() {
+                out.push(n);
+                q.extend(t.children(n));
+            }
+        }
+        Order::Random { seed } => {
+            out = self::order(t, Order::DepthFirst);
+            SplitMix64::new(seed).shuffle(&mut out);
+        }
+    }
+    out
+}
+
+/// Which nodes `ccmorph` packs together in a cache block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ClusterKind {
+    /// Subtrees per block ([`subtree_clusters`]) — maximizes per-fetch
+    /// use for root-to-leaf searches (Section 2.1's analysis).
+    #[default]
+    SubtreeBfs,
+    /// Pre-order chains per block ([`dfs_chain_clusters`]) — streams for
+    /// depth-first sweeps, where subtree packing would refetch blocks.
+    DepthFirstChain,
+}
+
+/// One cache-block's worth of subtree, with its depth in the cluster tree
+/// (the root cluster has depth 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// Member nodes, cluster-root first.
+    pub nodes: Vec<usize>,
+    /// Depth of this cluster's root in the *cluster* tree. Coloring uses
+    /// this: the shallowest clusters are the hottest under random
+    /// searches.
+    pub depth: u32,
+}
+
+/// Partitions the structure's reachable nodes into subtree clusters of at
+/// most `k` nodes each.
+///
+/// Each cluster is filled by truncated breadth-first expansion from its
+/// cluster root, which for a complete binary tree and `k = 2^h − 1`
+/// produces exactly the height-`h` subtrees of Figure 1. Children left
+/// outside a full cluster seed new clusters.
+///
+/// Clusters are returned in **depth-first order of the cluster tree**, so
+/// laying them out sequentially also serves depth-first sweeps well
+/// (treeadd, perimeter): a DFS that leaves a cluster returns to addresses
+/// just ahead of the cursor. Intra-block membership — the property the
+/// Section 2.1 analysis is about — is the same whatever the inter-block
+/// order; hot/cold selection for coloring uses [`Cluster::depth`], not
+/// position.
+///
+/// For unary structures (`max_kids() == 1`, i.e. linked lists) this packs
+/// `k` consecutive cells per block, which is how `ccmorph` reorganizes the
+/// lists and hash-chains of the Olden benchmarks.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cc_core::cluster::subtree_clusters;
+/// use cc_core::topology::VecTree;
+///
+/// let t = VecTree::complete_binary(15);
+/// let clusters = subtree_clusters(&t, 3);
+/// assert_eq!(clusters[0].nodes, vec![0, 1, 2]); // root subtree
+/// assert_eq!(clusters.len(), 5);                // 1 + 4 grandchild subtrees
+/// assert_eq!(clusters[1].depth, 1);
+/// ```
+pub fn subtree_clusters<T: Topology>(t: &T, k: usize) -> Vec<Cluster> {
+    assert!(k > 0, "cluster capacity must be nonzero");
+    let mut clusters = Vec::new();
+    let Some(root) = t.root() else {
+        return clusters;
+    };
+    // Stack of (cluster-root node, cluster depth): DFS over the cluster
+    // tree.
+    let mut roots = vec![(root, 0u32)];
+    while let Some((start, depth)) = roots.pop() {
+        let mut nodes = Vec::with_capacity(k);
+        let mut frontier = VecDeque::from([start]);
+        let mut overflow = Vec::new();
+        while let Some(n) = frontier.pop_front() {
+            if nodes.len() == k {
+                // Doesn't fit: seeds a child cluster.
+                overflow.push(n);
+                continue;
+            }
+            nodes.push(n);
+            frontier.extend(t.children(n));
+        }
+        // Push child clusters right-to-left so the leftmost is processed
+        // next (pre-order DFS).
+        for n in overflow.into_iter().rev() {
+            roots.push((n, depth + 1));
+        }
+        clusters.push(Cluster { nodes, depth });
+    }
+    clusters
+}
+
+/// Packs the structure's nodes into clusters of `k` along the *pre-order
+/// depth-first* visit sequence — the right clustering when the consuming
+/// traversal is itself a depth-first sweep (Olden's `treeadd`), as the
+/// paper's Section 2.1 notes: "for specific access patterns, such as
+/// depth-first search, other clustering schemes may be better."
+///
+/// Cluster `depth` is the tree depth of the cluster's first node, so
+/// coloring still pulls root-side clusters hot.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn dfs_chain_clusters<T: Topology>(t: &T, k: usize) -> Vec<Cluster> {
+    assert!(k > 0, "cluster capacity must be nonzero");
+    let mut clusters = Vec::new();
+    let Some(root) = t.root() else {
+        return clusters;
+    };
+    let mut stack = vec![(root, 0u32)];
+    let mut current: Vec<usize> = Vec::with_capacity(k);
+    let mut current_depth = 0u32;
+    while let Some((n, d)) = stack.pop() {
+        if current.is_empty() {
+            current_depth = d;
+        }
+        current.push(n);
+        if current.len() == k {
+            clusters.push(Cluster {
+                nodes: std::mem::take(&mut current),
+                depth: current_depth,
+            });
+        }
+        let kids: Vec<usize> = t.children(n).collect();
+        for c in kids.into_iter().rev() {
+            stack.push((c, d + 1));
+        }
+    }
+    if !current.is_empty() {
+        clusters.push(Cluster {
+            nodes: current,
+            depth: current_depth,
+        });
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::VecTree;
+
+    #[test]
+    fn dfs_matches_recursive_preorder() {
+        let t = VecTree::complete_binary(15);
+        let got = order(&t, Order::DepthFirst);
+        assert_eq!(got[..6], [0, 1, 3, 7, 8, 4]);
+        assert_eq!(got.len(), 15);
+    }
+
+    #[test]
+    fn random_is_permutation_and_seed_dependent() {
+        let t = VecTree::complete_binary(63);
+        let a = order(&t, Order::Random { seed: 1 });
+        let b = order(&t, Order::Random { seed: 1 });
+        let c = order(&t, Order::Random { seed: 2 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..63).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clusters_cover_all_nodes_exactly_once() {
+        let t = VecTree::complete_binary(100);
+        let clusters = subtree_clusters(&t, 3);
+        let mut all: Vec<usize> = clusters.into_iter().flat_map(|c| c.nodes).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cluster_of_complete_tree_is_subtrees() {
+        let t = VecTree::complete_binary(15);
+        let clusters = subtree_clusters(&t, 3);
+        assert_eq!(clusters[0].nodes, vec![0, 1, 2]);
+        // Each remaining cluster is a node plus its two children.
+        for c in &clusters[1..] {
+            assert_eq!(c.nodes.len(), 3);
+            let root = c.nodes[0];
+            assert_eq!(c.nodes[1], 2 * root + 1);
+            assert_eq!(c.nodes[2], 2 * root + 2);
+            assert_eq!(c.depth, 1);
+        }
+    }
+
+    #[test]
+    fn clusters_are_in_dfs_order() {
+        let t = VecTree::complete_binary(127);
+        let clusters = subtree_clusters(&t, 7);
+        // Root cluster holds nodes 0..6; its first child cluster must be
+        // the leftmost grandchild subtree (rooted at node 7).
+        assert_eq!(clusters[0].nodes[0], 0);
+        assert_eq!(clusters[1].nodes[0], 7);
+        assert_eq!(clusters[1].depth, 1);
+        // DFS: a deeper cluster can precede a shallower one later on.
+        let depths: Vec<u32> = clusters.iter().map(|c| c.depth).collect();
+        assert!(depths.windows(2).any(|w| w[1] < w[0]), "{depths:?}");
+    }
+
+    #[test]
+    fn depths_count_cluster_levels() {
+        let t = VecTree::complete_binary(127);
+        let clusters = subtree_clusters(&t, 7); // height-3 subtrees
+        let max_depth = clusters.iter().map(|c| c.depth).max().unwrap();
+        // 7 tree levels / 3 per cluster => cluster-tree depth 2.
+        assert_eq!(max_depth, 2);
+    }
+
+    #[test]
+    fn list_clustering_packs_consecutive_cells() {
+        let t = VecTree::list(10);
+        let clusters = subtree_clusters(&t, 3);
+        let nodes: Vec<Vec<usize>> = clusters.iter().map(|c| c.nodes.clone()).collect();
+        assert_eq!(
+            nodes,
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8], vec![9]]
+        );
+        let depths: Vec<u32> = clusters.iter().map(|c| c.depth).collect();
+        assert_eq!(depths, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn k_one_gives_singletons() {
+        let t = VecTree::complete_binary(7);
+        let clusters = subtree_clusters(&t, 1);
+        assert_eq!(clusters.len(), 7);
+        assert!(clusters.iter().all(|c| c.nodes.len() == 1));
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let t = VecTree::new(2);
+        assert!(order(&t, Order::DepthFirst).is_empty());
+        assert!(subtree_clusters(&t, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_k_panics() {
+        let t = VecTree::complete_binary(3);
+        subtree_clusters(&t, 0);
+    }
+}

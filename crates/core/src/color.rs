@@ -1,0 +1,307 @@
+//! Coloring (paper Section 2.2): segregating heavily accessed elements
+//! into cache sets that infrequently accessed elements can never evict.
+//!
+//! A cache with `C` sets is split into a *hot* region of `p` sets and a
+//! *cold* region of `C − p` sets (Figure 2). The virtual address space is
+//! then viewed as a sequence of cache-sized chunks: the first `p·b` bytes
+//! of every chunk map to the hot sets, the remainder to the cold sets.
+//! Laying hot elements only in hot slots and cold elements only in cold
+//! slots guarantees (a) hot elements are only ever evicted by other hot
+//! elements, and (b) an associativity-`a` cache gives `a` chunks of
+//! conflict-free hot capacity.
+//!
+//! The resulting gaps in the address space are *multiples of the VM page
+//! size* (paper Section 3.1.1), so skipped slots never touch physical
+//! memory — coloring costs address space, not RAM.
+
+use cc_heap::VirtualSpace;
+use cc_sim::CacheGeometry;
+
+/// A page-aligned region laid out in the Figure 2 hot/cold pattern.
+///
+/// # Example
+///
+/// ```
+/// use cc_core::color::ColoredSpace;
+/// use cc_heap::VirtualSpace;
+/// use cc_sim::CacheGeometry;
+///
+/// let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
+/// let mut vs = VirtualSpace::new(8192);
+/// // Reserve half the cache for hot data, sized for 4 MB of elements.
+/// let mut cs = ColoredSpace::new(&mut vs, l2, 8192, 0.5, 4 << 20);
+/// let hot = cs.alloc_hot(64);
+/// let cold = cs.alloc_cold(64);
+/// assert!(cs.is_hot_slot(hot));
+/// assert!(!cs.is_hot_slot(cold));
+/// // They can never conflict: different cache sets by construction.
+/// assert_ne!(l2.set_of(hot), l2.set_of(cold));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ColoredSpace {
+    base: u64,
+    /// Bytes spanned by one pass over the sets: `sets × block`.
+    way_bytes: u64,
+    /// Hot bytes at the start of each chunk: `p × block`.
+    hot_bytes: u64,
+    assoc: u64,
+    page_bytes: u64,
+    hot_next: u64,
+    cold_next: u64,
+    region_end: u64,
+    bytes_hot: u64,
+    bytes_cold: u64,
+}
+
+impl ColoredSpace {
+    /// Carves a colored region out of `vspace` for a cache shaped like
+    /// `geometry`. `hot_fraction` of the sets (rounded so the hot region
+    /// is a whole number of pages, as the paper requires) are reserved for
+    /// hot data. The region is sized to hold at least `capacity_bytes` of
+    /// data (hot + cold combined) and is reserved from `vspace` up front,
+    /// so other allocators sharing the address space cannot collide with
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hot_fraction` is not in `(0, 1)`, or if the cache way is
+    /// smaller than two pages (page-granular coloring needs at least one
+    /// hot and one cold page per chunk).
+    pub fn new(
+        vspace: &mut VirtualSpace,
+        geometry: CacheGeometry,
+        page_bytes: u64,
+        hot_fraction: f64,
+        capacity_bytes: u64,
+    ) -> Self {
+        assert!(
+            hot_fraction > 0.0 && hot_fraction < 1.0,
+            "hot fraction must be in (0, 1), got {hot_fraction}"
+        );
+        let way_bytes = geometry.sets() * geometry.block_bytes();
+        assert!(
+            way_bytes >= 2 * page_bytes,
+            "cache way ({way_bytes} B) too small for page-granular coloring"
+        );
+        // Round the hot region to whole pages, keeping at least one page
+        // hot and one page cold.
+        let raw = (hot_fraction * way_bytes as f64) as u64;
+        let hot_bytes = (raw / page_bytes).max(1) * page_bytes;
+        let hot_bytes = hot_bytes.min(way_bytes - page_bytes);
+
+        // Size the region: enough chunks for all data to land cold, plus
+        // the associativity's worth of hot chunks, plus slack for block
+        // padding.
+        let cold_per_chunk = way_bytes - hot_bytes;
+        let chunks = capacity_bytes.div_ceil(cold_per_chunk) + geometry.assoc() + 1;
+
+        // Align the region base to the way size so that an address's
+        // offset within a chunk equals its cache-set position.
+        let base = vspace.align_to(way_bytes.max(page_bytes));
+        vspace.alloc_pages(chunks * way_bytes / page_bytes);
+
+        ColoredSpace {
+            base,
+            way_bytes,
+            hot_bytes,
+            assoc: geometry.assoc(),
+            page_bytes,
+            hot_next: base,
+            cold_next: base + hot_bytes,
+            region_end: base + chunks * way_bytes,
+            bytes_hot: 0,
+            bytes_cold: 0,
+        }
+    }
+
+    /// Region base address (aligned to the cache way size).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Hot bytes per chunk (`p × b`), always a page multiple.
+    pub fn hot_bytes_per_way(&self) -> u64 {
+        self.hot_bytes
+    }
+
+    /// Total conflict-free hot capacity: `p × b × a` (paper Section 2.2 —
+    /// each of the `a` ways contributes one chunk's hot region).
+    pub fn hot_capacity(&self) -> u64 {
+        self.hot_bytes * self.assoc
+    }
+
+    /// Bytes allocated hot so far.
+    pub fn bytes_hot(&self) -> u64 {
+        self.bytes_hot
+    }
+
+    /// Bytes allocated cold so far.
+    pub fn bytes_cold(&self) -> u64 {
+        self.bytes_cold
+    }
+
+    /// Approximate pages of physical memory touched (hot runs + cold
+    /// runs; each run is page-aligned by construction).
+    pub fn pages_touched(&self) -> u64 {
+        self.bytes_hot.div_ceil(self.page_bytes) + self.bytes_cold.div_ceil(self.page_bytes)
+    }
+
+    /// Whether `addr` lies in a hot slot of this region.
+    pub fn is_hot_slot(&self, addr: u64) -> bool {
+        addr >= self.base && (addr - self.base) % self.way_bytes < self.hot_bytes
+    }
+
+    /// Allocates `size` bytes in the hot region, never splitting an
+    /// element across the hot/cold boundary. Allocating beyond
+    /// [`Self::hot_capacity`] keeps working but starts conflicting with
+    /// earlier hot data — callers (like `ccmorph`) cap themselves.
+    pub fn alloc_hot(&mut self, size: u64) -> u64 {
+        assert!(size > 0 && size <= self.hot_bytes, "bad hot allocation");
+        let chunk = (self.hot_next - self.base) / self.way_bytes;
+        let chunk_hot_end = self.base + chunk * self.way_bytes + self.hot_bytes;
+        if self.hot_next + size > chunk_hot_end {
+            // Jump to the next chunk's hot region.
+            self.hot_next = self.base + (chunk + 1) * self.way_bytes;
+        }
+        let addr = self.hot_next;
+        assert!(
+            addr + size <= self.region_end,
+            "colored region exhausted (hot); size it with a larger capacity"
+        );
+        self.hot_next += size;
+        self.bytes_hot += size;
+        addr
+    }
+
+    /// Allocates `size` bytes in the cold region, skipping every hot slot.
+    pub fn alloc_cold(&mut self, size: u64) -> u64 {
+        assert!(
+            size > 0 && size <= self.way_bytes - self.hot_bytes,
+            "bad cold allocation"
+        );
+        // If the cursor sits inside a hot slot (e.g. exactly on a chunk
+        // boundary after filling the previous cold region), skip past it.
+        let off = (self.cold_next - self.base) % self.way_bytes;
+        if off < self.hot_bytes {
+            self.cold_next += self.hot_bytes - off;
+        }
+        let chunk = (self.cold_next - self.base) / self.way_bytes;
+        let chunk_end = self.base + (chunk + 1) * self.way_bytes;
+        if self.cold_next + size > chunk_end {
+            // Jump past the next chunk's hot region.
+            self.cold_next = chunk_end + self.hot_bytes;
+        }
+        let addr = self.cold_next;
+        assert!(
+            addr + size <= self.region_end,
+            "colored region exhausted (cold); size it with a larger capacity"
+        );
+        self.cold_next += size;
+        self.bytes_cold += size;
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(hot_fraction: f64) -> (VirtualSpace, ColoredSpace) {
+        let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
+        let mut vs = VirtualSpace::new(8192);
+        let cs = ColoredSpace::new(&mut vs, l2, 8192, hot_fraction, 16 << 20);
+        (vs, cs)
+    }
+
+    #[test]
+    fn base_is_way_aligned() {
+        let (_, cs) = space(0.5);
+        assert_eq!(cs.base() % (1 << 20), 0);
+    }
+
+    #[test]
+    fn hot_region_is_page_multiple() {
+        let (_, cs) = space(0.33);
+        assert_eq!(cs.hot_bytes_per_way() % 8192, 0);
+        assert!(cs.hot_bytes_per_way() > 0);
+    }
+
+    #[test]
+    fn hot_and_cold_never_share_a_set() {
+        let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
+        let (_, mut cs) = space(0.5);
+        let hot_sets: Vec<u64> = (0..100).map(|_| l2.set_of(cs.alloc_hot(64))).collect();
+        let cold_sets: Vec<u64> = (0..100_000)
+            .map(|_| l2.set_of(cs.alloc_cold(64)))
+            .collect();
+        for h in &hot_sets {
+            assert!(!cold_sets.contains(h));
+        }
+    }
+
+    #[test]
+    fn cold_allocation_skips_hot_slots_of_every_chunk() {
+        let (_, mut cs) = space(0.5);
+        // Allocate more cold data than one chunk's cold region (512 KB).
+        let mut last = 0;
+        for _ in 0..20_000 {
+            let a = cs.alloc_cold(64);
+            assert!(!cs.is_hot_slot(a), "cold alloc landed hot: {a:#x}");
+            assert!(a >= last);
+            last = a;
+        }
+        assert!(cs.bytes_cold() > 1 << 20, "spanned multiple chunks");
+    }
+
+    #[test]
+    fn hot_overflow_moves_to_next_chunk() {
+        let (_, mut cs) = space(0.5);
+        let per_chunk = cs.hot_bytes_per_way();
+        let n = per_chunk / 64;
+        for _ in 0..n {
+            cs.alloc_hot(64);
+        }
+        let next = cs.alloc_hot(64);
+        assert!(cs.is_hot_slot(next));
+        assert_eq!((next - cs.base()) / (1 << 20), 1, "second chunk");
+    }
+
+    #[test]
+    fn elements_never_straddle_the_boundary() {
+        let (_, mut cs) = space(0.5);
+        // 48-byte elements don't divide the hot region evenly.
+        for _ in 0..100_000 {
+            let a = cs.alloc_cold(48);
+            assert!(!cs.is_hot_slot(a));
+            assert!(!cs.is_hot_slot(a + 47));
+        }
+    }
+
+    #[test]
+    fn pages_touched_excludes_gaps() {
+        let (_, mut cs) = space(0.5);
+        for _ in 0..32768 {
+            cs.alloc_cold(64); // 2 MB of cold data = 4 chunks' cold halves
+        }
+        let touched = cs.pages_touched();
+        let span_pages = 4 * (1 << 20) / 8192;
+        assert!(touched < span_pages, "{touched} < {span_pages}");
+        assert_eq!(touched, 2 * 1024 * 1024 / 8192);
+    }
+
+    #[test]
+    fn two_way_cache_doubles_hot_capacity() {
+        let l2 = CacheGeometry::with_capacity(256 * 1024, 128, 2);
+        let mut vs = VirtualSpace::new(8192);
+        let cs = ColoredSpace::new(&mut vs, l2, 8192, 0.5, 1 << 20);
+        assert_eq!(cs.hot_capacity(), 2 * cs.hot_bytes_per_way());
+    }
+
+    #[test]
+    #[should_panic(expected = "hot fraction")]
+    fn rejects_full_hot_fraction() {
+        let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
+        let mut vs = VirtualSpace::new(8192);
+        let _ = ColoredSpace::new(&mut vs, l2, 8192, 1.0, 1 << 20);
+    }
+}

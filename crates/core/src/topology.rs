@@ -1,0 +1,208 @@
+//! The structure-topology interface `ccmorph` reorganizes through.
+
+/// Access to a tree-like structure's shape — the Rust analogue of the
+/// `next_node` function a programmer supplies to the paper's `ccmorph`
+/// (Figure 3).
+///
+/// Nodes are identified by arena indices (`usize`), which keeps the
+/// reorganizer independent of the client's node representation. The
+/// structure must be tree-like: homogeneous elements, no external pointers
+/// into the middle (paper Section 3.1.1). Parent/predecessor pointers are
+/// allowed — they are simply not reported as children.
+///
+/// Linked lists are unary trees (`max_kids() == 1`), so the same interface
+/// reorganizes lists and chained hash-table buckets.
+pub trait Topology {
+    /// Total number of nodes (the paper's `Num_nodes` argument).
+    fn node_count(&self) -> usize;
+
+    /// The root node, or `None` for an empty structure.
+    fn root(&self) -> Option<usize>;
+
+    /// Maximum children per node (the paper's `Max_kids`).
+    fn max_kids(&self) -> usize;
+
+    /// The `i`-th child of `node` (0-based), if present.
+    fn child(&self, node: usize, i: usize) -> Option<usize>;
+
+    /// Convenience iterator over the present children of `node`.
+    fn children(&self, node: usize) -> Children<'_, Self>
+    where
+        Self: Sized,
+    {
+        Children {
+            topo: self,
+            node,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a node's present children; see [`Topology::children`].
+#[derive(Debug)]
+pub struct Children<'a, T> {
+    topo: &'a T,
+    node: usize,
+    next: usize,
+}
+
+impl<T: Topology> Iterator for Children<'_, T> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.next < self.topo.max_kids() {
+            let i = self.next;
+            self.next += 1;
+            if let Some(c) = self.topo.child(self.node, i) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+/// A minimal arena-backed n-ary tree used in tests and examples.
+#[derive(Clone, Debug, Default)]
+pub struct VecTree {
+    /// `kids[n]` lists node `n`'s children.
+    kids: Vec<Vec<usize>>,
+    max_kids: usize,
+}
+
+impl VecTree {
+    /// Creates an empty tree whose nodes may have up to `max_kids`
+    /// children.
+    pub fn new(max_kids: usize) -> Self {
+        VecTree {
+            kids: Vec::new(),
+            max_kids,
+        }
+    }
+
+    /// Adds a node, returning its id. The first node added is the root.
+    pub fn add_node(&mut self) -> usize {
+        self.kids.push(Vec::new());
+        self.kids.len() - 1
+    }
+
+    /// Links `child` as the next child of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` already has `max_kids` children.
+    pub fn link(&mut self, parent: usize, child: usize) {
+        assert!(
+            self.kids[parent].len() < self.max_kids,
+            "node {parent} already has {} children",
+            self.max_kids
+        );
+        self.kids[parent].push(child);
+    }
+
+    /// Builds a complete binary tree with `n` nodes (heap numbering).
+    pub fn complete_binary(n: usize) -> Self {
+        let mut t = VecTree::new(2);
+        for _ in 0..n {
+            t.add_node();
+        }
+        for i in 0..n {
+            if 2 * i + 1 < n {
+                t.link(i, 2 * i + 1);
+            }
+            if 2 * i + 2 < n {
+                t.link(i, 2 * i + 2);
+            }
+        }
+        t
+    }
+
+    /// Builds a singly linked list of `n` nodes.
+    pub fn list(n: usize) -> Self {
+        let mut t = VecTree::new(1);
+        for _ in 0..n {
+            t.add_node();
+        }
+        for i in 1..n {
+            t.link(i - 1, i);
+        }
+        t
+    }
+}
+
+impl Topology for VecTree {
+    fn node_count(&self) -> usize {
+        self.kids.len()
+    }
+
+    fn root(&self) -> Option<usize> {
+        (!self.kids.is_empty()).then_some(0)
+    }
+
+    fn max_kids(&self) -> usize {
+        self.max_kids
+    }
+
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        self.kids[node].get(i).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_binary_shape() {
+        let t = VecTree::complete_binary(7);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.root(), Some(0));
+        assert_eq!(t.children(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.children(3).count(), 0);
+    }
+
+    #[test]
+    fn list_is_unary() {
+        let t = VecTree::list(4);
+        assert_eq!(t.max_kids(), 1);
+        assert_eq!(t.children(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(t.children(3).count(), 0);
+    }
+
+    #[test]
+    fn children_skips_holes() {
+        // A node with only a "right" child reported at index 1.
+        struct Holey;
+        impl Topology for Holey {
+            fn node_count(&self) -> usize {
+                2
+            }
+            fn root(&self) -> Option<usize> {
+                Some(0)
+            }
+            fn max_kids(&self) -> usize {
+                2
+            }
+            fn child(&self, node: usize, i: usize) -> Option<usize> {
+                (node == 0 && i == 1).then_some(1)
+            }
+        }
+        assert_eq!(Holey.children(0).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_tree_has_no_root() {
+        let t = VecTree::new(2);
+        assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn link_respects_arity() {
+        let mut t = VecTree::new(1);
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.link(a, b);
+        t.link(a, c);
+    }
+}

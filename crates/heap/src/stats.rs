@@ -1,0 +1,124 @@
+//! Allocation statistics for the memory-overhead comparisons of
+//! Section 4.4.
+
+/// Counters maintained by every [`crate::Allocator`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    allocations: u64,
+    frees: u64,
+    bytes_requested: u64,
+    bytes_live: u64,
+    /// High-water mark of live bytes.
+    bytes_live_peak: u64,
+    /// Pages obtained from the virtual space (footprint).
+    pages: u64,
+    page_bytes: u64,
+}
+
+impl HeapStats {
+    /// Creates zeroed stats for a heap with the given page size.
+    pub fn new(page_bytes: u64) -> Self {
+        HeapStats {
+            page_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Number of successful allocations.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of frees.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Sum of all requested sizes.
+    pub fn bytes_requested(&self) -> u64 {
+        self.bytes_requested
+    }
+
+    /// Currently live bytes (requested minus freed).
+    pub fn bytes_live(&self) -> u64 {
+        self.bytes_live
+    }
+
+    /// Peak of [`Self::bytes_live`].
+    pub fn bytes_live_peak(&self) -> u64 {
+        self.bytes_live_peak
+    }
+
+    /// Pages the allocator has claimed from the address space.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Heap footprint in bytes (`pages × page size`) — the quantity the
+    /// paper's Section 4.4 memory-overhead percentages compare. The
+    /// *new-block* strategy, which optimistically reserves the rest of each
+    /// cache block, shows up here as extra pages.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.pages * self.page_bytes
+    }
+
+    /// Footprint of this heap relative to `other`, as a percentage
+    /// overhead (positive means this heap used more memory).
+    pub fn overhead_vs(&self, other: &HeapStats) -> f64 {
+        if other.footprint_bytes() == 0 {
+            0.0
+        } else {
+            100.0 * (self.footprint_bytes() as f64 - other.footprint_bytes() as f64)
+                / other.footprint_bytes() as f64
+        }
+    }
+
+    pub(crate) fn record_alloc(&mut self, size: u64) {
+        self.allocations += 1;
+        self.bytes_requested += size;
+        self.bytes_live += size;
+        self.bytes_live_peak = self.bytes_live_peak.max(self.bytes_live);
+    }
+
+    pub(crate) fn record_free(&mut self, size: u64) {
+        self.frees += 1;
+        self.bytes_live = self.bytes_live.saturating_sub(size);
+    }
+
+    pub(crate) fn record_pages(&mut self, n: u64) {
+        self.pages += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_bytes_track_alloc_free() {
+        let mut s = HeapStats::new(8192);
+        s.record_alloc(100);
+        s.record_alloc(50);
+        s.record_free(100);
+        assert_eq!(s.bytes_live(), 50);
+        assert_eq!(s.bytes_live_peak(), 150);
+        assert_eq!(s.allocations(), 2);
+        assert_eq!(s.frees(), 1);
+    }
+
+    #[test]
+    fn overhead_percentage() {
+        let mut a = HeapStats::new(8192);
+        let mut b = HeapStats::new(8192);
+        a.record_pages(112);
+        b.record_pages(100);
+        assert!((a.overhead_vs(&b) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_vs_empty_is_zero() {
+        let a = HeapStats::new(8192);
+        let b = HeapStats::new(8192);
+        assert_eq!(a.overhead_vs(&b), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! A simulated, page-granular virtual address space.
+
+/// Page-granular region allocator: a `brk`-style bump over a simulated
+/// 64-bit virtual address space.
+///
+/// Both allocators and `ccmorph` carve page-aligned regions from one of
+/// these. The footprint statistic (`pages_allocated`) is what the paper's
+/// Section 4.4 memory-overhead comparison measures: strategies that spread
+/// data over more cache blocks touch more pages.
+///
+/// # Example
+///
+/// ```
+/// use cc_heap::VirtualSpace;
+///
+/// let mut vs = VirtualSpace::new(8192);
+/// let a = vs.alloc_pages(1);
+/// let b = vs.alloc_pages(2);
+/// assert_eq!(b, a + 8192);
+/// assert_eq!(vs.pages_allocated(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualSpace {
+    page_bytes: u64,
+    base: u64,
+    next: u64,
+}
+
+/// Heap regions start well above zero so address arithmetic bugs (null
+/// pointers, tiny offsets) are easy to spot in traces.
+const HEAP_BASE: u64 = 0x1000_0000;
+
+impl VirtualSpace {
+    /// Creates an empty address space with the given page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two.
+    pub fn new(page_bytes: u64) -> Self {
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        VirtualSpace {
+            page_bytes,
+            base: HEAP_BASE,
+            next: HEAP_BASE,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Allocates `n` contiguous pages and returns the region's base address
+    /// (always page-aligned).
+    pub fn alloc_pages(&mut self, n: u64) -> u64 {
+        let addr = self.next;
+        self.next += n * self.page_bytes;
+        addr
+    }
+
+    /// Allocates the fewest pages covering `bytes` and returns the base.
+    pub fn alloc_bytes(&mut self, bytes: u64) -> u64 {
+        self.alloc_pages(bytes.div_ceil(self.page_bytes).max(1))
+    }
+
+    /// Skips `n` pages without allocating them, leaving a hole. `ccmorph`'s
+    /// coloring uses this: "gaps in the virtual address space that
+    /// implement coloring correspond to multiples of the virtual memory
+    /// page size" (Section 3.1.1).
+    pub fn skip_pages(&mut self, n: u64) {
+        self.next += n * self.page_bytes;
+    }
+
+    /// Skips forward until the frontier is a multiple of `align_bytes`,
+    /// returning the aligned frontier. Used to align colored regions to
+    /// the cache way size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `align_bytes` is a page multiple and a power of two.
+    pub fn align_to(&mut self, align_bytes: u64) -> u64 {
+        assert!(
+            align_bytes.is_power_of_two() && align_bytes >= self.page_bytes,
+            "alignment must be a power-of-two page multiple"
+        );
+        self.next = self.next.next_multiple_of(align_bytes);
+        self.next
+    }
+
+    /// Total pages handed out (holes excluded).
+    pub fn pages_allocated(&self) -> u64 {
+        // Holes are part of the span but were skipped, not allocated; the
+        // span-based footprint is reported separately.
+        (self.next - self.base) / self.page_bytes
+    }
+
+    /// Total bytes in the span from heap base to the high-water mark,
+    /// including any coloring holes.
+    pub fn span_bytes(&self) -> u64 {
+        self.next - self.base
+    }
+
+    /// The page-aligned address of the page containing `addr`.
+    pub fn page_of(&self, addr: u64) -> u64 {
+        addr & !(self.page_bytes - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_aligned() {
+        let mut vs = VirtualSpace::new(4096);
+        let a = vs.alloc_pages(2);
+        let b = vs.alloc_pages(1);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b, a + 2 * 4096);
+    }
+
+    #[test]
+    fn alloc_bytes_rounds_up() {
+        let mut vs = VirtualSpace::new(4096);
+        let a = vs.alloc_bytes(1);
+        let b = vs.alloc_bytes(4097);
+        assert_eq!(b, a + 4096);
+        let c = vs.alloc_bytes(1);
+        assert_eq!(c, b + 2 * 4096);
+    }
+
+    #[test]
+    fn skip_leaves_holes() {
+        let mut vs = VirtualSpace::new(4096);
+        let a = vs.alloc_pages(1);
+        vs.skip_pages(3);
+        let b = vs.alloc_pages(1);
+        assert_eq!(b, a + 4 * 4096);
+        assert_eq!(vs.span_bytes(), 5 * 4096);
+    }
+
+    #[test]
+    fn page_of_masks_offset() {
+        let vs = VirtualSpace::new(8192);
+        assert_eq!(vs.page_of(0x1000_1FFF), 0x1000_0000);
+        assert_eq!(vs.page_of(0x1000_2000), 0x1000_2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_page_size() {
+        let _ = VirtualSpace::new(1000);
+    }
+}

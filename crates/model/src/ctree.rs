@@ -1,0 +1,158 @@
+//! The cache-conscious binary tree closed form (paper Section 5.3,
+//! Figure 9) and its speedup prediction (validated in Figure 10).
+//!
+//! For a balanced, complete binary tree of `n` nodes of `e` bytes each,
+//! with subtrees of `k = ⌊b/e⌋` nodes clustered per block and the top
+//! `(c/2)·k·a` nodes colored into half the cache:
+//!
+//! * `D  = log2(n + 1)` — nodes examined by a search;
+//! * `K  = log2(k + 1)` — nodes per fetched block that the search uses;
+//! * `Rs = log2((c/2)·k·a + 1)` — the colored top levels, cache-resident
+//!   in steady state.
+//!
+//! Both spatial and temporal locality are *logarithmic* — intuitively the
+//! best attainable, since the access function itself is logarithmic.
+
+use crate::speedup::{speedup, MissRates};
+use crate::StructureModel;
+use cc_sim::{CacheGeometry, Latency};
+
+/// `D`, `K`, `Rs` for a cache-conscious (clustered + colored) binary
+/// search tree under random searches.
+///
+/// `hot_fraction` is the share of the cache colored hot (1/2 in the
+/// paper). `Rs` is clamped to `D` for trees small enough to fit their
+/// whole search path in the hot region.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `elem_bytes` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cc_model::ctree::ctree_model;
+/// use cc_sim::CacheGeometry;
+///
+/// let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
+/// let m = ctree_model((1 << 21) - 1, l2, 20, 0.5);
+/// assert!((m.d - 21.0).abs() < 0.01);
+/// assert!((m.k - 2.0).abs() < 0.01);        // log2(3+1)
+/// assert!(m.rs > 14.0 && m.rs < 15.0);      // log2(8192*3 + 1)
+/// ```
+pub fn ctree_model(n: u64, cache: CacheGeometry, elem_bytes: u64, hot_fraction: f64) -> StructureModel {
+    assert!(n > 0, "tree must be nonempty");
+    assert!(elem_bytes > 0, "element size must be nonzero");
+    let k = cache.elems_per_block(elem_bytes);
+    let d = ((n + 1) as f64).log2();
+    let kk = ((k + 1) as f64).log2();
+    let hot_nodes = hot_fraction * cache.sets() as f64 * k as f64 * cache.assoc() as f64;
+    let rs = (hot_nodes + 1.0).log2().min(d);
+    StructureModel::new(d, kk.max(1.0), rs)
+}
+
+/// The naive counterpart: worst-case layout of the same tree
+/// (`K = 1`, `R = 0`; Section 5.2).
+pub fn naive_model(n: u64) -> StructureModel {
+    assert!(n > 0, "tree must be nonempty");
+    StructureModel::naive(((n + 1) as f64).log2())
+}
+
+/// Predicted speedup of the transparent C-tree over the naive tree
+/// (Figure 10's dashed line).
+///
+/// Following the paper's validation setup, the L1 is assumed to provide
+/// no clustering or reuse for 20-byte nodes in 16-byte lines, so
+/// `m_L1 = 1` for both layouts and the L2 miss rates come from the model.
+pub fn predicted_speedup(
+    n: u64,
+    cache: CacheGeometry,
+    elem_bytes: u64,
+    hot_fraction: f64,
+    lat: &Latency,
+) -> f64 {
+    let cc = ctree_model(n, cache, elem_bytes, hot_fraction);
+    let naive = naive_model(n);
+    speedup(
+        lat,
+        MissRates::new(1.0, naive.steady_state_miss_rate()),
+        MissRates::new(1.0, cc.steady_state_miss_rate()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> CacheGeometry {
+        CacheGeometry::with_capacity(1 << 20, 64, 1)
+    }
+
+    fn e5000_lat() -> Latency {
+        Latency {
+            l1_hit: 1,
+            l1_miss: 6,
+            l2_miss: 64,
+            tlb_miss: 0,
+        }
+    }
+
+    #[test]
+    fn paper_validation_parameters() {
+        // Section 5.4: subtrees of size 3 per block, half the L2 colored.
+        let m = ctree_model((1 << 22) - 1, l2(), 20, 0.5);
+        assert!((m.d - 22.0).abs() < 1e-6);
+        assert!((m.k - 2.0).abs() < 1e-12);
+        // (c/2)·k·a = 8192 * 3 = 24576 hot nodes.
+        assert!((m.rs - (24576.0f64 + 1.0).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_rate_grows_with_tree_size() {
+        let small = ctree_model((1 << 18) - 1, l2(), 20, 0.5).steady_state_miss_rate();
+        let large = ctree_model((1 << 22) - 1, l2(), 20, 0.5).steady_state_miss_rate();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn tiny_tree_entirely_hot_never_misses() {
+        // A tree smaller than the hot region: Rs = D, steady state has no
+        // misses at all.
+        let m = ctree_model(1023, l2(), 20, 0.5);
+        assert_eq!(m.rs, m.d);
+        assert_eq!(m.steady_state_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn predicted_speedup_in_paper_range() {
+        // Figure 10 shows speedups between ~3.5 and ~7 for trees of
+        // 2^18..2^22 nodes.
+        for log_n in 18..=22 {
+            let s = predicted_speedup((1u64 << log_n) - 1, l2(), 20, 0.5, &e5000_lat());
+            assert!(s > 3.0 && s < 7.5, "n=2^{log_n}: {s}");
+        }
+    }
+
+    #[test]
+    fn speedup_decreases_with_tree_size() {
+        // The hot region covers a smaller share of a bigger tree.
+        let s18 = predicted_speedup((1 << 18) - 1, l2(), 20, 0.5, &e5000_lat());
+        let s22 = predicted_speedup((1 << 22) - 1, l2(), 20, 0.5, &e5000_lat());
+        assert!(s18 > s22);
+    }
+
+    #[test]
+    fn bigger_blocks_help() {
+        let narrow = CacheGeometry::with_capacity(1 << 20, 64, 1);
+        let wide = CacheGeometry::with_capacity(1 << 20, 128, 1);
+        let a = ctree_model((1 << 20) - 1, narrow, 20, 0.5).steady_state_miss_rate();
+        let b = ctree_model((1 << 20) - 1, wide, 20, 0.5).steady_state_miss_rate();
+        assert!(b < a, "k=6 beats k=3: {b} vs {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_tree_rejected() {
+        naive_model(0);
+    }
+}

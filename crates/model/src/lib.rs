@@ -1,0 +1,159 @@
+//! The analytic framework of Section 5 of *Cache-Conscious Structure
+//! Layout* (Chilimbi, Hill & Larus, PLDI 1999).
+//!
+//! The framework is *data-structure-centric*: it models a series of
+//! pointer-path accesses (tree searches, list walks) to one in-core
+//! pointer structure, characterized by three functions:
+//!
+//! * `D` — the **access function**: average unique element references per
+//!   pointer-path access (e.g. `log2(n+1)` for search in a balanced binary
+//!   tree);
+//! * `K` — **spatial locality**: average number of same-block elements
+//!   used by an access (`1 ≤ K ≤ ⌊b/e⌋`);
+//! * `R` — **temporal locality**: elements already cached from prior
+//!   accesses (`0 ≤ R ≤ min(D, c·b·a/e)`).
+//!
+//! The per-access miss rate is `m(i) = (1 − R(i)/D) / K`
+//! ([`StructureModel::transient_miss_rate`]); for colored structures `R(i)`
+//! approaches a constant `Rs` and the **amortized steady-state miss rate**
+//! is `m_s = (1 − Rs/D) / K` ([`StructureModel::steady_state_miss_rate`]).
+//! Module [`speedup`] implements the Figure 8 speedup equation, and
+//! [`ctree`] the Figure 9 closed form for cache-conscious binary trees,
+//! whose predictions Figure 10 validates against measurement.
+//!
+//! # Example: predicting the C-tree's advantage
+//!
+//! ```
+//! use cc_model::ctree;
+//! use cc_sim::MachineConfig;
+//!
+//! let m = MachineConfig::ultrasparc_e5000();
+//! // 2^22-node tree of 20-byte nodes, subtrees of 3 per 64-byte block,
+//! // half the L2 colored hot.
+//! let s = ctree::predicted_speedup((1 << 22) - 1, m.l2, 20, 0.5, &m.latency);
+//! assert!(s > 3.0 && s < 5.0, "speedup {s}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctree;
+pub mod speedup;
+
+/// The three locality functions `⟨D, K, Rs⟩` describing one pointer-based
+/// data structure under one access pattern (Section 5.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StructureModel {
+    /// `D`: average unique references per pointer-path access.
+    pub d: f64,
+    /// `K`: average same-block elements used per access (spatial
+    /// locality), `1 ≤ K`.
+    pub k: f64,
+    /// `Rs`: steady-state reuse — elements found in cache from prior
+    /// accesses (temporal locality), `0 ≤ Rs ≤ D`.
+    pub rs: f64,
+}
+
+impl StructureModel {
+    /// Creates a model, validating the Section 5.1 bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d ≤ 0`, `k < 1`, or `rs ∉ [0, d]`.
+    pub fn new(d: f64, k: f64, rs: f64) -> Self {
+        assert!(d > 0.0, "D must be positive, got {d}");
+        assert!(k >= 1.0, "K must be at least 1, got {k}");
+        assert!((0.0..=d).contains(&rs), "Rs must be in [0, D], got {rs}");
+        StructureModel { d, k, rs }
+    }
+
+    /// The paper's worst-case naive layout: each block holds one useful
+    /// element (`K = 1`) and nothing is reused (`R = 0`), so every
+    /// reference misses (Section 5.2).
+    pub fn naive(d: f64) -> Self {
+        Self::new(d, 1.0, 0.0)
+    }
+
+    /// Steady-state amortized miss rate `m_s = (1 − Rs/D) / K`.
+    pub fn steady_state_miss_rate(&self) -> f64 {
+        (1.0 - self.rs / self.d) / self.k
+    }
+
+    /// Transient miss rate for the `i`-th access given the reuse `r_i`
+    /// observed so far: `m(i) = (1 − R(i)/D) / K`. Early accesses have
+    /// `R(i) ≈ 0` (cold-start misses); `r_i → Rs` in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_i ∉ [0, D]`.
+    pub fn transient_miss_rate(&self, r_i: f64) -> f64 {
+        assert!(
+            (0.0..=self.d).contains(&r_i),
+            "R(i) must be in [0, D], got {r_i}"
+        );
+        (1.0 - r_i / self.d) / self.k
+    }
+}
+
+/// Amortized miss rate over a sequence of per-access miss rates:
+/// `m_a(p) = (Σ m(i)) / p` (Section 5.1). Returns 0 for an empty
+/// sequence.
+pub fn amortized_miss_rate(per_access: &[f64]) -> f64 {
+    if per_access.is_empty() {
+        0.0
+    } else {
+        per_access.iter().sum::<f64>() / per_access.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_misses_every_reference() {
+        let m = StructureModel::naive(20.0);
+        assert!((m.steady_state_miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_divides_miss_rate_by_k() {
+        let naive = StructureModel::naive(20.0);
+        let clustered = StructureModel::new(20.0, 2.0, 0.0);
+        assert!(
+            (naive.steady_state_miss_rate() / clustered.steady_state_miss_rate() - 2.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn full_reuse_means_no_misses() {
+        let m = StructureModel::new(10.0, 2.0, 10.0);
+        assert_eq!(m.steady_state_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn transient_decreases_with_reuse() {
+        let m = StructureModel::new(20.0, 2.0, 15.0);
+        assert!(m.transient_miss_rate(0.0) > m.transient_miss_rate(10.0));
+        assert!((m.transient_miss_rate(m.rs) - m.steady_state_miss_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amortized_averages() {
+        assert_eq!(amortized_miss_rate(&[]), 0.0);
+        assert!((amortized_miss_rate(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be at least 1")]
+    fn k_below_one_rejected() {
+        StructureModel::new(10.0, 0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rs must be in [0, D]")]
+    fn rs_above_d_rejected() {
+        StructureModel::new(10.0, 2.0, 11.0);
+    }
+}

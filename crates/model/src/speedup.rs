@@ -1,0 +1,105 @@
+//! The cache-conscious speedup equation (paper Figure 8, Section 5.2).
+//!
+//! When only the structure *layout* changes, the number of memory
+//! references is unchanged, so speedup reduces to the ratio of expected
+//! memory access times:
+//!
+//! ```text
+//!            t_h + (m_L1)naive·t_m,L1 + (m_L1·m_L2)naive·t_m,L2
+//! speedup = ----------------------------------------------------
+//!            t_h + (m_L1)cc·t_m,L1    + (m_L1·m_L2)cc·t_m,L2
+//! ```
+
+use cc_sim::Latency;
+
+/// Per-level miss rates of one configuration (`m_L2` is *local*: L2
+/// misses over L2 accesses).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MissRates {
+    /// L1 miss rate.
+    pub l1: f64,
+    /// L2 local miss rate.
+    pub l2: f64,
+}
+
+impl MissRates {
+    /// Creates miss rates, validating both lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn new(l1: f64, l2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&l1), "m_L1 out of range: {l1}");
+        assert!((0.0..=1.0).contains(&l2), "m_L2 out of range: {l2}");
+        MissRates { l1, l2 }
+    }
+
+    /// The paper's worst-case naive rates: every reference misses both
+    /// levels.
+    pub fn worst_case() -> Self {
+        MissRates { l1: 1.0, l2: 1.0 }
+    }
+
+    /// Expected memory access time per reference (Section 5.1).
+    pub fn access_time(&self, lat: &Latency) -> f64 {
+        lat.access_time(self.l1, self.l2)
+    }
+}
+
+/// Figure 8: speedup of the cache-conscious layout over the naive layout.
+///
+/// # Example
+///
+/// ```
+/// use cc_model::speedup::{speedup, MissRates};
+/// use cc_sim::MachineConfig;
+///
+/// let lat = MachineConfig::ultrasparc_e5000().latency;
+/// let naive = MissRates::worst_case();
+/// let cc = MissRates::new(1.0, 0.25); // clustering+coloring on the L2
+/// let s = speedup(&lat, naive, cc);
+/// assert!(s > 3.0);
+/// ```
+pub fn speedup(lat: &Latency, naive: MissRates, cache_conscious: MissRates) -> f64 {
+    naive.access_time(lat) / cache_conscious.access_time(lat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Latency {
+        Latency {
+            l1_hit: 1,
+            l1_miss: 6,
+            l2_miss: 64,
+            tlb_miss: 0,
+        }
+    }
+
+    #[test]
+    fn identical_rates_give_unity() {
+        let r = MissRates::new(0.5, 0.5);
+        assert!((speedup(&lat(), r, r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_over_perfect_is_bounded_by_total_latency() {
+        let s = speedup(&lat(), MissRates::worst_case(), MissRates::new(0.0, 0.0));
+        assert!((s - 71.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_l2_rate_raises_speedup() {
+        let naive = MissRates::worst_case();
+        let a = speedup(&lat(), naive, MissRates::new(1.0, 0.5));
+        let b = speedup(&lat(), naive, MissRates::new(1.0, 0.25));
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_negative_rate() {
+        MissRates::new(-0.1, 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Olden **health**: simulation of the Columbian health-care system
+//! (Table 2: doubly linked lists, max level 3, max time 3000).
+//!
+//! Villages form a 4-ary tree; each village's hospital keeps a doubly
+//! linked list of patients under treatment. Patients arrive at leaf
+//! villages, are treated for a few time steps, and are then either
+//! discharged or referred up to the parent village — the `addList` walk of
+//! the paper's Figure 4. Lists churn constantly, so allocation order decays
+//! and the cache-conscious schemes matter: `ccmalloc` hints each new cell
+//! next to its list predecessor, and the `ccmorph` scheme periodically
+//! reorganizes every list ("no attempt was made to determine the optimal
+//! interval between invocations", Section 4.4 — we use a fixed interval).
+
+use crate::{RunResult, Scheme};
+use cc_core::ccmorph::CcMorphParams;
+use cc_core::rng::SplitMix64;
+use cc_heap::{Allocator, VirtualSpace};
+use cc_sim::event::EventSink;
+use cc_sim::MachineConfig;
+use cc_trees::list::{DList, LIST_CELL_BYTES};
+
+/// Branching factor of the village tree (Colombia's four-region layout in
+/// the original benchmark).
+const KIDS: usize = 4;
+
+/// Steps between `ccmorph` invocations for the CC schemes.
+const MORPH_INTERVAL: u64 = 64;
+
+/// Bytes per patient record (Olden's `struct Patient`: id, time,
+/// hosps_visited, village pointer — 40 bytes on the 32-bit layout).
+pub const PATIENT_BYTES: u64 = 40;
+
+/// One village with its hospital's patient list.
+#[derive(Clone, Debug)]
+struct Village {
+    parent: Option<usize>,
+    kids: Vec<usize>,
+    patients: DList,
+    is_leaf: bool,
+}
+
+/// The health simulation.
+#[derive(Clone, Debug)]
+pub struct Health {
+    villages: Vec<Village>,
+    rng: SplitMix64,
+    next_patient: u64,
+    /// Simulated address of each patient's record, indexed by patient id.
+    /// List cells point at these — Olden's `list->patient` indirection.
+    patient_addrs: Vec<u64>,
+    /// Patients fully treated and discharged (the checksum).
+    discharged: u64,
+    /// Total treatment steps administered.
+    treatments: u64,
+}
+
+impl Health {
+    /// Builds the village tree with `levels` levels (paper: 3 → 85
+    /// villages).
+    pub fn new(levels: u32, seed: u64) -> Self {
+        let mut villages = Vec::new();
+        build_villages(&mut villages, None, levels);
+        Health {
+            villages,
+            rng: SplitMix64::new(seed),
+            next_patient: 0,
+            patient_addrs: Vec::new(),
+            discharged: 0,
+            treatments: 0,
+        }
+    }
+
+    /// Number of villages.
+    pub fn village_count(&self) -> usize {
+        self.villages.len()
+    }
+
+    /// Patients currently under treatment across all villages.
+    pub fn patients_in_system(&self) -> usize {
+        self.villages.iter().map(|v| v.patients.len()).sum()
+    }
+
+    /// Patients discharged so far.
+    pub fn discharged(&self) -> u64 {
+        self.discharged
+    }
+
+    /// Runs one time step. Patient values encode `id << 8 | remaining`.
+    pub fn step<A: Allocator, S: EventSink>(
+        &mut self,
+        alloc: &mut A,
+        sink: &mut S,
+        use_hints: bool,
+        sw_prefetch: bool,
+    ) {
+        // New arrivals at leaf villages.
+        for v in 0..self.villages.len() {
+            if !self.villages[v].is_leaf {
+                continue;
+            }
+            // One arrival per leaf per step: the original benchmark's
+            // population grows into the hundreds of KB (Table 2: 828 KB).
+            {
+                let treatment = 32 + self.rng.below(128);
+                let val = (self.next_patient << 8) | treatment;
+                self.next_patient += 1;
+                // The addList pattern: walk the list, then allocate the
+                // new cell hinted with the predecessor (Figure 4).
+                self.villages[v].patients.walk(sink, sw_prefetch);
+                let cell = self.villages[v]
+                    .patients
+                    .push_back(val, alloc, sink, use_hints);
+                // The patient record itself (`list->patient`). The
+                // paper's Figure 4 hints only the list cell; the record
+                // is a plain allocation.
+                let _ = cell;
+                sink.inst(alloc.cost_insts());
+                let paddr = alloc.alloc_hint(PATIENT_BYTES, None);
+                sink.store(paddr, PATIENT_BYTES as u32);
+                self.patient_addrs.push(paddr);
+            }
+        }
+
+        // Treat everyone: walk each list, chase the cell's patient
+        // pointer, and decrement the remaining time in the record.
+        let mut referrals: Vec<(usize, u64)> = Vec::new();
+        for v in 0..self.villages.len() {
+            let ids = self.villages[v].patients.ids();
+            for &id in &ids {
+                let cell_addr = self.villages[v].patients.addr_of(id);
+                sink.load(cell_addr, 16);
+                sink.inst(3);
+                sink.branch(1);
+                let val = self.villages[v].patients.value(id);
+                let pid = (val >> 8) as usize;
+                sink.load(self.patient_addrs[pid], PATIENT_BYTES as u32);
+                let rem = val & 0xFF;
+                if rem > 0 {
+                    sink.store(self.patient_addrs[pid] + 4, 4);
+                    self.villages[v].patients.set_value(id, val - 1);
+                }
+            }
+            self.treatments += ids.len() as u64;
+
+            // Collect finished patients (remaining == 0).
+            loop {
+                let Some(done) = self.villages[v].patients.find(sink, |val| val & 0xFF == 0)
+                else {
+                    break;
+                };
+                let val = self.villages[v].patients.remove(done, alloc, sink);
+                match self.villages[v].parent {
+                    // Referred upward with probability 1/3 for further
+                    // (shorter) treatment; the record travels with them.
+                    Some(p) if self.rng.below(3) == 0 => {
+                        let renewed = (val & !0xFF) | (16 + self.rng.below(48));
+                        referrals.push((p, renewed));
+                    }
+                    _ => {
+                        self.discharged += 1;
+                        alloc.free(self.patient_addrs[(val >> 8) as usize]);
+                    }
+                }
+            }
+        }
+
+        // Deliver referrals (walk + hinted append, Figure 4 again); the
+        // patient record keeps its address.
+        for (village, val) in referrals {
+            self.villages[village].patients.walk(sink, sw_prefetch);
+            self.villages[village]
+                .patients
+                .push_back(val, alloc, sink, use_hints);
+        }
+    }
+
+    /// Reorganizes every village's list, packing all lists into one dense
+    /// block-aligned region (the unary case of `ccmorph`'s clustering) and
+    /// charging the copy costs.
+    pub fn morph_all<A: Allocator, S: EventSink>(
+        &mut self,
+        vspace: &mut VirtualSpace,
+        params: &CcMorphParams,
+        alloc: &mut A,
+        sink: &mut S,
+    ) {
+        let total: u64 = self
+            .villages
+            .iter()
+            .map(|v| v.patients.len() as u64 * LIST_CELL_BYTES)
+            .sum();
+        if total == 0 {
+            return;
+        }
+        let block = params.cache.block_bytes();
+        let mut cursor = vspace.align_to(block.max(vspace.page_bytes()));
+        vspace.alloc_bytes(total + block * self.villages.len() as u64);
+        for v in &mut self.villages {
+            for (old, new) in v.patients.pack(&mut cursor, block, alloc) {
+                sink.inst(6);
+                sink.load_indep(old, LIST_CELL_BYTES as u32);
+                sink.store(new, LIST_CELL_BYTES as u32);
+            }
+        }
+    }
+
+    /// Checksum combining discharges and total treatments.
+    pub fn checksum(&self) -> u64 {
+        self.discharged
+            .wrapping_mul(1_000_003)
+            .wrapping_add(self.treatments)
+    }
+}
+
+fn build_villages(out: &mut Vec<Village>, parent: Option<usize>, levels: u32) -> usize {
+    let id = out.len();
+    out.push(Village {
+        parent,
+        kids: Vec::new(),
+        patients: DList::new(),
+        is_leaf: levels == 0,
+    });
+    if levels > 0 {
+        for _ in 0..KIDS {
+            let k = build_villages(out, Some(id), levels - 1);
+            out[id].kids.push(k);
+        }
+    }
+    id
+}
+
+/// Runs health for `steps` time steps at `levels` village-tree levels
+/// under `scheme` on `machine`.
+pub fn run(scheme: Scheme, levels: u32, steps: u64, machine: &MachineConfig) -> RunResult {
+    let mut pipe = scheme.pipeline(machine);
+    let mut alloc = scheme.allocator(machine);
+    let mut sim = Health::new(levels, 0xC0FFEE);
+
+    let mut morph_space = scheme.morph().map(|color| {
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        vs.skip_pages((1 << 33) / machine.page_bytes);
+        let params = CcMorphParams {
+            cache: machine.l2,
+            page_bytes: machine.page_bytes,
+            elem_bytes: LIST_CELL_BYTES,
+            color: color.then(cc_core::ccmorph::ColorConfig::default),
+            // For unary structures chain and subtree packing coincide.
+            cluster_kind: cc_core::cluster::ClusterKind::SubtreeBfs,
+        };
+        (vs, params)
+    });
+
+    for t in 0..steps {
+        sim.step(&mut alloc, &mut pipe, scheme.uses_hints(), scheme.sw_prefetch());
+        if let Some((vs, params)) = &mut morph_space {
+            if t % MORPH_INTERVAL == MORPH_INTERVAL - 1 {
+                sim.morph_all(vs, params, &mut alloc, &mut pipe);
+            }
+        }
+    }
+
+    let checksum = sim.checksum();
+    let breakdown = pipe.finish();
+    RunResult {
+        scheme,
+        breakdown,
+        checksum,
+        heap: *alloc.stats(),
+        l2_misses: pipe.memory().l2_stats().misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::Malloc;
+    use cc_sim::event::NullSink;
+
+    #[test]
+    fn village_tree_size() {
+        let h = Health::new(3, 1);
+        assert_eq!(h.village_count(), 1 + 4 + 16 + 64);
+    }
+
+    #[test]
+    fn patients_flow_through_system() {
+        let mut h = Health::new(2, 7);
+        let mut heap = Malloc::new(8192);
+        for _ in 0..300 {
+            h.step(&mut heap, &mut NullSink, false, false);
+        }
+        assert!(h.discharged() > 0, "patients should finish treatment");
+        // Population reaches a (large but bounded) equilibrium:
+        // leaves x avg stay ~ 16 x 48.
+        assert!(h.patients_in_system() < 4000, "system must drain");
+    }
+
+    #[test]
+    fn checksums_agree_across_schemes() {
+        let machine = MachineConfig::table1();
+        let base = run(Scheme::Base, 2, 60, &machine);
+        for s in [
+            Scheme::CcMallocNewBlock,
+            Scheme::CcMorphClusterColor,
+            Scheme::SwPrefetch,
+            Scheme::CcMallocNullHint,
+        ] {
+            let r = run(s, 2, 60, &machine);
+            assert_eq!(r.checksum, base.checksum, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn morphing_does_not_change_behaviour() {
+        let machine = MachineConfig::table1();
+        let a = run(Scheme::CcMorphCluster, 2, 80, &machine);
+        let b = run(Scheme::Base, 2, 80, &machine);
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,197 @@
+//! The four Olden benchmarks evaluated in Section 4.4 of *Cache-Conscious
+//! Structure Layout*, reimplemented against the simulated heap and
+//! pipeline: **treeadd**, **health**, **mst**, and **perimeter**
+//! (Table 2), each runnable under every placement scheme of Figure 7.
+//!
+//! Each benchmark follows the same protocol: build its pointer structure
+//! through the scheme's allocator (emitting allocation costs and
+//! initializing stores), optionally reorganize with `ccmorph` (charging
+//! the copy), then run the benchmark's computation emitting its memory
+//! trace into a [`cc_sim::Pipeline`]. The result is a [`RunResult`]
+//! holding the Figure 7 stall breakdown, the computation's checksum (for
+//! correctness checks across schemes), and the heap footprint (for the
+//! Section 4.4 memory-overhead comparison).
+//!
+//! # Example
+//!
+//! ```
+//! use cc_olden::{treeadd, Scheme};
+//! use cc_sim::MachineConfig;
+//!
+//! let machine = MachineConfig::table1();
+//! // Four summation passes amortize the reorganization copy.
+//! let base = treeadd::run_iters(Scheme::Base, 65536, 4, &machine);
+//! let cc = treeadd::run_iters(Scheme::CcMorphClusterColor, 65536, 4, &machine);
+//! assert_eq!(base.checksum, cc.checksum, "same sum regardless of layout");
+//! assert!(cc.breakdown.total() < base.breakdown.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod mst;
+pub mod perimeter;
+pub mod treeadd;
+
+use cc_heap::{Allocator, CcMalloc, HeapStats, Malloc, Strategy};
+use cc_sim::{Breakdown, MachineConfig, Pipeline, PipelineConfig};
+
+/// A placement / latency-reduction scheme of Figure 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Unmodified program, conventional allocator ("B").
+    Base,
+    /// Hardware prefetching ("HP").
+    HwPrefetch,
+    /// Greedy software prefetching, Luk & Mowry ("SP").
+    SwPrefetch,
+    /// `ccmalloc` with the first-fit block strategy ("FA").
+    CcMallocFirstFit,
+    /// `ccmalloc` with the closest block strategy ("CA").
+    CcMallocClosest,
+    /// `ccmalloc` with the new-block strategy ("NA").
+    CcMallocNewBlock,
+    /// `ccmorph`, clustering only ("CI").
+    CcMorphCluster,
+    /// `ccmorph`, clustering and coloring ("CI+Col").
+    CcMorphClusterColor,
+    /// Control experiment: `ccmalloc` machinery with null hints
+    /// (Section 4.4 measured this 2–6% *slower* than base).
+    CcMallocNullHint,
+}
+
+impl Scheme {
+    /// The eight schemes of Figure 7, in presentation order.
+    pub const FIGURE7: [Scheme; 8] = [
+        Scheme::Base,
+        Scheme::HwPrefetch,
+        Scheme::SwPrefetch,
+        Scheme::CcMallocFirstFit,
+        Scheme::CcMallocClosest,
+        Scheme::CcMallocNewBlock,
+        Scheme::CcMorphCluster,
+        Scheme::CcMorphClusterColor,
+    ];
+
+    /// Figure 7's bar label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Base => "B",
+            Scheme::HwPrefetch => "HP",
+            Scheme::SwPrefetch => "SP",
+            Scheme::CcMallocFirstFit => "FA",
+            Scheme::CcMallocClosest => "CA",
+            Scheme::CcMallocNewBlock => "NA",
+            Scheme::CcMorphCluster => "CI",
+            Scheme::CcMorphClusterColor => "CI+Col",
+            Scheme::CcMallocNullHint => "NULL",
+        }
+    }
+
+    /// The allocator this scheme builds structures with.
+    pub fn allocator(&self, machine: &MachineConfig) -> Box<dyn Allocator> {
+        match self {
+            Scheme::CcMallocFirstFit => Box::new(CcMalloc::new(machine, Strategy::FirstFit)),
+            Scheme::CcMallocClosest => Box::new(CcMalloc::new(machine, Strategy::Closest)),
+            Scheme::CcMallocNewBlock | Scheme::CcMallocNullHint => {
+                Box::new(CcMalloc::new(machine, Strategy::NewBlock))
+            }
+            _ => Box::new(Malloc::new(machine.page_bytes)),
+        }
+    }
+
+    /// Whether allocations pass co-location hints.
+    pub fn uses_hints(&self) -> bool {
+        matches!(
+            self,
+            Scheme::CcMallocFirstFit | Scheme::CcMallocClosest | Scheme::CcMallocNewBlock
+        )
+    }
+
+    /// Whether traversals emit greedy software prefetches.
+    pub fn sw_prefetch(&self) -> bool {
+        *self == Scheme::SwPrefetch
+    }
+
+    /// Whether the structure is `ccmorph`ed before (or during) the run,
+    /// and if so whether coloring is applied too.
+    pub fn morph(&self) -> Option<bool> {
+        match self {
+            Scheme::CcMorphCluster => Some(false),
+            Scheme::CcMorphClusterColor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Pipeline configuration (hardware prefetcher for HP).
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        match self {
+            Scheme::HwPrefetch => PipelineConfig::table1_hw_prefetch(),
+            _ => PipelineConfig::table1(),
+        }
+    }
+
+    /// A ready-to-run pipeline for this scheme on `machine`.
+    pub fn pipeline(&self, machine: &MachineConfig) -> Pipeline {
+        Pipeline::new(self.pipeline_config(), *machine)
+    }
+}
+
+/// Outcome of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Which scheme produced it.
+    pub scheme: Scheme,
+    /// Execution-time breakdown (Figure 7's bar).
+    pub breakdown: Breakdown,
+    /// Benchmark-defined checksum; must agree across schemes.
+    pub checksum: u64,
+    /// Allocator statistics (footprint for Section 4.4 overheads).
+    pub heap: HeapStats,
+    /// L2 demand misses, for miss-rate analyses.
+    pub l2_misses: u64,
+}
+
+impl RunResult {
+    /// Normalized execution time versus a base run (Figure 7's y-axis).
+    pub fn normalized_to(&self, base: &RunResult) -> f64 {
+        self.breakdown.normalized_to(&base.breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_has_eight_distinct_schemes() {
+        let mut labels: Vec<&str> = Scheme::FIGURE7.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn hint_usage_matches_scheme() {
+        assert!(!Scheme::Base.uses_hints());
+        assert!(!Scheme::CcMallocNullHint.uses_hints());
+        assert!(Scheme::CcMallocNewBlock.uses_hints());
+    }
+
+    #[test]
+    fn allocators_have_expected_type() {
+        let m = MachineConfig::table1();
+        // ccmalloc costs more per call than malloc.
+        assert!(
+            Scheme::CcMallocNewBlock.allocator(&m).cost_insts()
+                > Scheme::Base.allocator(&m).cost_insts()
+        );
+    }
+
+    #[test]
+    fn hw_prefetch_config_only_for_hp() {
+        assert!(Scheme::HwPrefetch.pipeline_config().hw_prefetch.is_some());
+        assert!(Scheme::Base.pipeline_config().hw_prefetch.is_none());
+    }
+}

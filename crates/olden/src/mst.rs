@@ -1,0 +1,252 @@
+//! Olden **mst**: minimum spanning tree of a graph whose adjacency is
+//! stored in chained hash tables (Table 2: 512 nodes; "array of singly
+//! linked lists").
+//!
+//! Each vertex owns a hash table mapping neighbour → edge weight. The MST
+//! is computed Prim-style: each time a vertex joins the tree, every
+//! remaining vertex looks up its edge to the newcomer in its own hash
+//! table (`n²` chained lookups in total — the pointer-chasing workload).
+//! The structure is built at start-up and never mutated, so `ccmorph`'s
+//! chain packing and `ccmalloc`'s chain hints both apply; the paper notes
+//! coloring has little effect because the chains are short.
+
+use crate::{RunResult, Scheme};
+use cc_heap::VirtualSpace;
+use cc_sim::event::EventSink;
+use cc_sim::MachineConfig;
+use cc_trees::hash::ChainedHash;
+
+/// Deterministic pseudo-random edge weight, mimicking Olden's hash-based
+/// weight generation.
+fn weight(i: u64, j: u64) -> u64 {
+    let x = (i.min(j) << 32) | i.max(j);
+    let mut z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    1 + ((z >> 33) % 1000)
+}
+
+/// The mst graph: one adjacency hash table per vertex.
+#[derive(Clone, Debug)]
+pub struct MstGraph {
+    adj: Vec<ChainedHash>,
+    n: usize,
+    degree: usize,
+}
+
+impl MstGraph {
+    /// Builds a ring-plus-chords graph of `n` vertices, each with
+    /// `degree` incident edges stored in its own chained hash table
+    /// (buckets sized to keep chains short, as in Olden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `degree < 2` or `degree >= n`.
+    pub fn build<A: cc_heap::Allocator, S: EventSink>(
+        n: usize,
+        degree: usize,
+        alloc: &mut A,
+        sink: &mut S,
+        use_hints: bool,
+    ) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        assert!((2..n).contains(&degree), "degree must be in [2, n)");
+        let buckets = (degree / 2).max(4);
+        let mut adj = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let mut h = ChainedHash::new(buckets, alloc);
+            // Ring edges guarantee connectivity; chords add bulk.
+            for d in 1..=degree as u64 / 2 {
+                let fwd = (i + d) % n as u64;
+                let back = (i + n as u64 - d) % n as u64;
+                h.insert(fwd, weight(i, fwd), alloc, sink, use_hints);
+                if back != fwd {
+                    h.insert(back, weight(i, back), alloc, sink, use_hints);
+                }
+            }
+            adj.push(h);
+        }
+        MstGraph { adj, n, degree }
+    }
+
+    /// Vertex count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph is empty (never, post-build).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Edge degree used at construction.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Packs every vertex's chains into one dense, block-aligned region
+    /// (`ccmorph` applied per component). A single shared region matters:
+    /// per-table pages would exceed the TLB's reach and alias every table
+    /// onto the same cache sets.
+    pub fn morph_chains(&mut self, vspace: &mut VirtualSpace, block_bytes: u64) {
+        let cells: u64 = self.adj.iter().map(|h| h.len() as u64).sum();
+        let slack = block_bytes * self.adj.iter().map(|h| h.n_buckets() as u64).sum::<u64>();
+        let mut cursor = vspace.align_to(block_bytes.max(vspace.page_bytes()));
+        vspace.alloc_bytes(cells * cc_trees::hash::HASH_CELL_BYTES + slack);
+        for h in &mut self.adj {
+            h.pack_chains(&mut cursor, block_bytes);
+        }
+    }
+
+    /// Computes the MST weight Prim-style (Olden's BlueRule): `n − 1`
+    /// rounds, each scanning all remaining vertices and looking up their
+    /// edge to the newest tree vertex in their own hash table.
+    pub fn mst_weight<S: EventSink>(&self, sink: &mut S) -> u64 {
+        const INF: u64 = u64::MAX;
+        let n = self.n;
+        let mut dist = vec![INF; n];
+        let mut in_tree = vec![false; n];
+        let mut total = 0u64;
+        let mut newest = 0usize;
+        in_tree[0] = true;
+
+        for _ in 1..n {
+            // Every out-of-tree vertex updates its distance via a hash
+            // lookup against the newest member …
+            for v in 0..n {
+                if in_tree[v] {
+                    continue;
+                }
+                sink.inst(3);
+                if let Some(w) = self.adj[v].lookup(newest as u64, sink) {
+                    if w < dist[v] {
+                        dist[v] = w;
+                        sink.store(0x800_0000 + v as u64 * 8, 8);
+                    }
+                }
+            }
+            // … then the minimum joins the tree (array scan).
+            let mut best = INF;
+            let mut pick = usize::MAX;
+            for v in 0..n {
+                if !in_tree[v] {
+                    sink.load_indep(0x800_0000 + v as u64 * 8, 8);
+                    sink.inst(2);
+                    sink.branch(1);
+                    if dist[v] < best {
+                        best = dist[v];
+                        pick = v;
+                    }
+                }
+            }
+            assert!(pick != usize::MAX && best != INF, "graph must be connected");
+            in_tree[pick] = true;
+            total += best;
+            dist[pick] = INF;
+            newest = pick;
+        }
+        total
+    }
+}
+
+/// Runs mst with `n` vertices of degree `degree` under `scheme`.
+pub fn run(scheme: Scheme, n: usize, degree: usize, machine: &MachineConfig) -> RunResult {
+    let mut pipe = scheme.pipeline(machine);
+    let mut alloc = scheme.allocator(machine);
+    let mut graph = MstGraph::build(n, degree, &mut alloc, &mut pipe, scheme.uses_hints());
+
+    if scheme.morph().is_some() {
+        let mut vspace = VirtualSpace::new(machine.page_bytes);
+        vspace.skip_pages((1 << 33) / machine.page_bytes);
+        // Coloring is a no-op for short chains (paper: "ccmorph's coloring
+        // did not have much impact since the lists were short").
+        graph.morph_chains(&mut vspace, machine.l2.block_bytes());
+    }
+
+    let checksum = graph.mst_weight(&mut pipe);
+    let breakdown = pipe.finish();
+    RunResult {
+        scheme,
+        breakdown,
+        checksum,
+        heap: *alloc.stats(),
+        l2_misses: pipe.memory().l2_stats().misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::Malloc;
+    use cc_sim::event::NullSink;
+
+    #[test]
+    fn weights_are_symmetric_and_positive() {
+        assert_eq!(weight(3, 7), weight(7, 3));
+        assert!(weight(0, 1) >= 1);
+    }
+
+    #[test]
+    fn ring_graph_mst_is_connected() {
+        let mut heap = Malloc::new(8192);
+        let g = MstGraph::build(32, 4, &mut heap, &mut NullSink, false);
+        let w = g.mst_weight(&mut NullSink);
+        assert!(w > 0);
+        // MST has 31 edges of weight <= 1000 each.
+        assert!(w <= 31 * 1000);
+    }
+
+    #[test]
+    fn mst_weight_is_layout_invariant() {
+        let machine = MachineConfig::table1();
+        let base = run(Scheme::Base, 64, 8, &machine);
+        for s in Scheme::FIGURE7 {
+            let r = run(s, 64, 8, &machine);
+            assert_eq!(r.checksum, base.checksum, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_on_tiny_graph() {
+        // Kruskal via edge list on the same ring graph.
+        let n = 10usize;
+        let degree = 4;
+        let mut heap = Malloc::new(8192);
+        let g = MstGraph::build(n, degree, &mut heap, &mut NullSink, false);
+        let prim = g.mst_weight(&mut NullSink);
+
+        let mut edges = Vec::new();
+        for i in 0..n as u64 {
+            for d in 1..=degree as u64 / 2 {
+                let j = (i + d) % n as u64;
+                edges.push((weight(i, j), i as usize, j as usize));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        let mut kruskal = 0;
+        for (w, a, b) in edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+                kruskal += w;
+            }
+        }
+        assert_eq!(prim, kruskal);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be")]
+    fn silly_degree_rejected() {
+        let mut heap = Malloc::new(8192);
+        let _ = MstGraph::build(4, 10, &mut heap, &mut NullSink, false);
+    }
+}

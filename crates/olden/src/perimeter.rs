@@ -1,0 +1,225 @@
+//! Olden **perimeter**: computes the perimeter of a region represented as
+//! a quadtree over a binary image (Table 2: 4K × 4K image).
+//!
+//! The region is a disk, whose boundary forces subdivision to pixel
+//! granularity — the classic quadtree workload. The perimeter is the
+//! number of unit edges between black and white/outside cells: for every
+//! black leaf the algorithm probes the adjacent cells along each side by
+//! descending from the root (each probe is a chain of dependent loads).
+//! The tree is built once at start-up in depth-first order and never
+//! changes, so — like `treeadd` — the base layout is already close to
+//! traversal order and the paper's gains here are modest.
+//!
+//! Deviation from Olden noted in DESIGN.md: Olden finds neighbours by
+//! walking *up* parent pointers to a common ancestor; we probe *down*
+//! from the root. Both produce a dependent-load chain of the same length
+//! distribution (the path between the leaf and the ancestor); the probe
+//! direction concentrates hits near the root, which is also where
+//! coloring places the hot elements.
+
+use crate::{RunResult, Scheme};
+use cc_core::ccmorph::{CcMorphParams, ColorConfig};
+use cc_heap::VirtualSpace;
+use cc_sim::event::EventSink;
+use cc_sim::MachineConfig;
+use cc_trees::quadtree::{Color, QuadTree, QUAD_NODE_BYTES};
+
+/// The disk region predicate: inside iff within radius `size * 3 / 8` of
+/// the image center.
+pub fn disk(size: u32) -> impl Fn(u32, u32) -> bool {
+    let c = f64::from(size) / 2.0;
+    let r = f64::from(size) * 3.0 / 8.0;
+    move |x, y| {
+        let dx = f64::from(x) + 0.5 - c;
+        let dy = f64::from(y) + 0.5 - c;
+        dx * dx + dy * dy < r * r
+    }
+}
+
+/// Computes the perimeter of the black region, emitting the full memory
+/// trace: a depth-first enumeration of black leaves plus root-down probes
+/// of each side's neighbouring cells.
+pub fn perimeter<S: EventSink>(tree: &QuadTree, sink: &mut S, sw_prefetch: bool) -> u64 {
+    let size = tree.size();
+    let mut total = 0u64;
+    let mut leaves: Vec<(u32, u32, u32)> = Vec::new();
+    tree.for_each_black_leaf(sink, &mut |_, x, y, s| leaves.push((x, y, s)));
+
+    for (x, y, s) in leaves {
+        // For each side, walk the adjacent strip one neighbouring leaf at
+        // a time.
+        // West:
+        total += side(tree, sink, x.checked_sub(1), y, s, false, size, sw_prefetch);
+        // East:
+        let ex = x + s;
+        total += side(
+            tree,
+            sink,
+            (ex < size).then_some(ex),
+            y,
+            s,
+            false,
+            size,
+            sw_prefetch,
+        );
+        // North:
+        total += side(tree, sink, y.checked_sub(1), x, s, true, size, sw_prefetch);
+        // South:
+        let sy = y + s;
+        total += side(
+            tree,
+            sink,
+            (sy < size).then_some(sy),
+            x,
+            s,
+            true,
+            size,
+            sw_prefetch,
+        );
+    }
+    total
+}
+
+/// Walks one side of a black leaf. `fixed` is the coordinate just outside
+/// the leaf (None = off the image, so the whole side is boundary);
+/// `from..from+len` is the span along the side; `horizontal` selects
+/// whether `fixed` is a y (north/south) or x (west/east) coordinate.
+#[allow(clippy::too_many_arguments)]
+fn side<S: EventSink>(
+    tree: &QuadTree,
+    sink: &mut S,
+    fixed: Option<u32>,
+    from: u32,
+    len: u32,
+    horizontal: bool,
+    _size: u32,
+    _sw_prefetch: bool,
+) -> u64 {
+    let Some(fixed) = fixed else {
+        return u64::from(len); // image border: all boundary
+    };
+    let mut boundary = 0u64;
+    let mut t = from;
+    let end = from + len;
+    while t < end {
+        let (px, py) = if horizontal { (t, fixed) } else { (fixed, t) };
+        let (color, x0, y0, s) = tree.locate(px, py, sink);
+        // The found leaf covers [x0, x0+s) × [y0, y0+s): overlap along the
+        // side is bounded by the leaf's extent in the walk direction.
+        let leaf_from = if horizontal { x0 } else { y0 };
+        let covered = (leaf_from + s).min(end) - t;
+        if color == Color::White {
+            boundary += u64::from(covered);
+        }
+        t += covered;
+    }
+    boundary
+}
+
+/// Runs perimeter on a `size × size` disk image under `scheme`.
+pub fn run(scheme: Scheme, size: u32, machine: &MachineConfig) -> RunResult {
+    let mut pipe = scheme.pipeline(machine);
+    let mut alloc = scheme.allocator(machine);
+    let pred = disk(size);
+    let mut tree = QuadTree::build(size, &pred, &mut alloc, &mut pipe, scheme.uses_hints());
+
+    if let Some(color) = scheme.morph() {
+        let mut vspace = VirtualSpace::new(machine.page_bytes);
+        vspace.skip_pages((1 << 33) / machine.page_bytes);
+        // perimeter's dominant pass is the depth-first leaf enumeration
+        // (the probes mostly hit the L2-resident tree), so ccmorph packs
+        // depth-first chains — the Section 2.1 caveat again.
+        let params = CcMorphParams {
+            cache: machine.l2,
+            page_bytes: machine.page_bytes,
+            elem_bytes: QUAD_NODE_BYTES,
+            color: color.then(ColorConfig::default),
+            cluster_kind: cc_core::cluster::ClusterKind::DepthFirstChain,
+        };
+        tree.morph(&mut vspace, &params);
+    }
+
+    let checksum = perimeter(&tree, &mut pipe, scheme.sw_prefetch());
+    let breakdown = pipe.finish();
+    RunResult {
+        scheme,
+        breakdown,
+        checksum,
+        heap: *alloc.stats(),
+        l2_misses: pipe.memory().l2_stats().misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::Malloc;
+    use cc_sim::event::NullSink;
+
+    /// Brute-force perimeter: count black pixels with white/outside
+    /// 4-neighbours.
+    fn brute(size: u32, inside: &dyn Fn(u32, u32) -> bool) -> u64 {
+        let mut p = 0u64;
+        for y in 0..size {
+            for x in 0..size {
+                if !inside(x, y) {
+                    continue;
+                }
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx >= size || ny >= size || !inside(nx, ny) {
+                        p += 1;
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn quarter_plane_perimeter() {
+        let size = 64;
+        let pred = |x: u32, y: u32| x < 32 && y < 32;
+        let mut heap = Malloc::new(8192);
+        let tree = QuadTree::build(size, &pred, &mut heap, &mut NullSink, false);
+        assert_eq!(perimeter(&tree, &mut NullSink, false), brute(size, &pred));
+    }
+
+    #[test]
+    fn disk_perimeter_matches_brute_force() {
+        let size = 128;
+        let pred = disk(size);
+        let mut heap = Malloc::new(8192);
+        let tree = QuadTree::build(size, &pred, &mut heap, &mut NullSink, false);
+        assert_eq!(perimeter(&tree, &mut NullSink, false), brute(size, &pred));
+    }
+
+    #[test]
+    fn checksums_agree_across_schemes() {
+        let machine = MachineConfig::table1();
+        let base = run(Scheme::Base, 64, &machine);
+        for s in Scheme::FIGURE7 {
+            let r = run(s, 64, &machine);
+            assert_eq!(r.checksum, base.checksum, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn full_image_has_only_border() {
+        let mut heap = Malloc::new(8192);
+        let tree = QuadTree::build(32, &|_, _| true, &mut heap, &mut NullSink, false);
+        assert_eq!(perimeter(&tree, &mut NullSink, false), 4 * 32);
+    }
+
+    #[test]
+    fn empty_image_has_no_perimeter() {
+        let mut heap = Malloc::new(8192);
+        let tree = QuadTree::build(32, &|_, _| false, &mut heap, &mut NullSink, false);
+        assert_eq!(perimeter(&tree, &mut NullSink, false), 0);
+    }
+}

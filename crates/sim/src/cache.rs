@@ -1,0 +1,306 @@
+//! A single set-associative cache level with true-LRU replacement.
+
+use crate::geometry::CacheGeometry;
+use crate::stats::CacheStats;
+use std::collections::HashSet;
+
+/// Write policy of one cache level.
+///
+/// The paper's machines use a write-through L1 (with a write buffer) in
+/// front of a write-back L2 (Table 1); the E5000's L1 is also modelled as
+/// write-through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Writes update the level and propagate below; lines are never dirty.
+    /// Write misses do not allocate (write-around), matching a
+    /// write-through no-allocate L1.
+    WriteThrough,
+    /// Writes dirty the line; evictions of dirty lines cost a writeback.
+    /// Write misses allocate.
+    WriteBack,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic use stamp for true-LRU within the set.
+    used: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    used: 0,
+};
+
+/// Result of probing one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Probe {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// On a fill, whether a dirty victim was written back.
+    pub writeback: bool,
+}
+
+/// One level of set-associative cache with LRU replacement.
+///
+/// The cache stores tags only: the simulated heap holds all data, so the
+/// cache's job is purely to answer "would this access have hit?".
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::cache::{Cache, WritePolicy};
+/// use cc_sim::geometry::CacheGeometry;
+///
+/// let mut c = Cache::new(CacheGeometry::new(2, 16, 1), WritePolicy::WriteBack);
+/// assert!(!c.access(0x00, false).hit); // cold miss
+/// assert!(c.access(0x04, false).hit);  // same block
+/// assert!(!c.access(0x40, false).hit); // maps to set 0 too: conflict
+/// assert!(!c.access(0x00, false).hit); // evicted by the conflicting block
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    policy: WritePolicy,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+    /// Block addresses ever resident, to classify re-reference misses.
+    ever_resident: HashSet<u64>,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(geometry: CacheGeometry, policy: WritePolicy) -> Self {
+        let n = (geometry.sets() * geometry.assoc()) as usize;
+        Cache {
+            geometry,
+            policy,
+            lines: vec![INVALID; n],
+            clock: 0,
+            stats: CacheStats::new(),
+            ever_resident: HashSet::new(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The cache's write policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics without touching cache contents, so warm-up
+    /// can be excluded from steady-state measurements.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut CacheStats {
+        &mut self.stats
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn clear(&mut self) {
+        for l in &mut self.lines {
+            *l = INVALID;
+        }
+        self.clock = 0;
+        self.stats = CacheStats::new();
+        self.ever_resident.clear();
+    }
+
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let a = self.geometry.assoc() as usize;
+        let start = set as usize * a;
+        start..start + a
+    }
+
+    /// Whether the block containing `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        self.lines[self.set_range(set)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs a demand access to the *block* containing `addr` and
+    /// updates statistics. On a miss the block is filled (except for write
+    /// misses under [`WritePolicy::WriteThrough`], which do not allocate).
+    pub fn access(&mut self, addr: u64, write: bool) -> Probe {
+        self.stats.record_access(write);
+        self.probe_internal(addr, write, true)
+    }
+
+    /// Fills the block containing `addr` without recording a demand access
+    /// — used for prefetches. Returns the probe result (hit means the block
+    /// was already resident).
+    pub fn fill(&mut self, addr: u64) -> Probe {
+        self.probe_internal(addr, false, false)
+    }
+
+    fn probe_internal(&mut self, addr: u64, write: bool, demand: bool) -> Probe {
+        self.clock += 1;
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        let range = self.set_range(set);
+        let clock = self.clock;
+
+        // Hit path.
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.used = clock;
+            if write {
+                match self.policy {
+                    WritePolicy::WriteBack => line.dirty = true,
+                    WritePolicy::WriteThrough => {}
+                }
+            }
+            return Probe {
+                hit: true,
+                writeback: false,
+            };
+        }
+
+        // Miss path.
+        let block = self.geometry.block_of(addr);
+        if demand {
+            let seen = self.ever_resident.contains(&block);
+            self.stats.record_miss(write, seen);
+        }
+
+        // Write-through caches do not allocate on write misses.
+        if write && self.policy == WritePolicy::WriteThrough {
+            return Probe {
+                hit: false,
+                writeback: false,
+            };
+        }
+
+        // Choose a victim: an invalid way if any, else LRU.
+        let lines = &mut self.lines[range];
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.used + 1 } else { 0 })
+            .expect("associativity is nonzero");
+        let mut writeback = false;
+        if victim.valid {
+            writeback = victim.dirty && self.policy == WritePolicy::WriteBack;
+            self.stats.record_eviction(writeback);
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write && self.policy == WritePolicy::WriteBack,
+            used: clock,
+        };
+        self.ever_resident.insert(block);
+        Probe {
+            hit: false,
+            writeback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(sets: u64, assoc: u64) -> Cache {
+        Cache::new(CacheGeometry::new(sets, 16, assoc), WritePolicy::WriteBack)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(4, 1);
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x10f, false).hit, "same block");
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().hits(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = tiny(4, 1);
+        let cap = 4 * 16;
+        assert!(!c.access(0, false).hit);
+        assert!(!c.access(cap, false).hit, "same set, different tag");
+        assert!(!c.access(0, false).hit, "got evicted");
+        assert_eq!(c.stats().rereference_misses(), 1);
+    }
+
+    #[test]
+    fn two_way_avoids_that_conflict() {
+        let mut c = tiny(4, 2);
+        let stride = 4 * 16; // maps to the same set
+        assert!(!c.access(0, false).hit);
+        assert!(!c.access(stride, false).hit);
+        assert!(c.access(0, false).hit, "both ways hold the conflicting pair");
+        assert!(c.access(stride, false).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(1, 2);
+        c.access(0x00, false); // A
+        c.access(0x10, false); // B
+        c.access(0x00, false); // touch A; B is now LRU
+        c.access(0x20, false); // C evicts B
+        assert!(c.access(0x00, false).hit, "A stayed");
+        assert!(!c.access(0x10, false).hit, "B was evicted");
+    }
+
+    #[test]
+    fn writeback_of_dirty_victim() {
+        let mut c = tiny(1, 1);
+        c.access(0x00, true); // allocate dirty
+        let p = c.access(0x10, false); // evicts dirty block
+        assert!(p.writeback);
+        assert_eq!(c.stats().writebacks(), 1);
+    }
+
+    #[test]
+    fn write_through_never_writes_back_and_does_not_allocate_on_write_miss() {
+        let mut c = Cache::new(CacheGeometry::new(1, 16, 1), WritePolicy::WriteThrough);
+        c.access(0x00, true);
+        assert!(!c.contains(0x00), "write miss does not allocate");
+        c.access(0x00, false); // read fills
+        c.access(0x00, true); // write hit, stays clean
+        let p = c.access(0x10, false);
+        assert!(!p.writeback);
+        assert_eq!(c.stats().writebacks(), 0);
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand() {
+        let mut c = tiny(4, 1);
+        c.fill(0x40);
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.access(0x40, false).hit);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = tiny(4, 1);
+        c.access(0x40, false);
+        c.clear();
+        assert!(!c.contains(0x40));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine configurations: the two substrates the paper evaluates on.
+
+use crate::cache::WritePolicy;
+use crate::geometry::CacheGeometry;
+
+/// Access latencies of the two-level hierarchy, in cycles, in the paper's
+/// Section 5.1 notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latency {
+    /// L1 hit time `t_h`.
+    pub l1_hit: u64,
+    /// Additional cycles for an L1 miss that hits in L2 (`t_m,L1`).
+    pub l1_miss: u64,
+    /// Additional cycles for an L2 miss (`t_m,L2`).
+    pub l2_miss: u64,
+    /// TLB-miss handling cost (UltraSPARC's software trap through the
+    /// Translation Storage Buffer; ~tens of cycles).
+    pub tlb_miss: u64,
+}
+
+impl Latency {
+    /// Expected memory access time per reference given per-level miss
+    /// rates — the paper's Section 5.1 formula
+    /// `t = t_h + m_L1·t_m,L1 + m_L1·m_L2·t_m,L2` (TLB excluded).
+    pub fn access_time(&self, m_l1: f64, m_l2: f64) -> f64 {
+        self.l1_hit as f64 + m_l1 * self.l1_miss as f64 + m_l1 * m_l2 * self.l2_miss as f64
+    }
+}
+
+/// Full description of a simulated machine's memory system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// L1 data cache geometry.
+    pub l1: CacheGeometry,
+    /// L1 write policy.
+    pub l1_policy: WritePolicy,
+    /// Unified L2 cache geometry.
+    pub l2: CacheGeometry,
+    /// L2 write policy.
+    pub l2_policy: WritePolicy,
+    /// Latencies.
+    pub latency: Latency,
+    /// Virtual-memory page size in bytes.
+    pub page_bytes: u64,
+    /// Number of TLB entries (fully associative); 0 disables the TLB model.
+    pub tlb_entries: usize,
+    /// Clock frequency in MHz, used only to convert cycles to wall time
+    /// when printing figures in the paper's units.
+    pub clock_mhz: u64,
+}
+
+impl MachineConfig {
+    /// The Sun Ultraserver E5000 configuration used for the tree
+    /// microbenchmark, RADIANCE, and VIS (paper Section 4.1):
+    /// 16 KB direct-mapped L1 with 16-byte lines, 1 MB direct-mapped L2
+    /// with 64-byte lines, `t_h = 1`, `t_m,L1 = 6`, `t_m,L2 = 64`,
+    /// 8 KB pages, 167 MHz UltraSPARC.
+    pub fn ultrasparc_e5000() -> Self {
+        MachineConfig {
+            l1: CacheGeometry::with_capacity(16 * 1024, 16, 1),
+            l1_policy: WritePolicy::WriteThrough,
+            l2: CacheGeometry::with_capacity(1 << 20, 64, 1),
+            l2_policy: WritePolicy::WriteBack,
+            latency: Latency {
+                l1_hit: 1,
+                l1_miss: 6,
+                l2_miss: 64,
+                tlb_miss: 30,
+            },
+            page_bytes: 8192,
+            tlb_entries: 64,
+            clock_mhz: 167,
+        }
+    }
+
+    /// The RSIM configuration of the paper's Table 1, used for the Olden
+    /// benchmarks: 16 KB direct-mapped write-through L1, 256 KB 2-way
+    /// write-back L2, 128-byte lines, L1 miss 9 cycles, L2 miss 60 cycles.
+    pub fn table1() -> Self {
+        MachineConfig {
+            l1: CacheGeometry::with_capacity(16 * 1024, 128, 1),
+            l1_policy: WritePolicy::WriteThrough,
+            l2: CacheGeometry::with_capacity(256 * 1024, 128, 2),
+            l2_policy: WritePolicy::WriteBack,
+            latency: Latency {
+                l1_hit: 1,
+                // Table 1: "L1 miss 9 cycles" total to reach L2; expressed
+                // here as 8 additional cycles on top of the 1-cycle hit.
+                l1_miss: 8,
+                l2_miss: 60,
+                tlb_miss: 30,
+            },
+            page_bytes: 8192,
+            tlb_entries: 64,
+            clock_mhz: 200,
+        }
+    }
+
+    /// A deliberately tiny machine for tests: 4-set/16 B direct-mapped L1,
+    /// 16-set/64 B direct-mapped L2, 256-byte pages, 4-entry TLB.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            l1: CacheGeometry::new(4, 16, 1),
+            l1_policy: WritePolicy::WriteThrough,
+            l2: CacheGeometry::new(16, 64, 1),
+            l2_policy: WritePolicy::WriteBack,
+            latency: Latency {
+                l1_hit: 1,
+                l1_miss: 6,
+                l2_miss: 64,
+                tlb_miss: 30,
+            },
+            page_bytes: 256,
+            tlb_entries: 4,
+            clock_mhz: 100,
+        }
+    }
+
+    /// Cycles per microsecond, for converting simulated cycles to the
+    /// paper's microsecond axes.
+    pub fn cycles_per_us(&self) -> f64 {
+        self.clock_mhz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5000_matches_paper_parameters() {
+        let m = MachineConfig::ultrasparc_e5000();
+        assert_eq!(m.l1.capacity_bytes(), 16 * 1024);
+        assert_eq!(m.l1.block_bytes(), 16);
+        assert_eq!(m.l1.assoc(), 1);
+        assert_eq!(m.l2.capacity_bytes(), 1 << 20);
+        assert_eq!(m.l2.block_bytes(), 64);
+        assert_eq!(m.latency.l1_hit, 1);
+        assert_eq!(m.latency.l1_miss, 6);
+        assert_eq!(m.latency.l2_miss, 64);
+    }
+
+    #[test]
+    fn table1_matches_paper_parameters() {
+        let m = MachineConfig::table1();
+        assert_eq!(m.l1.capacity_bytes(), 16 * 1024);
+        assert_eq!(m.l2.capacity_bytes(), 256 * 1024);
+        assert_eq!(m.l2.assoc(), 2);
+        assert_eq!(m.l1.block_bytes(), 128);
+        assert_eq!(m.l2.block_bytes(), 128);
+        assert_eq!(m.latency.l1_hit + m.latency.l1_miss, 9);
+        assert_eq!(m.latency.l2_miss, 60);
+    }
+
+    #[test]
+    fn access_time_formula() {
+        let lat = Latency {
+            l1_hit: 1,
+            l1_miss: 6,
+            l2_miss: 64,
+            tlb_miss: 0,
+        };
+        // Perfect caching: just the hit time.
+        assert!((lat.access_time(0.0, 0.0) - 1.0).abs() < 1e-12);
+        // Worst case: every reference goes to memory.
+        assert!((lat.access_time(1.0, 1.0) - 71.0).abs() < 1e-12);
+        // Paper-style mixed case.
+        let t = lat.access_time(1.0, 0.5);
+        assert!((t - (1.0 + 6.0 + 32.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! The two-level memory system: L1 + L2 + TLB + in-flight prefetch state.
+
+use crate::cache::{Cache, WritePolicy};
+use crate::config::MachineConfig;
+use crate::stats::{CacheStats, TlbStats};
+use crate::tlb::Tlb;
+use std::collections::HashMap;
+
+/// Which level serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Serviced by the L1 data cache.
+    L1,
+    /// Missed L1, hit L2.
+    L2,
+    /// Missed both caches; went to memory.
+    Memory,
+}
+
+/// Demand access kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Result of one demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Deepest level that had to be consulted.
+    pub level: Level,
+    /// Processor-visible latency in cycles. For reads this follows the
+    /// paper's Section 5.1 cost structure plus any TLB-miss penalty and any
+    /// wait on an in-flight prefetch. For writes it is the L1 hit time plus
+    /// TLB penalty: stores retire into the write buffer, whose occupancy
+    /// the pipeline models separately.
+    pub cycles: u64,
+    /// Whether the TLB missed on this reference.
+    pub tlb_miss: bool,
+}
+
+/// A two-level cache hierarchy with TLB and prefetch-in-flight tracking,
+/// configured from a [`MachineConfig`].
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::{AccessKind, Level, MachineConfig, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(MachineConfig::ultrasparc_e5000());
+/// let first = mem.access(0x10000, 8, AccessKind::Read, 0);
+/// assert_eq!(first.level, Level::Memory);
+/// // 16-byte L1 lines: 8 bytes later still the same L1 block.
+/// let second = mem.access(0x10008, 8, AccessKind::Read, 1);
+/// assert_eq!(second.level, Level::L1);
+/// assert_eq!(second.cycles, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    config: MachineConfig,
+    l1: Cache,
+    l2: Cache,
+    tlb: Option<Tlb>,
+    /// L2-block-aligned address → cycle at which an issued prefetch's data
+    /// actually arrives. The line is installed at issue time; a demand
+    /// access before completion waits out the remainder.
+    inflight: HashMap<u64, u64>,
+}
+
+impl MemorySystem {
+    /// Creates a cold memory system for `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        MemorySystem {
+            l1: Cache::new(config.l1, config.l1_policy),
+            l2: Cache::new(config.l2, config.l2_policy),
+            tlb: (config.tlb_entries > 0)
+                .then(|| Tlb::new(config.tlb_entries, config.page_bytes)),
+            config,
+            inflight: HashMap::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// TLB statistics (zeroes if the TLB is disabled).
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.as_ref().map(|t| t.stats()).unwrap_or_default()
+    }
+
+    /// Zeroes all statistics, keeping cache/TLB contents — lets callers
+    /// separate warm-up from steady state (Section 5's "start-up misses").
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        if let Some(t) = &mut self.tlb {
+            t.reset_stats();
+        }
+    }
+
+    /// Expected per-reference memory access time from the measured miss
+    /// rates, via the paper's Section 5.1 formula (TLB excluded).
+    pub fn formula_access_time(&self) -> f64 {
+        self.config
+            .latency
+            .access_time(self.l1.stats().miss_rate(), self.l2.stats().miss_rate())
+    }
+
+    /// Performs a demand access at cycle `now`.
+    ///
+    /// A reference that straddles block boundaries touches every block in
+    /// `[addr, addr+size)`; the latencies add (the blocks are fetched
+    /// serially), which penalizes layouts that split elements across
+    /// blocks — one of the effects clustering avoids.
+    pub fn access(&mut self, addr: u64, size: u32, kind: AccessKind, now: u64) -> AccessOutcome {
+        let lat = self.config.latency;
+        let mut cycles = 0;
+        let mut deepest = Level::L1;
+        let mut tlb_missed = false;
+
+        // Translate once per page touched.
+        if let Some(tlb) = &mut self.tlb {
+            let page = self.config.page_bytes;
+            let first = addr / page;
+            let last = (addr + u64::from(size).max(1) - 1) / page;
+            for p in first..=last {
+                if !tlb.access(p * page) {
+                    cycles += lat.tlb_miss;
+                    tlb_missed = true;
+                }
+            }
+        }
+
+        let write = kind == AccessKind::Write;
+        let blocks: Vec<u64> = self
+            .config
+            .l1
+            .blocks_touched(addr, u64::from(size))
+            .collect();
+        for baddr in blocks {
+            let level = self.access_block(baddr, write, now, &mut cycles);
+            deepest = deepest.max(level);
+        }
+
+        if write {
+            // Stores retire into the write buffer: processor-visible cost
+            // is the hit time; the drain cost shows up as store stall in
+            // the pipeline model.
+            cycles = lat.l1_hit + if tlb_missed { lat.tlb_miss } else { 0 };
+        }
+        AccessOutcome {
+            level: deepest,
+            cycles,
+            tlb_miss: tlb_missed,
+        }
+    }
+
+    fn access_block(&mut self, addr: u64, write: bool, now: u64, cycles: &mut u64) -> Level {
+        let lat = self.config.latency;
+        let l2_block = self.config.l2.block_of(addr);
+
+        // Wait out any in-flight prefetch covering this block.
+        if let Some(done) = self.inflight.remove(&l2_block) {
+            let wait = done.saturating_sub(now);
+            *cycles += wait;
+            self.l2.stats_record_prefetch_hit(wait > 0);
+        }
+
+        let l1 = self.l1.access(addr, write);
+        if l1.hit {
+            *cycles += lat.l1_hit;
+            // Write-through: the write still propagates to L2 (traffic is
+            // accounted; latency is hidden by the write buffer).
+            if write && self.l1.policy() == WritePolicy::WriteThrough {
+                return if self.l2.access(addr, true).hit {
+                    Level::L2
+                } else {
+                    Level::Memory
+                };
+            }
+            return Level::L1;
+        }
+
+        let l2 = self.l2.access(addr, write);
+        if l2.hit {
+            *cycles += lat.l1_hit + lat.l1_miss;
+            Level::L2
+        } else {
+            *cycles += lat.l1_hit + lat.l1_miss + lat.l2_miss;
+            Level::Memory
+        }
+    }
+
+    /// Issues a non-binding prefetch for the block containing `addr` at
+    /// cycle `now`. The line is installed immediately (so later accesses
+    /// and evictions see it) and marked in flight until the data would
+    /// really arrive; a demand access before then waits the remainder.
+    ///
+    /// Returns `true` if a prefetch was actually issued (i.e. the block was
+    /// not already resident in L1).
+    pub fn prefetch(&mut self, addr: u64, now: u64) -> bool {
+        let lat = self.config.latency;
+        if self.l1.contains(addr) {
+            return false;
+        }
+        let l2_block = self.config.l2.block_of(addr);
+        let in_l2 = self.l2.contains(addr);
+        self.l2.stats_record_prefetch_issued();
+        self.l2.fill(addr);
+        self.l1.fill(addr);
+        let arrival = if in_l2 {
+            now + lat.l1_miss
+        } else {
+            now + lat.l1_miss + lat.l2_miss
+        };
+        // Keep the later arrival if a prefetch is already outstanding.
+        let slot = self.inflight.entry(l2_block).or_insert(arrival);
+        *slot = (*slot).max(arrival);
+        true
+    }
+
+    /// Number of prefetches currently in flight (not yet arrived) at `now`.
+    pub fn inflight_at(&self, now: u64) -> usize {
+        self.inflight.values().filter(|&&t| t > now).count()
+    }
+
+    /// Drops in-flight records that completed before `now` (bookkeeping
+    /// hygiene for long runs).
+    pub fn retire_inflight(&mut self, now: u64) {
+        self.inflight.retain(|_, &mut t| t > now);
+    }
+
+    /// Whether the block containing `addr` is resident in L1.
+    pub fn l1_contains(&self, addr: u64) -> bool {
+        self.l1.contains(addr)
+    }
+
+    /// Whether the block containing `addr` is resident in L2.
+    pub fn l2_contains(&self, addr: u64) -> bool {
+        self.l2.contains(addr)
+    }
+}
+
+// Small private extensions so MemorySystem can record prefetch outcomes on
+// the L2's stats without exposing mutable stats publicly.
+impl Cache {
+    fn stats_record_prefetch_issued(&mut self) {
+        self.stats_mut().record_prefetch_issued();
+    }
+    fn stats_record_prefetch_hit(&mut self, partial: bool) {
+        self.stats_mut().record_prefetch_hit(partial);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(MachineConfig::ultrasparc_e5000())
+    }
+
+    #[test]
+    fn cold_read_costs_full_latency() {
+        let mut m = sys();
+        let out = m.access(0x4000_0000, 8, AccessKind::Read, 0);
+        assert_eq!(out.level, Level::Memory);
+        // 1 + 6 + 64 plus one TLB miss (30).
+        assert_eq!(out.cycles, 71 + 30);
+        assert!(out.tlb_miss);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = sys();
+        let a = 0x1000;
+        m.access(a, 8, AccessKind::Read, 0);
+        // Evict from L1 (16 KB apart maps to same L1 set, different L2 set).
+        m.access(a + 16 * 1024, 8, AccessKind::Read, 1);
+        let out = m.access(a, 8, AccessKind::Read, 2);
+        assert_eq!(out.level, Level::L2);
+        assert_eq!(out.cycles, 7);
+    }
+
+    #[test]
+    fn same_l2_block_is_an_l2_hit_for_neighbouring_l1_blocks() {
+        // Two 20-byte "tree nodes" packed in one 64-byte L2 block: the
+        // second node misses the 16-byte L1 but hits L2 — the clustering
+        // effect the paper exploits.
+        let mut m = sys();
+        m.access(0x2000, 20, AccessKind::Read, 0);
+        let out = m.access(0x2014, 20, AccessKind::Read, 1);
+        assert_eq!(out.level, Level::L2);
+    }
+
+    #[test]
+    fn straddling_reference_costs_more() {
+        let mut m = sys();
+        // 20-byte element at offset 56 straddles two L2 blocks.
+        let a = m.access(0x3038, 20, AccessKind::Read, 0);
+        let mut m2 = sys();
+        let b = m2.access(0x3000, 20, AccessKind::Read, 0);
+        assert!(a.cycles > b.cycles);
+    }
+
+    #[test]
+    fn prefetch_then_access_is_a_hit_with_wait() {
+        let mut m = sys();
+        assert!(m.prefetch(0x8000, 0));
+        // Demand access 10 cycles later: data arrives at 70, so wait 60,
+        // plus the L1 hit (line already installed) and TLB miss.
+        let out = m.access(0x8000, 8, AccessKind::Read, 10);
+        assert_eq!(out.level, Level::L1);
+        assert_eq!(out.cycles, 60 + 1 + 30);
+        // After completion: free hit.
+        let out2 = m.access(0x8008, 8, AccessKind::Read, 200);
+        assert_eq!(out2.cycles, 1);
+    }
+
+    #[test]
+    fn prefetch_to_resident_block_is_a_noop() {
+        let mut m = sys();
+        m.access(0x8000, 8, AccessKind::Read, 0);
+        assert!(!m.prefetch(0x8000, 1));
+        assert_eq!(m.l2_stats().prefetches_issued(), 0);
+    }
+
+    #[test]
+    fn write_cost_is_buffered() {
+        let mut m = sys();
+        m.access(0x9000, 8, AccessKind::Read, 0); // warm TLB + caches
+        let out = m.access(0x9008, 8, AccessKind::Write, 1);
+        assert_eq!(out.cycles, 1, "store retires into the write buffer");
+    }
+
+    #[test]
+    fn inflight_bookkeeping() {
+        let mut m = sys();
+        m.prefetch(0xA000, 0);
+        m.prefetch(0xB000, 0);
+        assert_eq!(m.inflight_at(10), 2);
+        m.retire_inflight(1000);
+        assert_eq!(m.inflight_at(10), 0);
+    }
+
+    #[test]
+    fn formula_access_time_tracks_stats() {
+        let mut m = sys();
+        for i in 0..100u64 {
+            m.access(i * 4096, 8, AccessKind::Read, i);
+        }
+        // Every access was a cold miss at both levels.
+        let t = m.formula_access_time();
+        assert!((t - 71.0).abs() < 1e-9, "t = {t}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Prefetching baselines the paper compares against (Section 4.4).
+//!
+//! * **Hardware prefetching** — the paper's scheme prefetches "all loads and
+//!   stores currently in the reorder buffer". Two consequences are modelled:
+//!   independent misses overlap inside the ROB window (that part lives in
+//!   the [`crate::pipeline::Pipeline`]), and spatially sequential misses are
+//!   anticipated. The second is modelled here as a tagged *next-N-block*
+//!   prefetcher: every demand L1 miss triggers prefetches for the next
+//!   `degree` L2 blocks. Like the paper's scheme, it helps layouts whose
+//!   traversal order matches allocation order and is useless for
+//!   pointer-chasing through scattered nodes.
+//! * **Software prefetching** — Luk & Mowry's *greedy* scheme, which the
+//!   paper implemented by hand: when a node is visited, non-binding
+//!   prefetches are issued for all its pointer fields. In this codebase the
+//!   workloads themselves emit [`crate::event::Event::Prefetch`] events when
+//!   run in their software-prefetch variant; [`greedy_prefetch_children`]
+//!   is the helper they use.
+
+use crate::event::EventSink;
+use crate::hierarchy::MemorySystem;
+
+/// Tagged sequential (next-N-block) hardware prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::prefetch::HardwarePrefetcher;
+/// use cc_sim::{MachineConfig, MemorySystem, AccessKind};
+///
+/// let mut mem = MemorySystem::new(MachineConfig::ultrasparc_e5000());
+/// let pf = HardwarePrefetcher::new(1);
+/// mem.access(0x1000, 8, AccessKind::Read, 0);
+/// pf.on_l1_miss(&mut mem, 0x1000, 0);
+/// assert!(mem.l2_contains(0x1040), "next 64-byte block was prefetched");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct HardwarePrefetcher {
+    degree: u32,
+}
+
+impl HardwarePrefetcher {
+    /// Creates a prefetcher fetching the next `degree` blocks on each miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: u32) -> Self {
+        assert!(degree > 0, "prefetch degree must be nonzero");
+        HardwarePrefetcher { degree }
+    }
+
+    /// Prefetch degree.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Reacts to a demand L1 miss at `addr`: issues prefetches for the next
+    /// `degree` sequential L2 blocks. Returns how many were issued.
+    pub fn on_l1_miss(&self, mem: &mut MemorySystem, addr: u64, now: u64) -> u32 {
+        let block = mem.config().l2.block_bytes();
+        let base = mem.config().l2.block_of(addr);
+        let mut issued = 0;
+        for i in 1..=u64::from(self.degree) {
+            if mem.prefetch(base + i * block, now) {
+                issued += 1;
+            }
+        }
+        issued
+    }
+}
+
+/// Emits greedy (Luk & Mowry) software prefetches for a node's pointer
+/// fields: call it with the addresses the node points at, right after the
+/// node itself is loaded. Each prefetch also costs one instruction slot,
+/// which the pipeline charges — the overhead the paper notes software
+/// prefetching pays.
+pub fn greedy_prefetch_children<S: EventSink>(sink: &mut S, children: &[u64]) {
+    for &c in children {
+        sink.prefetch(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::event::TraceBuffer;
+    use crate::hierarchy::AccessKind;
+
+    #[test]
+    fn next_block_prefetch_installs_lines() {
+        let mut mem = MemorySystem::new(MachineConfig::ultrasparc_e5000());
+        let pf = HardwarePrefetcher::new(2);
+        mem.access(0x1000, 8, AccessKind::Read, 0);
+        let issued = pf.on_l1_miss(&mut mem, 0x1000, 0);
+        assert_eq!(issued, 2);
+        assert!(mem.l2_contains(0x1040));
+        assert!(mem.l2_contains(0x1080));
+        assert!(!mem.l2_contains(0x10C0));
+    }
+
+    #[test]
+    fn greedy_emits_one_prefetch_per_child() {
+        let mut buf = TraceBuffer::new();
+        greedy_prefetch_children(&mut buf, &[0x100, 0x200]);
+        assert_eq!(buf.events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_degree_rejected() {
+        let _ = HardwarePrefetcher::new(0);
+    }
+}

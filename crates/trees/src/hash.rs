@@ -1,0 +1,353 @@
+//! A chained hash table on the simulated heap — the primary structure of
+//! Olden `mst` ("a hash table that uses chaining for collisions",
+//! Section 4.4).
+
+use crate::NIL;
+use cc_heap::{Allocator, VirtualSpace};
+use cc_sim::event::EventSink;
+
+/// Bytes per chain cell: key, value, next pointer (32-bit layout).
+pub const HASH_CELL_BYTES: u64 = 16;
+/// Bytes per bucket-array slot (one 32-bit pointer).
+pub const BUCKET_SLOT_BYTES: u64 = 4;
+
+#[derive(Clone, Copy, Debug)]
+struct HCell {
+    key: u64,
+    val: u64,
+    next: u32,
+    addr: u64,
+}
+
+/// Chained hash table whose bucket array and cells live at simulated
+/// addresses.
+///
+/// Insertions can pass a `ccmalloc`-style hint: the predecessor cell in
+/// the chain (or, for the first cell of a bucket, a recently used cell),
+/// so chain neighbours share cache blocks.
+///
+/// # Example
+///
+/// ```
+/// use cc_trees::hash::ChainedHash;
+/// use cc_heap::Malloc;
+/// use cc_sim::event::NullSink;
+///
+/// let mut heap = Malloc::new(8192);
+/// let mut h = ChainedHash::new(64, &mut heap);
+/// h.insert(10, 100, &mut heap, &mut NullSink, false);
+/// h.insert(74, 740, &mut heap, &mut NullSink, false); // same bucket as 10
+/// assert_eq!(h.lookup(74, &mut NullSink), Some(740));
+/// assert_eq!(h.lookup(11, &mut NullSink), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChainedHash {
+    buckets: Vec<u32>,
+    cells: Vec<HCell>,
+    array_addr: u64,
+    len: usize,
+}
+
+impl ChainedHash {
+    /// Creates a table with `n_buckets` chains; the bucket array itself
+    /// is allocated from `alloc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_buckets` is zero.
+    pub fn new<A: Allocator>(n_buckets: usize, alloc: &mut A) -> Self {
+        assert!(n_buckets > 0, "need at least one bucket");
+        let array_addr = alloc.alloc(n_buckets as u64 * BUCKET_SLOT_BYTES);
+        ChainedHash {
+            buckets: vec![NIL; n_buckets],
+            cells: Vec::new(),
+            array_addr,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_of(&self, key: u64) -> usize {
+        // Multiplicative hashing (Knuth), like Olden's `mst`.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.buckets.len()
+    }
+
+    fn slot_addr(&self, bucket: usize) -> u64 {
+        self.array_addr + bucket as u64 * BUCKET_SLOT_BYTES
+    }
+
+    /// Inserts `key → val` (no duplicate check: `mst` inserts distinct
+    /// keys). With `use_hint`, the heap is hinted with the chain's current
+    /// head — the predecessor the new cell will point at.
+    ///
+    /// Emits the bucket-array load, the allocation cost, and the
+    /// head-insertion stores.
+    pub fn insert<A: Allocator, S: EventSink>(
+        &mut self,
+        key: u64,
+        val: u64,
+        alloc: &mut A,
+        sink: &mut S,
+        use_hint: bool,
+    ) {
+        let b = self.bucket_of(key);
+        sink.inst(4);
+        sink.load_indep(self.slot_addr(b), BUCKET_SLOT_BYTES as u32);
+        let head = self.buckets[b];
+        let hint = if use_hint && head != NIL {
+            Some(self.cells[head as usize].addr)
+        } else {
+            None
+        };
+        sink.inst(alloc.cost_insts());
+        let addr = alloc.alloc_hint(HASH_CELL_BYTES, hint);
+        let id = self.cells.len() as u32;
+        self.cells.push(HCell {
+            key,
+            val,
+            next: head,
+            addr,
+        });
+        sink.store(addr, HASH_CELL_BYTES as u32);
+        sink.store(self.slot_addr(b), BUCKET_SLOT_BYTES as u32);
+        self.buckets[b] = id;
+        self.len += 1;
+    }
+
+    /// Looks up `key`: one independent load of the bucket slot, then a
+    /// dependent chain walk.
+    pub fn lookup<S: EventSink>(&self, key: u64, sink: &mut S) -> Option<u64> {
+        let b = self.bucket_of(key);
+        sink.inst(4);
+        sink.load_indep(self.slot_addr(b), BUCKET_SLOT_BYTES as u32);
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            let c = &self.cells[cur as usize];
+            sink.load(c.addr, HASH_CELL_BYTES as u32);
+            sink.inst(2);
+            sink.branch(1);
+            if c.key == key {
+                return Some(c.val);
+            }
+            cur = c.next;
+        }
+        None
+    }
+
+    /// Updates the value for `key`, emitting the lookup walk plus one
+    /// store. Returns false if absent.
+    pub fn update<S: EventSink>(&mut self, key: u64, val: u64, sink: &mut S) -> bool {
+        let b = self.bucket_of(key);
+        sink.inst(4);
+        sink.load_indep(self.slot_addr(b), BUCKET_SLOT_BYTES as u32);
+        let mut cur = self.buckets[b];
+        while cur != NIL {
+            let c = self.cells[cur as usize];
+            sink.load(c.addr, HASH_CELL_BYTES as u32);
+            sink.inst(2);
+            sink.branch(1);
+            if c.key == key {
+                self.cells[cur as usize].val = val;
+                sink.store(c.addr + 8, 8);
+                return true;
+            }
+            cur = c.next;
+        }
+        false
+    }
+
+    /// Longest chain length (for workload characterization).
+    pub fn max_chain(&self) -> usize {
+        (0..self.buckets.len())
+            .map(|b| {
+                let mut n = 0;
+                let mut cur = self.buckets[b];
+                while cur != NIL {
+                    n += 1;
+                    cur = self.cells[cur as usize].next;
+                }
+                n
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reorganizes every chain so its cells are consecutive — `ccmorph`
+    /// applied per component, as the paper allows for "any data structure
+    /// that can be decomposed into components" (Section 3.1.1). Chains
+    /// are packed densely, but a chain short enough to fit in one cache
+    /// block never straddles a block boundary (starting a fresh block
+    /// instead), so one fetch brings the whole chain.
+    pub fn morph_chains(&mut self, vspace: &mut VirtualSpace, block_bytes: u64) {
+        let total = self.cells.len() as u64 * HASH_CELL_BYTES;
+        let base = vspace.align_to(block_bytes.max(vspace.page_bytes()));
+        if total > 0 {
+            vspace.alloc_bytes(total + block_bytes * self.buckets.len() as u64);
+        }
+        let mut next = base;
+        self.pack_chains(&mut next, block_bytes);
+    }
+
+    /// Packs this table's chains starting at `*cursor`, advancing it.
+    /// Callers reorganizing *many* tables (Olden `mst` has one per graph
+    /// vertex) must share one cursor over a single region: giving every
+    /// small table its own page would blow the TLB reach and alias all
+    /// tables onto the same cache sets.
+    pub fn pack_chains(&mut self, cursor: &mut u64, block_bytes: u64) {
+        let next = cursor;
+        for b in 0..self.buckets.len() {
+            // Measure the chain.
+            let mut len = 0u64;
+            let mut cur = self.buckets[b];
+            while cur != NIL {
+                len += 1;
+                cur = self.cells[cur as usize].next;
+            }
+            let bytes = len * HASH_CELL_BYTES;
+            let offset = *next % block_bytes;
+            if bytes <= block_bytes && offset + bytes > block_bytes {
+                *next = next.next_multiple_of(block_bytes);
+            }
+            let mut cur = self.buckets[b];
+            while cur != NIL {
+                self.cells[cur as usize].addr = *next;
+                *next += HASH_CELL_BYTES;
+                cur = self.cells[cur as usize].next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::{CcMalloc, Malloc, Strategy};
+    use cc_sim::event::{NullSink, TraceBuffer};
+    use cc_sim::MachineConfig;
+
+    fn filled(n: u64) -> (Malloc, ChainedHash) {
+        let mut heap = Malloc::new(8192);
+        let mut h = ChainedHash::new(64, &mut heap);
+        for i in 0..n {
+            h.insert(i, i * 10, &mut heap, &mut NullSink, false);
+        }
+        (heap, h)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let (_, h) = filled(500);
+        for i in 0..500 {
+            assert_eq!(h.lookup(i, &mut NullSink), Some(i * 10));
+        }
+        assert_eq!(h.lookup(500, &mut NullSink), None);
+        assert_eq!(h.len(), 500);
+    }
+
+    #[test]
+    fn update_changes_value() {
+        let (_, mut h) = filled(100);
+        assert!(h.update(42, 999, &mut NullSink));
+        assert_eq!(h.lookup(42, &mut NullSink), Some(999));
+        assert!(!h.update(1000, 1, &mut NullSink));
+    }
+
+    #[test]
+    fn lookup_emits_array_plus_chain_loads() {
+        let (_, h) = filled(128);
+        let mut buf = TraceBuffer::new();
+        h.lookup(5, &mut buf);
+        // 1 bucket slot + at least 1 chain cell.
+        assert!(buf.memory_refs() >= 2);
+    }
+
+    #[test]
+    fn hinted_chains_share_blocks() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut heap = CcMalloc::new(&machine, Strategy::NewBlock);
+        let mut h = ChainedHash::new(4, &mut heap);
+        // Force several keys into few buckets.
+        for i in 0..32 {
+            h.insert(i, i, &mut heap, &mut NullSink, true);
+        }
+        // Count blocks per chain: hinted co-location should put multiple
+        // chain neighbours in one block at least somewhere.
+        let mut shared = 0;
+        for b in 0..4 {
+            let mut cur = h.buckets[b];
+            while cur != NIL {
+                let c = &h.cells[cur as usize];
+                if c.next != NIL && c.addr / 64 == h.cells[c.next as usize].addr / 64 {
+                    shared += 1;
+                }
+                cur = c.next;
+            }
+        }
+        assert!(shared > 0);
+    }
+
+    #[test]
+    fn morph_packs_chains_consecutively() {
+        let (_, mut h) = filled(256);
+        let mut vs = VirtualSpace::new(8192);
+        h.morph_chains(&mut vs, 64);
+        // Still correct.
+        for i in 0..256 {
+            assert_eq!(h.lookup(i, &mut NullSink), Some(i * 10));
+        }
+        // Chain neighbours are exactly adjacent.
+        for b in 0..h.n_buckets() {
+            let mut cur = h.buckets[b];
+            while cur != NIL {
+                let c = &h.cells[cur as usize];
+                if c.next != NIL {
+                    let n = &h.cells[c.next as usize];
+                    assert_eq!(n.addr, c.addr + HASH_CELL_BYTES);
+                }
+                cur = c.next;
+            }
+        }
+        // Short chains never straddle a block.
+        for b in 0..h.n_buckets() {
+            let mut cells_in_chain = Vec::new();
+            let mut cur = h.buckets[b];
+            while cur != NIL {
+                cells_in_chain.push(h.cells[cur as usize].addr);
+                cur = h.cells[cur as usize].next;
+            }
+            if cells_in_chain.len() as u64 * HASH_CELL_BYTES <= 64 && !cells_in_chain.is_empty() {
+                let first = cells_in_chain[0] / 64;
+                let last = (cells_in_chain[cells_in_chain.len() - 1] + HASH_CELL_BYTES - 1) / 64;
+                assert_eq!(first, last, "short chain straddles a block");
+            }
+        }
+    }
+
+    #[test]
+    fn max_chain_sane() {
+        let (_, h) = filled(640);
+        assert!(h.max_chain() >= 640 / 64);
+        assert!(h.max_chain() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let mut heap = Malloc::new(8192);
+        let _ = ChainedHash::new(0, &mut heap);
+    }
+}

@@ -1,0 +1,40 @@
+//! Pointer-based data structures on the simulated heap, with
+//! trace-emitting traversals.
+//!
+//! Every structure here follows the same pattern, which is the key
+//! modelling decision of this reproduction (see DESIGN.md): node payloads
+//! live in Rust arenas, each node carries a *simulated address* assigned by
+//! an allocator or layout under test, and traversals narrate their memory
+//! behaviour into a [`cc_sim::event::EventSink`]. Swapping the layout
+//! (allocation-order vs. random vs. `ccmorph`ed) changes only the
+//! addresses — the paper's locational transparency — and therefore only
+//! the cache behaviour.
+//!
+//! Structures:
+//!
+//! * [`bst`] — the binary search tree of the paper's microbenchmark
+//!   (Section 4.2), with random / depth-first / subtree-clustered /
+//!   colored layouts;
+//! * [`btree`] — the in-core B-tree baseline the C-tree is compared with;
+//! * [`list`] — doubly linked lists (Olden `health`);
+//! * [`hash`] — an array of chained buckets (Olden `mst`);
+//! * [`quadtree`] — the quadtree of Olden `perimeter`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod btree;
+pub mod hash;
+pub mod list;
+pub mod quadtree;
+
+/// Node size used for binary-tree nodes, matching the paper's
+/// microbenchmark: 2,097,151 keys consuming 40 MB is ~20 bytes per node
+/// (key + two 32-bit child pointers + balance metadata on the 32-bit
+/// SPARC). With 64-byte L2 blocks this gives the paper's clustering
+/// factor k = 3.
+pub const BST_NODE_BYTES: u64 = 20;
+
+/// Sentinel for "no node" in arena indices.
+pub(crate) const NIL: u32 = u32::MAX;

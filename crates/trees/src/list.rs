@@ -1,0 +1,477 @@
+//! Doubly linked lists on the simulated heap — the primary structure of
+//! Olden `health` (paper Figure 4 shows `ccmalloc` applied to exactly
+//! this `addList` routine).
+
+use crate::NIL;
+use cc_core::ccmorph::{ccmorph, CcMorphParams, Layout};
+use cc_core::Topology;
+use cc_heap::{Allocator, VirtualSpace};
+use cc_sim::event::EventSink;
+
+/// Bytes per list cell: value + forward + back pointers + payload pointer
+/// on the paper's 32-bit SPARC.
+pub const LIST_CELL_BYTES: u64 = 16;
+
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    val: u64,
+    prev: u32,
+    next: u32,
+    addr: u64,
+    live: bool,
+    /// Whether `addr` was issued by the allocator (and must be freed
+    /// through it) or assigned by a `ccmorph` layout (whose region is
+    /// reclaimed wholesale, not cell by cell).
+    heap_owned: bool,
+}
+
+/// An arena-backed doubly linked list whose cells live at simulated
+/// addresses assigned by an [`Allocator`].
+///
+/// # Example
+///
+/// ```
+/// use cc_trees::list::DList;
+/// use cc_heap::{Allocator, Malloc};
+/// use cc_sim::event::NullSink;
+///
+/// let mut heap = Malloc::new(8192);
+/// let mut l = DList::new();
+/// for i in 0..10 {
+///     l.push_back(i, &mut heap, &mut NullSink, false);
+/// }
+/// assert_eq!(l.len(), 10);
+/// assert_eq!(l.values(), (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DList {
+    cells: Vec<Cell>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    free_slots: Vec<u32>,
+}
+
+impl DList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        DList {
+            cells: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            free_slots: Vec::new(),
+        }
+    }
+
+    /// Number of live cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `val`, allocating the cell from `alloc`. With `use_hint`
+    /// the allocation passes the tail cell as the `ccmalloc` hint (the
+    /// paper's Figure 4 pattern); without it, a plain `malloc`.
+    ///
+    /// Emits the allocation's instruction cost and the pointer-fixup
+    /// stores, but no list walk — `health`'s `addList` walk is emitted by
+    /// the benchmark itself via [`Self::walk`].
+    pub fn push_back<A: Allocator, S: EventSink>(
+        &mut self,
+        val: u64,
+        alloc: &mut A,
+        sink: &mut S,
+        use_hint: bool,
+    ) -> u32 {
+        let hint = if use_hint && self.tail != NIL {
+            Some(self.cells[self.tail as usize].addr)
+        } else {
+            None
+        };
+        sink.inst(alloc.cost_insts());
+        let addr = alloc.alloc_hint(LIST_CELL_BYTES, hint);
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.cells[slot as usize] = Cell {
+                    val,
+                    prev: self.tail,
+                    next: NIL,
+                    addr,
+                    live: true,
+                    heap_owned: true,
+                };
+                slot
+            }
+            None => {
+                self.cells.push(Cell {
+                    val,
+                    prev: self.tail,
+                    next: NIL,
+                    addr,
+                    live: true,
+                    heap_owned: true,
+                });
+                (self.cells.len() - 1) as u32
+            }
+        };
+        // Initialize the new cell and patch the old tail's forward pointer.
+        sink.store(addr, LIST_CELL_BYTES as u32);
+        if self.tail != NIL {
+            sink.store(self.cells[self.tail as usize].addr, 4);
+            self.cells[self.tail as usize].next = id;
+        } else {
+            self.head = id;
+        }
+        self.tail = id;
+        self.len += 1;
+        id
+    }
+
+    /// Walks the whole list front to back, emitting one dependent load
+    /// per cell (the `while (list != NULL)` loop of `addList`), and
+    /// returns the number of cells visited. With `sw_prefetch`, each
+    /// visit issues a greedy prefetch of the next cell.
+    pub fn walk<S: EventSink>(&self, sink: &mut S, sw_prefetch: bool) -> usize {
+        let mut cur = self.head;
+        let mut n = 0;
+        while cur != NIL {
+            let c = &self.cells[cur as usize];
+            sink.load(c.addr, LIST_CELL_BYTES as u32);
+            sink.inst(2);
+            sink.branch(1);
+            if sw_prefetch && c.next != NIL {
+                sink.prefetch(self.cells[c.next as usize].addr);
+            }
+            cur = c.next;
+            n += 1;
+        }
+        n
+    }
+
+    /// Walks the list applying `f` to every value in place, emitting one
+    /// dependent load and one store per cell (`health`'s per-timestep
+    /// treatment update). Returns the number of cells visited.
+    pub fn map_values<S: EventSink, F: FnMut(u64) -> u64>(
+        &mut self,
+        sink: &mut S,
+        sw_prefetch: bool,
+        mut f: F,
+    ) -> usize {
+        let mut cur = self.head;
+        let mut n = 0;
+        while cur != NIL {
+            let c = self.cells[cur as usize];
+            sink.load(c.addr, LIST_CELL_BYTES as u32);
+            sink.inst(3);
+            sink.branch(1);
+            if sw_prefetch && c.next != NIL {
+                sink.prefetch(self.cells[c.next as usize].addr);
+            }
+            let new = f(c.val);
+            if new != c.val {
+                self.cells[cur as usize].val = new;
+                sink.store(c.addr, 8);
+            }
+            cur = c.next;
+            n += 1;
+        }
+        n
+    }
+
+    /// Cell ids front to back (structural; emits nothing).
+    pub fn ids(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(cur);
+            cur = self.cells[cur as usize].next;
+        }
+        out
+    }
+
+    /// Walks until `pred(value)` holds, emitting loads; returns the
+    /// matching cell id, if any.
+    pub fn find<S: EventSink, P: Fn(u64) -> bool>(&self, sink: &mut S, pred: P) -> Option<u32> {
+        let mut cur = self.head;
+        while cur != NIL {
+            let c = &self.cells[cur as usize];
+            sink.load(c.addr, LIST_CELL_BYTES as u32);
+            sink.inst(2);
+            sink.branch(1);
+            if pred(c.val) {
+                return Some(cur);
+            }
+            cur = c.next;
+        }
+        None
+    }
+
+    /// Unlinks cell `id`, emitting the pointer-fixup stores, freeing its
+    /// heap cell, and returning its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live cell.
+    pub fn remove<A: Allocator, S: EventSink>(
+        &mut self,
+        id: u32,
+        alloc: &mut A,
+        sink: &mut S,
+    ) -> u64 {
+        let c = self.cells[id as usize];
+        assert!(c.live, "cell {id} is not live");
+        if c.prev != NIL {
+            sink.store(self.cells[c.prev as usize].addr, 4);
+            self.cells[c.prev as usize].next = c.next;
+        } else {
+            self.head = c.next;
+        }
+        if c.next != NIL {
+            sink.store(self.cells[c.next as usize].addr, 4);
+            self.cells[c.next as usize].prev = c.prev;
+        } else {
+            self.tail = c.prev;
+        }
+        if c.heap_owned {
+            alloc.free(c.addr);
+        }
+        self.cells[id as usize].live = false;
+        self.free_slots.push(id);
+        self.len -= 1;
+        c.val
+    }
+
+    /// Value stored in cell `id`.
+    pub fn value(&self, id: u32) -> u64 {
+        self.cells[id as usize].val
+    }
+
+    /// Overwrites the value of cell `id` (no events emitted; callers
+    /// narrating a structure that keeps data out-of-line — like `health`'s
+    /// patient records — emit their own loads and stores).
+    pub fn set_value(&mut self, id: u32, val: u64) {
+        self.cells[id as usize].val = val;
+    }
+
+    /// Head cell id, if any.
+    pub fn head(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Live values front to back.
+    pub fn values(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.cells[cur as usize].val);
+            cur = self.cells[cur as usize].next;
+        }
+        out
+    }
+
+    /// Simulated address of cell `id` (for tests).
+    pub fn addr_of(&self, id: u32) -> u64 {
+        self.cells[id as usize].addr
+    }
+
+    /// Packs the live cells at consecutive addresses from `*cursor` in
+    /// list order (the unary-tree case of subtree clustering), advancing
+    /// the cursor. Returns the `(old, new)` address pairs so the caller
+    /// can charge the copy.
+    ///
+    /// Callers reorganizing many lists (`health` has one per village)
+    /// must share one cursor over a single region — separate page-aligned
+    /// regions per list would exceed the TLB's reach and alias all lists
+    /// onto the same cache sets. Cells still owned by `alloc` are freed
+    /// back to it (the reorganizer releases the structure's old memory).
+    pub fn pack<A: Allocator>(
+        &mut self,
+        cursor: &mut u64,
+        block_bytes: u64,
+        alloc: &mut A,
+    ) -> Vec<(u64, u64)> {
+        let mut moves = Vec::with_capacity(self.len);
+        // A list shorter than a block should not straddle one.
+        let bytes = self.len as u64 * LIST_CELL_BYTES;
+        if bytes <= block_bytes && *cursor % block_bytes + bytes > block_bytes {
+            *cursor = cursor.next_multiple_of(block_bytes);
+        }
+        let mut cur = self.head;
+        while cur != NIL {
+            let c = &mut self.cells[cur as usize];
+            moves.push((c.addr, *cursor));
+            if c.heap_owned {
+                alloc.free(c.addr);
+            }
+            c.addr = *cursor;
+            c.heap_owned = false;
+            *cursor += LIST_CELL_BYTES;
+            cur = c.next;
+        }
+        moves
+    }
+
+    /// Reorganizes the list with `ccmorph` (clusters consecutive cells
+    /// into cache blocks), updating every live cell's address. `health`'s
+    /// cache-conscious variant calls this periodically.
+    pub fn morph(&mut self, vspace: &mut VirtualSpace, params: &CcMorphParams) -> Layout {
+        let layout = ccmorph(self, vspace, params);
+        for (id, cell) in self.cells.iter_mut().enumerate() {
+            if cell.live {
+                if let Some(a) = layout.try_addr_of(id) {
+                    cell.addr = a;
+                    // The old cell is abandoned to the morph region's
+                    // wholesale reclamation; it must not be freed through
+                    // the allocator any more.
+                    cell.heap_owned = false;
+                }
+            }
+        }
+        layout
+    }
+}
+
+impl Topology for DList {
+    fn node_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn root(&self) -> Option<usize> {
+        (self.head != NIL).then_some(self.head as usize)
+    }
+
+    fn max_kids(&self) -> usize {
+        1
+    }
+
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        if i != 0 {
+            return None;
+        }
+        let n = self.cells[node].next;
+        (n != NIL).then_some(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::{CcMalloc, Malloc, Strategy};
+    use cc_sim::event::{NullSink, TraceBuffer};
+    use cc_sim::MachineConfig;
+
+    #[test]
+    fn push_and_values() {
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        for i in 0..100 {
+            l.push_back(i, &mut heap, &mut NullSink, false);
+        }
+        assert_eq!(l.values(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_middle_head_tail() {
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        let ids: Vec<u32> = (0..5)
+            .map(|i| l.push_back(i, &mut heap, &mut NullSink, false))
+            .collect();
+        l.remove(ids[2], &mut heap, &mut NullSink);
+        assert_eq!(l.values(), vec![0, 1, 3, 4]);
+        l.remove(ids[0], &mut heap, &mut NullSink);
+        assert_eq!(l.values(), vec![1, 3, 4]);
+        l.remove(ids[4], &mut heap, &mut NullSink);
+        assert_eq!(l.values(), vec![1, 3]);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        let a = l.push_back(1, &mut heap, &mut NullSink, false);
+        l.remove(a, &mut heap, &mut NullSink);
+        let b = l.push_back(2, &mut heap, &mut NullSink, false);
+        assert_eq!(a, b, "arena slot reused");
+        assert_eq!(l.values(), vec![2]);
+    }
+
+    #[test]
+    fn walk_emits_one_load_per_cell() {
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        for i in 0..7 {
+            l.push_back(i, &mut heap, &mut NullSink, false);
+        }
+        let mut buf = TraceBuffer::new();
+        assert_eq!(l.walk(&mut buf, false), 7);
+        assert_eq!(buf.memory_refs(), 7);
+        let mut buf2 = TraceBuffer::new();
+        l.walk(&mut buf2, true);
+        assert!(buf2.events().len() > buf.events().len(), "prefetches added");
+    }
+
+    #[test]
+    fn hinted_cells_share_blocks() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut heap = CcMalloc::new(&machine, Strategy::NewBlock);
+        let mut l = DList::new();
+        let a = l.push_back(0, &mut heap, &mut NullSink, true);
+        let b = l.push_back(1, &mut heap, &mut NullSink, true);
+        let c = l.push_back(2, &mut heap, &mut NullSink, true);
+        assert_eq!(l.addr_of(a) / 64, l.addr_of(b) / 64);
+        assert_eq!(l.addr_of(b) / 64, l.addr_of(c) / 64);
+    }
+
+    #[test]
+    fn morph_clusters_and_preserves_order() {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        for i in 0..100 {
+            l.push_back(i, &mut heap, &mut NullSink, false);
+        }
+        // Scatter: remove every third cell so addresses fragment.
+        let ids: Vec<u32> = (0..100).step_by(3).collect();
+        for id in ids {
+            l.remove(id, &mut heap, &mut NullSink);
+        }
+        let mut vs = VirtualSpace::new(8192);
+        l.morph(
+            &mut vs,
+            &CcMorphParams::clustering_only(&machine, LIST_CELL_BYTES),
+        );
+        let vals = l.values();
+        assert_eq!(vals.len(), l.len());
+        // After morphing, consecutive cells are at consecutive addresses:
+        // 4 cells per 64-byte block.
+        let mut cur = l.head().expect("nonempty");
+        let mut addrs = Vec::new();
+        while let Some(next) = {
+            addrs.push(l.addr_of(cur));
+            l.child(cur as usize, 0)
+        } {
+            cur = next as u32;
+        }
+        for w in addrs.windows(4) {
+            // At least the first pair in each window of 4 is adjacent.
+            assert!(w[1] - w[0] <= 64, "cells scattered: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_remove_panics() {
+        let mut heap = Malloc::new(8192);
+        let mut l = DList::new();
+        let a = l.push_back(1, &mut heap, &mut NullSink, false);
+        l.remove(a, &mut heap, &mut NullSink);
+        l.remove(a, &mut heap, &mut NullSink);
+    }
+}

@@ -1,0 +1,418 @@
+//! Quadtrees over bitmaps — the structure of Olden `perimeter`
+//! (Table 2: "computes perimeter of regions in images", quadtree over a
+//! 4K × 4K image).
+
+use crate::NIL;
+use cc_core::ccmorph::{ccmorph, CcMorphParams, Layout};
+use cc_core::Topology;
+use cc_heap::{Allocator, VirtualSpace};
+use cc_sim::event::EventSink;
+use cc_sim::prefetch::greedy_prefetch_children;
+
+/// Bytes per quadtree node: four child pointers, parent pointer, color,
+/// level (32-bit layout, as in Olden).
+pub const QUAD_NODE_BYTES: u64 = 28;
+
+/// Node color in the region quadtree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// Entirely outside the region.
+    White,
+    /// Entirely inside the region.
+    Black,
+    /// Mixed: subdivided into four children.
+    Grey,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QNode {
+    kids: [u32; 4],
+    parent: u32,
+    color: Color,
+    addr: u64,
+}
+
+/// An arena-backed region quadtree at simulated addresses.
+///
+/// Built by recursive subdivision of a predicate over the image — node
+/// allocation order is therefore depth-first, which is why the paper sees
+/// only modest `ccmalloc` gains on `perimeter` (allocation order already
+/// matches traversal order).
+#[derive(Clone, Debug)]
+pub struct QuadTree {
+    nodes: Vec<QNode>,
+    root: u32,
+    size: u32,
+}
+
+/// Child quadrant order: NW, NE, SW, SE (matching the paper's Figure 3).
+pub const QUADRANTS: [&str; 4] = ["nw", "ne", "sw", "se"];
+
+impl QuadTree {
+    /// Builds the quadtree of the region `inside` over a `size × size`
+    /// image (`size` must be a power of two). Subdivision stops at
+    /// uniform quadrants or single pixels. Node addresses are assigned
+    /// from `alloc` in construction (depth-first) order; pass
+    /// `hint_parent = true` to `ccmalloc` each node next to its parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn build<A, F, S>(
+        size: u32,
+        inside: &F,
+        alloc: &mut A,
+        sink: &mut S,
+        hint_parent: bool,
+    ) -> Self
+    where
+        A: Allocator,
+        F: Fn(u32, u32) -> bool,
+        S: EventSink,
+    {
+        assert!(size.is_power_of_two(), "image size must be a power of two");
+        let mut t = QuadTree {
+            nodes: Vec::new(),
+            root: NIL,
+            size,
+        };
+        t.root = t.subdivide(0, 0, size, NIL, inside, alloc, sink, hint_parent);
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn subdivide<A, F, S>(
+        &mut self,
+        x: u32,
+        y: u32,
+        size: u32,
+        parent: u32,
+        inside: &F,
+        alloc: &mut A,
+        sink: &mut S,
+        hint_parent: bool,
+    ) -> u32
+    where
+        A: Allocator,
+        F: Fn(u32, u32) -> bool,
+        S: EventSink,
+    {
+        // Classify the quadrant exactly: scan pixels until a mismatch.
+        // Mixed quadrants exit early; uniform ones pay a full scan, which
+        // only happens once per leaf.
+        let first = inside(x, y);
+        let mut uniform = true;
+        'outer: for yy in y..y + size {
+            for xx in x..x + size {
+                if inside(xx, yy) != first {
+                    uniform = false;
+                    break 'outer;
+                }
+            }
+        }
+
+        let hint = if hint_parent && parent != NIL {
+            Some(self.nodes[parent as usize].addr)
+        } else {
+            None
+        };
+        sink.inst(alloc.cost_insts());
+        let addr = alloc.alloc_hint(QUAD_NODE_BYTES, hint);
+        sink.store(addr, QUAD_NODE_BYTES as u32);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(QNode {
+            kids: [NIL; 4],
+            parent,
+            color: if !uniform || size == 1 {
+                if uniform {
+                    if first {
+                        Color::Black
+                    } else {
+                        Color::White
+                    }
+                } else {
+                    Color::Grey
+                }
+            } else if first {
+                Color::Black
+            } else {
+                Color::White
+            },
+            addr,
+        });
+
+        if self.nodes[id as usize].color == Color::Grey && size > 1 {
+            let h = size / 2;
+            let quads = [(x, y), (x + h, y), (x, y + h), (x + h, y + h)];
+            for (i, (qx, qy)) in quads.into_iter().enumerate() {
+                let c = self.subdivide(qx, qy, h, id, inside, alloc, sink, hint_parent);
+                self.nodes[id as usize].kids[i] = c;
+            }
+        }
+        id
+    }
+
+    /// Image edge length.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Color of node `id`.
+    pub fn color_of(&self, id: u32) -> Color {
+        self.nodes[id as usize].color
+    }
+
+    /// Root node id.
+    pub fn root_id(&self) -> u32 {
+        self.root
+    }
+
+    /// Counts black leaves, walking the tree with loads into `sink` —
+    /// a representative read traversal.
+    pub fn count_black<S: EventSink>(&self, sink: &mut S, sw_prefetch: bool) -> usize {
+        self.count_black_from(self.root, sink, sw_prefetch)
+    }
+
+    fn count_black_from<S: EventSink>(&self, id: u32, sink: &mut S, sw_prefetch: bool) -> usize {
+        let n = &self.nodes[id as usize];
+        sink.load(n.addr, QUAD_NODE_BYTES as u32);
+        sink.inst(3);
+        sink.branch(1);
+        match n.color {
+            Color::Black => 1,
+            Color::White => 0,
+            Color::Grey => {
+                if sw_prefetch {
+                    let kids: Vec<u64> = n
+                        .kids
+                        .iter()
+                        .filter(|&&k| k != NIL)
+                        .map(|&k| self.nodes[k as usize].addr)
+                        .collect();
+                    greedy_prefetch_children(sink, &kids);
+                }
+                n.kids
+                    .iter()
+                    .filter(|&&k| k != NIL)
+                    .map(|&k| self.count_black_from(k, sink, sw_prefetch))
+                    .sum()
+            }
+        }
+    }
+
+    /// Locates the deepest node containing pixel `(x, y)`, descending
+    /// from the root and emitting one dependent load per level. Returns
+    /// the node's color and its quadrant `(x0, y0, size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` lies outside the image.
+    pub fn locate<S: EventSink>(&self, x: u32, y: u32, sink: &mut S) -> (Color, u32, u32, u32) {
+        assert!(x < self.size && y < self.size, "pixel out of bounds");
+        let (mut x0, mut y0, mut size) = (0u32, 0u32, self.size);
+        let mut cur = self.root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            sink.load(n.addr, QUAD_NODE_BYTES as u32);
+            sink.inst(4);
+            sink.branch(1);
+            if n.color != Color::Grey {
+                return (n.color, x0, y0, size);
+            }
+            let h = size / 2;
+            let east = x >= x0 + h;
+            let south = y >= y0 + h;
+            let idx = usize::from(east) + 2 * usize::from(south);
+            if east {
+                x0 += h;
+            }
+            if south {
+                y0 += h;
+            }
+            size = h;
+            cur = n.kids[idx];
+        }
+    }
+
+    /// Visits every black leaf with its quadrant, emitting one load per
+    /// node visited (the depth-first scan half of the perimeter
+    /// computation).
+    pub fn for_each_black_leaf<S, F>(&self, sink: &mut S, f: &mut F)
+    where
+        S: EventSink,
+        F: FnMut(u32, u32, u32, u32),
+    {
+        self.black_leaves_from(self.root, 0, 0, self.size, sink, f);
+    }
+
+    fn black_leaves_from<S, F>(&self, id: u32, x0: u32, y0: u32, size: u32, sink: &mut S, f: &mut F)
+    where
+        S: EventSink,
+        F: FnMut(u32, u32, u32, u32),
+    {
+        let n = &self.nodes[id as usize];
+        sink.load(n.addr, QUAD_NODE_BYTES as u32);
+        sink.inst(3);
+        sink.branch(1);
+        match n.color {
+            Color::Black => f(id, x0, y0, size),
+            Color::White => {}
+            Color::Grey => {
+                let h = size / 2;
+                let quads = [(x0, y0), (x0 + h, y0), (x0, y0 + h), (x0 + h, y0 + h)];
+                for (i, (qx, qy)) in quads.into_iter().enumerate() {
+                    if n.kids[i] != NIL {
+                        self.black_leaves_from(n.kids[i], qx, qy, h, sink, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reorganizes the tree with `ccmorph`, updating node addresses.
+    pub fn morph(&mut self, vspace: &mut VirtualSpace, params: &CcMorphParams) -> Layout {
+        let layout = ccmorph(self, vspace, params);
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(a) = layout.try_addr_of(id) {
+                node.addr = a;
+            }
+        }
+        layout
+    }
+
+    /// Address of node `id` (for tests).
+    pub fn addr_of(&self, id: u32) -> u64 {
+        self.nodes[id as usize].addr
+    }
+
+    /// Child `i` of node `id`, if present.
+    pub fn kid(&self, id: u32, i: usize) -> Option<u32> {
+        let k = self.nodes[id as usize].kids[i];
+        (k != NIL).then_some(k)
+    }
+
+    /// Parent of node `id`, if any.
+    pub fn parent(&self, id: u32) -> Option<u32> {
+        let p = self.nodes[id as usize].parent;
+        (p != NIL).then_some(p)
+    }
+}
+
+impl Topology for QuadTree {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn root(&self) -> Option<usize> {
+        (self.root != NIL).then_some(self.root as usize)
+    }
+
+    fn max_kids(&self) -> usize {
+        4
+    }
+
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        let k = self.nodes[node].kids[i];
+        (k != NIL).then_some(k as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_heap::Malloc;
+    use cc_sim::event::NullSink;
+    use cc_sim::MachineConfig;
+
+    /// A quarter-plane region: inside iff x < size/2 && y < size/2.
+    fn quarter(size: u32) -> impl Fn(u32, u32) -> bool {
+        move |x, y| x < size / 2 && y < size / 2
+    }
+
+    #[test]
+    fn uniform_image_is_one_node() {
+        let mut heap = Malloc::new(8192);
+        let t = QuadTree::build(64, &|_, _| true, &mut heap, &mut NullSink, false);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.color_of(t.root_id()), Color::Black);
+    }
+
+    #[test]
+    fn quarter_region_subdivides_once() {
+        let mut heap = Malloc::new(8192);
+        let t = QuadTree::build(64, &quarter(64), &mut heap, &mut NullSink, false);
+        // Root grey, NW black, other three white.
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.color_of(t.root_id()), Color::Grey);
+        let nw = t.kid(t.root_id(), 0).unwrap();
+        assert_eq!(t.color_of(nw), Color::Black);
+        for i in 1..4 {
+            assert_eq!(t.color_of(t.kid(t.root_id(), i).unwrap()), Color::White);
+        }
+    }
+
+    #[test]
+    fn count_black_counts_leaves() {
+        let mut heap = Malloc::new(8192);
+        let t = QuadTree::build(64, &quarter(64), &mut heap, &mut NullSink, false);
+        assert_eq!(t.count_black(&mut NullSink, false), 1);
+    }
+
+    #[test]
+    fn checkerboard_produces_deep_tree() {
+        let mut heap = Malloc::new(8192);
+        // 8x8 tiles: forces subdivision down to tile granularity.
+        let t = QuadTree::build(
+            64,
+            &|x, y| (x / 8 + y / 8) % 2 == 0,
+            &mut heap,
+            &mut NullSink,
+            false,
+        );
+        assert!(t.node_count() > 64);
+        assert_eq!(t.count_black(&mut NullSink, false), 32);
+    }
+
+    #[test]
+    fn parent_pointers_consistent() {
+        let mut heap = Malloc::new(8192);
+        let t = QuadTree::build(64, &quarter(64), &mut heap, &mut NullSink, false);
+        for i in 0..4 {
+            let k = t.kid(t.root_id(), i).unwrap();
+            assert_eq!(t.parent(k), Some(t.root_id()));
+        }
+        assert_eq!(t.parent(t.root_id()), None);
+    }
+
+    #[test]
+    fn morph_preserves_counts() {
+        let machine = MachineConfig::table1();
+        let mut heap = Malloc::new(8192);
+        let mut t = QuadTree::build(
+            256,
+            &|x, y| (x / 16 + y / 16) % 2 == 0,
+            &mut heap,
+            &mut NullSink,
+            false,
+        );
+        let before = t.count_black(&mut NullSink, false);
+        let mut vs = VirtualSpace::new(8192);
+        t.morph(
+            &mut vs,
+            &CcMorphParams::clustering_only(&machine, QUAD_NODE_BYTES),
+        );
+        assert_eq!(t.count_black(&mut NullSink, false), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_rejected() {
+        let mut heap = Malloc::new(8192);
+        let _ = QuadTree::build(100, &|_, _| true, &mut heap, &mut NullSink, false);
+    }
+}

@@ -1,0 +1,79 @@
+//! A tour of `ccmalloc`: how the three block-selection strategies place a
+//! churning linked list, and what that does to walk time and memory.
+//!
+//! This is the paper's Figure 4 scenario (`health`'s `addList`): cells are
+//! appended with the predecessor as the allocation hint, while random
+//! removals fragment the heap. The tour prints, for `malloc` and each
+//! `ccmalloc` strategy: how many consecutive list cells share an L2 cache
+//! block, the simulated cycles for a full walk, and the heap footprint.
+//!
+//! Run with: `cargo run --release --example allocator_tour`
+
+use cache_conscious::core::rng::SplitMix64;
+use cache_conscious::heap::{Allocator, CcMalloc, Malloc, Strategy};
+use cache_conscious::sim::event::NullSink;
+use cache_conscious::sim::{MachineConfig, MemorySink};
+use cache_conscious::trees::list::DList;
+
+const CELLS: u64 = 30_000;
+const CHURN: u64 = 15_000;
+
+fn exercise<A: Allocator>(heap: &mut A, machine: &MachineConfig) -> (f64, u64, u64) {
+    let mut rng = SplitMix64::new(1234);
+    let mut list = DList::new();
+    let mut ids = Vec::new();
+    for i in 0..CELLS {
+        ids.push(list.push_back(i, heap, &mut NullSink, true));
+    }
+    // Churn: remove a random survivor, append a replacement.
+    for i in 0..CHURN {
+        let pick = rng.below(ids.len() as u64) as usize;
+        let id = ids.swap_remove(pick);
+        list.remove(id, heap, &mut NullSink);
+        ids.push(list.push_back(CELLS + i, heap, &mut NullSink, true));
+    }
+
+    // How well did placement survive the churn? Count adjacent cells
+    // sharing a 64-byte L2 block.
+    let cell_ids = list.ids();
+    let shared = cell_ids
+        .windows(2)
+        .filter(|w| list.addr_of(w[0]) / 64 == list.addr_of(w[1]) / 64)
+        .count();
+    let share_pct = 100.0 * shared as f64 / (cell_ids.len() - 1) as f64;
+
+    // Walk cost on a cold cache.
+    let mut sink = MemorySink::new(*machine);
+    list.walk(&mut sink, false);
+    (share_pct, sink.memory_cycles(), heap.stats().footprint_bytes())
+}
+
+fn main() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    println!(
+        "{CELLS} appended cells, {CHURN} random remove+append churns, hint = predecessor\n"
+    );
+    println!(
+        "{:<22} {:>16} {:>14} {:>12}",
+        "allocator", "neighbours/block", "walk cycles", "footprint"
+    );
+
+    let mut malloc = Malloc::new(machine.page_bytes);
+    let (s, w, f) = exercise(&mut malloc, &machine);
+    println!("{:<22} {s:>15.1}% {w:>14} {f:>12}", "malloc");
+
+    for strat in Strategy::ALL {
+        let mut heap = CcMalloc::new(&machine, strat);
+        let (s, w, f) = exercise(&mut heap, &machine);
+        println!(
+            "{:<22} {s:>15.1}% {w:>14} {f:>12}",
+            format!("ccmalloc {}", strat.label())
+        );
+    }
+
+    println!(
+        "\nnew-block keeps cache blocks open for future same-hint calls, so chain\n\
+         neighbours co-locate best — the paper found it consistently strongest\n\
+         (Section 4.4), at a small memory cost."
+    );
+}

@@ -1,0 +1,79 @@
+//! Coloring under the microscope: watch conflict misses disappear.
+//!
+//! This example isolates the paper's Section 2.2 technique from
+//! everything else. A workload alternates between a small *hot* working
+//! set (touched constantly) and a large *cold* stream (touched once each)
+//! — the access pattern of a tree's top levels vs its fringe. Laid out
+//! naively, the cold stream keeps evicting the hot set from the
+//! direct-mapped L2; laid out with [`ColoredSpace`], the hot set lives in
+//! reserved cache sets that cold data cannot map to.
+//!
+//! Run with: `cargo run --release --example hot_cold_coloring`
+
+use cache_conscious::core::color::ColoredSpace;
+use cache_conscious::heap::VirtualSpace;
+use cache_conscious::sim::event::EventSink;
+use cache_conscious::sim::{MachineConfig, MemorySink};
+
+const HOT_ELEMS: u64 = 8_000;
+const COLD_ELEMS: u64 = 100_000;
+const ELEM: u64 = 64;
+const ROUNDS: u64 = 50;
+
+fn run(hot: &[u64], cold: &[u64], machine: &MachineConfig) -> (u64, f64) {
+    let mut sink = MemorySink::new(*machine);
+    for r in 0..ROUNDS {
+        // Touch the whole hot set, then a slice of the cold stream —
+        // interleaved like a search touching the root region then fringe.
+        for &h in hot {
+            sink.load(h, ELEM as u32);
+        }
+        let chunk = cold.len() as u64 / ROUNDS;
+        for &c in &cold[(r * chunk) as usize..((r + 1) * chunk) as usize] {
+            sink.load(c, ELEM as u32);
+        }
+    }
+    let l2 = sink.system().l2_stats();
+    (sink.memory_cycles(), l2.miss_rate())
+}
+
+fn main() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    println!(
+        "hot set: {HOT_ELEMS} x {ELEM} B = {} KB (fits easily in the 1 MB L2)\n\
+         cold stream: {COLD_ELEMS} x {ELEM} B = {} MB, touched once each\n",
+        HOT_ELEMS * ELEM / 1024,
+        COLD_ELEMS * ELEM / (1 << 20)
+    );
+
+    // Naive: hot and cold interleaved in one flat region.
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    let base = vs.alloc_bytes((HOT_ELEMS + COLD_ELEMS) * ELEM);
+    let hot: Vec<u64> = (0..HOT_ELEMS).map(|i| base + i * ELEM).collect();
+    let cold: Vec<u64> = (0..COLD_ELEMS)
+        .map(|i| base + (HOT_ELEMS + i) * ELEM)
+        .collect();
+    let (naive_cycles, naive_l2) = run(&hot, &cold, &machine);
+
+    // Colored: hot elements in the reserved eighth of the cache.
+    let mut vs2 = VirtualSpace::new(machine.page_bytes);
+    let mut cs = ColoredSpace::new(
+        &mut vs2,
+        machine.l2,
+        machine.page_bytes,
+        0.5,
+        (HOT_ELEMS + COLD_ELEMS) * ELEM,
+    );
+    let hot2: Vec<u64> = (0..HOT_ELEMS).map(|_| cs.alloc_hot(ELEM)).collect();
+    let cold2: Vec<u64> = (0..COLD_ELEMS).map(|_| cs.alloc_cold(ELEM)).collect();
+    let (cc_cycles, cc_l2) = run(&hot2, &cold2, &machine);
+
+    println!("{:<28} {:>14} {:>14}", "", "naive", "colored (p=C/2)");
+    println!("{:<28} {naive_cycles:>14} {cc_cycles:>14}", "memory cycles");
+    println!("{:<28} {naive_l2:>14.4} {cc_l2:>14.4}", "L2 miss rate");
+    println!(
+        "\nspeedup from coloring alone: {:.2}x — no data was moved closer together,\n\
+         the hot set simply became impossible to evict (paper Figure 2).",
+        naive_cycles as f64 / cc_cycles as f64
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: see clustering and coloring cut a tree's miss rate.
+//!
+//! Builds a binary search tree four times the simulated L2, searches it
+//! under the naive (random) layout and under the `ccmorph`ed C-tree
+//! layout, and prints the measured miss rates, the Section 5.1 access
+//! times, and the speedup — next to what the paper's analytic model
+//! predicts for exactly this configuration.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cache_conscious::core::ccmorph::CcMorphParams;
+use cache_conscious::core::cluster::Order;
+use cache_conscious::core::rng::SplitMix64;
+use cache_conscious::heap::VirtualSpace;
+use cache_conscious::model::ctree::predicted_speedup;
+use cache_conscious::sim::{MachineConfig, MemorySink};
+use cache_conscious::trees::bst::Bst;
+use cache_conscious::trees::BST_NODE_BYTES;
+
+const KEYS: u64 = (1 << 18) - 1;
+const SEARCHES: u64 = 100_000;
+
+fn measure(tree: &Bst, machine: &MachineConfig) -> (f64, f64, f64) {
+    let mut sink = MemorySink::new(*machine);
+    let mut rng = SplitMix64::new(42);
+    // Warm up past the cold-start misses (the paper's "transient"), then
+    // measure steady state.
+    for _ in 0..SEARCHES / 4 {
+        tree.search(2 * rng.below(KEYS), &mut sink, false);
+    }
+    sink.reset_stats();
+    for _ in 0..SEARCHES {
+        tree.search(2 * rng.below(KEYS), &mut sink, false);
+    }
+    let l1 = sink.system().l1_stats().miss_rate();
+    let l2 = sink.system().l2_stats().miss_rate();
+    let cycles_per_search =
+        (sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0) / SEARCHES as f64;
+    (l1, l2, cycles_per_search)
+}
+
+fn main() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    println!(
+        "tree: {KEYS} keys x {BST_NODE_BYTES} B = {:.1} MB; L2 = 1 MB direct-mapped (Sun E5000)",
+        (KEYS * BST_NODE_BYTES) as f64 / (1 << 20) as f64
+    );
+
+    let mut tree = Bst::build_complete(KEYS);
+    tree.layout_sequential(Order::Random { seed: 7 });
+    let (l1n, l2n, tn) = measure(&tree, &machine);
+    println!("\nnaive (randomly clustered) layout:");
+    println!("  L1 miss rate {l1n:.3}   L2 miss rate {l2n:.3}   cycles/search {tn:.0}");
+
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree.morph(
+        &mut vs,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    let (l1c, l2c, tc) = measure(&tree, &machine);
+    println!("transparent C-tree (ccmorph: subtree clustering + coloring):");
+    println!("  L1 miss rate {l1c:.3}   L2 miss rate {l2c:.3}   cycles/search {tc:.0}");
+
+    let model = predicted_speedup(KEYS, machine.l2, BST_NODE_BYTES, 0.5, &machine.latency);
+    println!("\nspeedup: {:.2}x measured, {model:.2}x predicted by the Section 5 model", tn / tc);
+}

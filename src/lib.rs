@@ -1,0 +1,68 @@
+//! # cache-conscious
+//!
+//! A from-scratch Rust reproduction of **“Cache-Conscious Structure
+//! Layout”** (Trishul M. Chilimbi, Mark D. Hill, James R. Larus —
+//! PLDI 1999): the *clustering* and *coloring* placement techniques, the
+//! **`ccmorph`** transparent tree reorganizer, the **`ccmalloc`**
+//! cache-conscious heap allocator, the Section 5 analytic framework, and
+//! the paper's complete evaluation (tree microbenchmark, RADIANCE, VIS,
+//! and the Olden suite) on a simulated memory hierarchy.
+//!
+//! This umbrella crate re-exports the workspace's crates:
+//!
+//! * [`sim`] (`cc-sim`) — two-level cache + TLB + prefetchers + a
+//!   simplified out-of-order pipeline with the paper's stall attribution;
+//! * [`heap`] (`cc-heap`) — simulated virtual address space, baseline
+//!   `malloc`, and `ccmalloc` with its three block-selection strategies;
+//! * [`core`] (`cc-core`) — clustering, coloring, and `ccmorph`;
+//! * [`model`] (`cc-model`) — the analytic miss-rate and speedup framework;
+//! * [`trees`] (`cc-trees`) — BSTs, B-trees, lists, chained hash tables,
+//!   quadtrees on the simulated heap;
+//! * [`olden`] (`cc-olden`) — treeadd, health, mst, perimeter;
+//! * [`apps`] (`cc-apps`) — mini-RADIANCE and mini-VIS.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cache_conscious::core::ccmorph::CcMorphParams;
+//! use cache_conscious::core::cluster::Order;
+//! use cache_conscious::heap::VirtualSpace;
+//! use cache_conscious::sim::{MachineConfig, MemorySink};
+//! use cache_conscious::trees::bst::Bst;
+//! use cache_conscious::trees::BST_NODE_BYTES;
+//!
+//! let machine = MachineConfig::ultrasparc_e5000();
+//!
+//! // A binary search tree, laid out randomly (the naive heap layout)…
+//! let mut tree = Bst::build_complete(100_000);
+//! tree.layout_sequential(Order::Random { seed: 1 });
+//! let mut naive = MemorySink::new(machine);
+//! for key in (0..200_000).step_by(7) {
+//!     tree.search(key, &mut naive, false);
+//! }
+//!
+//! // …then ccmorph'ed: subtree-clustered and colored.
+//! let mut vs = VirtualSpace::new(machine.page_bytes);
+//! tree.morph(&mut vs, &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES));
+//! let mut cc = MemorySink::new(machine);
+//! for key in (0..200_000).step_by(7) {
+//!     tree.search(key, &mut cc, false);
+//! }
+//!
+//! assert!(cc.memory_cycles() < naive.memory_cycles());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and hardware substitutions,
+//! and `EXPERIMENTS.md` for paper-vs-measured results of every table and
+//! figure. The `cc-bench` crate's binaries regenerate each one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cc_apps as apps;
+pub use cc_core as core;
+pub use cc_heap as heap;
+pub use cc_model as model;
+pub use cc_olden as olden;
+pub use cc_sim as sim;
+pub use cc_trees as trees;

@@ -1,0 +1,149 @@
+//! End-to-end integration: the paper's central claims, verified across
+//! crate boundaries at test-friendly scale.
+
+use cache_conscious::core::ccmorph::{CcMorphParams, ColorConfig};
+use cache_conscious::core::cluster::Order;
+use cache_conscious::core::rng::SplitMix64;
+use cache_conscious::heap::VirtualSpace;
+use cache_conscious::model::ctree::{ctree_model, predicted_speedup};
+use cache_conscious::model::speedup::MissRates;
+use cache_conscious::sim::{MachineConfig, MemorySink};
+use cache_conscious::trees::bst::Bst;
+use cache_conscious::trees::BST_NODE_BYTES;
+
+const KEYS: u64 = (1 << 17) - 1; // 2.5 MB of tree on a 1 MB L2
+const SEARCHES: u64 = 40_000;
+
+fn steady_state(tree: &Bst, machine: &MachineConfig) -> (f64, MissRates) {
+    let mut sink = MemorySink::new(*machine);
+    let mut rng = SplitMix64::new(0xE2E);
+    for _ in 0..SEARCHES / 2 {
+        tree.search(2 * rng.below(KEYS), &mut sink, false);
+    }
+    sink.reset_stats();
+    for _ in 0..SEARCHES {
+        tree.search(2 * rng.below(KEYS), &mut sink, false);
+    }
+    let cycles = (sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0) / SEARCHES as f64;
+    let rates = MissRates::new(
+        sink.system().l1_stats().miss_rate(),
+        sink.system().l2_stats().miss_rate(),
+    );
+    (cycles, rates)
+}
+
+/// The headline: the full ccmorph pipeline (clustering + coloring) beats
+/// the naive layout by a factor consistent with Figure 5's shape.
+#[test]
+fn ctree_beats_naive_by_a_large_factor() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut tree = Bst::build_complete(KEYS);
+    tree.layout_sequential(Order::Random { seed: 13 });
+    let (naive, _) = steady_state(&tree, &machine);
+
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree.morph(
+        &mut vs,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    let (cc, _) = steady_state(&tree, &machine);
+
+    let speedup = naive / cc;
+    assert!(speedup > 2.0, "expected a big win, got {speedup:.2}x");
+}
+
+/// Clustering alone and coloring alone each contribute: the combination
+/// is at least as good as clustering alone, which beats naive.
+#[test]
+fn techniques_compose() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut tree = Bst::build_complete(KEYS);
+    tree.layout_sequential(Order::Random { seed: 13 });
+    let (naive, _) = steady_state(&tree, &machine);
+
+    let mut tree2 = Bst::build_complete(KEYS);
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree2.morph(
+        &mut vs,
+        &CcMorphParams::clustering_only(&machine, BST_NODE_BYTES),
+    );
+    let (cluster, _) = steady_state(&tree2, &machine);
+
+    let mut tree3 = Bst::build_complete(KEYS);
+    let mut vs3 = VirtualSpace::new(machine.page_bytes);
+    tree3.morph(
+        &mut vs3,
+        &CcMorphParams {
+            color: Some(ColorConfig::default()),
+            ..CcMorphParams::clustering_only(&machine, BST_NODE_BYTES)
+        },
+    );
+    let (both, _) = steady_state(&tree3, &machine);
+
+    assert!(cluster < naive, "clustering must beat naive: {cluster} vs {naive}");
+    assert!(
+        both <= cluster * 1.02,
+        "adding coloring must not hurt: {both} vs {cluster}"
+    );
+}
+
+/// The Section 5 model's L2 miss-rate prediction for the C-tree tracks
+/// the simulator's measurement.
+#[test]
+fn model_tracks_measured_l2_miss_rate() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut tree = Bst::build_complete(KEYS);
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree.morph(
+        &mut vs,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    let (_, rates) = steady_state(&tree, &machine);
+
+    let predicted = ctree_model(KEYS, machine.l2, BST_NODE_BYTES, 0.5).steady_state_miss_rate();
+    // The model is meant for relative comparisons (Section 5); accept a
+    // generous band.
+    assert!(
+        (rates.l2 - predicted).abs() < 0.15,
+        "measured {:.3} vs predicted {predicted:.3}",
+        rates.l2
+    );
+}
+
+/// The model's per-reference access-time prediction for the C-tree (the
+/// Section 5.1 formula over Figure 9's miss rate) tracks the simulator's
+/// measurement. The *naive* side of Figure 10's speedup assumes the
+/// worst case (`m = 1`), which only holds for trees many times the L2 —
+/// the full-scale comparison lives in the `fig10` binary — so here we
+/// validate the cache-conscious side directly.
+#[test]
+fn model_access_time_prediction_is_in_band() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut tree = Bst::build_complete(KEYS);
+    let mut vs = VirtualSpace::new(machine.page_bytes);
+    tree.morph(
+        &mut vs,
+        &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
+    );
+    let (_, rates) = steady_state(&tree, &machine);
+
+    let model = ctree_model(KEYS, machine.l2, BST_NODE_BYTES, 0.5);
+    // Per-reference expected time, with the paper's m_L1 = 1 assumption
+    // (20-byte nodes see essentially no L1 reuse in 16-byte lines).
+    let predicted = machine
+        .latency
+        .access_time(1.0, model.steady_state_miss_rate());
+    let measured = machine.latency.access_time(rates.l1, rates.l2);
+    // The model only credits reuse to the colored hot region; at this
+    // scale (2.5x the L2) the cold portion also gets real reuse, so the
+    // model is systematically conservative — the same direction as the
+    // paper's reported ~15% underestimate of speedup (Section 5.4).
+    let ratio = predicted / measured;
+    assert!(
+        (0.8..=2.0).contains(&ratio),
+        "predicted {predicted:.2} vs measured {measured:.2} cycles/ref"
+    );
+    // And the full-speedup predictor at least produces a sane value here.
+    let s = predicted_speedup(KEYS, machine.l2, BST_NODE_BYTES, 0.5, &machine.latency);
+    assert!(s > 1.0 && s < 20.0);
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use cache_conscious::core::ccmorph::{ccmorph, CcMorphParams, ColorConfig};
+use cache_conscious::core::cluster::{dfs_chain_clusters, subtree_clusters, ClusterKind};
+use cache_conscious::core::color::ColoredSpace;
+use cache_conscious::core::topology::VecTree;
+use cache_conscious::heap::{Allocator, CcMalloc, Malloc, Strategy, VirtualSpace};
+use cache_conscious::model::StructureModel;
+use cache_conscious::sim::cache::{Cache, WritePolicy};
+use cache_conscious::sim::{CacheGeometry, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every reachable node gets exactly one address, whatever the shape,
+    /// cluster kind, or coloring.
+    #[test]
+    fn ccmorph_is_a_bijection(
+        n in 1usize..400,
+        arity in 1usize..5,
+        elem in 8u64..100,
+        colored in any::<bool>(),
+        dfs_kind in any::<bool>(),
+    ) {
+        let mut t = VecTree::new(arity);
+        for _ in 0..n { t.add_node(); }
+        // Attach node i to parent (i-1)/arity: a full arity-ary tree.
+        for i in 1..n {
+            t.link((i - 1) / arity, i);
+        }
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        let params = CcMorphParams {
+            color: colored.then_some(ColorConfig::default()),
+            cluster_kind: if dfs_kind { ClusterKind::DepthFirstChain } else { ClusterKind::SubtreeBfs },
+            ..CcMorphParams::clustering_only(&machine, elem)
+        };
+        let layout = ccmorph(&t, &mut vs, &params);
+        let mut addrs: Vec<u64> = (0..n).map(|i| layout.addr_of(i)).collect();
+        addrs.sort_unstable();
+        let before = addrs.len();
+        addrs.dedup();
+        prop_assert_eq!(addrs.len(), before, "duplicate addresses");
+        // Elements never overlap.
+        for w in addrs.windows(2) {
+            prop_assert!(w[1] - w[0] >= elem);
+        }
+    }
+
+    /// Both clusterings partition the node set.
+    #[test]
+    fn clusterings_partition(n in 1usize..300, k in 1usize..9) {
+        let t = VecTree::complete_binary(n);
+        for clusters in [subtree_clusters(&t, k), dfs_chain_clusters(&t, k)] {
+            let mut all: Vec<usize> = clusters.iter().flat_map(|c| c.nodes.clone()).collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            prop_assert!(clusters.iter().all(|c| c.nodes.len() <= k));
+        }
+    }
+
+    /// Cold allocations never land in hot cache sets, for any geometry
+    /// and fraction.
+    #[test]
+    fn coloring_separation(
+        log_sets in 7u32..12,
+        log_block in 4u32..8,
+        frac in 0.05f64..0.95,
+        allocs in 1usize..200,
+        size in 1u64..64,
+    ) {
+        let geom = CacheGeometry::new(1 << log_sets, 1 << log_block, 1);
+        let page = 4096u64.min(geom.sets() * geom.block_bytes() / 2);
+        if geom.sets() * geom.block_bytes() < 2 * page { return Ok(()); }
+        let mut vs = VirtualSpace::new(page);
+        let mut cs = ColoredSpace::new(&mut vs, geom, page, frac, 1 << 22);
+        let size = size.min(geom.block_bytes());
+        let hot_set_bound = cs.hot_bytes_per_way() / geom.block_bytes();
+        for _ in 0..allocs {
+            let h = cs.alloc_hot(size);
+            prop_assert!(geom.set_of(h) < hot_set_bound);
+            let c = cs.alloc_cold(size);
+            prop_assert!(geom.set_of(c) >= hot_set_bound);
+        }
+    }
+
+    /// Allocators never return overlapping live allocations.
+    #[test]
+    fn allocations_never_overlap(
+        sizes in prop::collection::vec(1u64..200, 1..120),
+        strategy in prop::sample::select(vec![
+            None,
+            Some(Strategy::Closest),
+            Some(Strategy::NewBlock),
+            Some(Strategy::FirstFit),
+        ]),
+    ) {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut heap: Box<dyn Allocator> = match strategy {
+            None => Box::new(Malloc::new(machine.page_bytes)),
+            Some(s) => Box::new(CcMalloc::new(&machine, s)),
+        };
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut hint = None;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let a = heap.alloc_hint(sz, hint);
+            for &(b, bsz) in &live {
+                prop_assert!(a + sz <= b || b + bsz <= a,
+                    "overlap: {a:#x}+{sz} vs {b:#x}+{bsz}");
+            }
+            live.push((a, sz));
+            if i % 3 == 0 { hint = Some(a); }
+            // Free every fifth allocation to exercise recycling.
+            if i % 5 == 4 {
+                let (b, _) = live.swap_remove(live.len() / 2);
+                heap.free(b);
+            }
+        }
+    }
+
+    /// LRU cache sanity: hit rate of repeated scans of a set-sized window
+    /// is 100% after warm-up; the miss count never exceeds accesses.
+    #[test]
+    fn cache_miss_bounds(ways in 1u64..5, accesses in 1u64..500) {
+        let geom = CacheGeometry::new(16, 32, ways);
+        let mut c = Cache::new(geom, WritePolicy::WriteBack);
+        for i in 0..accesses {
+            c.access((i % (16 * ways)) * 32, false);
+        }
+        let s = c.stats();
+        prop_assert!(s.misses() <= s.accesses());
+        // The working set fits exactly: only cold misses.
+        prop_assert!(s.misses() <= 16 * ways);
+    }
+
+    /// Analytic model invariants: miss rate in [0, 1], monotone in K and Rs.
+    #[test]
+    fn model_miss_rate_bounds(d in 1.0f64..64.0, k in 1.0f64..16.0, frac in 0.0f64..1.0) {
+        let rs = frac * d;
+        let m = StructureModel::new(d, k, rs);
+        let r = m.steady_state_miss_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+        let better_k = StructureModel::new(d, k + 1.0, rs);
+        prop_assert!(better_k.steady_state_miss_rate() <= r + 1e-12);
+        let better_rs = StructureModel::new(d, k, (rs + 0.1 * d).min(d));
+        prop_assert!(better_rs.steady_state_miss_rate() <= r + 1e-12);
+    }
+}

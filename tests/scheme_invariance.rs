@@ -1,0 +1,63 @@
+//! Placement is *transparent*: every Olden benchmark must compute the
+//! same answer under every placement scheme — the paper's semantic
+//! guarantee for `ccmalloc` (always) and `ccmorph` (given the
+//! programmer's no-external-pointers guarantee).
+
+use cache_conscious::olden::{health, mst, perimeter, treeadd, Scheme};
+use cache_conscious::sim::MachineConfig;
+
+fn all_schemes() -> Vec<Scheme> {
+    let mut v = Scheme::FIGURE7.to_vec();
+    v.push(Scheme::CcMallocNullHint);
+    v
+}
+
+#[test]
+fn treeadd_is_scheme_invariant() {
+    let machine = MachineConfig::table1();
+    let base = treeadd::run(Scheme::Base, 4096, &machine);
+    assert_eq!(base.checksum, 4096 * 4097 / 2);
+    for s in all_schemes() {
+        assert_eq!(treeadd::run(s, 4096, &machine).checksum, base.checksum, "{s:?}");
+    }
+}
+
+#[test]
+fn health_is_scheme_invariant() {
+    let machine = MachineConfig::table1();
+    let base = health::run(Scheme::Base, 2, 80, &machine);
+    for s in all_schemes() {
+        assert_eq!(health::run(s, 2, 80, &machine).checksum, base.checksum, "{s:?}");
+    }
+}
+
+#[test]
+fn mst_is_scheme_invariant() {
+    let machine = MachineConfig::table1();
+    let base = mst::run(Scheme::Base, 96, 8, &machine);
+    for s in all_schemes() {
+        assert_eq!(mst::run(s, 96, 8, &machine).checksum, base.checksum, "{s:?}");
+    }
+}
+
+#[test]
+fn perimeter_is_scheme_invariant() {
+    let machine = MachineConfig::table1();
+    let base = perimeter::run(Scheme::Base, 128, &machine);
+    for s in all_schemes() {
+        assert_eq!(perimeter::run(s, 128, &machine).checksum, base.checksum, "{s:?}");
+    }
+}
+
+/// Runs are fully deterministic: identical inputs give identical cycle
+/// counts, not just identical answers.
+#[test]
+fn runs_are_deterministic() {
+    let machine = MachineConfig::table1();
+    for s in [Scheme::Base, Scheme::CcMallocNewBlock, Scheme::CcMorphClusterColor] {
+        let a = health::run(s, 2, 60, &machine);
+        let b = health::run(s, 2, 60, &machine);
+        assert_eq!(a.breakdown, b.breakdown, "{s:?}");
+        assert_eq!(a.l2_misses, b.l2_misses, "{s:?}");
+    }
+}
