@@ -225,12 +225,7 @@ impl Octree {
 
     /// Reorganizes the octree with `ccmorph`, charging the copy (the
     /// paper includes restructuring overhead in RADIANCE's numbers).
-    pub fn morph<S: EventSink>(
-        &mut self,
-        machine: &MachineConfig,
-        color: bool,
-        sink: &mut S,
-    ) {
+    pub fn morph<S: EventSink>(&mut self, machine: &MachineConfig, color: bool, sink: &mut S) {
         let mut vspace = VirtualSpace::new(machine.page_bytes);
         vspace.skip_pages((1 << 33) / machine.page_bytes);
         let params = CcMorphParams {

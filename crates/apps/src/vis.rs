@@ -445,9 +445,9 @@ pub fn run(policy: AllocPolicy, params: &VisParams, machine: &MachineConfig) -> 
     // Query phase: sat-count the top carry and a middle sum bit, then a
     // large batch of assignment evaluations.
     let mut checksum = bdd.sat_count(carry, &mut pipe);
-    checksum = checksum.wrapping_mul(31).wrapping_add(
-        bdd.sat_count(sums[n as usize / 2], &mut pipe),
-    );
+    checksum = checksum
+        .wrapping_mul(31)
+        .wrapping_add(bdd.sat_count(sums[n as usize / 2], &mut pipe));
     let mut rng = SplitMix64::new(params.seed);
     let mut trues = 0u64;
     for _ in 0..params.evals {
@@ -543,7 +543,12 @@ mod tests {
             },
             &MachineConfig::ultrasparc_e5000(),
         );
-        assert!(big.nodes > 4 * small.nodes, "{} vs {}", big.nodes, small.nodes);
+        assert!(
+            big.nodes > 4 * small.nodes,
+            "{} vs {}",
+            big.nodes,
+            small.nodes
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! `cc-audit` — audit a simulated cache-conscious layout.
+//!
+//! ```text
+//! cc-audit [--json] [--scenario NAME] [--nodes N]
+//! cc-audit --list
+//! ```
+//!
+//! Builds the named scenario (default: every scenario in turn), runs the
+//! six layout rules over it, and prints the report as text or stable
+//! JSON. Exit status: 0 if every audited layout is free of
+//! error-severity findings, 1 otherwise, 2 on usage errors.
+
+use cc_audit::{audit, scenarios, AuditConfig};
+
+struct Options {
+    json: bool,
+    scenario: Option<String>,
+    nodes: usize,
+}
+
+const DEFAULT_NODES: usize = (1 << 14) - 1;
+
+fn usage_text() -> String {
+    format!(
+        "usage: cc-audit [--json] [--scenario NAME] [--nodes N]\n\
+         \x20      cc-audit --list\n\
+         scenarios: {}",
+        scenarios::ALL.join(", ")
+    )
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        json: false,
+        scenario: None,
+        nodes: DEFAULT_NODES,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list" => {
+                for name in scenarios::ALL {
+                    println!("{name}: {}", scenarios::describe(name).unwrap());
+                }
+                std::process::exit(0);
+            }
+            "--scenario" => match args.next() {
+                Some(name) if scenarios::describe(&name).is_some() => {
+                    opts.scenario = Some(name);
+                }
+                Some(name) => {
+                    eprintln!("cc-audit: unknown scenario '{name}'");
+                    usage();
+                }
+                None => usage(),
+            },
+            "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => opts.nodes = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("cc-audit: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let config = AuditConfig::default();
+    let names: Vec<&str> = match &opts.scenario {
+        Some(name) => vec![name.as_str()],
+        None => scenarios::ALL.to_vec(),
+    };
+    let mut errors = 0;
+    for (i, name) in names.iter().enumerate() {
+        let input = scenarios::build(name, opts.nodes).expect("validated scenario name");
+        let report = audit(&input, &config);
+        errors += report.error_count();
+        if opts.json {
+            print!("{}", report.to_json());
+        } else {
+            if i > 0 {
+                println!();
+            }
+            println!("== {name} ({} elements) ==", opts.nodes);
+            print!("{}", report.to_text());
+        }
+    }
+    std::process::exit(if errors == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,59 @@
+//! **`cc-audit`** — a layout-invariant analysis pass that proves
+//! clustering and coloring did what the paper promises.
+//!
+//! *Cache-Conscious Structure Layout* (Chilimbi, Hill & Larus, PLDI 1999)
+//! makes checkable claims about where a transformed layout puts things:
+//! contemporaneously accessed elements share cache blocks (clustering,
+//! Section 2.1), frequently accessed elements map only to the reserved
+//! hot cache sets (coloring, Section 2.2). This crate audits a concrete
+//! simulated layout against those claims — statically, without running a
+//! workload — and reports violations as structured findings.
+//!
+//! # Inputs
+//!
+//! An [`AuditInput`] combines:
+//!
+//! * **items** — addressed objects, from a `ccmorph`
+//!   [`Layout`](cc_core::Layout) ([`AuditInput::from_tree_layout`]) or a
+//!   heap [`LayoutSnapshot`](cc_heap::LayoutSnapshot)
+//!   ([`AuditInput::from_snapshot`]);
+//! * **affinity pairs** — which items should be co-located, from the
+//!   structure's topology or the allocator's recorded hints;
+//! * **cache geometry** — the [`CacheGeometry`](cc_sim::CacheGeometry)
+//!   being laid out against;
+//! * optionally a **[`ColorSpec`]** (the intended hot/cold partition) and
+//!   observed heat from a recorded
+//!   [`AffinityTrace`](cc_sim::AffinityTrace)
+//!   ([`AuditInput::apply_trace`]).
+//!
+//! # Rules
+//!
+//! [`audit`] runs six rules — CLUSTER-01/02, COLOR-01/02, SET-01 and
+//! ALIGN-01 — documented in `crates/audit/README.md`, and returns a
+//! [`Report`] renderable as text or stable JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_audit::{audit, scenarios, AuditConfig};
+//!
+//! // A ccmorph-reorganized tree satisfies every invariant…
+//! let good = audit(&scenarios::ccmorph_tree(1023), &AuditConfig::default());
+//! assert!(good.is_clean());
+//!
+//! // …while the baseline malloc layout of the same tree does not.
+//! let bad = audit(&scenarios::malloc_tree(1023), &AuditConfig::default());
+//! assert!(bad.error_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod input;
+pub mod report;
+pub mod rules;
+pub mod scenarios;
+
+pub use input::{AffinityKind, AuditInput, AuditItem, ColorSpec};
+pub use report::{AuditStats, Finding, Report, Rule, Severity};
+pub use rules::{audit, AuditConfig};

@@ -1,0 +1,382 @@
+//! Structured diagnostics: rules, severities, findings, and the report
+//! with its text and JSON renderings.
+
+use std::fmt;
+
+/// The audited invariants. Each rule checks one structural claim the
+/// paper's techniques make; see `crates/audit/README.md` for the full
+/// catalogue with remediations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Hot element placed where it maps to a cold set.
+    Color01,
+    /// Cold element polluting the reserved hot partition.
+    Color02,
+    /// High-affinity pairs split across L2 blocks (poor clustering).
+    Cluster01,
+    /// Unrelated items co-located in one block (wasted block capacity).
+    Cluster02,
+    /// Conflict-pressure hotspot: a set owed more hot bytes than its
+    /// associativity can hold.
+    Set01,
+    /// Allocation needlessly straddling a cache-block boundary.
+    Align01,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::Color01,
+        Rule::Color02,
+        Rule::Cluster01,
+        Rule::Cluster02,
+        Rule::Set01,
+        Rule::Align01,
+    ];
+
+    /// Stable diagnostic id.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::Color01 => "COLOR-01",
+            Rule::Color02 => "COLOR-02",
+            Rule::Cluster01 => "CLUSTER-01",
+            Rule::Cluster02 => "CLUSTER-02",
+            Rule::Set01 => "SET-01",
+            Rule::Align01 => "ALIGN-01",
+        }
+    }
+
+    /// Default severity of a violation.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Rule::Color01 | Rule::Cluster01 => Severity::Error,
+            Rule::Color02 | Rule::Cluster02 | Rule::Set01 => Severity::Warning,
+            Rule::Align01 => Severity::Info,
+        }
+    }
+
+    /// Suggested fix, phrased for the diagnostic.
+    pub fn remediation(&self) -> &'static str {
+        match self {
+            Rule::Color01 => {
+                "recolor: place this element via the colored space's hot \
+                 allocator (ccmorph with a ColorConfig), or raise hot_fraction"
+            }
+            Rule::Color02 => {
+                "recolor: allocate cold data via alloc_cold so it cannot \
+                 evict the hot working set"
+            }
+            Rule::Cluster01 => {
+                "recluster: reorganize with ccmorph (subtree clustering), or \
+                 pass the parent/predecessor as the ccmalloc hint at \
+                 allocation time"
+            }
+            Rule::Cluster02 => {
+                "recluster: co-locate items that are accessed together; \
+                 unrelated block-mates waste the fetch the miss already paid"
+            }
+            Rule::Set01 => {
+                "spread hot data: lower hot_fraction pressure or interleave \
+                 across ways; more hot bytes than assoc x block per set must \
+                 conflict"
+            }
+            Rule::Align01 => {
+                "align: start the allocation on a block boundary or pack it \
+                 within one block; a straddling element costs two fetches"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Breaks a paper guarantee; the layout will not deliver the claimed
+    /// miss-rate behaviour.
+    Error,
+    /// Wastes capacity or invites conflicts without breaking a guarantee.
+    Warning,
+    /// Worth knowing; usually harmless.
+    Info,
+}
+
+impl Severity {
+    /// Stable lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Severity (normally [`Rule::severity`]).
+    pub severity: Severity,
+    /// What happened, with the evidence inline.
+    pub message: String,
+    /// Offending addresses (sorted, deduplicated, possibly truncated —
+    /// `message` says when).
+    pub addrs: Vec<u64>,
+}
+
+impl Finding {
+    /// Builds a finding with the rule's default severity and normalized
+    /// addresses.
+    pub fn new(rule: Rule, message: String, mut addrs: Vec<u64>) -> Self {
+        addrs.sort_unstable();
+        addrs.dedup();
+        Finding {
+            rule,
+            severity: rule.severity(),
+            message,
+            addrs,
+        }
+    }
+}
+
+/// Aggregate numbers the rules computed, reported even when clean.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AuditStats {
+    /// Items analysed.
+    pub items: usize,
+    /// Affinity pairs analysed.
+    pub pairs: usize,
+    /// Co-located pairs / best achievable co-located pairs (1.0 = the
+    /// layout clusters as well as block capacity allows); `None` without
+    /// affinity pairs.
+    pub colocation_score: Option<f64>,
+    /// Certainly-hot items found in cold slots (COLOR-01 raw count).
+    pub hot_in_cold: usize,
+    /// Certainly-cold items found in hot slots (COLOR-02 raw count).
+    pub cold_in_hot: usize,
+}
+
+/// The audit's outcome: findings plus the numbers behind them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Violations, ordered by rule then first offending address.
+    pub findings: Vec<Finding>,
+    /// Aggregate statistics.
+    pub stats: AuditStats,
+}
+
+impl Report {
+    /// Whether nothing fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of a given rule.
+    pub fn of_rule(&self, rule: Rule) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    /// Number of error-severity findings (the CLI's exit status).
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Canonical ordering: rule, then first address, then message.
+    pub(crate) fn normalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.rule, a.addrs.first(), &a.message).cmp(&(b.rule, b.addrs.first(), &b.message))
+        });
+    }
+
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audit: {} item(s), {} affinity pair(s)\n",
+            self.stats.items, self.stats.pairs
+        ));
+        if let Some(score) = self.stats.colocation_score {
+            out.push_str(&format!("colocation score: {}\n", fmt_f64(score)));
+        }
+        if self.is_clean() {
+            out.push_str("clean: no layout violations\n");
+            return out;
+        }
+        for f in &self.findings {
+            out.push_str(&format!("{} [{}] {}\n", f.severity, f.rule, f.message));
+            if !f.addrs.is_empty() {
+                let addrs: Vec<String> = f.addrs.iter().map(|a| format!("{a:#x}")).collect();
+                out.push_str(&format!("  at: {}\n", addrs.join(", ")));
+            }
+            out.push_str(&format!("  fix: {}\n", f.rule.remediation()));
+        }
+        out.push_str(&format!(
+            "{} finding(s), {} error(s)\n",
+            self.findings.len(),
+            self.error_count()
+        ));
+        out
+    }
+
+    /// Stable machine-readable rendering. Key order, number formatting,
+    /// and finding order are all deterministic, so the output is
+    /// snapshot-testable; see `tests/audit.rs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"stats\": {\n");
+        out.push_str(&format!("    \"items\": {},\n", self.stats.items));
+        out.push_str(&format!("    \"pairs\": {},\n", self.stats.pairs));
+        out.push_str(&format!(
+            "    \"colocation_score\": {},\n",
+            self.stats
+                .colocation_score
+                .map_or("null".to_string(), fmt_f64)
+        ));
+        out.push_str(&format!(
+            "    \"hot_in_cold\": {},\n",
+            self.stats.hot_in_cold
+        ));
+        out.push_str(&format!(
+            "    \"cold_in_hot\": {}\n",
+            self.stats.cold_in_hot
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"rule\": \"{}\",\n", f.rule.id()));
+            out.push_str(&format!("      \"severity\": \"{}\",\n", f.severity.name()));
+            out.push_str(&format!(
+                "      \"message\": \"{}\",\n",
+                escape_json(&f.message)
+            ));
+            let addrs: Vec<String> = f.addrs.iter().map(|a| format!("\"{a:#x}\"")).collect();
+            out.push_str(&format!("      \"addrs\": [{}],\n", addrs.join(", ")));
+            out.push_str(&format!(
+                "      \"remediation\": \"{}\"\n",
+                escape_json(f.rule.remediation())
+            ));
+            out.push_str("    }");
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Fixed-precision float formatting so JSON output never depends on
+/// float-to-shortest-string vagaries.
+fn fmt_f64(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Minimal JSON string escaping; messages are ASCII by construction but
+/// escaping keeps the emitter safe for arbitrary labels.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding::new(Rule::Align01, "straddler".into(), vec![0x40]),
+                Finding::new(Rule::Color01, "hot in cold".into(), vec![0x180, 0x100]),
+            ],
+            stats: AuditStats {
+                items: 3,
+                pairs: 2,
+                colocation_score: Some(0.5),
+                hot_in_cold: 1,
+                cold_in_hot: 0,
+            },
+        };
+        r.normalize();
+        r
+    }
+
+    #[test]
+    fn normalize_orders_by_rule() {
+        let r = sample_report();
+        assert_eq!(r.findings[0].rule, Rule::Color01);
+        assert_eq!(r.findings[1].rule, Rule::Align01);
+        assert_eq!(r.findings[0].addrs, vec![0x100, 0x180], "addrs sorted");
+    }
+
+    #[test]
+    fn text_mentions_rule_and_fix() {
+        let text = sample_report().to_text();
+        assert!(text.contains("error [COLOR-01] hot in cold"));
+        assert!(text.contains("at: 0x100, 0x180"));
+        assert!(text.contains("fix: recolor"));
+        assert!(text.contains("2 finding(s), 1 error(s)"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.to_text().contains("clean"));
+        assert!(r.to_json().contains("\"clean\": true"));
+        assert!(r.to_json().contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample_report();
+        assert_eq!(r.to_json(), r.to_json());
+        assert!(r.to_json().contains("\"colocation_score\": 0.5000"));
+        let mut tricky = Report::default();
+        tricky.findings.push(Finding::new(
+            Rule::Set01,
+            "quote \" and \\ slash".into(),
+            vec![],
+        ));
+        assert!(tricky.to_json().contains("quote \\\" and \\\\ slash"));
+    }
+
+    #[test]
+    fn every_rule_has_id_and_remediation() {
+        for rule in Rule::ALL {
+            assert!(!rule.id().is_empty());
+            assert!(!rule.remediation().is_empty());
+            assert!(rule.id().contains('-'));
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! The six audit rules and the entry point, [`audit`].
+//!
+//! Each rule checks one concrete consequence of the paper's placement
+//! techniques against an actual layout:
+//!
+//! | rule       | claim it audits                                           |
+//! |------------|-----------------------------------------------------------|
+//! | CLUSTER-01 | high-affinity pairs share cache blocks (Section 2.1)      |
+//! | CLUSTER-02 | block-mates are related — no wasted fetches               |
+//! | COLOR-01   | frequently accessed elements map to hot sets (Section 2.2)|
+//! | COLOR-02   | the hot partition is not polluted by cold elements        |
+//! | SET-01     | no set is owed more hot bytes than its associativity      |
+//! | ALIGN-01   | sub-block elements do not straddle block boundaries       |
+
+use std::collections::HashMap;
+
+use crate::input::AuditInput;
+use crate::report::{AuditStats, Finding, Report, Rule};
+
+/// Thresholds and reporting limits. The defaults match the acceptance
+/// oracles: a `ccmorph`-reorganized tree passes every rule, the same tree
+/// laid out by a layout-oblivious `Malloc` trips CLUSTER-01 and (when a
+/// coloring is intended) COLOR-01.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditConfig {
+    /// CLUSTER-01 fires when the achievability-normalized co-location
+    /// score falls below this (1.0 = every block holds as many affine
+    /// pairs as its capacity allows).
+    pub min_colocation_score: f64,
+    /// CLUSTER-02 fires when more than this fraction of multi-item blocks
+    /// contain no affine pair at all.
+    pub max_unrelated_block_fraction: f64,
+    /// Dead band, in heat units, around the hot/cold boundary. Items
+    /// within the band are neither certainly hot nor certainly cold, so
+    /// the color rules stay quiet about them. With depth-derived heat
+    /// (one unit per tree level) the default forgives boundary levels
+    /// that clustering granularity may place either way.
+    pub heat_tolerance: f64,
+    /// At most this many offending addresses are attached to a finding;
+    /// the message reports the true count.
+    pub max_reported_addrs: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            min_colocation_score: 0.75,
+            max_unrelated_block_fraction: 0.4,
+            heat_tolerance: 2.0,
+            max_reported_addrs: 8,
+        }
+    }
+}
+
+/// Runs every rule over the input and returns the normalized report.
+///
+/// The audit is purely static: it looks at where items *are*, never at a
+/// workload execution (heat may come from a recorded trace, but the rules
+/// only compare addresses against geometry).
+pub fn audit(input: &AuditInput, config: &AuditConfig) -> Report {
+    let mut report = Report {
+        findings: Vec::new(),
+        stats: AuditStats {
+            items: input.items.len(),
+            pairs: input.pairs.len(),
+            ..AuditStats::default()
+        },
+    };
+    let heat = HeatPartition::compute(input, config);
+    check_cluster_01(input, config, &mut report);
+    check_cluster_02(input, config, &mut report);
+    check_color_01(input, config, &heat, &mut report);
+    check_color_02(input, config, &heat, &mut report);
+    check_set_01(input, config, &heat, &mut report);
+    check_align_01(input, config, &mut report);
+    report.normalize();
+    report
+}
+
+/// Which items must be hot and which must be cold, derived from the heat
+/// ordering and the layout's hot capacity.
+///
+/// Sort items by heat (descending) and fill the hot capacity; the heat at
+/// the point the capacity runs out is the boundary. An item is *certainly
+/// hot* if its heat clears the boundary by more than the tolerance — any
+/// correct coloring has room for it among the hot sets — and *certainly
+/// cold* if it falls short by more than the tolerance. When every item
+/// fits, nothing is certainly cold; when heat is uniform (e.g. all zero:
+/// no information), nothing is certain in either direction and the
+/// heat-based rules are vacuously quiet.
+struct HeatPartition {
+    boundary: f64,
+    tolerance: f64,
+}
+
+impl HeatPartition {
+    fn compute(input: &AuditInput, config: &AuditConfig) -> Self {
+        // Without an intended coloring the budget is the whole cache:
+        // SET-01 still wants to know which items compete to be resident.
+        let capacity = input
+            .color
+            .map_or(input.geometry.capacity_bytes(), |c| c.hot_capacity());
+        let mut order: Vec<usize> = (0..input.items.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ia, ib) = (&input.items[a], &input.items[b]);
+            ib.heat
+                .partial_cmp(&ia.heat)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ia.addr.cmp(&ib.addr))
+        });
+        // Fill in *block* granularity: a layout places whole cache blocks
+        // in the hot region, so what "fits" is distinct blocks, not raw
+        // item bytes. (Items the hypothetical ideal layout would co-locate
+        // already share blocks here, so counting their blocks once is the
+        // honest measure.)
+        let mut boundary = f64::NEG_INFINITY;
+        let mut blocks = std::collections::HashSet::new();
+        for &i in &order {
+            let item = &input.items[i];
+            blocks.extend(input.geometry.blocks_touched(item.addr, item.size));
+            if blocks.len() as u64 * input.geometry.block_bytes() > capacity {
+                boundary = item.heat;
+                break;
+            }
+        }
+        HeatPartition {
+            boundary,
+            tolerance: config.heat_tolerance,
+        }
+    }
+
+    fn certainly_hot(&self, heat: f64) -> bool {
+        heat > self.boundary + self.tolerance
+    }
+
+    fn certainly_cold(&self, heat: f64) -> bool {
+        heat + self.tolerance < self.boundary
+    }
+}
+
+/// CLUSTER-01: the layout co-locates the high-affinity pairs it was given.
+///
+/// A block holding `s` items can co-locate at most `s − 1` pairs of a
+/// spanning structure, so with `k = ⌊b/e⌋` items per block the best any
+/// layout can do for `n` linked items is `n − ⌈n/k⌉` co-located pairs.
+/// The score is achieved/achievable; `ccmorph` subtree clustering scores
+/// 1.0 on the pairs it optimizes for, a layout-oblivious sequential
+/// allocation of a tree scores ≈ 0.4.
+fn check_cluster_01(input: &AuditInput, config: &AuditConfig, report: &mut Report) {
+    if input.pairs.is_empty() {
+        return;
+    }
+    let mut linked = vec![false; input.items.len()];
+    for &(a, b) in &input.pairs {
+        linked[a] = true;
+        linked[b] = true;
+    }
+    let n = linked.iter().filter(|&&l| l).count() as u64;
+    let max_elem = input
+        .items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| linked[*i])
+        .map(|(_, item)| item.size)
+        .max()
+        .unwrap_or(1);
+    let k = input.geometry.elems_per_block(max_elem);
+    let achievable = n.saturating_sub(n.div_ceil(k));
+    if achievable == 0 {
+        return; // elements don't fit two to a block; nothing to cluster
+    }
+    let block = |i: usize| input.geometry.block_of(input.items[i].addr);
+    let mut split = Vec::new();
+    let mut colocated = 0u64;
+    for &(a, b) in &input.pairs {
+        if block(a) == block(b) {
+            colocated += 1;
+        } else {
+            split.push((a, b));
+        }
+    }
+    let score = (colocated as f64 / achievable as f64).min(1.0);
+    report.stats.colocation_score = Some(score);
+    if score >= config.min_colocation_score {
+        return;
+    }
+    let mut addrs = Vec::new();
+    let mut examples = Vec::new();
+    for &(a, b) in split.iter().take(config.max_reported_addrs / 2) {
+        addrs.push(input.items[a].addr);
+        addrs.push(input.items[b].addr);
+        if examples.len() < 2 {
+            examples.push(format!(
+                "{} | {}",
+                input.items[a].label, input.items[b].label
+            ));
+        }
+    }
+    report.findings.push(Finding::new(
+        Rule::Cluster01,
+        format!(
+            "co-location score {score:.2} below {:.2}: only {colocated} of {achievable} \
+             achievable high-affinity pairs share a cache block \
+             (k = {k} items/block; {} split pair(s), e.g. {})",
+            config.min_colocation_score,
+            split.len(),
+            examples.join("; "),
+        ),
+        addrs,
+    ));
+}
+
+/// CLUSTER-02: blocks holding several items hold *related* items. A
+/// multi-item block with no internal affinity edge spends its fetch on
+/// data the access that missed did not want. Only blocks containing at
+/// least one item with known affinity are judged — a block of items the
+/// input claims nothing about (no pairs) is unknown, not wrong.
+fn check_cluster_02(input: &AuditInput, config: &AuditConfig, report: &mut Report) {
+    if input.pairs.is_empty() {
+        return;
+    }
+    let mut linked = vec![false; input.items.len()];
+    for &(a, b) in &input.pairs {
+        linked[a] = true;
+        linked[b] = true;
+    }
+    let mut items_per_block: HashMap<u64, (u64, bool)> = HashMap::new();
+    for (i, item) in input.items.iter().enumerate() {
+        let entry = items_per_block
+            .entry(input.geometry.block_of(item.addr))
+            .or_insert((0, false));
+        entry.0 += 1;
+        entry.1 |= linked[i];
+    }
+    let mut related_blocks: HashMap<u64, bool> = items_per_block
+        .iter()
+        .filter(|(_, &(count, has_linked))| count >= 2 && has_linked)
+        .map(|(&block, _)| (block, false))
+        .collect();
+    if related_blocks.is_empty() {
+        return;
+    }
+    for &(a, b) in &input.pairs {
+        let (ba, bb) = (
+            input.geometry.block_of(input.items[a].addr),
+            input.geometry.block_of(input.items[b].addr),
+        );
+        if ba == bb {
+            if let Some(flag) = related_blocks.get_mut(&ba) {
+                *flag = true;
+            }
+        }
+    }
+    let multi = related_blocks.len();
+    let mut unrelated: Vec<u64> = related_blocks
+        .iter()
+        .filter(|(_, &related)| !related)
+        .map(|(&block, _)| block)
+        .collect();
+    unrelated.sort_unstable();
+    let fraction = unrelated.len() as f64 / multi as f64;
+    if fraction <= config.max_unrelated_block_fraction {
+        return;
+    }
+    let shown: Vec<u64> = unrelated
+        .iter()
+        .copied()
+        .take(config.max_reported_addrs)
+        .collect();
+    report.findings.push(Finding::new(
+        Rule::Cluster02,
+        format!(
+            "{} of {multi} multi-item cache block(s) ({:.0}%) hold only mutually \
+             unrelated items (limit {:.0}%)",
+            unrelated.len(),
+            fraction * 100.0,
+            config.max_unrelated_block_fraction * 100.0,
+        ),
+        shown,
+    ));
+}
+
+/// COLOR-01: every certainly-hot item sits in a hot slot. This is the
+/// coloring guarantee — a hot element in a cold set can be evicted by
+/// cold data, which is exactly what coloring exists to prevent.
+fn check_color_01(
+    input: &AuditInput,
+    config: &AuditConfig,
+    heat: &HeatPartition,
+    report: &mut Report,
+) {
+    let Some(color) = input.color else { return };
+    let mut offenders: Vec<usize> = (0..input.items.len())
+        .filter(|&i| {
+            heat.certainly_hot(input.items[i].heat) && !color.is_hot_slot(input.items[i].addr)
+        })
+        .collect();
+    report.stats.hot_in_cold = offenders.len();
+    if offenders.is_empty() {
+        return;
+    }
+    offenders.sort_by_key(|&i| input.items[i].addr);
+    let example = &input.items[offenders[0]];
+    report.findings.push(Finding::new(
+        Rule::Color01,
+        format!(
+            "{} hot element(s) mapped to cold cache sets (e.g. {} at {:#x}, heat {:.1} \
+             vs hot/cold boundary {:.1}); cold data can evict them",
+            offenders.len(),
+            example.label,
+            example.addr,
+            example.heat,
+            heat.boundary,
+        ),
+        offenders
+            .iter()
+            .take(config.max_reported_addrs)
+            .map(|&i| input.items[i].addr)
+            .collect(),
+    ));
+}
+
+/// COLOR-02: no certainly-cold item occupies a hot slot. Cold data in
+/// the reserved partition competes with the hot working set for the very
+/// sets coloring set aside.
+fn check_color_02(
+    input: &AuditInput,
+    config: &AuditConfig,
+    heat: &HeatPartition,
+    report: &mut Report,
+) {
+    let Some(color) = input.color else { return };
+    let mut offenders: Vec<usize> = (0..input.items.len())
+        .filter(|&i| {
+            heat.certainly_cold(input.items[i].heat) && color.is_hot_slot(input.items[i].addr)
+        })
+        .collect();
+    report.stats.cold_in_hot = offenders.len();
+    if offenders.is_empty() {
+        return;
+    }
+    offenders.sort_by_key(|&i| input.items[i].addr);
+    let example = &input.items[offenders[0]];
+    report.findings.push(Finding::new(
+        Rule::Color02,
+        format!(
+            "{} cold element(s) occupy the reserved hot partition (e.g. {} at {:#x}, \
+             heat {:.1} vs hot/cold boundary {:.1})",
+            offenders.len(),
+            example.label,
+            example.addr,
+            example.heat,
+            heat.boundary,
+        ),
+        offenders
+            .iter()
+            .take(config.max_reported_addrs)
+            .map(|&i| input.items[i].addr)
+            .collect(),
+    ));
+}
+
+/// SET-01: no cache set is owed more certainly-hot blocks than its
+/// associativity — more and the hot items evict *each other* no matter
+/// what the cold data does.
+fn check_set_01(
+    input: &AuditInput,
+    config: &AuditConfig,
+    heat: &HeatPartition,
+    report: &mut Report,
+) {
+    let mut hot_blocks: Vec<u64> = input
+        .items
+        .iter()
+        .filter(|item| heat.certainly_hot(item.heat))
+        .flat_map(|item| input.geometry.blocks_touched(item.addr, item.size))
+        .collect();
+    hot_blocks.sort_unstable();
+    hot_blocks.dedup();
+    let mut per_set: HashMap<u64, Vec<u64>> = HashMap::new();
+    for block in hot_blocks {
+        per_set
+            .entry(input.geometry.set_of(block))
+            .or_default()
+            .push(block);
+    }
+    let assoc = input.geometry.assoc() as usize;
+    let mut overloaded: Vec<(u64, Vec<u64>)> = per_set
+        .into_iter()
+        .filter(|(_, blocks)| blocks.len() > assoc)
+        .collect();
+    if overloaded.is_empty() {
+        return;
+    }
+    // Worst set first; report that one and summarize the rest.
+    overloaded.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    let (worst_set, worst_blocks) = &overloaded[0];
+    report.findings.push(Finding::new(
+        Rule::Set01,
+        format!(
+            "{} cache set(s) hold more hot blocks than their associativity ({assoc}): \
+             worst is set {worst_set} with {} conflicting hot blocks",
+            overloaded.len(),
+            worst_blocks.len(),
+        ),
+        worst_blocks
+            .iter()
+            .copied()
+            .take(config.max_reported_addrs)
+            .collect(),
+    ));
+}
+
+/// ALIGN-01: an element that fits in one block should not straddle two —
+/// a straddling element costs two fetches (and two set slots) every time
+/// it is touched.
+fn check_align_01(input: &AuditInput, config: &AuditConfig, report: &mut Report) {
+    let block_bytes = input.geometry.block_bytes();
+    let mut offenders: Vec<&crate::input::AuditItem> = input
+        .items
+        .iter()
+        .filter(|item| {
+            item.size > 0
+                && item.size <= block_bytes
+                && input.geometry.blocks_touched(item.addr, item.size).count() > 1
+        })
+        .collect();
+    if offenders.is_empty() {
+        return;
+    }
+    offenders.sort_by_key(|item| item.addr);
+    let example = offenders[0];
+    report.findings.push(Finding::new(
+        Rule::Align01,
+        format!(
+            "{} element(s) needlessly straddle a {block_bytes}-byte block boundary \
+             (e.g. {}: {} bytes at {:#x})",
+            offenders.len(),
+            example.label,
+            example.size,
+            example.addr,
+        ),
+        offenders
+            .iter()
+            .take(config.max_reported_addrs)
+            .map(|item| item.addr)
+            .collect(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{AuditItem, ColorSpec};
+    use cc_sim::CacheGeometry;
+
+    fn item(addr: u64, size: u64, heat: f64) -> AuditItem {
+        AuditItem {
+            label: format!("item {addr:#x}"),
+            addr,
+            size,
+            heat,
+        }
+    }
+
+    fn bare_input(items: Vec<AuditItem>, pairs: Vec<(usize, usize)>) -> AuditInput {
+        AuditInput {
+            items,
+            pairs,
+            geometry: CacheGeometry::new(64, 64, 1), // 4 KB direct-mapped
+            page_bytes: 512,
+            color: None,
+        }
+    }
+
+    #[test]
+    fn perfect_clustering_is_clean() {
+        // Three 20-byte items in one block, chained.
+        let input = bare_input(
+            vec![item(0, 20, 0.0), item(20, 20, 0.0), item(40, 20, 0.0)],
+            vec![(0, 1), (1, 2)],
+        );
+        let report = audit(&input, &AuditConfig::default());
+        assert!(report.is_clean(), "{}", report.to_text());
+        assert_eq!(report.stats.colocation_score, Some(1.0));
+    }
+
+    #[test]
+    fn scattered_pairs_trip_cluster_01() {
+        // Every item in its own block although three would fit.
+        let input = bare_input(
+            (0..6).map(|i| item(i * 64, 20, 0.0)).collect(),
+            (0..5).map(|i| (i, i + 1)).collect(),
+        );
+        let report = audit(&input, &AuditConfig::default());
+        assert_eq!(report.stats.colocation_score, Some(0.0));
+        let cluster = report.of_rule(Rule::Cluster01);
+        assert_eq!(cluster.len(), 1);
+        assert!(cluster[0].message.contains("score 0.00"));
+    }
+
+    #[test]
+    fn unrelated_roommates_trip_cluster_02_only() {
+        // Two well-clustered chains (blocks 0 and 1), plus two blocks
+        // that pack a linked item with a stranger. The co-location score
+        // stays above threshold (4 of 5 achievable) but half the
+        // multi-item blocks hold no related pair.
+        let input = bare_input(
+            vec![
+                item(0, 20, 0.0),
+                item(20, 20, 0.0),
+                item(40, 20, 0.0), // block 0: chained triple
+                item(64, 20, 0.0),
+                item(84, 20, 0.0),
+                item(104, 20, 0.0), // block 1: chained triple
+                item(128, 20, 0.0),
+                item(148, 20, 0.0), // block 2: linked item + stranger
+                item(192, 20, 0.0),
+                item(212, 20, 0.0), // block 3: linked item + stranger
+            ],
+            vec![(0, 1), (1, 2), (3, 4), (4, 5), (0, 6), (0, 8)],
+        );
+        let report = audit(&input, &AuditConfig::default());
+        assert!(
+            report.of_rule(Rule::Cluster01).is_empty(),
+            "{}",
+            report.to_text()
+        );
+        assert_eq!(report.stats.colocation_score, Some(0.8));
+        let c2 = report.of_rule(Rule::Cluster02);
+        assert_eq!(c2.len(), 1, "{}", report.to_text());
+        assert!(c2[0].message.contains("2 of 4"));
+        assert_eq!(c2[0].addrs, vec![128, 192]);
+    }
+
+    #[test]
+    fn blocks_of_unknown_affinity_items_are_not_judged() {
+        // Items 2..6 participate in no pair: the audit knows nothing
+        // about them, so their shared blocks are not "unrelated".
+        let input = bare_input(
+            vec![
+                item(0, 20, 0.0),
+                item(20, 20, 0.0), // block 0: the linked pair
+                item(64, 20, 0.0),
+                item(84, 20, 0.0), // block 1: strangers, unknown affinity
+                item(128, 20, 0.0),
+                item(148, 20, 0.0), // block 2: same
+            ],
+            vec![(0, 1)],
+        );
+        let report = audit(&input, &AuditConfig::default());
+        assert!(report.is_clean(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn no_pairs_means_cluster_rules_are_quiet() {
+        let input = bare_input(vec![item(0, 20, 0.0), item(20, 20, 0.0)], vec![]);
+        let report = audit(&input, &AuditConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.stats.colocation_score, None);
+    }
+
+    #[test]
+    fn oversized_items_cannot_cluster_so_no_finding() {
+        // 64-byte items: k = 1, no co-location achievable.
+        let input = bare_input(vec![item(0, 64, 0.0), item(128, 64, 0.0)], vec![(0, 1)]);
+        let report = audit(&input, &AuditConfig::default());
+        assert!(report.of_rule(Rule::Cluster01).is_empty());
+        assert_eq!(report.stats.colocation_score, None);
+    }
+
+    /// 4 KB direct-mapped cache colored half hot: way = 4096, hot = 2048
+    /// (page 512 keeps the rounding exact), capacity for hot items 2048 B.
+    fn colored_input(items: Vec<AuditItem>) -> AuditInput {
+        let geometry = CacheGeometry::new(64, 64, 1);
+        AuditInput {
+            items,
+            pairs: vec![],
+            geometry,
+            page_bytes: 512,
+            color: Some(ColorSpec::new(geometry, 512, 0.5)),
+        }
+    }
+
+    #[test]
+    fn hot_item_in_cold_slot_trips_color_01() {
+        // 40 hot items of 64 B overflow nothing (2560 > 2048 capacity, so
+        // a boundary exists at heat 10); the certainly-hot item at a cold
+        // offset (2048..4096 within the way) is flagged.
+        let mut items: Vec<AuditItem> = (0..39).map(|i| item(i * 64, 64, 10.0)).collect();
+        items.push(item(3000, 64, 100.0)); // very hot, cold slot
+        let report = audit(&colored_input(items), &AuditConfig::default());
+        let c1 = report.of_rule(Rule::Color01);
+        assert_eq!(c1.len(), 1, "{}", report.to_text());
+        assert_eq!(c1[0].addrs, vec![3000]);
+        assert_eq!(report.stats.hot_in_cold, 1);
+    }
+
+    #[test]
+    fn cold_item_in_hot_slot_trips_color_02() {
+        let mut items: Vec<AuditItem> = (0..40).map(|i| item(4096 + i * 64, 64, 10.0)).collect();
+        items.push(item(0, 64, 0.0)); // certainly cold, hot slot
+        let report = audit(&colored_input(items), &AuditConfig::default());
+        let c2 = report.of_rule(Rule::Color02);
+        assert_eq!(c2.len(), 1, "{}", report.to_text());
+        assert_eq!(c2[0].addrs, vec![0]);
+    }
+
+    #[test]
+    fn uniform_heat_disables_color_rules() {
+        let items: Vec<AuditItem> = (0..100).map(|i| item(i * 64, 64, 0.0)).collect();
+        let report = audit(&colored_input(items), &AuditConfig::default());
+        assert!(report.of_rule(Rule::Color01).is_empty());
+        assert!(report.of_rule(Rule::Color02).is_empty());
+    }
+
+    #[test]
+    fn items_within_tolerance_are_not_flagged() {
+        // Boundary heat is 10.0; an item at heat 11 in a cold slot is
+        // within the ±2 dead band, so COLOR-01 stays quiet.
+        let mut items: Vec<AuditItem> = (0..40).map(|i| item(i * 64, 64, 10.0)).collect();
+        items.push(item(3000, 64, 11.0));
+        let report = audit(&colored_input(items), &AuditConfig::default());
+        assert!(report.of_rule(Rule::Color01).is_empty());
+    }
+
+    #[test]
+    fn conflicting_hot_blocks_trip_set_01() {
+        // Direct-mapped: three very hot blocks exactly one way apart all
+        // map to set 0; many warm items exceed the cache capacity so a
+        // finite boundary exists below the hot three.
+        let mut items: Vec<AuditItem> = (0..3).map(|i| item(i * 4096, 64, 50.0)).collect();
+        items.extend((0..64).map(|i| item(0x10_0000 + i * 64, 64, 1.0)));
+        let input = bare_input(items, vec![]);
+        let report = audit(&input, &AuditConfig::default());
+        let s1 = report.of_rule(Rule::Set01);
+        assert_eq!(s1.len(), 1, "{}", report.to_text());
+        assert!(s1[0].message.contains("3 conflicting hot blocks"));
+        assert_eq!(s1[0].addrs, vec![0, 4096, 8192]);
+    }
+
+    #[test]
+    fn straddling_item_trips_align_01() {
+        let input = bare_input(vec![item(60, 20, 0.0)], vec![]);
+        let report = audit(&input, &AuditConfig::default());
+        let a1 = report.of_rule(Rule::Align01);
+        assert_eq!(a1.len(), 1);
+        assert_eq!(a1[0].addrs, vec![60]);
+        // A block-aligned full block is fine, as is an oversized item.
+        let ok = bare_input(vec![item(64, 64, 0.0), item(256, 100, 0.0)], vec![]);
+        assert!(audit(&ok, &AuditConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        let report = audit(&bare_input(vec![], vec![]), &AuditConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.stats.items, 0);
+    }
+}

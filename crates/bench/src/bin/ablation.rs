@@ -43,7 +43,11 @@ fn main() {
     );
     let mut tree = Bst::build_complete(n);
     tree.layout_sequential(Order::Random { seed: 5 });
-    println!("  {:<18} {:>14.1}", "no morph (random)", search_time(&machine, &tree, n));
+    println!(
+        "  {:<18} {:>14.1}",
+        "no morph (random)",
+        search_time(&machine, &tree, n)
+    );
     for frac in [0.0, 0.125, 0.25, 0.5, 0.75] {
         let mut t = Bst::build_complete(n);
         let mut vs = VirtualSpace::new(machine.page_bytes);
@@ -73,8 +77,7 @@ fn main() {
         // the pieces manually.
         let mut pipe = Scheme::CcMorphCluster.pipeline(&t1);
         let mut alloc = Scheme::CcMorphCluster.allocator(&t1);
-        let mut tree =
-            cc_olden::treeadd::TreeAdd::build(65_536, &mut alloc, &mut pipe, false);
+        let mut tree = cc_olden::treeadd::TreeAdd::build(65_536, &mut alloc, &mut pipe, false);
         let mut vs = VirtualSpace::new(t1.page_bytes);
         vs.skip_pages((1 << 33) / t1.page_bytes);
         let params = CcMorphParams {

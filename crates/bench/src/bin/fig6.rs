@@ -29,7 +29,10 @@ fn main() {
     } else {
         RadianceParams::default()
     };
-    eprintln!("radiance: building {} objects, casting {} rays…", rp.objects, rp.rays);
+    eprintln!(
+        "radiance: building {} objects, casting {} rays…",
+        rp.objects, rp.rays
+    );
     let base = radiance::run(Layout::Base, &rp, &machine);
     println!("\nRADIANCE (octree ray caster):");
     print_breakdown_row(Layout::Base.label(), &base.breakdown, &base.breakdown);

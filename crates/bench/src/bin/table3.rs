@@ -16,14 +16,7 @@ fn main() {
         "technique", "structures", "prog. knowl.", "arch. knowl.", "src changes", "performance"
     );
     let rows = [
-        (
-            "CC design",
-            "universal",
-            "high",
-            "high",
-            "large",
-            "high",
-        ),
+        ("CC design", "universal", "high", "high", "large", "high"),
         (
             "ccmorph",
             "tree-like",

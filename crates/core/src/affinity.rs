@@ -1,0 +1,124 @@
+//! Static affinity extraction from a [`Topology`].
+//!
+//! Clustering's promise is about *pairs*: elements accessed
+//! contemporaneously should share a cache block. For tree-like structures
+//! the high-affinity pairs are structural — a traversal that visits a
+//! node is likely to visit its children next (subtree clustering,
+//! Section 2.1) or its depth-first successor (the paper's
+//! depth-first comparison layout). These helpers enumerate both pair
+//! sets, plus node depths (the heat proxy `ccmorph` itself uses: for
+//! random searches, expected accesses fall geometrically with depth), so
+//! `cc-audit` can score a concrete layout without running a workload.
+
+use crate::topology::Topology;
+
+/// All `(parent, child)` edges, in preorder. These are the hint edges a
+/// `ccmalloc`-style allocation of the tree would pass, and the pairs
+/// subtree clustering tries to co-locate.
+pub fn parent_child_pairs<T: Topology>(topo: &T) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let Some(root) = topo.root() else {
+        return pairs;
+    };
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        // Push in reverse so children pop in order.
+        let kids: Vec<usize> = topo.children(n).collect();
+        for &c in kids.iter().rev() {
+            pairs.push((n, c));
+            stack.push(c);
+        }
+    }
+    pairs
+}
+
+/// Consecutive pairs of the preorder (depth-first) visit sequence — the
+/// affinity a depth-first *traversal* exercises, and what a depth-first
+/// chain clustering ([`crate::cluster::ClusterKind::DepthFirstChain`])
+/// optimizes for.
+pub fn preorder_chain_pairs<T: Topology>(topo: &T) -> Vec<(usize, usize)> {
+    let order = preorder(topo);
+    order.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The preorder visit sequence itself.
+pub fn preorder<T: Topology>(topo: &T) -> Vec<usize> {
+    let mut order = Vec::with_capacity(topo.node_count());
+    let Some(root) = topo.root() else {
+        return order;
+    };
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        let kids: Vec<usize> = topo.children(n).collect();
+        for &c in kids.iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Depth of every reachable node (root = 0); unreachable nodes get
+/// `usize::MAX`. Depth is the static heat proxy: level `d` of a tree is
+/// visited by a random root-to-leaf search with probability ~2^-d times
+/// the fan-out, so shallow nodes are hot.
+pub fn node_depths<T: Topology>(topo: &T) -> Vec<usize> {
+    let mut depths = vec![usize::MAX; topo.node_count()];
+    let Some(root) = topo.root() else {
+        return depths;
+    };
+    depths[root] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(n) = queue.pop_front() {
+        for c in topo.children(n) {
+            if depths[c] == usize::MAX {
+                depths[c] = depths[n] + 1;
+                queue.push_back(c);
+            }
+        }
+    }
+    depths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::VecTree;
+
+    #[test]
+    fn parent_child_pairs_cover_every_edge() {
+        let t = VecTree::complete_binary(7);
+        let pairs = parent_child_pairs(&t);
+        assert_eq!(pairs.len(), 6, "n-1 edges");
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 6)));
+        assert!(!pairs.contains(&(1, 0)), "directed parent→child");
+    }
+
+    #[test]
+    fn preorder_chain_of_list_is_the_list() {
+        let t = VecTree::list(4);
+        assert_eq!(preorder(&t), vec![0, 1, 2, 3]);
+        assert_eq!(preorder_chain_pairs(&t), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn preorder_of_binary_tree() {
+        let t = VecTree::complete_binary(7);
+        assert_eq!(preorder(&t), vec![0, 1, 3, 4, 2, 5, 6]);
+    }
+
+    #[test]
+    fn depths_follow_levels() {
+        let t = VecTree::complete_binary(7);
+        assert_eq!(node_depths(&t), vec![0, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_topology_yields_nothing() {
+        let t = VecTree::new(2);
+        assert!(parent_child_pairs(&t).is_empty());
+        assert!(preorder_chain_pairs(&t).is_empty());
+        assert!(node_depths(&t).is_empty());
+    }
+}

@@ -329,7 +329,11 @@ mod tests {
     fn coloring_costs_no_extra_pages() {
         let t = VecTree::complete_binary((1 << 16) - 1);
         let mut vs1 = VirtualSpace::new(8192);
-        let plain = ccmorph(&t, &mut vs1, &CcMorphParams::clustering_only(&machine(), 20));
+        let plain = ccmorph(
+            &t,
+            &mut vs1,
+            &CcMorphParams::clustering_only(&machine(), 20),
+        );
         let mut vs2 = VirtualSpace::new(8192);
         let colored = ccmorph(
             &t,
@@ -339,7 +343,12 @@ mod tests {
         // The colored layout's *touched* pages match the plain layout
         // within a page per region: gaps are address space, not memory.
         let diff = colored.pages_touched().abs_diff(plain.pages_touched());
-        assert!(diff <= 2, "colored {} vs plain {}", colored.pages_touched(), plain.pages_touched());
+        assert!(
+            diff <= 2,
+            "colored {} vs plain {}",
+            colored.pages_touched(),
+            plain.pages_touched()
+        );
     }
 
     #[test]
@@ -358,7 +367,11 @@ mod tests {
     fn oversized_elements_get_block_multiples() {
         let t = VecTree::complete_binary(31);
         let mut vs = VirtualSpace::new(8192);
-        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 100));
+        let layout = ccmorph(
+            &t,
+            &mut vs,
+            &CcMorphParams::clustering_only(&machine(), 100),
+        );
         // 100-byte elements: one per 128-byte (2-block) slot.
         let a: Vec<u64> = (0..31).map(|n| layout.addr_of(n)).collect();
         for w in a.windows(2) {

@@ -17,6 +17,31 @@
 use cc_heap::VirtualSpace;
 use cc_sim::CacheGeometry;
 
+/// The hot bytes per way-sized chunk a [`ColoredSpace`] with these
+/// parameters reserves: `hot_fraction` of the way, rounded to whole pages
+/// (at least one page hot, at least one page cold). Exposed so analysis
+/// passes (`cc-audit`) can reconstruct the exact hot/cold boundary of a
+/// colored layout from its parameters alone.
+///
+/// # Panics
+///
+/// Panics if `hot_fraction` is not in `(0, 1)` or the way is smaller than
+/// two pages — the same preconditions as [`ColoredSpace::new`].
+pub fn hot_bytes_per_way(geometry: CacheGeometry, page_bytes: u64, hot_fraction: f64) -> u64 {
+    assert!(
+        hot_fraction > 0.0 && hot_fraction < 1.0,
+        "hot fraction must be in (0, 1), got {hot_fraction}"
+    );
+    let way_bytes = geometry.way_bytes();
+    assert!(
+        way_bytes >= 2 * page_bytes,
+        "cache way ({way_bytes} B) too small for page-granular coloring"
+    );
+    let raw = (hot_fraction * way_bytes as f64) as u64;
+    let hot_bytes = (raw / page_bytes).max(1) * page_bytes;
+    hot_bytes.min(way_bytes - page_bytes)
+}
+
 /// A page-aligned region laid out in the Figure 2 hot/cold pattern.
 ///
 /// # Example
@@ -74,20 +99,8 @@ impl ColoredSpace {
         hot_fraction: f64,
         capacity_bytes: u64,
     ) -> Self {
-        assert!(
-            hot_fraction > 0.0 && hot_fraction < 1.0,
-            "hot fraction must be in (0, 1), got {hot_fraction}"
-        );
-        let way_bytes = geometry.sets() * geometry.block_bytes();
-        assert!(
-            way_bytes >= 2 * page_bytes,
-            "cache way ({way_bytes} B) too small for page-granular coloring"
-        );
-        // Round the hot region to whole pages, keeping at least one page
-        // hot and one page cold.
-        let raw = (hot_fraction * way_bytes as f64) as u64;
-        let hot_bytes = (raw / page_bytes).max(1) * page_bytes;
-        let hot_bytes = hot_bytes.min(way_bytes - page_bytes);
+        let way_bytes = geometry.way_bytes();
+        let hot_bytes = hot_bytes_per_way(geometry, page_bytes, hot_fraction);
 
         // Size the region: enough chunks for all data to land cold, plus
         // the associativity's worth of hot chunks, plus slack for block
@@ -231,9 +244,7 @@ mod tests {
         let l2 = CacheGeometry::with_capacity(1 << 20, 64, 1);
         let (_, mut cs) = space(0.5);
         let hot_sets: Vec<u64> = (0..100).map(|_| l2.set_of(cs.alloc_hot(64))).collect();
-        let cold_sets: Vec<u64> = (0..100_000)
-            .map(|_| l2.set_of(cs.alloc_cold(64)))
-            .collect();
+        let cold_sets: Vec<u64> = (0..100_000).map(|_| l2.set_of(cs.alloc_cold(64))).collect();
         for h in &hot_sets {
             assert!(!cold_sets.contains(h));
         }

@@ -1,0 +1,109 @@
+//! `cc-audit` as an oracle for `ccmorph`: the reorganizer's output must
+//! satisfy the layout invariants it exists to establish, and a naive
+//! index-order layout of the same tree must not.
+
+use cc_audit::{audit, AffinityKind, AuditConfig, AuditInput, Rule};
+use cc_core::ccmorph::{ccmorph, CcMorphParams};
+use cc_core::cluster::ClusterKind;
+use cc_core::topology::VecTree;
+use cc_heap::VirtualSpace;
+use cc_sim::MachineConfig;
+
+const ELEM: u64 = 20;
+
+fn machine() -> MachineConfig {
+    MachineConfig::ultrasparc_e5000()
+}
+
+#[test]
+fn ccmorph_clustering_audits_clean() {
+    let m = machine();
+    let t = VecTree::complete_binary(4095);
+    let mut vs = VirtualSpace::new(m.page_bytes);
+    let params = CcMorphParams::clustering_only(&m, ELEM);
+    let layout = ccmorph(&t, &mut vs, &params);
+    let report = audit(
+        &AuditInput::from_tree_layout(&t, &layout, &params),
+        &AuditConfig::default(),
+    );
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert_eq!(report.stats.colocation_score, Some(1.0));
+}
+
+#[test]
+fn ccmorph_coloring_audits_clean() {
+    let m = machine();
+    // Large enough that the hot region cannot hold the whole tree.
+    let t = VecTree::complete_binary((1 << 16) - 1);
+    let mut vs = VirtualSpace::new(m.page_bytes);
+    let params = CcMorphParams::clustering_and_coloring(&m, ELEM);
+    let layout = ccmorph(&t, &mut vs, &params);
+    let report = audit(
+        &AuditInput::from_tree_layout(&t, &layout, &params),
+        &AuditConfig::default(),
+    );
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
+fn dfs_chain_layout_audits_clean_for_traversal_affinity() {
+    let m = machine();
+    let t = VecTree::list(10_000);
+    let mut vs = VirtualSpace::new(m.page_bytes);
+    let params =
+        CcMorphParams::clustering_only(&m, ELEM).with_cluster_kind(ClusterKind::DepthFirstChain);
+    let layout = ccmorph(&t, &mut vs, &params);
+    let report = audit(
+        &AuditInput::from_tree_layout(&t, &layout, &params),
+        &AuditConfig::default(),
+    );
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
+fn index_order_layout_trips_cluster_01() {
+    let m = machine();
+    let t = VecTree::complete_binary(4095);
+    // The untransformed baseline: node i at base + i*e, breadth-first
+    // numbering. Parents and children drift apart after the first levels.
+    let input = AuditInput::from_tree_addrs(
+        &t,
+        |n| Some(0x4_0000 + n as u64 * ELEM),
+        ELEM,
+        m.l2,
+        m.page_bytes,
+        None,
+        AffinityKind::ParentChild,
+    );
+    let report = audit(&input, &AuditConfig::default());
+    let c1 = report.of_rule(Rule::Cluster01);
+    assert_eq!(c1.len(), 1, "{}", report.to_text());
+    let score = report.stats.colocation_score.unwrap();
+    assert!(
+        score < 0.1,
+        "index order should co-locate almost nothing, got {score}"
+    );
+}
+
+#[test]
+fn coloring_for_the_wrong_workload_trips_color_01() {
+    let m = machine();
+    // ccmorph colors a long list assuming head-hot access (heat falls
+    // with depth). If the actual workload hammers the *tail*, the audit
+    // must notice that the truly hot elements sit in cold sets.
+    let t = VecTree::list(100_000);
+    let mut vs = VirtualSpace::new(m.page_bytes);
+    let params = CcMorphParams::clustering_and_coloring(&m, ELEM);
+    let layout = ccmorph(&t, &mut vs, &params);
+    let mut input = AuditInput::from_tree_layout(&t, &layout, &params);
+    for item in &mut input.items {
+        item.heat = -item.heat; // tail-hot: heat now rises with depth
+    }
+    let report = audit(&input, &AuditConfig::default());
+    assert!(
+        !report.of_rule(Rule::Color01).is_empty(),
+        "{}",
+        report.to_text()
+    );
+    assert!(report.stats.hot_in_cold > 0);
+}

@@ -1,0 +1,171 @@
+//! A minimal, dependency-free benchmarking shim exposing the subset of
+//! the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` crate cannot be vendored; this in-tree package carries the
+//! same name and is wired in as a path dependency. All workspace benches
+//! use `harness = false`, so the shim only needs [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`], and [`criterion_main!`].
+//! Timing is wall-clock via [`std::time::Instant`]; each sample times a
+//! batch of iterations and the report prints the fastest sample (least
+//! noisy under an unloaded machine).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working; benches that use
+/// `std::hint::black_box` directly are unaffected.
+pub use std::hint::black_box;
+
+/// Top-level driver: holds configuration and runs named benchmarks.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut best: Option<Duration> = None;
+        let mut total = Duration::ZERO;
+        let mut iters_per_sample = 0u64;
+        // One untimed warmup sample, then `sample_size` timed samples.
+        for sample in 0..=self.sample_size {
+            let mut b = Bencher {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if sample == 0 {
+                continue;
+            }
+            iters_per_sample = b.iters.max(1);
+            let per_iter = b.elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX);
+            total += per_iter;
+            best = Some(match best {
+                Some(prev) if prev <= per_iter => prev,
+                _ => per_iter,
+            });
+        }
+        let best = best.unwrap_or_default();
+        let mean = total / u32::try_from(self.sample_size).unwrap_or(1);
+        println!(
+            "{:<40} fastest {:>12?}   mean {:>12?}   ({} samples x {} iters)",
+            id.as_ref(),
+            best,
+            mean,
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Criterion calls this at the end of `main`; the shim has no state
+    /// to flush but keeps the call site compiling.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its output alive via
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+}
+
+/// Declares a group of benchmark functions; supports both the plain
+/// `criterion_group!(name, target, …)` form and the
+/// `name = …; config = …; targets = …` form the workspace benches use.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `fn main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(2u64) + 2));
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(2);
+        targets = trivial_bench
+    }
+
+    criterion_group!(shim_group_plain, trivial_bench);
+
+    #[test]
+    fn groups_run() {
+        shim_group();
+        shim_group_plain();
+    }
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| 1 + 1);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.iters, 6);
+    }
+}

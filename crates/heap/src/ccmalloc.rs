@@ -20,6 +20,7 @@
 //! `ccmalloc` is *safe* in the paper's sense: a bad hint can only cost
 //! performance, never correctness.
 
+use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
 use crate::Allocator;
@@ -68,8 +69,7 @@ struct BlockState {
 
 impl BlockState {
     fn fits(&self, size: u64, block_bytes: u64) -> bool {
-        self.bump + size <= block_bytes
-            || self.holes.iter().any(|&(_, hs)| u64::from(hs) >= size)
+        self.bump + size <= block_bytes || self.holes.iter().any(|&(_, hs)| u64::from(hs) >= size)
     }
 }
 
@@ -103,6 +103,9 @@ pub struct CcMalloc {
     /// Live allocations: address → (size, page base). Pages the entry
     /// does not know about are large dedicated runs.
     live: HashMap<u64, (u64, Option<u64>)>,
+    /// Requested sizes, birth order, and hints for `snapshot` (the `live`
+    /// map holds *rounded* sizes, which drive block bookkeeping).
+    ledger: SnapshotLedger,
     /// Blocks that drained back to empty, reusable by hint-less
     /// allocations (verified lazily when popped).
     empty_blocks: Vec<(u64, usize)>,
@@ -134,7 +137,7 @@ impl CcMalloc {
     /// Panics unless `block_bytes` divides `page_bytes`.
     pub fn with_geometry(block_bytes: u64, page_bytes: u64, strategy: Strategy) -> Self {
         assert!(
-            page_bytes % block_bytes == 0,
+            page_bytes.is_multiple_of(block_bytes),
             "cache block must divide the page"
         );
         CcMalloc {
@@ -145,6 +148,7 @@ impl CcMalloc {
             pages: HashMap::new(),
             current: None,
             live: HashMap::new(),
+            ledger: SnapshotLedger::default(),
             empty_blocks: Vec::new(),
             holey_blocks: Vec::new(),
             stats: HeapStats::new(page_bytes),
@@ -183,17 +187,9 @@ impl CcMalloc {
 
     fn place(&mut self, page: u64, idx: usize, size: u64) -> u64 {
         let block_bytes = self.block_bytes;
-        let st = &mut self
-            .pages
-            .get_mut(&page)
-            .expect("page exists")
-            .blocks[idx];
+        let st = &mut self.pages.get_mut(&page).expect("page exists").blocks[idx];
         // Prefer refilling a freed slot; fall back to the bump frontier.
-        let offset = match st
-            .holes
-            .iter()
-            .position(|&(_, hs)| u64::from(hs) >= size)
-        {
+        let offset = match st.holes.iter().position(|&(_, hs)| u64::from(hs) >= size) {
             Some(h) => {
                 let (off, hs) = st.holes[h];
                 if u64::from(hs) == size {
@@ -346,7 +342,9 @@ impl Allocator for CcMalloc {
         assert!(size > 0, "zero-byte allocation");
         self.stats.record_alloc(size);
         let rounded = size.div_ceil(ALIGN) * ALIGN;
-        self.alloc_sized(rounded, hint)
+        let addr = self.alloc_sized(rounded, hint);
+        self.ledger.record(addr, size, hint);
+        addr
     }
 
     fn free(&mut self, addr: u64) {
@@ -354,6 +352,7 @@ impl Allocator for CcMalloc {
             .live
             .remove(&addr)
             .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+        self.ledger.forget(addr);
         self.stats.record_free(size);
         if let Some(page) = page {
             // Walk the covered blocks (one for intra-block allocations, a
@@ -386,6 +385,10 @@ impl Allocator for CcMalloc {
 
     fn stats(&self) -> &HeapStats {
         &self.stats
+    }
+
+    fn snapshot(&self) -> LayoutSnapshot {
+        self.ledger.snapshot()
     }
 
     fn cost_insts(&self) -> u32 {
@@ -530,7 +533,10 @@ mod tests {
         let a = h.alloc(65); // needs 2 blocks
         assert_eq!(a % 64, 0, "run starts block-aligned");
         let b = h.alloc(1);
-        assert!(b >= a + 128, "next alloc skips the whole run: {b:#x} vs {a:#x}");
+        assert!(
+            b >= a + 128,
+            "next alloc skips the whole run: {b:#x} vs {a:#x}"
+        );
         h.free(a);
         let c = h.alloc(65);
         assert_eq!(c, a, "freed run is recycled");

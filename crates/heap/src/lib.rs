@@ -40,11 +40,13 @@
 
 pub mod ccmalloc;
 pub mod malloc;
+pub mod snapshot;
 pub mod stats;
 pub mod vspace;
 
 pub use ccmalloc::{CcMalloc, Strategy};
 pub use malloc::Malloc;
+pub use snapshot::{AllocRecord, LayoutSnapshot};
 pub use stats::HeapStats;
 pub use vspace::VirtualSpace;
 
@@ -74,6 +76,11 @@ pub trait Allocator {
     /// paper's Section 4.4 memory-overhead comparison.
     fn stats(&self) -> &HeapStats;
 
+    /// A point-in-time picture of every live allocation (address, size,
+    /// birth order, requested hint), for layout analysis by `cc-audit`.
+    /// Hints are recorded even by allocators that ignore them.
+    fn snapshot(&self) -> LayoutSnapshot;
+
     /// Rough instruction cost of one allocation, charged to the simulated
     /// pipeline by workloads. `ccmalloc` costs more than `malloc` — the
     /// bookkeeping the paper's control experiment exposes (it measured
@@ -96,6 +103,9 @@ impl<A: Allocator + ?Sized> Allocator for Box<A> {
     fn stats(&self) -> &HeapStats {
         (**self).stats()
     }
+    fn snapshot(&self) -> LayoutSnapshot {
+        (**self).snapshot()
+    }
     fn cost_insts(&self) -> u32 {
         (**self).cost_insts()
     }
@@ -113,6 +123,9 @@ impl<A: Allocator + ?Sized> Allocator for &mut A {
     }
     fn stats(&self) -> &HeapStats {
         (**self).stats()
+    }
+    fn snapshot(&self) -> LayoutSnapshot {
+        (**self).snapshot()
     }
     fn cost_insts(&self) -> u32 {
         (**self).cost_insts()

@@ -8,10 +8,10 @@
 //! 20-byte tree node ends up on a 28-byte pitch and structure elements
 //! scatter across cache blocks.
 
+use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
 use crate::Allocator;
-use std::collections::HashMap;
 
 /// Size classes step by 8 bytes up to this bound; larger requests are
 /// served from dedicated page runs.
@@ -42,8 +42,9 @@ pub struct Malloc {
     free_lists: Vec<Vec<u64>>,
     /// Bump state of the current carving chunk per class: (next, end).
     chunks: Vec<(u64, u64)>,
-    /// Live allocation sizes (simulating the boundary tag).
-    live: HashMap<u64, u64>,
+    /// Live allocation records (simulating the boundary tag, plus the
+    /// birth order and requested hint that `snapshot` reports).
+    live: SnapshotLedger,
     stats: HeapStats,
 }
 
@@ -55,7 +56,7 @@ impl Malloc {
             vspace: VirtualSpace::new(page_bytes),
             free_lists: vec![Vec::new(); classes],
             chunks: vec![(0, 0); classes],
-            live: HashMap::new(),
+            live: SnapshotLedger::default(),
             stats: HeapStats::new(page_bytes),
         }
     }
@@ -72,10 +73,11 @@ impl Malloc {
     pub fn vspace(&self) -> &VirtualSpace {
         &self.vspace
     }
-}
 
-impl Allocator for Malloc {
-    fn alloc(&mut self, size: u64) -> u64 {
+    /// Placement logic shared by the hinted and hint-less entry points;
+    /// `hint` only reaches the ledger (the baseline ignores it for
+    /// placement — the paper's control experiment).
+    fn alloc_recorded(&mut self, size: u64, hint: Option<u64>) -> u64 {
         assert!(size > 0, "zero-byte allocation");
         self.stats.record_alloc(size);
         if size > LARGE_THRESHOLD {
@@ -83,12 +85,12 @@ impl Allocator for Malloc {
             self.stats.record_pages(pages);
             let base = self.vspace.alloc_pages(pages);
             let addr = base + HEADER;
-            self.live.insert(addr, size);
+            self.live.record(addr, size, hint);
             return addr;
         }
         let class = Self::class_of(size);
         if let Some(addr) = self.free_lists[class].pop() {
-            self.live.insert(addr, size);
+            self.live.record(addr, size, hint);
             return addr;
         }
         let pitch = Self::class_bytes(class) + HEADER;
@@ -102,19 +104,26 @@ impl Allocator for Malloc {
         }
         let addr = *next + HEADER;
         *next += pitch;
-        self.live.insert(addr, size);
+        self.live.record(addr, size, hint);
         addr
     }
+}
 
-    fn alloc_hint(&mut self, size: u64, _hint: Option<u64>) -> u64 {
-        // The baseline ignores placement hints.
-        self.alloc(size)
+impl Allocator for Malloc {
+    fn alloc(&mut self, size: u64) -> u64 {
+        self.alloc_recorded(size, None)
+    }
+
+    fn alloc_hint(&mut self, size: u64, hint: Option<u64>) -> u64 {
+        // The baseline ignores placement hints (but records them, so an
+        // audit can report the co-location that was requested and lost).
+        self.alloc_recorded(size, hint)
     }
 
     fn free(&mut self, addr: u64) {
-        let size = self
+        let (size, _, _) = self
             .live
-            .remove(&addr)
+            .forget(addr)
             .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
         self.stats.record_free(size);
         if size <= LARGE_THRESHOLD {
@@ -126,6 +135,10 @@ impl Allocator for Malloc {
 
     fn stats(&self) -> &HeapStats {
         &self.stats
+    }
+
+    fn snapshot(&self) -> LayoutSnapshot {
+        self.live.snapshot()
     }
 }
 

@@ -40,7 +40,12 @@ use cc_sim::{CacheGeometry, Latency};
 /// assert!((m.k - 2.0).abs() < 0.01);        // log2(3+1)
 /// assert!(m.rs > 14.0 && m.rs < 15.0);      // log2(8192*3 + 1)
 /// ```
-pub fn ctree_model(n: u64, cache: CacheGeometry, elem_bytes: u64, hot_fraction: f64) -> StructureModel {
+pub fn ctree_model(
+    n: u64,
+    cache: CacheGeometry,
+    elem_bytes: u64,
+    hot_fraction: f64,
+) -> StructureModel {
     assert!(n > 0, "tree must be nonempty");
     assert!(elem_bytes > 0, "element size must be nonzero");
     let k = cache.elems_per_block(elem_bytes);

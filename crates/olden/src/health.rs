@@ -143,11 +143,7 @@ impl Health {
             self.treatments += ids.len() as u64;
 
             // Collect finished patients (remaining == 0).
-            loop {
-                let Some(done) = self.villages[v].patients.find(sink, |val| val & 0xFF == 0)
-                else {
-                    break;
-                };
+            while let Some(done) = self.villages[v].patients.find(sink, |val| val & 0xFF == 0) {
                 let val = self.villages[v].patients.remove(done, alloc, sink);
                 match self.villages[v].parent {
                     // Referred upward with probability 1/3 for further
@@ -251,7 +247,12 @@ pub fn run(scheme: Scheme, levels: u32, steps: u64, machine: &MachineConfig) -> 
     });
 
     for t in 0..steps {
-        sim.step(&mut alloc, &mut pipe, scheme.uses_hints(), scheme.sw_prefetch());
+        sim.step(
+            &mut alloc,
+            &mut pipe,
+            scheme.uses_hints(),
+            scheme.sw_prefetch(),
+        );
         if let Some((vs, params)) = &mut morph_space {
             if t % MORPH_INTERVAL == MORPH_INTERVAL - 1 {
                 sim.morph_all(vs, params, &mut alloc, &mut pipe);
@@ -267,6 +268,7 @@ pub fn run(scheme: Scheme, levels: u32, steps: u64, machine: &MachineConfig) -> 
         checksum,
         heap: *alloc.stats(),
         l2_misses: pipe.memory().l2_stats().misses(),
+        snapshot: alloc.snapshot(),
     }
 }
 

@@ -34,7 +34,7 @@ pub mod mst;
 pub mod perimeter;
 pub mod treeadd;
 
-use cc_heap::{Allocator, CcMalloc, HeapStats, Malloc, Strategy};
+use cc_heap::{Allocator, CcMalloc, HeapStats, LayoutSnapshot, Malloc, Strategy};
 use cc_sim::{Breakdown, MachineConfig, Pipeline, PipelineConfig};
 
 /// A placement / latency-reduction scheme of Figure 7.
@@ -151,6 +151,9 @@ pub struct RunResult {
     pub heap: HeapStats,
     /// L2 demand misses, for miss-rate analyses.
     pub l2_misses: u64,
+    /// The heap's final layout (live allocations plus recorded hints),
+    /// so a `cc-audit` pass can check the scheme kept its promises.
+    pub snapshot: LayoutSnapshot,
 }
 
 impl RunResult {

@@ -171,6 +171,7 @@ pub fn run(scheme: Scheme, n: usize, degree: usize, machine: &MachineConfig) -> 
         checksum,
         heap: *alloc.stats(),
         l2_misses: pipe.memory().l2_stats().misses(),
+        snapshot: alloc.snapshot(),
     }
 }
 

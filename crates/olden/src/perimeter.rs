@@ -147,6 +147,7 @@ pub fn run(scheme: Scheme, size: u32, machine: &MachineConfig) -> RunResult {
         checksum,
         heap: *alloc.stats(),
         l2_misses: pipe.memory().l2_stats().misses(),
+        snapshot: alloc.snapshot(),
     }
 }
 

@@ -124,9 +124,7 @@ impl TreeAdd {
             }
             greedy_prefetch_children(sink, &kids[..cnt]);
         }
-        n.val
-            + self.sum_from(n.left, sink, sw_prefetch)
-            + self.sum_from(n.right, sink, sw_prefetch)
+        n.val + self.sum_from(n.left, sink, sw_prefetch) + self.sum_from(n.right, sink, sw_prefetch)
     }
 
     /// Reorganizes with `ccmorph` (charging the copy cost) and updates
@@ -211,6 +209,7 @@ pub fn run_iters(scheme: Scheme, n: u64, iters: u64, machine: &MachineConfig) ->
         checksum,
         heap: *alloc.stats(),
         l2_misses: pipe.memory().l2_stats().misses(),
+        snapshot: alloc.snapshot(),
     }
 }
 

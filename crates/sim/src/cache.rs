@@ -251,7 +251,10 @@ mod tests {
         let stride = 4 * 16; // maps to the same set
         assert!(!c.access(0, false).hit);
         assert!(!c.access(stride, false).hit);
-        assert!(c.access(0, false).hit, "both ways hold the conflicting pair");
+        assert!(
+            c.access(0, false).hit,
+            "both ways hold the conflicting pair"
+        );
         assert!(c.access(stride, false).hit);
     }
 

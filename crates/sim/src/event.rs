@@ -161,6 +161,125 @@ impl EventSink for TraceBuffer {
     }
 }
 
+/// A sink that distills the stream into *affinity* data: per-address
+/// access counts (heat) and pointer-chase edges (which addresses are
+/// accessed contemporaneously). This is the trace input of `cc-audit` —
+/// the dynamic evidence behind the paper's static placement claims.
+///
+/// A dependent load (`dep: true`) records an edge from the previous
+/// memory reference to it: `b = a->child` touches `a` then chases into
+/// `b`, which is precisely the pair clustering wants co-located.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::event::{AffinityTrace, EventSink};
+///
+/// let mut trace = AffinityTrace::new();
+/// trace.load(0x100, 8);  // touch the parent…
+/// trace.load(0x140, 8);  // …then chase into the child
+/// assert_eq!(trace.count_of(0x100), 1);
+/// assert_eq!(trace.edges().get(&(0x100, 0x140)), Some(&1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AffinityTrace {
+    counts: std::collections::HashMap<u64, u64>,
+    edges: std::collections::HashMap<(u64, u64), u64>,
+    last_ref: Option<u64>,
+}
+
+impl AffinityTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access counts per referenced address (loads + stores).
+    pub fn counts(&self) -> &std::collections::HashMap<u64, u64> {
+        &self.counts
+    }
+
+    /// Times `addr` was referenced (0 if never).
+    pub fn count_of(&self, addr: u64) -> u64 {
+        self.counts.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Pointer-chase edges `(from, to)` with their occurrence counts.
+    pub fn edges(&self) -> &std::collections::HashMap<(u64, u64), u64> {
+        &self.edges
+    }
+
+    /// Total memory references recorded.
+    pub fn total_refs(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+impl EventSink for AffinityTrace {
+    fn event(&mut self, ev: Event) {
+        match ev {
+            Event::Load { addr, dep, .. } => {
+                *self.counts.entry(addr).or_insert(0) += 1;
+                if dep {
+                    if let Some(prev) = self.last_ref {
+                        if prev != addr {
+                            *self.edges.entry((prev, addr)).or_insert(0) += 1;
+                        }
+                    }
+                }
+                self.last_ref = Some(addr);
+            }
+            Event::Store { addr, .. } => {
+                *self.counts.entry(addr).or_insert(0) += 1;
+                self.last_ref = Some(addr);
+            }
+            // Prefetches are non-binding and instructions touch no data;
+            // neither breaks a chase chain.
+            Event::Prefetch { .. } | Event::Inst(_) | Event::Branch(_) => {}
+        }
+    }
+}
+
+/// Fans one event stream out to two sinks — e.g. measure misses in a
+/// [`crate::MemorySink`] *and* record affinity for auditing, in one run.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::event::{AffinityTrace, EventSink, Tee, TraceBuffer};
+///
+/// let mut tee = Tee::new(TraceBuffer::new(), AffinityTrace::new());
+/// tee.load(0x40, 8);
+/// assert_eq!(tee.first.events().len(), 1);
+/// assert_eq!(tee.second.count_of(0x40), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tee<A, B> {
+    /// The first receiving sink.
+    pub first: A,
+    /// The second receiving sink.
+    pub second: B,
+}
+
+impl<A: EventSink, B: EventSink> Tee<A, B> {
+    /// Combines two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        Tee { first, second }
+    }
+
+    /// Splits the tee back into its sinks.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<A, B> {
+    fn event(&mut self, ev: Event) {
+        self.first.event(ev);
+        self.second.event(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +324,41 @@ mod tests {
         s.load(0, 1);
         s.prefetch(64);
         s.branch(2);
+    }
+
+    #[test]
+    fn affinity_trace_counts_and_edges() {
+        let mut t = AffinityTrace::new();
+        t.load(0x100, 8); // parent
+        t.load(0x140, 8); // dep chase: edge (0x100, 0x140)
+        t.inst(5); // does not break the chain
+        t.load(0x180, 8); // dep chase: edge (0x140, 0x180)
+        t.load_indep(0x100, 8); // indep: counted, no edge
+        t.store(0x200, 8);
+        assert_eq!(t.count_of(0x100), 2);
+        assert_eq!(t.count_of(0x140), 1);
+        assert_eq!(t.total_refs(), 5);
+        assert_eq!(t.edges().get(&(0x100, 0x140)), Some(&1));
+        assert_eq!(t.edges().get(&(0x140, 0x180)), Some(&1));
+        assert_eq!(t.edges().get(&(0x180, 0x100)), None, "indep load");
+    }
+
+    #[test]
+    fn affinity_trace_ignores_self_edges() {
+        let mut t = AffinityTrace::new();
+        t.load(0x100, 8);
+        t.load(0x100, 8);
+        assert!(t.edges().is_empty());
+        assert_eq!(t.count_of(0x100), 2);
+    }
+
+    #[test]
+    fn tee_duplicates_the_stream() {
+        let mut tee = Tee::new(TraceBuffer::new(), TraceBuffer::new());
+        tee.load(0x10, 8);
+        tee.store(0x20, 4);
+        let (a, b) = tee.into_parts();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 2);
     }
 }

@@ -84,6 +84,14 @@ impl CacheGeometry {
         self.sets * self.assoc * self.block_bytes
     }
 
+    /// Bytes covered by one way: `sets × block_bytes`. Addresses equal
+    /// modulo this distance conflict (map to the same set), which makes it
+    /// the period of the paper's coloring scheme: a color picks an offset
+    /// range within each way-sized window of the address space.
+    pub fn way_bytes(&self) -> u64 {
+        self.sets * self.block_bytes
+    }
+
     /// The block-aligned address containing `addr`.
     pub fn block_of(&self, addr: u64) -> u64 {
         addr & !(self.block_bytes - 1)
@@ -146,6 +154,13 @@ mod tests {
         let g = CacheGeometry::with_capacity(16 * 1024, 16, 1);
         assert_eq!(g.sets(), 1024);
         assert_eq!(g.capacity_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn way_bytes_is_the_conflict_period() {
+        let g = CacheGeometry::new(4, 16, 2);
+        assert_eq!(g.way_bytes(), 64);
+        assert_eq!(g.set_of(0x12), g.set_of(0x12 + g.way_bytes()));
     }
 
     #[test]

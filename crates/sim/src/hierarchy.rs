@@ -75,8 +75,7 @@ impl MemorySystem {
         MemorySystem {
             l1: Cache::new(config.l1, config.l1_policy),
             l2: Cache::new(config.l2, config.l2_policy),
-            tlb: (config.tlb_entries > 0)
-                .then(|| Tlb::new(config.tlb_entries, config.page_bytes)),
+            tlb: (config.tlb_entries > 0).then(|| Tlb::new(config.tlb_entries, config.page_bytes)),
             config,
             inflight: HashMap::new(),
         }

@@ -51,7 +51,7 @@ pub mod stats;
 pub mod tlb;
 
 pub use config::{Latency, MachineConfig};
-pub use event::{Event, EventSink};
+pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, AccessOutcome, Level, MemorySystem};
 pub use pipeline::{Breakdown, Pipeline, PipelineConfig};

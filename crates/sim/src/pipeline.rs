@@ -72,7 +72,6 @@ impl PipelineConfig {
             ..Self::table1()
         }
     }
-
 }
 
 /// Execution-time breakdown in cycles (the four bar segments of Figure 7).

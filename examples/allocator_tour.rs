@@ -45,14 +45,16 @@ fn exercise<A: Allocator>(heap: &mut A, machine: &MachineConfig) -> (f64, u64, u
     // Walk cost on a cold cache.
     let mut sink = MemorySink::new(*machine);
     list.walk(&mut sink, false);
-    (share_pct, sink.memory_cycles(), heap.stats().footprint_bytes())
+    (
+        share_pct,
+        sink.memory_cycles(),
+        heap.stats().footprint_bytes(),
+    )
 }
 
 fn main() {
     let machine = MachineConfig::ultrasparc_e5000();
-    println!(
-        "{CELLS} appended cells, {CHURN} random remove+append churns, hint = predecessor\n"
-    );
+    println!("{CELLS} appended cells, {CHURN} random remove+append churns, hint = predecessor\n");
     println!(
         "{:<22} {:>16} {:>14} {:>12}",
         "allocator", "neighbours/block", "walk cycles", "footprint"

@@ -54,7 +54,11 @@ fn less_than_borrow<A: Allocator>(bdd: &mut Bdd, heap: &mut A, pipe: &mut Pipeli
     borrow
 }
 
-fn verify<A: Allocator>(mut heap: A, use_hint: bool, machine: &MachineConfig) -> (bool, u64, usize) {
+fn verify<A: Allocator>(
+    mut heap: A,
+    use_hint: bool,
+    machine: &MachineConfig,
+) -> (bool, u64, usize) {
     let mut pipe = Pipeline::new(PipelineConfig::table1(), *machine);
     let mut bdd = Bdd::new(2 * BITS, use_hint);
     let f = less_than_ripple(&mut bdd, &mut heap, &mut pipe);
@@ -63,25 +67,30 @@ fn verify<A: Allocator>(mut heap: A, use_hint: bool, machine: &MachineConfig) ->
     let equal = f == g;
     // Sanity: count satisfying assignments — x<y holds for C(2^10,2) pairs.
     let count = bdd.sat_count(f, &mut pipe);
-    (equal && count == 1024 * 1023 / 2, pipe.finish().total(), bdd.node_count())
+    (
+        equal && count == 1024 * 1023 / 2,
+        pipe.finish().total(),
+        bdd.node_count(),
+    )
 }
 
 fn main() {
     let machine = MachineConfig::ultrasparc_e5000();
 
     let (ok, base_cycles, nodes) = verify(Malloc::new(machine.page_bytes), false, &machine);
-    println!("ripple `<` vs borrow `<` over {BITS}-bit operands: {}", if ok { "EQUIVALENT ✓" } else { "MISMATCH ✗" });
+    println!(
+        "ripple `<` vs borrow `<` over {BITS}-bit operands: {}",
+        if ok { "EQUIVALENT ✓" } else { "MISMATCH ✗" }
+    );
     println!("BDD nodes: {nodes}");
     println!("\nsimulated cycles:");
     println!("  malloc              {base_cycles:>12}");
 
-    let (ok2, cc_cycles, _) = verify(
-        CcMalloc::new(&machine, Strategy::NewBlock),
-        true,
-        &machine,
-    );
+    let (ok2, cc_cycles, _) = verify(CcMalloc::new(&machine, Strategy::NewBlock), true, &machine);
     assert!(ok2);
-    println!("  ccmalloc new-block  {cc_cycles:>12}   ({:.1}% of malloc)",
-        100.0 * cc_cycles as f64 / base_cycles as f64);
+    println!(
+        "  ccmalloc new-block  {cc_cycles:>12}   ({:.1}% of malloc)",
+        100.0 * cc_cycles as f64 / base_cycles as f64
+    );
     println!("\n(the gap grows with BDD size — see `cargo run -p cc-bench --bin fig6`)");
 }

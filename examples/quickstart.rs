@@ -62,5 +62,8 @@ fn main() {
     println!("  L1 miss rate {l1c:.3}   L2 miss rate {l2c:.3}   cycles/search {tc:.0}");
 
     let model = predicted_speedup(KEYS, machine.l2, BST_NODE_BYTES, 0.5, &machine.latency);
-    println!("\nspeedup: {:.2}x measured, {model:.2}x predicted by the Section 5 model", tn / tc);
+    println!(
+        "\nspeedup: {:.2}x measured, {model:.2}x predicted by the Section 5 model",
+        tn / tc
+    );
 }

@@ -19,7 +19,9 @@
 //! * [`trees`] (`cc-trees`) — BSTs, B-trees, lists, chained hash tables,
 //!   quadtrees on the simulated heap;
 //! * [`olden`] (`cc-olden`) — treeadd, health, mst, perimeter;
-//! * [`apps`] (`cc-apps`) — mini-RADIANCE and mini-VIS.
+//! * [`apps`] (`cc-apps`) — mini-RADIANCE and mini-VIS;
+//! * [`audit`] (`cc-audit`) — static layout auditor checking the paper's
+//!   clustering/coloring claims against heap snapshots and traces.
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub use cc_apps as apps;
+pub use cc_audit as audit;
 pub use cc_core as core;
 pub use cc_heap as heap;
 pub use cc_model as model;

@@ -1,0 +1,137 @@
+//! Acceptance tests for the `cc-audit` layout auditor (the ISSUE's
+//! oracle): at the paper's microbenchmark scale, a `ccmorph`-reorganized
+//! colored tree audits completely clean, while the same tree laid out by
+//! the baseline `Malloc` produces specific COLOR-01 and CLUSTER-01
+//! findings. Plus a byte-exact snapshot of the stable JSON rendering.
+
+use cache_conscious::audit::{
+    audit, scenarios, AuditConfig, AuditInput, AuditItem, ColorSpec, Rule, Severity,
+};
+use cache_conscious::sim::CacheGeometry;
+
+/// Depths 0..17 — an odd maximum depth, so every 3-node subtree cluster
+/// is full and perfect clustering is achievable.
+const ACCEPTANCE_NODES: usize = (1 << 18) - 1;
+
+#[test]
+fn ccmorph_colored_tree_audits_clean_at_scale() {
+    let input = scenarios::ccmorph_tree(ACCEPTANCE_NODES);
+    let report = audit(&input, &AuditConfig::default());
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert_eq!(report.stats.items, ACCEPTANCE_NODES);
+    assert_eq!(report.stats.colocation_score, Some(1.0));
+    assert_eq!(report.stats.hot_in_cold, 0);
+    assert_eq!(report.stats.cold_in_hot, 0);
+}
+
+#[test]
+fn malloc_tree_trips_color_01_and_cluster_01_at_scale() {
+    let input = scenarios::malloc_tree(ACCEPTANCE_NODES);
+    let report = audit(&input, &AuditConfig::default());
+
+    let color = report.of_rule(Rule::Color01);
+    assert_eq!(color.len(), 1, "{}", report.to_text());
+    assert_eq!(color[0].severity, Severity::Error);
+    assert!(
+        !color[0].addrs.is_empty(),
+        "finding names offending addresses"
+    );
+    assert!(color[0].message.contains("hot element"));
+    assert!(report.stats.hot_in_cold > 0);
+
+    let cluster = report.of_rule(Rule::Cluster01);
+    assert_eq!(cluster.len(), 1);
+    assert_eq!(cluster[0].severity, Severity::Error);
+    assert!(!cluster[0].addrs.is_empty());
+    // Malloc's preorder run co-locates at most every other parent-child
+    // pair: the score sits far below the threshold.
+    let score = report.stats.colocation_score.unwrap();
+    assert!(score < 0.5, "got {score}");
+
+    assert!(report.error_count() >= 2);
+}
+
+#[test]
+fn list_oracles_at_scale() {
+    let cfg = AuditConfig::default();
+    let good = audit(&scenarios::ccmalloc_list(50_000), &cfg);
+    assert!(good.is_clean(), "{}", good.to_text());
+    let bad = audit(&scenarios::malloc_list(50_000), &cfg);
+    assert_eq!(bad.of_rule(Rule::Cluster01).len(), 1, "{}", bad.to_text());
+    assert_eq!(bad.stats.colocation_score, Some(0.0));
+}
+
+/// A tiny hand-built layout exercising a finding and the clean path, with
+/// the exact JSON bytes asserted. If this test breaks, the JSON surface
+/// changed — bump consumers deliberately, don't just update the string.
+#[test]
+fn json_rendering_is_byte_stable() {
+    let geometry = CacheGeometry::new(64, 64, 1);
+    let color = ColorSpec::new(geometry, 512, 0.5);
+    let mut items: Vec<AuditItem> = (0..40)
+        .map(|i| AuditItem {
+            label: format!("node {i}"),
+            addr: i * 64,
+            size: 64,
+            heat: 10.0,
+        })
+        .collect();
+    items.push(AuditItem {
+        label: "node 40".into(),
+        addr: 3008,
+        size: 64,
+        heat: 100.0,
+    });
+    let input = AuditInput {
+        items,
+        pairs: vec![],
+        geometry,
+        page_bytes: 512,
+        color: Some(color),
+    };
+    let report = audit(&input, &AuditConfig::default());
+    let expected = "{\n\
+        \x20 \"clean\": false,\n\
+        \x20 \"stats\": {\n\
+        \x20   \"items\": 41,\n\
+        \x20   \"pairs\": 0,\n\
+        \x20   \"colocation_score\": null,\n\
+        \x20   \"hot_in_cold\": 1,\n\
+        \x20   \"cold_in_hot\": 0\n\
+        \x20 },\n\
+        \x20 \"findings\": [\n\
+        \x20   {\n\
+        \x20     \"rule\": \"COLOR-01\",\n\
+        \x20     \"severity\": \"error\",\n\
+        \x20     \"message\": \"1 hot element(s) mapped to cold cache sets (e.g. node 40 at 0xbc0, heat 100.0 vs hot/cold boundary 10.0); cold data can evict them\",\n\
+        \x20     \"addrs\": [\"0xbc0\"],\n\
+        \x20     \"remediation\": \"recolor: place this element via the colored space's hot allocator (ccmorph with a ColorConfig), or raise hot_fraction\"\n\
+        \x20   }\n\
+        \x20 ]\n\
+        }\n";
+    assert_eq!(report.to_json(), expected);
+
+    // The clean shape is stable too.
+    let clean = audit(
+        &AuditInput {
+            items: vec![],
+            pairs: vec![],
+            geometry,
+            page_bytes: 512,
+            color: None,
+        },
+        &AuditConfig::default(),
+    );
+    let expected_clean = "{\n\
+        \x20 \"clean\": true,\n\
+        \x20 \"stats\": {\n\
+        \x20   \"items\": 0,\n\
+        \x20   \"pairs\": 0,\n\
+        \x20   \"colocation_score\": null,\n\
+        \x20   \"hot_in_cold\": 0,\n\
+        \x20   \"cold_in_hot\": 0\n\
+        \x20 },\n\
+        \x20 \"findings\": []\n\
+        }\n";
+    assert_eq!(clean.to_json(), expected_clean);
+}

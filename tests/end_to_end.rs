@@ -80,7 +80,10 @@ fn techniques_compose() {
     );
     let (both, _) = steady_state(&tree3, &machine);
 
-    assert!(cluster < naive, "clustering must beat naive: {cluster} vs {naive}");
+    assert!(
+        cluster < naive,
+        "clustering must beat naive: {cluster} vs {naive}"
+    );
     assert!(
         both <= cluster * 1.02,
         "adding coloring must not hurt: {both} vs {cluster}"

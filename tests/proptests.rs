@@ -1,5 +1,6 @@
 //! Property-based tests on the core invariants, spanning crates.
 
+use cache_conscious::audit::{audit, AuditConfig, AuditInput, AuditItem, ColorSpec, Rule};
 use cache_conscious::core::ccmorph::{ccmorph, CcMorphParams, ColorConfig};
 use cache_conscious::core::cluster::{dfs_chain_clusters, subtree_clusters, ClusterKind};
 use cache_conscious::core::color::ColoredSpace;
@@ -130,6 +131,68 @@ proptest! {
         prop_assert!(s.misses() <= s.accesses());
         // The working set fits exactly: only cold misses.
         prop_assert!(s.misses() <= 16 * ways);
+    }
+
+    /// The auditor is total: any bag of items, any affinity pairs, any
+    /// geometry — it returns a well-formed, deterministic report rather
+    /// than panicking.
+    #[test]
+    fn audit_accepts_arbitrary_layouts(
+        seeds in prop::collection::vec(any::<u64>(), 1..80),
+        pair_seeds in prop::collection::vec(any::<u64>(), 0..120),
+        log_sets in 7u32..12,
+        log_block in 4u32..8,
+        assoc in 1u64..5,
+        colored in any::<bool>(),
+    ) {
+        let geometry = CacheGeometry::new(1 << log_sets, 1 << log_block, assoc);
+        let color = colored.then(|| ColorSpec::new(geometry, 512, 0.5));
+        // Fan one seed out into addr/size/heat: overlaps, straddles and
+        // duplicate addresses are all fair game for the auditor.
+        let items: Vec<AuditItem> = seeds.iter().enumerate().map(|(i, &s)| AuditItem {
+            label: format!("item {i}"),
+            addr: s % (1 << 40),
+            size: 1 + (s >> 40) % 200,
+            heat: ((s >> 48) % 101) as f64 - 50.0,
+        }).collect();
+        let n = items.len();
+        let pairs: Vec<(usize, usize)> = pair_seeds.iter()
+            .map(|&s| ((s as usize) % n, ((s >> 32) as usize) % n))
+            .collect();
+        let input = AuditInput { items, pairs, geometry, page_bytes: 512, color };
+        let cfg = AuditConfig::default();
+        let report = audit(&input, &cfg);
+        prop_assert_eq!(report.stats.items, n);
+        prop_assert_eq!(audit(&input, &cfg).to_json(), report.to_json());
+        prop_assert!(!report.to_text().is_empty());
+        for f in &report.findings {
+            prop_assert!(!f.message.is_empty());
+            prop_assert!(f.addrs.len() <= cfg.max_reported_addrs);
+        }
+    }
+
+    /// ccmorph with coloring never leaves a certainly-hot element in a
+    /// cold cache set: COLOR-01 is structurally impossible on its output,
+    /// whatever the tree shape or element size.
+    #[test]
+    fn ccmorph_coloring_never_trips_color_01(
+        n in 1usize..3000,
+        arity in 1usize..5,
+        elem in 8u64..100,
+    ) {
+        let mut t = VecTree::new(arity);
+        for _ in 0..n { t.add_node(); }
+        for i in 1..n { t.link((i - 1) / arity, i); }
+        let machine = MachineConfig::ultrasparc_e5000();
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        let params = CcMorphParams::clustering_and_coloring(&machine, elem);
+        let layout = ccmorph(&t, &mut vs, &params);
+        let report = audit(
+            &AuditInput::from_tree_layout(&t, &layout, &params),
+            &AuditConfig::default(),
+        );
+        prop_assert!(report.of_rule(Rule::Color01).is_empty(), "{}", report.to_text());
+        prop_assert_eq!(report.stats.hot_in_cold, 0);
     }
 
     /// Analytic model invariants: miss rate in [0, 1], monotone in K and Rs.

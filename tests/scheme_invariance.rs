@@ -18,7 +18,11 @@ fn treeadd_is_scheme_invariant() {
     let base = treeadd::run(Scheme::Base, 4096, &machine);
     assert_eq!(base.checksum, 4096 * 4097 / 2);
     for s in all_schemes() {
-        assert_eq!(treeadd::run(s, 4096, &machine).checksum, base.checksum, "{s:?}");
+        assert_eq!(
+            treeadd::run(s, 4096, &machine).checksum,
+            base.checksum,
+            "{s:?}"
+        );
     }
 }
 
@@ -27,7 +31,11 @@ fn health_is_scheme_invariant() {
     let machine = MachineConfig::table1();
     let base = health::run(Scheme::Base, 2, 80, &machine);
     for s in all_schemes() {
-        assert_eq!(health::run(s, 2, 80, &machine).checksum, base.checksum, "{s:?}");
+        assert_eq!(
+            health::run(s, 2, 80, &machine).checksum,
+            base.checksum,
+            "{s:?}"
+        );
     }
 }
 
@@ -36,7 +44,11 @@ fn mst_is_scheme_invariant() {
     let machine = MachineConfig::table1();
     let base = mst::run(Scheme::Base, 96, 8, &machine);
     for s in all_schemes() {
-        assert_eq!(mst::run(s, 96, 8, &machine).checksum, base.checksum, "{s:?}");
+        assert_eq!(
+            mst::run(s, 96, 8, &machine).checksum,
+            base.checksum,
+            "{s:?}"
+        );
     }
 }
 
@@ -45,7 +57,11 @@ fn perimeter_is_scheme_invariant() {
     let machine = MachineConfig::table1();
     let base = perimeter::run(Scheme::Base, 128, &machine);
     for s in all_schemes() {
-        assert_eq!(perimeter::run(s, 128, &machine).checksum, base.checksum, "{s:?}");
+        assert_eq!(
+            perimeter::run(s, 128, &machine).checksum,
+            base.checksum,
+            "{s:?}"
+        );
     }
 }
 
@@ -54,7 +70,11 @@ fn perimeter_is_scheme_invariant() {
 #[test]
 fn runs_are_deterministic() {
     let machine = MachineConfig::table1();
-    for s in [Scheme::Base, Scheme::CcMallocNewBlock, Scheme::CcMorphClusterColor] {
+    for s in [
+        Scheme::Base,
+        Scheme::CcMallocNewBlock,
+        Scheme::CcMorphClusterColor,
+    ] {
         let a = health::run(s, 2, 60, &machine);
         let b = health::run(s, 2, 60, &machine);
         assert_eq!(a.breakdown, b.breakdown, "{s:?}");
