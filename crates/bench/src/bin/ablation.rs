@@ -7,7 +7,10 @@
 //! 3. **ccmalloc strategy** — closest / new-block / first-fit across the
 //!    churn-heavy benchmark (health).
 //!
-//! All numbers are simulated cycles on the paper's machines.
+//! All numbers are simulated cycles on the paper's machines. Each ablation
+//! is a grid of independent cells run through the [`Sweep`] harness —
+//! every cell builds its own structures and seeds its own RNG, so the
+//! tables are byte-identical however many threads compute them.
 
 use cc_bench::header;
 use cc_core::ccmorph::{CcMorphParams, ColorConfig};
@@ -16,6 +19,7 @@ use cc_core::rng::SplitMix64;
 use cc_heap::VirtualSpace;
 use cc_olden::{health, treeadd, Scheme};
 use cc_sim::{MachineConfig, MemorySink};
+use cc_sweep::Sweep;
 use cc_trees::bst::Bst;
 use cc_trees::BST_NODE_BYTES;
 
@@ -41,27 +45,43 @@ fn main() {
         "Ablation 1: coloring hot fraction (C-tree, random searches)",
         "cycles per search on a 2^20-key tree; paper uses hot fraction 1/2",
     );
-    let mut tree = Bst::build_complete(n);
-    tree.layout_sequential(Order::Random { seed: 5 });
-    println!(
-        "  {:<18} {:>14.1}",
-        "no morph (random)",
-        search_time(&machine, &tree, n)
-    );
-    for frac in [0.0, 0.125, 0.25, 0.5, 0.75] {
-        let mut t = Bst::build_complete(n);
-        let mut vs = VirtualSpace::new(machine.page_bytes);
-        let params = CcMorphParams {
-            color: (frac > 0.0).then_some(ColorConfig { hot_fraction: frac }),
-            ..CcMorphParams::clustering_only(&machine, BST_NODE_BYTES)
-        };
-        t.morph(&mut vs, &params);
-        let label = if frac == 0.0 {
-            "cluster only".to_string()
-        } else {
-            format!("hot fraction {frac}")
-        };
-        println!("  {:<18} {:>14.1}", label, search_time(&machine, &t, n));
+    // `None` is the unmorphed random baseline; `Some(frac)` morphs with
+    // that hot fraction (0.0 meaning clustering only).
+    let fracs: [Option<f64>; 6] = [
+        None,
+        Some(0.0),
+        Some(0.125),
+        Some(0.25),
+        Some(0.5),
+        Some(0.75),
+    ];
+    let rows = Sweep::new().run(&fracs, |_, &frac| match frac {
+        None => {
+            let mut tree = Bst::build_complete(n);
+            tree.layout_sequential(Order::Random { seed: 5 });
+            (
+                "no morph (random)".to_string(),
+                search_time(&machine, &tree, n),
+            )
+        }
+        Some(frac) => {
+            let mut t = Bst::build_complete(n);
+            let mut vs = VirtualSpace::new(machine.page_bytes);
+            let params = CcMorphParams {
+                color: (frac > 0.0).then_some(ColorConfig { hot_fraction: frac }),
+                ..CcMorphParams::clustering_only(&machine, BST_NODE_BYTES)
+            };
+            t.morph(&mut vs, &params);
+            let label = if frac == 0.0 {
+                "cluster only".to_string()
+            } else {
+                format!("hot fraction {frac}")
+            };
+            (label, search_time(&machine, &t, n))
+        }
+    });
+    for (label, time) in &rows {
+        println!("  {label:<18} {time:>14.1}");
     }
 
     header(
@@ -69,50 +89,61 @@ fn main() {
         "total cycles, 64 K nodes, 4 depth-first summation passes",
     );
     let t1 = MachineConfig::table1();
-    for (label, kind) in [
-        ("subtree clusters", ClusterKind::SubtreeBfs),
-        ("depth-first chains", ClusterKind::DepthFirstChain),
-    ] {
-        // Reuse the treeadd runner but override the morph kind by running
-        // the pieces manually.
-        let mut pipe = Scheme::CcMorphCluster.pipeline(&t1);
-        let mut alloc = Scheme::CcMorphCluster.allocator(&t1);
-        let mut tree = cc_olden::treeadd::TreeAdd::build(65_536, &mut alloc, &mut pipe, false);
-        let mut vs = VirtualSpace::new(t1.page_bytes);
-        vs.skip_pages((1 << 33) / t1.page_bytes);
-        let params = CcMorphParams {
-            cache: t1.l2,
-            page_bytes: t1.page_bytes,
-            elem_bytes: cc_olden::treeadd::TREE_NODE_BYTES,
-            color: None,
-            cluster_kind: kind,
-        };
-        tree.morph(&mut vs, &params, &mut pipe);
-        for _ in 0..4 {
-            tree.sum(&mut pipe, false);
+    let kinds: [Option<(&str, ClusterKind)>; 3] = [
+        Some(("subtree clusters", ClusterKind::SubtreeBfs)),
+        Some(("depth-first chains", ClusterKind::DepthFirstChain)),
+        None, // base: no morph
+    ];
+    let rows = Sweep::new().run(&kinds, |_, &cell| match cell {
+        Some((label, kind)) => {
+            // Reuse the treeadd runner but override the morph kind by
+            // running the pieces manually.
+            let mut pipe = Scheme::CcMorphCluster.pipeline(&t1);
+            let mut alloc = Scheme::CcMorphCluster.allocator(&t1);
+            let mut tree = cc_olden::treeadd::TreeAdd::build(65_536, &mut alloc, &mut pipe, false);
+            let mut vs = VirtualSpace::new(t1.page_bytes);
+            vs.skip_pages((1 << 33) / t1.page_bytes);
+            let params = CcMorphParams {
+                cache: t1.l2,
+                page_bytes: t1.page_bytes,
+                elem_bytes: cc_olden::treeadd::TREE_NODE_BYTES,
+                color: None,
+                cluster_kind: kind,
+            };
+            tree.morph(&mut vs, &params, &mut pipe);
+            for _ in 0..4 {
+                tree.sum(&mut pipe, false);
+            }
+            (label, pipe.finish().total())
         }
-        println!("  {:<20} {:>14}", label, pipe.finish().total());
+        None => {
+            let base = treeadd::run_iters(Scheme::Base, 65_536, 4, &t1);
+            ("base (no morph)", base.breakdown.total())
+        }
+    });
+    for (label, cycles) in &rows {
+        println!("  {label:<20} {cycles:>14}");
     }
-    let base = treeadd::run_iters(Scheme::Base, 65_536, 4, &t1);
-    println!("  {:<20} {:>14}", "base (no morph)", base.breakdown.total());
     println!("  (subtree packing refetches blocks under a pure DFS sweep — Section 2.1's caveat)");
 
     header(
         "Ablation 3: ccmalloc strategy under churn (health, Table 1 machine)",
         "total cycles, level 3, 300 steps",
     );
-    for s in [
+    let schemes = [
         Scheme::Base,
         Scheme::CcMallocFirstFit,
         Scheme::CcMallocClosest,
         Scheme::CcMallocNewBlock,
-    ] {
+    ];
+    let rows = Sweep::new().run(&schemes, |_, &s| {
         let r = health::run(s, 3, 300, &t1);
+        (s.label(), r.breakdown.total(), r.heap.footprint_bytes())
+    });
+    for (label, cycles, footprint) in &rows {
         println!(
-            "  {:<12} {:>14} cycles  footprint {:>10}",
-            s.label(),
-            r.breakdown.total(),
-            cc_bench::human_bytes(r.heap.footprint_bytes())
+            "  {label:<12} {cycles:>14} cycles  footprint {:>10}",
+            cc_bench::human_bytes(*footprint)
         );
     }
 }

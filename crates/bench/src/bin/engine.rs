@@ -1,0 +1,476 @@
+//! `cc-bench-engine` — measures the simulator engine itself: the scalar
+//! reference path ([`MemorySink`]) versus the batched fast path
+//! ([`MemorySystem::access_batch`]) consuming identical Figure 5 search
+//! traces.
+//!
+//! Each cell records one fig5 trace (a BST pointer chase over a given
+//! layout and tree size), checks the two engines agree bit-for-bit on
+//! statistics and cycle totals, and then times them. The batched engine is
+//! timed the way the sweep harness uses it: the trace is packed once into
+//! coalesced [`TraceBuf`] chunks (instruction/branch runs folded into tick
+//! counts) outside the timed region, and the timed work is draining those
+//! chunks — packing, like recording, happens once per trace while replays
+//! happen once per (scheme × trial × machine) cell.
+//!
+//! Timing interleaves the two engines round-robin and reports per-engine
+//! minima, so slow drifts in host load hit both variants equally instead
+//! of biasing whichever ran second.
+//!
+//! Results go to stdout and, machine-readably, to `BENCH_sim.json`
+//! (override with `--out <path>`). `--quick` shrinks trees and sample
+//! counts for CI smoke runs.
+//!
+//! Exit status is nonzero if the batched engine fails to beat the scalar
+//! engine on any trace — a performance regression gate, enforced in CI.
+
+use cc_bench::header;
+use cc_core::ccmorph::CcMorphParams;
+use cc_core::cluster::Order;
+use cc_core::rng::SplitMix64;
+use cc_sim::batch::{BatchCursor, BatchSink, TraceBuf};
+use cc_sim::event::{Event, TraceBuffer};
+use cc_sim::{MachineConfig, MemorySink, MemorySystem};
+use cc_trees::bst::Bst;
+use criterion::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// How the recorded tree is laid out before searching — the fig5 variants.
+#[derive(Clone, Copy)]
+enum Layout {
+    /// Allocation (build) order, untouched.
+    Allocation,
+    /// Depth-first sequential repack.
+    DepthFirst,
+    /// Uniformly random placement.
+    Random(u64),
+    /// `ccmorph` clustering + coloring — the paper's transparent C-tree.
+    CTree,
+}
+
+impl Layout {
+    fn label(self) -> &'static str {
+        match self {
+            Layout::Allocation => "allocation",
+            Layout::DepthFirst => "depth-first",
+            Layout::Random(_) => "random",
+            Layout::CTree => "ctree",
+        }
+    }
+}
+
+struct CaseSpec {
+    name: &'static str,
+    layout: Layout,
+    /// Tree has `2^bits - 1` keys (a complete BST).
+    bits: u32,
+    searches: u64,
+    sw_prefetch: bool,
+}
+
+struct Timing {
+    name: &'static str,
+    layout: &'static str,
+    keys: u64,
+    events: usize,
+    memory_refs: usize,
+    scalar_ns: f64,
+    batched_ns: f64,
+    scalar_refs_per_sec: f64,
+    batched_refs_per_sec: f64,
+    speedup: f64,
+}
+
+/// Records `searches` random BST searches against the given layout into a
+/// replayable trace. The RNG seed matches fig5's measurement loop, so this
+/// is literally the figure's event stream.
+fn record_trace(machine: &MachineConfig, spec: &CaseSpec) -> TraceBuffer {
+    let n = (1u64 << spec.bits) - 1;
+    let mut t = Bst::build_complete(n);
+    match spec.layout {
+        Layout::Allocation => {}
+        Layout::DepthFirst => t.layout_sequential(Order::DepthFirst),
+        Layout::Random(seed) => t.layout_sequential(Order::Random { seed }),
+        Layout::CTree => {
+            let mut vs = cc_heap::VirtualSpace::new(machine.page_bytes);
+            let params = CcMorphParams::clustering_and_coloring(machine, cc_trees::BST_NODE_BYTES);
+            let _ = t.morph(&mut vs, &params);
+        }
+    }
+    let mut buf = TraceBuffer::new();
+    let mut rng = SplitMix64::new(0x51EE7);
+    for _ in 0..spec.searches {
+        let key = 2 * rng.below(n);
+        t.search(key, &mut buf, spec.sw_prefetch);
+    }
+    buf
+}
+
+/// Packs a recorded trace into coalesced fixed-capacity chunks: runs of
+/// instruction/branch events fold into the preceding entry's tick count
+/// (exactly what [`BatchSink`] does during replay, done once up front).
+fn pack_chunks(trace: &TraceBuffer) -> Vec<TraceBuf> {
+    let mut chunks = Vec::new();
+    let mut cur = TraceBuf::with_capacity(4096);
+    let mut run = 0u64;
+    for &ev in trace.events() {
+        match ev {
+            Event::Inst(_) | Event::Branch(_) => run += 1,
+            _ => {
+                if run > 0 {
+                    cur.push_ticks(run);
+                    run = 0;
+                }
+                if cur.is_full() {
+                    chunks.push(std::mem::replace(&mut cur, TraceBuf::with_capacity(4096)));
+                }
+                cur.push(ev);
+            }
+        }
+    }
+    if run > 0 {
+        cur.push_ticks(run);
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Replays the trace through the scalar reference sink; returns cycles as
+/// the live output for `black_box`.
+fn run_scalar(machine: &MachineConfig, trace: &TraceBuffer) -> u64 {
+    let mut sink = MemorySink::new(*machine);
+    trace.replay(&mut sink);
+    sink.memory_cycles()
+}
+
+/// Drains prepacked chunks through the batched fast path.
+fn run_batched(machine: &MachineConfig, chunks: &[TraceBuf]) -> u64 {
+    let mut sys = MemorySystem::new(*machine);
+    let mut cursor = BatchCursor::new();
+    let mut now = 0u64;
+    let mut cycles = 0u64;
+    for c in chunks {
+        let out = sys.access_batch(c, now, &mut cursor);
+        now += out.events;
+        cycles += out.cycles;
+    }
+    cycles
+}
+
+/// The engines must agree bit-for-bit before their speeds are compared:
+/// the scalar sink, the public [`BatchSink`] (which packs and drains
+/// incrementally), and the prepacked chunk drain that actually gets timed
+/// must all produce identical statistics and cycle totals.
+fn assert_engines_agree(
+    machine: &MachineConfig,
+    name: &str,
+    trace: &TraceBuffer,
+    chunks: &[TraceBuf],
+) {
+    let mut scalar = MemorySink::new(*machine);
+    trace.replay(&mut scalar);
+    let mut batched = BatchSink::new(*machine);
+    trace.replay(&mut batched);
+    batched.flush();
+    assert_eq!(
+        batched.system().l1_stats(),
+        scalar.system().l1_stats(),
+        "{name}: L1 stats diverged between engines"
+    );
+    assert_eq!(
+        batched.system().l2_stats(),
+        scalar.system().l2_stats(),
+        "{name}: L2 stats diverged between engines"
+    );
+    assert_eq!(
+        batched.system().tlb_stats(),
+        scalar.system().tlb_stats(),
+        "{name}: TLB stats diverged between engines"
+    );
+    assert_eq!(
+        batched.memory_cycles(),
+        scalar.memory_cycles(),
+        "{name}: cycle totals diverged between engines"
+    );
+
+    // The prepacked drain is what the timer runs; hold it to the same bar.
+    let mut sys = MemorySystem::new(*machine);
+    let mut cursor = BatchCursor::new();
+    let mut now = 0u64;
+    let mut cycles = 0u64;
+    for c in chunks {
+        let out = sys.access_batch(c, now, &mut cursor);
+        now += out.events;
+        cycles += out.cycles;
+    }
+    assert_eq!(
+        cycles,
+        scalar.memory_cycles(),
+        "{name}: prepacked drain cycles diverged from scalar"
+    );
+    assert_eq!(
+        sys.l1_stats(),
+        scalar.system().l1_stats(),
+        "{name}: prepacked drain L1 stats diverged from scalar"
+    );
+    assert_eq!(
+        sys.l2_stats(),
+        scalar.system().l2_stats(),
+        "{name}: prepacked drain L2 stats diverged from scalar"
+    );
+    assert_eq!(
+        sys.tlb_stats(),
+        scalar.system().tlb_stats(),
+        "{name}: prepacked drain TLB stats diverged from scalar"
+    );
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Names are static identifiers; assert rather than escape.
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s
+}
+
+fn write_json(path: &str, mode: &str, timings: &[Timing]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"bench\": \"cc-bench-engine\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(f, "  \"machine\": \"ultrasparc_e5000\",")?;
+    writeln!(f, "  \"traces\": [")?;
+    for (i, t) in timings.iter().enumerate() {
+        writeln!(f, "    {{")?;
+        writeln!(f, "      \"name\": \"{}\",", json_escape_free(t.name))?;
+        writeln!(f, "      \"layout\": \"{}\",", json_escape_free(t.layout))?;
+        writeln!(f, "      \"keys\": {},", t.keys)?;
+        writeln!(f, "      \"events\": {},", t.events)?;
+        writeln!(f, "      \"memory_refs\": {},", t.memory_refs)?;
+        writeln!(f, "      \"scalar_ns_per_replay\": {:.0},", t.scalar_ns)?;
+        writeln!(f, "      \"batched_ns_per_replay\": {:.0},", t.batched_ns)?;
+        writeln!(
+            f,
+            "      \"scalar_refs_per_sec\": {:.0},",
+            t.scalar_refs_per_sec
+        )?;
+        writeln!(
+            f,
+            "      \"batched_refs_per_sec\": {:.0},",
+            t.batched_refs_per_sec
+        )?;
+        writeln!(f, "      \"speedup\": {:.2}", t.speedup)?;
+        writeln!(f, "    }}{}", if i + 1 < timings.len() { "," } else { "" })?;
+    }
+    writeln!(f, "  ],")?;
+    let headline = timings
+        .iter()
+        .find(|t| t.name == "fig5-pointer-chase")
+        .map(|t| t.speedup)
+        .unwrap_or(f64::NAN);
+    writeln!(f, "  \"pointer_chase_speedup\": {headline:.2}")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: cc-bench-engine [--quick] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let machine = MachineConfig::ultrasparc_e5000();
+    // Cells follow fig5's checkpoints: the ~1000-node tree at the figure's
+    // left edge (the headline pointer chase, over the paper's own C-tree
+    // layout) up to the 2^21-node tree at its right edge, plus the other
+    // layouts and a software-prefetch trace so the batched engine's
+    // in-flight-aware slow path is timed and gated too.
+    let (cases, samples): (Vec<CaseSpec>, usize) = if quick {
+        (
+            vec![
+                CaseSpec {
+                    name: "fig5-pointer-chase",
+                    layout: Layout::CTree,
+                    bits: 10,
+                    searches: 4_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-ctree-full",
+                    layout: Layout::CTree,
+                    bits: 13,
+                    searches: 4_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-dfs",
+                    layout: Layout::DepthFirst,
+                    bits: 13,
+                    searches: 4_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-random-clustered",
+                    layout: Layout::Random(0xA11),
+                    bits: 11,
+                    searches: 4_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-prefetch",
+                    layout: Layout::Allocation,
+                    bits: 11,
+                    searches: 1_000,
+                    sw_prefetch: true,
+                },
+            ],
+            4,
+        )
+    } else {
+        (
+            vec![
+                CaseSpec {
+                    name: "fig5-pointer-chase",
+                    layout: Layout::CTree,
+                    bits: 10,
+                    searches: 40_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-ctree-full",
+                    layout: Layout::CTree,
+                    bits: 21,
+                    searches: 40_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-dfs",
+                    layout: Layout::DepthFirst,
+                    bits: 21,
+                    searches: 40_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-random-clustered",
+                    layout: Layout::Random(0xA11),
+                    bits: 14,
+                    searches: 40_000,
+                    sw_prefetch: false,
+                },
+                CaseSpec {
+                    name: "fig5-prefetch",
+                    layout: Layout::Allocation,
+                    bits: 14,
+                    searches: 10_000,
+                    sw_prefetch: true,
+                },
+            ],
+            12,
+        )
+    };
+
+    header(
+        "Engine benchmark: scalar vs batched trace replay",
+        &format!(
+            "fig5 search traces, scalar sink vs prepacked batch drain ({} mode)",
+            if quick { "quick" } else { "full" },
+        ),
+    );
+
+    let mut timings = Vec::new();
+    for spec in &cases {
+        let keys = (1u64 << spec.bits) - 1;
+        eprintln!(
+            "recording {} ({} layout, {keys} keys, {} searches)…",
+            spec.name,
+            spec.layout.label(),
+            spec.searches
+        );
+        let trace = record_trace(&machine, spec);
+        let chunks = pack_chunks(&trace);
+        assert_engines_agree(&machine, spec.name, &trace, &chunks);
+
+        // Round-robin the two engines and keep per-engine minima, so any
+        // slow drift in host load is shared instead of biasing one side.
+        let mut scalar_best = f64::MAX;
+        let mut batched_best = f64::MAX;
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(run_scalar(black_box(&machine), black_box(&trace)));
+            scalar_best = scalar_best.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(run_batched(black_box(&machine), black_box(&chunks)));
+            batched_best = batched_best.min(start.elapsed().as_secs_f64());
+        }
+
+        let memory_refs = trace.memory_refs();
+        let scalar_ns = scalar_best * 1e9;
+        let batched_ns = batched_best * 1e9;
+        timings.push(Timing {
+            name: spec.name,
+            layout: spec.layout.label(),
+            keys,
+            events: trace.events().len(),
+            memory_refs,
+            scalar_ns,
+            batched_ns,
+            scalar_refs_per_sec: memory_refs as f64 / scalar_best,
+            batched_refs_per_sec: memory_refs as f64 / batched_best,
+            speedup: scalar_ns / batched_ns,
+        });
+    }
+
+    println!(
+        "\n{:<24}{:>12}{:>12}{:>18}{:>18}{:>9}",
+        "trace", "layout", "mem refs", "scalar refs/s", "batched refs/s", "speedup"
+    );
+    for t in &timings {
+        println!(
+            "{:<24}{:>12}{:>12}{:>18.0}{:>18.0}{:>8.2}x",
+            t.name,
+            t.layout,
+            t.memory_refs,
+            t.scalar_refs_per_sec,
+            t.batched_refs_per_sec,
+            t.speedup
+        );
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    if let Err(e) = write_json(&out_path, mode, &timings) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    let mut failed = false;
+    for t in &timings {
+        if t.batched_refs_per_sec < t.scalar_refs_per_sec {
+            eprintln!(
+                "REGRESSION: {} batched ({:.0} refs/s) is slower than scalar ({:.0} refs/s)",
+                t.name, t.batched_refs_per_sec, t.scalar_refs_per_sec
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,12 @@
 //! come from the Section 5.1 latency formula over the simulated cache's
 //! measured behaviour (plus TLB penalties), converted to microseconds at
 //! the machine's 167 MHz clock.
+//!
+//! The four layouts are independent simulation cells, so they fan out
+//! across the [`Sweep`] runner; every cell rebuilds its layout from
+//! scratch (replaying the same deterministic mutation sequence the serial
+//! version applied), so the figure is byte-identical no matter how many
+//! workers run it.
 
 use cc_audit::{audit, AffinityKind, AuditConfig, AuditInput, Report, Rule};
 use cc_bench::header;
@@ -22,6 +28,7 @@ use cc_core::cluster::Order;
 use cc_core::rng::SplitMix64;
 use cc_heap::VirtualSpace;
 use cc_sim::{MachineConfig, MemorySink};
+use cc_sweep::Sweep;
 use cc_trees::bst::Bst;
 use cc_trees::btree::BTree;
 use cc_trees::BST_NODE_BYTES;
@@ -55,20 +62,130 @@ where
     out
 }
 
-/// Audits one layout and prints its one-line verdict; returns the report
-/// so `main` can enforce the preconditions the figure depends on.
-fn audit_layout(name: &str, input: &AuditInput) -> Report {
+/// Audits one layout, appending its one-line verdict to the cell's log;
+/// returns the report so `main` can enforce the preconditions the figure
+/// depends on.
+fn audit_layout(name: &str, input: &AuditInput, log: &mut String) -> Report {
     let report = audit(input, &AuditConfig::default());
     let score = report
         .stats
         .colocation_score
         .map_or_else(|| "  n/a ".to_string(), |s| format!("{s:.4}"));
-    eprintln!(
-        "  audit {name:<24} colocation {score}  {} error(s), {} finding(s)",
+    log.push_str(&format!(
+        "  audit {name:<24} colocation {score}  {} error(s), {} finding(s)\n",
         report.error_count(),
         report.findings.len(),
-    );
+    ));
     report
+}
+
+/// The four fig5 layouts, as independent sweep cells.
+#[derive(Clone, Copy)]
+enum Layout {
+    RandomClustered,
+    DepthFirstClustered,
+    ColoredBTree,
+    TransparentCTree,
+}
+
+/// One computed cell: its row label, checkpoint times, the progress/audit
+/// lines the serial version would have streamed to stderr, and the audit
+/// report (where the layout has one).
+struct Cell {
+    label: &'static str,
+    times: Vec<f64>,
+    log: String,
+    report: Option<Report>,
+}
+
+fn tree_input(machine: &MachineConfig, t: &Bst) -> AuditInput {
+    AuditInput::from_tree_addrs(
+        t,
+        |id| Some(t.addr_of(id)),
+        BST_NODE_BYTES,
+        machine.l2,
+        machine.page_bytes,
+        None,
+        AffinityKind::ParentChild,
+    )
+}
+
+/// Builds the cell's layout by replaying the exact mutation sequence the
+/// serial figure applied to its one shared tree (random, then depth-first
+/// on top of it, then morph on top of that), audits it, and measures it.
+fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
+    match layout {
+        Layout::RandomClustered => {
+            let mut log = String::from("building random-clustered tree…\n");
+            let mut t = Bst::build_complete(n);
+            t.layout_sequential(Order::Random { seed: 0xA11 });
+            let report = audit_layout("random clustered", &tree_input(machine, &t), &mut log);
+            let times = measure(machine, n, |k, s| {
+                t.search(k, s, false);
+            });
+            Cell {
+                label: "random clustered",
+                times,
+                log,
+                report: Some(report),
+            }
+        }
+        Layout::DepthFirstClustered => {
+            let mut log = String::from("building depth-first clustered tree…\n");
+            let mut t = Bst::build_complete(n);
+            t.layout_sequential(Order::Random { seed: 0xA11 });
+            t.layout_sequential(Order::DepthFirst);
+            audit_layout("depth-first clustered", &tree_input(machine, &t), &mut log);
+            let times = measure(machine, n, |k, s| {
+                t.search(k, s, false);
+            });
+            Cell {
+                label: "depth-first clustered",
+                times,
+                log,
+                report: None,
+            }
+        }
+        Layout::ColoredBTree => {
+            let log = String::from("building colored B-tree…\n");
+            let ks: Vec<u64> = (0..n).map(|i| 2 * i).collect();
+            let mut bt = BTree::build_from_sorted(&ks, machine.l2.block_bytes(), 0.7);
+            let mut vs = VirtualSpace::new(machine.page_bytes);
+            bt.color(&mut vs, machine, 0.5);
+            let times = measure(machine, n, |k, s| {
+                bt.search(k, s);
+            });
+            Cell {
+                label: "in-core B-tree",
+                times,
+                log,
+                report: None,
+            }
+        }
+        Layout::TransparentCTree => {
+            let mut log = String::from("building transparent C-tree…\n");
+            let mut t = Bst::build_complete(n);
+            t.layout_sequential(Order::Random { seed: 0xA11 });
+            t.layout_sequential(Order::DepthFirst);
+            let mut vs2 = VirtualSpace::new(machine.page_bytes);
+            let params = CcMorphParams::clustering_and_coloring(machine, BST_NODE_BYTES);
+            let layout = t.morph(&mut vs2, &params);
+            let report = audit_layout(
+                "transparent C-tree",
+                &AuditInput::from_tree_layout(&t, &layout, &params),
+                &mut log,
+            );
+            let times = measure(machine, n, |k, s| {
+                t.search(k, s, false);
+            });
+            Cell {
+                label: "transparent C-tree",
+                times,
+                log,
+                report: Some(report),
+            }
+        }
+    }
 }
 
 fn main() {
@@ -87,61 +204,19 @@ fn main() {
         ),
     );
 
-    let mut results: Vec<(&str, Vec<f64>)> = Vec::new();
+    let grid = [
+        Layout::RandomClustered,
+        Layout::DepthFirstClustered,
+        Layout::ColoredBTree,
+        Layout::TransparentCTree,
+    ];
+    let cells = Sweep::new().run(&grid, |_, &layout| run_cell(&machine, n, layout));
+    for cell in &cells {
+        eprint!("{}", cell.log);
+    }
 
-    let tree_input = |t: &Bst| {
-        AuditInput::from_tree_addrs(
-            t,
-            |id| Some(t.addr_of(id)),
-            BST_NODE_BYTES,
-            machine.l2,
-            machine.page_bytes,
-            None,
-            AffinityKind::ParentChild,
-        )
-    };
-
-    eprintln!("building random-clustered tree…");
-    let mut t = Bst::build_complete(n);
-    t.layout_sequential(Order::Random { seed: 0xA11 });
-    let random_audit = audit_layout("random clustered", &tree_input(&t));
-    results.push((
-        "random clustered",
-        measure(&machine, n, |k, s| {
-            t.search(k, s, false);
-        }),
-    ));
-
-    eprintln!("building depth-first clustered tree…");
-    t.layout_sequential(Order::DepthFirst);
-    audit_layout("depth-first clustered", &tree_input(&t));
-    results.push((
-        "depth-first clustered",
-        measure(&machine, n, |k, s| {
-            t.search(k, s, false);
-        }),
-    ));
-
-    eprintln!("building colored B-tree…");
-    let ks: Vec<u64> = (0..n).map(|i| 2 * i).collect();
-    let mut bt = BTree::build_from_sorted(&ks, machine.l2.block_bytes(), 0.7);
-    let mut vs = VirtualSpace::new(machine.page_bytes);
-    bt.color(&mut vs, &machine, 0.5);
-    results.push((
-        "in-core B-tree",
-        measure(&machine, n, |k, s| {
-            bt.search(k, s);
-        }),
-    ));
-
-    eprintln!("building transparent C-tree…");
-    let mut vs2 = VirtualSpace::new(machine.page_bytes);
-    let params = CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES);
-    let layout = t.morph(&mut vs2, &params);
-    let ctree_audit = audit_layout(
-        "transparent C-tree",
-        &AuditInput::from_tree_layout(&t, &layout, &params),
-    );
+    let random_audit = cells[0].report.as_ref().expect("random cell audits");
+    let ctree_audit = cells[3].report.as_ref().expect("C-tree cell audits");
     // Preconditions for the figure's claims: the C-tree's coloring must
     // hold (no hot node in a cold set), and its clustering must beat the
     // random baseline. No such guarantee against depth-first order: with
@@ -157,15 +232,9 @@ fn main() {
     );
     let score = |r: &Report| r.stats.colocation_score.unwrap_or(0.0);
     assert!(
-        score(&ctree_audit) >= score(&random_audit) - 1e-9,
+        score(ctree_audit) >= score(random_audit) - 1e-9,
         "C-tree co-locates worse than the random baseline"
     );
-    results.push((
-        "transparent C-tree",
-        measure(&machine, n, |k, s| {
-            t.search(k, s, false);
-        }),
-    ));
 
     println!("\navg search time (microseconds) after N random searches:");
     print!("{:<24}", "layout \\ searches");
@@ -173,15 +242,15 @@ fn main() {
         print!("{cp:>10}");
     }
     println!();
-    for (label, times) in &results {
-        print!("{label:<24}");
-        for t in times {
+    for cell in &cells {
+        print!("{:<24}", cell.label);
+        for t in &cell.times {
             print!("{t:>10.2}");
         }
         println!();
     }
 
-    let at = |i: usize| results[i].1.last().copied().unwrap_or(f64::NAN);
+    let at = |i: usize| cells[i].times.last().copied().unwrap_or(f64::NAN);
     let (rand, dfs, btree, ctree) = (at(0), at(1), at(2), at(3));
     println!("\nsteady-state ratios (paper's claims in parentheses):");
     println!(

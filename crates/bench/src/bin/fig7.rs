@@ -5,27 +5,26 @@
 //! benchmark's base run and split into busy / instruction-stall /
 //! data-stall / store-stall components using the paper's cycle
 //! attribution rule on the Table 1 machine.
+//!
+//! The 32 (benchmark × scheme) cells are independent simulations, so they
+//! fan out across the [`Sweep`] runner; results come back in grid order,
+//! which keeps the figure byte-identical to a serial run.
 
 use cc_audit::{audit, AuditConfig, AuditInput};
 use cc_bench::{header, human_bytes, print_breakdown_row};
 use cc_olden::{health, mst, perimeter, treeadd, RunResult, Scheme};
 use cc_sim::MachineConfig;
+use cc_sweep::Sweep;
 
-fn run_all(name: &str, runner: &dyn Fn(Scheme) -> RunResult) -> Vec<RunResult> {
-    let results: Vec<RunResult> = Scheme::FIGURE7
-        .iter()
-        .map(|&s| {
-            eprintln!("  {name}: {}", s.label());
-            runner(s)
-        })
-        .collect();
-    let base = results[0].clone();
+/// Prints one benchmark's normalized bars; `results` is in
+/// [`Scheme::FIGURE7`] order, so `results[0]` is the base run.
+fn print_group(name: &str, results: &[RunResult]) {
+    let base = &results[0];
     println!("\n{name}:");
-    for r in &results {
+    for r in results {
         print_breakdown_row(r.scheme.label(), &r.breakdown, &base.breakdown);
         assert_eq!(r.checksum, base.checksum, "scheme changed the answer!");
     }
-    results
 }
 
 fn overhead_line(name: &str, results: &[RunResult]) {
@@ -83,45 +82,64 @@ fn main() {
          first-fit/closest/new-block CI=ccmorph-cluster CI+Col=+coloring"
     );
 
-    // treeadd: 256 K nodes (Table 2), four summation passes for steady
-    // state (see EXPERIMENTS.md).
-    let ta = run_all("treeadd", &|s| {
-        treeadd::run_iters(s, 262_144 / scale.max(1), 4, &machine)
-    });
+    // Benchmark runners, sized per Table 2 (see EXPERIMENTS.md for the
+    // treeadd steady-state and perimeter image-scale notes).
+    type Runner<'a> = Box<dyn Fn(Scheme) -> RunResult + Sync + 'a>;
+    let benches: [(&str, Runner); 4] = [
+        (
+            "treeadd",
+            Box::new(|s| treeadd::run_iters(s, 262_144 / scale.max(1), 4, &machine)),
+        ),
+        (
+            "health",
+            Box::new(|s| health::run(s, 3, 500 / scale.max(1).min(8), &machine)),
+        ),
+        (
+            "mst",
+            Box::new(|s| mst::run(s, (512 / scale.max(1)) as usize, 16, &machine)),
+        ),
+        (
+            "perimeter",
+            Box::new(|s| perimeter::run(s, (1024 / scale.max(1)) as u32, &machine)),
+        ),
+    ];
 
-    // health: village level 3, scaled step count.
-    let he = run_all("health", &|s| {
-        health::run(s, 3, 500 / scale.max(1).min(8), &machine)
+    // The full (benchmark × scheme) grid, in figure order.
+    let grid: Vec<(usize, Scheme)> = (0..benches.len())
+        .flat_map(|b| Scheme::FIGURE7.iter().map(move |&s| (b, s)))
+        .collect();
+    let cells = Sweep::new().run(&grid, |_, &(b, s)| {
+        let (name, runner) = &benches[b];
+        let log = format!("  {name}: {}\n", s.label());
+        (log, runner(s))
     });
-
-    // mst: 512 vertices (Table 2).
-    let ms = run_all("mst", &|s| {
-        mst::run(s, (512 / scale.max(1)) as usize, 16, &machine)
-    });
-
-    // perimeter: disk in a scaled image (Table 2 uses 4K x 4K; 1K here —
-    // the quadtree is ~40x the 256 KB L2 either way).
-    let pe = run_all("perimeter", &|s| {
-        perimeter::run(s, (1024 / scale.max(1)) as u32, &machine)
-    });
+    let (logs, results): (Vec<String>, Vec<RunResult>) = cells.into_iter().unzip();
+    for log in &logs {
+        eprint!("{log}");
+    }
+    let by_bench: Vec<&[RunResult]> = results.chunks_exact(Scheme::FIGURE7.len()).collect();
+    for ((name, _), results) in benches.iter().zip(&by_bench) {
+        print_group(name, results);
+    }
+    let (ta, he, ms, pe) = (by_bench[0], by_bench[1], by_bench[2], by_bench[3]);
 
     header(
         "Section 4.4: ccmalloc memory overheads",
         "paper: new-block costs +12% (treeadd), +30% (perimeter), +7% (health), +3% (mst)",
     );
-    overhead_line("treeadd", &ta);
-    overhead_line("health", &he);
-    overhead_line("mst", &ms);
-    overhead_line("perimeter", &pe);
+    overhead_line("treeadd", ta);
+    overhead_line("health", he);
+    overhead_line("mst", ms);
+    overhead_line("perimeter", pe);
 
     header(
         "Layout audit: did the ccmalloc hints deliver?",
         "cc-audit over each hinted scheme's final heap (score = co-located / achievable pairs)",
     );
-    audit_lines("treeadd", &machine, &ta);
-    audit_lines("health", &machine, &he);
-    audit_lines("mst", &machine, &ms);
-    audit_lines("perimeter", &machine, &pe);
+    audit_lines("treeadd", &machine, ta);
+    audit_lines("health", &machine, he);
+    audit_lines("mst", &machine, ms);
+    audit_lines("perimeter", &machine, pe);
 
     // Precondition with teeth where the paper guarantees one: treeadd
     // allocates a tree depth-first with parent hints, the workload

@@ -5,6 +5,7 @@
 //! for the full numbers).
 
 use cc_bench::header;
+use cc_sweep::Sweep;
 
 fn main() {
     header(
@@ -34,8 +35,14 @@ fn main() {
             "moderate-high",
         ),
     ];
-    for (t, s, p, a, c, perf) in rows {
-        println!("{t:<12} {s:<12} {p:<12} {a:<13} {c:<12} {perf:<16}");
+    // The table has no simulation cells, but it rides the same harness as
+    // the figures: each row is a (trivial) sweep cell, and the runner's
+    // order guarantee keeps the output identical to a serial loop.
+    let lines = Sweep::new().run(&rows, |_, &(t, s, p, a, c, perf)| {
+        format!("{t:<12} {s:<12} {p:<12} {a:<13} {c:<12} {perf:<16}")
+    });
+    for line in &lines {
+        println!("{line}");
     }
     println!(
         "\nnotes (paper Section 4.5):\n\

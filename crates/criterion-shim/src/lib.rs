@@ -41,7 +41,18 @@ impl Criterion {
     }
 
     /// Runs one named benchmark and prints a one-line report.
-    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_measured(id, f);
+        self
+    }
+
+    /// Runs one named benchmark, prints the usual one-line report, and
+    /// returns the timing so callers (e.g. `cc-bench-engine`) can compute
+    /// throughput ratios and emit machine-readable results.
+    pub fn bench_measured<F>(&mut self, id: impl AsRef<str>, mut f: F) -> Measurement
     where
         F: FnMut(&mut Bencher),
     {
@@ -76,12 +87,27 @@ impl Criterion {
             self.sample_size,
             iters_per_sample,
         );
-        self
+        Measurement {
+            fastest: best,
+            mean,
+            iters_per_sample,
+        }
     }
 
     /// Criterion calls this at the end of `main`; the shim has no state
     /// to flush but keeps the call site compiling.
     pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark timing summary returned by [`Criterion::bench_measured`].
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Fastest per-iteration time across samples (least noisy estimate).
+    pub fastest: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Iterations each sample ran.
+    pub iters_per_sample: u64,
 }
 
 /// Timer handle passed to each benchmark closure.
@@ -156,6 +182,14 @@ mod tests {
     fn groups_run() {
         shim_group();
         shim_group_plain();
+    }
+
+    #[test]
+    fn bench_measured_reports_timing() {
+        let mut c = Criterion::default().sample_size(2);
+        let m = c.bench_measured("measured", |b| b.iter(|| black_box(3u64) * 3));
+        assert!(m.iters_per_sample > 0);
+        assert!(m.fastest <= m.mean || m.mean == Duration::ZERO);
     }
 
     #[test]

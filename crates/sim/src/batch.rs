@@ -1,0 +1,869 @@
+//! Batched trace execution: the simulator's fast path.
+//!
+//! The scalar path ([`crate::MemorySink`] → [`MemorySystem::access`]) walks
+//! one event at a time: an enum dispatch, a `Vec` of touched blocks, a
+//! linear TLB scan, and a `HashMap` probe of the prefetch in-flight table
+//! per event. That is the right *reference* implementation — every branch
+//! maps onto a sentence of the paper's Section 5.1 — but it is the
+//! bottleneck of every figure in this reproduction.
+//!
+//! This module adds the batched equivalent:
+//!
+//! * [`TraceBuf`] — a fixed-capacity structure-of-arrays buffer of packed
+//!   events (kind bytes, addresses, and sizes in separate vectors), so the
+//!   replay loop streams over dense arrays instead of matching a 24-byte
+//!   enum per event;
+//! * [`MemorySystem::access_batch`] — replays a full buffer with no per-event
+//!   allocation, carrying a [`BatchCursor`] that short-circuits the dominant
+//!   pattern of pointer chases over clustered nodes: consecutive references
+//!   that stay in the last L1 block (and on the last translated page). Such
+//!   a reference is *provably* an L1/TLB hit on the most-recently-used
+//!   line/entry, so the probe, the LRU stamp bump, the in-flight lookup, and
+//!   the TLB scan can all be skipped without changing a single counter or
+//!   any future replacement decision (see the invariant notes on
+//!   [`BatchCursor`]);
+//! * [`BatchSink`] — an [`EventSink`] that buffers events and flushes them
+//!   through `access_batch`, with an optional observer for consumers that
+//!   need the raw stream (affinity tracing, tees). With no observer
+//!   attached, no per-event dynamic dispatch or observer branching survives
+//!   in the hot loop.
+//!
+//! The batched path is pinned to the scalar path by a differential property
+//! test (`tests/batch_differential.rs`): over arbitrary event streams, both
+//! produce bit-identical [`crate::CacheStats`], TLB counters, accumulated
+//! cycles, and — crucially — identical *future* behaviour (same hits and
+//! writebacks on a probe suffix), including write-back dirty-eviction
+//! ordering.
+
+use crate::cache::ReadTally;
+use crate::event::{Event, EventSink, NullSink};
+use crate::hierarchy::{AccessKind, MemorySystem};
+
+/// Packed event kind for [`TraceBuf`]'s kind lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum PackedKind {
+    /// `Event::Inst(n)` — `n` in the address lane.
+    Inst,
+    /// `Event::Branch(n)` — `n` in the address lane.
+    Branch,
+    /// Dependent load.
+    LoadDep,
+    /// Independent load.
+    LoadIndep,
+    /// Store.
+    Store,
+    /// Software prefetch.
+    Prefetch,
+    /// A run of events that only advance the logical clock (the address
+    /// lane holds the run length). Runs normally fold into the *tick
+    /// lane* of the preceding entry ([`TraceBuf::push_ticks`]); a `Gap`
+    /// entry is staged only when there is no preceding entry to widen —
+    /// a run at the head of a freshly drained buffer.
+    Gap,
+}
+
+/// A fixed-capacity structure-of-arrays event buffer.
+///
+/// Events are split into parallel lanes (kind, address, size, trailing
+/// ticks), so the batched replay loop touches a few dense bytes per entry,
+/// all sequentially. Runs of clock-only events (instructions, branches —
+/// whose counts the packer accounts for separately) occupy no entries of
+/// their own: they fold into the tick lane of the entry they follow, so
+/// the canonical load/inst/branch pointer-chase rhythm packs into one
+/// entry per node. Unlike [`crate::event::TraceBuffer`] (a growable
+/// array-of-structs recorder for tests and replays), a `TraceBuf` is a
+/// bounded staging area: [`BatchSink`] fills it and drains it through
+/// [`MemorySystem::access_batch`] every time it fills up.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::batch::TraceBuf;
+/// use cc_sim::event::Event;
+///
+/// let mut buf = TraceBuf::with_capacity(2);
+/// buf.push(Event::load(0x40, 8));
+/// assert!(!buf.is_full());
+/// buf.push(Event::Inst(3));
+/// assert!(buf.is_full());
+/// assert_eq!(buf.events().count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuf {
+    kinds: Vec<PackedKind>,
+    addrs: Vec<u64>,
+    sizes: Vec<u32>,
+    /// Clock-only events *following* each entry (see [`TraceBuf::push_ticks`]).
+    ticks: Vec<u32>,
+    cap: usize,
+}
+
+impl TraceBuf {
+    /// Creates an empty buffer holding at most `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "batch capacity must be nonzero");
+        TraceBuf {
+            kinds: Vec::with_capacity(cap),
+            addrs: Vec::with_capacity(cap),
+            sizes: Vec::with_capacity(cap),
+            ticks: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Number of buffered entries (folded tick runs do not count; see
+    /// [`TraceBuf::events`] for the decoded event stream).
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the buffer holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Whether the buffer is at capacity (the caller should drain it).
+    pub fn is_full(&self) -> bool {
+        self.kinds.len() >= self.cap
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Empties the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.addrs.clear();
+        self.sizes.clear();
+        self.ticks.clear();
+    }
+
+    /// Appends one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full.
+    pub fn push(&mut self, ev: Event) {
+        assert!(!self.is_full(), "TraceBuf overflow: drain before pushing");
+        let (kind, addr, size) = match ev {
+            Event::Inst(n) => (PackedKind::Inst, u64::from(n), 0),
+            Event::Branch(n) => (PackedKind::Branch, u64::from(n), 0),
+            Event::Load {
+                addr,
+                size,
+                dep: true,
+            } => (PackedKind::LoadDep, addr, size),
+            Event::Load {
+                addr,
+                size,
+                dep: false,
+            } => (PackedKind::LoadIndep, addr, size),
+            Event::Store { addr, size } => (PackedKind::Store, addr, size),
+            Event::Prefetch { addr } => (PackedKind::Prefetch, addr, 0),
+        };
+        self.kinds.push(kind);
+        self.addrs.push(addr);
+        self.sizes.push(size);
+        self.ticks.push(0);
+    }
+
+    /// Appends `ticks` clock-advance events that carry no memory traffic —
+    /// the packed form of a run of instruction and branch events whose
+    /// *counts* the caller accounts for separately
+    /// ([`MemorySystem::access_batch`] only advances the clock by `ticks`).
+    /// The run folds into the trailing entry's tick lane whenever one
+    /// exists, so it usually consumes no entry at all; only a run with no
+    /// entry to widen (an empty buffer, or a saturated tick counter)
+    /// stages a standalone clock-gap entry. This is how a packer amortizes
+    /// the dominant non-memory events of a trace; [`BatchSink`] does it
+    /// automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks` is zero, or if a standalone entry is needed and
+    /// the buffer is full (see [`TraceBuf::can_fold_ticks`]).
+    pub fn push_ticks(&mut self, ticks: u64) {
+        assert!(ticks > 0, "a tick run must advance the clock");
+        if let Some(i) = self.kinds.len().checked_sub(1) {
+            if self.kinds[i] == PackedKind::Gap {
+                self.addrs[i] += ticks;
+                return;
+            }
+            let cur = u64::from(self.ticks[i]);
+            if cur + ticks <= u64::from(u32::MAX) {
+                self.ticks[i] = (cur + ticks) as u32;
+                return;
+            }
+        }
+        assert!(!self.is_full(), "TraceBuf overflow: drain before pushing");
+        self.kinds.push(PackedKind::Gap);
+        self.addrs.push(ticks);
+        self.sizes.push(0);
+        self.ticks.push(0);
+    }
+
+    /// Whether [`TraceBuf::push_ticks`] can absorb a run without staging a
+    /// new entry (so it cannot panic even on a full buffer).
+    pub fn can_fold_ticks(&self, ticks: u64) -> bool {
+        match self.kinds.last() {
+            Some(PackedKind::Gap) => true,
+            Some(_) => {
+                u64::from(*self.ticks.last().expect("lanes in step")) + ticks <= u64::from(u32::MAX)
+            }
+            None => false,
+        }
+    }
+
+    /// Decodes the buffered events back into [`Event`]s, in order. Folded
+    /// tick runs and clock-gap entries decode as that many `Inst(0)`
+    /// events — the canonical event that ticks the clock and counts
+    /// nothing.
+    pub fn events(&self) -> impl Iterator<Item = Event> + '_ {
+        (0..self.len()).flat_map(move |i| {
+            let (ev, reps) = match self.kinds[i] {
+                PackedKind::Inst => (Event::Inst(self.addrs[i] as u32), 1),
+                PackedKind::Branch => (Event::Branch(self.addrs[i] as u32), 1),
+                PackedKind::LoadDep => (Event::load(self.addrs[i], self.sizes[i]), 1),
+                PackedKind::LoadIndep => (Event::load_indep(self.addrs[i], self.sizes[i]), 1),
+                PackedKind::Store => (Event::store(self.addrs[i], self.sizes[i]), 1),
+                PackedKind::Prefetch => (
+                    Event::Prefetch {
+                        addr: self.addrs[i],
+                    },
+                    1,
+                ),
+                PackedKind::Gap => (Event::Inst(0), self.addrs[i]),
+            };
+            std::iter::repeat_n(ev, reps as usize)
+                .chain(std::iter::repeat_n(Event::Inst(0), self.ticks[i] as usize))
+        })
+    }
+}
+
+/// Cross-batch memoization state for [`MemorySystem::access_batch`].
+///
+/// The cursor remembers just enough about the immediately preceding memory
+/// reference to prove the next one needs no simulation work:
+///
+/// * `block` — the last L1 block a *load* touched. That line is resident
+///   (reads always fill) and is the most recently probed line in the whole
+///   L1, so a following read confined to it is a guaranteed hit. Skipping
+///   the probe also skips the LRU stamp bump, which is safe precisely
+///   because the line already carries the newest stamp: no other line was
+///   stamped in between, so every *relative* stamp comparison — and
+///   therefore every future victim choice — is unchanged. The prefetch
+///   in-flight check is skipped too: the entry for this block's L2 block
+///   was consumed when the block was last really probed, and only a
+///   `Prefetch` event (which clears the cursor) can create a new one.
+///   Stores and prefetches clear this field: a write-back store miss or a
+///   prefetch fill picks a victim and could evict the remembered line.
+/// * `page` — the last page a load or store translated. That TLB entry is
+///   resident and most recently used, so a following reference starting on
+///   the same page skips the scan (the stamp argument is identical).
+///   Instructions, branches, and prefetches never touch the TLB, so they
+///   leave this field valid.
+/// * `l2_block` — the L2 block of the most recent L2 probe issued by the
+///   batch read path. An L2 probe either hits (line becomes MRU) or fills
+///   (line becomes MRU), and *nothing else* touches the L2 between batch
+///   reads — L1 hits and L1 fills stay in L1 — so a later L1 miss falling
+///   in the same L2 block is a guaranteed L2 hit on the MRU line, and the
+///   probe plus its LRU stamp bump can be skipped by the same argument as
+///   `block`. Anything that can touch the L2 outside the batch read path
+///   clears it: stores (a write-through L1 hit propagates the write into
+///   L2; a write-back miss allocates), prefetches (they fill L2), and the
+///   in-flight slow path (its probes are not tracked).
+///
+/// The cursor is only sound while **all** traffic flows through
+/// `access_batch`: call [`BatchCursor::reset`] after any direct
+/// [`MemorySystem::access`] / [`MemorySystem::prefetch`] call on the same
+/// system. [`BatchSink`] owns both the system and the cursor, so it upholds
+/// this by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchCursor {
+    block: u64,
+    page: u64,
+    l2_block: u64,
+}
+
+/// "Nothing memoized" sentinel for [`BatchCursor`] fields. A real block or
+/// page equal to it merely fails the memo compare and takes the full probe
+/// path — the sentinel can cost time, never correctness — and no simulated
+/// heap reaches the top of the address space anyway. Plain `u64` compares
+/// keep the hot loop's memo checks to one fused compare-and-branch each,
+/// where `Option<u64>` pays for a separate discriminant test.
+const NO_MEMO: u64 = u64::MAX;
+
+impl BatchCursor {
+    /// A cursor with no memoized state.
+    pub fn new() -> Self {
+        BatchCursor {
+            block: NO_MEMO,
+            page: NO_MEMO,
+            l2_block: NO_MEMO,
+        }
+    }
+
+    /// Forgets all memoized state (required after any out-of-batch access).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl Default for BatchCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Totals accumulated by one [`MemorySystem::access_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Processor-visible cycles, exactly as the scalar path would sum them.
+    pub cycles: u64,
+    /// Instructions retired (from `Event::Inst`).
+    pub insts: u64,
+    /// Branches observed (from `Event::Branch`).
+    pub branches: u64,
+    /// Events consumed — the caller's logical clock advances by this much.
+    pub events: u64,
+}
+
+impl MemorySystem {
+    /// Replays a buffered event stream, mirroring what feeding each event
+    /// through [`crate::MemorySink`] would do — bit-identically, including
+    /// every statistics counter, LRU decision, dirty bit, and prefetch
+    /// arrival time — while skipping provably-redundant work (see
+    /// [`BatchCursor`]).
+    ///
+    /// `now` is the logical clock *before* the first event; like the
+    /// scalar sink, each event advances the clock by one before being
+    /// processed.
+    pub fn access_batch(
+        &mut self,
+        buf: &TraceBuf,
+        now: u64,
+        cursor: &mut BatchCursor,
+    ) -> BatchOutcome {
+        let lat = self.config.latency;
+        let l1_geo = self.config.l1;
+        let l2_geo = self.config.l2;
+        let block_bytes = l1_geo.block_bytes();
+        let page_bytes = self.config.page_bytes;
+        // Every shipped config has power-of-two pages; hoist the test so
+        // the per-load page arithmetic is a shift, not a 64-bit division.
+        let page_pow2 = page_bytes.is_power_of_two();
+        let page_shift = page_bytes.trailing_zeros();
+        let page_of = |a: u64| {
+            if page_pow2 {
+                a >> page_shift
+            } else {
+                a / page_bytes
+            }
+        };
+        // At associativity one there is no replacement choice, so probes
+        // take the stamp-free single-compare path (`Cache::read_direct`).
+        let l1_direct = l1_geo.assoc() == 1;
+        let l2_direct = l2_geo.assoc() == 1;
+        // Adjacent blocks land in distinct sets whenever there are at
+        // least two, which the paired both-hit probe requires.
+        let l1_pair = l1_direct && l1_geo.sets() > 1;
+        let mut out = BatchOutcome::default();
+        let mut now = now;
+        // Demand-read accounting for the paths that don't self-record
+        // (memo skips and `read_direct` probes), tallied in registers and
+        // flushed in bulk after the loop — equivalent to per-probe
+        // recording because nothing reads the counters mid-batch.
+        let mut l1_tally = ReadTally::default();
+        let mut l2_tally = ReadTally::default();
+        let mut tlb_acc = 0u64;
+        let mut tlb_miss = 0u64;
+        // Only `Prefetch` events arm the in-flight table, so one probe of
+        // it per batch (cleared by the prefetch arm) replaces a probe per
+        // load. A false negative is impossible; a stale `false` merely
+        // routes loads through the reference slow path.
+        let mut no_inflight = self.inflight.is_empty();
+
+        let entries = buf
+            .kinds
+            .iter()
+            .zip(buf.addrs.iter())
+            .zip(buf.sizes.iter())
+            .zip(buf.ticks.iter());
+        for (((&kind, &addr), &size), &ticks) in entries {
+            now += 1;
+            out.events += 1;
+            match kind {
+                PackedKind::Inst => out.insts += addr,
+                PackedKind::Branch => out.branches += addr,
+                PackedKind::Gap => {
+                    // A run of `addr` clock-only events; one was counted
+                    // above, the rest advance here.
+                    now += addr - 1;
+                    out.events += addr - 1;
+                }
+                PackedKind::Prefetch => {
+                    self.prefetch(addr, now);
+                    no_inflight = false;
+                    // The prefetch fill picks victims in both levels
+                    // (possibly the memoized lines) and re-arms the
+                    // in-flight table.
+                    cursor.block = NO_MEMO;
+                    cursor.l2_block = NO_MEMO;
+                }
+                PackedKind::LoadDep | PackedKind::LoadIndep => {
+                    let span = u64::from(size).max(1) - 1;
+
+                    // Translate once per page touched, skipping the scan
+                    // when the first page is the one the previous
+                    // reference left most-recently-used.
+                    if let Some(tlb) = &mut self.tlb {
+                        let first_p = page_of(addr);
+                        let last_p = page_of(addr + span);
+                        let mut p = first_p;
+                        if cursor.page == first_p {
+                            // Guaranteed hit on the most-recently-used
+                            // entry: that page is resident and already at
+                            // the head of the recency list, so skipping
+                            // the probe and the (no-op) move-to-front
+                            // leaves every future eviction decision
+                            // exactly as the probing path would.
+                            tlb_acc += 1;
+                            p += 1;
+                        }
+                        while p <= last_p {
+                            let miss = u64::from(!tlb.access_page_untallied(p));
+                            tlb_acc += 1;
+                            tlb_miss += miss;
+                            out.cycles += lat.tlb_miss * miss;
+                            p += 1;
+                        }
+                        cursor.page = last_p;
+                    }
+
+                    // Probe each touched block, skipping the leading block
+                    // when it is the previous load's (still-MRU) block.
+                    let first_b = l1_geo.block_of(addr);
+                    let last_b = l1_geo.block_of(addr + span);
+                    let mut b = first_b;
+                    if cursor.block == first_b {
+                        l1_tally.reads += 1;
+                        out.cycles += lat.l1_hit;
+                        b += block_bytes;
+                    }
+                    if no_inflight {
+                        // No prefetch can be outstanding, so the in-flight
+                        // probe `access_block` performs per block is a
+                        // guaranteed no-op: take the read path inline
+                        // without hashing the block address at all.
+                        //
+                        // A node that straddles one block boundary — the
+                        // shape of every load in the paper's workloads —
+                        // probes exactly two blocks; when both are
+                        // resident, one paired compare retires the whole
+                        // reference.
+                        if l1_pair
+                            && last_b.wrapping_sub(b) == block_bytes
+                            && self.l1.hit_pair(b, last_b)
+                        {
+                            l1_tally.reads += 2;
+                            out.cycles += 2 * lat.l1_hit;
+                        } else {
+                            while b <= last_b {
+                                let l1_hit = if l1_direct {
+                                    self.l1.read_direct(b, &mut l1_tally)
+                                } else {
+                                    self.l1.access(b, false).hit
+                                };
+                                if l1_hit {
+                                    out.cycles += lat.l1_hit;
+                                } else {
+                                    let l2b = l2_geo.block_of(b);
+                                    if cursor.l2_block == l2b {
+                                        // Guaranteed hit on the L2's MRU
+                                        // line; skip the probe and stamp.
+                                        l2_tally.reads += 1;
+                                        out.cycles += lat.l1_hit + lat.l1_miss;
+                                    } else {
+                                        cursor.l2_block = l2b;
+                                        let l2_hit = if l2_direct {
+                                            self.l2.read_direct(b, &mut l2_tally)
+                                        } else {
+                                            self.l2.access(b, false).hit
+                                        };
+                                        if l2_hit {
+                                            out.cycles += lat.l1_hit + lat.l1_miss;
+                                        } else {
+                                            out.cycles += lat.l1_hit + lat.l1_miss + lat.l2_miss;
+                                        }
+                                    }
+                                }
+                                b += block_bytes;
+                            }
+                        }
+                    } else {
+                        while b <= last_b {
+                            self.access_block(b, false, now, &mut out.cycles);
+                            b += block_bytes;
+                        }
+                        // The slow path's L2 probes are not tracked.
+                        cursor.l2_block = NO_MEMO;
+                    }
+                    cursor.block = last_b;
+                }
+                PackedKind::Store => {
+                    // Stores are rare in the pointer-chase workloads this
+                    // path accelerates; take the reference implementation
+                    // wholesale (its write-buffer cycle override and
+                    // write-through L2 propagation stay in one place).
+                    let o = self.access(addr, size, AccessKind::Write, now);
+                    out.cycles += o.cycles;
+                    // A write-back store miss allocates and may evict the
+                    // memoized lines at either level; the store did leave
+                    // its last page most-recently-translated, though.
+                    cursor.block = NO_MEMO;
+                    cursor.l2_block = NO_MEMO;
+                    if self.tlb.is_some() {
+                        let span = u64::from(size).max(1) - 1;
+                        cursor.page = page_of(addr + span);
+                    }
+                }
+            }
+            // The entry's folded tick run: clock-only events that
+            // followed it in the original stream.
+            let t = u64::from(ticks);
+            now += t;
+            out.events += t;
+        }
+        if l1_tally.any() {
+            self.l1.stats_mut().add_read_tally(&l1_tally);
+        }
+        if l2_tally.any() {
+            self.l2.stats_mut().add_read_tally(&l2_tally);
+        }
+        if tlb_acc > 0 {
+            if let Some(tlb) = &mut self.tlb {
+                tlb.add_bulk_stats(tlb_acc, tlb_miss);
+            }
+        }
+        out
+    }
+}
+
+/// An [`EventSink`] that buffers events into a [`TraceBuf`] and drains
+/// them through [`MemorySystem::access_batch`] — the batched counterpart
+/// of [`crate::MemorySink`], producing bit-identical statistics and
+/// cycles.
+///
+/// Because events are applied in batches, accessors reflect the stream
+/// only up to the last drain: call [`BatchSink::flush`] before reading
+/// counters at a measurement point.
+///
+/// An optional observer receives every event as it arrives (before
+/// batching), for consumers that need the raw stream — an
+/// [`crate::AffinityTrace`], a [`crate::Tee`], a recorder. Without one,
+/// the hot loop carries no per-event observer dispatch at all.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::batch::BatchSink;
+/// use cc_sim::event::EventSink;
+/// use cc_sim::MachineConfig;
+///
+/// let mut sink = BatchSink::new(MachineConfig::ultrasparc_e5000());
+/// sink.load(0x1000, 20);
+/// sink.load(0x1014, 20); // same 64-byte L2 block
+/// sink.flush();
+/// assert_eq!(sink.system().l2_stats().misses(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BatchSink<O: EventSink = NullSink> {
+    system: MemorySystem,
+    buf: TraceBuf,
+    cursor: BatchCursor,
+    observer: Option<O>,
+    insts: u64,
+    branches: u64,
+    now: u64,
+    cycles: u64,
+}
+
+/// Default number of events staged per drain: large enough to amortize the
+/// flush bookkeeping, small enough that the three lanes stay resident in
+/// the host's L1/L2 caches.
+pub const DEFAULT_BATCH_CAPACITY: usize = 4096;
+
+impl BatchSink<NullSink> {
+    /// Creates an observer-less batched sink simulating `machine`.
+    pub fn new(machine: crate::MachineConfig) -> Self {
+        Self::with_capacity(machine, DEFAULT_BATCH_CAPACITY)
+    }
+
+    /// Creates an observer-less batched sink with a custom batch capacity.
+    pub fn with_capacity(machine: crate::MachineConfig, cap: usize) -> Self {
+        BatchSink {
+            system: MemorySystem::new(machine),
+            buf: TraceBuf::with_capacity(cap),
+            cursor: BatchCursor::new(),
+            observer: None,
+            insts: 0,
+            branches: 0,
+            now: 0,
+            cycles: 0,
+        }
+    }
+}
+
+impl<O: EventSink> BatchSink<O> {
+    /// Creates a batched sink that also forwards every event to
+    /// `observer` as it arrives.
+    pub fn with_observer(machine: crate::MachineConfig, observer: O) -> Self {
+        BatchSink {
+            system: MemorySystem::new(machine),
+            buf: TraceBuf::with_capacity(DEFAULT_BATCH_CAPACITY),
+            cursor: BatchCursor::new(),
+            observer: Some(observer),
+            insts: 0,
+            branches: 0,
+            now: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Drains buffered events into the memory system. Idempotent when the
+    /// buffer is empty.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let out = self
+            .system
+            .access_batch(&self.buf, self.now, &mut self.cursor);
+        self.now += out.events;
+        self.cycles += out.cycles;
+        self.insts += out.insts;
+        self.branches += out.branches;
+        self.buf.clear();
+    }
+
+    /// The underlying memory system. Reflects the stream up to the last
+    /// [`BatchSink::flush`].
+    pub fn system(&self) -> &MemorySystem {
+        &self.system
+    }
+
+    /// Instructions retired. Exact at any time: instruction counts are
+    /// folded into the counter as events arrive, not at drain time.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Branches observed. Exact at any time, like [`BatchSink::insts`].
+    pub fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    /// Accumulated Section 5.1 memory cycles, up to the last flush.
+    pub fn memory_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&O> {
+        self.observer.as_ref()
+    }
+
+    /// Flushes and decomposes the sink into its memory system and
+    /// observer.
+    pub fn into_parts(mut self) -> (MemorySystem, Option<O>) {
+        self.flush();
+        (self.system, self.observer)
+    }
+
+    /// Flushes pending events, then zeroes the statistics counters
+    /// (cache and TLB *contents* are preserved), mirroring
+    /// [`crate::MemorySink::reset_stats`].
+    pub fn reset_stats(&mut self) {
+        self.flush();
+        self.system.reset_stats();
+        self.insts = 0;
+        self.branches = 0;
+        self.cycles = 0;
+    }
+}
+
+impl<O: EventSink> BatchSink<O> {
+    /// Stages one clock tick for an instruction or branch event. Almost
+    /// always folds into the trailing entry's tick lane; a tick arriving
+    /// at a full buffer that cannot absorb it forces a drain first.
+    fn stage_tick(&mut self) {
+        if self.buf.is_full() && !self.buf.can_fold_ticks(1) {
+            self.flush();
+        }
+        self.buf.push_ticks(1);
+    }
+}
+
+impl<O: EventSink> EventSink for BatchSink<O> {
+    fn event(&mut self, ev: Event) {
+        if let Some(obs) = &mut self.observer {
+            obs.event(ev);
+        }
+        match ev {
+            // Instruction and branch events carry no address: fold their
+            // counts in immediately and stage only the clock advance.
+            Event::Inst(n) => {
+                self.insts += u64::from(n);
+                self.stage_tick();
+            }
+            Event::Branch(n) => {
+                self.branches += u64::from(n);
+                self.stage_tick();
+            }
+            _ => {
+                // Drain lazily, just before the push that needs the room:
+                // a full buffer can still fold trailing ticks, so keeping
+                // it around lets tick runs at the boundary coalesce.
+                if self.buf.is_full() {
+                    self.flush();
+                }
+                self.buf.push(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    #[test]
+    fn tracebuf_roundtrips_all_kinds() {
+        let evs = [
+            Event::Inst(3),
+            Event::Branch(1),
+            Event::load(0x100, 8),
+            Event::load_indep(0x200, 4),
+            Event::store(0x300, 16),
+            Event::Prefetch { addr: 0x400 },
+        ];
+        let mut buf = TraceBuf::with_capacity(8);
+        for &e in &evs {
+            buf.push(e);
+        }
+        let back: Vec<Event> = buf.events().collect();
+        assert_eq!(back, evs);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn tracebuf_rejects_overflow() {
+        let mut buf = TraceBuf::with_capacity(1);
+        buf.push(Event::Inst(1));
+        buf.push(Event::Inst(1));
+    }
+
+    #[test]
+    fn tick_runs_fold_into_the_preceding_entry() {
+        let mut buf = TraceBuf::with_capacity(4);
+        buf.push_ticks(2); // head of buffer: needs a standalone gap entry
+        buf.push(Event::load(0x100, 8));
+        buf.push_ticks(1);
+        buf.push_ticks(2); // widens the same run
+        buf.push(Event::store(0x200, 8));
+        buf.push_ticks(1);
+        assert_eq!(buf.len(), 3, "tick runs consumed no extra entries");
+        let back: Vec<Event> = buf.events().collect();
+        assert_eq!(
+            back,
+            vec![
+                Event::Inst(0),
+                Event::Inst(0),
+                Event::load(0x100, 8),
+                Event::Inst(0),
+                Event::Inst(0),
+                Event::Inst(0),
+                Event::store(0x200, 8),
+                Event::Inst(0),
+            ]
+        );
+        assert!(buf.can_fold_ticks(1));
+        assert!(!TraceBuf::with_capacity(1).can_fold_ticks(1));
+    }
+
+    #[test]
+    fn full_buffer_still_absorbs_ticks() {
+        let mut buf = TraceBuf::with_capacity(1);
+        buf.push(Event::load(0x40, 8));
+        assert!(buf.is_full());
+        buf.push_ticks(3); // folds; must not panic
+        assert_eq!(buf.events().count(), 4);
+    }
+
+    #[test]
+    fn batch_sink_matches_scalar_on_a_pointer_chase() {
+        use crate::{EventSink, MemorySink};
+        let machine = MachineConfig::test_tiny();
+        let mut scalar = MemorySink::new(machine);
+        let mut batched = BatchSink::with_capacity(machine, 3); // force mid-stream drains
+        drive(&mut scalar);
+        drive(&mut batched);
+        batched.flush();
+        assert_eq!(batched.system().l1_stats(), scalar.system().l1_stats());
+        assert_eq!(batched.system().l2_stats(), scalar.system().l2_stats());
+        assert_eq!(batched.system().tlb_stats(), scalar.system().tlb_stats());
+        assert_eq!(batched.memory_cycles(), scalar.memory_cycles());
+        assert_eq!(batched.insts(), scalar.insts());
+
+        fn drive<S: EventSink + ?Sized>(s: &mut S) {
+            // Same-block run, a straddle, a store, a prefetch, a revisit.
+            s.load(0x100, 8);
+            s.load(0x104, 8);
+            s.load(0x108, 8);
+            s.inst(2);
+            s.load(0x10c, 8); // straddles into the next block
+            s.store(0x140, 8);
+            s.prefetch(0x200);
+            s.load(0x200, 8);
+            s.load(0x100, 8);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        use crate::event::TraceBuffer;
+        use crate::EventSink;
+        let mut sink = BatchSink::with_observer(MachineConfig::test_tiny(), TraceBuffer::new());
+        sink.load(0x40, 8);
+        sink.store(0x80, 8);
+        sink.inst(1);
+        let (_, obs) = sink.into_parts();
+        assert_eq!(obs.expect("observer attached").events().len(), 3);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_counters_accumulate() {
+        use crate::EventSink;
+        let mut sink = BatchSink::new(MachineConfig::test_tiny());
+        sink.load(0x40, 8);
+        sink.flush();
+        let c = sink.memory_cycles();
+        sink.flush();
+        assert_eq!(sink.memory_cycles(), c);
+        assert!(c > 0);
+        sink.reset_stats();
+        assert_eq!(sink.memory_cycles(), 0);
+        assert_eq!(sink.system().l1_stats().accesses(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! A dense membership set over block-aligned simulated addresses.
+//!
+//! Each [`crate::cache::Cache`] tracks every block address that was ever
+//! resident, to classify re-reference misses — a set probed and updated on
+//! *every* miss, which makes it one of the hottest structures in the
+//! simulator. The heaps this repository simulates come from `VirtualSpace`
+//! bump allocation, so the block population is dense over one contiguous
+//! window: a bitmap answers membership in a couple of arithmetic ops and a
+//! single, usually host-cache-resident, load — an order of magnitude
+//! cheaper than any hash probe.
+//!
+//! The window is anchored at the first inserted block and grows upward on
+//! demand (capped at [`MAX_WORDS`]); the rare blocks outside it — traces
+//! mixing tiny and astronomical addresses — spill into a hash set, keeping
+//! membership exact for arbitrary address patterns without letting a
+//! pathological trace allocate an absurd bitmap.
+
+use crate::fasthash::FastHashSet;
+
+/// Upper bound on the dense window, in 64-bit words: 2 MB of bitmap,
+/// covering 128 M consecutive blocks (2 GB of heap at 16-byte blocks) —
+/// far beyond any workload here, while bounding worst-case memory.
+const MAX_WORDS: usize = 1 << 18;
+
+/// Set of block-aligned addresses: dense bitmap window + spill set.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BlockSet {
+    /// `log2(block_bytes)`; `addr >> shift` is the block index.
+    shift: u32,
+    /// First block index the window covers (multiple of 64).
+    base: u64,
+    words: Vec<u64>,
+    /// Blocks outside the dense window (checked only when nonempty).
+    spill: FastHashSet<u64>,
+}
+
+impl BlockSet {
+    /// An empty set over blocks of `block_bytes` bytes (a power of two).
+    pub(crate) fn new(block_bytes: u64) -> Self {
+        debug_assert!(block_bytes.is_power_of_two());
+        BlockSet {
+            shift: block_bytes.trailing_zeros(),
+            base: 0,
+            words: Vec::new(),
+            spill: FastHashSet::default(),
+        }
+    }
+
+    /// Whether the block containing `addr` was ever inserted.
+    pub(crate) fn contains(&self, addr: u64) -> bool {
+        let idx = addr >> self.shift;
+        if idx >= self.base {
+            let off = idx - self.base;
+            let w = (off >> 6) as usize;
+            if w < self.words.len() {
+                return (self.words[w] >> (off & 63)) & 1 == 1;
+            }
+        }
+        !self.spill.is_empty() && self.spill.contains(&idx)
+    }
+
+    /// Inserts the block containing `addr`.
+    pub(crate) fn insert(&mut self, addr: u64) {
+        let idx = addr >> self.shift;
+        if self.words.is_empty() && self.spill.is_empty() {
+            // Anchor the window at the first block seen.
+            self.base = idx & !63;
+        }
+        if idx >= self.base {
+            let off = idx - self.base;
+            let w = (off >> 6) as usize;
+            if w < self.words.len() {
+                self.words[w] |= 1 << (off & 63);
+                return;
+            }
+            if w < MAX_WORDS {
+                // Grow geometrically so repeated upward extension stays
+                // amortized O(1) per insert.
+                let new_len = (w + 1).next_power_of_two().clamp(64, MAX_WORDS);
+                self.words.resize(new_len.max(w + 1), 0);
+                self.words[w] |= 1 << (off & 63);
+                return;
+            }
+        }
+        self.spill.insert(idx);
+    }
+
+    /// Removes every member.
+    pub(crate) fn clear(&mut self) {
+        self.base = 0;
+        self.words.clear();
+        self.spill.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_membership() {
+        let mut s = BlockSet::new(16);
+        assert!(!s.contains(0x1000));
+        s.insert(0x1000);
+        assert!(s.contains(0x1000));
+        assert!(s.contains(0x100f), "same block");
+        assert!(!s.contains(0x1010), "next block");
+        for a in (0x1000..0x9000u64).step_by(16) {
+            s.insert(a);
+        }
+        assert!(s.contains(0x8ff0));
+        assert!(!s.contains(0x9000));
+    }
+
+    #[test]
+    fn below_anchor_spills() {
+        let mut s = BlockSet::new(16);
+        s.insert(0x10_0000);
+        s.insert(0x10); // below the anchored window
+        assert!(s.contains(0x10));
+        assert!(s.contains(0x10_0000));
+        assert!(!s.contains(0x20));
+    }
+
+    #[test]
+    fn far_above_window_spills() {
+        let mut s = BlockSet::new(16);
+        s.insert(0x1000);
+        let far = 0x1000 + (MAX_WORDS as u64) * 64 * 16 + 512;
+        s.insert(far);
+        assert!(s.contains(far));
+        assert!(s.contains(0x1000));
+        assert!(!s.contains(far + 16));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BlockSet::new(64);
+        s.insert(0x40);
+        s.insert(u64::MAX - 63);
+        s.clear();
+        assert!(!s.contains(0x40));
+        assert!(!s.contains(u64::MAX - 63));
+        // Re-anchors cleanly after clear.
+        s.insert(0x80);
+        assert!(s.contains(0x80));
+    }
+}

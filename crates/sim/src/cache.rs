@@ -1,8 +1,8 @@
 //! A single set-associative cache level with true-LRU replacement.
 
+use crate::blockset::BlockSet;
 use crate::geometry::CacheGeometry;
 use crate::stats::CacheStats;
-use std::collections::HashSet;
 
 /// Write policy of one cache level.
 ///
@@ -20,21 +20,50 @@ pub enum WritePolicy {
     WriteBack,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Monotonic use stamp for true-LRU within the set.
-    used: u64,
+/// Reads bit `i` of a packed bitmap.
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 == 1
 }
 
-const INVALID: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    used: 0,
-};
+/// Writes bit `i` of a packed bitmap.
+#[inline]
+fn set_bit(words: &mut [u64], i: usize, v: bool) {
+    let mask = 1u64 << (i & 63);
+    if v {
+        words[i >> 6] |= mask;
+    } else {
+        words[i >> 6] &= !mask;
+    }
+}
+
+/// Tag value marking an invalid line. No reachable address produces it:
+/// a real tag is `addr >> (block + set bits)`, which is all-ones only for
+/// addresses within a block of `u64::MAX` — far outside any simulated
+/// heap (the access paths `debug_assert` this). Folding validity into the
+/// tag makes the hit test one compare with no bitmap load.
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Register-resident demand-read counters for the batched direct-mapped
+/// read path ([`Cache::read_direct`]). Each field mirrors one
+/// [`CacheStats`] counter the scalar path would bump per probe; the batch
+/// loop accumulates them branch-free and flushes once per batch via
+/// [`CacheStats::add_read_tally`].
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ReadTally {
+    pub(crate) reads: u64,
+    pub(crate) misses: u64,
+    pub(crate) rereferences: u64,
+    pub(crate) evictions: u64,
+    pub(crate) writebacks: u64,
+}
+
+impl ReadTally {
+    /// Whether any field is nonzero (i.e. a flush would change stats).
+    pub(crate) fn any(&self) -> bool {
+        self.reads != 0
+    }
+}
 
 /// Result of probing one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,28 +91,45 @@ pub struct Probe {
 /// assert!(!c.access(0x40, false).hit); // maps to set 0 too: conflict
 /// assert!(!c.access(0x00, false).hit); // evicted by the conflicting block
 /// ```
+/// The line array is stored structure-of-arrays, applying the paper's own
+/// hot/cold splitting to the simulator's hottest structure: a probe reads
+/// eight dense bytes from the tag lane (validity is folded into the tag as
+/// a sentinel, so the hit test is a single compare) instead of dragging a
+/// whole padded line record through the *host's* caches, and the LRU
+/// stamps — dead weight on the direct-mapped configurations every preset
+/// uses — live in a lane only associative probes touch.
 #[derive(Clone, Debug)]
 pub struct Cache {
     geometry: CacheGeometry,
     policy: WritePolicy,
-    lines: Vec<Line>,
+    /// Per-line tags; [`TAG_INVALID`] marks an empty line.
+    tags: Vec<u64>,
+    /// One dirty bit per line.
+    dirty: Vec<u64>,
+    /// Monotonic use stamps for true-LRU; read only when `assoc > 1`.
+    used: Vec<u64>,
     clock: u64,
     stats: CacheStats,
     /// Block addresses ever resident, to classify re-reference misses.
-    ever_resident: HashSet<u64>,
+    /// Probed on every miss, so it uses a dense bitmap over the heap's
+    /// block range rather than a hash set.
+    ever_resident: BlockSet,
 }
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(geometry: CacheGeometry, policy: WritePolicy) -> Self {
         let n = (geometry.sets() * geometry.assoc()) as usize;
+        let words = n.div_ceil(64);
         Cache {
             geometry,
             policy,
-            lines: vec![INVALID; n],
+            tags: vec![TAG_INVALID; n],
+            dirty: vec![0; words],
+            used: vec![0; n],
             clock: 0,
             stats: CacheStats::new(),
-            ever_resident: HashSet::new(),
+            ever_resident: BlockSet::new(geometry.block_bytes()),
         }
     }
 
@@ -114,27 +160,23 @@ impl Cache {
 
     /// Invalidates every line and clears statistics.
     pub fn clear(&mut self) {
-        for l in &mut self.lines {
-            *l = INVALID;
-        }
+        self.tags.fill(TAG_INVALID);
+        self.dirty.fill(0);
         self.clock = 0;
         self.stats = CacheStats::new();
         self.ever_resident.clear();
     }
 
-    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
-        let a = self.geometry.assoc() as usize;
-        let start = set as usize * a;
-        start..start + a
+    fn set_start(&self, set: u64) -> usize {
+        set as usize * self.geometry.assoc() as usize
     }
 
     /// Whether the block containing `addr` is currently resident.
     pub fn contains(&self, addr: u64) -> bool {
-        let set = self.geometry.set_of(addr);
+        let start = self.set_start(self.geometry.set_of(addr));
         let tag = self.geometry.tag_of(addr);
-        self.lines[self.set_range(set)]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        debug_assert_ne!(tag, TAG_INVALID, "address tag collides with the sentinel");
+        (start..start + self.geometry.assoc() as usize).any(|i| self.tags[i] == tag)
     }
 
     /// Performs a demand access to the *block* containing `addr` and
@@ -152,35 +194,95 @@ impl Cache {
         self.probe_internal(addr, false, false)
     }
 
+    /// Demand *read* probe specialized for direct-mapped caches. With a
+    /// single way per set there is no replacement choice, so the LRU clock
+    /// and use stamps are semantically inert and the probe reduces to one
+    /// tag compare. Miss classification, residency, dirty bits, and
+    /// writeback accounting match [`Cache::access`]`(addr, false)` exactly;
+    /// only the (meaningless) stamp values differ. Nothing is recorded in
+    /// [`CacheStats`] here: every counter the scalar path would bump lands
+    /// in `tally` instead — plain register arithmetic with no
+    /// data-dependent branches — and the batched caller flushes the tally
+    /// with [`CacheStats::add_read_tally`] once per batch, which is
+    /// equivalent because nothing observes the counters mid-batch. The
+    /// caller must ensure `geometry().assoc() == 1`.
+    #[inline]
+    pub(crate) fn read_direct(&mut self, addr: u64, tally: &mut ReadTally) -> bool {
+        debug_assert_eq!(self.geometry.assoc(), 1);
+        let tag = self.geometry.tag_of(addr);
+        debug_assert_ne!(tag, TAG_INVALID, "address tag collides with the sentinel");
+        let set = self.geometry.set_of(addr) as usize;
+        tally.reads += 1;
+        if self.tags[set] == tag {
+            return true;
+        }
+        let was_valid = self.tags[set] != TAG_INVALID;
+        let seen = self.ever_resident.contains(addr);
+        tally.misses += 1;
+        tally.rereferences += u64::from(seen);
+        tally.evictions += u64::from(was_valid);
+        // Write-through lines are never dirty, so the dirty bitmap is
+        // untouched on that policy's read path (and nothing ever counts
+        // toward writebacks).
+        if self.policy == WritePolicy::WriteBack {
+            tally.writebacks += u64::from(was_valid && bit(&self.dirty, set));
+            set_bit(&mut self.dirty, set, false);
+        }
+        self.tags[set] = tag;
+        // Unconditional: re-inserting a member is an idempotent bit-OR on
+        // the word `contains` just pulled into cache, cheaper than a
+        // data-dependent branch around it.
+        self.ever_resident.insert(addr);
+        false
+    }
+
+    /// Whether the blocks containing `a1` and `a2` are *both* resident in
+    /// a direct-mapped cache, without any side effects. The batched read
+    /// path uses this to retire a two-block reference — the shape of every
+    /// node load whose structure straddles a block boundary — on a single
+    /// branch; on a miss it falls back to per-block probes, which redo the
+    /// two compares but keep all mutation in one place. Skipping the
+    /// per-block probes on the both-hit path changes nothing observable:
+    /// direct-mapped hits touch no replacement state (see
+    /// [`Cache::read_direct`]), only the read counters, which the caller
+    /// accounts in bulk. The caller must ensure `geometry().assoc() == 1`
+    /// and that the two addresses fall in distinct sets.
+    #[inline]
+    pub(crate) fn hit_pair(&self, a1: u64, a2: u64) -> bool {
+        debug_assert_eq!(self.geometry.assoc(), 1);
+        debug_assert_ne!(self.geometry.set_of(a1), self.geometry.set_of(a2));
+        let s1 = self.geometry.set_of(a1) as usize;
+        let s2 = self.geometry.set_of(a2) as usize;
+        // Bitwise `&` retires both compares before the single branch.
+        (self.tags[s1] == self.geometry.tag_of(a1)) & (self.tags[s2] == self.geometry.tag_of(a2))
+    }
+
     fn probe_internal(&mut self, addr: u64, write: bool, demand: bool) -> Probe {
         self.clock += 1;
-        let set = self.geometry.set_of(addr);
         let tag = self.geometry.tag_of(addr);
-        let range = self.set_range(set);
+        debug_assert_ne!(tag, TAG_INVALID, "address tag collides with the sentinel");
+        let start = self.set_start(self.geometry.set_of(addr));
+        let assoc = self.geometry.assoc() as usize;
         let clock = self.clock;
 
         // Hit path.
-        if let Some(line) = self.lines[range.clone()]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.used = clock;
-            if write {
-                match self.policy {
-                    WritePolicy::WriteBack => line.dirty = true,
-                    WritePolicy::WriteThrough => {}
+        for i in start..start + assoc {
+            if self.tags[i] == tag {
+                self.used[i] = clock;
+                if write && self.policy == WritePolicy::WriteBack {
+                    set_bit(&mut self.dirty, i, true);
                 }
+                return Probe {
+                    hit: true,
+                    writeback: false,
+                };
             }
-            return Probe {
-                hit: true,
-                writeback: false,
-            };
         }
 
         // Miss path.
-        let block = self.geometry.block_of(addr);
+        let mut seen = false;
         if demand {
-            let seen = self.ever_resident.contains(&block);
+            seen = self.ever_resident.contains(addr);
             self.stats.record_miss(write, seen);
         }
 
@@ -192,24 +294,38 @@ impl Cache {
             };
         }
 
-        // Choose a victim: an invalid way if any, else LRU.
-        let lines = &mut self.lines[range];
-        let victim = lines
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.used + 1 } else { 0 })
-            .expect("associativity is nonzero");
+        // Choose a victim: the first invalid way if any, else true LRU
+        // (first way on stamp ties, matching `min_by_key`).
+        let mut victim = start;
+        let mut best = u64::MAX;
+        for i in start..start + assoc {
+            let key = if self.tags[i] != TAG_INVALID {
+                self.used[i] + 1
+            } else {
+                0
+            };
+            if key < best {
+                best = key;
+                victim = i;
+            }
+        }
         let mut writeback = false;
-        if victim.valid {
-            writeback = victim.dirty && self.policy == WritePolicy::WriteBack;
+        if self.tags[victim] != TAG_INVALID {
+            writeback = bit(&self.dirty, victim) && self.policy == WritePolicy::WriteBack;
             self.stats.record_eviction(writeback);
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: write && self.policy == WritePolicy::WriteBack,
-            used: clock,
-        };
-        self.ever_resident.insert(block);
+        self.tags[victim] = tag;
+        set_bit(
+            &mut self.dirty,
+            victim,
+            write && self.policy == WritePolicy::WriteBack,
+        );
+        self.used[victim] = clock;
+        if !seen {
+            // Re-inserting a known member is a no-op; only genuinely new
+            // blocks (and fills, which skip the membership probe) pay it.
+            self.ever_resident.insert(addr);
+        }
         Probe {
             hit: false,
             writeback,

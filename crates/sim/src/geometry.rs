@@ -21,11 +21,37 @@ use std::fmt;
 /// assert_eq!(l2.set_of(0), l2.set_of(63));
 /// assert_ne!(l2.set_of(0), l2.set_of(64));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct CacheGeometry {
     sets: u64,
     block_bytes: u64,
     assoc: u64,
+    /// `log2(block_bytes)`, so `addr >> block_shift` is the block number.
+    block_shift: u32,
+    /// `sets - 1`, so `blockno & set_mask` is the set index.
+    set_mask: u64,
+    /// `log2(block_bytes) + log2(sets)`, so `addr >> tag_shift` is the tag.
+    tag_shift: u32,
+}
+
+// Equality and hashing ignore the derived mask/shift fields (they are pure
+// functions of `sets` and `block_bytes`).
+impl PartialEq for CacheGeometry {
+    fn eq(&self, other: &Self) -> bool {
+        self.sets == other.sets
+            && self.block_bytes == other.block_bytes
+            && self.assoc == other.assoc
+    }
+}
+
+impl Eq for CacheGeometry {}
+
+impl std::hash::Hash for CacheGeometry {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sets.hash(state);
+        self.block_bytes.hash(state);
+        self.assoc.hash(state);
+    }
 }
 
 impl CacheGeometry {
@@ -46,10 +72,14 @@ impl CacheGeometry {
             "block size must be a power of two, got {block_bytes}"
         );
         assert!(assoc > 0, "associativity must be nonzero");
+        let block_shift = block_bytes.trailing_zeros();
         CacheGeometry {
             sets,
             block_bytes,
             assoc,
+            block_shift,
+            set_mask: sets - 1,
+            tag_shift: block_shift + sets.trailing_zeros(),
         }
     }
 
@@ -93,18 +123,22 @@ impl CacheGeometry {
     }
 
     /// The block-aligned address containing `addr`.
+    ///
+    /// Both dimensions are powers of two, so this and the other address
+    /// decompositions are single mask/shift operations over fields
+    /// precomputed in [`CacheGeometry::new`] — the hot path never divides.
     pub fn block_of(&self, addr: u64) -> u64 {
         addr & !(self.block_bytes - 1)
     }
 
     /// The set index `addr` maps to.
     pub fn set_of(&self, addr: u64) -> u64 {
-        (addr / self.block_bytes) & (self.sets - 1)
+        (addr >> self.block_shift) & self.set_mask
     }
 
     /// The tag of `addr` (bits above the set index).
     pub fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.block_bytes / self.sets
+        addr >> self.tag_shift
     }
 
     /// Number of structure elements of `elem_bytes` bytes that fit in one

@@ -2,9 +2,9 @@
 
 use crate::cache::{Cache, WritePolicy};
 use crate::config::MachineConfig;
+use crate::fasthash::FastHashMap;
 use crate::stats::{CacheStats, TlbStats};
 use crate::tlb::Tlb;
-use std::collections::HashMap;
 
 /// Which level serviced an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -59,14 +59,15 @@ pub struct AccessOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MemorySystem {
-    config: MachineConfig,
-    l1: Cache,
-    l2: Cache,
-    tlb: Option<Tlb>,
+    pub(crate) config: MachineConfig,
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) tlb: Option<Tlb>,
     /// L2-block-aligned address → cycle at which an issued prefetch's data
     /// actually arrives. The line is installed at issue time; a demand
-    /// access before completion waits out the remainder.
-    inflight: HashMap<u64, u64>,
+    /// access before completion waits out the remainder. Probed per block
+    /// on the demand path, so it uses the fast deterministic hasher.
+    pub(crate) inflight: FastHashMap<u64, u64>,
 }
 
 impl MemorySystem {
@@ -77,7 +78,7 @@ impl MemorySystem {
             l2: Cache::new(config.l2, config.l2_policy),
             tlb: (config.tlb_entries > 0).then(|| Tlb::new(config.tlb_entries, config.page_bytes)),
             config,
-            inflight: HashMap::new(),
+            inflight: FastHashMap::default(),
         }
     }
 
@@ -168,7 +169,13 @@ impl MemorySystem {
         }
     }
 
-    fn access_block(&mut self, addr: u64, write: bool, now: u64, cycles: &mut u64) -> Level {
+    pub(crate) fn access_block(
+        &mut self,
+        addr: u64,
+        write: bool,
+        now: u64,
+        cycles: &mut u64,
+    ) -> Level {
         let lat = self.config.latency;
         let l2_block = self.config.l2.block_of(addr);
 

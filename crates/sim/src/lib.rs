@@ -40,9 +40,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+mod blockset;
 pub mod cache;
 pub mod config;
 pub mod event;
+mod fasthash;
 pub mod geometry;
 pub mod hierarchy;
 pub mod pipeline;
@@ -50,6 +53,7 @@ pub mod prefetch;
 pub mod stats;
 pub mod tlb;
 
+pub use batch::{BatchCursor, BatchOutcome, BatchSink, TraceBuf};
 pub use config::{Latency, MachineConfig};
 pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;

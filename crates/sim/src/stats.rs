@@ -114,12 +114,40 @@ impl CacheStats {
         }
     }
 
+    /// Adds another run's counters into these, field by field — the sweep
+    /// harness uses this to combine per-cell statistics into fleet totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.rereference_misses += other.rereference_misses;
+        self.prefetch_partial_hits += other.prefetch_partial_hits;
+        self.prefetch_full_hits += other.prefetch_full_hits;
+        self.prefetches_issued += other.prefetches_issued;
+    }
+
     pub(crate) fn record_access(&mut self, write: bool) {
         if write {
             self.writes += 1;
         } else {
             self.reads += 1;
         }
+    }
+
+    /// Adds a batch worth of demand-read accounting at once — the batched
+    /// replay path tallies its read probes in registers
+    /// ([`crate::cache::ReadTally`]) and flushes them per batch, which is
+    /// equivalent to per-probe recording because nothing reads the
+    /// counters mid-batch.
+    pub(crate) fn add_read_tally(&mut self, t: &crate::cache::ReadTally) {
+        self.reads += t.reads;
+        self.read_misses += t.misses;
+        self.rereference_misses += t.rereferences;
+        self.evictions += t.evictions;
+        self.writebacks += t.writebacks;
     }
 
     pub(crate) fn record_miss(&mut self, write: bool, was_resident_before: bool) {
@@ -185,11 +213,25 @@ impl TlbStats {
         }
     }
 
+    /// Adds another run's counters into these (see [`CacheStats::merge`]).
+    pub fn merge(&mut self, other: &TlbStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+    }
+
     pub(crate) fn record(&mut self, miss: bool) {
         self.accesses += 1;
         if miss {
             self.misses += 1;
         }
+    }
+
+    /// Adds a batch worth of translations at once — the batched replay
+    /// path counts in registers and flushes per batch (see
+    /// [`CacheStats::add_read_tally`] for why that is equivalent).
+    pub(crate) fn add_bulk(&mut self, accesses: u64, misses: u64) {
+        self.accesses += accesses;
+        self.misses += misses;
     }
 }
 

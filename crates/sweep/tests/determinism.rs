@@ -1,0 +1,140 @@
+//! Satellite guarantee: a parallel sweep's output is byte-for-byte equal
+//! to a serial run of the same grid — per-cell results, their order, the
+//! merged fleet statistics, and a rendered report string. Cells here are
+//! real simulations (randomized pointer chases through a `BatchSink`), so
+//! scheduling nondeterminism had every chance to leak in via RNG streams,
+//! prefetch timing, or result placement.
+
+use cc_sim::batch::BatchSink;
+use cc_sim::event::EventSink;
+use cc_sim::stats::{CacheStats, TlbStats};
+use cc_sim::MachineConfig;
+use cc_sweep::{cell_seed, merge_cache, merge_tlb, Sweep};
+
+/// One grid cell: (machine, trial).
+#[derive(Clone, Copy)]
+struct Cell {
+    machine: MachineConfig,
+    steps: u64,
+}
+
+/// Per-cell observables, all of which must be schedule-independent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CellResult {
+    seed: u64,
+    l1: CacheStats,
+    l2: CacheStats,
+    tlb: TlbStats,
+    cycles: u64,
+}
+
+fn run_cell(index: usize, cell: &Cell) -> CellResult {
+    let seed = cell_seed(0xDEC0DE, index as u64);
+    let mut state = seed;
+    let mut sink = BatchSink::with_capacity(cell.machine, 64);
+    let mut addr = 0x800u64;
+    for _ in 0..cell.steps {
+        // SplitMix64 walk: mostly short strides (same-block runs), with
+        // occasional jumps, stores, and prefetches.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        match z % 16 {
+            0 => addr = z % (64 * 1024),
+            1 => sink.store(addr, 8),
+            2 => sink.prefetch((addr + 256) % (64 * 1024)),
+            _ => {
+                addr = (addr + (z >> 8) % 24) % (64 * 1024);
+                sink.load(addr, 8);
+            }
+        }
+    }
+    sink.flush();
+    CellResult {
+        seed,
+        l1: sink.system().l1_stats(),
+        l2: sink.system().l2_stats(),
+        tlb: sink.system().tlb_stats(),
+        cycles: sink.memory_cycles(),
+    }
+}
+
+fn grid() -> Vec<Cell> {
+    let machines = [
+        MachineConfig::test_tiny(),
+        MachineConfig::ultrasparc_e5000(),
+        MachineConfig::table1(),
+    ];
+    machines
+        .iter()
+        .flat_map(|&machine| {
+            (0..6).map(move |t| Cell {
+                machine,
+                steps: 2_000 + t * 500,
+            })
+        })
+        .collect()
+}
+
+/// Renders the sweep exactly as a figure binary would print it, so the
+/// comparison is literally byte-for-byte over the user-visible artifact.
+fn render(results: &[CellResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, r) in results.iter().enumerate() {
+        writeln!(
+            out,
+            "cell {i}: seed={:#018x} l1={}/{} l2={}/{} tlb={}/{} cycles={}",
+            r.seed,
+            r.l1.misses(),
+            r.l1.accesses(),
+            r.l2.misses(),
+            r.l2.accesses(),
+            r.tlb.misses(),
+            r.tlb.accesses(),
+            r.cycles,
+        )
+        .unwrap();
+    }
+    let l1 = merge_cache(results.iter().map(|r| &r.l1));
+    let l2 = merge_cache(results.iter().map(|r| &r.l2));
+    let tlb = merge_tlb(results.iter().map(|r| &r.tlb));
+    writeln!(
+        out,
+        "fleet: l1={}/{} l2={}/{} tlb={}/{}",
+        l1.misses(),
+        l1.accesses(),
+        l2.misses(),
+        l2.accesses(),
+        tlb.misses(),
+        tlb.accesses(),
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let cells = grid();
+    let serial = Sweep::with_threads(1).run(&cells, run_cell);
+    let report = render(&serial);
+    for threads in [2, 4, 7] {
+        let parallel = Sweep::with_threads(threads).run(&cells, run_cell);
+        assert_eq!(parallel, serial, "{threads}-thread results diverged");
+        assert_eq!(
+            render(&parallel),
+            report,
+            "{threads}-thread report not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let cells = grid();
+    let a = Sweep::with_threads(4).run(&cells, run_cell);
+    let b = Sweep::with_threads(4).run(&cells, run_cell);
+    assert_eq!(a, b);
+}
