@@ -20,6 +20,7 @@
 //! `ccmalloc` is *safe* in the paper's sense: a bad hint can only cost
 //! performance, never correctness.
 
+use crate::error::HeapError;
 use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
@@ -334,24 +335,22 @@ impl CcMalloc {
 }
 
 impl Allocator for CcMalloc {
-    fn alloc(&mut self, size: u64) -> u64 {
-        self.alloc_hint(size, None)
-    }
-
-    fn alloc_hint(&mut self, size: u64, hint: Option<u64>) -> u64 {
-        assert!(size > 0, "zero-byte allocation");
+    fn try_alloc_hint(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroAlloc);
+        }
         self.stats.record_alloc(size);
         let rounded = size.div_ceil(ALIGN) * ALIGN;
         let addr = self.alloc_sized(rounded, hint);
         self.ledger.record(addr, size, hint);
-        addr
+        Ok(addr)
     }
 
-    fn free(&mut self, addr: u64) {
+    fn try_free(&mut self, addr: u64) -> Result<(), HeapError> {
         let (size, page) = self
             .live
             .remove(&addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+            .ok_or(HeapError::InvalidFree { addr })?;
         self.ledger.forget(addr);
         self.stats.record_free(size);
         if let Some(page) = page {
@@ -381,6 +380,7 @@ impl Allocator for CcMalloc {
                 idx += 1;
             }
         }
+        Ok(())
     }
 
     fn stats(&self) -> &HeapStats {
@@ -554,6 +554,31 @@ mod tests {
     #[should_panic(expected = "zero-byte")]
     fn zero_alloc_rejected() {
         heap(Strategy::Closest).alloc(0);
+    }
+
+    #[test]
+    fn zero_alloc_is_typed() {
+        assert_eq!(
+            heap(Strategy::Closest).try_alloc(0),
+            Err(HeapError::ZeroAlloc)
+        );
+    }
+
+    #[test]
+    fn double_free_is_typed_invalid_free() {
+        let mut h = heap(Strategy::NewBlock);
+        let a = h.alloc(20);
+        assert_eq!(h.try_free(a), Ok(()));
+        assert_eq!(h.try_free(a), Err(HeapError::InvalidFree { addr: a }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live address")]
+    fn double_free_panics_via_wrapper() {
+        let mut h = heap(Strategy::NewBlock);
+        let a = h.alloc(20);
+        h.free(a);
+        h.free(a);
     }
 
     #[test]

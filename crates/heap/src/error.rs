@@ -1,0 +1,71 @@
+//! Typed allocator errors.
+//!
+//! The paper's `ccmalloc` is defined by graceful degradation — a bad hint
+//! "can only cost performance, never correctness" — and the same posture
+//! extends to the allocator's own failure modes. Every condition the
+//! simulated heaps can hit is a [`HeapError`] variant, surfaced by the
+//! fallible `try_*` entry points of [`crate::Allocator`]; the classic
+//! infallible entry points are thin wrappers that panic with the error's
+//! `Display` text, so legacy callers keep their exact behaviour while new
+//! callers (the fault-injection plane, checkpointed sweeps) can observe,
+//! count, and recover from failures instead of aborting.
+
+use std::fmt;
+
+/// An allocation or free the heap could not perform.
+///
+/// `Display` renders the exact messages the historical panic paths used,
+/// so `HeapError` is drop-in for both matching on variants and matching on
+/// panic text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapError {
+    /// `free` of an address that is not the start of a live allocation —
+    /// a double free, an interior pointer, or a stray address.
+    InvalidFree {
+        /// The address passed to `free`.
+        addr: u64,
+    },
+    /// A zero-byte allocation request.
+    ZeroAlloc,
+    /// The heap needed fresh pages but the virtual space would not supply
+    /// them — a configured arena limit was reached, or an injected fault
+    /// denied the request — and no existing page could absorb the
+    /// allocation.
+    PageExhaustion {
+        /// Pages the failed request needed.
+        pages: u64,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::InvalidFree { addr } => {
+                write!(f, "free of non-live address {addr:#x}")
+            }
+            HeapError::ZeroAlloc => write!(f, "zero-byte allocation"),
+            HeapError::PageExhaustion { pages } => {
+                write!(f, "page exhaustion: {pages} fresh page(s) unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_historical_panic_messages() {
+        assert_eq!(
+            HeapError::InvalidFree { addr: 0x1234 }.to_string(),
+            "free of non-live address 0x1234"
+        );
+        assert_eq!(HeapError::ZeroAlloc.to_string(), "zero-byte allocation");
+        assert!(HeapError::PageExhaustion { pages: 2 }
+            .to_string()
+            .contains("page exhaustion"));
+    }
+}

@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod ccmalloc;
+pub mod error;
 pub mod malloc;
 pub mod snapshot;
 pub mod stats;
 pub mod vspace;
 
 pub use ccmalloc::{CcMalloc, Strategy};
+pub use error::HeapError;
 pub use malloc::Malloc;
 pub use snapshot::{AllocRecord, LayoutSnapshot};
 pub use stats::HeapStats;
@@ -54,23 +56,63 @@ pub use vspace::VirtualSpace;
 ///
 /// Addresses are plain `u64` simulated virtual addresses, shared with
 /// `cc-sim`'s event stream.
+///
+/// The *fallible* entry points ([`Allocator::try_alloc_hint`],
+/// [`Allocator::try_free`]) are the required methods; the classic
+/// infallible ones are provided wrappers that panic with the
+/// [`HeapError`]'s `Display` text, preserving the historical panic
+/// messages for callers (and tests) that treat heap misuse as fatal.
 pub trait Allocator {
-    /// Allocates `size` bytes with no placement hint.
-    fn alloc(&mut self, size: u64) -> u64;
-
     /// Allocates `size` bytes, trying to co-locate the new item with
     /// `hint` (an address inside some existing item likely to be accessed
     /// contemporaneously — e.g. the parent of a new tree node). The
     /// baseline allocator ignores the hint, which is exactly the paper's
     /// control experiment.
-    fn alloc_hint(&mut self, size: u64, hint: Option<u64>) -> u64;
+    ///
+    /// Fails with [`HeapError::ZeroAlloc`] for empty requests and
+    /// [`HeapError::PageExhaustion`] when fresh pages are unavailable and
+    /// no existing page can absorb the allocation.
+    fn try_alloc_hint(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError>;
+
+    /// Releases the allocation starting at `addr`, failing with
+    /// [`HeapError::InvalidFree`] if `addr` is not a live allocation
+    /// start (a double free or interior pointer).
+    fn try_free(&mut self, addr: u64) -> Result<(), HeapError>;
+
+    /// Allocates `size` bytes with no placement hint (fallible).
+    fn try_alloc(&mut self, size: u64) -> Result<u64, HeapError> {
+        self.try_alloc_hint(size, None)
+    }
+
+    /// Allocates `size` bytes with no placement hint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`HeapError`] (e.g. a zero-byte request).
+    fn alloc(&mut self, size: u64) -> u64 {
+        self.try_alloc(size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible form of [`Allocator::try_alloc_hint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`HeapError`].
+    fn alloc_hint(&mut self, size: u64, hint: Option<u64>) -> u64 {
+        self.try_alloc_hint(size, hint)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
     /// Releases the allocation starting at `addr`.
     ///
     /// # Panics
     ///
-    /// Implementations panic if `addr` is not a live allocation start.
-    fn free(&mut self, addr: u64);
+    /// Panics if `addr` is not a live allocation start.
+    fn free(&mut self, addr: u64) {
+        if let Err(e) = self.try_free(addr) {
+            panic!("{e}");
+        }
+    }
 
     /// Allocation statistics, including the heap footprint used for the
     /// paper's Section 4.4 memory-overhead comparison.
@@ -91,6 +133,12 @@ pub trait Allocator {
 }
 
 impl<A: Allocator + ?Sized> Allocator for Box<A> {
+    fn try_alloc_hint(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError> {
+        (**self).try_alloc_hint(size, hint)
+    }
+    fn try_free(&mut self, addr: u64) -> Result<(), HeapError> {
+        (**self).try_free(addr)
+    }
     fn alloc(&mut self, size: u64) -> u64 {
         (**self).alloc(size)
     }
@@ -112,6 +160,12 @@ impl<A: Allocator + ?Sized> Allocator for Box<A> {
 }
 
 impl<A: Allocator + ?Sized> Allocator for &mut A {
+    fn try_alloc_hint(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError> {
+        (**self).try_alloc_hint(size, hint)
+    }
+    fn try_free(&mut self, addr: u64) -> Result<(), HeapError> {
+        (**self).try_free(addr)
+    }
     fn alloc(&mut self, size: u64) -> u64 {
         (**self).alloc(size)
     }

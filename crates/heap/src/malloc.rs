@@ -8,6 +8,7 @@
 //! 20-byte tree node ends up on a 28-byte pitch and structure elements
 //! scatter across cache blocks.
 
+use crate::error::HeapError;
 use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
@@ -77,8 +78,10 @@ impl Malloc {
     /// Placement logic shared by the hinted and hint-less entry points;
     /// `hint` only reaches the ledger (the baseline ignores it for
     /// placement — the paper's control experiment).
-    fn alloc_recorded(&mut self, size: u64, hint: Option<u64>) -> u64 {
-        assert!(size > 0, "zero-byte allocation");
+    fn alloc_recorded(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroAlloc);
+        }
         self.stats.record_alloc(size);
         if size > LARGE_THRESHOLD {
             let pages = (size + HEADER).div_ceil(self.vspace.page_bytes());
@@ -86,12 +89,12 @@ impl Malloc {
             let base = self.vspace.alloc_pages(pages);
             let addr = base + HEADER;
             self.live.record(addr, size, hint);
-            return addr;
+            return Ok(addr);
         }
         let class = Self::class_of(size);
         if let Some(addr) = self.free_lists[class].pop() {
             self.live.record(addr, size, hint);
-            return addr;
+            return Ok(addr);
         }
         let pitch = Self::class_bytes(class) + HEADER;
         let (next, end) = &mut self.chunks[class];
@@ -105,32 +108,29 @@ impl Malloc {
         let addr = *next + HEADER;
         *next += pitch;
         self.live.record(addr, size, hint);
-        addr
+        Ok(addr)
     }
 }
 
 impl Allocator for Malloc {
-    fn alloc(&mut self, size: u64) -> u64 {
-        self.alloc_recorded(size, None)
-    }
-
-    fn alloc_hint(&mut self, size: u64, hint: Option<u64>) -> u64 {
+    fn try_alloc_hint(&mut self, size: u64, hint: Option<u64>) -> Result<u64, HeapError> {
         // The baseline ignores placement hints (but records them, so an
         // audit can report the co-location that was requested and lost).
         self.alloc_recorded(size, hint)
     }
 
-    fn free(&mut self, addr: u64) {
+    fn try_free(&mut self, addr: u64) -> Result<(), HeapError> {
         let (size, _, _) = self
             .live
             .forget(addr)
-            .unwrap_or_else(|| panic!("free of non-live address {addr:#x}"));
+            .ok_or(HeapError::InvalidFree { addr })?;
         self.stats.record_free(size);
         if size <= LARGE_THRESHOLD {
             self.free_lists[Self::class_of(size)].push(addr);
         }
         // Large runs are returned to the OS in real allocators; the
         // simulated footprint keeps its high-water semantics either way.
+        Ok(())
     }
 
     fn stats(&self) -> &HeapStats {
@@ -191,6 +191,29 @@ mod tests {
         let a = h.alloc(8);
         h.free(a);
         h.free(a);
+    }
+
+    #[test]
+    fn double_free_is_typed_invalid_free() {
+        let mut h = Malloc::new(8192);
+        let a = h.alloc(8);
+        assert_eq!(h.try_free(a), Ok(()));
+        assert_eq!(h.try_free(a), Err(HeapError::InvalidFree { addr: a }));
+    }
+
+    #[test]
+    fn free_of_stray_address_is_typed() {
+        let mut h = Malloc::new(8192);
+        h.alloc(8);
+        assert_eq!(
+            h.try_free(0xDEAD),
+            Err(HeapError::InvalidFree { addr: 0xDEAD })
+        );
+    }
+
+    #[test]
+    fn zero_alloc_is_typed() {
+        assert_eq!(Malloc::new(8192).try_alloc(0), Err(HeapError::ZeroAlloc));
     }
 
     #[test]
