@@ -21,7 +21,8 @@
 
 use crate::cluster::{dfs_chain_clusters, subtree_clusters, ClusterKind};
 use crate::color::ColoredSpace;
-use crate::topology::Topology;
+use crate::error::LayoutError;
+use crate::topology::{validate_topology, Topology};
 use cc_heap::VirtualSpace;
 use cc_sim::event::EventSink;
 use cc_sim::{CacheGeometry, MachineConfig};
@@ -121,8 +122,14 @@ impl Layout {
     /// Panics if `node` was not reachable from the root when `ccmorph`
     /// ran (unreachable arena slots are not laid out).
     pub fn addr_of(&self, node: usize) -> u64 {
+        self.addr_of_checked(node).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// New address of `node`, failing with [`LayoutError::NodeNotLaidOut`]
+    /// if it was unreachable when `ccmorph` ran.
+    pub fn addr_of_checked(&self, node: usize) -> Result<u64, LayoutError> {
         self.try_addr_of(node)
-            .unwrap_or_else(|| panic!("node {node} was not laid out"))
+            .ok_or(LayoutError::NodeNotLaidOut { node })
     }
 
     /// New address of `node`, or `None` if it was unreachable.
@@ -188,8 +195,50 @@ impl Layout {
 /// page-multiple gaps where hot slots were skipped.
 ///
 /// See the crate-level example for usage.
+///
+/// # Panics
+///
+/// Panics with the corresponding [`LayoutError`]'s message on invalid
+/// parameters or a topology that breaks the programmer's guarantee; use
+/// [`try_ccmorph`] to handle those as values.
 pub fn ccmorph<T: Topology>(t: &T, vspace: &mut VirtualSpace, params: &CcMorphParams) -> Layout {
-    assert!(params.elem_bytes > 0, "element size must be nonzero");
+    try_ccmorph(t, vspace, params).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ccmorph`]: validates the parameters and the topology before
+/// touching the virtual space, so an `Err` leaves `vspace` unchanged.
+///
+/// Fails with [`LayoutError::ZeroElemBytes`] or
+/// [`LayoutError::ColorOutOfRange`] for bad parameters, and with the
+/// [`validate_topology`] errors (cycle, aliased node, dangling child) for
+/// structures that break the programmer's guarantee — inputs on which the
+/// unchecked traversal would loop forever or silently duplicate nodes.
+pub fn try_ccmorph<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &CcMorphParams,
+) -> Result<Layout, LayoutError> {
+    if params.elem_bytes == 0 {
+        return Err(LayoutError::ZeroElemBytes);
+    }
+    if let Some(cfg) = params.color {
+        if !(cfg.hot_fraction > 0.0 && cfg.hot_fraction < 1.0) {
+            return Err(LayoutError::ColorOutOfRange {
+                hot_fraction: cfg.hot_fraction,
+            });
+        }
+    }
+    validate_topology(t)?;
+    Ok(layout_validated(t, vspace, params))
+}
+
+/// The layout construction proper; callers have already validated the
+/// parameters and topology.
+fn layout_validated<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &CcMorphParams,
+) -> Layout {
     let k = params.elems_per_block();
     let clusters = match params.cluster_kind {
         ClusterKind::SubtreeBfs => subtree_clusters(t, k),
@@ -409,6 +458,73 @@ mod tests {
         let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
         assert!(layout.is_empty());
         assert_eq!(layout.pages_touched(), 0);
+    }
+
+    #[test]
+    fn cyclic_topology_is_a_typed_error_not_a_hang() {
+        let mut t = VecTree::new(1);
+        let a = t.add_node();
+        let b = t.add_node();
+        t.link(a, b);
+        t.link(b, a);
+        let mut vs = VirtualSpace::new(8192);
+        let before = vs.span_bytes();
+        let err =
+            try_ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20)).unwrap_err();
+        assert_eq!(err, LayoutError::CyclicTopology { node: a });
+        assert_eq!(
+            vs.span_bytes(),
+            before,
+            "failed morph leaves vspace untouched"
+        );
+    }
+
+    #[test]
+    fn bad_params_are_typed_errors() {
+        let t = VecTree::complete_binary(7);
+        let mut vs = VirtualSpace::new(8192);
+        let zero = CcMorphParams {
+            elem_bytes: 0,
+            ..CcMorphParams::clustering_only(&machine(), 20)
+        };
+        assert_eq!(
+            try_ccmorph(&t, &mut vs, &zero).unwrap_err(),
+            LayoutError::ZeroElemBytes
+        );
+        let mut hot = CcMorphParams::clustering_and_coloring(&machine(), 20);
+        hot.color = Some(ColorConfig { hot_fraction: 1.5 });
+        assert_eq!(
+            try_ccmorph(&t, &mut vs, &hot).unwrap_err(),
+            LayoutError::ColorOutOfRange { hot_fraction: 1.5 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "element size must be nonzero")]
+    fn infallible_wrapper_keeps_param_panic_message() {
+        let t = VecTree::complete_binary(7);
+        let mut vs = VirtualSpace::new(8192);
+        let zero = CcMorphParams {
+            elem_bytes: 0,
+            ..CcMorphParams::clustering_only(&machine(), 20)
+        };
+        let _ = ccmorph(&t, &mut vs, &zero);
+    }
+
+    #[test]
+    fn addr_of_checked_reports_unplaced_nodes() {
+        let mut t = VecTree::new(2);
+        let root = t.add_node();
+        let kid = t.add_node();
+        let orphan = t.add_node();
+        t.link(root, kid);
+        let mut vs = VirtualSpace::new(8192);
+        let layout = ccmorph(&t, &mut vs, &CcMorphParams::clustering_only(&machine(), 20));
+        assert!(layout.addr_of_checked(kid).is_ok());
+        assert_eq!(
+            layout.addr_of_checked(orphan),
+            Err(LayoutError::NodeNotLaidOut { node: orphan })
+        );
     }
 
     #[test]

@@ -66,10 +66,12 @@ pub mod affinity;
 pub mod ccmorph;
 pub mod cluster;
 pub mod color;
+pub mod error;
 pub mod rng;
 pub mod topology;
 
-pub use ccmorph::{ccmorph, CcMorphParams, ColorConfig, Layout};
+pub use ccmorph::{ccmorph, try_ccmorph, CcMorphParams, ColorConfig, Layout};
 pub use cluster::Order;
 pub use color::ColoredSpace;
-pub use topology::Topology;
+pub use error::LayoutError;
+pub use topology::{validate_topology, Topology};

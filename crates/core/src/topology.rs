@@ -1,5 +1,7 @@
 //! The structure-topology interface `ccmorph` reorganizes through.
 
+use crate::error::LayoutError;
+
 /// Access to a tree-like structure's shape — the Rust analogue of the
 /// `next_node` function a programmer supplies to the paper's `ccmorph`
 /// (Figure 3).
@@ -36,6 +38,58 @@ pub trait Topology {
             next: 0,
         }
     }
+}
+
+/// Checks the programmer's guarantee `ccmorph` relies on (paper
+/// Section 3.1.1): the structure reachable from the root is a genuine
+/// tree. Detects, in one iterative DFS:
+///
+/// * [`LayoutError::DanglingChild`] — a child id outside the arena;
+/// * [`LayoutError::CyclicTopology`] — a node reachable through itself
+///   (the traversal would otherwise never terminate);
+/// * [`LayoutError::AliasedNode`] — a node with two parents (a DAG;
+///   copying it would silently duplicate the shared subtree).
+///
+/// Unreachable arena slots are fine — `ccmorph` simply does not lay them
+/// out.
+pub fn validate_topology<T: Topology>(t: &T) -> Result<(), LayoutError> {
+    let n = t.node_count();
+    let Some(root) = t.root() else {
+        return Ok(());
+    };
+    if root >= n {
+        return Err(LayoutError::DanglingChild {
+            node: root,
+            child: root,
+        });
+    }
+    // 0 = unvisited, 1 = on the current DFS path, 2 = finished.
+    let mut state = vec![0u8; n];
+    let mut stack = vec![(root, false)];
+    while let Some((node, leaving)) = stack.pop() {
+        if leaving {
+            state[node] = 2;
+            continue;
+        }
+        match state[node] {
+            1 => return Err(LayoutError::CyclicTopology { node }),
+            2 => return Err(LayoutError::AliasedNode { node }),
+            _ => {}
+        }
+        state[node] = 1;
+        stack.push((node, true));
+        for child in t.children(node) {
+            if child >= n {
+                return Err(LayoutError::DanglingChild { node, child });
+            }
+            match state[child] {
+                1 => return Err(LayoutError::CyclicTopology { node: child }),
+                2 => return Err(LayoutError::AliasedNode { node: child }),
+                _ => stack.push((child, false)),
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Iterator over a node's present children; see [`Topology::children`].
@@ -193,6 +247,80 @@ mod tests {
     fn empty_tree_has_no_root() {
         let t = VecTree::new(2);
         assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    fn validate_accepts_trees_lists_and_empty() {
+        assert_eq!(validate_topology(&VecTree::complete_binary(1023)), Ok(()));
+        assert_eq!(validate_topology(&VecTree::list(100)), Ok(()));
+        assert_eq!(validate_topology(&VecTree::new(2)), Ok(()));
+    }
+
+    #[test]
+    fn validate_detects_cycles() {
+        let mut t = VecTree::new(1);
+        let a = t.add_node();
+        let b = t.add_node();
+        t.link(a, b);
+        t.link(b, a);
+        assert_eq!(
+            validate_topology(&t),
+            Err(crate::LayoutError::CyclicTopology { node: a })
+        );
+    }
+
+    #[test]
+    fn validate_detects_self_loop() {
+        let mut t = VecTree::new(1);
+        let a = t.add_node();
+        t.link(a, a);
+        assert_eq!(
+            validate_topology(&t),
+            Err(crate::LayoutError::CyclicTopology { node: a })
+        );
+    }
+
+    #[test]
+    fn validate_detects_aliased_nodes() {
+        let mut t = VecTree::new(2);
+        let root = t.add_node();
+        let a = t.add_node();
+        let b = t.add_node();
+        let shared = t.add_node();
+        t.link(root, a);
+        t.link(root, b);
+        t.link(a, shared);
+        t.link(b, shared);
+        assert_eq!(
+            validate_topology(&t),
+            Err(crate::LayoutError::AliasedNode { node: shared })
+        );
+    }
+
+    #[test]
+    fn validate_detects_dangling_children() {
+        let mut t = VecTree::new(1);
+        let a = t.add_node();
+        t.link(a, 99);
+        assert_eq!(
+            validate_topology(&t),
+            Err(crate::LayoutError::DanglingChild { node: a, child: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_ignores_unreachable_garbage() {
+        let mut t = VecTree::new(1);
+        let root = t.add_node();
+        let kid = t.add_node();
+        let orphan_a = t.add_node();
+        let orphan_b = t.add_node();
+        t.link(root, kid);
+        // The orphans form a cycle among themselves — but ccmorph never
+        // traverses them, so the reachable structure is still valid.
+        t.link(orphan_a, orphan_b);
+        t.link(orphan_b, orphan_a);
+        assert_eq!(validate_topology(&t), Ok(()));
     }
 
     #[test]
