@@ -21,6 +21,7 @@
 //! performance, never correctness.
 
 use crate::error::HeapError;
+use crate::fault::HeapFaultSchedule;
 use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
@@ -115,6 +116,23 @@ pub struct CcMalloc {
     /// path.
     holey_blocks: Vec<(u64, usize)>,
     stats: HeapStats,
+    /// Injected faults, keyed by allocation ordinal (empty by default).
+    schedule: HeapFaultSchedule,
+    /// Armed fresh-page denials already consumed.
+    denials_fired: u64,
+}
+
+/// How an allocation ended up being placed, relative to its hint and the
+/// fresh-page budget — the observable degradation level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Placement {
+    /// On the hint's page (same cache block, or a strategy-selected block).
+    Hinted,
+    /// The regular hint-less policy (also where failed hints degrade to).
+    Normal,
+    /// Last-resort scavenging of existing pages after a fresh page was
+    /// denied by an arena limit or an injected fault.
+    Fallback,
 }
 
 /// Payload alignment. Four bytes, as on the paper's 32-bit SPARC: a
@@ -153,12 +171,34 @@ impl CcMalloc {
             empty_blocks: Vec::new(),
             holey_blocks: Vec::new(),
             stats: HeapStats::new(page_bytes),
+            schedule: HeapFaultSchedule::empty(),
+            denials_fired: 0,
         }
     }
 
     /// The block-selection strategy.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// Installs a fault schedule (replacing any previous one). An empty
+    /// schedule restores fault-free behaviour; denials already fired stay
+    /// consumed.
+    pub fn set_fault_schedule(&mut self, schedule: HeapFaultSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_schedule(&self) -> &HeapFaultSchedule {
+        &self.schedule
+    }
+
+    /// Caps the pages this heap may claim from its virtual space; `None`
+    /// removes the cap. Once the cap is hit, allocations degrade to the
+    /// scavenging fallback and finally to
+    /// [`HeapError::PageExhaustion`](crate::HeapError::PageExhaustion).
+    pub fn set_page_limit(&mut self, limit: Option<u64>) {
+        self.vspace.set_page_limit(limit);
     }
 
     /// The L2 cache-block size this heap co-locates into.
@@ -170,16 +210,54 @@ impl CcMalloc {
         (self.page_bytes / self.block_bytes) as usize
     }
 
-    fn new_page(&mut self) -> u64 {
+    /// Consumes one armed fresh-page denial, if the schedule has any left
+    /// for this ordinal. Armed (rather than ordinal-exact) semantics
+    /// guarantee the fault is observable: most allocations never reach a
+    /// fresh-page request, so an exact match would usually be a no-op.
+    fn fresh_denied(&mut self, ordinal: u64) -> bool {
+        if self.denials_fired < self.schedule.denials_armed_through(ordinal) {
+            self.denials_fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_new_page(&mut self, ordinal: u64) -> Result<u64, HeapError> {
+        if self.fresh_denied(ordinal) {
+            return Err(HeapError::PageExhaustion { pages: 1 });
+        }
+        let base = self.vspace.try_alloc_pages(1)?;
         self.stats.record_pages(1);
-        let base = self.vspace.alloc_pages(1);
         self.pages.insert(
             base,
             PageState {
                 blocks: vec![BlockState::default(); self.blocks_per_page()],
             },
         );
-        base
+        Ok(base)
+    }
+
+    /// Last-resort search when fresh pages are denied: first block with
+    /// room anywhere in the heap, scanning pages in address order (the
+    /// `HashMap` iteration order is not deterministic, so the keys are
+    /// sorted first — fault runs must replay bit-identically).
+    fn scavenge_block(&self, size: u64) -> Option<(u64, usize)> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().find_map(|page| {
+            (0..self.blocks_per_page())
+                .find(|&i| self.fits(page, i, size))
+                .map(|i| (page, i))
+        })
+    }
+
+    /// Last-resort search for a run of `nblocks` empty blocks anywhere.
+    fn scavenge_run(&self, nblocks: usize) -> Option<(u64, usize)> {
+        let mut keys: Vec<u64> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .find_map(|page| self.find_run(page, nblocks).map(|s| (page, s)))
     }
 
     fn fits(&self, page: u64, idx: usize, size: u64) -> bool {
@@ -257,14 +335,23 @@ impl CcMalloc {
         addr
     }
 
-    fn alloc_sized(&mut self, size: u64, hint: Option<u64>) -> u64 {
-        // Large objects get dedicated page runs, as in the baseline.
+    fn try_alloc_sized(
+        &mut self,
+        size: u64,
+        hint: Option<u64>,
+        ordinal: u64,
+    ) -> Result<(u64, Placement), HeapError> {
+        // Large objects get dedicated page runs, as in the baseline; no
+        // existing page can absorb them, so a denied request is terminal.
         if size > self.page_bytes / 2 {
             let pages = size.div_ceil(self.page_bytes);
+            if self.fresh_denied(ordinal) {
+                return Err(HeapError::PageExhaustion { pages });
+            }
+            let addr = self.vspace.try_alloc_pages(pages)?;
             self.stats.record_pages(pages);
-            let addr = self.vspace.alloc_pages(pages);
             self.live.insert(addr, (size, None));
-            return addr;
+            return Ok((addr, Placement::Normal));
         }
 
         // Objects bigger than a cache block take a run of whole blocks —
@@ -277,12 +364,26 @@ impl CcMalloc {
                 .filter(|p| self.pages.contains_key(p));
             for page in [hint_page, self.current].into_iter().flatten() {
                 if let Some(start) = self.find_run(page, nblocks) {
-                    return self.place_run(page, start, size);
+                    let placement = if Some(page) == hint_page {
+                        Placement::Hinted
+                    } else {
+                        Placement::Normal
+                    };
+                    return Ok((self.place_run(page, start, size), placement));
                 }
             }
-            let page = self.new_page();
-            self.current = Some(page);
-            return self.place_run(page, 0, size);
+            return match self.try_new_page(ordinal) {
+                Ok(page) => {
+                    self.current = Some(page);
+                    Ok((self.place_run(page, 0, size), Placement::Normal))
+                }
+                Err(e) => match self.scavenge_run(nblocks) {
+                    Some((page, start)) => {
+                        Ok((self.place_run(page, start, size), Placement::Fallback))
+                    }
+                    None => Err(e),
+                },
+            };
         }
 
         if let Some(h) = hint {
@@ -291,11 +392,11 @@ impl CcMalloc {
                 let idx = ((h - page) / self.block_bytes) as usize;
                 // 1. Same cache block as the hint.
                 if self.fits(page, idx, size) {
-                    return self.place(page, idx, size);
+                    return Ok((self.place(page, idx, size), Placement::Hinted));
                 }
                 // 2. Same page, strategy-selected block.
                 if let Some(i) = self.select_block(page, idx, size) {
-                    return self.place(page, i, size);
+                    return Ok((self.place(page, i, size), Placement::Hinted));
                 }
             }
             // 3. The hint's page is full (or foreign): co-location is
@@ -306,7 +407,7 @@ impl CcMalloc {
         // Hint-less path: sequential first-fit through the current page…
         if let Some(page) = self.current {
             if let Some(i) = (0..self.blocks_per_page()).find(|&i| self.fits(page, i, size)) {
-                return self.place(page, i, size);
+                return Ok((self.place(page, i, size), Placement::Normal));
             }
         }
         // …then freed slots anywhere (malloc's free-list behaviour:
@@ -317,20 +418,29 @@ impl CcMalloc {
                 if !self.pages[&page].blocks[idx].holes.is_empty() {
                     self.holey_blocks.push((page, idx));
                 }
-                return addr;
+                return Ok((addr, Placement::Normal));
             }
         }
         // …then a recycled empty block…
         while let Some((page, idx)) = self.empty_blocks.pop() {
             let st = &self.pages[&page].blocks[idx];
             if st.bump == 0 && st.live == 0 {
-                return self.place(page, idx, size);
+                return Ok((self.place(page, idx, size), Placement::Normal));
             }
         }
-        // …and finally a fresh page.
-        let page = self.new_page();
-        self.current = Some(page);
-        self.place(page, 0, size)
+        // …then a fresh page — and only if that is denied, scavenge any
+        // block with room anywhere in the heap (the paper's "if space
+        // permits" degraded to "wherever space remains").
+        match self.try_new_page(ordinal) {
+            Ok(page) => {
+                self.current = Some(page);
+                Ok((self.place(page, 0, size), Placement::Normal))
+            }
+            Err(e) => match self.scavenge_block(size) {
+                Some((page, idx)) => Ok((self.place(page, idx, size), Placement::Fallback)),
+                None => Err(e),
+            },
+        }
     }
 }
 
@@ -339,9 +449,20 @@ impl Allocator for CcMalloc {
         if size == 0 {
             return Err(HeapError::ZeroAlloc);
         }
-        self.stats.record_alloc(size);
+        let ordinal = self.stats.allocations();
+        // The schedule may drop or corrupt the hint used for *placement*;
+        // the ledger records what the caller asked for, so audits compare
+        // requested co-location against what actually happened.
+        let effective = self.schedule.tamper(ordinal, hint);
         let rounded = size.div_ceil(ALIGN) * ALIGN;
-        let addr = self.alloc_sized(rounded, hint);
+        let (addr, placement) = self.try_alloc_sized(rounded, effective, ordinal)?;
+        self.stats.record_alloc(size);
+        if hint.is_some() && placement != Placement::Hinted {
+            self.stats.record_degraded();
+        }
+        if placement == Placement::Fallback {
+            self.stats.record_fallback();
+        }
         self.ledger.record(addr, size, hint);
         Ok(addr)
     }
@@ -579,6 +700,82 @@ mod tests {
         let a = h.alloc(20);
         h.free(a);
         h.free(a);
+    }
+
+    #[test]
+    fn denied_fresh_page_scavenges_partially_used_blocks() {
+        let mut h = heap(Strategy::FirstFit);
+        let a = h.alloc(20); // page 1, block 0: 44 bytes left
+        for _ in 0..127 {
+            h.alloc(64); // fill the rest of page 1
+        }
+        h.alloc(64); // page 2 (current)
+        for _ in 0..127 {
+            h.alloc(64); // fill page 2
+        }
+        h.set_page_limit(Some(2));
+        // No block on the current page fits, no holes, no empties, no
+        // fresh page allowed — scavenging finds block 0's leftover.
+        let b = h.try_alloc(40).unwrap();
+        assert_eq!(b, a + 20, "packed behind the first allocation");
+        assert_eq!(h.stats().fallback_allocations(), 1);
+        // Nothing left that can take 60 bytes: typed exhaustion.
+        assert_eq!(h.try_alloc(60), Err(HeapError::PageExhaustion { pages: 1 }));
+        // Failed allocations are invisible in the stats.
+        assert_eq!(h.stats().allocations(), 257);
+    }
+
+    #[test]
+    fn armed_denial_fires_at_next_fresh_page_request() {
+        let mut h = CcMalloc::with_geometry(64, 256, Strategy::FirstFit);
+        h.alloc(60); // page 1 exists before the schedule is installed
+        let mut s = HeapFaultSchedule::empty();
+        s.deny_fresh_page.insert(1);
+        h.set_fault_schedule(s);
+        for _ in 0..3 {
+            h.alloc(60); // ordinals 1-3 never need a fresh page: still armed
+        }
+        // Ordinal 4 needs a fresh page; the armed denial fires and the
+        // full heap has nothing to scavenge for 60 bytes.
+        assert_eq!(h.try_alloc(60), Err(HeapError::PageExhaustion { pages: 1 }));
+        // One-shot: the next request gets its fresh page and recovers.
+        assert!(h.try_alloc(60).is_ok());
+        assert_eq!(h.stats().pages(), 2);
+    }
+
+    #[test]
+    fn corrupted_hint_degrades_placement_but_not_ledger() {
+        let mut h = heap(Strategy::FirstFit);
+        let a = h.alloc(20);
+        let mut s = HeapFaultSchedule::empty();
+        s.corrupt_hint.insert(1, 1 << 40); // a page this heap never owned
+        h.set_fault_schedule(s);
+        let b = h.alloc_hint(20, Some(a));
+        assert_eq!(h.stats().degraded_hints(), 1);
+        // The snapshot reports the co-location the caller *requested*, so
+        // audits can flag the degradation.
+        let snap = h.snapshot();
+        let rec = snap
+            .records()
+            .iter()
+            .find(|r| r.addr == b)
+            .expect("allocation recorded");
+        assert_eq!(rec.hint, Some(a));
+    }
+
+    #[test]
+    fn dropped_hint_is_counted_as_degraded() {
+        let mut h = heap(Strategy::NewBlock);
+        let a = h.alloc(20);
+        let mut s = HeapFaultSchedule::empty();
+        s.drop_hint.insert(1);
+        h.set_fault_schedule(s);
+        h.alloc_hint(20, Some(a));
+        assert_eq!(h.stats().degraded_hints(), 1);
+        // An honored hint afterwards is not degraded.
+        h.alloc_hint(20, Some(a));
+        assert_eq!(h.stats().degraded_hints(), 1);
+        assert_eq!(h.stats().fallback_allocations(), 0);
     }
 
     #[test]

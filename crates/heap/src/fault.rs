@@ -1,0 +1,117 @@
+//! Deterministic fault schedules for the simulated heaps.
+//!
+//! A [`HeapFaultSchedule`] is plain data — sets of allocation *ordinals*
+//! (the value of `HeapStats::allocations()` when the request arrives) at
+//! which a specific misfortune strikes. Schedules are usually derived from
+//! a single seed by `cc-fault`'s `FaultPlan`, but can be written by hand
+//! for targeted tests. Because they are data, schedules clone with the
+//! allocator and compare with `==`, which is what makes replayed fault
+//! runs byte-for-byte reproducible.
+//!
+//! Three fault kinds:
+//!
+//! * **deny-fresh-page** — each listed ordinal *arms* one denial, consumed
+//!   at the allocator's next fresh-page request (not necessarily on the
+//!   listed allocation: most allocations never need a fresh page, so a
+//!   strictly ordinal-matched denial would usually be a no-op). A denial
+//!   forces the allocator down its scavenging fallback path, observable as
+//!   `HeapStats::fallback_allocations`, or surfaces as
+//!   [`HeapError::PageExhaustion`](crate::HeapError::PageExhaustion) when
+//!   nothing can absorb the request.
+//! * **drop-hint** — the listed allocation's co-location hint is removed
+//!   before placement (the caller's ledger still records the original, so
+//!   audits see what was *requested*).
+//! * **corrupt-hint** — the listed allocation's hint is XORed with a mask,
+//!   pointing it at an arbitrary (often foreign or dead) address. The
+//!   paper's safety property says this may cost locality, never
+//!   correctness; `HeapStats::degraded_hints` counts the cost.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ordinal-indexed fault schedule for one allocator instance.
+///
+/// The default (empty) schedule injects nothing, and every allocator path
+/// is bit-identical to an unscheduled run — the no-fault differential
+/// guarantee.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeapFaultSchedule {
+    /// Allocation ordinals that each arm one fresh-page denial.
+    pub deny_fresh_page: BTreeSet<u64>,
+    /// Allocation ordinals whose hint is dropped.
+    pub drop_hint: BTreeSet<u64>,
+    /// Allocation ordinal → XOR mask applied to that allocation's hint.
+    pub corrupt_hint: BTreeMap<u64, u64>,
+}
+
+impl HeapFaultSchedule {
+    /// A schedule that injects nothing.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True when no fault of any kind is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.deny_fresh_page.is_empty() && self.drop_hint.is_empty() && self.corrupt_hint.is_empty()
+    }
+
+    /// The hint allocation `ordinal` is actually placed with: dropped,
+    /// corrupted, or passed through.
+    pub fn tamper(&self, ordinal: u64, hint: Option<u64>) -> Option<u64> {
+        if self.drop_hint.contains(&ordinal) {
+            return None;
+        }
+        match (hint, self.corrupt_hint.get(&ordinal)) {
+            (Some(h), Some(mask)) => Some(h ^ mask),
+            (h, _) => h,
+        }
+    }
+
+    /// How many denials are armed by ordinals `<= ordinal`. The allocator
+    /// compares this against its count of denials already fired to decide
+    /// whether the next fresh-page request must fail.
+    pub fn denials_armed_through(&self, ordinal: u64) -> u64 {
+        self.deny_fresh_page.range(..=ordinal).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_tampers_nothing() {
+        let s = HeapFaultSchedule::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.tamper(0, Some(0x40)), Some(0x40));
+        assert_eq!(s.tamper(7, None), None);
+        assert_eq!(s.denials_armed_through(u64::MAX), 0);
+    }
+
+    #[test]
+    fn drop_beats_corrupt() {
+        let mut s = HeapFaultSchedule::empty();
+        s.drop_hint.insert(3);
+        s.corrupt_hint.insert(3, 0xFF);
+        assert_eq!(s.tamper(3, Some(0x40)), None);
+        assert_eq!(s.tamper(4, Some(0x40)), Some(0x40));
+    }
+
+    #[test]
+    fn corrupt_xors_the_hint() {
+        let mut s = HeapFaultSchedule::empty();
+        s.corrupt_hint.insert(5, 0x1000);
+        assert_eq!(s.tamper(5, Some(0x40)), Some(0x1040));
+        // A corrupt entry cannot conjure a hint out of nothing.
+        assert_eq!(s.tamper(5, None), None);
+    }
+
+    #[test]
+    fn denials_accumulate_by_ordinal() {
+        let mut s = HeapFaultSchedule::empty();
+        s.deny_fresh_page.extend([2, 5, 9]);
+        assert_eq!(s.denials_armed_through(1), 0);
+        assert_eq!(s.denials_armed_through(2), 1);
+        assert_eq!(s.denials_armed_through(8), 2);
+        assert_eq!(s.denials_armed_through(100), 3);
+    }
+}

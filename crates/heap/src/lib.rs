@@ -40,6 +40,7 @@
 
 pub mod ccmalloc;
 pub mod error;
+pub mod fault;
 pub mod malloc;
 pub mod snapshot;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod vspace;
 
 pub use ccmalloc::{CcMalloc, Strategy};
 pub use error::HeapError;
+pub use fault::HeapFaultSchedule;
 pub use malloc::Malloc;
 pub use snapshot::{AllocRecord, LayoutSnapshot};
 pub use stats::HeapStats;

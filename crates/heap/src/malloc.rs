@@ -9,6 +9,7 @@
 //! scatter across cache blocks.
 
 use crate::error::HeapError;
+use crate::fault::HeapFaultSchedule;
 use crate::snapshot::{LayoutSnapshot, SnapshotLedger};
 use crate::stats::HeapStats;
 use crate::vspace::VirtualSpace;
@@ -47,6 +48,11 @@ pub struct Malloc {
     /// birth order and requested hint that `snapshot` reports).
     live: SnapshotLedger,
     stats: HeapStats,
+    /// Injected faults, keyed by allocation ordinal (empty by default).
+    /// The baseline ignores hints, so only fresh-page denials apply.
+    schedule: HeapFaultSchedule,
+    /// Armed fresh-page denials already consumed.
+    denials_fired: u64,
 }
 
 impl Malloc {
@@ -59,7 +65,24 @@ impl Malloc {
             chunks: vec![(0, 0); classes],
             live: SnapshotLedger::default(),
             stats: HeapStats::new(page_bytes),
+            schedule: HeapFaultSchedule::empty(),
+            denials_fired: 0,
         }
+    }
+
+    /// Installs a fault schedule (replacing any previous one).
+    pub fn set_fault_schedule(&mut self, schedule: HeapFaultSchedule) {
+        self.schedule = schedule;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_schedule(&self) -> &HeapFaultSchedule {
+        &self.schedule
+    }
+
+    /// Caps the pages this heap may claim; `None` removes the cap.
+    pub fn set_page_limit(&mut self, limit: Option<u64>) {
+        self.vspace.set_page_limit(limit);
     }
 
     fn class_of(size: u64) -> usize {
@@ -75,6 +98,26 @@ impl Malloc {
         &self.vspace
     }
 
+    /// Consumes one armed fresh-page denial if the schedule has any left
+    /// for this ordinal (see `HeapFaultSchedule::denials_armed_through`).
+    fn fresh_denied(&mut self, ordinal: u64) -> bool {
+        if self.denials_fired < self.schedule.denials_armed_through(ordinal) {
+            self.denials_fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Degraded-mode reuse when fresh pages are denied: pop a slot from
+    /// the smallest *larger* size class with a free entry. The slot is
+    /// oversized for the request (internal fragmentation, and when freed
+    /// again it re-enters the smaller class — the big slot shrinks), but
+    /// the program keeps running, which is the point.
+    fn scavenge_larger_class(&mut self, class: usize) -> Option<u64> {
+        (class + 1..self.free_lists.len()).find_map(|c| self.free_lists[c].pop())
+    }
+
     /// Placement logic shared by the hinted and hint-less entry points;
     /// `hint` only reaches the ledger (the baseline ignores it for
     /// placement — the paper's control experiment).
@@ -82,31 +125,55 @@ impl Malloc {
         if size == 0 {
             return Err(HeapError::ZeroAlloc);
         }
-        self.stats.record_alloc(size);
+        let ordinal = self.stats.allocations();
         if size > LARGE_THRESHOLD {
             let pages = (size + HEADER).div_ceil(self.vspace.page_bytes());
+            // Dedicated runs have no degraded mode: denial is terminal.
+            if self.fresh_denied(ordinal) {
+                return Err(HeapError::PageExhaustion { pages });
+            }
+            let base = self.vspace.try_alloc_pages(pages)?;
             self.stats.record_pages(pages);
-            let base = self.vspace.alloc_pages(pages);
+            self.stats.record_alloc(size);
             let addr = base + HEADER;
             self.live.record(addr, size, hint);
             return Ok(addr);
         }
         let class = Self::class_of(size);
         if let Some(addr) = self.free_lists[class].pop() {
+            self.stats.record_alloc(size);
             self.live.record(addr, size, hint);
             return Ok(addr);
         }
         let pitch = Self::class_bytes(class) + HEADER;
-        let (next, end) = &mut self.chunks[class];
-        if *next + pitch > *end {
+        let (mut next, mut end) = self.chunks[class];
+        if next + pitch > end {
             let page_bytes = self.vspace.page_bytes();
-            self.stats.record_pages(1);
-            let base = self.vspace.alloc_pages(1);
-            *next = base;
-            *end = base + page_bytes;
+            let fresh = if self.fresh_denied(ordinal) {
+                Err(HeapError::PageExhaustion { pages: 1 })
+            } else {
+                self.vspace.try_alloc_pages(1)
+            };
+            match fresh {
+                Ok(base) => {
+                    self.stats.record_pages(1);
+                    next = base;
+                    end = base + page_bytes;
+                }
+                Err(e) => {
+                    let Some(addr) = self.scavenge_larger_class(class) else {
+                        return Err(e);
+                    };
+                    self.stats.record_alloc(size);
+                    self.stats.record_fallback();
+                    self.live.record(addr, size, hint);
+                    return Ok(addr);
+                }
+            }
         }
-        let addr = *next + HEADER;
-        *next += pitch;
+        let addr = next + HEADER;
+        self.chunks[class] = (next + pitch, end);
+        self.stats.record_alloc(size);
         self.live.record(addr, size, hint);
         Ok(addr)
     }
@@ -225,6 +292,48 @@ mod tests {
         // 1000 * 32-byte pitch = 32000 bytes -> 4 pages.
         assert_eq!(h.stats().pages(), 4);
         assert_eq!(h.stats().allocations(), 1000);
+    }
+
+    #[test]
+    fn denied_fresh_page_falls_back_to_larger_class() {
+        let mut h = Malloc::new(8192);
+        let big = h.alloc(100);
+        h.free(big);
+        let mut s = HeapFaultSchedule::empty();
+        s.deny_fresh_page.insert(0);
+        h.set_fault_schedule(s);
+        // 16-byte class has no chunk yet: the fresh-page request is
+        // denied, so the freed 100-byte slot is scavenged instead.
+        let a = h.try_alloc(16).unwrap();
+        assert_eq!(a, big, "reused the larger class's freed slot");
+        assert_eq!(h.stats().fallback_allocations(), 1);
+        // The denial was one-shot; the heap recovers.
+        assert!(h.try_alloc(16).is_ok());
+        assert_eq!(h.stats().fallback_allocations(), 1);
+    }
+
+    #[test]
+    fn exhaustion_with_nothing_to_scavenge_is_typed() {
+        let mut h = Malloc::new(8192);
+        let mut s = HeapFaultSchedule::empty();
+        s.deny_fresh_page.insert(0);
+        h.set_fault_schedule(s);
+        assert_eq!(h.try_alloc(16), Err(HeapError::PageExhaustion { pages: 1 }));
+        // A failed allocation is invisible in the stats…
+        assert_eq!(h.stats().allocations(), 0);
+        // …and does not poison the heap: the denial is now consumed.
+        assert!(h.try_alloc(16).is_ok());
+    }
+
+    #[test]
+    fn page_limit_denies_large_runs() {
+        let mut h = Malloc::new(8192);
+        h.set_page_limit(Some(1));
+        assert!(h.try_alloc(16).is_ok());
+        assert_eq!(
+            h.try_alloc(10_000),
+            Err(HeapError::PageExhaustion { pages: 2 })
+        );
     }
 
     #[test]

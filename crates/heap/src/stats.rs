@@ -13,6 +13,12 @@ pub struct HeapStats {
     /// Pages obtained from the virtual space (footprint).
     pages: u64,
     page_bytes: u64,
+    /// Allocations placed by the last-resort scavenging path after a
+    /// fresh page was denied (arena limit or injected fault).
+    fallback_allocations: u64,
+    /// Hinted allocations whose co-location hint could not be honored
+    /// (the hint's page was full, foreign, dropped, or corrupted).
+    degraded_hints: u64,
 }
 
 impl HeapStats {
@@ -62,14 +68,36 @@ impl HeapStats {
         self.pages * self.page_bytes
     }
 
+    /// Allocations that succeeded only via the scavenging fallback after
+    /// fresh pages were denied — the paper's "if space permits" degraded
+    /// to "wherever space remains".
+    pub fn fallback_allocations(&self) -> u64 {
+        self.fallback_allocations
+    }
+
+    /// Hinted allocations placed away from their hint's page — the hint
+    /// page was full (routine once a structure outgrows one page),
+    /// foreign, or tampered by fault injection. Dropped/corrupted hints
+    /// push this strictly above a fault-free run of the same workload.
+    pub fn degraded_hints(&self) -> u64 {
+        self.degraded_hints
+    }
+
     /// Footprint of this heap relative to `other`, as a percentage
     /// overhead (positive means this heap used more memory).
     pub fn overhead_vs(&self, other: &HeapStats) -> f64 {
-        if other.footprint_bytes() == 0 {
+        Self::overhead_pct(self.footprint_bytes(), other.footprint_bytes())
+    }
+
+    /// Percentage overhead of `bytes` relative to `baseline`, with the
+    /// exact float expression `overhead_vs` has always used — exposed so
+    /// checkpointed figure runs can reproduce overhead lines bit-for-bit
+    /// from stored byte counts.
+    pub fn overhead_pct(bytes: u64, baseline: u64) -> f64 {
+        if baseline == 0 {
             0.0
         } else {
-            100.0 * (self.footprint_bytes() as f64 - other.footprint_bytes() as f64)
-                / other.footprint_bytes() as f64
+            100.0 * (bytes as f64 - baseline as f64) / baseline as f64
         }
     }
 
@@ -87,6 +115,14 @@ impl HeapStats {
 
     pub(crate) fn record_pages(&mut self, n: u64) {
         self.pages += n;
+    }
+
+    pub(crate) fn record_fallback(&mut self) {
+        self.fallback_allocations += 1;
+    }
+
+    pub(crate) fn record_degraded(&mut self) {
+        self.degraded_hints += 1;
     }
 }
 

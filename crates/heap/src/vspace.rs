@@ -1,5 +1,7 @@
 //! A simulated, page-granular virtual address space.
 
+use crate::error::HeapError;
+
 /// Page-granular region allocator: a `brk`-style bump over a simulated
 /// 64-bit virtual address space.
 ///
@@ -24,6 +26,12 @@ pub struct VirtualSpace {
     page_bytes: u64,
     base: u64,
     next: u64,
+    /// Pages handed out via `alloc_pages`/`try_alloc_pages` (holes left by
+    /// `skip_pages`/`align_to` are not claimed and don't count here).
+    claimed: u64,
+    /// Optional cap on `claimed` — a simulated arena limit. `None` (the
+    /// default) preserves the unbounded `brk`-style behaviour.
+    page_limit: Option<u64>,
 }
 
 /// Heap regions start well above zero so address arithmetic bugs (null
@@ -45,7 +53,32 @@ impl VirtualSpace {
             page_bytes,
             base: HEAP_BASE,
             next: HEAP_BASE,
+            claimed: 0,
+            page_limit: None,
         }
+    }
+
+    /// Creates an address space that refuses to claim more than `limit`
+    /// pages — the simulated analogue of a fixed-size arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two.
+    pub fn with_page_limit(page_bytes: u64, limit: u64) -> Self {
+        let mut vs = Self::new(page_bytes);
+        vs.page_limit = Some(limit);
+        vs
+    }
+
+    /// Sets or clears the page limit. Lowering the limit below the pages
+    /// already claimed only affects future requests.
+    pub fn set_page_limit(&mut self, limit: Option<u64>) {
+        self.page_limit = limit;
+    }
+
+    /// The configured page limit, if any.
+    pub fn page_limit(&self) -> Option<u64> {
+        self.page_limit
     }
 
     /// Page size in bytes.
@@ -55,10 +88,28 @@ impl VirtualSpace {
 
     /// Allocates `n` contiguous pages and returns the region's base address
     /// (always page-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page limit is set and would be exceeded; use
+    /// [`Self::try_alloc_pages`] to observe exhaustion as an error.
     pub fn alloc_pages(&mut self, n: u64) -> u64 {
+        self.try_alloc_pages(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allocates `n` contiguous pages, failing with
+    /// [`HeapError::PageExhaustion`] when a configured page limit would be
+    /// exceeded.
+    pub fn try_alloc_pages(&mut self, n: u64) -> Result<u64, HeapError> {
+        if let Some(limit) = self.page_limit {
+            if self.claimed + n > limit {
+                return Err(HeapError::PageExhaustion { pages: n });
+            }
+        }
         let addr = self.next;
         self.next += n * self.page_bytes;
-        addr
+        self.claimed += n;
+        Ok(addr)
     }
 
     /// Allocates the fewest pages covering `bytes` and returns the base.
@@ -153,5 +204,39 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_odd_page_size() {
         let _ = VirtualSpace::new(1000);
+    }
+
+    #[test]
+    fn page_limit_denies_over_budget_requests() {
+        let mut vs = VirtualSpace::with_page_limit(4096, 3);
+        assert!(vs.try_alloc_pages(2).is_ok());
+        assert_eq!(
+            vs.try_alloc_pages(2),
+            Err(HeapError::PageExhaustion { pages: 2 })
+        );
+        // A smaller request still fits under the cap.
+        assert!(vs.try_alloc_pages(1).is_ok());
+        assert_eq!(
+            vs.try_alloc_pages(1),
+            Err(HeapError::PageExhaustion { pages: 1 })
+        );
+    }
+
+    #[test]
+    fn skipped_holes_do_not_consume_the_limit() {
+        let mut vs = VirtualSpace::with_page_limit(4096, 2);
+        vs.skip_pages(10);
+        assert!(vs.try_alloc_pages(2).is_ok());
+    }
+
+    #[test]
+    fn limit_can_be_set_and_cleared() {
+        let mut vs = VirtualSpace::new(4096);
+        vs.set_page_limit(Some(1));
+        assert!(vs.try_alloc_pages(1).is_ok());
+        assert!(vs.try_alloc_pages(1).is_err());
+        vs.set_page_limit(None);
+        assert!(vs.try_alloc_pages(100).is_ok());
+        assert_eq!(vs.page_limit(), None);
     }
 }
