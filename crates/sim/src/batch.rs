@@ -247,6 +247,194 @@ impl TraceBuf {
     }
 }
 
+/// A deterministic corruption applied to a [`TraceBuf`] by fault
+/// injection — the simulated analogue of a truncated trace file, a
+/// dropped DMA, or a scribbled buffer.
+///
+/// Structural faults ([`TraceFault::TruncateAddrLane`],
+/// [`TraceFault::ZeroGapRun`]) break the buffer's invariants and are
+/// caught by [`TraceBuf::validate`]; [`TraceFault::ScrambleAddrs`] leaves
+/// the structure valid but the *addresses* wrong — the class of fault only
+/// determinism (replaying the seed) can expose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFault {
+    /// Truncates the address lane to `keep` entries, leaving the other
+    /// lanes long: the SoA invariant (all lanes in step) is broken.
+    TruncateAddrLane {
+        /// Entries the address lane keeps.
+        keep: usize,
+    },
+    /// Zeroes the run length of the clock-gap entry at `entry` (modulo the
+    /// buffer length) — a gap that advances the clock by zero events,
+    /// which the replay loop must never see.
+    ZeroGapRun {
+        /// Target entry index (taken modulo the buffer length).
+        entry: usize,
+    },
+    /// XORs a seed-derived mask into every memory-event address (loads,
+    /// stores, prefetches — never the count lanes of instruction, branch,
+    /// or gap entries, whose "addresses" are event counts).
+    ScrambleAddrs {
+        /// Seed for the deterministic mask stream.
+        seed: u64,
+    },
+}
+
+/// An invariant violation found by [`TraceBuf::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceCorruption {
+    /// The parallel lanes disagree in length.
+    LaneMismatch {
+        /// Kind-lane length.
+        kinds: usize,
+        /// Address-lane length.
+        addrs: usize,
+        /// Size-lane length.
+        sizes: usize,
+        /// Tick-lane length.
+        ticks: usize,
+    },
+    /// A clock-gap entry advancing the clock by zero events.
+    EmptyGapRun {
+        /// Index of the offending entry.
+        entry: usize,
+    },
+}
+
+impl std::fmt::Display for TraceCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCorruption::LaneMismatch {
+                kinds,
+                addrs,
+                sizes,
+                ticks,
+            } => write!(
+                f,
+                "trace lanes out of step: {kinds} kinds, {addrs} addrs, {sizes} sizes, {ticks} ticks"
+            ),
+            TraceCorruption::EmptyGapRun { entry } => {
+                write!(f, "zero-length clock gap at entry {entry}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceCorruption {}
+
+/// SplitMix64 step for the deterministic scramble mask stream (local copy:
+/// `cc-core` sits above this crate in the dependency order).
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceBuf {
+    /// Applies `fault` to the currently buffered entries. Deterministic:
+    /// the same fault on the same buffer contents always produces the same
+    /// corruption.
+    pub fn inject_fault(&mut self, fault: &TraceFault) {
+        match *fault {
+            TraceFault::TruncateAddrLane { keep } => {
+                self.addrs.truncate(keep.min(self.addrs.len()));
+            }
+            TraceFault::ZeroGapRun { entry } => {
+                if self.kinds.is_empty() {
+                    return;
+                }
+                let i = entry % self.kinds.len();
+                if self.kinds[i] == PackedKind::Gap {
+                    self.addrs[i] = 0;
+                }
+            }
+            TraceFault::ScrambleAddrs { seed } => {
+                let mut state = seed;
+                for i in 0..self.kinds.len() {
+                    let mask = splitmix_next(&mut state);
+                    if matches!(
+                        self.kinds[i],
+                        PackedKind::LoadDep
+                            | PackedKind::LoadIndep
+                            | PackedKind::Store
+                            | PackedKind::Prefetch
+                    ) {
+                        self.addrs[i] ^= mask >> 16;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks the buffer's structural invariants: all lanes in step, no
+    /// zero-length clock gaps. The replay loop assumes both; feeding it a
+    /// buffer that fails validation silently drops entries (the lane zip
+    /// stops at the shortest lane) or underflows the gap arithmetic.
+    pub fn validate(&self) -> Result<(), TraceCorruption> {
+        let (k, a, s, t) = (
+            self.kinds.len(),
+            self.addrs.len(),
+            self.sizes.len(),
+            self.ticks.len(),
+        );
+        if !(k == a && k == s && k == t) {
+            return Err(TraceCorruption::LaneMismatch {
+                kinds: k,
+                addrs: a,
+                sizes: s,
+                ticks: t,
+            });
+        }
+        if let Some(entry) =
+            (0..k).find(|&i| self.kinds[i] == PackedKind::Gap && self.addrs[i] == 0)
+        {
+            return Err(TraceCorruption::EmptyGapRun { entry });
+        }
+        Ok(())
+    }
+
+    /// Restores the structural invariants after corruption, keeping every
+    /// entry that can be kept: lanes are truncated to the shortest lane,
+    /// and a zero-length gap either inherits its folded ticks as its run
+    /// length or, with none, is removed. Returns the number of entries
+    /// dropped.
+    pub fn repair(&mut self) -> usize {
+        let min = self
+            .kinds
+            .len()
+            .min(self.addrs.len())
+            .min(self.sizes.len())
+            .min(self.ticks.len());
+        let mut dropped = self.kinds.len().saturating_sub(min);
+        self.kinds.truncate(min);
+        self.addrs.truncate(min);
+        self.sizes.truncate(min);
+        self.ticks.truncate(min);
+        let mut i = 0;
+        while i < self.kinds.len() {
+            if self.kinds[i] == PackedKind::Gap && self.addrs[i] == 0 {
+                if self.ticks[i] > 0 {
+                    // A gap of its folded ticks is the same event stream.
+                    self.addrs[i] = u64::from(self.ticks[i]);
+                    self.ticks[i] = 0;
+                    i += 1;
+                } else {
+                    self.kinds.remove(i);
+                    self.addrs.remove(i);
+                    self.sizes.remove(i);
+                    self.ticks.remove(i);
+                    dropped += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        dropped
+    }
+}
+
 /// Cross-batch memoization state for [`MemorySystem::access_batch`].
 ///
 /// The cursor remembers just enough about the immediately preceding memory
@@ -593,6 +781,13 @@ pub struct BatchSink<O: EventSink = NullSink> {
     branches: u64,
     now: u64,
     cycles: u64,
+    /// When armed (only by fault injection), each flush validates the
+    /// buffer first. Off by default, so the no-fault hot path is unchanged.
+    validate: bool,
+    /// Batches that failed validation and were replayed on the scalar path.
+    fallback_batches: u64,
+    /// Events salvaged through those scalar replays.
+    fallback_events: u64,
 }
 
 /// Default number of events staged per drain: large enough to amortize the
@@ -617,6 +812,9 @@ impl BatchSink<NullSink> {
             branches: 0,
             now: 0,
             cycles: 0,
+            validate: false,
+            fallback_batches: 0,
+            fallback_events: 0,
         }
     }
 }
@@ -634,13 +832,78 @@ impl<O: EventSink> BatchSink<O> {
             branches: 0,
             now: 0,
             cycles: 0,
+            validate: false,
+            fallback_batches: 0,
+            fallback_events: 0,
         }
+    }
+
+    /// Applies `fault` to the currently staged events and arms per-flush
+    /// validation for the rest of this sink's life. Only injection pays
+    /// the validation cost; an unfaulted sink's flush path is untouched.
+    pub fn inject_fault(&mut self, fault: &TraceFault) {
+        self.buf.inject_fault(fault);
+        self.validate = true;
+    }
+
+    /// Batches that failed validation and fell back to the scalar replay.
+    pub fn fallback_batches(&self) -> u64 {
+        self.fallback_batches
+    }
+
+    /// Events salvaged through scalar fallback replays.
+    pub fn fallback_events(&self) -> u64 {
+        self.fallback_events
+    }
+
+    /// Replays the (repaired) buffer one event at a time, mirroring
+    /// [`crate::MemorySink::event`] exactly: the reference path the batched
+    /// engine is differentially pinned to. Decoded instruction/branch
+    /// events carry count 0 (their counts were folded at arrival), so the
+    /// replay only advances the clock for them.
+    fn scalar_replay(&mut self) {
+        let events: Vec<Event> = self.buf.events().collect();
+        for ev in events {
+            self.now += 1;
+            match ev {
+                Event::Inst(n) => self.insts += u64::from(n),
+                Event::Branch(n) => self.branches += u64::from(n),
+                Event::Load { addr, size, .. } => {
+                    self.cycles += self
+                        .system
+                        .access(addr, size, AccessKind::Read, self.now)
+                        .cycles;
+                }
+                Event::Store { addr, size } => {
+                    self.cycles += self
+                        .system
+                        .access(addr, size, AccessKind::Write, self.now)
+                        .cycles;
+                }
+                Event::Prefetch { addr } => {
+                    self.system.prefetch(addr, self.now);
+                }
+            }
+            self.fallback_events += 1;
+        }
+        // The scalar path bypassed the cursor's memo, so its last-block /
+        // last-page shortcuts are stale: drop them before the next batch.
+        self.cursor.reset();
     }
 
     /// Drains buffered events into the memory system. Idempotent when the
     /// buffer is empty.
     pub fn flush(&mut self) {
         if self.buf.is_empty() {
+            return;
+        }
+        if self.validate && self.buf.validate().is_err() {
+            // Corrupt batch: repair what can be salvaged and replay it on
+            // the scalar reference path, then resume batching.
+            self.fallback_batches += 1;
+            self.buf.repair();
+            self.scalar_replay();
+            self.buf.clear();
             return;
         }
         let out = self
@@ -865,5 +1128,132 @@ mod tests {
         sink.reset_stats();
         assert_eq!(sink.memory_cycles(), 0);
         assert_eq!(sink.system().l1_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn validate_catches_truncated_lanes_and_repair_restores_them() {
+        let mut buf = TraceBuf::with_capacity(8);
+        for i in 0..5 {
+            buf.push(Event::load(0x100 + i * 0x40, 8));
+        }
+        assert_eq!(buf.validate(), Ok(()));
+        buf.inject_fault(&TraceFault::TruncateAddrLane { keep: 3 });
+        assert_eq!(
+            buf.validate(),
+            Err(TraceCorruption::LaneMismatch {
+                kinds: 5,
+                addrs: 3,
+                sizes: 5,
+                ticks: 5,
+            })
+        );
+        assert_eq!(buf.repair(), 2, "two entries lost to truncation");
+        assert_eq!(buf.validate(), Ok(()));
+        let back: Vec<Event> = buf.events().collect();
+        assert_eq!(
+            back,
+            vec![
+                Event::load(0x100, 8),
+                Event::load(0x140, 8),
+                Event::load(0x180, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_catches_zero_gap_runs() {
+        let mut buf = TraceBuf::with_capacity(8);
+        buf.push_ticks(2); // standalone gap entry at index 0
+        buf.push(Event::load(0x100, 8));
+        buf.inject_fault(&TraceFault::ZeroGapRun { entry: 0 });
+        assert_eq!(
+            buf.validate(),
+            Err(TraceCorruption::EmptyGapRun { entry: 0 })
+        );
+        assert_eq!(buf.repair(), 1, "the empty gap is dropped");
+        assert_eq!(buf.validate(), Ok(()));
+        assert_eq!(
+            buf.events().collect::<Vec<_>>(),
+            vec![Event::load(0x100, 8)]
+        );
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_spares_count_lanes() {
+        let build = || {
+            let mut buf = TraceBuf::with_capacity(8);
+            buf.push(Event::Inst(7));
+            buf.push(Event::load(0x1000, 8));
+            buf.push_ticks(3);
+            buf.push(Event::store(0x2000, 8));
+            buf
+        };
+        let clean = build();
+        let mut a = build();
+        let mut b = build();
+        a.inject_fault(&TraceFault::ScrambleAddrs { seed: 42 });
+        b.inject_fault(&TraceFault::ScrambleAddrs { seed: 42 });
+        // Same seed, same corruption — the replayable-fault property.
+        assert_eq!(
+            a.events().collect::<Vec<_>>(),
+            b.events().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.events().collect::<Vec<_>>(),
+            clean.events().collect::<Vec<_>>()
+        );
+        // Structure stays valid: scramble is a semantic fault.
+        assert_eq!(a.validate(), Ok(()));
+        // Counts (Inst run length, gap run length) are untouched.
+        let back: Vec<Event> = a.events().collect();
+        assert_eq!(back[0], Event::Inst(7));
+        assert_eq!(&back[2..5], &[Event::Inst(0); 3]);
+    }
+
+    #[test]
+    fn corrupt_batch_falls_back_to_scalar_and_matches_the_reference() {
+        use crate::{EventSink, MemorySink};
+        let machine = MachineConfig::test_tiny();
+        let mut batched = BatchSink::with_capacity(machine, 8);
+        batched.inst(2);
+        for i in 0..5 {
+            batched.load(0x100 + i * 0x40, 8);
+        }
+        batched.inject_fault(&TraceFault::TruncateAddrLane { keep: 4 });
+        batched.flush();
+        assert_eq!(batched.fallback_batches(), 1);
+        assert!(batched.fallback_events() > 0);
+        // Reference: the scalar sink fed the surviving (repaired) stream.
+        // The instruction event's tick occupies one buffer entry ahead of
+        // the loads, so truncating the address lane to 4 keeps 3 loads.
+        let mut reference = MemorySink::new(machine);
+        reference.inst(2);
+        for i in 0..3 {
+            reference.load(0x100 + i * 0x40, 8);
+        }
+        assert_eq!(batched.system().l1_stats(), reference.system().l1_stats());
+        assert_eq!(batched.system().tlb_stats(), reference.system().tlb_stats());
+        assert_eq!(batched.memory_cycles(), reference.memory_cycles());
+        assert_eq!(batched.insts(), reference.insts());
+        // The sink recovers: later batches run on the fast path again.
+        batched.load(0x400, 8);
+        batched.flush();
+        assert_eq!(batched.fallback_batches(), 1, "clean batch stayed batched");
+        assert_eq!(
+            batched.system().l1_stats().accesses(),
+            reference.system().l1_stats().accesses() + 1
+        );
+    }
+
+    #[test]
+    fn unfaulted_sink_never_pays_for_validation() {
+        use crate::EventSink;
+        let mut sink = BatchSink::new(MachineConfig::test_tiny());
+        for i in 0..10 {
+            sink.load(0x100 + i * 0x40, 8);
+        }
+        sink.flush();
+        assert_eq!(sink.fallback_batches(), 0);
+        assert_eq!(sink.fallback_events(), 0);
     }
 }

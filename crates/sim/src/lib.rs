@@ -53,7 +53,7 @@ pub mod prefetch;
 pub mod stats;
 pub mod tlb;
 
-pub use batch::{BatchCursor, BatchOutcome, BatchSink, TraceBuf};
+pub use batch::{BatchCursor, BatchOutcome, BatchSink, TraceBuf, TraceCorruption, TraceFault};
 pub use config::{Latency, MachineConfig};
 pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;
