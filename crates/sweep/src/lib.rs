@@ -48,7 +48,114 @@
 #![warn(missing_docs)]
 
 use cc_sim::stats::{CacheStats, TlbStats};
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The fate of one cell under the fault-isolated runners
+/// ([`Sweep::run_isolated`], [`Sweep::run_checkpointed`]).
+///
+/// A sweep cell that panics takes down only itself: the panic is caught at
+/// the cell boundary, the cell is retried (with the attempt number exposed
+/// to the closure so it can reseed deterministically), and a cell that
+/// exhausts its attempts is reported here instead of aborting the grid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome<R> {
+    /// The cell succeeded on its first attempt.
+    Ok(R),
+    /// The cell panicked at least once but a retry succeeded.
+    Retried {
+        /// The successful attempt's result.
+        result: R,
+        /// Total attempts consumed (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt panicked; the cell produced no result.
+    Failed {
+        /// Attempts consumed (the configured maximum).
+        attempts: u32,
+        /// The final attempt's panic message.
+        panic: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The cell's result, if any attempt succeeded.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            CellOutcome::Ok(r) | CellOutcome::Retried { result: r, .. } => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the result if any attempt succeeded.
+    pub fn into_result(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok(r) | CellOutcome::Retried { result: r, .. } => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Attempts consumed: 1 for [`CellOutcome::Ok`], the recorded count
+    /// otherwise.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellOutcome::Ok(_) => 1,
+            CellOutcome::Retried { attempts, .. } | CellOutcome::Failed { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// True when no attempt succeeded.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+}
+
+/// Renders a caught panic payload as a message string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one cell with panic isolation and bounded deterministic retry.
+///
+/// `f` sees the attempt number, so a cell that wants fresh randomness on
+/// retry derives it from `(cell index, attempt)` — pure coordinates again,
+/// keeping replays byte-identical.
+fn isolate_cell<C, R, F>(i: usize, max_attempts: u32, f: &F, cell: &C) -> CellOutcome<R>
+where
+    F: Fn(usize, u32, &C) -> R,
+{
+    let mut last = String::new();
+    for attempt in 0..max_attempts.max(1) {
+        // AssertUnwindSafe: the closure only borrows the shared grid and
+        // the caller's `Fn` environment, which the `run` contract already
+        // requires to be free of cross-cell mutable state.
+        match catch_unwind(AssertUnwindSafe(|| f(i, attempt, cell))) {
+            Ok(result) if attempt == 0 => return CellOutcome::Ok(result),
+            Ok(result) => {
+                return CellOutcome::Retried {
+                    result,
+                    attempts: attempt + 1,
+                }
+            }
+            Err(payload) => last = panic_message(payload),
+        }
+    }
+    CellOutcome::Failed {
+        attempts: max_attempts.max(1),
+        panic: last,
+    }
+}
 
 /// A parallel runner for grids of independent simulation cells.
 ///
@@ -136,12 +243,165 @@ impl Sweep {
             .map(|s| s.expect("every cell ran exactly once"))
             .collect()
     }
+
+    /// Like [`Sweep::run`], but each cell runs behind a panic boundary with
+    /// up to `max_attempts` deterministic attempts (clamped to at least 1).
+    ///
+    /// `f` receives `(cell index, attempt, cell)`; a cell wanting fresh
+    /// randomness per retry should fold the attempt number into its seed
+    /// (e.g. `cell_seed(base ^ u64::from(attempt), i as u64)`) so replays
+    /// stay byte-identical. A cell that panics on every attempt yields
+    /// [`CellOutcome::Failed`] in its slot — neighbouring cells are
+    /// untouched and the grid completes.
+    pub fn run_isolated<C, R, F>(&self, cells: &[C], max_attempts: u32, f: F) -> Vec<CellOutcome<R>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(usize, u32, &C) -> R + Sync,
+    {
+        self.run(cells, |i, c| isolate_cell(i, max_attempts, &f, c))
+    }
+
+    /// [`Sweep::run_isolated`] with crash-durable progress: each completed
+    /// cell is appended to the checkpoint file at `path` as it finishes,
+    /// and a rerun over the same grid resumes from whatever the file holds
+    /// instead of recomputing it.
+    ///
+    /// The file is line-oriented: a header `ccsweep v1 cells=<n> tag=<tag>`
+    /// followed by one `<index>\t<payload>` line per completed cell, where
+    /// `payload` is `encode`'s single-line rendering of the result
+    /// (newlines, tabs, and backslashes are escaped). On resume the header
+    /// must match exactly — a different grid size or tag starts fresh — and
+    /// any line that fails to parse or `decode` (a torn write from a crash)
+    /// is simply recomputed. Failed cells are never checkpointed, so a
+    /// resume retries them. Checkpoint *writes* are best-effort (an
+    /// unwritable disk degrades durability, not results); only opening the
+    /// file reports an error.
+    ///
+    /// Resumed cells are reported as [`CellOutcome::Ok`]: the retry history
+    /// of a previous process is not persisted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_checkpointed<C, R, F, E, D>(
+        &self,
+        cells: &[C],
+        max_attempts: u32,
+        path: &Path,
+        tag: &str,
+        f: F,
+        encode: E,
+        decode: D,
+    ) -> std::io::Result<Vec<CellOutcome<R>>>
+    where
+        C: Sync,
+        R: Send,
+        F: Fn(usize, u32, &C) -> R + Sync,
+        E: Fn(&R) -> String + Sync,
+        D: Fn(&str) -> Option<R>,
+    {
+        let n = cells.len();
+        let header = format!("ccsweep v1 cells={n} tag={tag}");
+        let mut resumed: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut valid_prior = false;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines();
+            if lines.next() == Some(header.as_str()) {
+                valid_prior = true;
+                for line in lines {
+                    let Some((idx, payload)) = line.split_once('\t') else {
+                        continue;
+                    };
+                    let Ok(idx) = idx.parse::<usize>() else {
+                        continue;
+                    };
+                    if idx >= n {
+                        continue;
+                    }
+                    if let Some(r) = unescape(payload).as_deref().and_then(&decode) {
+                        resumed[idx] = Some(r);
+                    }
+                }
+            }
+        }
+
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .truncate(false)
+            .open(path)?;
+        if !valid_prior {
+            // Stale header (or no file): restart the log from scratch.
+            file.set_len(0)?;
+            writeln!(file, "{header}")?;
+            file.flush()?;
+        }
+        let file = Mutex::new(file);
+
+        let pending: Vec<usize> = (0..n).filter(|&i| resumed[i].is_none()).collect();
+        let fresh: Vec<(usize, CellOutcome<R>)> = self.run(&pending, |_, &idx| {
+            let outcome = isolate_cell(idx, max_attempts, &f, &cells[idx]);
+            if let Some(r) = outcome.result() {
+                let line = format!("{idx}\t{}\n", escape(&encode(r)));
+                let mut guard = file.lock().expect("checkpoint writer poisoned");
+                let _ = guard
+                    .write_all(line.as_bytes())
+                    .and_then(|()| guard.flush());
+            }
+            (idx, outcome)
+        });
+
+        let mut slots: Vec<Option<CellOutcome<R>>> = resumed
+            .into_iter()
+            .map(|r| r.map(CellOutcome::Ok))
+            .collect();
+        for (idx, outcome) in fresh {
+            slots[idx] = Some(outcome);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every cell resumed or ran"))
+            .collect())
+    }
 }
 
 impl Default for Sweep {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Escapes a checkpoint payload onto one line.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on a malformed (torn) payload.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Derives the RNG seed for one sweep cell from the experiment's base seed
@@ -219,6 +479,223 @@ mod tests {
     fn worker_count_clamps() {
         assert_eq!(Sweep::with_threads(0).threads(), 1);
         assert!(Sweep::default().threads() >= 1);
+    }
+
+    /// Silences the default panic hook while `f` runs (the isolation tests
+    /// inject panics on purpose; their messages are noise).
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ccsweep-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn run_isolated_retries_and_isolates() {
+        let cells: Vec<u32> = (0..10).collect();
+        let out = with_quiet_panics(|| {
+            Sweep::with_threads(4).run_isolated(&cells, 3, |i, attempt, &c| {
+                if c == 3 {
+                    panic!("injected: cell {i} terminally poisoned");
+                }
+                if c % 4 == 1 && attempt == 0 {
+                    panic!("injected: transient fault");
+                }
+                c * 10
+            })
+        });
+        for (i, outcome) in out.iter().enumerate() {
+            let c = cells[i];
+            if c == 3 {
+                assert_eq!(
+                    outcome,
+                    &CellOutcome::Failed {
+                        attempts: 3,
+                        panic: "injected: cell 3 terminally poisoned".into(),
+                    }
+                );
+                assert!(outcome.result().is_none());
+            } else if c % 4 == 1 {
+                assert_eq!(
+                    outcome,
+                    &CellOutcome::Retried {
+                        result: c * 10,
+                        attempts: 2,
+                    }
+                );
+            } else {
+                assert_eq!(outcome, &CellOutcome::Ok(c * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_escaping_roundtrips() {
+        for s in [
+            "",
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+        ] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("bad\\q"), None);
+        assert_eq!(unescape("trailing\\"), None);
+    }
+
+    #[test]
+    fn checkpoint_resumes_completed_cells() {
+        let path = tmp_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let cells: Vec<u32> = (0..8).collect();
+        let enc = |r: &u32| r.to_string();
+        let dec = |s: &str| s.parse::<u32>().ok();
+        let first = Sweep::with_threads(2)
+            .run_checkpointed(&cells, 1, &path, "t", |_, _, &c| c * 3, enc, dec)
+            .unwrap();
+        assert_eq!(
+            first,
+            cells
+                .iter()
+                .map(|&c| CellOutcome::Ok(c * 3))
+                .collect::<Vec<_>>()
+        );
+        // Resume over the same grid: no cell may recompute.
+        let second = with_quiet_panics(|| {
+            Sweep::with_threads(2)
+                .run_checkpointed(
+                    &cells,
+                    1,
+                    &path,
+                    "t",
+                    |i, _, _| -> u32 { panic!("cell {i} recomputed") },
+                    enc,
+                    dec,
+                )
+                .unwrap()
+        });
+        assert_eq!(second, first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_checkpoint_header_starts_fresh() {
+        let path = tmp_path("stale");
+        std::fs::write(&path, "ccsweep v1 cells=99 tag=other\n0\t42\n").unwrap();
+        let cells: Vec<u32> = (0..3).collect();
+        let out = Sweep::with_threads(1)
+            .run_checkpointed(
+                &cells,
+                1,
+                &path,
+                "mine",
+                |_, _, &c| c + 1,
+                |r| r.to_string(),
+                |s| s.parse().ok(),
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![CellOutcome::Ok(1), CellOutcome::Ok(2), CellOutcome::Ok(3)]
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("ccsweep v1 cells=3 tag=mine\n"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_checkpoint_lines_are_recomputed() {
+        let path = tmp_path("torn");
+        // Cell 0's line is good; cell 1's has a bad escape (a torn write);
+        // cell 2's payload fails to decode.
+        std::fs::write(
+            &path,
+            "ccsweep v1 cells=3 tag=t\n0\t10\n1\t1\\q\n2\tnot-a-number\n",
+        )
+        .unwrap();
+        let recomputed = Mutex::new(Vec::new());
+        let cells: Vec<u32> = (0..3).collect();
+        let out = Sweep::with_threads(1)
+            .run_checkpointed(
+                &cells,
+                1,
+                &path,
+                "t",
+                |i, _, &c| {
+                    recomputed.lock().unwrap().push(i);
+                    c * 10
+                },
+                |r| r.to_string(),
+                |s| s.parse().ok(),
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                CellOutcome::Ok(10),
+                CellOutcome::Ok(10),
+                CellOutcome::Ok(20)
+            ]
+        );
+        assert_eq!(*recomputed.lock().unwrap(), vec![1, 2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_cells_are_not_checkpointed_and_retry_on_resume() {
+        let path = tmp_path("failed");
+        let _ = std::fs::remove_file(&path);
+        let cells: Vec<u32> = (0..4).collect();
+        let enc = |r: &u32| r.to_string();
+        let dec = |s: &str| s.parse::<u32>().ok();
+        let first = with_quiet_panics(|| {
+            Sweep::with_threads(1)
+                .run_checkpointed(
+                    &cells,
+                    2,
+                    &path,
+                    "t",
+                    |_, _, &c| {
+                        if c == 2 {
+                            panic!("injected: poisoned cell")
+                        }
+                        c
+                    },
+                    enc,
+                    dec,
+                )
+                .unwrap()
+        });
+        assert!(first[2].is_failed());
+        assert_eq!(first[2].attempts(), 2);
+        // Resume with the fault gone: only the failed cell reruns.
+        let reran = Mutex::new(Vec::new());
+        let second = Sweep::with_threads(1)
+            .run_checkpointed(
+                &cells,
+                2,
+                &path,
+                "t",
+                |i, _, &c| {
+                    reran.lock().unwrap().push(i);
+                    c
+                },
+                enc,
+                dec,
+            )
+            .unwrap();
+        assert_eq!(*reran.lock().unwrap(), vec![2]);
+        assert_eq!(second[2], CellOutcome::Ok(2));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use cc_sim::batch::BatchSink;
 use cc_sim::event::EventSink;
 use cc_sim::stats::{CacheStats, TlbStats};
 use cc_sim::MachineConfig;
-use cc_sweep::{cell_seed, merge_cache, merge_tlb, Sweep};
+use cc_sweep::{cell_seed, merge_cache, merge_tlb, CellOutcome, Sweep};
+use proptest::prelude::*;
 
 /// One grid cell: (machine, trial).
 #[derive(Clone, Copy)]
@@ -137,4 +138,89 @@ fn repeated_parallel_runs_are_stable() {
     let a = Sweep::with_threads(4).run(&cells, run_cell);
     let b = Sweep::with_threads(4).run(&cells, run_cell);
     assert_eq!(a, b);
+}
+
+/// Silences the default panic hook while `f` runs: the isolation tests
+/// below inject panics on purpose, and their traces are noise.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// A cheap grid for the fault-injection properties: real simulations, but
+/// small enough to rerun under a property-test case budget.
+fn small_grid() -> Vec<Cell> {
+    (0..6)
+        .map(|t| Cell {
+            machine: MachineConfig::test_tiny(),
+            steps: 200 + t * 50,
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panics_stay_in_their_cells() {
+    let cells = grid();
+    let clean = Sweep::with_threads(1).run(&cells, run_cell);
+    // Every (i % 3 == 1) cell panics on its first attempt; cell 7 panics
+    // on every attempt.
+    let outcomes = with_quiet_panics(|| {
+        Sweep::with_threads(4).run_isolated(&cells, 3, |i, attempt, c| {
+            if i == 7 {
+                panic!("injected: terminally poisoned");
+            }
+            if i % 3 == 1 && attempt == 0 {
+                panic!("injected: transient fault");
+            }
+            run_cell(i, c)
+        })
+    });
+    assert_eq!(outcomes.len(), cells.len(), "every cell reported");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == 7 {
+            assert!(outcome.is_failed(), "poisoned cell failed");
+            assert_eq!(outcome.attempts(), 3, "all attempts consumed");
+        } else if i % 3 == 1 {
+            // A retried cell recomputes from its coordinates alone, so the
+            // retry reproduces the clean run's result exactly.
+            assert!(matches!(outcome, CellOutcome::Retried { attempts: 2, .. }));
+            assert_eq!(outcome.result(), Some(&clean[i]));
+        } else {
+            // Neighbours of failing cells are bit-identical to a clean run.
+            assert_eq!(outcome, &CellOutcome::Ok(clean[i].clone()));
+        }
+    }
+}
+
+proptest! {
+    /// Over arbitrary poison sets, every poisoned cell fails in place and
+    /// every clean cell's result is bit-identical to an unfaulted serial
+    /// run — a failure never corrupts a neighbour, and output order is
+    /// always grid order.
+    #[test]
+    fn failed_cells_never_corrupt_neighbours(mask in any::<u64>()) {
+        let cells = small_grid();
+        let clean = Sweep::with_threads(1).run(&cells, run_cell);
+        let poisoned = |i: usize| mask & (1 << (i as u32 % 64)) != 0;
+        let outcomes = with_quiet_panics(|| {
+            Sweep::with_threads(4).run_isolated(&cells, 2, |i, _, c| {
+                if poisoned(i) {
+                    panic!("injected");
+                }
+                run_cell(i, c)
+            })
+        });
+        prop_assert_eq!(outcomes.len(), cells.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if poisoned(i) {
+                prop_assert!(outcome.is_failed());
+                prop_assert_eq!(outcome.attempts(), 2);
+            } else {
+                prop_assert_eq!(outcome.result(), Some(&clean[i]));
+            }
+        }
+    }
 }
