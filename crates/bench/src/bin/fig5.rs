@@ -20,6 +20,12 @@
 //! scratch (replaying the same deterministic mutation sequence the serial
 //! version applied), so the figure is byte-identical no matter how many
 //! workers run it.
+//!
+//! Set `CC_SWEEP_CHECKPOINT=<path>` to run the sweep crash-durably:
+//! completed cells are appended to the file as they finish, and a rerun
+//! (same key count) resumes from it instead of recomputing. With the
+//! variable unset, nothing touches the filesystem and the figure is
+//! byte-identical to every prior release.
 
 use cc_audit::{audit, AffinityKind, AuditConfig, AuditInput, Report, Rule};
 use cc_bench::header;
@@ -32,6 +38,7 @@ use cc_sweep::Sweep;
 use cc_trees::bst::Bst;
 use cc_trees::btree::BTree;
 use cc_trees::BST_NODE_BYTES;
+use std::path::Path;
 
 /// Search-count checkpoints (the x-axis decades).
 const CHECKPOINTS: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
@@ -88,14 +95,110 @@ enum Layout {
     TransparentCTree,
 }
 
+/// The audit facts `main` asserts on, flattened out of a [`Report`] so a
+/// cell can round-trip through a sweep checkpoint file.
+struct AuditSummary {
+    color01_findings: usize,
+    colocation_score: Option<f64>,
+    text: String,
+}
+
+impl AuditSummary {
+    fn of(report: &Report) -> Self {
+        AuditSummary {
+            color01_findings: report.of_rule(Rule::Color01).len(),
+            colocation_score: report.stats.colocation_score,
+            text: report.to_text(),
+        }
+    }
+}
+
 /// One computed cell: its row label, checkpoint times, the progress/audit
 /// lines the serial version would have streamed to stderr, and the audit
-/// report (where the layout has one).
+/// summary (where the layout has one).
 struct Cell {
     label: &'static str,
     times: Vec<f64>,
     log: String,
-    report: Option<Report>,
+    audit: Option<AuditSummary>,
+}
+
+/// Field separator for checkpoint payloads. The sweep checkpoint escapes
+/// newlines and tabs itself; this byte never occurs in logs or audit text.
+const SEP: char = '\x1f';
+
+fn encode_f64s(xs: &[f64]) -> String {
+    let words: Vec<String> = xs.iter().map(|x| format!("{:016x}", x.to_bits())).collect();
+    words.join(",")
+}
+
+fn decode_f64s(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
+        .collect()
+}
+
+/// Renders a cell for the checkpoint file; times go as hex bit patterns so
+/// a resumed figure is bit-identical to an uninterrupted one.
+fn encode_cell(cell: &Cell) -> String {
+    let (flag, errs, score, text) = match &cell.audit {
+        Some(a) => (
+            "1",
+            a.color01_findings.to_string(),
+            a.colocation_score
+                .map_or_else(|| "-".to_string(), |s| format!("{:016x}", s.to_bits())),
+            a.text.clone(),
+        ),
+        None => ("-", String::new(), String::new(), String::new()),
+    };
+    [
+        cell.label.to_string(),
+        encode_f64s(&cell.times),
+        cell.log.clone(),
+        flag.to_string(),
+        errs,
+        score,
+        text,
+    ]
+    .join(&SEP.to_string())
+}
+
+fn decode_cell(s: &str) -> Option<Cell> {
+    let mut fields = s.splitn(7, SEP);
+    let label = match fields.next()? {
+        "random clustered" => "random clustered",
+        "depth-first clustered" => "depth-first clustered",
+        "in-core B-tree" => "in-core B-tree",
+        "transparent C-tree" => "transparent C-tree",
+        _ => return None,
+    };
+    let times = decode_f64s(fields.next()?)?;
+    let log = fields.next()?.to_string();
+    let flag = fields.next()?;
+    let errs = fields.next()?;
+    let score = fields.next()?;
+    let text = fields.next()?;
+    let audit = match flag {
+        "1" => Some(AuditSummary {
+            color01_findings: errs.parse().ok()?,
+            colocation_score: match score {
+                "-" => None,
+                bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
+            },
+            text: text.to_string(),
+        }),
+        "-" => None,
+        _ => return None,
+    };
+    Some(Cell {
+        label,
+        times,
+        log,
+        audit,
+    })
 }
 
 fn tree_input(machine: &MachineConfig, t: &Bst) -> AuditInput {
@@ -127,7 +230,7 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
                 label: "random clustered",
                 times,
                 log,
-                report: Some(report),
+                audit: Some(AuditSummary::of(&report)),
             }
         }
         Layout::DepthFirstClustered => {
@@ -143,7 +246,7 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
                 label: "depth-first clustered",
                 times,
                 log,
-                report: None,
+                audit: None,
             }
         }
         Layout::ColoredBTree => {
@@ -159,7 +262,7 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
                 label: "in-core B-tree",
                 times,
                 log,
-                report: None,
+                audit: None,
             }
         }
         Layout::TransparentCTree => {
@@ -182,7 +285,7 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
                 label: "transparent C-tree",
                 times,
                 log,
-                report: Some(report),
+                audit: Some(AuditSummary::of(&report)),
             }
         }
     }
@@ -210,13 +313,30 @@ fn main() {
         Layout::ColoredBTree,
         Layout::TransparentCTree,
     ];
-    let cells = Sweep::new().run(&grid, |_, &layout| run_cell(&machine, n, layout));
+    let run = |_: usize, _attempt: u32, &layout: &Layout| run_cell(&machine, n, layout);
+    let cells: Vec<Cell> = match std::env::var_os("CC_SWEEP_CHECKPOINT") {
+        Some(path) => Sweep::new()
+            .run_checkpointed(
+                &grid,
+                1,
+                Path::new(&path),
+                &format!("fig5-n{n}"),
+                run,
+                encode_cell,
+                decode_cell,
+            )
+            .expect("opening the sweep checkpoint file")
+            .into_iter()
+            .map(|o| o.into_result().expect("fig5 cell completed"))
+            .collect(),
+        None => Sweep::new().run(&grid, |i, layout| run(i, 0, layout)),
+    };
     for cell in &cells {
         eprint!("{}", cell.log);
     }
 
-    let random_audit = cells[0].report.as_ref().expect("random cell audits");
-    let ctree_audit = cells[3].report.as_ref().expect("C-tree cell audits");
+    let random_audit = cells[0].audit.as_ref().expect("random cell audits");
+    let ctree_audit = cells[3].audit.as_ref().expect("C-tree cell audits");
     // Preconditions for the figure's claims: the C-tree's coloring must
     // hold (no hot node in a cold set), and its clustering must beat the
     // random baseline. No such guarantee against depth-first order: with
@@ -226,11 +346,11 @@ fn main() {
     // the C-tree still wins on time because its co-located pairs sit on
     // every search path, a distinction the unweighted score cannot see.
     assert!(
-        ctree_audit.of_rule(Rule::Color01).is_empty(),
+        ctree_audit.color01_findings == 0,
         "C-tree coloring is broken; Figure 5 would measure a bogus layout:\n{}",
-        ctree_audit.to_text()
+        ctree_audit.text
     );
-    let score = |r: &Report| r.stats.colocation_score.unwrap_or(0.0);
+    let score = |r: &AuditSummary| r.colocation_score.unwrap_or(0.0);
     assert!(
         score(ctree_audit) >= score(random_audit) - 1e-9,
         "C-tree co-locates worse than the random baseline"

@@ -8,60 +8,197 @@
 //!
 //! The 32 (benchmark × scheme) cells are independent simulations, so they
 //! fan out across the [`Sweep`] runner; results come back in grid order,
-//! which keeps the figure byte-identical to a serial run.
+//! which keeps the figure byte-identical to a serial run. Each cell also
+//! audits its own final heap (for the hint-taking schemes), so a cell's
+//! result is a handful of numbers and strings rather than a full layout
+//! snapshot — small enough to round-trip a sweep checkpoint file.
+//!
+//! Set `CC_SWEEP_CHECKPOINT=<path>` to run the sweep crash-durably:
+//! completed cells are appended to the file as they finish, and a rerun
+//! (same scale) resumes from it instead of recomputing. With the variable
+//! unset, nothing touches the filesystem and the figure is byte-identical
+//! to every prior release.
 
 use cc_audit::{audit, AuditConfig, AuditInput};
 use cc_bench::{header, human_bytes, print_breakdown_row};
+use cc_heap::HeapStats;
 use cc_olden::{health, mst, perimeter, treeadd, RunResult, Scheme};
-use cc_sim::MachineConfig;
+use cc_sim::{Breakdown, MachineConfig};
 use cc_sweep::Sweep;
+use std::path::Path;
 
-/// Prints one benchmark's normalized bars; `results` is in
-/// [`Scheme::FIGURE7`] order, so `results[0]` is the base run.
-fn print_group(name: &str, results: &[RunResult]) {
-    let base = &results[0];
-    println!("\n{name}:");
-    for r in results {
-        print_breakdown_row(r.scheme.label(), &r.breakdown, &base.breakdown);
-        assert_eq!(r.checksum, base.checksum, "scheme changed the answer!");
+/// The audit verdict of one hinted scheme, flattened out of the
+/// [`cc_audit::Report`] so a cell can round-trip a checkpoint file.
+struct AuditCell {
+    errors: usize,
+    findings: usize,
+    score: Option<f64>,
+    text: String,
+}
+
+/// One (benchmark × scheme) cell, reduced to exactly what the printed
+/// figure consumes: the stderr progress line, the cycle breakdown, the
+/// checksum, the heap footprint (Section 4.4 overheads), and — for
+/// hint-taking schemes — the layout audit computed over the snapshot
+/// while it was still in hand.
+struct Cell {
+    log: String,
+    breakdown: Breakdown,
+    checksum: u64,
+    footprint: u64,
+    audit: Option<AuditCell>,
+}
+
+/// Reduces a [`RunResult`] to its printable facts, auditing the final
+/// heap layout where the scheme took placement hints: the figure's
+/// FA/CA/NA bars are only meaningful if the hints actually co-located
+/// what they promised to.
+fn to_cell(machine: &MachineConfig, log: String, r: RunResult) -> Cell {
+    let audit_cell = r.scheme.uses_hints().then(|| {
+        let input = AuditInput::from_snapshot(&r.snapshot, machine.l2, machine.page_bytes, None);
+        let report = audit(&input, &AuditConfig::default());
+        AuditCell {
+            errors: report.error_count(),
+            findings: report.findings.len(),
+            score: report.stats.colocation_score,
+            text: report.to_text(),
+        }
+    });
+    Cell {
+        log,
+        breakdown: r.breakdown,
+        checksum: r.checksum,
+        footprint: r.heap.footprint_bytes(),
+        audit: audit_cell,
     }
 }
 
-fn overhead_line(name: &str, results: &[RunResult]) {
+/// Field separator for checkpoint payloads. The sweep checkpoint escapes
+/// newlines and tabs itself; this byte never occurs in logs or audit text.
+const SEP: char = '\x1f';
+
+/// Renders a cell for the checkpoint file; the audit score goes as a hex
+/// bit pattern so a resumed figure is bit-identical to an uninterrupted
+/// one.
+fn encode_cell(c: &Cell) -> String {
+    let (flag, errors, findings, score, text) = match &c.audit {
+        Some(a) => (
+            "1",
+            a.errors.to_string(),
+            a.findings.to_string(),
+            a.score
+                .map_or_else(|| "-".to_string(), |s| format!("{:016x}", s.to_bits())),
+            a.text.clone(),
+        ),
+        None => (
+            "-",
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ),
+    };
+    [
+        c.log.clone(),
+        c.breakdown.busy.to_string(),
+        c.breakdown.inst_stall.to_string(),
+        c.breakdown.data_stall.to_string(),
+        c.breakdown.store_stall.to_string(),
+        c.checksum.to_string(),
+        c.footprint.to_string(),
+        flag.to_string(),
+        errors,
+        findings,
+        score,
+        text,
+    ]
+    .join(&SEP.to_string())
+}
+
+fn decode_cell(s: &str) -> Option<Cell> {
+    let mut f = s.splitn(12, SEP);
+    let log = f.next()?.to_string();
+    let busy = f.next()?.parse().ok()?;
+    let inst_stall = f.next()?.parse().ok()?;
+    let data_stall = f.next()?.parse().ok()?;
+    let store_stall = f.next()?.parse().ok()?;
+    let checksum = f.next()?.parse().ok()?;
+    let footprint = f.next()?.parse().ok()?;
+    let flag = f.next()?;
+    let errors = f.next()?;
+    let findings = f.next()?;
+    let score = f.next()?;
+    let text = f.next()?;
+    let audit = match flag {
+        "1" => Some(AuditCell {
+            errors: errors.parse().ok()?,
+            findings: findings.parse().ok()?,
+            score: match score {
+                "-" => None,
+                bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
+            },
+            text: text.to_string(),
+        }),
+        "-" => None,
+        _ => return None,
+    };
+    Some(Cell {
+        log,
+        breakdown: Breakdown {
+            busy,
+            inst_stall,
+            data_stall,
+            store_stall,
+        },
+        checksum,
+        footprint,
+        audit,
+    })
+}
+
+/// Prints one benchmark's normalized bars; `cells` is in
+/// [`Scheme::FIGURE7`] order, so `cells[0]` is the base run.
+fn print_group(name: &str, cells: &[Cell]) {
+    let base = &cells[0];
+    println!("\n{name}:");
+    for (s, c) in Scheme::FIGURE7.iter().zip(cells) {
+        print_breakdown_row(s.label(), &c.breakdown, &base.breakdown);
+        assert_eq!(c.checksum, base.checksum, "scheme changed the answer!");
+    }
+}
+
+fn overhead_line(name: &str, cells: &[Cell]) {
     let by = |s: Scheme| {
-        results
+        Scheme::FIGURE7
             .iter()
-            .find(|r| r.scheme == s)
+            .position(|&x| x == s)
+            .map(|i| cells[i].footprint)
             .expect("scheme present")
-            .heap
     };
     let nb = by(Scheme::CcMallocNewBlock);
     let ca = by(Scheme::CcMallocClosest);
     let fa = by(Scheme::CcMallocFirstFit);
     println!(
         "  {name:<10} new-block {:>9}  vs closest {:>+6.1}%  vs first-fit {:>+6.1}%",
-        human_bytes(nb.footprint_bytes()),
-        nb.overhead_vs(&ca),
-        nb.overhead_vs(&fa),
+        human_bytes(nb),
+        HeapStats::overhead_pct(nb, ca),
+        HeapStats::overhead_pct(nb, fa),
     );
 }
 
-/// Audits the final heap layout of each hint-taking scheme: the figure's
-/// FA/CA/NA bars are only meaningful if the hints actually co-located
-/// what they promised to.
-fn audit_lines(name: &str, machine: &MachineConfig, results: &[RunResult]) {
-    for r in results.iter().filter(|r| r.scheme.uses_hints()) {
-        let input = AuditInput::from_snapshot(&r.snapshot, machine.l2, machine.page_bytes, None);
-        let report = audit(&input, &AuditConfig::default());
-        let score = report
-            .stats
-            .colocation_score
+/// Prints the per-scheme audit verdicts the cells computed over their
+/// final heaps (present exactly for the hint-taking schemes).
+fn audit_lines(name: &str, cells: &[Cell]) {
+    for (s, c) in Scheme::FIGURE7.iter().zip(cells) {
+        let Some(a) = &c.audit else { continue };
+        let score = a
+            .score
             .map_or_else(|| " n/a ".to_string(), |s| format!("{s:.3}"));
         println!(
             "  {name:<10} {:<3} colocation {score}  {} error(s), {} finding(s)",
-            r.scheme.label(),
-            report.error_count(),
-            report.findings.len(),
+            s.label(),
+            a.errors,
+            a.findings,
         );
     }
 }
@@ -108,18 +245,34 @@ fn main() {
     let grid: Vec<(usize, Scheme)> = (0..benches.len())
         .flat_map(|b| Scheme::FIGURE7.iter().map(move |&s| (b, s)))
         .collect();
-    let cells = Sweep::new().run(&grid, |_, &(b, s)| {
+    let run = |_: usize, _attempt: u32, &(b, s): &(usize, Scheme)| {
         let (name, runner) = &benches[b];
         let log = format!("  {name}: {}\n", s.label());
-        (log, runner(s))
-    });
-    let (logs, results): (Vec<String>, Vec<RunResult>) = cells.into_iter().unzip();
-    for log in &logs {
-        eprint!("{log}");
+        to_cell(&machine, log, runner(s))
+    };
+    let cells: Vec<Cell> = match std::env::var_os("CC_SWEEP_CHECKPOINT") {
+        Some(path) => Sweep::new()
+            .run_checkpointed(
+                &grid,
+                1,
+                Path::new(&path),
+                &format!("fig7-s{scale}"),
+                run,
+                encode_cell,
+                decode_cell,
+            )
+            .expect("opening the sweep checkpoint file")
+            .into_iter()
+            .map(|o| o.into_result().expect("fig7 cell completed"))
+            .collect(),
+        None => Sweep::new().run(&grid, |i, cell| run(i, 0, cell)),
+    };
+    for c in &cells {
+        eprint!("{}", c.log);
     }
-    let by_bench: Vec<&[RunResult]> = results.chunks_exact(Scheme::FIGURE7.len()).collect();
-    for ((name, _), results) in benches.iter().zip(&by_bench) {
-        print_group(name, results);
+    let by_bench: Vec<&[Cell]> = cells.chunks_exact(Scheme::FIGURE7.len()).collect();
+    for ((name, _), cells) in benches.iter().zip(&by_bench) {
+        print_group(name, cells);
     }
     let (ta, he, ms, pe) = (by_bench[0], by_bench[1], by_bench[2], by_bench[3]);
 
@@ -136,28 +289,24 @@ fn main() {
         "Layout audit: did the ccmalloc hints deliver?",
         "cc-audit over each hinted scheme's final heap (score = co-located / achievable pairs)",
     );
-    audit_lines("treeadd", &machine, ta);
-    audit_lines("health", &machine, he);
-    audit_lines("mst", &machine, ms);
-    audit_lines("perimeter", &machine, pe);
+    audit_lines("treeadd", ta);
+    audit_lines("health", he);
+    audit_lines("mst", ms);
+    audit_lines("perimeter", pe);
 
     // Precondition with teeth where the paper guarantees one: treeadd
     // allocates a tree depth-first with parent hints, the workload
     // ccmalloc is built for, so its new-block heap must audit clean. The
     // other benchmarks legitimately fall short (short mst chains, mixed
     // health lifetimes) — exactly why Section 4.4's gains vary.
-    let ta_na = ta
+    let na = Scheme::FIGURE7
         .iter()
-        .find(|r| r.scheme == Scheme::CcMallocNewBlock)
+        .position(|&s| s == Scheme::CcMallocNewBlock)
         .expect("NA scheme present");
-    let report = audit(
-        &AuditInput::from_snapshot(&ta_na.snapshot, machine.l2, machine.page_bytes, None),
-        &AuditConfig::default(),
-    );
+    let ta_na = ta[na].audit.as_ref().expect("NA scheme audits");
     assert_eq!(
-        report.error_count(),
-        0,
+        ta_na.errors, 0,
         "treeadd's hinted new-block heap violates the layout it promised:\n{}",
-        report.to_text()
+        ta_na.text
     );
 }
