@@ -1,0 +1,252 @@
+//! Fault-matrix harness: seeds × planes, fail on any escaped panic.
+//!
+//! For every seed (arguments, or a small default set) this binary runs a
+//! scripted workload against each fault plane — `heap` (allocation denials
+//! and hint tampering under `CcMalloc`/`Malloc`), `morph` (corrupted
+//! topologies and parameters into `try_ccmorph`), and `sweep` (poisoned
+//! cells under `Sweep::run_isolated`) — inside a top-level `catch_unwind`.
+//!
+//! The contract under test is *graceful degradation*: injected faults must
+//! surface as typed errors, fallback placements, or retried cells — never
+//! as a panic escaping the plane's API. Any escape prints the payload and
+//! the process exits 1 (CI's `fault-matrix` job gates on that).
+//!
+//! Usage: `fault-matrix [seed ...]` (decimal or `0x`-prefixed hex).
+
+use cc_core::topology::Topology;
+use cc_core::{try_ccmorph, CcMorphParams, LayoutError};
+use cc_fault::FaultPlan;
+use cc_heap::{Allocator, CcMalloc, HeapError, Malloc, Strategy, VirtualSpace};
+use cc_sim::MachineConfig;
+use cc_sweep::{cell_seed, Sweep};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Seeds used when none are given (and by CI).
+const DEFAULT_SEEDS: [u64; 5] = [0xA1, 0xB2, 0xC3, 0xD4, 0xE5];
+
+/// A small binary-ish tree as an adjacency list.
+struct VecTree {
+    kids: Vec<Vec<usize>>,
+}
+
+impl VecTree {
+    /// A complete-ish binary tree over `n` nodes (node `i`'s children are
+    /// `2i+1`, `2i+2`).
+    fn binary(n: usize) -> Self {
+        let kids = (0..n)
+            .map(|i| {
+                [2 * i + 1, 2 * i + 2]
+                    .into_iter()
+                    .filter(|&c| c < n)
+                    .collect()
+            })
+            .collect();
+        VecTree { kids }
+    }
+}
+
+impl Topology for VecTree {
+    fn node_count(&self) -> usize {
+        self.kids.len()
+    }
+    fn root(&self) -> Option<usize> {
+        (!self.kids.is_empty()).then_some(0)
+    }
+    fn max_kids(&self) -> usize {
+        2
+    }
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        self.kids[node].get(i).copied()
+    }
+}
+
+/// A hinted allocate/free churn against one allocator with faults armed.
+/// Every injected fault must come back as a typed error or a counted
+/// fallback — never a panic.
+fn churn<A: Allocator>(name: &str, mut heap: A) -> Result<String, String> {
+    let mut typed_errors = 0u64;
+    let mut live: Vec<u64> = Vec::new();
+    let mut prev = None;
+    for i in 0..40u64 {
+        match heap.try_alloc_hint(20, prev) {
+            Ok(addr) => {
+                prev = Some(addr);
+                live.push(addr);
+            }
+            Err(HeapError::PageExhaustion { .. }) => typed_errors += 1,
+            Err(e) => return Err(format!("{name}: unexpected error {e}")),
+        }
+        if i % 7 == 3 {
+            if let Some(addr) = live.pop() {
+                heap.try_free(addr).map_err(|e| format!("{name}: {e}"))?;
+            }
+        }
+    }
+    for addr in live.drain(..) {
+        heap.try_free(addr).map_err(|e| format!("{name}: {e}"))?;
+    }
+    let stats = heap.stats();
+    Ok(format!(
+        "{name} allocs={} fallbacks={} degraded={} typed_errors={typed_errors}",
+        stats.allocations(),
+        stats.fallback_allocations(),
+        stats.degraded_hints(),
+    ))
+}
+
+/// Heap plane: the churn over both allocators with the seed's schedule
+/// installed.
+fn heap_plane(seed: u64) -> Result<String, String> {
+    // Small pages so the churn crosses page boundaries often enough for
+    // armed denials to actually meet a fresh-page request.
+    let schedule = FaultPlan::new(seed).heap_faults(8, 48).heap_schedule();
+    let mut cc = CcMalloc::with_geometry(64, 256, Strategy::Closest);
+    cc.set_fault_schedule(schedule.clone());
+    let mut base = Malloc::new(256);
+    base.set_fault_schedule(schedule);
+    Ok(format!(
+        "{}; {}",
+        churn("ccmalloc", cc)?,
+        churn("malloc", base)?
+    ))
+}
+
+/// Morph plane: seed-chosen structural corruption fed to `try_ccmorph`,
+/// which must reject it with a typed error and leave the space untouched.
+fn morph_plane(seed: u64) -> Result<String, String> {
+    let mut rng = cc_core::rng::SplitMix64::new(seed);
+    let machine = MachineConfig::test_tiny();
+    let mut tree = VecTree::binary(31);
+    let mut params = CcMorphParams::clustering_only(&machine, 16);
+    let victim = 1 + rng.below(30) as usize;
+    let kind = rng.below(4);
+    if kind == 3 {
+        params.elem_bytes = 0; // bad parameter
+    } else {
+        let target = match kind {
+            0 => 0, // edge back to the root: a guaranteed cycle
+            1 => 1, // edge to an interior node: alias (or cycle, if the
+            // victim sits inside node 1's own subtree)
+            _ => 1000, // dangling child
+        };
+        // Stay within `max_kids`: a third child would be invisible to the
+        // `children` iterator and the corruption would vanish.
+        let kids = &mut tree.kids[victim];
+        if kids.len() == 2 {
+            kids[1] = target;
+        } else {
+            kids.push(target);
+        }
+    }
+    let mut vspace = VirtualSpace::new(machine.page_bytes);
+    let before = vspace.span_bytes();
+    let err = match try_ccmorph(&tree, &mut vspace, &params) {
+        Err(e) => e,
+        Ok(_) => return Err(format!("corruption kind {kind} was not detected")),
+    };
+    if vspace.span_bytes() != before {
+        return Err("rejected morph still grew the virtual space".into());
+    }
+    let label = match (kind, err) {
+        (0..=2, LayoutError::CyclicTopology { .. }) => "cycle",
+        (0..=2, LayoutError::AliasedNode { .. }) => "alias",
+        (0..=2, LayoutError::DanglingChild { .. }) => "dangling",
+        (3, LayoutError::ZeroElemBytes) => "zero-elem",
+        (_, other) => return Err(format!("kind {kind} raised the wrong class: {other}")),
+    };
+    Ok(format!("rejected {label} (kind {kind})"))
+}
+
+/// Sweep plane: poisoned first attempts must be retried in place; the
+/// grid must complete with every result present and deterministic.
+fn sweep_plane(seed: u64) -> Result<String, String> {
+    let plan = FaultPlan::new(seed).sweep_poisons(2);
+    let cells: Vec<u64> = (0..12).collect();
+    let compute = |i: usize| cell_seed(seed, i as u64).count_ones() as u64;
+    let clean: Vec<u64> = cells.iter().map(|&c| compute(c as usize)).collect();
+    let outcomes = Sweep::with_threads(4).run_isolated(&cells, 2, |i, attempt, _| {
+        if plan.poisons(i, attempt, 12) {
+            panic!("injected poison in cell {i}");
+        }
+        compute(i)
+    });
+    let mut retried = 0;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome.result() {
+            Some(r) if *r == clean[i] => {}
+            Some(r) => return Err(format!("cell {i} diverged: {r} != {}", clean[i])),
+            None => return Err(format!("cell {i} failed outright")),
+        }
+        if outcome.attempts() > 1 {
+            retried += 1;
+        }
+    }
+    let expected = plan.sweep_poison_set(12).len();
+    if retried != expected {
+        return Err(format!("retried {retried} cells, expected {expected}"));
+    }
+    Ok(format!("retried={retried} of 12 cells"))
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: Vec<u64> = if args.is_empty() {
+        DEFAULT_SEEDS.to_vec()
+    } else {
+        match args.iter().map(|a| parse_seed(a)).collect() {
+            Some(seeds) => seeds,
+            None => {
+                eprintln!("usage: fault-matrix [seed ...] (decimal or 0x hex)");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    // The planes inject panics on purpose; silence the default hook and
+    // report captured payloads ourselves.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let planes: [(&str, fn(u64) -> Result<String, String>); 3] = [
+        ("heap", heap_plane),
+        ("morph", morph_plane),
+        ("sweep", sweep_plane),
+    ];
+    let mut escaped = 0u32;
+    for &seed in &seeds {
+        for (name, plane) in planes {
+            match catch_unwind(AssertUnwindSafe(|| plane(seed))) {
+                Ok(Ok(detail)) => println!("seed {seed:#x} {name}: ok ({detail})"),
+                Ok(Err(msg)) => {
+                    escaped += 1;
+                    println!("seed {seed:#x} {name}: FAILED: {msg}");
+                }
+                Err(payload) => {
+                    escaped += 1;
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    println!("seed {seed:#x} {name}: ESCAPED PANIC: {msg}");
+                }
+            }
+        }
+    }
+    if escaped > 0 {
+        println!("fault-matrix: {escaped} plane run(s) failed");
+        std::process::exit(1);
+    }
+    println!(
+        "fault-matrix: {} seeds x {} planes survived",
+        seeds.len(),
+        planes.len()
+    );
+}

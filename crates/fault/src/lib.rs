@@ -1,0 +1,260 @@
+//! Deterministic fault injection for the whole reproduction.
+//!
+//! Robustness claims are only testable if the misfortune is replayable: a
+//! fault that cannot be reproduced cannot be debugged, bisected, or turned
+//! into a regression test. This crate therefore derives *every* injected
+//! fault — heap allocation denials, co-location hint corruption, trace
+//! buffer damage, sweep worker panics — from one `u64` seed, through the
+//! same SplitMix64 mixing the experiments already use for layout
+//! randomization.
+//!
+//! A [`FaultPlan`] is the seed plus per-plane intensities. From it:
+//!
+//! * [`FaultPlan::heap_schedule`] produces a
+//!   [`cc_heap::HeapFaultSchedule`] — fresh-page denials and hint
+//!   drop/corrupt entries keyed by allocation ordinal — to install on a
+//!   `Malloc`/`CcMalloc` via `set_fault_schedule`;
+//! * [`FaultPlan::trace_schedule`] produces [`cc_sim::TraceFault`]s to
+//!   inject into a `BatchSink` (the first is always a lane truncation, so
+//!   a plan with any trace faults at all is guaranteed to exercise the
+//!   scalar fallback on a sufficiently full buffer);
+//! * [`FaultPlan::sweep_poison_set`] picks the sweep cells whose first
+//!   attempt a harness should kill, exercising the retry path of
+//!   `Sweep::run_isolated`.
+//!
+//! The three planes draw from *independent* streams (the plane index is
+//! folded into the seed via [`cc_sweep::cell_seed`]), so arming one plane
+//! never shifts another plane's schedule.
+//!
+//! The empty plan ([`FaultPlan::new`] with no intensities) derives empty
+//! schedules everywhere, and installing those is the no-op the
+//! differential gate relies on: a figure binary run under an empty plan is
+//! byte-identical to one that never heard of fault injection
+//! (`tests/differential.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_core::rng::SplitMix64;
+use cc_heap::HeapFaultSchedule;
+use cc_sim::TraceFault;
+use cc_sweep::cell_seed;
+use std::collections::BTreeSet;
+
+/// Plane tags folded into the seed so each plane gets an independent
+/// stream.
+const PLANE_HEAP: u64 = 0;
+const PLANE_TRACE: u64 = 1;
+const PLANE_SWEEP: u64 = 2;
+
+/// A seeded, replayable fault-injection plan.
+///
+/// Construction is fluent; the zero-intensity default injects nothing:
+///
+/// ```
+/// use cc_fault::FaultPlan;
+///
+/// let quiet = FaultPlan::new(42);
+/// assert!(quiet.is_empty());
+/// assert!(quiet.heap_schedule().is_empty());
+///
+/// let noisy = FaultPlan::new(42).heap_faults(3, 100).trace_faults(2).sweep_poisons(1);
+/// assert_eq!(noisy.heap_schedule(), noisy.heap_schedule()); // replayable
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    heap_faults: u32,
+    heap_horizon: u64,
+    trace_faults: u32,
+    sweep_poisons: u32,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all intensities zero).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            heap_faults: 0,
+            heap_horizon: 0,
+            trace_faults: 0,
+            sweep_poisons: 0,
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Arms `n` heap faults drawn over allocation ordinals
+    /// `[1, horizon)` (ordinal 0 is excluded so a workload's very first
+    /// allocation — often the root everything else is hinted at — always
+    /// lands). `horizon` must exceed 1 when `n > 0`.
+    pub fn heap_faults(mut self, n: u32, horizon: u64) -> Self {
+        assert!(n == 0 || horizon > 1, "heap fault horizon too small");
+        self.heap_faults = n;
+        self.heap_horizon = horizon;
+        self
+    }
+
+    /// Arms `n` trace faults. The first derived fault is always a lane
+    /// truncation with `keep < 64`, so any armed plan corrupts a batch of
+    /// ≥ 64 staged entries detectably.
+    pub fn trace_faults(mut self, n: u32) -> Self {
+        self.trace_faults = n;
+        self
+    }
+
+    /// Arms `n` sweep-cell poisons (distinct cells per grid, capped at the
+    /// grid size when the grid is smaller).
+    pub fn sweep_poisons(mut self, n: u32) -> Self {
+        self.sweep_poisons = n;
+        self
+    }
+
+    /// True when no plane is armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap_faults == 0 && self.trace_faults == 0 && self.sweep_poisons == 0
+    }
+
+    /// Derives the heap plane: `heap_faults` entries cycling through
+    /// deny-fresh-page, drop-hint, and corrupt-hint, at seed-chosen
+    /// ordinals in `[1, horizon)`.
+    pub fn heap_schedule(&self) -> HeapFaultSchedule {
+        let mut schedule = HeapFaultSchedule::empty();
+        if self.heap_faults == 0 {
+            return schedule;
+        }
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_HEAP));
+        for _ in 0..self.heap_faults {
+            let ordinal = 1 + rng.below(self.heap_horizon - 1);
+            match rng.below(3) {
+                0 => {
+                    schedule.deny_fresh_page.insert(ordinal);
+                }
+                1 => {
+                    schedule.drop_hint.insert(ordinal);
+                }
+                _ => {
+                    // `| 1` keeps the mask nonzero, so a corrupt entry
+                    // always actually moves the hint.
+                    schedule.corrupt_hint.insert(ordinal, rng.next_u64() | 1);
+                }
+            }
+        }
+        schedule
+    }
+
+    /// Derives the trace plane. The first fault is always
+    /// [`TraceFault::TruncateAddrLane`]; later draws mix truncations,
+    /// zeroed gap runs, and address scrambles.
+    pub fn trace_schedule(&self) -> Vec<TraceFault> {
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_TRACE));
+        (0..self.trace_faults)
+            .map(|i| {
+                if i == 0 {
+                    return TraceFault::TruncateAddrLane {
+                        keep: rng.below(64) as usize,
+                    };
+                }
+                match rng.below(3) {
+                    0 => TraceFault::TruncateAddrLane {
+                        keep: rng.below(64) as usize,
+                    },
+                    1 => TraceFault::ZeroGapRun {
+                        entry: rng.below(64) as usize,
+                    },
+                    _ => TraceFault::ScrambleAddrs {
+                        seed: rng.next_u64(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Derives the sweep plane for a grid of `cells` cells: the distinct
+    /// indices whose first attempt a harness should poison.
+    pub fn sweep_poison_set(&self, cells: usize) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        if cells == 0 {
+            return set;
+        }
+        let want = (self.sweep_poisons as usize).min(cells);
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_SWEEP));
+        while set.len() < want {
+            set.insert(rng.below(cells as u64) as usize);
+        }
+        set
+    }
+
+    /// Convenience for sweep harnesses: should this `(cell, attempt)` be
+    /// killed? Poisons fire on the first attempt only, so a poisoned cell
+    /// demonstrates the retry path rather than exhausting it.
+    pub fn poisons(&self, cell: usize, attempt: u32, cells: usize) -> bool {
+        attempt == 0 && self.sweep_poison_set(cells).contains(&cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_derives_empty_schedules() {
+        let plan = FaultPlan::new(0xD15EA5E);
+        assert!(plan.is_empty());
+        assert!(plan.heap_schedule().is_empty());
+        assert!(plan.trace_schedule().is_empty());
+        assert!(plan.sweep_poison_set(100).is_empty());
+        assert!(!plan.poisons(0, 0, 100));
+    }
+
+    #[test]
+    fn planes_are_independent_streams() {
+        let base = FaultPlan::new(7).heap_faults(4, 50);
+        let more = base.trace_faults(3).sweep_poisons(2);
+        // Arming other planes must not move the heap plane's schedule.
+        assert_eq!(base.heap_schedule(), more.heap_schedule());
+    }
+
+    #[test]
+    fn first_trace_fault_is_a_truncation() {
+        for seed in 0..64 {
+            let plan = FaultPlan::new(seed).trace_faults(3);
+            let faults = plan.trace_schedule();
+            assert_eq!(faults.len(), 3);
+            assert!(
+                matches!(faults[0], TraceFault::TruncateAddrLane { keep } if keep < 64),
+                "seed {seed}: {:?}",
+                faults[0]
+            );
+        }
+    }
+
+    #[test]
+    fn heap_ordinals_respect_the_horizon() {
+        let plan = FaultPlan::new(99).heap_faults(32, 10);
+        let s = plan.heap_schedule();
+        let all: Vec<u64> = s
+            .deny_fresh_page
+            .iter()
+            .chain(s.drop_hint.iter())
+            .chain(s.corrupt_hint.keys())
+            .copied()
+            .collect();
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|&o| (1..10).contains(&o)), "{all:?}");
+    }
+
+    #[test]
+    fn poison_sets_are_distinct_and_bounded() {
+        let plan = FaultPlan::new(3).sweep_poisons(5);
+        let set = plan.sweep_poison_set(8);
+        assert_eq!(set.len(), 5, "distinct cells");
+        assert!(set.iter().all(|&c| c < 8));
+        // A grid smaller than the intensity saturates instead of spinning.
+        assert_eq!(plan.sweep_poison_set(3).len(), 3);
+        assert_eq!(plan.sweep_poison_set(0).len(), 0);
+    }
+}

@@ -64,6 +64,7 @@
 pub use cc_apps as apps;
 pub use cc_audit as audit;
 pub use cc_core as core;
+pub use cc_fault as fault;
 pub use cc_heap as heap;
 pub use cc_model as model;
 pub use cc_olden as olden;
