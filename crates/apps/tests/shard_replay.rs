@@ -1,0 +1,155 @@
+//! Set-sharded replay differential over *real application* event streams.
+//!
+//! The Figure 6 measurements themselves drive the stateful per-cycle
+//! [`Pipeline`](cc_sim::Pipeline), whose stall attribution depends on the
+//! global in-order event history — that plane cannot shard (DESIGN.md
+//! §10). But the memory-system half of the model can: these tests record
+//! genuine mini-RADIANCE octree and mini-VIS ROBDD traffic into a
+//! [`TraceBuffer`] and prove the set-sharded replayer reproduces the
+//! scalar [`MemorySink`] bit-for-bit on it. The synthetic proptest traces
+//! in `cc-sim` explore the event grammar; these pin the application
+//! access patterns — deep pointer chases, hash-consing probes, object
+//! array scans — that the figures actually replay.
+
+use cc_apps::radiance::{synthetic_scene, Octree};
+use cc_apps::vis::Bdd;
+use cc_core::rng::SplitMix64;
+use cc_heap::Malloc;
+use cc_sim::event::{Event, EventSink, TraceBuffer};
+use cc_sim::{MachineConfig, MemorySink, ShardDegradation, ShardedReplayer, TraceBuf};
+
+/// Packs recorded events into bounded buffers (small capacity, many
+/// boundaries) the way the figure binaries feed the sharded replayer.
+fn pack(events: &[Event]) -> Vec<TraceBuf> {
+    let mut bufs = Vec::new();
+    let mut cur = TraceBuf::with_capacity(64);
+    for &ev in events {
+        if cur.is_full() {
+            bufs.push(std::mem::replace(&mut cur, TraceBuf::with_capacity(64)));
+        }
+        cur.push(ev);
+    }
+    if !cur.is_empty() {
+        bufs.push(cur);
+    }
+    bufs
+}
+
+/// Replays `trace` through the scalar sink and through the sharded
+/// replayer at each shard count, split into two segments so persistent
+/// per-shard state crosses a boundary, and asserts bit-identical stats.
+fn assert_sharded_matches_scalar(machine: MachineConfig, trace: &TraceBuffer, what: &str) {
+    let mut scalar = MemorySink::new(machine);
+    for &ev in trace.events() {
+        scalar.event(ev);
+    }
+
+    for shards in [1usize, 2, 5, 8] {
+        let mut sharded = ShardedReplayer::new(machine, shards);
+        let events = trace.events();
+        let (a, b) = events.split_at(events.len() / 2);
+        for seg in [a, b] {
+            let split = sharded.split(&pack(seg));
+            sharded.replay(&split);
+        }
+        assert_eq!(
+            sharded.l1_stats(),
+            scalar.system().l1_stats(),
+            "{what}: L1 diverged at {shards} shards"
+        );
+        assert_eq!(
+            sharded.l2_stats(),
+            scalar.system().l2_stats(),
+            "{what}: L2 diverged at {shards} shards"
+        );
+        assert_eq!(
+            sharded.tlb_stats(),
+            scalar.system().tlb_stats(),
+            "{what}: TLB diverged at {shards} shards"
+        );
+        assert_eq!(
+            sharded.memory_cycles(),
+            scalar.memory_cycles(),
+            "{what}: cycles diverged at {shards} shards"
+        );
+        assert_eq!(sharded.insts(), scalar.insts(), "{what}: insts");
+        assert_eq!(sharded.branches(), scalar.branches(), "{what}: branches");
+        assert_eq!(
+            sharded.degradation(),
+            ShardDegradation::default(),
+            "{what}: healthy replay degraded at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn radiance_ray_cast_trace_shards_exactly() {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let mut buf = TraceBuffer::new();
+    let mut heap = Malloc::new(machine.page_bytes);
+    let world = 512i64;
+    let scene = synthetic_scene(150, world, 42);
+    let tree = Octree::build(scene, world, &mut heap, &mut buf);
+
+    const DIRS: [[i64; 3]; 6] = [
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+    ];
+    let mut rng = SplitMix64::new(0xFEED);
+    let mut hits = 0u64;
+    for _ in 0..600 {
+        let o = [
+            rng.below(world as u64) as i64,
+            rng.below(world as u64) as i64,
+            rng.below(world as u64) as i64,
+        ];
+        if tree
+            .cast(o, DIRS[rng.below(6) as usize], &mut buf)
+            .is_some()
+        {
+            hits += 1;
+        }
+    }
+    assert!(hits > 0, "degenerate scene: no ray hit anything");
+    assert!(
+        buf.memory_refs() > 1_000,
+        "trace too small to exercise shards"
+    );
+
+    assert_sharded_matches_scalar(machine, &buf, "radiance");
+}
+
+#[test]
+fn vis_robdd_trace_shards_exactly() {
+    let machine = MachineConfig::table1();
+    let mut buf = TraceBuffer::new();
+    let mut heap = Malloc::new(machine.page_bytes);
+
+    // Build a constraint formula: conjunction of pairwise XOR/OR terms
+    // over 8 variables, then evaluate it on every input — hash-consing
+    // probes on the way up, chases on the way down.
+    let mut bdd = Bdd::new(8, false);
+    let vars: Vec<u32> = (0..8).map(|i| bdd.var(i, &mut heap, &mut buf)).collect();
+    let mut f = bdd.xor(vars[0], vars[1], &mut heap, &mut buf);
+    for w in vars.windows(2).skip(1) {
+        let t = bdd.or(w[0], w[1], &mut heap, &mut buf);
+        f = bdd.and(f, t, &mut heap, &mut buf);
+    }
+    let mut sat = 0u64;
+    for input in 0..256u64 {
+        if bdd.eval(f, input, &mut buf) {
+            sat += 1;
+        }
+    }
+    assert!(sat > 0 && sat < 256, "degenerate formula");
+    assert!(
+        buf.memory_refs() > 1_000,
+        "trace too small to exercise shards"
+    );
+
+    assert_sharded_matches_scalar(machine, &buf, "vis");
+}

@@ -13,28 +13,41 @@
 //! tables are byte-identical however many threads compute them.
 
 use cc_bench::header;
+use cc_bench::replay::steady_cycles_per_search;
 use cc_core::ccmorph::{CcMorphParams, ColorConfig};
 use cc_core::cluster::{ClusterKind, Order};
-use cc_core::rng::SplitMix64;
 use cc_heap::VirtualSpace;
 use cc_olden::{health, treeadd, Scheme};
-use cc_sim::{MachineConfig, MemorySink};
-use cc_sweep::Sweep;
+use cc_sim::MachineConfig;
+use cc_sweep::{Sweep, TraceKey, TraceStore};
 use cc_trees::bst::Bst;
 use cc_trees::BST_NODE_BYTES;
 
-fn search_time(machine: &MachineConfig, tree: &Bst, n: u64) -> f64 {
-    let mut sink = MemorySink::new(*machine);
-    let mut rng = SplitMix64::new(99);
-    for _ in 0..30_000 {
-        tree.search(2 * rng.below(n), &mut sink, false);
-    }
-    sink.reset_stats();
-    let m = 100_000;
-    for _ in 0..m {
-        tree.search(2 * rng.below(n), &mut sink, false);
-    }
-    (sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0) / m as f64
+/// Steady-state cycles per search through the set-sharded replayer (the
+/// shared warm-up → reset → measure pattern). Each cell's trace is keyed
+/// by its layout, so ablation reruns sharing a `CC_TRACE_CACHE` directory
+/// skip trace generation entirely.
+fn search_time(
+    machine: &MachineConfig,
+    tree: &Bst,
+    n: u64,
+    shards: usize,
+    store: Option<&TraceStore>,
+    key: TraceKey,
+) -> f64 {
+    steady_cycles_per_search(
+        *machine,
+        n,
+        99,
+        shards,
+        store,
+        key,
+        30_000,
+        100_000,
+        |k, buf| {
+            tree.search(k, buf, false);
+        },
+    )
 }
 
 fn main() {
@@ -55,13 +68,18 @@ fn main() {
         Some(0.5),
         Some(0.75),
     ];
+    let disk_store = TraceStore::from_env();
+    let store = disk_store.has_disk().then_some(&disk_store);
+    let shards = Sweep::new().intra_cell_shards(fracs.len());
+    let base_key = TraceKey::new("ablation-hotfrac").machine(&machine);
     let rows = Sweep::new().run(&fracs, |_, &frac| match frac {
         None => {
             let mut tree = Bst::build_complete(n);
             tree.layout_sequential(Order::Random { seed: 5 });
+            let key = base_key.fold(u64::MAX);
             (
                 "no morph (random)".to_string(),
-                search_time(&machine, &tree, n),
+                search_time(&machine, &tree, n, shards, store, key),
             )
         }
         Some(frac) => {
@@ -77,7 +95,8 @@ fn main() {
             } else {
                 format!("hot fraction {frac}")
             };
-            (label, search_time(&machine, &t, n))
+            let key = base_key.fold(frac.to_bits());
+            (label, search_time(&machine, &t, n, shards, store, key))
         }
     });
     for (label, time) in &rows {

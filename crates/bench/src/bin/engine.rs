@@ -1,67 +1,65 @@
 //! `cc-bench-engine` — measures the simulator engine itself: the scalar
-//! reference path ([`MemorySink`]) versus the batched fast path
-//! ([`MemorySystem::access_batch`]) consuming identical Figure 5 search
+//! reference path ([`MemorySink`]), the batched fast path
+//! ([`MemorySystem::access_batch`]), and the set-sharded parallel path
+//! ([`cc_sim::ShardedReplayer`]) consuming identical Figure 5 search
 //! traces.
 //!
 //! Each cell records one fig5 trace (a BST pointer chase over a given
-//! layout and tree size), checks the two engines agree bit-for-bit on
-//! statistics and cycle totals, and then times them. The batched engine is
-//! timed the way the sweep harness uses it: the trace is packed once into
-//! coalesced [`TraceBuf`] chunks (instruction/branch runs folded into tick
-//! counts) outside the timed region, and the timed work is draining those
-//! chunks — packing, like recording, happens once per trace while replays
-//! happen once per (scheme × trial × machine) cell.
+//! layout and tree size), checks the three engines agree bit-for-bit on
+//! statistics and cycle totals, and then times them. Replay inputs are
+//! prepared the way the sweep harness prepares them — packed (and, for
+//! the sharded engine, set-split) once outside the timed region — because
+//! packing and splitting happen once per trace while replays happen once
+//! per (scheme × trial × machine) cell. Traces themselves come from the
+//! content-addressed [`TraceStore`]: re-running the benchmark with
+//! `CC_TRACE_CACHE=dir` set skips recording entirely on warm keys.
 //!
-//! Timing interleaves the two engines round-robin and reports per-engine
-//! minima, so slow drifts in host load hit both variants equally instead
-//! of biasing whichever ran second.
+//! The sharded engine is reported on two clocks:
+//!
+//! * `sharded_ns_per_replay` — the *modeled* parallel replay time: each
+//!   shard lane is run serially on the caller thread (pure uncontended
+//!   compute), and the replay time is the critical path, the slowest
+//!   single lane (or the serial TLB lane). This is the replay time on a
+//!   machine with one core per shard, and it is stable no matter how
+//!   oversubscribed the measuring host is.
+//! * `sharded_wall_ns_per_replay` — actual wall time of the threaded
+//!   replay on this host, reported alongside the host's core count for
+//!   context (on a single-core host it can exceed the batched time; the
+//!   threads just take turns).
+//!
+//! Timing interleaves the engines round-robin and reports per-engine
+//! minima, so slow drifts in host load hit all variants equally instead
+//! of biasing whichever ran last.
 //!
 //! Results go to stdout and, machine-readably, to `BENCH_sim.json`
 //! (override with `--out <path>`). `--quick` shrinks trees and sample
 //! counts for CI smoke runs.
 //!
 //! Exit status is nonzero if the batched engine fails to beat the scalar
-//! engine on any trace — a performance regression gate, enforced in CI.
+//! engine, or the sharded critical path fails to beat the scalar engine,
+//! on any trace — a performance regression gate, enforced in CI.
 
 use cc_bench::header;
-use cc_core::ccmorph::CcMorphParams;
-use cc_core::cluster::Order;
+use cc_bench::replay::{build_bst, pack_chunks, pack_full, TreeSpec};
 use cc_core::rng::SplitMix64;
 use cc_sim::batch::{BatchCursor, BatchSink, TraceBuf};
-use cc_sim::event::{Event, TraceBuffer};
-use cc_sim::{MachineConfig, MemorySink, MemorySystem};
-use cc_trees::bst::Bst;
+use cc_sim::event::{EventSink, TraceBuffer};
+use cc_sim::shard::{ShardPlan, ShardedTrace};
+use cc_sim::{MachineConfig, MemorySink, MemorySystem, ShardedReplayer};
+use cc_sweep::{TraceKey, TraceStore};
 use criterion::black_box;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// How the recorded tree is laid out before searching — the fig5 variants.
-#[derive(Clone, Copy)]
-enum Layout {
-    /// Allocation (build) order, untouched.
-    Allocation,
-    /// Depth-first sequential repack.
-    DepthFirst,
-    /// Uniformly random placement.
-    Random(u64),
-    /// `ccmorph` clustering + coloring — the paper's transparent C-tree.
-    CTree,
-}
-
-impl Layout {
-    fn label(self) -> &'static str {
-        match self {
-            Layout::Allocation => "allocation",
-            Layout::DepthFirst => "depth-first",
-            Layout::Random(_) => "random",
-            Layout::CTree => "ctree",
-        }
-    }
-}
+/// Shards requested for the headline sharded timings (the scaling sweep
+/// varies this; every fig5 machine has at least 4 exact shards).
+const SHARDS: usize = 4;
 
 struct CaseSpec {
     name: &'static str,
-    layout: Layout,
+    layout: &'static str,
+    tree: TreeSpec,
     /// Tree has `2^bits - 1` keys (a complete BST).
     bits: u32,
     searches: u64,
@@ -74,67 +72,50 @@ struct Timing {
     keys: u64,
     events: usize,
     memory_refs: usize,
+    shards: usize,
     scalar_ns: f64,
     batched_ns: f64,
+    sharded_ns: f64,
+    sharded_wall_ns: f64,
     scalar_refs_per_sec: f64,
     batched_refs_per_sec: f64,
+    sharded_refs_per_sec: f64,
     speedup: f64,
+    sharded_speedup_vs_scalar: f64,
+    sharded_speedup_vs_batched: f64,
 }
 
-/// Records `searches` random BST searches against the given layout into a
-/// replayable trace. The RNG seed matches fig5's measurement loop, so this
-/// is literally the figure's event stream.
-fn record_trace(machine: &MachineConfig, spec: &CaseSpec) -> TraceBuffer {
+/// The content-addressed coordinates of one engine trace: layout recipe,
+/// machine geometry, tree size, search count, prefetch flag, RNG seed.
+fn trace_key(machine: &MachineConfig, spec: &CaseSpec) -> TraceKey {
+    spec.tree
+        .fold_key(TraceKey::new("engine"))
+        .machine(machine)
+        .fold((1u64 << spec.bits) - 1)
+        .fold(spec.searches)
+        .fold(u64::from(spec.sw_prefetch))
+        .fold(0x51EE7)
+}
+
+/// Fetches (or records) the packed trace for `spec`. The recording block
+/// matches fig5's measurement loop — same layouts, same RNG — so this is
+/// literally the figure's event stream.
+fn recorded_bufs(
+    machine: &MachineConfig,
+    spec: &CaseSpec,
+    store: &TraceStore,
+) -> Arc<Vec<TraceBuf>> {
     let n = (1u64 << spec.bits) - 1;
-    let mut t = Bst::build_complete(n);
-    match spec.layout {
-        Layout::Allocation => {}
-        Layout::DepthFirst => t.layout_sequential(Order::DepthFirst),
-        Layout::Random(seed) => t.layout_sequential(Order::Random { seed }),
-        Layout::CTree => {
-            let mut vs = cc_heap::VirtualSpace::new(machine.page_bytes);
-            let params = CcMorphParams::clustering_and_coloring(machine, cc_trees::BST_NODE_BYTES);
-            let _ = t.morph(&mut vs, &params);
+    store.get_or_generate(trace_key(machine, spec), || {
+        let t = build_bst(machine, n, spec.tree);
+        let mut buf = TraceBuffer::new();
+        let mut rng = SplitMix64::new(0x51EE7);
+        for _ in 0..spec.searches {
+            let key = 2 * rng.below(n);
+            t.search(key, &mut buf, spec.sw_prefetch);
         }
-    }
-    let mut buf = TraceBuffer::new();
-    let mut rng = SplitMix64::new(0x51EE7);
-    for _ in 0..spec.searches {
-        let key = 2 * rng.below(n);
-        t.search(key, &mut buf, spec.sw_prefetch);
-    }
-    buf
-}
-
-/// Packs a recorded trace into coalesced fixed-capacity chunks: runs of
-/// instruction/branch events fold into the preceding entry's tick count
-/// (exactly what [`BatchSink`] does during replay, done once up front).
-fn pack_chunks(trace: &TraceBuffer) -> Vec<TraceBuf> {
-    let mut chunks = Vec::new();
-    let mut cur = TraceBuf::with_capacity(4096);
-    let mut run = 0u64;
-    for &ev in trace.events() {
-        match ev {
-            Event::Inst(_) | Event::Branch(_) => run += 1,
-            _ => {
-                if run > 0 {
-                    cur.push_ticks(run);
-                    run = 0;
-                }
-                if cur.is_full() {
-                    chunks.push(std::mem::replace(&mut cur, TraceBuf::with_capacity(4096)));
-                }
-                cur.push(ev);
-            }
-        }
-    }
-    if run > 0 {
-        cur.push_ticks(run);
-    }
-    if !cur.is_empty() {
-        chunks.push(cur);
-    }
-    chunks
+        pack_full(&buf)
+    })
 }
 
 /// Replays the trace through the scalar reference sink; returns cycles as
@@ -159,15 +140,30 @@ fn run_batched(machine: &MachineConfig, chunks: &[TraceBuf]) -> u64 {
     cycles
 }
 
+/// One sharded replay of a prepared split on a fresh replayer, lanes run
+/// serially; returns `(critical path nanos, cycles)`.
+fn run_sharded_serial(machine: &MachineConfig, shards: usize, split: &ShardedTrace) -> (u64, u64) {
+    let mut r = ShardedReplayer::new(*machine, shards);
+    let out = r.replay_serial(split);
+    (out.critical_path_nanos(), out.cycles)
+}
+
+/// One threaded sharded replay on a fresh replayer; returns cycles.
+fn run_sharded_threaded(machine: &MachineConfig, shards: usize, split: &ShardedTrace) -> u64 {
+    let mut r = ShardedReplayer::new(*machine, shards);
+    r.replay(split).cycles
+}
+
 /// The engines must agree bit-for-bit before their speeds are compared:
 /// the scalar sink, the public [`BatchSink`] (which packs and drains
-/// incrementally), and the prepacked chunk drain that actually gets timed
+/// incrementally), the prepacked chunk drain, and the sharded replayer
 /// must all produce identical statistics and cycle totals.
 fn assert_engines_agree(
     machine: &MachineConfig,
     name: &str,
     trace: &TraceBuffer,
     chunks: &[TraceBuf],
+    split: &ShardedTrace,
 ) {
     let mut scalar = MemorySink::new(*machine);
     trace.replay(&mut scalar);
@@ -225,6 +221,47 @@ fn assert_engines_agree(
         scalar.system().tlb_stats(),
         "{name}: prepacked drain TLB stats diverged from scalar"
     );
+
+    // The sharded replayer, both threaded and serial, against the same bar.
+    for serial in [false, true] {
+        let mut sharded = ShardedReplayer::new(*machine, SHARDS);
+        let out = if serial {
+            sharded.replay_serial(split)
+        } else {
+            sharded.replay(split)
+        };
+        let tag = if serial { "serial" } else { "threaded" };
+        assert_eq!(
+            sharded.l1_stats(),
+            scalar.system().l1_stats(),
+            "{name}: sharded ({tag}) L1 stats diverged from scalar"
+        );
+        assert_eq!(
+            sharded.l2_stats(),
+            scalar.system().l2_stats(),
+            "{name}: sharded ({tag}) L2 stats diverged from scalar"
+        );
+        assert_eq!(
+            sharded.tlb_stats(),
+            scalar.system().tlb_stats(),
+            "{name}: sharded ({tag}) TLB stats diverged from scalar"
+        );
+        assert_eq!(
+            out.cycles,
+            scalar.memory_cycles(),
+            "{name}: sharded ({tag}) cycles diverged from scalar"
+        );
+        assert_eq!(
+            sharded.insts(),
+            scalar.insts(),
+            "{name}: sharded ({tag}) instruction totals diverged from scalar"
+        );
+        assert_eq!(
+            sharded.degradation(),
+            cc_sim::ShardDegradation::default(),
+            "{name}: sharded ({tag}) replay degraded on a clean trace"
+        );
+    }
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -235,12 +272,24 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-fn write_json(path: &str, mode: &str, timings: &[Timing]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    mode: &str,
+    cores: usize,
+    timings: &[Timing],
+    scaling: &[(usize, f64)],
+    store: &TraceStore,
+) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{{")?;
     writeln!(f, "  \"bench\": \"cc-bench-engine\",")?;
     writeln!(f, "  \"mode\": \"{mode}\",")?;
     writeln!(f, "  \"machine\": \"ultrasparc_e5000\",")?;
+    writeln!(f, "  \"cores\": {cores},")?;
+    writeln!(
+        f,
+        "  \"sharded_metric\": \"critical path over serially-run lanes (modeled one core per shard)\","
+    )?;
     writeln!(f, "  \"traces\": [")?;
     for (i, t) in timings.iter().enumerate() {
         writeln!(f, "    {{")?;
@@ -249,8 +298,15 @@ fn write_json(path: &str, mode: &str, timings: &[Timing]) -> std::io::Result<()>
         writeln!(f, "      \"keys\": {},", t.keys)?;
         writeln!(f, "      \"events\": {},", t.events)?;
         writeln!(f, "      \"memory_refs\": {},", t.memory_refs)?;
+        writeln!(f, "      \"shards\": {},", t.shards)?;
         writeln!(f, "      \"scalar_ns_per_replay\": {:.0},", t.scalar_ns)?;
         writeln!(f, "      \"batched_ns_per_replay\": {:.0},", t.batched_ns)?;
+        writeln!(f, "      \"sharded_ns_per_replay\": {:.0},", t.sharded_ns)?;
+        writeln!(
+            f,
+            "      \"sharded_wall_ns_per_replay\": {:.0},",
+            t.sharded_wall_ns
+        )?;
         writeln!(
             f,
             "      \"scalar_refs_per_sec\": {:.0},",
@@ -261,16 +317,56 @@ fn write_json(path: &str, mode: &str, timings: &[Timing]) -> std::io::Result<()>
             "      \"batched_refs_per_sec\": {:.0},",
             t.batched_refs_per_sec
         )?;
-        writeln!(f, "      \"speedup\": {:.2}", t.speedup)?;
+        writeln!(
+            f,
+            "      \"sharded_refs_per_sec\": {:.0},",
+            t.sharded_refs_per_sec
+        )?;
+        writeln!(f, "      \"speedup\": {:.2},", t.speedup)?;
+        writeln!(
+            f,
+            "      \"sharded_speedup_vs_scalar\": {:.2},",
+            t.sharded_speedup_vs_scalar
+        )?;
+        writeln!(
+            f,
+            "      \"sharded_speedup_vs_batched\": {:.2}",
+            t.sharded_speedup_vs_batched
+        )?;
         writeln!(f, "    }}{}", if i + 1 < timings.len() { "," } else { "" })?;
     }
     writeln!(f, "  ],")?;
+    writeln!(f, "  \"shard_scaling\": {{")?;
+    writeln!(f, "    \"trace\": \"fig5-ctree-full\",")?;
+    writeln!(f, "    \"points\": [")?;
+    for (i, (shards, ns)) in scaling.iter().enumerate() {
+        writeln!(
+            f,
+            "      {{ \"shards\": {shards}, \"ns_per_replay\": {ns:.0} }}{}",
+            if i + 1 < scaling.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "    ]")?;
+    writeln!(f, "  }},")?;
+    let c = store.counters();
+    writeln!(f, "  \"trace_store\": {{")?;
+    writeln!(f, "    \"hits\": {},", c.hits)?;
+    writeln!(f, "    \"misses\": {},", c.misses)?;
+    writeln!(f, "    \"disk_hits\": {},", c.disk_hits)?;
+    writeln!(f, "    \"generations\": {}", c.generations)?;
+    writeln!(f, "  }},")?;
     let headline = timings
         .iter()
         .find(|t| t.name == "fig5-pointer-chase")
         .map(|t| t.speedup)
         .unwrap_or(f64::NAN);
-    writeln!(f, "  \"pointer_chase_speedup\": {headline:.2}")?;
+    writeln!(f, "  \"pointer_chase_speedup\": {headline:.2},")?;
+    let sharded_headline = timings
+        .iter()
+        .find(|t| t.name == "fig5-ctree-full")
+        .map(|t| t.sharded_speedup_vs_batched)
+        .unwrap_or(f64::NAN);
+    writeln!(f, "  \"sharded_speedup_vs_batched\": {sharded_headline:.2}")?;
     writeln!(f, "}}")?;
     Ok(())
 }
@@ -297,6 +393,27 @@ fn main() {
     }
 
     let machine = MachineConfig::ultrasparc_e5000();
+    // The fig5 layout recipes, as shared with the figure binary itself.
+    let ctree = TreeSpec {
+        randomize: None,
+        depth_first: false,
+        morph: true,
+    };
+    let dfs = TreeSpec {
+        randomize: None,
+        depth_first: true,
+        morph: false,
+    };
+    let random = TreeSpec {
+        randomize: Some(0xA11),
+        depth_first: false,
+        morph: false,
+    };
+    let allocation = TreeSpec {
+        randomize: None,
+        depth_first: false,
+        morph: false,
+    };
     // Cells follow fig5's checkpoints: the ~1000-node tree at the figure's
     // left edge (the headline pointer chase, over the paper's own C-tree
     // layout) up to the 2^21-node tree at its right edge, plus the other
@@ -307,35 +424,40 @@ fn main() {
             vec![
                 CaseSpec {
                     name: "fig5-pointer-chase",
-                    layout: Layout::CTree,
+                    layout: "ctree",
+                    tree: ctree,
                     bits: 10,
                     searches: 4_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-ctree-full",
-                    layout: Layout::CTree,
+                    layout: "ctree",
+                    tree: ctree,
                     bits: 13,
                     searches: 4_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-dfs",
-                    layout: Layout::DepthFirst,
+                    layout: "depth-first",
+                    tree: dfs,
                     bits: 13,
                     searches: 4_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-random-clustered",
-                    layout: Layout::Random(0xA11),
+                    layout: "random",
+                    tree: random,
                     bits: 11,
                     searches: 4_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-prefetch",
-                    layout: Layout::Allocation,
+                    layout: "allocation",
+                    tree: allocation,
                     bits: 11,
                     searches: 1_000,
                     sw_prefetch: true,
@@ -348,35 +470,40 @@ fn main() {
             vec![
                 CaseSpec {
                     name: "fig5-pointer-chase",
-                    layout: Layout::CTree,
+                    layout: "ctree",
+                    tree: ctree,
                     bits: 10,
                     searches: 40_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-ctree-full",
-                    layout: Layout::CTree,
+                    layout: "ctree",
+                    tree: ctree,
                     bits: 21,
                     searches: 40_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-dfs",
-                    layout: Layout::DepthFirst,
+                    layout: "depth-first",
+                    tree: dfs,
                     bits: 21,
                     searches: 40_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-random-clustered",
-                    layout: Layout::Random(0xA11),
+                    layout: "random",
+                    tree: random,
                     bits: 14,
                     searches: 40_000,
                     sw_prefetch: false,
                 },
                 CaseSpec {
                     name: "fig5-prefetch",
-                    layout: Layout::Allocation,
+                    layout: "allocation",
+                    tree: allocation,
                     bits: 14,
                     searches: 10_000,
                     sw_prefetch: true,
@@ -386,31 +513,48 @@ fn main() {
         )
     };
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     header(
-        "Engine benchmark: scalar vs batched trace replay",
+        "Engine benchmark: scalar vs batched vs sharded trace replay",
         &format!(
-            "fig5 search traces, scalar sink vs prepacked batch drain ({} mode)",
+            "fig5 search traces; prepacked batch drain and {SHARDS}-shard split ({} mode, {cores} host cores)",
             if quick { "quick" } else { "full" },
         ),
     );
+
+    let store = TraceStore::from_env();
+    if store.has_disk() {
+        eprintln!("trace store: CC_TRACE_CACHE disk tier enabled");
+    }
 
     let mut timings = Vec::new();
     for spec in &cases {
         let keys = (1u64 << spec.bits) - 1;
         eprintln!(
-            "recording {} ({} layout, {keys} keys, {} searches)…",
-            spec.name,
-            spec.layout.label(),
-            spec.searches
+            "preparing {} ({} layout, {keys} keys, {} searches)…",
+            spec.name, spec.layout, spec.searches
         );
-        let trace = record_trace(&machine, spec);
+        let bufs = recorded_bufs(&machine, spec, &store);
+        // Rebuild the flat event stream for the scalar engine and the
+        // tick-folded chunks for the batched drain — both once, outside
+        // the timed region, exactly like packing.
+        let mut trace = TraceBuffer::new();
+        for buf in bufs.iter() {
+            for ev in buf.events() {
+                trace.event(ev);
+            }
+        }
         let chunks = pack_chunks(&trace);
-        assert_engines_agree(&machine, spec.name, &trace, &chunks);
+        let plan = ShardPlan::new(&machine, SHARDS);
+        let split = ShardedTrace::split(&machine, &plan, &bufs);
+        assert_engines_agree(&machine, spec.name, &trace, &chunks, &split);
 
-        // Round-robin the two engines and keep per-engine minima, so any
-        // slow drift in host load is shared instead of biasing one side.
+        // Round-robin the engines and keep per-engine minima, so any slow
+        // drift in host load is shared instead of biasing one side.
         let mut scalar_best = f64::MAX;
         let mut batched_best = f64::MAX;
+        let mut sharded_best = f64::MAX;
+        let mut sharded_wall_best = f64::MAX;
         for _ in 0..samples {
             let start = Instant::now();
             black_box(run_scalar(black_box(&machine), black_box(&trace)));
@@ -418,43 +562,101 @@ fn main() {
             let start = Instant::now();
             black_box(run_batched(black_box(&machine), black_box(&chunks)));
             batched_best = batched_best.min(start.elapsed().as_secs_f64());
+            let (critical, cycles) =
+                run_sharded_serial(black_box(&machine), SHARDS, black_box(&split));
+            black_box(cycles);
+            sharded_best = sharded_best.min(critical as f64 * 1e-9);
+            let start = Instant::now();
+            black_box(run_sharded_threaded(
+                black_box(&machine),
+                SHARDS,
+                black_box(&split),
+            ));
+            sharded_wall_best = sharded_wall_best.min(start.elapsed().as_secs_f64());
         }
 
         let memory_refs = trace.memory_refs();
         let scalar_ns = scalar_best * 1e9;
         let batched_ns = batched_best * 1e9;
+        let sharded_ns = sharded_best * 1e9;
         timings.push(Timing {
             name: spec.name,
-            layout: spec.layout.label(),
+            layout: spec.layout,
             keys,
             events: trace.events().len(),
             memory_refs,
+            shards: plan.shards(),
             scalar_ns,
             batched_ns,
+            sharded_ns,
+            sharded_wall_ns: sharded_wall_best * 1e9,
             scalar_refs_per_sec: memory_refs as f64 / scalar_best,
             batched_refs_per_sec: memory_refs as f64 / batched_best,
+            sharded_refs_per_sec: memory_refs as f64 / sharded_best,
             speedup: scalar_ns / batched_ns,
+            sharded_speedup_vs_scalar: scalar_ns / sharded_ns,
+            sharded_speedup_vs_batched: batched_ns / sharded_ns,
         });
     }
 
+    // Shard-count scaling on the headline trace. The trace comes back out
+    // of the store (a warm hit — recording already happened above), and
+    // every shard count shares that one cached trace.
+    let scaling_spec = cases
+        .iter()
+        .find(|c| c.name == "fig5-ctree-full")
+        .expect("scaling trace present in both modes");
+    let bufs = recorded_bufs(&machine, scaling_spec, &store);
+    let mut scaling = Vec::new();
+    eprintln!("shard scaling on fig5-ctree-full…");
+    for shards in [1usize, 2, 4, 8] {
+        let plan = ShardPlan::new(&machine, shards);
+        let split = ShardedTrace::split(&machine, &plan, &bufs);
+        let mut best = u64::MAX;
+        for _ in 0..samples.min(6) {
+            let (critical, cycles) = run_sharded_serial(&machine, shards, &split);
+            black_box(cycles);
+            best = best.min(critical);
+        }
+        scaling.push((plan.shards(), best as f64));
+    }
+
     println!(
-        "\n{:<24}{:>12}{:>12}{:>18}{:>18}{:>9}",
-        "trace", "layout", "mem refs", "scalar refs/s", "batched refs/s", "speedup"
+        "\n{:<24}{:>12}{:>11}{:>15}{:>15}{:>15}{:>9}{:>9}",
+        "trace",
+        "layout",
+        "mem refs",
+        "scalar refs/s",
+        "batch refs/s",
+        "shard refs/s",
+        "b/s",
+        "sh/b"
     );
     for t in &timings {
         println!(
-            "{:<24}{:>12}{:>12}{:>18.0}{:>18.0}{:>8.2}x",
+            "{:<24}{:>12}{:>11}{:>15.0}{:>15.0}{:>15.0}{:>8.2}x{:>8.2}x",
             t.name,
             t.layout,
             t.memory_refs,
             t.scalar_refs_per_sec,
             t.batched_refs_per_sec,
-            t.speedup
+            t.sharded_refs_per_sec,
+            t.speedup,
+            t.sharded_speedup_vs_batched
         );
     }
+    println!("\nshard scaling (fig5-ctree-full, critical-path ns/replay):");
+    for (shards, ns) in &scaling {
+        println!("  {shards:>2} shards  {ns:>14.0}");
+    }
+    let c = store.counters();
+    println!(
+        "trace store: {} generations, {} memory hits, {} disk hits",
+        c.generations, c.hits, c.disk_hits
+    );
 
     let mode = if quick { "quick" } else { "full" };
-    if let Err(e) = write_json(&out_path, mode, &timings) {
+    if let Err(e) = write_json(&out_path, mode, cores, &timings, &scaling, &store) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }
@@ -466,6 +668,13 @@ fn main() {
             eprintln!(
                 "REGRESSION: {} batched ({:.0} refs/s) is slower than scalar ({:.0} refs/s)",
                 t.name, t.batched_refs_per_sec, t.scalar_refs_per_sec
+            );
+            failed = true;
+        }
+        if t.sharded_refs_per_sec < t.scalar_refs_per_sec {
+            eprintln!(
+                "REGRESSION: {} sharded critical path ({:.0} refs/s) is slower than scalar ({:.0} refs/s)",
+                t.name, t.sharded_refs_per_sec, t.scalar_refs_per_sec
             );
             failed = true;
         }

@@ -9,12 +9,13 @@
 //! because it ignores TLB effects — which the simulator does model.
 
 use cc_bench::header;
+use cc_bench::replay::steady_cycles_per_search;
 use cc_core::ccmorph::CcMorphParams;
 use cc_core::cluster::Order;
-use cc_core::rng::SplitMix64;
 use cc_heap::VirtualSpace;
 use cc_model::ctree::predicted_speedup;
-use cc_sim::{MachineConfig, MemorySink};
+use cc_sim::MachineConfig;
+use cc_sweep::{Sweep, TraceKey, TraceStore};
 use cc_trees::bst::Bst;
 use cc_trees::BST_NODE_BYTES;
 
@@ -22,21 +23,41 @@ use cc_trees::BST_NODE_BYTES;
 const WARMUP: u64 = 50_000;
 const MEASURE: u64 = 150_000;
 
-fn measured_time(machine: &MachineConfig, t: &Bst, n: u64, seed: u64) -> f64 {
-    let mut sink = MemorySink::new(*machine);
-    let mut rng = SplitMix64::new(seed);
-    for _ in 0..WARMUP {
-        t.search(2 * rng.below(n), &mut sink, false);
-    }
-    sink.reset_stats();
-    for _ in 0..MEASURE {
-        t.search(2 * rng.below(n), &mut sink, false);
-    }
-    (sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0) / MEASURE as f64
+/// Steady-state cycles per search through the set-sharded replayer. The
+/// sizes here run serially (each measurement depends on the previous
+/// morph), so all host threads go to shards within each measurement; the
+/// trace store keys on the layout tag (`n` and the seed fold in via
+/// [`steady_cycles_per_search`]), letting reruns under `CC_TRACE_CACHE`
+/// skip trace generation.
+fn measured_time(
+    machine: &MachineConfig,
+    t: &Bst,
+    n: u64,
+    seed: u64,
+    shards: usize,
+    store: Option<&TraceStore>,
+    tag: &'static str,
+) -> f64 {
+    steady_cycles_per_search(
+        *machine,
+        n,
+        seed,
+        shards,
+        store,
+        TraceKey::new(tag).machine(machine),
+        WARMUP,
+        MEASURE,
+        |k, buf| {
+            t.search(k, buf, false);
+        },
+    )
 }
 
 fn main() {
     let machine = MachineConfig::ultrasparc_e5000();
+    let disk_store = TraceStore::from_env();
+    let store = disk_store.has_disk().then_some(&disk_store);
+    let shards = Sweep::new().intra_cell_shards(1);
     header(
         "Figure 10: predicted and actual speedup for C-trees",
         "steady-state speedup of the transparent C-tree over the randomly-clustered tree",
@@ -52,14 +73,14 @@ fn main() {
 
         let mut tree = Bst::build_complete(n);
         tree.layout_sequential(Order::Random { seed: 0xBAD });
-        let naive = measured_time(&machine, &tree, n, 77);
+        let naive = measured_time(&machine, &tree, n, 77, shards, store, "fig10-naive");
 
         let mut vs = VirtualSpace::new(machine.page_bytes);
         tree.morph(
             &mut vs,
             &CcMorphParams::clustering_and_coloring(&machine, BST_NODE_BYTES),
         );
-        let cc = measured_time(&machine, &tree, n, 77);
+        let cc = measured_time(&machine, &tree, n, 77, shards, store, "fig10-ctree");
 
         let measured = naive / cc;
         println!(

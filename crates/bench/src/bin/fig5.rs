@@ -28,17 +28,17 @@
 //! byte-identical to every prior release.
 
 use cc_audit::{audit, AffinityKind, AuditConfig, AuditInput, Report, Rule};
+use cc_bench::checkpoint::{self, SEP};
 use cc_bench::header;
+use cc_bench::replay::{build_bst, SearchReplay, TreeSpec};
 use cc_core::ccmorph::CcMorphParams;
-use cc_core::cluster::Order;
-use cc_core::rng::SplitMix64;
 use cc_heap::VirtualSpace;
-use cc_sim::{MachineConfig, MemorySink};
-use cc_sweep::Sweep;
+use cc_sim::event::TraceBuffer;
+use cc_sim::MachineConfig;
+use cc_sweep::{Sweep, TraceKey, TraceStore};
 use cc_trees::bst::Bst;
 use cc_trees::btree::BTree;
 use cc_trees::BST_NODE_BYTES;
-use std::path::Path;
 
 /// Search-count checkpoints (the x-axis decades).
 const CHECKPOINTS: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
@@ -47,26 +47,47 @@ fn keys(n: u64) -> u64 {
     n // keys are 2*i for i in 0..n; searches draw uniformly
 }
 
-/// Runs 1M random searches against `search`, reporting average
-/// microseconds per search at each checkpoint.
-fn measure<F>(machine: &MachineConfig, n: u64, mut search: F) -> Vec<f64>
+/// Runs 1M random searches against `search` through the set-sharded
+/// replayer, reporting average microseconds per search at each
+/// checkpoint. Simulated times are bit-identical to the original serial
+/// [`cc_sim::MemorySink`] loop for every shard count (the sharded
+/// differential suite enforces this), so the figure does not depend on
+/// `env`'s geometry. With `CC_TRACE_CACHE` set, recorded trace segments
+/// come back from the content-addressed store on reruns and the search
+/// closure is never invoked.
+fn measure<F>(env: &CellEnv, key: TraceKey, mut search: F) -> Vec<f64>
 where
-    F: FnMut(u64, &mut MemorySink),
+    F: FnMut(u64, &mut TraceBuffer),
 {
-    let mut sink = MemorySink::new(*machine);
-    let mut rng = SplitMix64::new(0x51EE7);
+    let mut replay = SearchReplay::new(
+        env.machine,
+        keys(env.n),
+        0x51EE7,
+        env.shards,
+        env.store.as_ref(),
+        key,
+    );
     let mut out = Vec::new();
-    let mut done = 0u64;
     for &cp in &CHECKPOINTS {
-        while done < cp {
-            let key = 2 * rng.below(keys(n));
-            search(key, &mut sink);
-            done += 1;
-        }
-        let cycles = sink.memory_cycles() as f64 + sink.insts() as f64 / 4.0;
-        out.push(cycles / done as f64 / machine.cycles_per_us());
+        replay.advance_to(cp, &mut search);
+        out.push(replay.avg_us_per_search());
     }
+    assert_eq!(
+        replay.degradation(),
+        cc_sim::ShardDegradation::default(),
+        "fig5 replay degraded; the figure would hide a faulty engine"
+    );
     out
+}
+
+/// Everything a fig5 cell needs besides its layout: the machine, tree
+/// size, intra-cell shard count, and (when `CC_TRACE_CACHE` is set) the
+/// disk-backed trace store.
+struct CellEnv {
+    machine: MachineConfig,
+    n: u64,
+    shards: usize,
+    store: Option<TraceStore>,
 }
 
 /// Audits one layout, appending its one-line verdict to the cell's log;
@@ -123,24 +144,6 @@ struct Cell {
     audit: Option<AuditSummary>,
 }
 
-/// Field separator for checkpoint payloads. The sweep checkpoint escapes
-/// newlines and tabs itself; this byte never occurs in logs or audit text.
-const SEP: char = '\x1f';
-
-fn encode_f64s(xs: &[f64]) -> String {
-    let words: Vec<String> = xs.iter().map(|x| format!("{:016x}", x.to_bits())).collect();
-    words.join(",")
-}
-
-fn decode_f64s(s: &str) -> Option<Vec<f64>> {
-    if s.is_empty() {
-        return Some(Vec::new());
-    }
-    s.split(',')
-        .map(|w| u64::from_str_radix(w, 16).ok().map(f64::from_bits))
-        .collect()
-}
-
 /// Renders a cell for the checkpoint file; times go as hex bit patterns so
 /// a resumed figure is bit-identical to an uninterrupted one.
 fn encode_cell(cell: &Cell) -> String {
@@ -148,15 +151,14 @@ fn encode_cell(cell: &Cell) -> String {
         Some(a) => (
             "1",
             a.color01_findings.to_string(),
-            a.colocation_score
-                .map_or_else(|| "-".to_string(), |s| format!("{:016x}", s.to_bits())),
+            checkpoint::encode_opt_f64(a.colocation_score),
             a.text.clone(),
         ),
         None => ("-", String::new(), String::new(), String::new()),
     };
     [
         cell.label.to_string(),
-        encode_f64s(&cell.times),
+        checkpoint::encode_f64s(&cell.times),
         cell.log.clone(),
         flag.to_string(),
         errs,
@@ -175,7 +177,7 @@ fn decode_cell(s: &str) -> Option<Cell> {
         "transparent C-tree" => "transparent C-tree",
         _ => return None,
     };
-    let times = decode_f64s(fields.next()?)?;
+    let times = checkpoint::decode_f64s(fields.next()?)?;
     let log = fields.next()?.to_string();
     let flag = fields.next()?;
     let errs = fields.next()?;
@@ -184,10 +186,7 @@ fn decode_cell(s: &str) -> Option<Cell> {
     let audit = match flag {
         "1" => Some(AuditSummary {
             color01_findings: errs.parse().ok()?,
-            colocation_score: match score {
-                "-" => None,
-                bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
-            },
+            colocation_score: checkpoint::decode_opt_f64(score)?,
             text: text.to_string(),
         }),
         "-" => None,
@@ -213,18 +212,38 @@ fn tree_input(machine: &MachineConfig, t: &Bst) -> AuditInput {
     )
 }
 
+/// The shared layout recipes (the same [`TreeSpec`]s the engine benchmark
+/// records): fig5's trees all start from the random scatter.
+const SPEC_RANDOM: TreeSpec = TreeSpec {
+    randomize: Some(0xA11),
+    depth_first: false,
+    morph: false,
+};
+const SPEC_DFS: TreeSpec = TreeSpec {
+    randomize: Some(0xA11),
+    depth_first: true,
+    morph: false,
+};
+const SPEC_CTREE: TreeSpec = TreeSpec {
+    randomize: Some(0xA11),
+    depth_first: true,
+    morph: true,
+};
+
 /// Builds the cell's layout by replaying the exact mutation sequence the
 /// serial figure applied to its one shared tree (random, then depth-first
 /// on top of it, then morph on top of that), audits it, and measures it.
-fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
+fn run_cell(env: &CellEnv, layout: Layout) -> Cell {
+    let machine = &env.machine;
+    let n = env.n;
+    let base = TraceKey::new("fig5");
     match layout {
         Layout::RandomClustered => {
             let mut log = String::from("building random-clustered tree…\n");
-            let mut t = Bst::build_complete(n);
-            t.layout_sequential(Order::Random { seed: 0xA11 });
+            let t = build_bst(machine, n, SPEC_RANDOM);
             let report = audit_layout("random clustered", &tree_input(machine, &t), &mut log);
-            let times = measure(machine, n, |k, s| {
-                t.search(k, s, false);
+            let times = measure(env, SPEC_RANDOM.fold_key(base), |k, buf| {
+                t.search(k, buf, false);
             });
             Cell {
                 label: "random clustered",
@@ -235,12 +254,10 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
         }
         Layout::DepthFirstClustered => {
             let mut log = String::from("building depth-first clustered tree…\n");
-            let mut t = Bst::build_complete(n);
-            t.layout_sequential(Order::Random { seed: 0xA11 });
-            t.layout_sequential(Order::DepthFirst);
+            let t = build_bst(machine, n, SPEC_DFS);
             audit_layout("depth-first clustered", &tree_input(machine, &t), &mut log);
-            let times = measure(machine, n, |k, s| {
-                t.search(k, s, false);
+            let times = measure(env, SPEC_DFS.fold_key(base), |k, buf| {
+                t.search(k, buf, false);
             });
             Cell {
                 label: "depth-first clustered",
@@ -255,8 +272,8 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
             let mut bt = BTree::build_from_sorted(&ks, machine.l2.block_bytes(), 0.7);
             let mut vs = VirtualSpace::new(machine.page_bytes);
             bt.color(&mut vs, machine, 0.5);
-            let times = measure(machine, n, |k, s| {
-                bt.search(k, s);
+            let times = measure(env, TraceKey::new("fig5-btree"), |k, buf| {
+                bt.search(k, buf);
             });
             Cell {
                 label: "in-core B-tree",
@@ -267,9 +284,9 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
         }
         Layout::TransparentCTree => {
             let mut log = String::from("building transparent C-tree…\n");
-            let mut t = Bst::build_complete(n);
-            t.layout_sequential(Order::Random { seed: 0xA11 });
-            t.layout_sequential(Order::DepthFirst);
+            // The first two layout steps are the shared recipe; the morph
+            // itself stays inline because the audit needs its `Layout`.
+            let mut t = build_bst(machine, n, SPEC_DFS);
             let mut vs2 = VirtualSpace::new(machine.page_bytes);
             let params = CcMorphParams::clustering_and_coloring(machine, BST_NODE_BYTES);
             let layout = t.morph(&mut vs2, &params);
@@ -278,8 +295,8 @@ fn run_cell(machine: &MachineConfig, n: u64, layout: Layout) -> Cell {
                 &AuditInput::from_tree_layout(&t, &layout, &params),
                 &mut log,
             );
-            let times = measure(machine, n, |k, s| {
-                t.search(k, s, false);
+            let times = measure(env, SPEC_CTREE.fold_key(base), |k, buf| {
+                t.search(k, buf, false);
             });
             Cell {
                 label: "transparent C-tree",
@@ -313,24 +330,25 @@ fn main() {
         Layout::ColoredBTree,
         Layout::TransparentCTree,
     ];
-    let run = |_: usize, _attempt: u32, &layout: &Layout| run_cell(&machine, n, layout);
-    let cells: Vec<Cell> = match std::env::var_os("CC_SWEEP_CHECKPOINT") {
-        Some(path) => Sweep::new()
-            .run_checkpointed(
-                &grid,
-                1,
-                Path::new(&path),
-                &format!("fig5-n{n}"),
-                run,
-                encode_cell,
-                decode_cell,
-            )
-            .expect("opening the sweep checkpoint file")
-            .into_iter()
-            .map(|o| o.into_result().expect("fig5 cell completed"))
-            .collect(),
-        None => Sweep::new().run(&grid, |i, layout| run(i, 0, layout)),
+    // When cells are scarcer than cores, each cell's replay shards its
+    // trace across the idle ones; the disk trace store only engages when
+    // the operator opts in with CC_TRACE_CACHE.
+    let disk_store = TraceStore::from_env();
+    let env = CellEnv {
+        machine,
+        n,
+        shards: Sweep::new().intra_cell_shards(grid.len()),
+        store: disk_store.has_disk().then_some(disk_store),
     };
+    let run = |_: usize, _attempt: u32, &layout: &Layout| run_cell(&env, layout);
+    let cells: Vec<Cell> = checkpoint::run_grid(
+        "fig5",
+        &format!("fig5-n{n}"),
+        &grid,
+        run,
+        encode_cell,
+        decode_cell,
+    );
     for cell in &cells {
         eprint!("{}", cell.log);
     }

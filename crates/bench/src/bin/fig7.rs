@@ -20,12 +20,11 @@
 //! to every prior release.
 
 use cc_audit::{audit, AuditConfig, AuditInput};
+use cc_bench::checkpoint::{self, SEP};
 use cc_bench::{header, human_bytes, print_breakdown_row};
 use cc_heap::HeapStats;
 use cc_olden::{health, mst, perimeter, treeadd, RunResult, Scheme};
 use cc_sim::{Breakdown, MachineConfig};
-use cc_sweep::Sweep;
-use std::path::Path;
 
 /// The audit verdict of one hinted scheme, flattened out of the
 /// [`cc_audit::Report`] so a cell can round-trip a checkpoint file.
@@ -73,10 +72,6 @@ fn to_cell(machine: &MachineConfig, log: String, r: RunResult) -> Cell {
     }
 }
 
-/// Field separator for checkpoint payloads. The sweep checkpoint escapes
-/// newlines and tabs itself; this byte never occurs in logs or audit text.
-const SEP: char = '\x1f';
-
 /// Renders a cell for the checkpoint file; the audit score goes as a hex
 /// bit pattern so a resumed figure is bit-identical to an uninterrupted
 /// one.
@@ -86,8 +81,7 @@ fn encode_cell(c: &Cell) -> String {
             "1",
             a.errors.to_string(),
             a.findings.to_string(),
-            a.score
-                .map_or_else(|| "-".to_string(), |s| format!("{:016x}", s.to_bits())),
+            checkpoint::encode_opt_f64(a.score),
             a.text.clone(),
         ),
         None => (
@@ -133,10 +127,7 @@ fn decode_cell(s: &str) -> Option<Cell> {
         "1" => Some(AuditCell {
             errors: errors.parse().ok()?,
             findings: findings.parse().ok()?,
-            score: match score {
-                "-" => None,
-                bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
-            },
+            score: checkpoint::decode_opt_f64(score)?,
             text: text.to_string(),
         }),
         "-" => None,
@@ -250,23 +241,18 @@ fn main() {
         let log = format!("  {name}: {}\n", s.label());
         to_cell(&machine, log, runner(s))
     };
-    let cells: Vec<Cell> = match std::env::var_os("CC_SWEEP_CHECKPOINT") {
-        Some(path) => Sweep::new()
-            .run_checkpointed(
-                &grid,
-                1,
-                Path::new(&path),
-                &format!("fig7-s{scale}"),
-                run,
-                encode_cell,
-                decode_cell,
-            )
-            .expect("opening the sweep checkpoint file")
-            .into_iter()
-            .map(|o| o.into_result().expect("fig7 cell completed"))
-            .collect(),
-        None => Sweep::new().run(&grid, |i, cell| run(i, 0, cell)),
-    };
+    // Unlike fig5, these cells drive the stateful per-cycle [`Pipeline`],
+    // whose stall attribution depends on global in-order event history —
+    // there is no per-set decomposition to shard, so cells stay serial
+    // inside and parallel across (see DESIGN.md §10).
+    let cells: Vec<Cell> = checkpoint::run_grid(
+        "fig7",
+        &format!("fig7-s{scale}"),
+        &grid,
+        run,
+        encode_cell,
+        decode_cell,
+    );
     for c in &cells {
         eprint!("{}", c.log);
     }

@@ -37,7 +37,11 @@ fn main() {
     ];
     // The table has no simulation cells, but it rides the same harness as
     // the figures: each row is a (trivial) sweep cell, and the runner's
-    // order guarantee keeps the output identical to a serial loop.
+    // order guarantee keeps the output identical to a serial loop. There
+    // are likewise no traces here for the `TraceStore` to cache and
+    // nothing to shard — the trace-replay plumbing that fig5/fig10/
+    // ablation share (see `cc_bench::replay`) starts where a cell has
+    // memory traffic, which these rows do not.
     let lines = Sweep::new().run(&rows, |_, &(t, s, p, a, c, perf)| {
         format!("{t:<12} {s:<12} {p:<12} {a:<13} {c:<12} {perf:<16}")
     });

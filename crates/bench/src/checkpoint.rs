@@ -1,0 +1,131 @@
+//! Shared checkpoint plumbing for the figure binaries.
+//!
+//! `fig5` and `fig7` each grew a private copy of the same three things
+//! during the checkpoint port: the field separator, the hex-stable `f64`
+//! codec (times and scores must survive a crash/resume round trip
+//! *bit-identically*, so they travel as `to_bits` hex, never decimal),
+//! and the `CC_SWEEP_CHECKPOINT` dispatch between [`Sweep::run`] and
+//! [`Sweep::run_checkpointed`]. The copies had already drifted in small
+//! ways; this module is the single home for all three.
+
+use cc_sweep::Sweep;
+use std::path::Path;
+
+/// Field separator for checkpoint payloads. The sweep checkpoint escapes
+/// newlines and tabs itself; this byte never occurs in logs, audit text,
+/// or hex fields.
+pub const SEP: char = '\x1f';
+
+/// Renders an `f64` as its bit pattern in fixed-width hex — the only
+/// encoding that makes a resumed figure bit-identical to an uninterrupted
+/// one (decimal formatting rounds).
+pub fn encode_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Inverse of [`encode_f64`]; `None` on malformed hex.
+pub fn decode_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Encodes a slice of `f64`s as comma-joined bit patterns.
+pub fn encode_f64s(xs: &[f64]) -> String {
+    let words: Vec<String> = xs.iter().map(|x| encode_f64(*x)).collect();
+    words.join(",")
+}
+
+/// Inverse of [`encode_f64s`]; `None` on any malformed word.
+pub fn decode_f64s(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(decode_f64).collect()
+}
+
+/// Encodes an optional `f64`: `-` for `None`, the bit pattern otherwise.
+pub fn encode_opt_f64(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_string(), encode_f64)
+}
+
+/// Inverse of [`encode_opt_f64`]. The outer `Option` is the parse result
+/// (`None` = malformed), the inner is the value.
+pub fn decode_opt_f64(s: &str) -> Option<Option<f64>> {
+    match s {
+        "-" => Some(None),
+        bits => decode_f64(bits).map(Some),
+    }
+}
+
+/// Runs a figure's cell grid with the standard `CC_SWEEP_CHECKPOINT`
+/// contract: when the variable names a path, the sweep runs crash-durably
+/// against it under `tag` (append-on-complete, resume-on-rerun); when it
+/// is unset, nothing touches the filesystem. Cells that fail outright
+/// panic with the figure's name — a figure with holes is not a figure.
+pub fn run_grid<C, R, F, E, D>(
+    figure: &str,
+    tag: &str,
+    grid: &[C],
+    run: F,
+    encode: E,
+    decode: D,
+) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, u32, &C) -> R + Sync,
+    E: Fn(&R) -> String + Sync,
+    D: Fn(&str) -> Option<R>,
+{
+    match std::env::var_os("CC_SWEEP_CHECKPOINT") {
+        Some(path) => Sweep::new()
+            .run_checkpointed(grid, 1, Path::new(&path), tag, run, encode, decode)
+            .expect("opening the sweep checkpoint file")
+            .into_iter()
+            .map(|o| {
+                o.into_result()
+                    .unwrap_or_else(|| panic!("{figure} cell failed"))
+            })
+            .collect(),
+        None => Sweep::new().run(grid, |i, cell| run(i, 0, cell)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_codec_is_bit_exact() {
+        for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1e300, f64::INFINITY] {
+            assert_eq!(decode_f64(&encode_f64(x)), Some(x));
+        }
+        let nan = decode_f64(&encode_f64(f64::NAN)).unwrap();
+        assert!(nan.is_nan());
+        assert_eq!(decode_f64("xyz"), None);
+        let xs = [0.25, -3.5, 1e-12];
+        assert_eq!(decode_f64s(&encode_f64s(&xs)).as_deref(), Some(&xs[..]));
+        assert_eq!(decode_f64s("").as_deref(), Some(&[][..]));
+        assert_eq!(decode_opt_f64(&encode_opt_f64(None)), Some(None));
+        assert_eq!(decode_opt_f64(&encode_opt_f64(Some(2.0))), Some(Some(2.0)));
+        assert_eq!(decode_opt_f64("nope"), None);
+    }
+
+    #[test]
+    fn run_grid_without_env_is_a_plain_sweep() {
+        // The test environment must not leak a checkpoint path in here.
+        assert!(
+            std::env::var_os("CC_SWEEP_CHECKPOINT").is_none(),
+            "CC_SWEEP_CHECKPOINT set during tests"
+        );
+        let cells: Vec<u64> = (0..6).collect();
+        let out = run_grid(
+            "test",
+            "t",
+            &cells,
+            |_, _, &c| c * 2,
+            |r| r.to_string(),
+            |s| s.parse().ok(),
+        );
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+}

@@ -19,6 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod replay;
+
 use cc_sim::Breakdown;
 
 /// Renders a horizontal text bar of `pct` percent (100% = `width` chars).

@@ -3,8 +3,10 @@
 //! For every seed (arguments, or a small default set) this binary runs a
 //! scripted workload against each fault plane — `heap` (allocation denials
 //! and hint tampering under `CcMalloc`/`Malloc`), `morph` (corrupted
-//! topologies and parameters into `try_ccmorph`), and `sweep` (poisoned
-//! cells under `Sweep::run_isolated`) — inside a top-level `catch_unwind`.
+//! topologies and parameters into `try_ccmorph`), `sweep` (poisoned cells
+//! under `Sweep::run_isolated`), and `shard` (poisoned replay workers
+//! under `ShardedReplayer::replay_poisoned`) — inside a top-level
+//! `catch_unwind`.
 //!
 //! The contract under test is *graceful degradation*: injected faults must
 //! surface as typed errors, fallback placements, or retried cells — never
@@ -188,6 +190,62 @@ fn sweep_plane(seed: u64) -> Result<String, String> {
     Ok(format!("retried={retried} of 12 cells"))
 }
 
+/// Shard plane: seed-chosen replay workers panic on entry; the sharded
+/// replayer must absorb every panic through its serial fallback — stats
+/// bit-identical to a clean replay, degradation counters honest, nothing
+/// escaping.
+fn shard_plane(seed: u64) -> Result<String, String> {
+    let machine = MachineConfig::table1();
+    const SHARDS: usize = 6;
+    let plan = FaultPlan::new(seed).shard_poisons(2);
+    let poisoned = plan.shard_poison_set(SHARDS);
+
+    // A deterministic pointer-chase-ish trace wide enough to land events
+    // in every shard.
+    let mut rng = cc_core::rng::SplitMix64::new(cell_seed(seed, 17));
+    let mut buf = cc_sim::TraceBuf::with_capacity(4096);
+    for _ in 0..4000 {
+        let addr = rng.next_u64() % (1 << 22);
+        if rng.below(4) == 0 {
+            buf.push(cc_sim::event::Event::store(addr, 8));
+        } else {
+            buf.push(cc_sim::event::Event::load(addr, 8));
+        }
+    }
+    let bufs = [buf];
+
+    let mut clean = cc_sim::ShardedReplayer::new(machine, SHARDS);
+    let split = clean.split(&bufs);
+    clean.replay(&split);
+
+    let mut faulted = cc_sim::ShardedReplayer::new(machine, SHARDS);
+    let split = faulted.split(&bufs);
+    faulted.replay_poisoned(&split, &poisoned);
+
+    if faulted.l1_stats() != clean.l1_stats()
+        || faulted.l2_stats() != clean.l2_stats()
+        || faulted.tlb_stats() != clean.tlb_stats()
+        || faulted.memory_cycles() != clean.memory_cycles()
+    {
+        return Err("poisoned replay diverged from the clean replay".into());
+    }
+    let d = faulted.degradation();
+    let want = poisoned.len() as u64;
+    if d.worker_panics != want || d.fallback_lanes != want || d.lost_lanes != 0 {
+        return Err(format!(
+            "dishonest degradation counters: panics={} fallbacks={} lost={} (expected {want})",
+            d.worker_panics, d.fallback_lanes, d.lost_lanes
+        ));
+    }
+    if clean.degradation() != cc_sim::ShardDegradation::default() {
+        return Err("clean replay reported degradation".into());
+    }
+    Ok(format!(
+        "{} poisoned worker(s) of {SHARDS} fell back serially, stats exact",
+        poisoned.len()
+    ))
+}
+
 fn parse_seed(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()
@@ -214,10 +272,11 @@ fn main() {
     // report captured payloads ourselves.
     std::panic::set_hook(Box::new(|_| {}));
 
-    let planes: [(&str, fn(u64) -> Result<String, String>); 3] = [
+    let planes: [(&str, fn(u64) -> Result<String, String>); 4] = [
         ("heap", heap_plane),
         ("morph", morph_plane),
         ("sweep", sweep_plane),
+        ("shard", shard_plane),
     ];
     let mut escaped = 0u32;
     for &seed in &seeds {

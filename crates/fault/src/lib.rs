@@ -20,9 +20,12 @@
 //!   scalar fallback on a sufficiently full buffer);
 //! * [`FaultPlan::sweep_poison_set`] picks the sweep cells whose first
 //!   attempt a harness should kill, exercising the retry path of
-//!   `Sweep::run_isolated`.
+//!   `Sweep::run_isolated`;
+//! * [`FaultPlan::shard_poison_set`] picks the replay workers to hand to
+//!   [`cc_sim::ShardedReplayer::replay_poisoned`], exercising the
+//!   sharded replayer's catch-unwind + serial-fallback path.
 //!
-//! The three planes draw from *independent* streams (the plane index is
+//! The four planes draw from *independent* streams (the plane index is
 //! folded into the seed via [`cc_sweep::cell_seed`]), so arming one plane
 //! never shifts another plane's schedule.
 //!
@@ -46,6 +49,7 @@ use std::collections::BTreeSet;
 const PLANE_HEAP: u64 = 0;
 const PLANE_TRACE: u64 = 1;
 const PLANE_SWEEP: u64 = 2;
+const PLANE_SHARD: u64 = 3;
 
 /// A seeded, replayable fault-injection plan.
 ///
@@ -68,6 +72,7 @@ pub struct FaultPlan {
     heap_horizon: u64,
     trace_faults: u32,
     sweep_poisons: u32,
+    shard_poisons: u32,
 }
 
 impl FaultPlan {
@@ -79,6 +84,7 @@ impl FaultPlan {
             heap_horizon: 0,
             trace_faults: 0,
             sweep_poisons: 0,
+            shard_poisons: 0,
         }
     }
 
@@ -113,9 +119,22 @@ impl FaultPlan {
         self
     }
 
+    /// Arms `n` shard-worker poisons (distinct worker indices per replay,
+    /// capped at the shard count when it is smaller). Feed the derived set
+    /// to [`cc_sim::ShardedReplayer::replay_poisoned`]: poisoned workers
+    /// panic on entry, and the replayer must absorb the panic through the
+    /// serial fallback with exact stats and honest degradation counters.
+    pub fn shard_poisons(mut self, n: u32) -> Self {
+        self.shard_poisons = n;
+        self
+    }
+
     /// True when no plane is armed.
     pub fn is_empty(&self) -> bool {
-        self.heap_faults == 0 && self.trace_faults == 0 && self.sweep_poisons == 0
+        self.heap_faults == 0
+            && self.trace_faults == 0
+            && self.sweep_poisons == 0
+            && self.shard_poisons == 0
     }
 
     /// Derives the heap plane: `heap_faults` entries cycling through
@@ -194,6 +213,22 @@ impl FaultPlan {
     pub fn poisons(&self, cell: usize, attempt: u32, cells: usize) -> bool {
         attempt == 0 && self.sweep_poison_set(cells).contains(&cell)
     }
+
+    /// Derives the shard plane for a replay on `shards` workers: the
+    /// distinct worker indices to pass to
+    /// [`cc_sim::ShardedReplayer::replay_poisoned`], sorted ascending.
+    pub fn shard_poison_set(&self, shards: usize) -> Vec<usize> {
+        let mut set = BTreeSet::new();
+        if shards == 0 {
+            return Vec::new();
+        }
+        let want = (self.shard_poisons as usize).min(shards);
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_SHARD));
+        while set.len() < want {
+            set.insert(rng.below(shards as u64) as usize);
+        }
+        set.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -207,15 +242,17 @@ mod tests {
         assert!(plan.heap_schedule().is_empty());
         assert!(plan.trace_schedule().is_empty());
         assert!(plan.sweep_poison_set(100).is_empty());
+        assert!(plan.shard_poison_set(8).is_empty());
         assert!(!plan.poisons(0, 0, 100));
     }
 
     #[test]
     fn planes_are_independent_streams() {
-        let base = FaultPlan::new(7).heap_faults(4, 50);
-        let more = base.trace_faults(3).sweep_poisons(2);
-        // Arming other planes must not move the heap plane's schedule.
+        let base = FaultPlan::new(7).heap_faults(4, 50).sweep_poisons(2);
+        let more = base.trace_faults(3).shard_poisons(2);
+        // Arming other planes must not move the armed planes' schedules.
         assert_eq!(base.heap_schedule(), more.heap_schedule());
+        assert_eq!(base.sweep_poison_set(16), more.sweep_poison_set(16));
     }
 
     #[test]
@@ -256,5 +293,19 @@ mod tests {
         // A grid smaller than the intensity saturates instead of spinning.
         assert_eq!(plan.sweep_poison_set(3).len(), 3);
         assert_eq!(plan.sweep_poison_set(0).len(), 0);
+    }
+
+    #[test]
+    fn shard_poison_sets_are_distinct_sorted_and_bounded() {
+        let plan = FaultPlan::new(11).shard_poisons(3);
+        let set = plan.shard_poison_set(8);
+        assert_eq!(set.len(), 3);
+        assert!(set.windows(2).all(|w| w[0] < w[1]), "{set:?}");
+        assert!(set.iter().all(|&w| w < 8));
+        // Fewer workers than poisons saturates instead of spinning.
+        assert_eq!(plan.shard_poison_set(2).len(), 2);
+        assert_eq!(plan.shard_poison_set(0).len(), 0);
+        // Replayable.
+        assert_eq!(set, plan.shard_poison_set(8));
     }
 }

@@ -42,7 +42,7 @@ use crate::hierarchy::{AccessKind, MemorySystem};
 /// Packed event kind for [`TraceBuf`]'s kind lane.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
-enum PackedKind {
+pub(crate) enum PackedKind {
     /// `Event::Inst(n)` — `n` in the address lane.
     Inst,
     /// `Event::Branch(n)` — `n` in the address lane.
@@ -97,6 +97,8 @@ pub struct TraceBuf {
     /// Clock-only events *following* each entry (see [`TraceBuf::push_ticks`]).
     ticks: Vec<u32>,
     cap: usize,
+    /// Address-space tag (see [`TraceBuf::set_space`]).
+    space: u32,
 }
 
 impl TraceBuf {
@@ -113,7 +115,35 @@ impl TraceBuf {
             sizes: Vec::with_capacity(cap),
             ticks: Vec::with_capacity(cap),
             cap,
+            space: 0,
         }
+    }
+
+    /// The buffer's address-space tag (0 unless [`TraceBuf::set_space`]
+    /// was called).
+    pub fn space(&self) -> u32 {
+        self.space
+    }
+
+    /// Tags the buffer with an address-space id.
+    ///
+    /// The caches are physically tagged in this simulator — the same
+    /// numeric address in two spaces is the same block — but the TLB is a
+    /// *virtual* structure: page `p` of space 1 is a different translation
+    /// than page `p` of space 0. [`MemorySystem::access_batch`] therefore
+    /// keys every TLB probe (and the cursor's same-page memo) by
+    /// `(page, space)`, so replaying buffers from different spaces through
+    /// one system never lets a memoized translation leak across spaces.
+    /// Page numbers must stay below 2^32 for the combined key to be
+    /// collision-free; every shipped machine config is far below that.
+    pub fn set_space(&mut self, space: u32) {
+        self.space = space;
+    }
+
+    /// Raw SoA lanes for in-crate consumers (the shard splitter walks the
+    /// packed entries directly instead of decoding [`Event`]s).
+    pub(crate) fn lanes(&self) -> (&[PackedKind], &[u64], &[u32], &[u32]) {
+        (&self.kinds, &self.addrs, &self.sizes, &self.ticks)
     }
 
     /// Number of buffered entries (folded tick runs do not count; see
@@ -435,6 +465,157 @@ impl TraceBuf {
     }
 }
 
+/// Hex run-length encoding of a lane of small integers: `VALxRUN` tokens.
+fn encode_rle(values: impl Iterator<Item = u64>, out: &mut String) {
+    let mut run: Option<(u64, u64)> = None;
+    for v in values {
+        match &mut run {
+            Some((cur, n)) if *cur == v => *n += 1,
+            _ => {
+                if let Some((cur, n)) = run {
+                    out.push_str(&format!("{cur:x}x{n:x} "));
+                }
+                run = Some((v, 1));
+            }
+        }
+    }
+    if let Some((cur, n)) = run {
+        out.push_str(&format!("{cur:x}x{n:x}"));
+    }
+}
+
+/// Decodes an [`encode_rle`] lane; `None` on malformed input.
+fn decode_rle(line: &str) -> Option<Vec<u64>> {
+    let mut out = Vec::new();
+    for tok in line.split_ascii_whitespace() {
+        let (v, n) = tok.split_once('x')?;
+        let v = u64::from_str_radix(v, 16).ok()?;
+        let n = u64::from_str_radix(n, 16).ok()?;
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..n {
+            out.push(v);
+        }
+    }
+    Some(out)
+}
+
+impl TraceBuf {
+    /// Serializes the buffer as stable ASCII text for the `cc-sweep` trace
+    /// store — the same hex-everything convention as sweep checkpoint
+    /// files, so cached traces survive any locale or float-formatting
+    /// drift. Lanes are compressed with the transforms that fit them:
+    /// kind/size/tick lanes run-length encode (traces are long runs of
+    /// same-shaped loads), the address lane stores zigzag deltas (pointer
+    /// chases move in small strides, so most deltas are a few hex digits).
+    pub fn encode_compact(&self) -> String {
+        let mut s = format!(
+            "ccbuf v1 {:x} {:x} {:x}\n",
+            self.cap,
+            self.space,
+            self.len()
+        );
+        s.push('k');
+        s.push(' ');
+        encode_rle(self.kinds.iter().map(|&k| k as u64), &mut s);
+        s.push('\n');
+        s.push('a');
+        let mut prev = 0u64;
+        for &a in &self.addrs {
+            let d = a.wrapping_sub(prev) as i64;
+            let zz = ((d << 1) ^ (d >> 63)) as u64;
+            s.push_str(&format!(" {zz:x}"));
+            prev = a;
+        }
+        s.push('\n');
+        s.push('s');
+        s.push(' ');
+        encode_rle(self.sizes.iter().map(|&v| u64::from(v)), &mut s);
+        s.push('\n');
+        s.push('t');
+        s.push(' ');
+        encode_rle(self.ticks.iter().map(|&v| u64::from(v)), &mut s);
+        s.push('\n');
+        s
+    }
+
+    /// Decodes an [`TraceBuf::encode_compact`] string. Returns `None` on
+    /// any malformed input (wrong magic, lane mismatch, out-of-range kind
+    /// or size) — a corrupt cache file is treated as a miss, never trusted.
+    pub fn decode_compact(s: &str) -> Option<TraceBuf> {
+        let mut lines = s.lines();
+        let mut header = lines.next()?.split_ascii_whitespace();
+        if header.next()? != "ccbuf" || header.next()? != "v1" {
+            return None;
+        }
+        let cap = usize::from_str_radix(header.next()?, 16).ok()?;
+        let space = u32::from_str_radix(header.next()?, 16).ok()?;
+        let len = usize::from_str_radix(header.next()?, 16).ok()?;
+        if cap == 0 || len > cap || header.next().is_some() {
+            return None;
+        }
+        let kline = lines.next()?.strip_prefix('k')?;
+        let aline = lines.next()?.strip_prefix('a')?;
+        let sline = lines.next()?.strip_prefix('s')?;
+        let tline = lines.next()?.strip_prefix('t')?;
+        if lines.next().is_some() {
+            return None;
+        }
+        let kinds: Vec<PackedKind> = decode_rle(kline)?
+            .into_iter()
+            .map(|v| {
+                Some(match v {
+                    0 => PackedKind::Inst,
+                    1 => PackedKind::Branch,
+                    2 => PackedKind::LoadDep,
+                    3 => PackedKind::LoadIndep,
+                    4 => PackedKind::Store,
+                    5 => PackedKind::Prefetch,
+                    6 => PackedKind::Gap,
+                    _ => return None,
+                })
+            })
+            .collect::<Option<_>>()?;
+        let mut addrs = Vec::with_capacity(len);
+        let mut prev = 0u64;
+        for tok in aline.split_ascii_whitespace() {
+            let zz = u64::from_str_radix(tok, 16).ok()?;
+            let d = ((zz >> 1) as i64) ^ -((zz & 1) as i64);
+            prev = prev.wrapping_add(d as u64);
+            addrs.push(prev);
+        }
+        let sizes: Vec<u32> = decode_rle(sline)?
+            .into_iter()
+            .map(|v| u32::try_from(v).ok())
+            .collect::<Option<_>>()?;
+        let ticks: Vec<u32> = decode_rle(tline)?
+            .into_iter()
+            .map(|v| u32::try_from(v).ok())
+            .collect::<Option<_>>()?;
+        if kinds.len() != len || addrs.len() != len || sizes.len() != len || ticks.len() != len {
+            return None;
+        }
+        let buf = TraceBuf {
+            kinds,
+            addrs,
+            sizes,
+            ticks,
+            cap,
+            space,
+        };
+        buf.validate().ok()?;
+        Some(buf)
+    }
+
+    /// Approximate resident size in bytes — the trace store's unit for its
+    /// byte-budget LRU accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<u64>() + 2 * std::mem::size_of::<u32>() + 1)
+            + std::mem::size_of::<TraceBuf>()
+    }
+}
+
 /// Cross-batch memoization state for [`MemorySystem::access_batch`].
 ///
 /// The cursor remembers just enough about the immediately preceding memory
@@ -555,6 +736,11 @@ impl MemorySystem {
                 a / page_bytes
             }
         };
+        // TLB keys carry the buffer's address-space tag in their high bits
+        // (see [`TraceBuf::set_space`]): the caches are physically tagged,
+        // the TLB is not. For the default space 0 the salt is zero and
+        // every key is the bare page number, exactly as before.
+        let space_salt = u64::from(buf.space) << 32;
         // At associativity one there is no replacement choice, so probes
         // take the stamp-free single-compare path (`Cache::read_direct`).
         let l1_direct = l1_geo.assoc() == 1;
@@ -615,24 +801,27 @@ impl MemorySystem {
                         let first_p = page_of(addr);
                         let last_p = page_of(addr + span);
                         let mut p = first_p;
-                        if cursor.page == first_p {
+                        if cursor.page == (space_salt | first_p) {
                             // Guaranteed hit on the most-recently-used
                             // entry: that page is resident and already at
                             // the head of the recency list, so skipping
                             // the probe and the (no-op) move-to-front
                             // leaves every future eviction decision
-                            // exactly as the probing path would.
+                            // exactly as the probing path would. The memo
+                            // key carries the space salt, so a buffer from
+                            // another address space can never ride a
+                            // translation this one left behind.
                             tlb_acc += 1;
                             p += 1;
                         }
                         while p <= last_p {
-                            let miss = u64::from(!tlb.access_page_untallied(p));
+                            let miss = u64::from(!tlb.access_page_untallied(space_salt | p));
                             tlb_acc += 1;
                             tlb_miss += miss;
                             out.cycles += lat.tlb_miss * miss;
                             p += 1;
                         }
-                        cursor.page = last_p;
+                        cursor.page = space_salt | last_p;
                     }
 
                     // Probe each touched block, skipping the leading block
@@ -706,20 +895,51 @@ impl MemorySystem {
                     cursor.block = last_b;
                 }
                 PackedKind::Store => {
-                    // Stores are rare in the pointer-chase workloads this
-                    // path accelerates; take the reference implementation
-                    // wholesale (its write-buffer cycle override and
-                    // write-through L2 propagation stay in one place).
-                    let o = self.access(addr, size, AccessKind::Write, now);
-                    out.cycles += o.cycles;
+                    let span = u64::from(size).max(1) - 1;
+                    if space_salt == 0 {
+                        // Stores are rare in the pointer-chase workloads
+                        // this path accelerates; take the reference
+                        // implementation wholesale (its write-buffer cycle
+                        // override and write-through L2 propagation stay
+                        // in one place).
+                        let o = self.access(addr, size, AccessKind::Write, now);
+                        out.cycles += o.cycles;
+                    } else {
+                        // The reference path knows nothing about address
+                        // spaces, so a salted store is decomposed by hand:
+                        // salted TLB probes (write cost charges at most
+                        // one TLB penalty — the scalar path's write-buffer
+                        // override), then the block writes with their
+                        // cycles discarded, exactly as `access` overrides
+                        // them.
+                        let mut tlb_missed = 0u64;
+                        if let Some(tlb) = &mut self.tlb {
+                            let mut p = page_of(addr);
+                            let last_p = page_of(addr + span);
+                            while p <= last_p {
+                                let miss = u64::from(!tlb.access_page_untallied(space_salt | p));
+                                tlb_acc += 1;
+                                tlb_miss += miss;
+                                tlb_missed |= miss;
+                                p += 1;
+                            }
+                        }
+                        let mut discard = 0u64;
+                        let mut b = l1_geo.block_of(addr);
+                        let last_b = l1_geo.block_of(addr + span);
+                        while b <= last_b {
+                            self.access_block(b, true, now, &mut discard);
+                            b += block_bytes;
+                        }
+                        out.cycles += lat.l1_hit + tlb_missed * lat.tlb_miss;
+                    }
                     // A write-back store miss allocates and may evict the
                     // memoized lines at either level; the store did leave
                     // its last page most-recently-translated, though.
                     cursor.block = NO_MEMO;
                     cursor.l2_block = NO_MEMO;
                     if self.tlb.is_some() {
-                        let span = u64::from(size).max(1) - 1;
-                        cursor.page = page_of(addr + span);
+                        cursor.page = space_salt | page_of(addr + span);
                     }
                 }
             }
@@ -1243,6 +1463,94 @@ mod tests {
             batched.system().l1_stats().accesses(),
             reference.system().l1_stats().accesses() + 1
         );
+    }
+
+    #[test]
+    fn tlb_memo_is_keyed_by_page_and_space() {
+        use crate::MemorySystem;
+        let machine = MachineConfig::test_tiny();
+        let mut sys = MemorySystem::new(machine);
+        let mut cursor = BatchCursor::new();
+        let mut a = TraceBuf::with_capacity(4);
+        a.push(Event::load(0x100, 8));
+        let mut b = TraceBuf::with_capacity(4);
+        b.set_space(1);
+        b.push(Event::load(0x100, 8)); // same numeric page, another space
+        let o = sys.access_batch(&a, 0, &mut cursor);
+        sys.access_batch(&b, o.events, &mut cursor);
+        let t = sys.tlb_stats();
+        assert_eq!(t.accesses(), 2);
+        // Pinned regression: with the memo keyed by page alone, the second
+        // buffer's translation would ride the first one's memo and this
+        // would read 1 — a hit the other space never earned.
+        assert_eq!(t.misses(), 2, "each space translates its page cold");
+        // The caches are physically tagged, so the *block* memo must still
+        // fire across spaces: one miss, then a guaranteed hit.
+        assert_eq!(sys.l1_stats().reads(), 2);
+        assert_eq!(sys.l1_stats().read_misses(), 1);
+    }
+
+    #[test]
+    fn salted_store_arm_matches_the_reference_store_arm() {
+        use crate::MemorySystem;
+        // Within a single space the salt is a bijection on TLB keys, so a
+        // space-1 replay (manual store decomposition) must be observably
+        // identical to the same trace in space 0 (reference `access` arm).
+        let machine = MachineConfig::test_tiny();
+        let build = |space: u32| {
+            let mut buf = TraceBuf::with_capacity(16);
+            buf.set_space(space);
+            buf.push(Event::store(0x100, 8));
+            buf.push(Event::load(0x104, 8));
+            buf.push(Event::store(0x1fc, 8)); // straddles a page boundary
+            buf.push(Event::store(0x100, 20));
+            buf.push(Event::load(0x400, 8));
+            buf
+        };
+        let mut run = |space: u32| {
+            let mut sys = MemorySystem::new(machine);
+            let mut cursor = BatchCursor::new();
+            let out = sys.access_batch(&build(space), 0, &mut cursor);
+            (out, sys.l1_stats(), sys.l2_stats(), sys.tlb_stats())
+        };
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn compact_codec_roundtrips() {
+        let mut buf = TraceBuf::with_capacity(16);
+        buf.set_space(3);
+        buf.push(Event::Inst(2));
+        buf.push(Event::load(0x1000, 20));
+        buf.push_ticks(5);
+        buf.push(Event::load(0xfe0, 20)); // negative address delta
+        buf.push(Event::store(0x2000, 8));
+        buf.push(Event::Prefetch { addr: 0x40 });
+        buf.push(Event::Branch(1));
+        let text = buf.encode_compact();
+        let back = TraceBuf::decode_compact(&text).expect("roundtrip");
+        assert_eq!(back.capacity(), buf.capacity());
+        assert_eq!(back.space(), buf.space());
+        assert_eq!(
+            back.events().collect::<Vec<_>>(),
+            buf.events().collect::<Vec<_>>()
+        );
+        assert!(buf.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn compact_codec_rejects_tampered_text() {
+        let mut buf = TraceBuf::with_capacity(4);
+        buf.push(Event::load(0x40, 8));
+        let text = buf.encode_compact();
+        assert!(TraceBuf::decode_compact("").is_none());
+        assert!(TraceBuf::decode_compact("ccbuf v2 4 0 1\nk \na \ns \nt ").is_none());
+        // Truncating a lane line breaks the lane-length cross-check.
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(TraceBuf::decode_compact(&truncated).is_none());
+        // An out-of-range kind digit is rejected, not wrapped.
+        let bad = text.replace("k 2x1", "k 9x1");
+        assert!(TraceBuf::decode_compact(&bad).is_none());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod geometry;
 pub mod hierarchy;
 pub mod pipeline;
 pub mod prefetch;
+pub mod shard;
 pub mod stats;
 pub mod tlb;
 
@@ -59,6 +60,7 @@ pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, AccessOutcome, Level, MemorySystem};
 pub use pipeline::{Breakdown, Pipeline, PipelineConfig};
+pub use shard::{ShardDegradation, ShardPlan, ShardReplayOutcome, ShardedReplayer, ShardedTrace};
 pub use stats::CacheStats;
 
 /// An [`EventSink`] that drives a [`MemorySystem`] and ignores pipeline

@@ -47,6 +47,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod store;
+
+pub use store::{StoreCounters, TraceKey, TraceStore};
+
 use cc_sim::stats::{CacheStats, TlbStats};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -185,6 +189,21 @@ impl Sweep {
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How many replay shards each of `cells` cells should use so the
+    /// grid saturates the host without oversubscribing it: when there are
+    /// at least as many cells as worker threads, cell-level parallelism
+    /// already fills the machine and each cell replays serially (one
+    /// shard); when cells are scarce, the leftover threads are split
+    /// evenly across them (capped at 8 — the differential suite's tested
+    /// range and past the paper-machine geometries' knee).
+    pub fn intra_cell_shards(&self, cells: usize) -> usize {
+        if cells == 0 || self.threads <= cells {
+            1
+        } else {
+            (self.threads / cells).clamp(1, 8)
+        }
     }
 
     /// Runs `f` over every cell, in parallel, returning results in cell

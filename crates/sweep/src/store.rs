@@ -1,0 +1,472 @@
+//! Content-addressed trace store: generate a trace once, replay it many
+//! times.
+//!
+//! Sweep cells are pure functions of their coordinates, and so are the
+//! traces they replay: the event stream is fully determined by (workload,
+//! layout, machine geometry, seed). Yet before this store every figure
+//! cell regenerated its trace from scratch — tree construction, morphing,
+//! and event emission dominating cells whose *replay* the sharded engine
+//! has made cheap. The store keys each trace by a [`TraceKey`] digest of
+//! those coordinates and hands back a shared [`Arc`] of packed
+//! [`TraceBuf`]s:
+//!
+//! * **In-memory LRU with a byte budget.** Entries are charged
+//!   [`TraceBuf::approx_bytes`]; when an insert pushes the total over
+//!   budget, least-recently-used entries (never the one just returned)
+//!   are dropped and counted. Figure sweeps whose cells share a machine
+//!   and workload hit the same entry instead of regenerating.
+//! * **Optional on-disk tier.** When constructed [`TraceStore::from_env`]
+//!   with `CC_TRACE_CACHE=<dir>` set, misses fall through to
+//!   `<dir>/<key:016x>.cctrace` files in the same hex-stable ASCII
+//!   encoding as sweep checkpoints ([`TraceBuf::encode_compact`]), so
+//!   warm traces survive process restarts and `fig5`-sized reruns skip
+//!   generation entirely. A file that fails to decode is treated as a
+//!   miss, never trusted.
+//! * **Deterministic generation.** The generator runs under the store
+//!   lock: a key is generated exactly once per process no matter how many
+//!   sweep workers race for it, and the counters
+//!   ([`TraceStore::counters`]) make "the warm cell skipped generation"
+//!   an assertable fact rather than a hope.
+
+use cc_sim::cache::WritePolicy;
+use cc_sim::{CacheGeometry, MachineConfig, TraceBuf};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// SplitMix64's finalizer: the same mix `cell_seed` uses.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A content address for one trace: an order-sensitive fold of the
+/// coordinates that determine the event stream — a workload tag, the
+/// machine geometry (block/set/associativity/policy per level, latencies,
+/// pages, TLB size), and any free parameters (tree size, search count,
+/// seed, segment index).
+///
+/// Two cells that fold the same coordinates get the same key and share
+/// one generated trace; any differing coordinate lands elsewhere in the
+/// 64-bit space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    h: u64,
+}
+
+impl TraceKey {
+    /// Starts a key from a workload tag (e.g. `"fig5-ctree"`).
+    pub fn new(tag: &str) -> Self {
+        let mut key = TraceKey { h: 0xCC1A_0E57 };
+        for b in tag.as_bytes() {
+            key = key.fold(u64::from(*b));
+        }
+        key.fold(tag.len() as u64)
+    }
+
+    /// Folds one 64-bit coordinate into the key.
+    pub fn fold(self, v: u64) -> Self {
+        TraceKey {
+            h: mix(self.h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Folds every geometry-relevant field of `machine`: anything that
+    /// changes the *trace* (not just its replay) must be here. Block and
+    /// set geometry change event decomposition in packed buffers is
+    /// address-level, so the full machine shape is folded conservatively.
+    pub fn machine(self, machine: &MachineConfig) -> Self {
+        let geo =
+            |k: Self, g: &CacheGeometry| k.fold(g.sets()).fold(g.block_bytes()).fold(g.assoc());
+        let policy = |p: WritePolicy| match p {
+            WritePolicy::WriteThrough => 0u64,
+            WritePolicy::WriteBack => 1u64,
+        };
+        geo(geo(self, &machine.l1), &machine.l2)
+            .fold(policy(machine.l1_policy))
+            .fold(policy(machine.l2_policy))
+            .fold(machine.latency.l1_hit)
+            .fold(machine.latency.l1_miss)
+            .fold(machine.latency.l2_miss)
+            .fold(machine.latency.tlb_miss)
+            .fold(machine.page_bytes)
+            .fold(machine.tlb_entries as u64)
+            .fold(machine.clock_mhz)
+    }
+
+    /// The finished 64-bit content address.
+    pub fn value(&self) -> u64 {
+        self.h
+    }
+}
+
+/// Observable store activity (monotonic over the store's life).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Requests served from the in-memory tier.
+    pub hits: u64,
+    /// Requests that missed the in-memory tier.
+    pub misses: u64,
+    /// Misses served by decoding an on-disk `.cctrace` file.
+    pub disk_hits: u64,
+    /// Misses that ran the generator closure.
+    pub generations: u64,
+    /// Entries dropped by the byte-budget LRU.
+    pub evictions: u64,
+}
+
+struct Entry {
+    bufs: Arc<Vec<TraceBuf>>,
+    bytes: usize,
+    stamp: u64,
+}
+
+struct StoreInner {
+    map: HashMap<u64, Entry>,
+    bytes: usize,
+    stamp: u64,
+    counters: StoreCounters,
+}
+
+/// The content-addressed trace store. Cheap to share behind an `Arc`;
+/// all methods take `&self`.
+pub struct TraceStore {
+    inner: Mutex<StoreInner>,
+    budget: usize,
+    disk: Option<PathBuf>,
+}
+
+impl TraceStore {
+    /// Default in-memory byte budget: enough for every segment-sized
+    /// trace a quick figure run touches, far below a full `fig5` trace.
+    pub const DEFAULT_BUDGET: usize = 256 << 20;
+
+    /// A memory-only store with `budget` bytes of trace residency.
+    pub fn with_budget(budget: usize) -> Self {
+        TraceStore {
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                bytes: 0,
+                stamp: 0,
+                counters: StoreCounters::default(),
+            }),
+            budget: budget.max(1),
+            disk: None,
+        }
+    }
+
+    /// Adds an on-disk tier rooted at `dir` (created if absent;
+    /// creation failure quietly degrades to memory-only).
+    pub fn with_disk(mut self, dir: PathBuf) -> Self {
+        self.disk = std::fs::create_dir_all(&dir).is_ok().then_some(dir);
+        self
+    }
+
+    /// The standard store: [`TraceStore::DEFAULT_BUDGET`] of memory, plus
+    /// the on-disk tier iff `CC_TRACE_CACHE` names a directory.
+    pub fn from_env() -> Self {
+        let store = TraceStore::with_budget(Self::DEFAULT_BUDGET);
+        match std::env::var_os("CC_TRACE_CACHE") {
+            Some(dir) if !dir.is_empty() => store.with_disk(PathBuf::from(dir)),
+            _ => store,
+        }
+    }
+
+    /// Whether an on-disk tier is active.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// The trace for `key`, generating it with `generate` only on a cold
+    /// miss (both tiers empty). The generator runs under the store lock,
+    /// so each key is generated at most once per process; determinism of
+    /// the *content* is the caller's contract (the generator must be a
+    /// pure function of the key's coordinates).
+    pub fn get_or_generate(
+        &self,
+        key: TraceKey,
+        generate: impl FnOnce() -> Vec<TraceBuf>,
+    ) -> Arc<Vec<TraceBuf>> {
+        let k = key.value();
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if let Some(entry) = inner.map.get_mut(&k) {
+            entry.stamp = stamp;
+            let bufs = Arc::clone(&entry.bufs);
+            inner.counters.hits += 1;
+            return bufs;
+        }
+        inner.counters.misses += 1;
+
+        let (bufs, from_disk) = match self.disk_read(k) {
+            Some(bufs) => (bufs, true),
+            None => {
+                inner.counters.generations += 1;
+                (Arc::new(generate()), false)
+            }
+        };
+        if from_disk {
+            inner.counters.disk_hits += 1;
+        } else if let Some(dir) = &self.disk {
+            // Best-effort persist: an unwritable cache directory degrades
+            // reuse, never results.
+            let _ = std::fs::write(dir.join(format!("{k:016x}.cctrace")), encode_file(&bufs));
+        }
+
+        let bytes: usize = bufs.iter().map(TraceBuf::approx_bytes).sum();
+        inner.bytes += bytes;
+        inner.map.insert(
+            k,
+            Entry {
+                bufs: Arc::clone(&bufs),
+                bytes,
+                stamp,
+            },
+        );
+        // Byte-budget LRU: drop the least-recently-used entries (never
+        // the one being returned) until back under budget.
+        while inner.bytes > self.budget && inner.map.len() > 1 {
+            let Some((&victim, _)) = inner
+                .map
+                .iter()
+                .filter(|(&vk, _)| vk != k)
+                .min_by_key(|(_, e)| e.stamp)
+            else {
+                break;
+            };
+            let dropped = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= dropped.bytes;
+            inner.counters.evictions += 1;
+        }
+        bufs
+    }
+
+    /// Reads and decodes `key`'s on-disk file, if the tier is active and
+    /// the file is intact.
+    fn disk_read(&self, key: u64) -> Option<Arc<Vec<TraceBuf>>> {
+        let dir = self.disk.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(format!("{key:016x}.cctrace"))).ok()?;
+        decode_file(&text).map(Arc::new)
+    }
+
+    /// A snapshot of the activity counters.
+    pub fn counters(&self) -> StoreCounters {
+        self.inner.lock().expect("trace store poisoned").counters
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace store poisoned").bytes
+    }
+
+    /// Distinct traces resident in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace store poisoned").map.len()
+    }
+
+    /// True when no trace is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::with_budget(Self::DEFAULT_BUDGET)
+    }
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("budget", &self.budget)
+            .field("disk", &self.disk)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+/// Encodes a buffer sequence as one `.cctrace` file: a count header, then
+/// each buffer's [`TraceBuf::encode_compact`] lines (exactly five per
+/// buffer) concatenated.
+fn encode_file(bufs: &[TraceBuf]) -> String {
+    let mut s = format!("cctrace v1 {:x}\n", bufs.len());
+    for buf in bufs {
+        s.push_str(&buf.encode_compact());
+    }
+    s
+}
+
+/// Inverse of [`encode_file`]; `None` on any corruption (wrong magic,
+/// wrong count, any buffer failing to decode or validate).
+fn decode_file(text: &str) -> Option<Vec<TraceBuf>> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut header = lines.first()?.split_ascii_whitespace();
+    if header.next()? != "cctrace" || header.next()? != "v1" {
+        return None;
+    }
+    let count = usize::from_str_radix(header.next()?, 16).ok()?;
+    if header.next().is_some() || lines.len() != 1 + 5 * count {
+        return None;
+    }
+    lines[1..]
+        .chunks(5)
+        .map(|chunk| {
+            let mut one = String::new();
+            for line in chunk {
+                one.push_str(line);
+                one.push('\n');
+            }
+            TraceBuf::decode_compact(&one)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::Event;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn trace(seed: u64, len: usize) -> Vec<TraceBuf> {
+        let mut bufs = Vec::new();
+        let mut cur = TraceBuf::with_capacity(8);
+        for i in 0..len as u64 {
+            if cur.is_full() {
+                bufs.push(std::mem::replace(&mut cur, TraceBuf::with_capacity(8)));
+            }
+            match (seed + i) % 4 {
+                0 => cur.push(Event::load((seed ^ i) % 4096, 20)),
+                1 => cur.push(Event::store(i * 24 % 4096, 8)),
+                2 => cur.push(Event::Inst(3)),
+                _ => cur.push(Event::Prefetch { addr: i % 4096 }),
+            }
+        }
+        if !cur.is_empty() {
+            bufs.push(cur);
+        }
+        bufs
+    }
+
+    fn key(n: u64) -> TraceKey {
+        TraceKey::new("store-test").fold(n)
+    }
+
+    #[test]
+    fn warm_key_skips_generation() {
+        let store = TraceStore::with_budget(1 << 20);
+        let calls = AtomicUsize::new(0);
+        let generate = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            trace(1, 30)
+        };
+        let cold = store.get_or_generate(key(1), generate);
+        let warm = store.get_or_generate(key(1), || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            trace(1, 30)
+        });
+        // The acceptance-criterion assertion: the warm request ran no
+        // generator and the counters prove it.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        let c = store.counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.generations, 1);
+        assert_eq!(c.disk_hits, 0);
+    }
+
+    #[test]
+    fn keys_discriminate_coordinates() {
+        let e5000 = MachineConfig::ultrasparc_e5000();
+        let table1 = MachineConfig::table1();
+        let a = TraceKey::new("fig5").machine(&e5000).fold(21);
+        assert_eq!(a, TraceKey::new("fig5").machine(&e5000).fold(21));
+        assert_ne!(a, TraceKey::new("fig7").machine(&e5000).fold(21));
+        assert_ne!(a, TraceKey::new("fig5").machine(&table1).fold(21));
+        assert_ne!(a, TraceKey::new("fig5").machine(&e5000).fold(22));
+        // Order matters: (1, 2) and (2, 1) are different traces.
+        assert_ne!(
+            TraceKey::new("t").fold(1).fold(2),
+            TraceKey::new("t").fold(2).fold(1)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_by_byte_budget_and_keeps_the_hot_entry() {
+        let one = trace(0, 40);
+        let bytes: usize = one.iter().map(TraceBuf::approx_bytes).sum();
+        // Room for two resident traces, not three.
+        let store = TraceStore::with_budget(bytes * 2 + bytes / 2);
+        store.get_or_generate(key(0), || trace(0, 40));
+        store.get_or_generate(key(1), || trace(1, 40));
+        store.get_or_generate(key(0), || unreachable!("key 0 is warm"));
+        store.get_or_generate(key(2), || trace(2, 40)); // evicts key 1 (LRU)
+        assert_eq!(store.counters().evictions, 1);
+        assert_eq!(store.len(), 2);
+        store.get_or_generate(key(0), || unreachable!("key 0 survived the eviction"));
+        let regen = AtomicUsize::new(0);
+        store.get_or_generate(key(1), || {
+            regen.fetch_add(1, Ordering::SeqCst);
+            trace(1, 40)
+        });
+        assert_eq!(regen.load(Ordering::SeqCst), 1, "evicted key regenerates");
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_store() {
+        let dir = std::env::temp_dir().join(format!("cctrace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = trace(9, 50);
+
+        let first = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
+        assert!(first.has_disk());
+        let a = first.get_or_generate(key(9), || trace(9, 50));
+        assert_eq!(a.len(), reference.len());
+
+        // A fresh store (new process, cold memory) over the same directory
+        // must decode the file instead of regenerating.
+        let second = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
+        let b = second.get_or_generate(key(9), || unreachable!("disk tier must serve this"));
+        let c = second.counters();
+        assert_eq!(c.disk_hits, 1);
+        assert_eq!(c.generations, 0);
+        let events_a: Vec<Event> = a.iter().flat_map(|x| x.events()).collect();
+        let events_b: Vec<Event> = b.iter().flat_map(|x| x.events()).collect();
+        assert_eq!(events_a, events_b);
+
+        // A corrupt file is a miss, never trusted.
+        let path = dir.join(format!("{:016x}.cctrace", key(9).value()));
+        std::fs::write(&path, "cctrace v1 zz\ngarbage").unwrap();
+        let third = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
+        let regen = AtomicUsize::new(0);
+        third.get_or_generate(key(9), || {
+            regen.fetch_add(1, Ordering::SeqCst);
+            trace(9, 50)
+        });
+        assert_eq!(regen.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_codec_roundtrips_multiple_buffers() {
+        let bufs = trace(3, 37);
+        let text = encode_file(&bufs);
+        let back = decode_file(&text).expect("roundtrip");
+        assert_eq!(back.len(), bufs.len());
+        for (a, b) in bufs.iter().zip(&back) {
+            let ea: Vec<Event> = a.events().collect();
+            let eb: Vec<Event> = b.events().collect();
+            assert_eq!(ea, eb);
+        }
+        assert!(decode_file("").is_none());
+        assert!(decode_file("cctrace v2 1\n").is_none());
+        // Truncated: count promises more buffers than the file holds.
+        let truncated: String = text.lines().take(1 + 5).collect::<Vec<_>>().join("\n");
+        if bufs.len() > 1 {
+            assert!(decode_file(&truncated).is_none());
+        }
+    }
+}
