@@ -1,0 +1,101 @@
+//! Audit rules over measured miss attribution.
+//!
+//! The structural rules in [`crate::rules`] predict conflicts from the
+//! layout alone. The simulator's miss-attribution profiler
+//! ([`cc_obs::MissProfile`]) measures them: every eviction is charged
+//! to a (victim region, evictor region) pair. This module turns those
+//! measurements into [`Finding`]s — the CONFLICT-01 rule fires when two
+//! *different* regions evict each other's blocks more than a threshold,
+//! which is exactly the cross-structure interference the paper's
+//! coloring removes. (A region evicting *itself* is a capacity or
+//! clustering problem, already covered by CLUSTER-01/SET-01, and is not
+//! reported here.)
+
+use cc_obs::attrib::Level;
+use cc_obs::MissProfile;
+
+use crate::report::{Finding, Rule};
+
+/// Findings for every cross-region conflict pair with at least
+/// `min_evictions` measured evictions.
+///
+/// Pairs are reported in the profile's deterministic (level, victim,
+/// evictor) order. Self-conflicts are skipped; so is any pair below
+/// the threshold. `min_evictions` of 0 is clamped to 1 — a pair that
+/// never evicted anything is not a conflict.
+pub fn conflict_findings(profile: &MissProfile, min_evictions: u64) -> Vec<Finding> {
+    let threshold = min_evictions.max(1);
+    let map = profile.region_map();
+    profile
+        .conflict_pairs()
+        .into_iter()
+        .filter(|p| p.victim != p.evictor && p.count >= threshold)
+        .map(|p| {
+            let level = match p.level {
+                Level::L1 => "L1",
+                Level::L2 => "L2",
+            };
+            Finding::new(
+                Rule::Conflict01,
+                format!(
+                    "region '{}' lost {} {} block(s) to region '{}' \
+                     (measured by miss attribution)",
+                    map.name(p.victim),
+                    p.count,
+                    level,
+                    map.name(p.evictor),
+                ),
+                Vec::new(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_obs::RegionMap;
+    use std::sync::Arc;
+
+    fn profile_with_conflicts() -> MissProfile {
+        let mut map = RegionMap::new();
+        let tree = map.register("tree", 0x1000, 0x2000);
+        let list = map.register("list", 0x3000, 0x4000);
+        let mut p = MissProfile::new(Arc::new(map));
+        for _ in 0..5 {
+            p.record_eviction(Level::L1, tree, list);
+        }
+        p.record_eviction(Level::L2, list, tree);
+        // Self-eviction: never a CONFLICT-01 finding.
+        p.record_eviction(Level::L1, tree, tree);
+        p
+    }
+
+    #[test]
+    fn cross_region_pairs_become_findings() {
+        let findings = conflict_findings(&profile_with_conflicts(), 1);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == Rule::Conflict01));
+        assert!(findings[0]
+            .message
+            .contains("'tree' lost 5 L1 block(s) to region 'list'"));
+        assert!(findings[1]
+            .message
+            .contains("'list' lost 1 L2 block(s) to region 'tree'"));
+    }
+
+    #[test]
+    fn threshold_filters_small_pairs() {
+        let findings = conflict_findings(&profile_with_conflicts(), 2);
+        assert_eq!(findings.len(), 1, "only the 5-eviction pair survives");
+        // Zero clamps to one rather than reporting never-fired pairs.
+        assert_eq!(conflict_findings(&profile_with_conflicts(), 0).len(), 2);
+    }
+
+    #[test]
+    fn quiet_profile_is_clean() {
+        let map = Arc::new(RegionMap::new());
+        let p = MissProfile::new(map);
+        assert!(conflict_findings(&p, 1).is_empty());
+    }
+}

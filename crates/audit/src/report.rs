@@ -21,17 +21,22 @@ pub enum Rule {
     Set01,
     /// Allocation needlessly straddling a cache-block boundary.
     Align01,
+    /// Two regions measured (by the miss-attribution profiler) evicting
+    /// each other's blocks — cross-structure conflict the paper's
+    /// coloring exists to remove.
+    Conflict01,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Color01,
         Rule::Color02,
         Rule::Cluster01,
         Rule::Cluster02,
         Rule::Set01,
         Rule::Align01,
+        Rule::Conflict01,
     ];
 
     /// Stable diagnostic id.
@@ -43,6 +48,7 @@ impl Rule {
             Rule::Cluster02 => "CLUSTER-02",
             Rule::Set01 => "SET-01",
             Rule::Align01 => "ALIGN-01",
+            Rule::Conflict01 => "CONFLICT-01",
         }
     }
 
@@ -50,7 +56,7 @@ impl Rule {
     pub fn severity(&self) -> Severity {
         match self {
             Rule::Color01 | Rule::Cluster01 => Severity::Error,
-            Rule::Color02 | Rule::Cluster02 | Rule::Set01 => Severity::Warning,
+            Rule::Color02 | Rule::Cluster02 | Rule::Set01 | Rule::Conflict01 => Severity::Warning,
             Rule::Align01 => Severity::Info,
         }
     }
@@ -83,6 +89,12 @@ impl Rule {
             Rule::Align01 => {
                 "align: start the allocation on a block boundary or pack it \
                  within one block; a straddling element costs two fetches"
+            }
+            Rule::Conflict01 => {
+                "color: move the two regions into disjoint cache sets \
+                 (ccmorph with a ColorConfig, or separate arenas aligned to \
+                 different way offsets); mutual eviction is pure conflict \
+                 traffic"
             }
         }
     }

@@ -165,4 +165,5 @@ fn main() {
             cc_bench::human_bytes(*footprint)
         );
     }
+    cc_bench::obs::write_obs_out();
 }

@@ -48,4 +48,5 @@ fn main() {
             delta
         );
     }
+    cc_bench::obs::write_obs_out();
 }

@@ -75,8 +75,10 @@ struct Timing {
     shards: usize,
     scalar_ns: f64,
     batched_ns: f64,
+    batched_obs_ns: f64,
     sharded_ns: f64,
     sharded_wall_ns: f64,
+    obs_overhead_pct: f64,
     scalar_refs_per_sec: f64,
     batched_refs_per_sec: f64,
     sharded_refs_per_sec: f64,
@@ -138,6 +140,20 @@ fn run_batched(machine: &MachineConfig, chunks: &[TraceBuf]) -> u64 {
         cycles += out.cycles;
     }
     cycles
+}
+
+/// Drains prepacked chunks through the batched fast path with the
+/// process-wide observability surface engaged, at the granularity the
+/// figure binaries use it: one span around the replay, counters bumped
+/// once per replay. The gap between this and [`run_batched`] is the
+/// whole cost of having cc-obs wired in, and CI gates it at 5%.
+fn run_batched_obs(machine: &MachineConfig, chunks: &[TraceBuf]) -> u64 {
+    cc_bench::obs::span("batched replay", "engine", 0, || {
+        let cycles = run_batched(machine, chunks);
+        cc_bench::obs::bump("engine.batched_obs.replays", 1);
+        cc_bench::obs::bump("engine.batched_obs.chunks", chunks.len() as u64);
+        cycles
+    })
 }
 
 /// One sharded replay of a prepared split on a fresh replayer, lanes run
@@ -301,6 +317,12 @@ fn write_json(
         writeln!(f, "      \"shards\": {},", t.shards)?;
         writeln!(f, "      \"scalar_ns_per_replay\": {:.0},", t.scalar_ns)?;
         writeln!(f, "      \"batched_ns_per_replay\": {:.0},", t.batched_ns)?;
+        writeln!(
+            f,
+            "      \"batched_obs_ns_per_replay\": {:.0},",
+            t.batched_obs_ns
+        )?;
+        writeln!(f, "      \"obs_overhead_pct\": {:.2},", t.obs_overhead_pct)?;
         writeln!(f, "      \"sharded_ns_per_replay\": {:.0},", t.sharded_ns)?;
         writeln!(
             f,
@@ -553,6 +575,7 @@ fn main() {
         // drift in host load is shared instead of biasing one side.
         let mut scalar_best = f64::MAX;
         let mut batched_best = f64::MAX;
+        let mut batched_obs_best = f64::MAX;
         let mut sharded_best = f64::MAX;
         let mut sharded_wall_best = f64::MAX;
         for _ in 0..samples {
@@ -562,6 +585,9 @@ fn main() {
             let start = Instant::now();
             black_box(run_batched(black_box(&machine), black_box(&chunks)));
             batched_best = batched_best.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(run_batched_obs(black_box(&machine), black_box(&chunks)));
+            batched_obs_best = batched_obs_best.min(start.elapsed().as_secs_f64());
             let (critical, cycles) =
                 run_sharded_serial(black_box(&machine), SHARDS, black_box(&split));
             black_box(cycles);
@@ -578,6 +604,7 @@ fn main() {
         let memory_refs = trace.memory_refs();
         let scalar_ns = scalar_best * 1e9;
         let batched_ns = batched_best * 1e9;
+        let batched_obs_ns = batched_obs_best * 1e9;
         let sharded_ns = sharded_best * 1e9;
         timings.push(Timing {
             name: spec.name,
@@ -588,8 +615,10 @@ fn main() {
             shards: plan.shards(),
             scalar_ns,
             batched_ns,
+            batched_obs_ns,
             sharded_ns,
             sharded_wall_ns: sharded_wall_best * 1e9,
+            obs_overhead_pct: 100.0 * (batched_obs_ns - batched_ns) / batched_ns,
             scalar_refs_per_sec: memory_refs as f64 / scalar_best,
             batched_refs_per_sec: memory_refs as f64 / batched_best,
             sharded_refs_per_sec: memory_refs as f64 / sharded_best,
@@ -622,7 +651,7 @@ fn main() {
     }
 
     println!(
-        "\n{:<24}{:>12}{:>11}{:>15}{:>15}{:>15}{:>9}{:>9}",
+        "\n{:<24}{:>12}{:>11}{:>15}{:>15}{:>15}{:>9}{:>9}{:>8}",
         "trace",
         "layout",
         "mem refs",
@@ -630,11 +659,12 @@ fn main() {
         "batch refs/s",
         "shard refs/s",
         "b/s",
-        "sh/b"
+        "sh/b",
+        "obs%"
     );
     for t in &timings {
         println!(
-            "{:<24}{:>12}{:>11}{:>15.0}{:>15.0}{:>15.0}{:>8.2}x{:>8.2}x",
+            "{:<24}{:>12}{:>11}{:>15.0}{:>15.0}{:>15.0}{:>8.2}x{:>8.2}x{:>7.2}%",
             t.name,
             t.layout,
             t.memory_refs,
@@ -642,7 +672,8 @@ fn main() {
             t.batched_refs_per_sec,
             t.sharded_refs_per_sec,
             t.speedup,
-            t.sharded_speedup_vs_batched
+            t.sharded_speedup_vs_batched,
+            t.obs_overhead_pct
         );
     }
     println!("\nshard scaling (fig5-ctree-full, critical-path ns/replay):");
@@ -662,8 +693,24 @@ fn main() {
     }
     println!("\nwrote {out_path}");
 
+    // Fold the trace-store counters into the unified metrics snapshot and
+    // flush CC_OBS_OUT before the gates can exit nonzero — a regression
+    // report with no observability artifact would be the worst of both.
+    let mut reg = cc_obs::MetricsRegistry::new();
+    cc_sweep::obs::export_store(&mut reg, "engine.trace_store", &store.counters());
+    cc_bench::obs::absorb(&reg);
+    cc_bench::obs::write_obs_out();
+
     let mut failed = false;
     for t in &timings {
+        if t.obs_overhead_pct > 5.0 {
+            eprintln!(
+                "REGRESSION: {} obs-enabled batched replay is {:.2}% slower than plain \
+                 (gate: 5%); the observability hooks are no longer ~free",
+                t.name, t.obs_overhead_pct
+            );
+            failed = true;
+        }
         if t.batched_refs_per_sec < t.scalar_refs_per_sec {
             eprintln!(
                 "REGRESSION: {} batched ({:.0} refs/s) is slower than scalar ({:.0} refs/s)",

@@ -96,4 +96,5 @@ fn main() {
         "\npaper: model underestimates measured speedup by ~15% (TLB and L1\n\
          effects absent from the model); both curves decline with tree size."
     );
+    cc_bench::obs::write_obs_out();
 }

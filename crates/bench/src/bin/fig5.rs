@@ -403,4 +403,12 @@ fn main() {
         "  C-tree vs B-tree:                {:.2}x  (paper: ~1.5x)",
         btree / ctree
     );
+    let mut reg = cc_obs::MetricsRegistry::new();
+    reg.set("fig5.cells", cells.len() as u64);
+    reg.set("fig5.keys", n);
+    if let Some(store) = &env.store {
+        cc_sweep::obs::export_store(&mut reg, "fig5.trace_store", &store.counters());
+    }
+    cc_bench::obs::absorb(&reg);
+    cc_bench::obs::write_obs_out();
 }

@@ -74,4 +74,5 @@ fn main() {
         &vbase.breakdown,
     );
     println!("  (paper: ccmalloc new-block gave a 27% speedup => bar at ~79)");
+    cc_bench::obs::write_obs_out();
 }

@@ -295,4 +295,5 @@ fn main() {
         "treeadd's hinted new-block heap violates the layout it promised:\n{}",
         ta_na.text
     );
+    cc_bench::obs::write_obs_out();
 }

@@ -1,0 +1,187 @@
+//! **`cc-profile`** — the miss-attribution profiler CLI.
+//!
+//! Runs a quick cut of the Figure 5 tree-search workload (the
+//! random-clustered layout, the one the paper's transformations exist to
+//! fix) with per-region miss attribution enabled, and reports where the
+//! misses actually land:
+//!
+//! * per-region demand accesses / hits / misses / evictions at L1 and L2,
+//! * every cross-region conflict pair — "region A lost N blocks to
+//!   region B" — rendered both raw and as `cc-audit` CONFLICT-01
+//!   findings.
+//!
+//! The tree's address extent is split into two equal halves
+//! (`tree/lower-half`, `tree/upper-half`); a tree larger than L2 under
+//! random search *must* show the halves evicting each other, so the run
+//! exits nonzero if no cross-region pair is measured — that would mean
+//! the profiler lost its hooks.
+//!
+//! ```text
+//! usage: cc-profile [keys] [searches]        (defaults: 65535, 50000)
+//! ```
+//!
+//! With `CC_OBS_OUT=<path>` set, the unified metrics snapshot goes to
+//! `<path>`, the span trace to `<path>.trace.json`, and the full
+//! attribution profile (byte-stable JSON) to `<path>.attrib.json`.
+
+use cc_bench::replay::{build_bst, SearchReplay, TreeSpec};
+use cc_bench::{header, human_bytes, obs};
+use cc_obs::attrib::Level;
+use cc_obs::{MissProfile, RegionId, RegionMap};
+use cc_sim::MachineConfig;
+use cc_sweep::TraceKey;
+use cc_trees::BST_NODE_BYTES;
+use std::sync::Arc;
+
+/// The fig5 random-clustered recipe (same seed as the figure).
+const SPEC_RANDOM: TreeSpec = TreeSpec {
+    randomize: Some(0xA11),
+    depth_first: false,
+    morph: false,
+};
+
+fn print_tally(profile: &MissProfile, region: RegionId, map: &RegionMap) {
+    for level in [Level::L1, Level::L2] {
+        let t = profile.tally(level, region);
+        let miss_pct = if t.accesses == 0 {
+            0.0
+        } else {
+            100.0 * t.misses as f64 / t.accesses as f64
+        };
+        println!(
+            "  {:<18} {:>3}  {:>10} {:>10} {:>10} {:>9.2}% {:>10}",
+            map.name(region),
+            match level {
+                Level::L1 => "L1",
+                Level::L2 => "L2",
+            },
+            t.accesses,
+            t.hits,
+            t.misses,
+            miss_pct,
+            t.evictions,
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.and_then_parse(65_535);
+    let searches: u64 = args.and_then_parse(50_000);
+
+    let machine = MachineConfig::ultrasparc_e5000();
+    header(
+        "cc-profile: per-region miss attribution",
+        &format!(
+            "{n} keys ({} of tree data), {searches} random searches, random-clustered layout",
+            human_bytes(n * BST_NODE_BYTES),
+        ),
+    );
+
+    let tree = obs::span("build tree", "profile", 0, || {
+        build_bst(&machine, n, SPEC_RANDOM)
+    });
+
+    // Two regions covering the tree's address extent, split at the
+    // midpoint. The random layout scatters nodes across the whole
+    // extent, so every search path crosses both halves.
+    let addrs = || (0..n as usize).map(|id| tree.addr_of(id));
+    let lo = addrs().min().expect("tree is nonempty");
+    let hi = addrs().max().expect("tree is nonempty") + BST_NODE_BYTES;
+    let mid = lo + (hi - lo) / 2;
+    let mut map = RegionMap::new();
+    let lower = map.register("tree/lower-half", lo, mid);
+    let upper = map.register("tree/upper-half", mid, hi);
+    let map = Arc::new(map);
+
+    let mut replay = SearchReplay::new(machine, n, 0x51EE7, 1, None, TraceKey::new("profile"));
+    replay.enable_attribution(Arc::clone(&map));
+    replay.advance_to(searches, |k, buf| {
+        tree.search(k, buf, false);
+    });
+    assert_eq!(
+        replay.degradation(),
+        cc_sim::ShardDegradation::default(),
+        "profiled replay degraded; the attribution below would be partial"
+    );
+    let profile = replay.attribution().expect("attribution was enabled");
+
+    println!(
+        "\navg simulated search time: {:.2} us",
+        replay.avg_us_per_search()
+    );
+
+    println!("\nper-region attribution:");
+    println!(
+        "  {:<18} {:>3}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "region", "lvl", "accesses", "hits", "misses", "miss%", "evictions"
+    );
+    for region in [RegionId::OTHER, lower, upper] {
+        print_tally(&profile, region, &map);
+    }
+
+    let pairs = profile.conflict_pairs();
+    let cross: Vec<_> = pairs.iter().filter(|p| p.victim != p.evictor).collect();
+    println!("\nconflict pairs (victim lost blocks to evictor):");
+    for p in &pairs {
+        println!(
+            "  {:<3} {:<18} <- {:<18} {:>10}",
+            match p.level {
+                Level::L1 => "L1",
+                Level::L2 => "L2",
+            },
+            map.name(p.victim),
+            map.name(p.evictor),
+            p.count,
+        );
+    }
+
+    println!("\ncc-audit CONFLICT-01 findings:");
+    for f in cc_audit::attrib::conflict_findings(&profile, 1) {
+        println!("  [{}] {}", f.rule.id(), f.message);
+    }
+
+    // Unified metrics snapshot: the profiler's headline numbers join the
+    // process-wide registry the figure binaries share.
+    obs::set("profile.keys", n);
+    obs::set("profile.searches", searches);
+    obs::set("profile.conflict_pairs.cross_region", cross.len() as u64);
+    for (level, tag) in [(Level::L1, "l1"), (Level::L2, "l2")] {
+        let t = profile.totals(level);
+        obs::set(&format!("profile.{tag}.accesses"), t.accesses);
+        obs::set(&format!("profile.{tag}.misses"), t.misses);
+        obs::set(&format!("profile.{tag}.evictions"), t.evictions);
+    }
+    if let Some(path) = std::env::var_os("CC_OBS_OUT") {
+        if !path.is_empty() {
+            let mut p = path;
+            p.push(".attrib.json");
+            if let Err(e) = std::fs::write(&p, profile.to_json()) {
+                eprintln!(
+                    "warning: CC_OBS_OUT {}: {e}",
+                    std::path::Path::new(&p).display()
+                );
+            }
+        }
+    }
+    obs::write_obs_out();
+
+    if cross.is_empty() {
+        eprintln!(
+            "error: no cross-region conflict pair measured — \
+             the attribution hooks are not seeing evictions"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Tiny arg helper: next arg parsed, or the default.
+trait AndThenParse {
+    fn and_then_parse(&mut self, default: u64) -> u64;
+}
+
+impl<I: Iterator<Item = String>> AndThenParse for I {
+    fn and_then_parse(&mut self, default: u64) -> u64 {
+        self.next().and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}

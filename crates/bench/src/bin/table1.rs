@@ -73,4 +73,5 @@ fn main() {
         "  {:<24} {} MHz, {} B pages",
         "clock / pages", e.clock_mhz, e.page_bytes
     );
+    cc_bench::obs::write_obs_out();
 }

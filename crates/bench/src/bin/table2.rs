@@ -59,4 +59,5 @@ fn main() {
     println!(
         "\npaper: treeadd 4 MB / health 828 KB (3000 steps) / mst 12 KB / perimeter 64 MB (4K image)"
     );
+    cc_bench::obs::write_obs_out();
 }

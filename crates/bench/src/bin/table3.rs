@@ -61,4 +61,5 @@ fn main() {
          - ccmalloc new-block: best allocator on health/mst at small memory cost (fig7)\n\
          - mini-RADIANCE ~20-25%, mini-VIS ~16% faster (fig6)"
     );
+    cc_bench::obs::write_obs_out();
 }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod obs;
 pub mod replay;
 
 use cc_sim::Breakdown;

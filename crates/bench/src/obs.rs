@@ -1,0 +1,118 @@
+//! Process-wide observability surface for the figure binaries.
+//!
+//! The figure binaries are ordinary `main`s scattered across `src/bin`;
+//! threading a [`MetricsRegistry`] through every call chain (checkpoint
+//! plumbing, replay loops, audit hooks) would churn every signature for
+//! what is fundamentally process-global state. Instead this module owns
+//! one registry and one [`SpanTracer`] per process, and the binaries
+//! call [`write_obs_out`] once before exiting.
+//!
+//! Nothing here ever touches stdout: the figure tables stay
+//! byte-identical whether or not observability is consumed. Output goes
+//! to the path named by `CC_OBS_OUT` (metrics, and `<path>.trace.json`
+//! for spans) and failures to write degrade to a stderr warning — the
+//! never-panic contract extends to the observer.
+
+use cc_obs::{MetricsRegistry, SpanTracer};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn registry() -> &'static Mutex<MetricsRegistry> {
+    static REGISTRY: OnceLock<Mutex<MetricsRegistry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(MetricsRegistry::new()))
+}
+
+fn tracer_cell() -> &'static Mutex<SpanTracer> {
+    static TRACER: OnceLock<Mutex<SpanTracer>> = OnceLock::new();
+    TRACER.get_or_init(|| Mutex::new(SpanTracer::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicked cell thread must not take the whole figure's metrics
+    // with it; the counters are plain integers, always consistent.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Adds `delta` to the process-wide metric `key`.
+pub fn bump(key: &str, delta: u64) {
+    lock(registry()).bump(key, delta);
+}
+
+/// Sets the process-wide metric `key` to `value`.
+pub fn set(key: &str, value: u64) {
+    lock(registry()).set(key, value);
+}
+
+/// A copy of the process-wide registry as it stands.
+pub fn snapshot() -> MetricsRegistry {
+    lock(registry()).clone()
+}
+
+/// Folds an already-aggregated registry (e.g. one built from heap or
+/// store counters at the end of a run) into the process-wide one.
+pub fn absorb(other: &MetricsRegistry) {
+    lock(registry()).merge(other);
+}
+
+/// Runs `f` with the process-wide span tracer locked.
+pub fn with_tracer<T>(f: impl FnOnce(&mut SpanTracer) -> T) -> T {
+    f(&mut lock(tracer_cell()))
+}
+
+/// Times `f` as one span on the process-wide tracer.
+pub fn span<T>(name: &str, cat: &'static str, tid: u64, f: impl FnOnce() -> T) -> T {
+    let open = lock(tracer_cell()).start(name, cat, tid);
+    let out = f();
+    lock(tracer_cell()).finish(open);
+    out
+}
+
+/// Writes the metrics snapshot to the path named by `CC_OBS_OUT` (and
+/// the span trace to `<path>.trace.json`), if the variable is set.
+/// Stdout is never touched; write failures warn on stderr and return —
+/// observability must not be able to fail a figure.
+pub fn write_obs_out() {
+    let Some(path) = std::env::var_os("CC_OBS_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let path = std::path::PathBuf::from(path);
+    let metrics = snapshot().to_json();
+    if let Err(e) = std::fs::write(&path, metrics) {
+        eprintln!("warning: CC_OBS_OUT {}: {e}", path.display());
+        return;
+    }
+    let trace = with_tracer(|t| t.to_chrome_json());
+    let trace_path = {
+        let mut p = path.into_os_string();
+        p.push(".trace.json");
+        std::path::PathBuf::from(p)
+    };
+    if let Err(e) = std::fs::write(&trace_path, trace) {
+        eprintln!("warning: CC_OBS_OUT {}: {e}", trace_path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_set_snapshot_roundtrip() {
+        bump("test.obs.counter", 2);
+        bump("test.obs.counter", 1);
+        set("test.obs.gauge", 9);
+        let snap = snapshot();
+        assert_eq!(snap.get("test.obs.counter"), Some(3));
+        assert_eq!(snap.get("test.obs.gauge"), Some(9));
+    }
+
+    #[test]
+    fn span_returns_the_closure_value_and_records() {
+        let before = with_tracer(|t| t.len());
+        let v = span("unit", "test", 0, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(with_tracer(|t| t.len()), before + 1);
+    }
+}

@@ -183,6 +183,11 @@ impl<'a> SearchReplay<'a> {
     /// [`SearchReplay::reset_stats`] (or construction). `search` records
     /// one search for a key into the trace buffer — it is only invoked on
     /// store misses, so a warm store skips tree traversal entirely.
+    ///
+    /// Each segment (and each trace generation inside it) is recorded as
+    /// a span on the process tracer, so a `CC_OBS_OUT` trace shows where
+    /// replay epochs spend their wall-clock time. Spans never touch the
+    /// simulated results.
     pub fn advance_to(&mut self, target: u64, mut search: impl FnMut(u64, &mut TraceBuffer)) {
         while self.done < target {
             let count = SEG_CAP.min(target - self.done);
@@ -190,27 +195,46 @@ impl<'a> SearchReplay<'a> {
             // not depend on whether the segment is cached.
             let keys: Vec<u64> = (0..count).map(|_| 2 * self.rng.below(self.n)).collect();
             let mut generate = || {
-                let mut buf = TraceBuffer::new();
-                for &k in &keys {
-                    search(k, &mut buf);
-                }
-                pack_full(&buf)
+                crate::obs::span("generate", "store", 0, || {
+                    let mut buf = TraceBuffer::new();
+                    for &k in &keys {
+                        search(k, &mut buf);
+                    }
+                    pack_full(&buf)
+                })
             };
             // The segment key carries the epoch because `done` rewinds on
             // reset while the RNG does not; without it a post-reset
             // segment could collide with a pre-reset one recorded at a
             // different RNG position.
             let seg_key = self.key.fold(self.epoch).fold(self.done).fold(count);
-            let split = match self.store {
-                Some(store) => {
-                    let bufs = store.get_or_generate(seg_key, generate);
-                    self.replayer.split(&bufs)
-                }
-                None => self.replayer.split(&generate()),
-            };
-            self.replayer.replay(&split);
+            crate::obs::bump("replay.segments", 1);
+            crate::obs::bump("replay.searches", count);
+            let seg_name = format!("segment[epoch {} @ {}]", self.epoch, self.done);
+            crate::obs::span(&seg_name, "replay", 0, || {
+                let split = match self.store {
+                    Some(store) => {
+                        let bufs = store.get_or_generate(seg_key, generate);
+                        self.replayer.split(&bufs)
+                    }
+                    None => self.replayer.split(&generate()),
+                };
+                self.replayer.replay(&split);
+            });
             self.done += count;
         }
+    }
+
+    /// Enables per-region miss attribution on every shard lane (see
+    /// [`ShardedReplayer::enable_attribution`]). Replay forfeits its
+    /// memoized fast paths — slower wall-clock, bit-identical results.
+    pub fn enable_attribution(&mut self, map: std::sync::Arc<cc_obs::RegionMap>) {
+        self.replayer.enable_attribution(map);
+    }
+
+    /// The merged attribution profile across all lanes, if enabled.
+    pub fn attribution(&self) -> Option<cc_obs::MissProfile> {
+        self.replayer.attribution()
     }
 
     /// Searches replayed since the last reset.

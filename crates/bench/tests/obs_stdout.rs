@@ -1,0 +1,81 @@
+//! Observability must be invisible on stdout.
+//!
+//! The figure binaries' stdout is the reproduction artifact — tables
+//! diffed against the paper, parsed by scripts, pinned by releases.
+//! `CC_OBS_OUT` routes the metrics snapshot and span trace to files and
+//! never writes a byte to stdout; these differential tests run a binary
+//! both ways and require the two stdouts to be byte-identical (and the
+//! observability files to actually appear).
+//!
+//! Only the fast binaries run here (the full figures take minutes in
+//! debug builds); the invariant itself is structural — `write_obs_out`
+//! has no stdout path — and this pins it end to end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str], obs_out: Option<&PathBuf>) -> Vec<u8> {
+    let mut cmd = Command::new(bin);
+    cmd.args(args)
+        // A checkpoint or trace-cache dir inherited from the caller's
+        // environment would make the two runs legitimately diverge.
+        .env_remove("CC_SWEEP_CHECKPOINT")
+        .env_remove("CC_TRACE_CACHE");
+    match obs_out {
+        Some(path) => cmd.env("CC_OBS_OUT", path),
+        None => cmd.env_remove("CC_OBS_OUT"),
+    };
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_stdout_identical(bin: &str, args: &[&str], tag: &str) {
+    let obs_path = std::env::temp_dir().join(format!("cc-obs-diff-{}-{tag}", std::process::id()));
+    let plain = run(bin, args, None);
+    let observed = run(bin, args, Some(&obs_path));
+    assert!(
+        obs_path.exists(),
+        "{tag}: CC_OBS_OUT was set but no metrics file appeared"
+    );
+    let metrics = std::fs::read_to_string(&obs_path).expect("read metrics");
+    assert!(
+        metrics.starts_with('{') && metrics.ends_with('}'),
+        "{tag}: metrics file is not a JSON object: {metrics:?}"
+    );
+    let _ = std::fs::remove_file(&obs_path);
+    let trace_path = {
+        let mut p = obs_path.into_os_string();
+        p.push(".trace.json");
+        PathBuf::from(p)
+    };
+    assert!(trace_path.exists(), "{tag}: span trace file missing");
+    let _ = std::fs::remove_file(&trace_path);
+    assert_eq!(
+        plain, observed,
+        "{tag}: stdout changed when CC_OBS_OUT was enabled"
+    );
+}
+
+#[test]
+fn table1_stdout_is_byte_identical_with_obs() {
+    assert_stdout_identical(env!("CARGO_BIN_EXE_table1"), &[], "table1");
+}
+
+#[test]
+fn table3_stdout_is_byte_identical_with_obs() {
+    assert_stdout_identical(env!("CARGO_BIN_EXE_table3"), &[], "table3");
+}
+
+#[test]
+fn cc_profile_stdout_is_byte_identical_with_obs() {
+    assert_stdout_identical(
+        env!("CARGO_BIN_EXE_cc-profile"),
+        &["1023", "2000"],
+        "cc-profile",
+    );
+}

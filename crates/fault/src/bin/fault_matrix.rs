@@ -19,6 +19,7 @@ use cc_core::topology::Topology;
 use cc_core::{try_ccmorph, CcMorphParams, LayoutError};
 use cc_fault::FaultPlan;
 use cc_heap::{Allocator, CcMalloc, HeapError, Malloc, Strategy, VirtualSpace};
+use cc_obs::MetricsRegistry;
 use cc_sim::MachineConfig;
 use cc_sweep::{cell_seed, Sweep};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,8 +65,13 @@ impl Topology for VecTree {
 
 /// A hinted allocate/free churn against one allocator with faults armed.
 /// Every injected fault must come back as a typed error or a counted
-/// fallback — never a panic.
-fn churn<A: Allocator>(name: &str, mut heap: A) -> Result<String, String> {
+/// fallback — never a panic. Degradation counts land in `reg` under
+/// `fault.heap.{name}.*`.
+fn churn<A: Allocator>(
+    name: &str,
+    mut heap: A,
+    reg: &mut MetricsRegistry,
+) -> Result<String, String> {
     let mut typed_errors = 0u64;
     let mut live: Vec<u64> = Vec::new();
     let mut prev = None;
@@ -88,6 +94,15 @@ fn churn<A: Allocator>(name: &str, mut heap: A) -> Result<String, String> {
         heap.try_free(addr).map_err(|e| format!("{name}: {e}"))?;
     }
     let stats = heap.stats();
+    reg.bump(
+        &format!("fault.heap.{name}.fallback_allocations"),
+        stats.fallback_allocations(),
+    );
+    reg.bump(
+        &format!("fault.heap.{name}.degraded_hints"),
+        stats.degraded_hints(),
+    );
+    reg.bump(&format!("fault.heap.{name}.typed_errors"), typed_errors);
     Ok(format!(
         "{name} allocs={} fallbacks={} degraded={} typed_errors={typed_errors}",
         stats.allocations(),
@@ -98,7 +113,7 @@ fn churn<A: Allocator>(name: &str, mut heap: A) -> Result<String, String> {
 
 /// Heap plane: the churn over both allocators with the seed's schedule
 /// installed.
-fn heap_plane(seed: u64) -> Result<String, String> {
+fn heap_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
     // Small pages so the churn crosses page boundaries often enough for
     // armed denials to actually meet a fresh-page request.
     let schedule = FaultPlan::new(seed).heap_faults(8, 48).heap_schedule();
@@ -108,14 +123,14 @@ fn heap_plane(seed: u64) -> Result<String, String> {
     base.set_fault_schedule(schedule);
     Ok(format!(
         "{}; {}",
-        churn("ccmalloc", cc)?,
-        churn("malloc", base)?
+        churn("ccmalloc", cc, reg)?,
+        churn("malloc", base, reg)?
     ))
 }
 
 /// Morph plane: seed-chosen structural corruption fed to `try_ccmorph`,
 /// which must reject it with a typed error and leave the space untouched.
-fn morph_plane(seed: u64) -> Result<String, String> {
+fn morph_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
     let mut rng = cc_core::rng::SplitMix64::new(seed);
     let machine = MachineConfig::test_tiny();
     let mut tree = VecTree::binary(31);
@@ -156,12 +171,13 @@ fn morph_plane(seed: u64) -> Result<String, String> {
         (3, LayoutError::ZeroElemBytes) => "zero-elem",
         (_, other) => return Err(format!("kind {kind} raised the wrong class: {other}")),
     };
+    reg.bump("fault.morph.rejections", 1);
     Ok(format!("rejected {label} (kind {kind})"))
 }
 
 /// Sweep plane: poisoned first attempts must be retried in place; the
 /// grid must complete with every result present and deterministic.
-fn sweep_plane(seed: u64) -> Result<String, String> {
+fn sweep_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
     let plan = FaultPlan::new(seed).sweep_poisons(2);
     let cells: Vec<u64> = (0..12).collect();
     let compute = |i: usize| cell_seed(seed, i as u64).count_ones() as u64;
@@ -187,6 +203,7 @@ fn sweep_plane(seed: u64) -> Result<String, String> {
     if retried != expected {
         return Err(format!("retried {retried} cells, expected {expected}"));
     }
+    reg.bump("fault.sweep.retried_cells", retried as u64);
     Ok(format!("retried={retried} of 12 cells"))
 }
 
@@ -194,7 +211,7 @@ fn sweep_plane(seed: u64) -> Result<String, String> {
 /// replayer must absorb every panic through its serial fallback — stats
 /// bit-identical to a clean replay, degradation counters honest, nothing
 /// escaping.
-fn shard_plane(seed: u64) -> Result<String, String> {
+fn shard_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
     let machine = MachineConfig::table1();
     const SHARDS: usize = 6;
     let plan = FaultPlan::new(seed).shard_poisons(2);
@@ -240,6 +257,9 @@ fn shard_plane(seed: u64) -> Result<String, String> {
     if clean.degradation() != cc_sim::ShardDegradation::default() {
         return Err("clean replay reported degradation".into());
     }
+    reg.bump("fault.shard.worker_panics", d.worker_panics);
+    reg.bump("fault.shard.fallback_lanes", d.fallback_lanes);
+    reg.bump("fault.shard.lost_lanes", d.lost_lanes);
     Ok(format!(
         "{} poisoned worker(s) of {SHARDS} fell back serially, stats exact",
         poisoned.len()
@@ -272,16 +292,20 @@ fn main() {
     // report captured payloads ourselves.
     std::panic::set_hook(Box::new(|_| {}));
 
-    let planes: [(&str, fn(u64) -> Result<String, String>); 4] = [
+    let planes: [(
+        &str,
+        fn(u64, &mut MetricsRegistry) -> Result<String, String>,
+    ); 4] = [
         ("heap", heap_plane),
         ("morph", morph_plane),
         ("sweep", sweep_plane),
         ("shard", shard_plane),
     ];
+    let mut reg = MetricsRegistry::new();
     let mut escaped = 0u32;
     for &seed in &seeds {
         for (name, plane) in planes {
-            match catch_unwind(AssertUnwindSafe(|| plane(seed))) {
+            match catch_unwind(AssertUnwindSafe(|| plane(seed, &mut reg))) {
                 Ok(Ok(detail)) => println!("seed {seed:#x} {name}: ok ({detail})"),
                 Ok(Err(msg)) => {
                     escaped += 1;
@@ -297,6 +321,19 @@ fn main() {
                     println!("seed {seed:#x} {name}: ESCAPED PANIC: {msg}");
                 }
             }
+        }
+    }
+    reg.set("fault.planes.escaped", u64::from(escaped));
+    reg.set("fault.planes.runs", (seeds.len() * planes.len()) as u64);
+    // The aggregated degradation counters, as one byte-stable JSON line
+    // (and, when CC_OBS_OUT names a path, as a file CI can upload).
+    println!("metrics: {}", reg.to_json());
+    if let Some(path) = std::env::var_os("CC_OBS_OUT").filter(|v| !v.is_empty()) {
+        if let Err(e) = std::fs::write(&path, reg.to_json()) {
+            eprintln!(
+                "warning: fault-matrix: cannot write {}: {e}",
+                path.to_string_lossy()
+            );
         }
     }
     if escaped > 0 {

@@ -42,6 +42,7 @@ pub mod ccmalloc;
 pub mod error;
 pub mod fault;
 pub mod malloc;
+pub mod obs;
 pub mod snapshot;
 pub mod stats;
 pub mod vspace;

@@ -1,0 +1,131 @@
+//! Bridges between the heap and the `cc-obs` observability layer.
+//!
+//! Two directions:
+//!
+//! * **metrics out** — [`export_stats`] copies a [`HeapStats`] into a
+//!   [`MetricsRegistry`] under a caller-chosen prefix, so the unified
+//!   snapshot carries the allocator's degradation counters
+//!   (`fallback_allocations`, `degraded_hints`) next to everything else;
+//! * **regions in** — [`register_heap_span`] and [`register_snapshot`]
+//!   describe where heap data lives to a [`RegionMap`], so the
+//!   simulator's miss-attribution profiler can charge misses to "the
+//!   heap" (or to individual structures) rather than to the anonymous
+//!   catch-all region.
+
+use cc_obs::{MetricsRegistry, RegionId, RegionMap};
+
+use crate::snapshot::LayoutSnapshot;
+use crate::stats::HeapStats;
+use crate::vspace::HEAP_BASE;
+
+/// Copies every [`HeapStats`] counter into `registry` as
+/// `{prefix}.{counter}`.
+///
+/// The degradation counters (`fallback_allocations`, `degraded_hints`)
+/// are always exported, even when zero, so snapshots from healthy and
+/// degraded runs have identical key sets and diff cleanly.
+pub fn export_stats(registry: &mut MetricsRegistry, prefix: &str, stats: &HeapStats) {
+    registry.set(&format!("{prefix}.allocations"), stats.allocations());
+    registry.set(&format!("{prefix}.frees"), stats.frees());
+    registry.set(
+        &format!("{prefix}.bytes_requested"),
+        stats.bytes_requested(),
+    );
+    registry.set(&format!("{prefix}.bytes_live"), stats.bytes_live());
+    registry.set(
+        &format!("{prefix}.bytes_live_peak"),
+        stats.bytes_live_peak(),
+    );
+    registry.set(&format!("{prefix}.pages"), stats.pages());
+    registry.set(
+        &format!("{prefix}.footprint_bytes"),
+        stats.footprint_bytes(),
+    );
+    registry.set(
+        &format!("{prefix}.fallback_allocations"),
+        stats.fallback_allocations(),
+    );
+    registry.set(&format!("{prefix}.degraded_hints"), stats.degraded_hints());
+}
+
+/// Registers the heap's whole span `[HEAP_BASE, HEAP_BASE + span_bytes)`
+/// as one attribution region named `name`.
+///
+/// `span_bytes` is normally
+/// [`VirtualSpace::span_bytes`](crate::VirtualSpace::span_bytes) (or the
+/// footprint from [`HeapStats`]); a zero span registers nothing and
+/// returns `None`.
+pub fn register_heap_span(map: &mut RegionMap, name: &str, span_bytes: u64) -> Option<RegionId> {
+    if span_bytes == 0 {
+        return None;
+    }
+    Some(map.register(name, HEAP_BASE, HEAP_BASE + span_bytes))
+}
+
+/// Registers the address range covered by a [`LayoutSnapshot`] — from
+/// its lowest live allocation to the end of its highest — as one region
+/// named `name`. Returns `None` for an empty snapshot.
+///
+/// This is the per-structure companion to [`register_heap_span`]: a
+/// workload that keeps its tree and its list in separate allocators can
+/// snapshot each and register them as separate regions, which is what
+/// turns the profiler's conflict pairs into "the list is evicting the
+/// tree" reports.
+pub fn register_snapshot(
+    map: &mut RegionMap,
+    name: &str,
+    snapshot: &LayoutSnapshot,
+) -> Option<RegionId> {
+    let records = snapshot.records();
+    let first = records.first()?;
+    let last = records.last()?;
+    Some(map.register(name, first.addr, last.end()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Allocator, Malloc};
+
+    #[test]
+    fn export_covers_every_counter_with_prefix() {
+        let mut heap = Malloc::new(8192);
+        let a = heap.alloc(100);
+        heap.alloc(50);
+        heap.free(a);
+        let mut reg = MetricsRegistry::new();
+        export_stats(&mut reg, "heap.malloc", heap.stats());
+        assert_eq!(reg.get("heap.malloc.allocations"), Some(2));
+        assert_eq!(reg.get("heap.malloc.frees"), Some(1));
+        assert_eq!(reg.get("heap.malloc.bytes_live"), Some(50));
+        // Degradation counters are present even at zero.
+        assert_eq!(reg.get("heap.malloc.fallback_allocations"), Some(0));
+        assert_eq!(reg.get("heap.malloc.degraded_hints"), Some(0));
+    }
+
+    #[test]
+    fn heap_span_region_resolves_heap_addresses() {
+        let mut map = RegionMap::new();
+        let heap = register_heap_span(&mut map, "heap", 4 * 8192).expect("nonzero span");
+        assert_eq!(map.resolve(HEAP_BASE), heap);
+        assert_eq!(map.resolve(HEAP_BASE + 4 * 8192 - 1), heap);
+        // Outside the span falls to the catch-all.
+        assert_eq!(map.resolve(0x100), RegionId::OTHER);
+        assert_eq!(register_heap_span(&mut map, "empty", 0), None);
+    }
+
+    #[test]
+    fn snapshot_region_covers_live_extent() {
+        let mut heap = Malloc::new(8192);
+        let a = heap.alloc(20);
+        let b = heap.alloc(20);
+        let mut map = RegionMap::new();
+        let tree = register_snapshot(&mut map, "tree", &heap.snapshot()).expect("live records");
+        assert_eq!(map.resolve(a), tree);
+        assert_eq!(map.resolve(b), tree);
+        assert_eq!(
+            register_snapshot(&mut map, "none", &LayoutSnapshot::default()),
+            None
+        );
+    }
+}

@@ -35,8 +35,10 @@ pub struct VirtualSpace {
 }
 
 /// Heap regions start well above zero so address arithmetic bugs (null
-/// pointers, tiny offsets) are easy to spot in traces.
-const HEAP_BASE: u64 = 0x1000_0000;
+/// pointers, tiny offsets) are easy to spot in traces. Public so
+/// observability tooling can register `[HEAP_BASE, HEAP_BASE + span)`
+/// as an attribution region.
+pub const HEAP_BASE: u64 = 0x1000_0000;
 
 impl VirtualSpace {
     /// Creates an empty address space with the given page size.

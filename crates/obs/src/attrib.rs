@@ -1,0 +1,289 @@
+//! Miss attribution: per-region, per-level tallies and conflict pairs.
+//!
+//! The simulator resolves every demand access to a [`RegionId`] and
+//! reports it here. Three things are recorded:
+//!
+//! * per-region **access/hit/miss** counts at each cache level;
+//! * per-region **eviction** counts (how often a region's blocks were
+//!   thrown out);
+//! * **conflict pairs** — for each eviction, the (victim region,
+//!   evictor region) pair. A structure that keeps evicting *itself*
+//!   wants clustering (more of it per block); two structures that keep
+//!   evicting *each other* want coloring into disjoint sets. This is
+//!   exactly the signal the paper's coloring decisions consume.
+//!
+//! The profile is exact, not sampled: when attribution is enabled the
+//! simulator takes its reference paths (no batching memos), so tallies
+//! here sum to the same totals as the whole-run `CacheStats`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::region::{RegionId, RegionMap};
+
+/// Cache level an attribution event happened at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// First-level (direct-mapped in the paper's machines).
+    L1,
+    /// Second-level (unified, set-associative).
+    L2,
+}
+
+impl Level {
+    fn index(self) -> usize {
+        match self {
+            Level::L1 => 0,
+            Level::L2 => 1,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::L1 => "l1",
+            Level::L2 => "l2",
+        }
+    }
+}
+
+/// Per-region counters at one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionTally {
+    /// Demand accesses attributed to the region.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Blocks of this region evicted by anyone (including itself).
+    pub evictions: u64,
+}
+
+/// One aggregated conflict pair, for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// Level the evictions happened at.
+    pub level: Level,
+    /// Region that lost its block.
+    pub victim: RegionId,
+    /// Region whose fill forced the eviction.
+    pub evictor: RegionId,
+    /// Number of such evictions.
+    pub count: u64,
+}
+
+/// Accumulates attribution events against a fixed [`RegionMap`].
+#[derive(Clone, Debug)]
+pub struct MissProfile {
+    map: Arc<RegionMap>,
+    /// `[level][region id]`.
+    levels: [Vec<RegionTally>; 2],
+    /// `(level index, victim id, evictor id) → count`. A `BTreeMap`
+    /// keeps export order deterministic for golden-file tests.
+    conflicts: BTreeMap<(u8, u32, u32), u64>,
+}
+
+impl MissProfile {
+    /// An empty profile attributing against `map`.
+    pub fn new(map: Arc<RegionMap>) -> Self {
+        let tallies = vec![RegionTally::default(); map.len()];
+        MissProfile {
+            map,
+            levels: [tallies.clone(), tallies],
+            conflicts: BTreeMap::new(),
+        }
+    }
+
+    /// The region map this profile attributes against.
+    pub fn region_map(&self) -> &Arc<RegionMap> {
+        &self.map
+    }
+
+    /// Resolves `addr` through the profile's region map.
+    pub fn resolve(&self, addr: u64) -> RegionId {
+        self.map.resolve(addr)
+    }
+
+    /// Records one demand access by `region` at `level`.
+    pub fn record_access(&mut self, level: Level, region: RegionId, hit: bool) {
+        let t = &mut self.levels[level.index()][region.index()];
+        t.accesses += 1;
+        if hit {
+            t.hits += 1;
+        } else {
+            t.misses += 1;
+        }
+    }
+
+    /// Records that a fill by `evictor` evicted a block owned by
+    /// `victim` at `level`.
+    pub fn record_eviction(&mut self, level: Level, victim: RegionId, evictor: RegionId) {
+        self.levels[level.index()][victim.index()].evictions += 1;
+        *self
+            .conflicts
+            .entry((level.index() as u8, victim.raw(), evictor.raw()))
+            .or_insert(0) += 1;
+    }
+
+    /// Folds another profile (same region map) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles were built over different region
+    /// maps — their region ids would not be comparable.
+    pub fn merge(&mut self, other: &MissProfile) {
+        assert!(
+            Arc::ptr_eq(&self.map, &other.map),
+            "merging MissProfiles built over different RegionMaps",
+        );
+        for (level, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            for (t, o) in level.iter_mut().zip(theirs) {
+                t.accesses += o.accesses;
+                t.hits += o.hits;
+                t.misses += o.misses;
+                t.evictions += o.evictions;
+            }
+        }
+        for (&k, &v) in &other.conflicts {
+            *self.conflicts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// The tally for one region at one level.
+    pub fn tally(&self, level: Level, region: RegionId) -> RegionTally {
+        self.levels[level.index()][region.index()]
+    }
+
+    /// Sums every region's tally at `level` — must equal the
+    /// simulator's own `CacheStats` totals, which the differential
+    /// tests pin.
+    pub fn totals(&self, level: Level) -> RegionTally {
+        let mut sum = RegionTally::default();
+        for t in &self.levels[level.index()] {
+            sum.accesses += t.accesses;
+            sum.hits += t.hits;
+            sum.misses += t.misses;
+            sum.evictions += t.evictions;
+        }
+        sum
+    }
+
+    /// All conflict pairs with at least one eviction, ordered by
+    /// (level, victim, evictor).
+    pub fn conflict_pairs(&self) -> Vec<ConflictPair> {
+        self.conflicts
+            .iter()
+            .map(|(&(level, victim, evictor), &count)| ConflictPair {
+                level: if level == 0 { Level::L1 } else { Level::L2 },
+                victim: RegionId::from_raw(victim),
+                evictor: RegionId::from_raw(evictor),
+                count,
+            })
+            .collect()
+    }
+
+    /// Byte-stable JSON encoding: regions in id order, conflicts in
+    /// (level, victim, evictor) order, fixed field order throughout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"regions\":[");
+        for id in 0..self.map.len() {
+            if id > 0 {
+                out.push(',');
+            }
+            let name = self.map.name(RegionId::from_raw(id as u32));
+            out.push_str(&format!("{{\"name\":{:?}", name));
+            for level in [Level::L1, Level::L2] {
+                let t = self.levels[level.index()][id];
+                out.push_str(&format!(
+                    ",\"{}\":{{\"accesses\":{},\"hits\":{},\"misses\":{},\"evictions\":{}}}",
+                    level.label(),
+                    t.accesses,
+                    t.hits,
+                    t.misses,
+                    t.evictions
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"conflicts\":[");
+        for (i, (&(level, victim, evictor), &count)) in self.conflicts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let level = if level == 0 { Level::L1 } else { Level::L2 };
+            out.push_str(&format!(
+                "{{\"level\":\"{}\",\"victim\":{:?},\"evictor\":{:?},\"count\":{}}}",
+                level.label(),
+                self.map.name(RegionId::from_raw(victim)),
+                self.map.name(RegionId::from_raw(evictor)),
+                count
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_region_map() -> Arc<RegionMap> {
+        let mut map = RegionMap::new();
+        map.register("tree", 0x1000, 0x2000);
+        map.register("list", 0x3000, 0x4000);
+        Arc::new(map)
+    }
+
+    #[test]
+    fn accesses_and_evictions_accumulate_per_region() {
+        let map = two_region_map();
+        let tree = map.resolve(0x1000);
+        let list = map.resolve(0x3000);
+        let mut p = MissProfile::new(map);
+        p.record_access(Level::L1, tree, true);
+        p.record_access(Level::L1, tree, false);
+        p.record_access(Level::L2, list, false);
+        p.record_eviction(Level::L2, tree, list);
+        p.record_eviction(Level::L2, tree, list);
+        let t = p.tally(Level::L1, tree);
+        assert_eq!((t.accesses, t.hits, t.misses), (2, 1, 1));
+        assert_eq!(p.tally(Level::L2, tree).evictions, 2);
+        let pairs = p.conflict_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].count, 2);
+        assert_eq!(pairs[0].victim, tree);
+        assert_eq!(pairs[0].evictor, list);
+    }
+
+    #[test]
+    fn merge_sums_tallies_and_conflicts() {
+        let map = two_region_map();
+        let tree = map.resolve(0x1000);
+        let list = map.resolve(0x3000);
+        let mut a = MissProfile::new(Arc::clone(&map));
+        let mut b = MissProfile::new(Arc::clone(&map));
+        a.record_access(Level::L1, tree, false);
+        b.record_access(Level::L1, tree, true);
+        a.record_eviction(Level::L1, list, tree);
+        b.record_eviction(Level::L1, list, tree);
+        a.merge(&b);
+        assert_eq!(a.totals(Level::L1).accesses, 2);
+        assert_eq!(a.conflict_pairs()[0].count, 2);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let map = two_region_map();
+        let tree = map.resolve(0x1000);
+        let list = map.resolve(0x3000);
+        let mut p = MissProfile::new(map);
+        p.record_access(Level::L1, tree, false);
+        p.record_eviction(Level::L2, list, tree);
+        let json = p.to_json();
+        assert_eq!(json, p.to_json());
+        assert!(json.starts_with("{\"regions\":[{\"name\":\"other\""));
+        assert!(json
+            .contains("{\"level\":\"l2\",\"victim\":\"list\",\"evictor\":\"tree\",\"count\":1}"));
+    }
+}

@@ -1,0 +1,47 @@
+//! **cc-obs** — the observability layer of the cache-conscious
+//! reproduction.
+//!
+//! The paper's tools are profile-driven: `ccmalloc`'s coloring and the
+//! Section 5 analytic framework both consume per-structure access and
+//! miss data. The simulator computes exactly that information and then
+//! aggregates it away into whole-run [`CacheStats`]-style totals. This
+//! crate keeps it:
+//!
+//! * [`region`] — names address ranges ([`RegionMap`]) so the simulator
+//!   can attribute each access to the structure, heap arena, or ccmorph
+//!   subtree that owns the address ([`RegionId`]);
+//! * [`attrib`] — accumulates per-region, per-level hit/miss/eviction
+//!   tallies and *conflict pairs* (which two regions evict each other)
+//!   in a [`MissProfile`];
+//! * [`span`] — a [`SpanTracer`] for phase-level timing (sweep cells,
+//!   shard workers, store generate/hit, replay epochs) exported as
+//!   chrome://tracing JSON;
+//! * [`registry`] — a [`MetricsRegistry`] that absorbs the degradation
+//!   counters scattered across the workspace (heap fallbacks, sweep
+//!   retries, shard serial-fallbacks, store insert/evict/hit) behind one
+//!   byte-stable JSON snapshot.
+//!
+//! cc-obs is a dependency-free leaf crate: everything above it in the
+//! workspace (sim, heap, sweep, bench, fault, audit) can feed it
+//! without cycles. All JSON encodings are hand-rolled with a fixed
+//! field order so golden-file tests can pin them byte-for-byte.
+//!
+//! [`CacheStats`]: https://docs.rs/cc-sim
+//! [`RegionMap`]: region::RegionMap
+//! [`RegionId`]: region::RegionId
+//! [`MissProfile`]: attrib::MissProfile
+//! [`SpanTracer`]: span::SpanTracer
+//! [`MetricsRegistry`]: registry::MetricsRegistry
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrib;
+pub mod region;
+pub mod registry;
+pub mod span;
+
+pub use attrib::{Level, MissProfile, RegionTally};
+pub use region::{RegionId, RegionMap};
+pub use registry::MetricsRegistry;
+pub use span::SpanTracer;

@@ -1,0 +1,138 @@
+//! The unified metrics registry.
+//!
+//! PR 3's graceful-degradation work left the workspace with good
+//! counters in scattered places: `HeapStats::fallback_allocations` and
+//! `degraded_hints`, `Sweep`'s `CellOutcome` retries, the sharded
+//! replayer's serial-fallback and lost-lane counts, and the trace
+//! store's insert/evict/hit counters. Each producer exports into one
+//! [`MetricsRegistry`] under a namespaced key (`heap.fallback_allocations`,
+//! `store.hits`, …), and one snapshot — byte-stable JSON, keys sorted —
+//! serves the `cc-profile` CLI, the `CC_OBS_OUT` hook in the figure
+//! binaries, and the fault-matrix harness.
+//!
+//! Values are `u64` counters/gauges: everything the degradation
+//! contract tracks is a count, and integer-only values keep the JSON
+//! encoding trivially byte-stable.
+
+use std::collections::BTreeMap;
+
+/// An ordered map of named `u64` metrics.
+///
+/// # Example
+///
+/// ```
+/// use cc_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.bump("store.hits", 3);
+/// reg.set("heap.degraded_hints", 1);
+/// assert_eq!(reg.to_json(), "{\"heap.degraded_hints\":1,\"store.hits\":3}");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value`, overwriting any previous value.
+    pub fn set(&mut self, key: &str, value: u64) {
+        self.entries.insert(key.to_string(), value);
+    }
+
+    /// Adds `delta` to `key`, creating it at zero first if absent.
+    pub fn bump(&mut self, key: &str, delta: u64) {
+        *self.entries.entry(key.to_string()).or_insert(0) += delta;
+    }
+
+    /// The current value of `key`, if set.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry into this one, summing shared keys —
+    /// used to aggregate per-cell or per-scenario registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.entries {
+            *self.entries.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Byte-stable JSON snapshot: one flat object, keys sorted
+    /// lexicographically, no whitespace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{k:?}:{v}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_bump_get() {
+        let mut r = MetricsRegistry::new();
+        r.bump("a", 2);
+        r.bump("a", 3);
+        r.set("b", 7);
+        assert_eq!(r.get("a"), Some(5));
+        assert_eq!(r.get("b"), Some(7));
+        assert_eq!(r.get("c"), None);
+    }
+
+    #[test]
+    fn json_sorted_and_stable_regardless_of_insertion_order() {
+        let mut r1 = MetricsRegistry::new();
+        r1.set("z.last", 1);
+        r1.set("a.first", 2);
+        let mut r2 = MetricsRegistry::new();
+        r2.set("a.first", 2);
+        r2.set("z.last", 1);
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert_eq!(r1.to_json(), "{\"a.first\":2,\"z.last\":1}");
+    }
+
+    #[test]
+    fn merge_sums_shared_keys() {
+        let mut a = MetricsRegistry::new();
+        a.set("x", 1);
+        let mut b = MetricsRegistry::new();
+        b.set("x", 2);
+        b.set("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(3));
+        assert_eq!(a.get("y"), Some(3));
+    }
+
+    #[test]
+    fn empty_registry_is_empty_object() {
+        assert_eq!(MetricsRegistry::new().to_json(), "{}");
+    }
+}

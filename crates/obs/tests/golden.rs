@@ -1,0 +1,67 @@
+//! Golden-file tests pinning every cc-obs export format byte-for-byte.
+//!
+//! The registry snapshot, the chrome://tracing span export, and the
+//! attribution profile are consumed by external tooling (CI artifact
+//! diffing, Perfetto, the fault matrix's `metrics:` line), so their
+//! encodings are contracts: fixed field order, sorted keys, no
+//! whitespace. These tests compare against committed files under
+//! `tests/golden/`; set `CC_BLESS=1` to regenerate them after an
+//! intentional format change.
+
+use cc_obs::attrib::Level;
+use cc_obs::{MetricsRegistry, MissProfile, RegionMap, SpanTracer};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn check(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("CC_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with CC_BLESS=1", name));
+    assert_eq!(
+        actual,
+        expected.trim_end_matches('\n'),
+        "{name} drifted from its golden file; if the format change is \
+         intentional, regenerate with CC_BLESS=1"
+    );
+}
+
+#[test]
+fn registry_json_matches_golden() {
+    let mut r = MetricsRegistry::new();
+    r.set("sweep.cells", 4);
+    r.bump("heap.fallback_allocations", 2);
+    r.bump("heap.fallback_allocations", 1);
+    r.set("store.hits", 9);
+    check("registry.json", &r.to_json());
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let mut t = SpanTracer::new();
+    // Recorded out of order on purpose: export sorts by (tid, start).
+    t.record("segment[epoch 0 @ 0]", "replay", 1, 0, 900);
+    t.record("generate", "store", 0, 1200, 650);
+    t.record("cell 0", "sweep", 0, 0, 1200);
+    check("trace.json", &t.to_chrome_json());
+}
+
+#[test]
+fn attribution_profile_matches_golden() {
+    let mut map = RegionMap::new();
+    let tree = map.register("tree", 0x1000, 0x2000);
+    let list = map.register("list", 0x3000, 0x4000);
+    let mut p = MissProfile::new(Arc::new(map));
+    p.record_access(Level::L1, tree, false);
+    p.record_access(Level::L1, list, true);
+    p.record_access(Level::L2, tree, false);
+    p.record_eviction(Level::L1, tree, list);
+    p.record_eviction(Level::L1, tree, list);
+    p.record_eviction(Level::L2, list, tree);
+    check("attrib.json", &p.to_json());
+}

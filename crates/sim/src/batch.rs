@@ -763,6 +763,12 @@ impl MemorySystem {
         // load. A false negative is impossible; a stale `false` merely
         // routes loads through the reference slow path.
         let mut no_inflight = self.inflight.is_empty();
+        // Attribution needs to see every individual probe (region, hit,
+        // victim), so it forfeits the memo skips and inline read paths
+        // below and routes all loads through `access_block`. Stats and
+        // cycles are unchanged — those paths are provably-equivalent
+        // shortcuts — only the speed differs.
+        let attrib_on = self.attrib.is_some();
 
         let entries = buf
             .kinds
@@ -829,12 +835,12 @@ impl MemorySystem {
                     let first_b = l1_geo.block_of(addr);
                     let last_b = l1_geo.block_of(addr + span);
                     let mut b = first_b;
-                    if cursor.block == first_b {
+                    if !attrib_on && cursor.block == first_b {
                         l1_tally.reads += 1;
                         out.cycles += lat.l1_hit;
                         b += block_bytes;
                     }
-                    if no_inflight {
+                    if no_inflight && !attrib_on {
                         // No prefetch can be outstanding, so the in-flight
                         // probe `access_block` performs per block is a
                         // guaranteed no-op: take the read path inline
@@ -1140,6 +1146,24 @@ impl<O: EventSink> BatchSink<O> {
     /// [`BatchSink::flush`].
     pub fn system(&self) -> &MemorySystem {
         &self.system
+    }
+
+    /// Enables per-region miss attribution. Flushes buffered events first so
+    /// the profile covers exactly the events delivered after this call.
+    ///
+    /// Attribution disables the batched fast paths and block memos (they
+    /// aggregate probes the profiler must observe individually), so the
+    /// stream costs more wall-clock time — but statistics and cycle totals
+    /// remain bit-identical to the unattributed run.
+    pub fn enable_attribution(&mut self, map: std::sync::Arc<cc_obs::RegionMap>) {
+        self.flush();
+        self.system.enable_attribution(map);
+    }
+
+    /// The attribution profile, if [`BatchSink::enable_attribution`] was
+    /// called. Reflects the stream up to the last [`BatchSink::flush`].
+    pub fn attribution(&self) -> Option<&cc_obs::MissProfile> {
+        self.system.attribution()
     }
 
     /// Instructions retired. Exact at any time: instruction counts are

@@ -44,6 +44,10 @@ fn set_bit(words: &mut [u64], i: usize, v: bool) {
 /// tag makes the hit test one compare with no bitmap load.
 const TAG_INVALID: u64 = u64::MAX;
 
+/// Sentinel for [`Cache::last_victim`]: the previous probe evicted
+/// nothing. Same unreachable-address argument as [`TAG_INVALID`].
+const NO_VICTIM: u64 = u64::MAX;
+
 /// Register-resident demand-read counters for the batched direct-mapped
 /// read path ([`Cache::read_direct`]). Each field mirrors one
 /// [`CacheStats`] counter the scalar path would bump per probe; the batch
@@ -114,6 +118,11 @@ pub struct Cache {
     /// Probed on every miss, so it uses a dense bitmap over the heap's
     /// block range rather than a hash set.
     ever_resident: BlockSet,
+    /// Block address evicted by the most recent [`Cache::access`] /
+    /// [`Cache::fill`], or [`NO_VICTIM`]. Miss attribution reads this to
+    /// name the conflict victim; one unconditional store per probe keeps
+    /// it current, so the plain replay paths pay nothing measurable.
+    last_victim: u64,
 }
 
 impl Cache {
@@ -130,6 +139,7 @@ impl Cache {
             clock: 0,
             stats: CacheStats::new(),
             ever_resident: BlockSet::new(geometry.block_bytes()),
+            last_victim: NO_VICTIM,
         }
     }
 
@@ -165,6 +175,15 @@ impl Cache {
         self.clock = 0;
         self.stats = CacheStats::new();
         self.ever_resident.clear();
+        self.last_victim = NO_VICTIM;
+    }
+
+    /// The block address the most recent [`Cache::access`] /
+    /// [`Cache::fill`] evicted, if any. The batched direct-mapped fast
+    /// paths do not maintain this; they are disabled while attribution
+    /// (the only consumer) is enabled.
+    pub(crate) fn last_victim(&self) -> Option<u64> {
+        (self.last_victim != NO_VICTIM).then_some(self.last_victim)
     }
 
     fn set_start(&self, set: u64) -> usize {
@@ -259,9 +278,11 @@ impl Cache {
 
     fn probe_internal(&mut self, addr: u64, write: bool, demand: bool) -> Probe {
         self.clock += 1;
+        self.last_victim = NO_VICTIM;
         let tag = self.geometry.tag_of(addr);
         debug_assert_ne!(tag, TAG_INVALID, "address tag collides with the sentinel");
-        let start = self.set_start(self.geometry.set_of(addr));
+        let set = self.geometry.set_of(addr);
+        let start = self.set_start(set);
         let assoc = self.geometry.assoc() as usize;
         let clock = self.clock;
 
@@ -313,6 +334,7 @@ impl Cache {
         if self.tags[victim] != TAG_INVALID {
             writeback = bit(&self.dirty, victim) && self.policy == WritePolicy::WriteBack;
             self.stats.record_eviction(writeback);
+            self.last_victim = self.geometry.block_addr(self.tags[victim], set);
         }
         self.tags[victim] = tag;
         set_bit(

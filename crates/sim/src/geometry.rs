@@ -136,6 +136,14 @@ impl CacheGeometry {
         (addr >> self.block_shift) & self.set_mask
     }
 
+    /// Inverse of the (tag, set) decomposition: the block-aligned address
+    /// with tag `tag` in set `set`. Reconstructs eviction victims from
+    /// stored tags — for every address `a`,
+    /// `block_addr(tag_of(a), set_of(a)) == block_of(a)`.
+    pub fn block_addr(&self, tag: u64, set: u64) -> u64 {
+        (tag << self.tag_shift) | (set << self.block_shift)
+    }
+
     /// The tag of `addr` (bits above the set index).
     pub fn tag_of(&self, addr: u64) -> u64 {
         addr >> self.tag_shift

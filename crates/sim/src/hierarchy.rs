@@ -5,6 +5,9 @@ use crate::config::MachineConfig;
 use crate::fasthash::FastHashMap;
 use crate::stats::{CacheStats, TlbStats};
 use crate::tlb::Tlb;
+use cc_obs::attrib::Level as ObsLevel;
+use cc_obs::{MissProfile, RegionMap};
+use std::sync::Arc;
 
 /// Which level serviced an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -68,6 +71,12 @@ pub struct MemorySystem {
     /// access before completion waits out the remainder. Probed per block
     /// on the demand path, so it uses the fast deterministic hasher.
     pub(crate) inflight: FastHashMap<u64, u64>,
+    /// Per-region miss attribution, absent unless a caller opted in via
+    /// [`MemorySystem::enable_attribution`]. Boxed so the disabled case
+    /// costs one pointer in the struct and one null test per block
+    /// access; while enabled, the batched fast paths that skip cache
+    /// probes are turned off so every access is individually resolved.
+    pub(crate) attrib: Option<Box<MissProfile>>,
 }
 
 impl MemorySystem {
@@ -79,6 +88,50 @@ impl MemorySystem {
             tlb: (config.tlb_entries > 0).then(|| Tlb::new(config.tlb_entries, config.page_bytes)),
             config,
             inflight: FastHashMap::default(),
+            attrib: None,
+        }
+    }
+
+    /// Starts attributing every demand access and eviction to the
+    /// regions of `map`. Replay results (stats, cycles) are unchanged —
+    /// attribution only disables provably-equivalent batching shortcuts
+    /// — but replay runs slower; see DESIGN.md §11 for the measured
+    /// cost.
+    pub fn enable_attribution(&mut self, map: Arc<RegionMap>) {
+        self.attrib = Some(Box::new(MissProfile::new(map)));
+    }
+
+    /// Whether attribution is currently enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attrib.is_some()
+    }
+
+    /// The accumulated attribution profile, if enabled.
+    pub fn attribution(&self) -> Option<&MissProfile> {
+        self.attrib.as_deref()
+    }
+
+    /// Stops attributing and returns the accumulated profile.
+    pub fn take_attribution(&mut self) -> Option<MissProfile> {
+        self.attrib.take().map(|b| *b)
+    }
+
+    /// Records one attribution event: a demand access (`hit` is
+    /// `Some`) or a bare fill (`hit` is `None`), plus the eviction it
+    /// caused, if any. Kept out of line so the disabled hot path pays
+    /// only the `is_some` test at each call site.
+    #[cold]
+    fn note(&mut self, level: ObsLevel, addr: u64, hit: Option<bool>, victim: Option<u64>) {
+        let Some(p) = self.attrib.as_deref_mut() else {
+            return;
+        };
+        let region = p.resolve(addr);
+        if let Some(hit) = hit {
+            p.record_access(level, region, hit);
+        }
+        if let Some(victim) = victim {
+            let victim_region = p.resolve(victim);
+            p.record_eviction(level, victim_region, region);
         }
     }
 
@@ -187,21 +240,27 @@ impl MemorySystem {
         }
 
         let l1 = self.l1.access(addr, write);
+        if self.attrib.is_some() {
+            self.note(ObsLevel::L1, addr, Some(l1.hit), self.l1.last_victim());
+        }
         if l1.hit {
             *cycles += lat.l1_hit;
             // Write-through: the write still propagates to L2 (traffic is
             // accounted; latency is hidden by the write buffer).
             if write && self.l1.policy() == WritePolicy::WriteThrough {
-                return if self.l2.access(addr, true).hit {
-                    Level::L2
-                } else {
-                    Level::Memory
-                };
+                let l2 = self.l2.access(addr, true);
+                if self.attrib.is_some() {
+                    self.note(ObsLevel::L2, addr, Some(l2.hit), self.l2.last_victim());
+                }
+                return if l2.hit { Level::L2 } else { Level::Memory };
             }
             return Level::L1;
         }
 
         let l2 = self.l2.access(addr, write);
+        if self.attrib.is_some() {
+            self.note(ObsLevel::L2, addr, Some(l2.hit), self.l2.last_victim());
+        }
         if l2.hit {
             *cycles += lat.l1_hit + lat.l1_miss;
             Level::L2
@@ -228,6 +287,13 @@ impl MemorySystem {
         self.l2.stats_record_prefetch_issued();
         self.l2.fill(addr);
         self.l1.fill(addr);
+        if self.attrib.is_some() {
+            // Prefetch fills displace blocks without a demand access:
+            // record the evictions so a region whose prefetches thrash
+            // another region still shows up as its evictor.
+            self.note(ObsLevel::L2, addr, None, self.l2.last_victim());
+            self.note(ObsLevel::L1, addr, None, self.l1.last_victim());
+        }
         let arrival = if in_l2 {
             now + lat.l1_miss
         } else {

@@ -97,6 +97,18 @@ impl MemorySink {
         &self.system
     }
 
+    /// Enables per-region miss attribution on the underlying memory system
+    /// (see [`MemorySystem::enable_attribution`]).
+    pub fn enable_attribution(&mut self, map: std::sync::Arc<cc_obs::RegionMap>) {
+        self.system.enable_attribution(map);
+    }
+
+    /// The attribution profile, if [`MemorySink::enable_attribution`] was
+    /// called.
+    pub fn attribution(&self) -> Option<&cc_obs::MissProfile> {
+        self.system.attribution()
+    }
+
     /// Instructions retired (from [`Event::Inst`]).
     pub fn insts(&self) -> u64 {
         self.insts

@@ -200,6 +200,30 @@ impl ShardedTrace {
     /// repaired on a clone and counted — the splitter's analogue of
     /// [`crate::batch::BatchSink`]'s corrupt-batch fallback.
     pub fn split(machine: &MachineConfig, plan: &ShardPlan, bufs: &[TraceBuf]) -> ShardedTrace {
+        Self::split_impl(machine, plan, bufs, true)
+    }
+
+    /// [`ShardedTrace::split`] with the guaranteed-hit memoizations
+    /// disabled: every block probe and page translation reaches a lane.
+    /// Required when the replaying lanes attribute misses — a memo-skip
+    /// is invisible to attribution, so per-region totals would fall
+    /// short of the merged statistics. Cycles and statistics are
+    /// unchanged either way (the memos only skip probes whose outcome
+    /// is already determined).
+    pub fn split_for_attribution(
+        machine: &MachineConfig,
+        plan: &ShardPlan,
+        bufs: &[TraceBuf],
+    ) -> ShardedTrace {
+        Self::split_impl(machine, plan, bufs, false)
+    }
+
+    fn split_impl(
+        machine: &MachineConfig,
+        plan: &ShardPlan,
+        bufs: &[TraceBuf],
+        memoize: bool,
+    ) -> ShardedTrace {
         let lat = machine.latency;
         let l1_geo = machine.l1;
         let block_bytes = l1_geo.block_bytes();
@@ -267,7 +291,7 @@ impl ShardedTrace {
                             let first_p = page_of(addr);
                             let last_p = page_of(addr + span);
                             let mut p = first_p;
-                            if memo_page == (salt | first_p) {
+                            if memoize && memo_page == (salt | first_p) {
                                 st.tlb_memo_accesses += 1;
                                 p += 1;
                             }
@@ -281,7 +305,7 @@ impl ShardedTrace {
                         let first_b = l1_geo.block_of(addr);
                         let last_b = l1_geo.block_of(addr + span);
                         let mut b = first_b;
-                        if memo_block == first_b {
+                        if memoize && memo_block == first_b {
                             st.l1_memo_reads += 1;
                             st.base_cycles += lat.l1_hit;
                             b += block_bytes;
@@ -471,9 +495,49 @@ impl ShardedReplayer {
         self.plan.shards()
     }
 
-    /// Splits `bufs` with this replayer's plan and machine.
+    /// Splits `bufs` with this replayer's plan and machine, choosing the
+    /// attribution-safe (unmemoized) split automatically while
+    /// attribution is enabled.
     pub fn split(&self, bufs: &[TraceBuf]) -> ShardedTrace {
-        ShardedTrace::split(&self.machine, &self.plan, bufs)
+        if self.attribution_enabled() {
+            ShardedTrace::split_for_attribution(&self.machine, &self.plan, bufs)
+        } else {
+            ShardedTrace::split(&self.machine, &self.plan, bufs)
+        }
+    }
+
+    /// Starts attributing every lane's accesses and evictions to the
+    /// regions of `map`. Workers route through the serial reference
+    /// replay (the memoizing fast path cannot observe per-probe
+    /// outcomes), and [`ShardedReplayer::split`] switches to the
+    /// unmemoized split; statistics and cycles are unchanged. Splits
+    /// produced *before* enabling attribution carry resolved memo hits
+    /// that attribution cannot see — re-split for complete totals.
+    pub fn enable_attribution(&mut self, map: std::sync::Arc<cc_obs::RegionMap>) {
+        for lane in &mut self.lanes {
+            lane.enable_attribution(std::sync::Arc::clone(&map));
+        }
+    }
+
+    /// Whether attribution is enabled on the lanes.
+    pub fn attribution_enabled(&self) -> bool {
+        self.lanes.iter().any(MemorySystem::attribution_enabled)
+    }
+
+    /// The lanes' merged attribution profile, if enabled: a plain sum —
+    /// lanes own disjoint cache sets, so their per-region tallies and
+    /// conflict pairs are disjoint contributions to the same totals.
+    pub fn attribution(&self) -> Option<cc_obs::MissProfile> {
+        let mut merged: Option<cc_obs::MissProfile> = None;
+        for lane in &self.lanes {
+            if let Some(p) = lane.attribution() {
+                match &mut merged {
+                    Some(m) => m.merge(p),
+                    None => merged = Some(p.clone()),
+                }
+            }
+        }
+        merged
     }
 
     /// Replays one split segment on scoped worker threads (serial when
@@ -721,7 +785,13 @@ fn run_lane(sys: &mut MemorySystem, lane: &Lane, base_now: u64, poison: bool) ->
         if poison {
             panic!("injected shard-worker poison");
         }
-        replay_lane_fast(sys, lane, base_now)
+        if sys.attribution_enabled() {
+            // Attribution observes individual probes; take the exact
+            // reference path instead of the memoizing fast replay.
+            replay_lane_reference(sys, lane, base_now)
+        } else {
+            replay_lane_fast(sys, lane, base_now)
+        }
     }));
     match fast {
         Ok(cycles) => LaneOutcome {

@@ -1,0 +1,280 @@
+//! Differential properties for miss attribution: enabling a
+//! [`cc_obs::MissProfile`] on any engine must leave every observable —
+//! cache statistics, TLB counters, accumulated cycles — bit-identical
+//! to the unattributed run, and the profile's per-region tallies must
+//! sum to exactly the engine's own `CacheStats` totals. Attribution is
+//! a lens, not a different simulator.
+
+use std::sync::Arc;
+
+use cc_obs::attrib::Level as ObsLevel;
+use cc_obs::RegionMap;
+use cc_sim::batch::BatchSink;
+use cc_sim::cache::WritePolicy;
+use cc_sim::event::{Event, EventSink};
+use cc_sim::geometry::CacheGeometry;
+use cc_sim::stats::CacheStats;
+use cc_sim::{Latency, MachineConfig, MemorySink, ShardedReplayer, TraceBuf};
+use proptest::prelude::*;
+
+/// A machine with a *write-back* L1 and a 4-bit set-field overlap, so
+/// the differential exercises dirty allocation and real shard
+/// boundaries (same shape as the shard differential).
+fn writeback_overlapped() -> MachineConfig {
+    MachineConfig {
+        l1: CacheGeometry::new(64, 16, 2),
+        l1_policy: WritePolicy::WriteBack,
+        l2: CacheGeometry::new(64, 64, 2),
+        l2_policy: WritePolicy::WriteBack,
+        latency: Latency {
+            l1_hit: 1,
+            l1_miss: 6,
+            l2_miss: 64,
+            tlb_miss: 30,
+        },
+        page_bytes: 256,
+        tlb_entries: 4,
+        clock_mhz: 100,
+    }
+}
+
+/// Same event decoder as the other differentials: biased toward
+/// same-block runs (the memos the attributed path must forfeit), with
+/// stores, prefetches, and teleports mixed in.
+fn decode_trace(words: &[u64]) -> Vec<Event> {
+    const ARENA: u64 = 8 * 1024;
+    let mut cur: u64 = 0x100;
+    let mut evs = Vec::with_capacity(words.len());
+    for &r in words {
+        let op = r % 100;
+        let material = r >> 8;
+        if op < 55 {
+            cur = (cur + material % 24) % ARENA;
+            let size = [1u32, 4, 8, 20][(material % 4) as usize];
+            evs.push(Event::load(cur, size));
+        } else if op < 70 {
+            cur = material % ARENA;
+            evs.push(Event::load_indep(cur, 8));
+        } else if op < 80 {
+            evs.push(Event::store(
+                material % ARENA,
+                [1u32, 8, 20][(material % 3) as usize],
+            ));
+        } else if op < 85 {
+            evs.push(Event::Prefetch {
+                addr: material % ARENA,
+            });
+        } else if op < 91 {
+            evs.push(Event::Inst((material % 7) as u32));
+        } else if op < 96 {
+            evs.push(Event::Branch((material % 3) as u32));
+        } else {
+            cur = material % ARENA;
+        }
+    }
+    evs
+}
+
+/// Packs `events` into small buffers (capacity 7, many boundaries).
+fn pack(events: &[Event]) -> Vec<TraceBuf> {
+    let mut bufs = Vec::new();
+    let mut cur = TraceBuf::with_capacity(7);
+    for &ev in events {
+        if cur.is_full() {
+            bufs.push(std::mem::replace(&mut cur, TraceBuf::with_capacity(7)));
+        }
+        cur.push(ev);
+    }
+    if !cur.is_empty() {
+        bufs.push(cur);
+    }
+    bufs
+}
+
+/// Two named regions covering most of the 8 KB trace arena, with the
+/// gaps falling to the implicit "other" region.
+fn arena_regions() -> Arc<RegionMap> {
+    let mut map = RegionMap::new();
+    map.register("lo", 0x000, 0x1000);
+    map.register("hi", 0x1000, 0x1800);
+    Arc::new(map)
+}
+
+/// Per-level parity: the profile's summed tallies must equal the
+/// engine's own `CacheStats` totals — every demand access and every
+/// eviction (demand or prefetch fill) attributed exactly once.
+fn assert_totals_match(
+    profile: &cc_obs::MissProfile,
+    l1: CacheStats,
+    l2: CacheStats,
+) -> Result<(), TestCaseError> {
+    for (level, stats) in [(ObsLevel::L1, l1), (ObsLevel::L2, l2)] {
+        let t = profile.totals(level);
+        prop_assert_eq!(t.accesses, stats.accesses(), "accesses at {:?}", level);
+        prop_assert_eq!(t.hits, stats.hits(), "hits at {:?}", level);
+        prop_assert_eq!(t.misses, stats.misses(), "misses at {:?}", level);
+        prop_assert_eq!(t.evictions, stats.evictions(), "evictions at {:?}", level);
+    }
+    Ok(())
+}
+
+/// The core differential: run the trace through every engine with and
+/// without attribution; all observables must be bit-identical, the
+/// three profiles must agree byte-for-byte, and tallies must sum to
+/// the stats totals.
+fn check_attrib(
+    machine: MachineConfig,
+    trace: &[Event],
+    shards: usize,
+) -> Result<(), TestCaseError> {
+    let map = arena_regions();
+
+    // Reference: the plain scalar sink.
+    let mut plain = MemorySink::new(machine);
+    for &ev in trace {
+        plain.event(ev);
+    }
+
+    // Attributed scalar.
+    let mut scalar = MemorySink::new(machine);
+    scalar.enable_attribution(Arc::clone(&map));
+    for &ev in trace {
+        scalar.event(ev);
+    }
+    prop_assert_eq!(scalar.system().l1_stats(), plain.system().l1_stats());
+    prop_assert_eq!(scalar.system().l2_stats(), plain.system().l2_stats());
+    prop_assert_eq!(scalar.system().tlb_stats(), plain.system().tlb_stats());
+    prop_assert_eq!(scalar.memory_cycles(), plain.memory_cycles());
+    let scalar_profile = scalar.attribution().expect("attribution enabled").clone();
+    assert_totals_match(
+        &scalar_profile,
+        plain.system().l1_stats(),
+        plain.system().l2_stats(),
+    )?;
+
+    // Attributed batched (memos and inline fast paths forfeited).
+    let mut batched = BatchSink::with_capacity(machine, 7);
+    batched.enable_attribution(Arc::clone(&map));
+    for &ev in trace {
+        batched.event(ev);
+    }
+    batched.flush();
+    prop_assert_eq!(batched.system().l1_stats(), plain.system().l1_stats());
+    prop_assert_eq!(batched.system().l2_stats(), plain.system().l2_stats());
+    prop_assert_eq!(batched.system().tlb_stats(), plain.system().tlb_stats());
+    prop_assert_eq!(batched.memory_cycles(), plain.memory_cycles());
+    let batched_profile = batched.attribution().expect("attribution enabled");
+    prop_assert_eq!(
+        batched_profile.to_json(),
+        scalar_profile.to_json(),
+        "batched profile diverged from scalar"
+    );
+
+    // Attributed sharded (split-time memos forfeited, lanes route
+    // through the reference replay), crossing a segment boundary.
+    let mut sharded = ShardedReplayer::new(machine, shards);
+    sharded.enable_attribution(Arc::clone(&map));
+    let (a, b) = trace.split_at(trace.len() / 2);
+    for seg in [a, b] {
+        let split = sharded.split(&pack(seg));
+        sharded.replay(&split);
+    }
+    prop_assert_eq!(sharded.l1_stats(), plain.system().l1_stats());
+    prop_assert_eq!(sharded.l2_stats(), plain.system().l2_stats());
+    prop_assert_eq!(sharded.tlb_stats(), plain.system().tlb_stats());
+    prop_assert_eq!(sharded.memory_cycles(), plain.memory_cycles());
+    let sharded_profile = sharded.attribution().expect("attribution enabled");
+    prop_assert_eq!(
+        sharded_profile.to_json(),
+        scalar_profile.to_json(),
+        "merged sharded profile diverged from scalar at {} shards",
+        shards
+    );
+    Ok(())
+}
+
+proptest! {
+    /// The tiny preset (clamps to one serial shard — still exact).
+    #[test]
+    fn attribution_is_invisible_test_tiny(
+        words in prop::collection::vec(any::<u64>(), 40..400),
+        shards in 1usize..9,
+    ) {
+        check_attrib(MachineConfig::test_tiny(), &decode_trace(&words), shards)?;
+    }
+
+    /// Write-back policies across real shard boundaries: eviction
+    /// attribution under dirty allocation and writeback ordering.
+    #[test]
+    fn attribution_is_invisible_write_back(
+        words in prop::collection::vec(any::<u64>(), 40..400),
+        shards in 1usize..9,
+    ) {
+        check_attrib(writeback_overlapped(), &decode_trace(&words), shards)?;
+    }
+
+    /// The E5000 preset (write-through no-allocate L1, mostly-hit
+    /// traffic — maximal memo forfeiture on the batched path).
+    #[test]
+    fn attribution_is_invisible_e5000(
+        words in prop::collection::vec(any::<u64>(), 40..400),
+        shards in 1usize..9,
+    ) {
+        check_attrib(MachineConfig::ultrasparc_e5000(), &decode_trace(&words), shards)?;
+    }
+}
+
+/// Two regions ping-ponging in a direct-mapped set must surface as a
+/// mutual conflict pair — the exact signal the paper's coloring
+/// decisions consume.
+#[test]
+fn ping_pong_regions_produce_conflict_pairs() {
+    let machine = MachineConfig {
+        l1: CacheGeometry::new(4, 16, 1),
+        l1_policy: WritePolicy::WriteBack,
+        l2: CacheGeometry::new(64, 64, 2),
+        l2_policy: WritePolicy::WriteBack,
+        latency: Latency {
+            l1_hit: 1,
+            l1_miss: 6,
+            l2_miss: 64,
+            tlb_miss: 30,
+        },
+        page_bytes: 256,
+        tlb_entries: 4,
+        clock_mhz: 100,
+    };
+    // way_bytes = 4 sets * 16 B = 64: addresses 0x00 and 0x40 collide
+    // in L1 set 0.
+    let mut map = RegionMap::new();
+    let a = map.register("ping", 0x00, 0x10);
+    let b = map.register("pong", 0x40, 0x50);
+    let map = Arc::new(map);
+
+    let mut sink = MemorySink::new(machine);
+    sink.enable_attribution(Arc::clone(&map));
+    for _ in 0..8 {
+        sink.event(Event::load(0x00, 8));
+        sink.event(Event::load(0x40, 8));
+    }
+    let profile = sink.attribution().expect("attribution enabled");
+    let l1_pairs: Vec<_> = profile
+        .conflict_pairs()
+        .into_iter()
+        .filter(|p| p.level == ObsLevel::L1)
+        .collect();
+    let ping_evicted_by_pong = l1_pairs
+        .iter()
+        .find(|p| p.victim == a && p.evictor == b)
+        .expect("ping evicted by pong");
+    let pong_evicted_by_ping = l1_pairs
+        .iter()
+        .find(|p| p.victim == b && p.evictor == a)
+        .expect("pong evicted by ping");
+    // First load of each region fills an invalid way; every later load
+    // evicts the other region.
+    assert_eq!(ping_evicted_by_pong.count, 8);
+    assert_eq!(pong_evicted_by_ping.count, 7);
+    assert_eq!(profile.tally(ObsLevel::L1, a).misses, 8);
+    assert_eq!(profile.tally(ObsLevel::L1, b).misses, 8);
+}

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod store;
 
 pub use store::{StoreCounters, TraceKey, TraceStore};

@@ -1,0 +1,98 @@
+//! Exports sweep-layer counters into a [`cc_obs::MetricsRegistry`].
+//!
+//! The sweep crate owns two families of degradation counters: the
+//! trace store's activity ([`StoreCounters`]) and the fault-isolated
+//! runners' per-cell outcomes ([`CellOutcome`]). Both flatten into the
+//! unified metrics snapshot here so `cc-profile` and the figure
+//! binaries report them next to the heap's and the observer's own
+//! counters, under one byte-stable JSON encoding.
+
+use cc_obs::MetricsRegistry;
+
+use crate::store::StoreCounters;
+use crate::CellOutcome;
+
+/// Copies every [`StoreCounters`] field into `registry` as
+/// `{prefix}.{counter}`. All keys are written even when zero so
+/// snapshots diff cleanly across runs.
+pub fn export_store(registry: &mut MetricsRegistry, prefix: &str, counters: &StoreCounters) {
+    registry.set(&format!("{prefix}.hits"), counters.hits);
+    registry.set(&format!("{prefix}.misses"), counters.misses);
+    registry.set(&format!("{prefix}.disk_hits"), counters.disk_hits);
+    registry.set(&format!("{prefix}.generations"), counters.generations);
+    registry.set(&format!("{prefix}.evictions"), counters.evictions);
+    registry.set(&format!("{prefix}.oversized"), counters.oversized);
+}
+
+/// Summarizes a grid of [`CellOutcome`]s into `registry`:
+///
+/// * `{prefix}.cells` — total cells;
+/// * `{prefix}.retried_cells` — cells that needed more than one attempt
+///   but eventually succeeded;
+/// * `{prefix}.failed_cells` — cells that exhausted every attempt;
+/// * `{prefix}.extra_attempts` — attempts beyond the first, summed over
+///   all cells (the retry bill).
+pub fn export_outcomes<R>(
+    registry: &mut MetricsRegistry,
+    prefix: &str,
+    outcomes: &[CellOutcome<R>],
+) {
+    let mut retried = 0u64;
+    let mut failed = 0u64;
+    let mut extra = 0u64;
+    for o in outcomes {
+        match o {
+            CellOutcome::Ok(_) => {}
+            CellOutcome::Retried { .. } => retried += 1,
+            CellOutcome::Failed { .. } => failed += 1,
+        }
+        extra += u64::from(o.attempts()) - 1;
+    }
+    registry.set(&format!("{prefix}.cells"), outcomes.len() as u64);
+    registry.set(&format!("{prefix}.retried_cells"), retried);
+    registry.set(&format!("{prefix}.failed_cells"), failed);
+    registry.set(&format!("{prefix}.extra_attempts"), extra);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_counters_flatten_under_prefix() {
+        let counters = StoreCounters {
+            hits: 5,
+            misses: 2,
+            disk_hits: 1,
+            generations: 1,
+            evictions: 3,
+            oversized: 4,
+        };
+        let mut reg = MetricsRegistry::new();
+        export_store(&mut reg, "store", &counters);
+        assert_eq!(reg.get("store.hits"), Some(5));
+        assert_eq!(reg.get("store.oversized"), Some(4));
+        assert_eq!(reg.get("store.generations"), Some(1));
+    }
+
+    #[test]
+    fn outcomes_summarize_retries_and_failures() {
+        let outcomes: Vec<CellOutcome<u32>> = vec![
+            CellOutcome::Ok(1),
+            CellOutcome::Retried {
+                result: 2,
+                attempts: 3,
+            },
+            CellOutcome::Failed {
+                attempts: 4,
+                panic: "boom".into(),
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        export_outcomes(&mut reg, "sweep", &outcomes);
+        assert_eq!(reg.get("sweep.cells"), Some(3));
+        assert_eq!(reg.get("sweep.retried_cells"), Some(1));
+        assert_eq!(reg.get("sweep.failed_cells"), Some(1));
+        assert_eq!(reg.get("sweep.extra_attempts"), Some(2 + 3));
+    }
+}

@@ -114,6 +114,10 @@ pub struct StoreCounters {
     pub generations: u64,
     /// Entries dropped by the byte-budget LRU.
     pub evictions: u64,
+    /// Generated traces larger than the whole budget: returned to the
+    /// caller but never cached (caching one would pin it resident while
+    /// it evicted everything else).
+    pub oversized: u64,
 }
 
 struct Entry {
@@ -216,6 +220,15 @@ impl TraceStore {
         }
 
         let bytes: usize = bufs.iter().map(TraceBuf::approx_bytes).sum();
+        if bytes > self.budget {
+            // A trace bigger than the whole budget can never coexist with
+            // anything: caching it would pin it resident (the LRU never
+            // evicts the entry just returned) while evicting every other
+            // entry. Hand it to the caller uncached; the budget stays
+            // untouched, so no later eviction can underflow it.
+            inner.counters.oversized += 1;
+            return bufs;
+        }
         inner.bytes += bytes;
         inner.map.insert(
             k,
@@ -413,6 +426,37 @@ mod tests {
             trace(1, 40)
         });
         assert_eq!(regen.load(Ordering::SeqCst), 1, "evicted key regenerates");
+    }
+
+    #[test]
+    fn oversized_entry_is_served_uncached_and_never_underflows() {
+        // Budget of one byte: every real trace exceeds it.
+        let store = TraceStore::with_budget(1);
+        let a = store.get_or_generate(key(7), || trace(7, 40));
+        assert!(!a.is_empty());
+        assert_eq!(store.len(), 0, "oversized traces are never cached");
+        assert_eq!(store.resident_bytes(), 0);
+        let c = store.counters();
+        assert_eq!(c.oversized, 1);
+        assert_eq!(c.evictions, 0);
+
+        // The key stays cold: a second request regenerates rather than
+        // finding a permanently-resident over-budget entry.
+        let regen = AtomicUsize::new(0);
+        let b = store.get_or_generate(key(7), || {
+            regen.fetch_add(1, Ordering::SeqCst);
+            trace(7, 40)
+        });
+        assert_eq!(regen.load(Ordering::SeqCst), 1);
+        let events_a: Vec<Event> = a.iter().flat_map(|x| x.events()).collect();
+        let events_b: Vec<Event> = b.iter().flat_map(|x| x.events()).collect();
+        assert_eq!(events_a, events_b);
+
+        // More oversized traffic never drives the byte ledger negative
+        // (an underflow would panic in debug builds here).
+        store.get_or_generate(key(8), || trace(8, 40));
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.counters().oversized, 3);
     }
 
     #[test]
