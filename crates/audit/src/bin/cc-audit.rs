@@ -6,11 +6,18 @@
 //! ```
 //!
 //! Builds the named scenario (default: every scenario in turn), runs the
-//! six layout rules over it, and prints the report as text or stable
-//! JSON. Exit status: 0 if every audited layout is free of
-//! error-severity findings, 1 otherwise, 2 on usage errors.
+//! layout rules over it, and prints the report as text or stable JSON.
+//!
+//! Exit status follows the workspace CLI convention (shared with
+//! `cc-lint`):
+//!
+//! * **0** — every audited layout is free of findings,
+//! * **1** — findings present,
+//! * **2** — input error (unknown scenario or argument, bad `--nodes`,
+//!   scenario construction failure).
 
 use cc_audit::{audit, scenarios, AuditConfig};
+use std::process::ExitCode;
 
 struct Options {
     json: bool,
@@ -24,17 +31,19 @@ fn usage_text() -> String {
     format!(
         "usage: cc-audit [--json] [--scenario NAME] [--nodes N]\n\
          \x20      cc-audit --list\n\
-         scenarios: {}",
+         scenarios: {}\n\
+         exit: 0 = no findings, 1 = findings, 2 = input error",
         scenarios::ALL.join(", ")
     )
 }
 
-fn usage() -> ! {
+fn input_error(msg: &str) -> ExitCode {
+    eprintln!("cc-audit: {msg}");
     eprintln!("{}", usage_text());
-    std::process::exit(2);
+    ExitCode::from(2)
 }
 
-fn parse_args() -> Options {
+fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
         scenario: None,
@@ -54,41 +63,43 @@ fn parse_args() -> Options {
                 Some(name) if scenarios::describe(&name).is_some() => {
                     opts.scenario = Some(name);
                 }
-                Some(name) => {
-                    eprintln!("cc-audit: unknown scenario '{name}'");
-                    usage();
-                }
-                None => usage(),
+                Some(name) => return Err(format!("unknown scenario '{name}'")),
+                None => return Err("--scenario needs a name".to_string()),
             },
             "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => opts.nodes = n,
-                _ => usage(),
+                _ => return Err("--nodes needs a positive number".to_string()),
             },
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("cc-audit: unknown argument '{other}'");
-                usage();
-            }
+            other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    opts
+    Ok(opts)
 }
 
-fn main() {
-    let opts = parse_args();
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => return input_error(&msg),
+    };
     let config = AuditConfig::default();
     let names: Vec<&str> = match &opts.scenario {
         Some(name) => vec![name.as_str()],
         None => scenarios::ALL.to_vec(),
     };
-    let mut errors = 0;
+    let mut findings = 0;
     for (i, name) in names.iter().enumerate() {
-        let input = scenarios::build(name, opts.nodes).expect("validated scenario name");
+        let Some(input) = scenarios::build(name, opts.nodes) else {
+            return input_error(&format!(
+                "scenario '{name}' failed to build with {} nodes",
+                opts.nodes
+            ));
+        };
         let report = audit(&input, &config);
-        errors += report.error_count();
+        findings += report.findings.len();
         if opts.json {
             print!("{}", report.to_json());
         } else {
@@ -99,5 +110,9 @@ fn main() {
             print!("{}", report.to_text());
         }
     }
-    std::process::exit(if errors == 0 { 0 } else { 1 });
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }

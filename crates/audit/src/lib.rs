@@ -51,6 +51,7 @@
 
 pub mod attrib;
 pub mod input;
+pub mod lint_bridge;
 pub mod report;
 pub mod rules;
 pub mod scenarios;

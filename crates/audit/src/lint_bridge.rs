@@ -1,0 +1,130 @@
+//! Surfaces `cc-lint`'s static struct-layout findings through the audit
+//! report types, so one `Report` can carry dynamic (snapshot/trace) and
+//! static (source) findings side by side with the same severities, text
+//! rendering, and stable JSON.
+//!
+//! The static rules have no heap addresses; the `addrs` slot of each
+//! bridged [`Finding`] instead carries the modeled **byte offsets** of
+//! the offending fields within the struct (the same quantity the dynamic
+//! ALIGN-01 reasons about, one level down).
+
+use crate::report::{Finding, Report, Rule};
+use cc_lint::{LintReport, LintRule};
+
+/// Maps a lint rule to its audit-report counterpart.
+pub fn rule_of(lint: LintRule) -> Rule {
+    match lint {
+        LintRule::Pad01 => Rule::Pad01,
+        LintRule::Span01 => Rule::Span01,
+        LintRule::Hot01 => Rule::Hot01,
+        LintRule::Soa01 => Rule::Soa01,
+    }
+}
+
+/// Converts a lint report's findings into audit findings.
+///
+/// Waived (baselined) findings are skipped — the audit view is the gate
+/// view. The message is prefixed with `file::Struct` so a merged report
+/// stays attributable, and the suggestion rides along because the audit
+/// remediation texts are generic while cc-lint's are concrete.
+pub fn findings_of(lint: &LintReport) -> Vec<Finding> {
+    lint.findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| {
+            let offsets: Vec<u64> = f
+                .fields
+                .iter()
+                .filter_map(|name| {
+                    lint.structs
+                        .iter()
+                        .find(|s| s.file == f.file && s.name == f.strukt)
+                        .and_then(|s| s.fields.iter().find(|(n, ..)| n == name))
+                        .map(|field| field.1)
+                })
+                .collect();
+            Finding::new(
+                rule_of(f.rule),
+                format!("{}::{}: {} — {}", f.file, f.strukt, f.message, f.suggestion),
+                offsets,
+            )
+        })
+        .collect()
+}
+
+/// Appends a lint report's findings to an audit report and re-normalizes.
+pub fn merge_into(report: &mut Report, lint: &LintReport) {
+    report.findings.extend(findings_of(lint));
+    report.normalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_lint::{analyze_sources, HotSpec, LintConfig};
+
+    fn lint_of(src: &str) -> LintReport {
+        analyze_sources(
+            &[("t.rs".to_string(), src.to_string())],
+            &HotSpec::empty(),
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn pad_finding_bridges_with_field_offsets() {
+        let lint = lint_of("struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }");
+        let findings = findings_of(&lint);
+        assert!(findings.iter().any(|f| f.rule == Rule::Pad01));
+        let pad = findings.iter().find(|f| f.rule == Rule::Pad01).unwrap();
+        assert!(pad.message.contains("t.rs::Bad"));
+        assert!(pad.message.contains("reorder fields as"));
+    }
+
+    #[test]
+    fn span_finding_carries_the_field_offset() {
+        let lint = lint_of(
+            "struct S { head: [u8; 60], tail: [u8; 8], z: u64 }", // tail at 60 crosses 64
+        );
+        let findings = findings_of(&lint);
+        let span = findings
+            .iter()
+            .find(|f| f.rule == Rule::Span01)
+            .expect("SPAN-01 bridges");
+        assert_eq!(span.addrs, vec![60], "addrs carry modeled field offsets");
+    }
+
+    #[test]
+    fn waived_findings_do_not_bridge() {
+        let mut lint = lint_of("struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }");
+        let keys: std::collections::BTreeSet<String> =
+            lint.findings.iter().map(|f| f.key()).collect();
+        lint.apply_baseline(&keys);
+        assert!(findings_of(&lint).is_empty());
+    }
+
+    #[test]
+    fn merged_report_normalizes_static_after_dynamic() {
+        let mut report = Report::default();
+        report.findings.push(Finding::new(
+            Rule::Align01,
+            "dynamic straddler".into(),
+            vec![0x40],
+        ));
+        let lint = lint_of("struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }");
+        merge_into(&mut report, &lint);
+        assert!(report.findings.len() > 1);
+        // Rule order in the enum puts dynamic rules before static ones.
+        let align_pos = report
+            .findings
+            .iter()
+            .position(|f| f.rule == Rule::Align01)
+            .unwrap();
+        let pad_pos = report
+            .findings
+            .iter()
+            .position(|f| f.rule == Rule::Pad01)
+            .unwrap();
+        assert!(align_pos < pad_pos);
+    }
+}

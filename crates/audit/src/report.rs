@@ -25,11 +25,23 @@ pub enum Rule {
     /// each other's blocks — cross-structure conflict the paper's
     /// coloring exists to remove.
     Conflict01,
+    /// Static (cc-lint): declaration order wastes avoidable padding.
+    Pad01,
+    /// Static (cc-lint): a field straddles a cache-line boundary.
+    Span01,
+    /// Static (cc-lint): declared-hot fields split across lines by cold
+    /// ones.
+    Hot01,
+    /// Static (cc-lint): an AoS element whose hot bytes would fit a line
+    /// after a structure split.
+    Soa01,
 }
 
 impl Rule {
-    /// Every rule, in report order.
-    pub const ALL: [Rule; 7] = [
+    /// Every rule, in report order. The first seven are dynamic (heap
+    /// snapshot / measured misses); the last four are the static
+    /// struct-layout rules surfaced from `cc-lint`.
+    pub const ALL: [Rule; 11] = [
         Rule::Color01,
         Rule::Color02,
         Rule::Cluster01,
@@ -37,6 +49,10 @@ impl Rule {
         Rule::Set01,
         Rule::Align01,
         Rule::Conflict01,
+        Rule::Pad01,
+        Rule::Span01,
+        Rule::Hot01,
+        Rule::Soa01,
     ];
 
     /// Stable diagnostic id.
@@ -49,15 +65,24 @@ impl Rule {
             Rule::Set01 => "SET-01",
             Rule::Align01 => "ALIGN-01",
             Rule::Conflict01 => "CONFLICT-01",
+            Rule::Pad01 => "PAD-01",
+            Rule::Span01 => "SPAN-01",
+            Rule::Hot01 => "HOT-01",
+            Rule::Soa01 => "SOA-01",
         }
     }
 
     /// Default severity of a violation.
     pub fn severity(&self) -> Severity {
         match self {
-            Rule::Color01 | Rule::Cluster01 => Severity::Error,
-            Rule::Color02 | Rule::Cluster02 | Rule::Set01 | Rule::Conflict01 => Severity::Warning,
-            Rule::Align01 => Severity::Info,
+            Rule::Color01 | Rule::Cluster01 | Rule::Hot01 => Severity::Error,
+            Rule::Color02
+            | Rule::Cluster02
+            | Rule::Set01
+            | Rule::Conflict01
+            | Rule::Pad01
+            | Rule::Span01 => Severity::Warning,
+            Rule::Align01 | Rule::Soa01 => Severity::Info,
         }
     }
 
@@ -95,6 +120,24 @@ impl Rule {
                  (ccmorph with a ColorConfig, or separate arenas aligned to \
                  different way offsets); mutual eviction is pure conflict \
                  traffic"
+            }
+            Rule::Pad01 => {
+                "reorder: sort fields by decreasing alignment then size and \
+                 pin with #[repr(C)]; cc-lint's finding carries the exact \
+                 order"
+            }
+            Rule::Span01 => {
+                "reorder or align: keep the field inside one cache line at \
+                 every array stride; see cc-lint's suggested layout"
+            }
+            Rule::Hot01 => {
+                "split or prefix: move the hot fields to a contiguous \
+                 prefix, or split the struct hot/cold so a traversal \
+                 touches one line per object"
+            }
+            Rule::Soa01 => {
+                "split the array structure-of-arrays style so a hot-loop \
+                 scan fetches only hot bytes per line"
             }
         }
     }

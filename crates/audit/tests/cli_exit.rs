@@ -1,0 +1,50 @@
+//! Pins the `cc-audit` CLI exit-code convention: 0 = no findings,
+//! 1 = findings present, 2 = input error. `cc-lint` shares the same
+//! convention (tested in `cc-lint/tests/cli_exit.rs`).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cc-audit"))
+        .args(args)
+        .output()
+        .expect("cc-audit runs")
+}
+
+#[test]
+fn clean_scenario_exits_zero() {
+    let out = run(&["--scenario", "ccmorph-tree", "--nodes", "1023"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn bad_layout_scenario_exits_one() {
+    let out = run(&["--scenario", "malloc-tree", "--nodes", "1023"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        !out.stdout.is_empty(),
+        "findings are reported before exiting 1"
+    );
+}
+
+#[test]
+fn unknown_scenario_exits_two() {
+    let out = run(&["--scenario", "no-such-scenario"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+}
+
+#[test]
+fn bad_nodes_exits_two() {
+    let out = run(&["--nodes", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["--nodes", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_argument_exits_two() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

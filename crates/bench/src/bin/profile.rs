@@ -141,6 +141,8 @@ fn main() {
         println!("  [{}] {}", f.rule.id(), f.message);
     }
 
+    let hot = lint_join(&profile);
+
     // Unified metrics snapshot: the profiler's headline numbers join the
     // process-wide registry the figure binaries share.
     obs::set("profile.keys", n);
@@ -154,9 +156,17 @@ fn main() {
     }
     if let Some(path) = std::env::var_os("CC_OBS_OUT") {
         if !path.is_empty() {
-            let mut p = path;
+            let mut p = path.clone();
             p.push(".attrib.json");
             if let Err(e) = std::fs::write(&p, profile.to_json()) {
+                eprintln!(
+                    "warning: CC_OBS_OUT {}: {e}",
+                    std::path::Path::new(&p).display()
+                );
+            }
+            let mut p = path;
+            p.push(".hot.json");
+            if let Err(e) = std::fs::write(&p, hot.to_json()) {
                 eprintln!(
                     "warning: CC_OBS_OUT {}: {e}",
                     std::path::Path::new(&p).display()
@@ -173,6 +183,72 @@ fn main() {
         );
         std::process::exit(1);
     }
+}
+
+/// Joins the measured per-region miss weights onto the static layout
+/// model: every tree-region miss is a miss on the BST `Node`'s
+/// traversal-hot fields, so the combined weight lands on
+/// `Node.{key,left,right}` and the cc-lint run over the cc-trees source
+/// ranks its suggestions by misses actually measured. The resulting
+/// hotness spec is also what goes to `<CC_OBS_OUT>.hot.json` — feed it
+/// back with `cc-lint --hot`.
+fn lint_join(profile: &MissProfile) -> cc_lint::HotSpec {
+    let mut node_weight = 0.0;
+    for level in [Level::L1, Level::L2] {
+        for (region, misses) in profile.region_weights(level) {
+            if region.starts_with("tree/") {
+                node_weight += misses;
+            }
+        }
+    }
+    let hot = cc_lint::HotSpec::from_entries(["key", "left", "right"].map(|field| {
+        // The traversal loads the whole node; each hot field carries the
+        // full measured miss count (weights rank, they do not apportion).
+        (format!("Node.{field}"), node_weight)
+    }));
+
+    let trees_src = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../trees/src");
+    let mut sources = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&trees_src) {
+        let mut paths: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for p in paths {
+            if p.extension().is_some_and(|x| x == "rs") {
+                if let Ok(src) = std::fs::read_to_string(&p) {
+                    sources.push((
+                        format!("cc-trees/src/{}", p.file_name().unwrap().to_string_lossy()),
+                        src,
+                    ));
+                }
+            }
+        }
+    }
+    if sources.is_empty() {
+        eprintln!("warning: cc-trees source not found; skipping static lint join");
+        return hot;
+    }
+
+    let report = cc_lint::analyze_sources(&sources, &hot, &cc_lint::LintConfig::default());
+    println!("\nstatic layout suggestions (cc-lint over cc-trees, ranked by measured misses):");
+    let mut findings: Vec<_> = report.findings.iter().collect();
+    findings.sort_by(|a, b| {
+        b.weight
+            .unwrap_or(0.0)
+            .partial_cmp(&a.weight.unwrap_or(0.0))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.key().cmp(&b.key()))
+    });
+    if findings.is_empty() {
+        println!("  clean: no static findings over the tree structures");
+    }
+    for f in findings.iter().take(8) {
+        let weight = f
+            .weight
+            .map_or(String::from("unmeasured"), |w| format!("{w:.0} misses"));
+        println!("  [{}] ({weight}) {}::{}", f.rule.id(), f.file, f.strukt);
+        println!("      {}", f.suggestion);
+    }
+    hot
 }
 
 /// Tiny arg helper: next arg parsed, or the default.

@@ -1,0 +1,52 @@
+//! The waiver/baseline file: one finding key per line, `#` comments.
+//!
+//! The CI gate runs `cc-lint --baseline .cc-lint-baseline` over the
+//! workspace; findings whose key appears in the file are *waived* (still
+//! reported, never counted for the exit code), so the gate fails only on
+//! findings **new** since the baseline was blessed. Keys are
+//! [`LintFinding::key`] strings — `RULE file::Struct[.field]` — stable
+//! across reruns.
+//!
+//! [`LintFinding::key`]: crate::report::LintFinding::key
+
+use crate::report::LintReport;
+use std::collections::BTreeSet;
+
+/// Parses a baseline file's contents into waiver keys.
+pub fn parse(src: &str) -> BTreeSet<String> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders the baseline covering every finding in `report` (used by
+/// `cc-lint --write-baseline`). Deterministic: sorted, one key per line.
+pub fn render(report: &LintReport) -> String {
+    let mut keys: BTreeSet<String> = report.findings.iter().map(|f| f.key()).collect();
+    let mut out = String::from(
+        "# cc-lint baseline: waived findings, one `RULE file::Struct[.field]` key\n\
+         # per line. Regenerate with `cc-lint --write-baseline <this file> ...`\n\
+         # after deliberately accepting a layout; the CI gate fails on any\n\
+         # finding not listed here.\n",
+    );
+    for key in std::mem::take(&mut keys) {
+        out.push_str(&key);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let set = parse("# header\n\nPAD-01 a.rs::Foo\n  SPAN-01 b.rs::Bar.x  \n");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("PAD-01 a.rs::Foo"));
+        assert!(set.contains("SPAN-01 b.rs::Bar.x"));
+    }
+}

@@ -1,0 +1,209 @@
+//! `cc-lint` — static struct-layout analysis over Rust source trees.
+//!
+//! ```text
+//! cc-lint [--json] [--baseline FILE] [--write-baseline FILE] [--hot FILE]
+//!         [--pad-threshold N] [--block-bytes N] PATH...
+//! cc-lint --list-rules
+//! ```
+//!
+//! `PATH` arguments are files or directories (searched recursively for
+//! `*.rs`, skipping `target/` and hidden directories). Exit status follows
+//! the workspace CLI convention (shared with `cc-audit`):
+//!
+//! * **0** — no findings beyond the baseline,
+//! * **1** — findings present (new relative to `--baseline`, if given),
+//! * **2** — input or parse error (unreadable path, invalid hotness
+//!   JSON, unreadable baseline, usage error).
+//!
+//! The Rust parser itself is total — unparseable constructs degrade to
+//! skipped structs, never to exit 2 — so exit 2 always means the
+//! *invocation* was broken, not the code under analysis.
+
+use cc_lint::{analyze_sources, baseline, HotSpec, LintConfig, LintRule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    hot: Option<PathBuf>,
+    config: LintConfig,
+    paths: Vec<PathBuf>,
+}
+
+fn usage_text() -> &'static str {
+    "usage: cc-lint [--json] [--baseline FILE] [--write-baseline FILE] [--hot FILE]\n\
+     \x20             [--pad-threshold N] [--block-bytes N] PATH...\n\
+     \x20      cc-lint --list-rules\n\
+     exit: 0 = clean (or all findings baselined), 1 = findings, 2 = input error"
+}
+
+fn input_error(msg: &str) -> ExitCode {
+    eprintln!("cc-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        baseline: None,
+        write_baseline: None,
+        hot: None,
+        config: LintConfig::default(),
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => {
+                for rule in LintRule::ALL {
+                    println!("{} [{}]", rule.id(), rule.severity());
+                }
+                std::process::exit(0);
+            }
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a file")?.into());
+            }
+            "--write-baseline" => {
+                opts.write_baseline =
+                    Some(args.next().ok_or("--write-baseline needs a file")?.into());
+            }
+            "--hot" => opts.hot = Some(args.next().ok_or("--hot needs a file")?.into()),
+            "--pad-threshold" => {
+                opts.config.pad_threshold = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--pad-threshold needs a number")?;
+            }
+            "--block-bytes" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or("--block-bytes needs a number")?;
+                if n == 0 {
+                    return Err("--block-bytes must be nonzero".to_string());
+                }
+                opts.config.block_bytes = n;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument '{other}'"));
+            }
+            path => opts.paths.push(path.into()),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err("no input paths".to_string());
+    }
+    Ok(opts)
+}
+
+/// Collects `.rs` files under `path`, sorted for determinism.
+fn collect_sources(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_file() {
+        out.push(path.to_path_buf());
+        return Ok(());
+    }
+    if !path.is_dir() {
+        return Err(format!("no such file or directory: {}", path.display()));
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if entry.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_sources(&entry, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("cc-lint: {msg}");
+            eprintln!("{}", usage_text());
+            return ExitCode::from(2);
+        }
+    };
+
+    let hot = match &opts.hot {
+        None => HotSpec::empty(),
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return input_error(&format!("cannot read {}: {e}", path.display())),
+            };
+            match HotSpec::parse_json(&src) {
+                Ok(h) => h,
+                Err(e) => {
+                    return input_error(&format!("invalid hotness JSON {}: {e}", path.display()))
+                }
+            }
+        }
+    };
+
+    let waivers = match &opts.baseline {
+        None => Default::default(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => baseline::parse(&s),
+            Err(e) => return input_error(&format!("cannot read {}: {e}", path.display())),
+        },
+    };
+
+    let mut files = Vec::new();
+    for path in &opts.paths {
+        if let Err(msg) = collect_sources(path, &mut files) {
+            return input_error(&msg);
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut sources = Vec::with_capacity(files.len());
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => sources.push((f.display().to_string(), src)),
+            Err(e) => return input_error(&format!("cannot read {}: {e}", f.display())),
+        }
+    }
+
+    let mut report = analyze_sources(&sources, &hot, &opts.config);
+    report.apply_baseline(&waivers);
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, baseline::render(&report)) {
+            return input_error(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!(
+            "cc-lint: wrote baseline with {} finding key(s) to {}",
+            report.findings.len(),
+            path.display()
+        );
+    }
+
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    if report.new_findings() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

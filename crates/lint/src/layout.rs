@@ -1,0 +1,319 @@
+//! The offset model: declaration-order `repr(C)` layout, the
+//! optimal-reorder layout, and cache-line span math.
+//!
+//! For `#[repr(C)]` structs the declaration-order layout is *the* layout,
+//! guaranteed by the ABI and pinned against `core::mem::offset_of!` by the
+//! verification harness. For `repr(Rust)` structs the compiler promises
+//! nothing; cc-lint models them **pessimistically as declaration-order C
+//! layout** — the worst layout any reasonable compiler produces — because
+//! an unguaranteed layout must be assumed bad until it is pinned. (rustc
+//! in practice packs optimally, which is exactly what [`optimal`]
+//! computes; the remediation for a flagged `repr(Rust)` struct is to pin
+//! the optimal order with `#[repr(C)]`.)
+
+use crate::model::{round_up, Resolved, TypeEnv};
+use crate::parse::StructDef;
+
+/// One field placed at a concrete offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Rendered type.
+    pub ty: String,
+    /// Byte offset from the struct base.
+    pub offset: u64,
+    /// Field size in bytes.
+    pub size: u64,
+    /// Field alignment in bytes.
+    pub align: u64,
+    /// Marked hot (`cc-hot` annotation or hotness input).
+    pub hot: bool,
+    /// Index in the declaration order.
+    pub decl_index: usize,
+}
+
+/// A fully placed struct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructLayout {
+    /// Total size (includes trailing padding).
+    pub size: u64,
+    /// Struct alignment.
+    pub align: u64,
+    /// Total padding bytes (internal + trailing).
+    pub padding: u64,
+    /// Fields in *placement* order.
+    pub fields: Vec<FieldLayout>,
+}
+
+impl StructLayout {
+    /// Cache lines a single object at a line-aligned base touches.
+    pub fn lines_per_object(&self, block: u64) -> u64 {
+        self.size.max(1).div_ceil(block.max(1))
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// Input to placement: one field with a resolved size.
+#[derive(Clone, Debug)]
+pub struct SizedField {
+    /// Field name.
+    pub name: String,
+    /// Rendered type.
+    pub ty: String,
+    /// Resolved size/align.
+    pub resolved: Resolved,
+    /// Hot flag.
+    pub hot: bool,
+    /// Declaration index.
+    pub decl_index: usize,
+}
+
+/// Resolves every field of `s`; `None` if any field is opaque/unsized.
+pub fn size_fields(s: &StructDef, env: &TypeEnv<'_>) -> Option<Vec<SizedField>> {
+    let mut out = Vec::with_capacity(s.fields.len());
+    for (i, f) in s.fields.iter().enumerate() {
+        let resolved = env.resolve(&f.ty, &s.file, &mut Vec::new())?;
+        out.push(SizedField {
+            name: f.name.clone(),
+            ty: f.ty.to_string(),
+            resolved,
+            hot: f.hot,
+            decl_index: i,
+        });
+    }
+    Some(out)
+}
+
+/// C layout in the given field order, honoring `packed`/`align` caps.
+pub fn place(fields: &[SizedField], packed: Option<u64>, align_attr: Option<u64>) -> StructLayout {
+    let cap = packed.unwrap_or(u64::MAX).max(1);
+    let mut off = 0u64;
+    let mut align = align_attr.unwrap_or(1).max(1);
+    let mut placed = Vec::with_capacity(fields.len());
+    let mut payload = 0u64;
+    for f in fields {
+        let a = f.resolved.align.min(cap).max(1);
+        off = round_up(off, a);
+        placed.push(FieldLayout {
+            name: f.name.clone(),
+            ty: f.ty.clone(),
+            offset: off,
+            size: f.resolved.size,
+            align: a,
+            hot: f.hot,
+            decl_index: f.decl_index,
+        });
+        off = off.saturating_add(f.resolved.size);
+        payload = payload.saturating_add(f.resolved.size);
+        align = align.max(a);
+    }
+    let size = round_up(off, align);
+    StructLayout {
+        size,
+        align,
+        padding: size.saturating_sub(payload),
+        fields: placed,
+    }
+}
+
+/// Declaration-order layout (the `repr(C)` truth / `repr(Rust)` pessimum).
+pub fn declared(
+    fields: &[SizedField],
+    packed: Option<u64>,
+    align_attr: Option<u64>,
+) -> StructLayout {
+    place(fields, packed, align_attr)
+}
+
+/// Optimal-reorder layout: stable sort by (align desc, size desc). With
+/// every modeled type's size a multiple of its alignment this leaves zero
+/// internal padding, so it minimizes total padding.
+pub fn optimal(
+    fields: &[SizedField],
+    packed: Option<u64>,
+    align_attr: Option<u64>,
+) -> StructLayout {
+    let mut order: Vec<&SizedField> = fields.iter().collect();
+    order.sort_by(|a, b| {
+        (b.resolved.align, b.resolved.size)
+            .cmp(&(a.resolved.align, a.resolved.size))
+            .then(a.decl_index.cmp(&b.decl_index))
+    });
+    let reordered: Vec<SizedField> = order.into_iter().cloned().collect();
+    place(&reordered, packed, align_attr)
+}
+
+/// Hot-prefix layout: hot fields first (optimally packed among
+/// themselves), cold fields after. This is the layout HOT-01 suggests:
+/// the hot working set occupies a contiguous line-aligned prefix.
+pub fn hot_prefix(
+    fields: &[SizedField],
+    packed: Option<u64>,
+    align_attr: Option<u64>,
+) -> StructLayout {
+    let mut hot: Vec<&SizedField> = fields.iter().filter(|f| f.hot).collect();
+    let mut cold: Vec<&SizedField> = fields.iter().filter(|f| !f.hot).collect();
+    let key = |a: &&SizedField, b: &&SizedField| {
+        (b.resolved.align, b.resolved.size)
+            .cmp(&(a.resolved.align, a.resolved.size))
+            .then(a.decl_index.cmp(&b.decl_index))
+    };
+    hot.sort_by(key);
+    cold.sort_by(key);
+    let reordered: Vec<SizedField> = hot.into_iter().chain(cold).cloned().collect();
+    place(&reordered, packed, align_attr)
+}
+
+/// Distinct cache lines the `hot` fields of a layout touch, for an object
+/// whose base is line-aligned.
+pub fn hot_lines(layout: &StructLayout, block: u64) -> u64 {
+    let block = block.max(1);
+    let mut lines: Vec<u64> = Vec::new();
+    for f in layout.fields.iter().filter(|f| f.hot && f.size > 0) {
+        let first = f.offset / block;
+        let last = (f.offset + f.size - 1) / block;
+        for l in first..=last {
+            if !lines.contains(&l) {
+                lines.push(l);
+            }
+        }
+    }
+    lines.len() as u64
+}
+
+/// Packed size of the hot fields alone (their own optimal struct).
+pub fn hot_packed_size(fields: &[SizedField]) -> u64 {
+    let hot: Vec<SizedField> = fields.iter().filter(|f| f.hot).cloned().collect();
+    if hot.is_empty() {
+        return 0;
+    }
+    optimal(&hot, None, None).size
+}
+
+/// Whether a field at `offset`/`size` inside an element of `stride` bytes
+/// straddles a `block` boundary at *some* array index; returns the first
+/// such index.
+///
+/// Offsets of element `i` repeat with period `block / gcd(stride, block)`,
+/// so the scan is bounded by `block` iterations.
+pub fn straddle_index(offset: u64, size: u64, stride: u64, block: u64) -> Option<u64> {
+    let block = block.max(1);
+    if size == 0 || size > block || stride == 0 {
+        return None;
+    }
+    let period = block / gcd(stride % block, block).max(1);
+    for i in 0..period.max(1) {
+        let start = (i * stride + offset) % block;
+        if start + size > block {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Resolved;
+
+    fn f(name: &str, size: u64, align: u64, hot: bool, idx: usize) -> SizedField {
+        SizedField {
+            name: name.into(),
+            ty: format!("u{}", size * 8),
+            resolved: Resolved {
+                size,
+                align,
+                exact: true,
+            },
+            hot,
+            decl_index: idx,
+        }
+    }
+
+    #[test]
+    fn c_layout_matches_classic_rules() {
+        // struct { u8, u64, u16 } -> 0, 8, 16, size 24.
+        let fields = [
+            f("a", 1, 1, false, 0),
+            f("b", 8, 8, false, 1),
+            f("c", 2, 2, false, 2),
+        ];
+        let l = declared(&fields, None, None);
+        assert_eq!(
+            l.fields.iter().map(|x| x.offset).collect::<Vec<_>>(),
+            vec![0, 8, 16]
+        );
+        assert_eq!(l.size, 24);
+        assert_eq!(l.padding, 24 - 11);
+    }
+
+    #[test]
+    fn optimal_removes_internal_padding() {
+        let fields = [
+            f("a", 1, 1, false, 0),
+            f("b", 8, 8, false, 1),
+            f("c", 2, 2, false, 2),
+        ];
+        let l = optimal(&fields, None, None);
+        assert_eq!(l.size, 16);
+        assert_eq!(l.padding, 5, "only trailing padding remains");
+        assert_eq!(l.fields[0].name, "b");
+    }
+
+    #[test]
+    fn packed_caps_alignment() {
+        let fields = [f("a", 1, 1, false, 0), f("b", 8, 8, false, 1)];
+        let l = declared(&fields, Some(1), None);
+        assert_eq!(l.fields[1].offset, 1);
+        assert_eq!(l.size, 9);
+    }
+
+    #[test]
+    fn align_attr_raises() {
+        let fields = [f("a", 4, 4, false, 0)];
+        let l = declared(&fields, None, Some(32));
+        assert_eq!(l.size, 32);
+    }
+
+    #[test]
+    fn hot_prefix_groups_hot_fields() {
+        let fields = [
+            f("hot1", 8, 8, true, 0),
+            f("cold", 8, 8, false, 1),
+            f("hot2", 8, 8, true, 2),
+        ];
+        let l = hot_prefix(&fields, None, None);
+        assert_eq!(l.fields[0].name, "hot1");
+        assert_eq!(l.fields[1].name, "hot2");
+        assert_eq!(hot_lines(&l, 64), 1);
+    }
+
+    #[test]
+    fn straddle_detection() {
+        // 24-byte stride, field at offset 16 of size 8: element 1 puts it
+        // at byte 40..48 (fine), element 2 at 64.. (aligned), but offset
+        // 20 size 8 straddles at some index.
+        assert_eq!(straddle_index(16, 8, 24, 64), None);
+        assert!(straddle_index(20, 8, 24, 64).is_some());
+        // Stride 64: only the base position matters.
+        assert_eq!(straddle_index(60, 8, 64, 64), Some(0));
+        assert_eq!(straddle_index(0, 8, 64, 64), None);
+        // A field wider than a block never reports (always spans).
+        assert_eq!(straddle_index(0, 128, 128, 64), None);
+    }
+}

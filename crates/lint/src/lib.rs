@@ -1,0 +1,203 @@
+//! **`cc-lint`** — a static struct-layout analyzer with a verified offset
+//! model and concrete reorder suggestions.
+//!
+//! *Cache-Conscious Structure Layout* (Chilimbi, Hill & Larus, PLDI 1999)
+//! argues that structure **definition** decides miss rates before a single
+//! instruction runs. Every other checker in this workspace is dynamic —
+//! `cc-audit` needs a heap snapshot, `cc-obs` a replayed trace. This crate
+//! closes the static gap: it parses Rust `struct`/`enum` definitions
+//! straight from source with a small in-tree parser (no crates.io, same
+//! policy as the proptest/criterion shims), computes a field-offset/
+//! size/padding model, and emits deterministic findings with byte-stable
+//! JSON.
+//!
+//! # The offset model
+//!
+//! * `#[repr(C)]` structs get the guaranteed declaration-order C layout.
+//!   The model is **verified against the compiler**: the harness in
+//!   `tests/verify_offsets.rs` pins predicted offsets against
+//!   `core::mem::offset_of!` / `size_of` / `align_of` for every
+//!   exactly-modeled struct in this workspace.
+//! * `repr(Rust)` structs get the same declaration-order layout as a
+//!   **pessimistic** model — the compiler guarantees nothing, so the
+//!   unguaranteed layout is assumed worst-case; the remediation is always
+//!   to pin the optimal order with `#[repr(C)]`.
+//! * The **optimal-reorder model** stable-sorts fields by decreasing
+//!   alignment then size, which (since every modeled size is a multiple
+//!   of its alignment) eliminates all internal padding.
+//!
+//! # Rules
+//!
+//! | rule | fires when |
+//! |---|---|
+//! | PAD-01  | declaration order wastes ≥ threshold avoidable padding bytes |
+//! | SPAN-01 | a field straddles a cache-line boundary (any array stride for hot fields) |
+//! | HOT-01  | declared-hot fields are split across lines by cold ones |
+//! | SOA-01  | an AoS element whose hot bytes fit a line after splitting |
+//!
+//! Hot fields come from `// cc-hot` comment annotations or a field-hotness
+//! JSON (`--hot`, the `*.hot.json` emitted by `cc-profile`'s measured
+//! attribution join).
+//!
+//! # Example
+//!
+//! ```
+//! use cc_lint::{analyze_sources, HotSpec, LintConfig};
+//!
+//! let src = "pub struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }";
+//! let report = analyze_sources(
+//!     &[("bad.rs".to_string(), src.to_string())],
+//!     &HotSpec::empty(),
+//!     &LintConfig::default(),
+//! );
+//! let pad: Vec<_> = report
+//!     .findings
+//!     .iter()
+//!     .filter(|f| f.rule == cc_lint::LintRule::Pad01)
+//!     .collect();
+//! assert_eq!(pad.len(), 1, "interleaved u8/u64 wastes 14 bytes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod hot;
+pub mod layout;
+pub mod model;
+pub mod modeled;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+pub use hot::HotSpec;
+pub use layout::{FieldLayout, StructLayout};
+pub use modeled::{Analysis, ModeledStruct, SkippedStruct};
+pub use parse::{parse_source, ParsedFile, StructDef, Ty, HOT_MARKER};
+pub use report::{LintFinding, LintReport, LintRule, LintStats};
+pub use rules::LintConfig;
+
+/// Parses and analyzes a set of `(file label, source)` pairs.
+///
+/// Total: any input produces a report; unmodelable structs are counted in
+/// `stats.structs_skipped` rather than failing the run.
+pub fn analyze_sources(
+    files: &[(String, String)],
+    hot: &HotSpec,
+    config: &LintConfig,
+) -> LintReport {
+    let parsed: Vec<(String, ParsedFile)> = files
+        .iter()
+        .map(|(name, src)| (name.clone(), parse_source(name, src)))
+        .collect();
+    analyze_parsed(&parsed, hot, config)
+}
+
+/// Analyzes already-parsed files (for callers that reuse the parse).
+pub fn analyze_parsed(
+    parsed: &[(String, ParsedFile)],
+    hot: &HotSpec,
+    config: &LintConfig,
+) -> LintReport {
+    let analysis = modeled::model_files(parsed, hot);
+    let mut findings = Vec::new();
+    for m in &analysis.modeled {
+        findings.extend(rules::check(m, config));
+    }
+    LintReport::build(&analysis, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> LintReport {
+        analyze_sources(
+            &[("t.rs".to_string(), src.to_string())],
+            &HotSpec::empty(),
+            &LintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn clean_struct_produces_no_findings() {
+        let r = run("#[repr(C)] struct Good { a: u64, b: u64, c: u32, d: u32 }");
+        assert!(r.is_clean(), "{}", r.to_text());
+        assert_eq!(r.stats.structs_modeled, 1);
+        assert_eq!(r.stats.structs_exact, 1);
+    }
+
+    #[test]
+    fn pad_01_fires_with_strictly_smaller_reorder() {
+        let r = run("#[repr(C)] struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }");
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == LintRule::Pad01)
+            .expect("PAD-01 fires");
+        // 3 * (u8 + 7 pad + u64) = 48 declared; optimal 3*8 + 3 + 5 = 32.
+        let st = &r.structs[0];
+        assert_eq!(st.size, 48);
+        assert_eq!(st.optimal_size, 32);
+        assert!(st.optimal_padding < st.padding, "strictly smaller padding");
+        assert!(f.suggestion.contains("reorder fields as: b, d, f, a, c, e"));
+    }
+
+    #[test]
+    fn hot_01_fires_on_split_hot_fields() {
+        let r = run("#[repr(C)] struct H {\n\
+                 key: u64, // cc-hot\n\
+                 pad0: [u8; 64],\n\
+                 next: u64, // cc-hot\n\
+             }");
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == LintRule::Hot01)
+            .expect("HOT-01 fires");
+        assert_eq!(f.before, 2.0);
+        assert_eq!(f.after, 1.0);
+    }
+
+    #[test]
+    fn soa_01_fires_on_aos_with_hot_subset() {
+        let r = run("#[repr(C)] struct Elem {\n\
+                 x: f64, // cc-hot\n\
+                 y: f64, // cc-hot\n\
+                 meta: [u64; 6],\n\
+             }\n\
+             struct World { elems: Vec<Elem> }");
+        assert!(
+            r.findings.iter().any(|f| f.rule == LintRule::Soa01),
+            "{}",
+            r.to_text()
+        );
+    }
+
+    #[test]
+    fn hot_weights_join_marks_fields() {
+        let hot = HotSpec::parse_json("{\"N.a\": 10, \"N.c\": 10}").unwrap();
+        let r = analyze_sources(
+            &[(
+                "t.rs".to_string(),
+                "#[repr(C)] struct N { a: u64, cold: [u8; 64], c: u64 }".to_string(),
+            )],
+            &hot,
+            &LintConfig::default(),
+        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == LintRule::Hot01)
+            .expect("weights mark hot fields");
+        assert_eq!(f.weight, Some(20.0));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let src = "struct A { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 } struct B { x: u8 }";
+        let a = run(src).to_json();
+        let b = run(src).to_json();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! From parsed sources to modeled structs: resolves every field, builds
+//! the declaration-order and optimal-reorder layouts, joins hotness
+//! input, and detects array-element usage across the corpus.
+
+use crate::hot::HotSpec;
+use crate::layout::{declared, optimal, size_fields, SizedField, StructLayout};
+use crate::model::TypeEnv;
+use crate::parse::{ParsedFile, Ty};
+use std::collections::BTreeSet;
+
+/// One struct the offset model fully resolved.
+#[derive(Clone, Debug)]
+pub struct ModeledStruct {
+    /// Type name.
+    pub name: String,
+    /// Source file label.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Has `#[repr(C)]` (layout guaranteed, declaration order binding).
+    pub repr_c: bool,
+    /// `repr(packed(N))` cap.
+    pub packed: Option<u64>,
+    /// `repr(align(N))` floor.
+    pub align_attr: Option<u64>,
+    /// Resolved fields in declaration order.
+    pub sized: Vec<SizedField>,
+    /// Declaration-order layout (exact for `repr(C)`, the pessimistic
+    /// model for `repr(Rust)`).
+    pub decl: StructLayout,
+    /// Optimal-reorder layout.
+    pub opt: StructLayout,
+    /// Every field's size/align is a language guarantee *and* the struct
+    /// is `repr(C)` — i.e. `decl` must equal the compiler's layout.
+    pub exact: bool,
+    /// Number of hot-marked fields.
+    pub hot_count: usize,
+    /// The struct appears as an array element (`Vec<T>`, `[T; N]`,
+    /// `Box<[T]>`, `&[T]`) somewhere in the corpus.
+    pub array_element: bool,
+    /// Measured heat joined from a hotness input, if any.
+    pub weight: Option<f64>,
+}
+
+/// A struct the model had to skip, with the reason.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkippedStruct {
+    /// Type name.
+    pub name: String,
+    /// Source file label.
+    pub file: String,
+    /// Why it could not be modeled.
+    pub reason: String,
+}
+
+/// The full modeling pass output.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Structs the model resolved, in (file, name) order.
+    pub modeled: Vec<ModeledStruct>,
+    /// Structs skipped (generic parameters, opaque field types).
+    pub skipped: Vec<SkippedStruct>,
+    /// Enums seen (modeled for size only).
+    pub enums: usize,
+    /// Files analysed.
+    pub files: usize,
+}
+
+/// Collects the names of struct types used as array elements anywhere.
+fn array_element_names(files: &[(String, ParsedFile)]) -> BTreeSet<String> {
+    fn walk(ty: &Ty, inside_seq: bool, out: &mut BTreeSet<String>) {
+        match ty {
+            Ty::Path { last, args } => {
+                let seq = matches!(last.as_str(), "Vec" | "VecDeque");
+                if inside_seq && args.is_empty() {
+                    out.insert(last.clone());
+                }
+                for a in args {
+                    walk(a, seq, out);
+                }
+            }
+            Ty::Array(t, _) | Ty::Slice(t) => walk(t, true, out),
+            Ty::Ref(t) | Ty::Ptr(t) => walk(t, false, out),
+            Ty::Tuple(ts) => {
+                for t in ts {
+                    walk(t, false, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    for (_, parsed) in files {
+        for s in &parsed.structs {
+            for f in &s.fields {
+                walk(&f.ty, false, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the modeling pass over parsed files.
+pub fn model_files(files: &[(String, ParsedFile)], hot: &HotSpec) -> Analysis {
+    let env = TypeEnv::new(files);
+    let array_elems = array_element_names(files);
+    let mut analysis = Analysis {
+        files: files.len(),
+        ..Analysis::default()
+    };
+    for (_, parsed) in files {
+        analysis.enums += parsed.enums.len();
+        for s in &parsed.structs {
+            if s.generic {
+                analysis.skipped.push(SkippedStruct {
+                    name: s.name.clone(),
+                    file: s.file.clone(),
+                    reason: "generic parameters".to_string(),
+                });
+                continue;
+            }
+            let Some(mut sized) = size_fields(s, &env) else {
+                let culprit = s
+                    .fields
+                    .iter()
+                    .find(|f| env.resolve(&f.ty, &s.file, &mut Vec::new()).is_none())
+                    .map(|f| format!("opaque field `{}: {}`", f.name, f.ty))
+                    .unwrap_or_else(|| "opaque field".to_string());
+                analysis.skipped.push(SkippedStruct {
+                    name: s.name.clone(),
+                    file: s.file.clone(),
+                    reason: culprit,
+                });
+                continue;
+            };
+            // Join hotness input on top of source annotations.
+            for f in &mut sized {
+                f.hot = f.hot || hot.field_hot(&s.name, &f.name);
+            }
+            let exact = s.repr.c && sized.iter().all(|f| f.resolved.exact);
+            let decl = declared(&sized, s.repr.packed, s.repr.align);
+            let opt = optimal(&sized, s.repr.packed, s.repr.align);
+            let hot_count = sized.iter().filter(|f| f.hot).count();
+            analysis.modeled.push(ModeledStruct {
+                name: s.name.clone(),
+                file: s.file.clone(),
+                line: s.line,
+                repr_c: s.repr.c,
+                packed: s.repr.packed,
+                align_attr: s.repr.align,
+                decl,
+                opt,
+                exact,
+                hot_count,
+                array_element: array_elems.contains(&s.name),
+                weight: hot.struct_weight(&s.name),
+                sized,
+            });
+        }
+    }
+    analysis
+        .modeled
+        .sort_by(|a, b| (&a.file, &a.name).cmp(&(&b.file, &b.name)));
+    analysis
+        .skipped
+        .sort_by(|a, b| (&a.file, &a.name).cmp(&(&b.file, &b.name)));
+    analysis
+}

@@ -1,0 +1,1294 @@
+//! A total lexer + parser for the `struct`/`enum` subset the lint models.
+//!
+//! This is deliberately **not** a Rust parser. It is a scavenger: it
+//! tokenizes arbitrary text without ever panicking, scans for `struct` and
+//! `enum` items at any nesting depth, and extracts exactly the facts the
+//! offset model needs — names, `#[repr(..)]` attributes, field names and
+//! types, fieldless-enum discriminants, and `cc-hot` comment annotations.
+//! Anything it cannot understand degrades to [`Ty::Opaque`] or a skipped
+//! item with a reason; it never fails the whole file. Totality (no panic,
+//! no unbounded recursion on any byte sequence) is pinned by the token-soup
+//! proptests in `tests/proptests.rs`.
+
+use std::fmt;
+
+/// Recursion ceiling for nested types (`Vec<Vec<...>>`); beyond this the
+/// type degrades to [`Ty::Opaque`] instead of risking the stack.
+const MAX_TYPE_DEPTH: u32 = 32;
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// A leading `cc-hot` comment (on its own line) directly precedes
+    /// this token.
+    pub lead_hot: bool,
+}
+
+/// Token kinds; everything the grammar does not care about is a `Punct`.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Lifetime,
+    /// Integer literal; `None` when it does not fit `u64` (or is a float).
+    Num(Option<u64>),
+    Punct(char),
+}
+
+/// Lexer output: tokens plus the lines carrying a *trailing* `cc-hot`
+/// comment (code before the comment on the same line).
+pub(crate) struct LexOut {
+    pub tokens: Vec<Token>,
+    pub trailing_hot_lines: Vec<u32>,
+}
+
+/// The annotation comment that marks a field hot. Matched as a substring
+/// of any comment, so `// cc-hot`, `/* cc-hot */` and `/// cc-hot: why`
+/// all work.
+pub const HOT_MARKER: &str = "cc-hot";
+
+pub(crate) fn lex(src: &str) -> LexOut {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut trailing_hot_lines = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+    let mut pending_lead_hot = false;
+
+    macro_rules! push {
+        ($kind:expr) => {{
+            tokens.push(Token {
+                kind: $kind,
+                line,
+                lead_hot: std::mem::take(&mut pending_lead_hot),
+            });
+            line_has_code = true;
+        }};
+    }
+
+    // Advances past a run of identifier-continue chars starting at byte
+    // `at` (which must be a char boundary), returning the next boundary.
+    // Byte-wise scans would step into the middle of multi-byte chars:
+    // many UTF-8 continuation bytes read as Latin-1 alphanumerics.
+    fn ident_run(src: &str, mut at: usize) -> usize {
+        for ch in src[at..].chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                at += ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        at
+    }
+
+    while i < bytes.len() {
+        let c = src[i..].chars().next().expect("i is on a char boundary");
+        if c == '\n' {
+            line = line.saturating_add(1);
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            if src[start..i].contains(HOT_MARKER) {
+                if line_has_code {
+                    trailing_hot_lines.push(line);
+                } else {
+                    pending_lead_hot = true;
+                }
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let start_line_has_code = line_has_code;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line = line.saturating_add(1);
+                    line_has_code = false;
+                    i += 1;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if src[start..i].contains(HOT_MARKER) {
+                if start_line_has_code {
+                    trailing_hot_lines.push(start_line);
+                } else {
+                    pending_lead_hot = true;
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        line = line.saturating_add(1);
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            line_has_code = true;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = bytes.get(i + 1).copied();
+            match next {
+                Some(n) if n.is_ascii_alphabetic() || n == b'_' => {
+                    // Ident chars follow; a closing quote right after the
+                    // run means char literal ('a'), otherwise lifetime.
+                    let j = ident_run(src, i + 1);
+                    if bytes.get(j) == Some(&b'\'') {
+                        i = j + 1; // char literal, consumed
+                        line_has_code = true;
+                    } else {
+                        push!(Tok::Lifetime);
+                        i = j;
+                    }
+                }
+                Some(b'\\') => {
+                    // Escaped char literal: skip escape then scan to quote.
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    line_has_code = true;
+                }
+                Some(_) => {
+                    // Plain char literal like '+' (or stray quote at EOF).
+                    if bytes.get(i + 2) == Some(&b'\'') {
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                    line_has_code = true;
+                }
+                None => {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_int = true;
+            if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                i += 2;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_hexdigit() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let digits: String = src[start + 2..i].chars().filter(|&d| d != '_').collect();
+                push!(Tok::Num(u64::from_str_radix(&digits, 16).ok()));
+                // Swallow a type suffix (u64, usize, ...).
+                i = ident_run(src, i);
+                continue;
+            }
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Float part: `1.5` but not `1.method()` or `1..2`.
+            if bytes.get(i) == Some(&b'.')
+                && bytes
+                    .get(i + 1)
+                    .is_some_and(|d| (*d as char).is_ascii_digit())
+            {
+                is_int = false;
+                i += 1;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            let digits: String = src[start..i].chars().filter(|&d| d != '_').collect();
+            let val = if is_int { digits.parse().ok() } else { None };
+            push!(Tok::Num(val));
+            // Swallow a type suffix.
+            i = ident_run(src, i);
+            continue;
+        }
+        // Identifier / keyword / raw string / raw ident.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            i = ident_run(src, i);
+            let word = &src[start..i];
+            // Raw string r"..." / r#"..."# / byte strings b"..", br#"..#.
+            if matches!(word, "r" | "b" | "br") && matches!(bytes.get(i), Some(b'"') | Some(b'#')) {
+                let mut hashes = 0usize;
+                while bytes.get(i) == Some(&b'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'"') {
+                    i += 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'\n' {
+                            line = line.saturating_add(1);
+                        } else if bytes[i] == b'"' {
+                            let mut j = i + 1;
+                            let mut h = 0usize;
+                            while h < hashes && bytes.get(j) == Some(&b'#') {
+                                h += 1;
+                                j += 1;
+                            }
+                            if h == hashes {
+                                i = j;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    line_has_code = true;
+                    continue;
+                }
+                // `r#ident`: fall through, lex the ident after the hash.
+                if word == "r" && hashes == 1 {
+                    let istart = i;
+                    i = ident_run(src, i);
+                    push!(Tok::Ident(src[istart..i].to_string()));
+                    continue;
+                }
+            }
+            push!(Tok::Ident(word.to_string()));
+            continue;
+        }
+        // Everything else: one punctuation char.
+        push!(Tok::Punct(c));
+        i += c.len_utf8();
+    }
+
+    LexOut {
+        tokens,
+        trailing_hot_lines,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Syntax model
+// ---------------------------------------------------------------------------
+
+/// A parsed type, reduced to what the size model distinguishes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ty {
+    /// Path type: last segment plus its generic type arguments
+    /// (`std::vec::Vec<u64>` parses as `Path { last: "Vec", args: [u64] }`).
+    Path {
+        /// Last path segment.
+        last: String,
+        /// Generic type arguments (lifetimes and const args dropped).
+        args: Vec<Ty>,
+    },
+    /// `&T` / `&mut T`.
+    Ref(Box<Ty>),
+    /// `*const T` / `*mut T`.
+    Ptr(Box<Ty>),
+    /// `[T; N]`; the length is `None` when it is not a literal.
+    Array(Box<Ty>, Option<u64>),
+    /// `[T]` (unsized; only meaningful behind a pointer).
+    Slice(Box<Ty>),
+    /// Tuple; `()` is the empty tuple.
+    Tuple(Vec<Ty>),
+    /// `dyn Trait` (unsized).
+    Dyn,
+    /// `fn(..) -> _` pointer.
+    FnPtr,
+    /// `!`.
+    Never,
+    /// Anything the parser could not understand.
+    Opaque,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Path { last, args } => {
+                f.write_str(last)?;
+                if !args.is_empty() {
+                    write!(f, "<")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ">")?;
+                }
+                Ok(())
+            }
+            Ty::Ref(t) => write!(f, "&{t}"),
+            Ty::Ptr(t) => write!(f, "*const {t}"),
+            Ty::Array(t, Some(n)) => write!(f, "[{t}; {n}]"),
+            Ty::Array(t, None) => write!(f, "[{t}; ?]"),
+            Ty::Slice(t) => write!(f, "[{t}]"),
+            Ty::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Ty::Dyn => f.write_str("dyn _"),
+            Ty::FnPtr => f.write_str("fn(..)"),
+            Ty::Never => f.write_str("!"),
+            Ty::Opaque => f.write_str("?"),
+        }
+    }
+}
+
+/// `#[repr(..)]` facts attached to an item.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReprAttr {
+    /// `repr(C)`.
+    pub c: bool,
+    /// `repr(transparent)`.
+    pub transparent: bool,
+    /// `repr(packed)` / `repr(packed(N))` cap on field alignment.
+    pub packed: Option<u64>,
+    /// `repr(align(N))` floor on struct alignment.
+    pub align: Option<u64>,
+    /// Integer repr on enums (`repr(u8)`, ...): (size, align).
+    pub int: Option<(u64, u64)>,
+}
+
+/// One struct field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDef {
+    /// Field name (tuple fields are `"0"`, `"1"`, ...).
+    pub name: String,
+    /// Parsed type.
+    pub ty: Ty,
+    /// Marked hot by a `cc-hot` comment annotation.
+    pub hot: bool,
+}
+
+/// A parsed struct definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Source file label (as given to the parser).
+    pub file: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Repr attributes.
+    pub repr: ReprAttr,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// The item has non-lifetime generic parameters (not modelable).
+    pub generic: bool,
+}
+
+/// A parsed enum definition (modeled for size only, as a field type).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnumDef {
+    /// Type name.
+    pub name: String,
+    /// Source file label.
+    pub file: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Repr attributes.
+    pub repr: ReprAttr,
+    /// Number of variants.
+    pub variants: usize,
+    /// Any variant carries data (tuple or struct payload).
+    pub has_payload: bool,
+    /// Largest literal discriminant seen (fieldless enums).
+    pub max_discriminant: u64,
+    /// A discriminant was present but not a plain literal (pessimize).
+    pub opaque_discriminant: bool,
+    /// The item has non-lifetime generic parameters.
+    pub generic: bool,
+}
+
+/// Everything extracted from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions, in source order.
+    pub enums: Vec<EnumDef>,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    trailing_hot: &'a [u32],
+    file: &'a str,
+}
+
+/// Parses one source file. Total: any input yields a (possibly empty)
+/// [`ParsedFile`]; malformed items are skipped, malformed types degrade to
+/// [`Ty::Opaque`].
+pub fn parse_source(file: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let p = Parser {
+        toks: &lexed.tokens,
+        trailing_hot: &lexed.trailing_hot_lines,
+        file,
+    };
+    p.run()
+}
+
+impl<'a> Parser<'a> {
+    fn run(&self) -> ParsedFile {
+        let mut out = ParsedFile::default();
+        let mut repr = ReprAttr::default();
+        let mut i = 0usize;
+        while i < self.toks.len() {
+            match &self.toks[i].kind {
+                Tok::Punct('#') if self.peek_punct(i + 1, '[') => {
+                    let end = self.skip_balanced(i + 1, '[', ']');
+                    self.scan_repr(i + 2, end.saturating_sub(1), &mut repr);
+                    i = end;
+                }
+                Tok::Ident(w) if w == "struct" => {
+                    if let Some((def, next)) = self.parse_struct(i, repr) {
+                        out.structs.push(def);
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                    repr = ReprAttr::default();
+                }
+                Tok::Ident(w) if w == "enum" => {
+                    if let Some((def, next)) = self.parse_enum(i, repr) {
+                        out.enums.push(def);
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                    repr = ReprAttr::default();
+                }
+                // Tokens that may sit between an attribute and its item.
+                Tok::Ident(w)
+                    if matches!(w.as_str(), "pub" | "crate" | "super" | "self" | "in") =>
+                {
+                    i += 1;
+                }
+                Tok::Punct('(') | Tok::Punct(')') => i += 1,
+                _ => {
+                    repr = ReprAttr::default();
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    // -- token utilities ---------------------------------------------------
+
+    fn peek_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == Tok::Punct(c))
+    }
+
+    fn peek_ident(&self, i: usize) -> Option<&'a str> {
+        match self.toks.get(i) {
+            Some(Token {
+                kind: Tok::Ident(w),
+                ..
+            }) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Given `i` at an opening delimiter, returns the index just past its
+    /// match (or the end of input).
+    fn skip_balanced(&self, mut i: usize, open: char, close: char) -> usize {
+        debug_assert!(self.peek_punct(i, open));
+        let mut depth = 0i64;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                Tok::Punct(c) if c == open => depth += 1,
+                Tok::Punct(c) if c == close => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Scans an attribute body for `repr(..)` facts.
+    fn scan_repr(&self, start: usize, end: usize, repr: &mut ReprAttr) {
+        if self.peek_ident(start) != Some("repr") {
+            return;
+        }
+        let mut i = start + 1;
+        while i < end {
+            if let Tok::Ident(w) = &self.toks[i].kind {
+                match w.as_str() {
+                    "C" => repr.c = true,
+                    "transparent" => repr.transparent = true,
+                    "packed" => {
+                        if self.peek_punct(i + 1, '(') {
+                            if let Some(Token {
+                                kind: Tok::Num(Some(n)),
+                                ..
+                            }) = self.toks.get(i + 2)
+                            {
+                                repr.packed = Some((*n).max(1));
+                            } else {
+                                repr.packed = Some(1);
+                            }
+                        } else {
+                            repr.packed = Some(1);
+                        }
+                    }
+                    "align" => {
+                        if let (
+                            true,
+                            Some(Token {
+                                kind: Tok::Num(Some(n)),
+                                ..
+                            }),
+                        ) = (self.peek_punct(i + 1, '('), self.toks.get(i + 2))
+                        {
+                            repr.align = Some((*n).max(1));
+                        }
+                    }
+                    "u8" | "i8" => repr.int = Some((1, 1)),
+                    "u16" | "i16" => repr.int = Some((2, 2)),
+                    "u32" | "i32" => repr.int = Some((4, 4)),
+                    "u64" | "i64" | "usize" | "isize" => repr.int = Some((8, 8)),
+                    "u128" | "i128" => repr.int = Some((16, 16)),
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Skips generics after a name; returns (next index, has non-lifetime
+    /// params).
+    fn skip_generics(&self, mut i: usize) -> (usize, bool) {
+        if !self.peek_punct(i, '<') {
+            return (i, false);
+        }
+        let mut depth = 0i64;
+        let mut generic = false;
+        let mut at_param_start = false;
+        while i < self.toks.len() {
+            match &self.toks[i].kind {
+                Tok::Punct('<') => {
+                    depth += 1;
+                    at_param_start = depth == 1;
+                }
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return (i + 1, generic);
+                    }
+                }
+                Tok::Punct(',') if depth == 1 => at_param_start = true,
+                Tok::Lifetime => at_param_start = false,
+                _ => {
+                    if at_param_start && depth == 1 {
+                        generic = true;
+                    }
+                    at_param_start = false;
+                }
+            }
+            i += 1;
+        }
+        (i, generic)
+    }
+
+    /// Skips a `where` clause: everything up to the next top-level `{`,
+    /// `(` or `;`.
+    fn skip_where(&self, mut i: usize) -> usize {
+        if self.peek_ident(i) != Some("where") {
+            return i;
+        }
+        let mut angle = 0i64;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct('{') | Tok::Punct(';') if angle <= 0 => return i,
+                Tok::Punct('(') if angle <= 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Whether the field whose name token is at `name_idx` and whose last
+    /// token sits at `end_idx` is annotated hot.
+    fn field_hot(&self, name_idx: usize, end_idx: usize) -> bool {
+        if self.toks[name_idx].lead_hot {
+            return true;
+        }
+        let lo = self.toks[name_idx].line;
+        let hi = self
+            .toks
+            .get(end_idx.min(self.toks.len().saturating_sub(1)))
+            .map_or(lo, |t| t.line);
+        self.trailing_hot.iter().any(|&l| l >= lo && l <= hi)
+    }
+
+    // -- items -------------------------------------------------------------
+
+    fn parse_struct(&self, kw: usize, repr: ReprAttr) -> Option<(StructDef, usize)> {
+        let line = self.toks[kw].line;
+        let name = self.peek_ident(kw + 1)?.to_string();
+        if is_keyword(&name) {
+            return None;
+        }
+        let (mut i, generic) = self.skip_generics(kw + 2);
+        i = self.skip_where(i);
+        let mut fields = Vec::new();
+        if self.peek_punct(i, ';') {
+            // Unit struct.
+            i += 1;
+        } else if self.peek_punct(i, '(') {
+            // Tuple struct.
+            let end = self.skip_balanced(i, '(', ')');
+            let mut j = i + 1;
+            let mut idx = 0usize;
+            while j < end.saturating_sub(1) {
+                j = self.skip_field_prefix(j);
+                if j >= end.saturating_sub(1) {
+                    break;
+                }
+                let name_idx = j;
+                let (ty, next) = self.parse_ty(j, 0);
+                let stop = self.seek_list_end(next.max(j + 1), end.saturating_sub(1), ',');
+                fields.push(FieldDef {
+                    name: idx.to_string(),
+                    ty,
+                    hot: self.field_hot(name_idx, stop.saturating_sub(1)),
+                });
+                idx += 1;
+                j = if self.peek_punct(stop, ',') {
+                    stop + 1
+                } else {
+                    stop
+                };
+            }
+            i = end;
+            // Trailing where-clause + semicolon.
+            i = self.skip_where(i);
+            if self.peek_punct(i, ';') {
+                i += 1;
+            }
+        } else if self.peek_punct(i, '{') {
+            let end = self.skip_balanced(i, '{', '}');
+            let body_end = end.saturating_sub(1);
+            let mut j = i + 1;
+            while j < body_end {
+                j = self.skip_field_prefix(j);
+                if j >= body_end {
+                    break;
+                }
+                let Some(fname) = self.peek_ident(j) else {
+                    // Unparseable: resync at the next comma.
+                    j = self.seek_list_end(j + 1, body_end, ',') + 1;
+                    continue;
+                };
+                let fname = fname.to_string();
+                let name_idx = j;
+                if !self.peek_punct(j + 1, ':') {
+                    j = self.seek_list_end(j + 1, body_end, ',') + 1;
+                    continue;
+                }
+                let (ty, next) = self.parse_ty(j + 2, 0);
+                let stop = self.seek_list_end(next.max(j + 2), body_end, ',');
+                fields.push(FieldDef {
+                    name: fname,
+                    ty,
+                    hot: self.field_hot(name_idx, stop.saturating_sub(1).max(name_idx)),
+                });
+                j = if self.peek_punct(stop, ',') {
+                    stop + 1
+                } else {
+                    stop
+                };
+            }
+            i = end;
+        } else {
+            return None;
+        }
+        Some((
+            StructDef {
+                name,
+                file: self.file.to_string(),
+                line,
+                repr,
+                fields,
+                generic,
+            },
+            i,
+        ))
+    }
+
+    fn parse_enum(&self, kw: usize, repr: ReprAttr) -> Option<(EnumDef, usize)> {
+        let line = self.toks[kw].line;
+        let name = self.peek_ident(kw + 1)?.to_string();
+        if is_keyword(&name) {
+            return None;
+        }
+        let (mut i, generic) = self.skip_generics(kw + 2);
+        i = self.skip_where(i);
+        if !self.peek_punct(i, '{') {
+            return None;
+        }
+        let end = self.skip_balanced(i, '{', '}');
+        let body_end = end.saturating_sub(1);
+        let mut j = i + 1;
+        let mut variants = 0usize;
+        let mut has_payload = false;
+        let mut max_discriminant = 0u64;
+        let mut opaque_discriminant = false;
+        while j < body_end {
+            j = self.skip_field_prefix(j);
+            if j >= body_end {
+                break;
+            }
+            if self.peek_ident(j).is_none() {
+                j = self.seek_list_end(j + 1, body_end, ',') + 1;
+                continue;
+            }
+            variants += 1;
+            j += 1;
+            if self.peek_punct(j, '(') {
+                has_payload = true;
+                j = self.skip_balanced(j, '(', ')');
+            } else if self.peek_punct(j, '{') {
+                has_payload = true;
+                j = self.skip_balanced(j, '{', '}');
+            }
+            if self.peek_punct(j, '=') {
+                match self.toks.get(j + 1).map(|t| &t.kind) {
+                    Some(Tok::Num(Some(n)))
+                        if matches!(
+                            self.toks.get(j + 2).map(|t| &t.kind),
+                            Some(Tok::Punct(',')) | None
+                        ) || j + 2 >= body_end =>
+                    {
+                        max_discriminant = max_discriminant.max(*n);
+                        j += 2;
+                    }
+                    _ => {
+                        opaque_discriminant = true;
+                        j = self.seek_list_end(j + 1, body_end, ',');
+                    }
+                }
+            }
+            j = self.seek_list_end(j, body_end, ',');
+            if self.peek_punct(j, ',') {
+                j += 1;
+            }
+        }
+        Some((
+            EnumDef {
+                name,
+                file: self.file.to_string(),
+                line,
+                repr,
+                variants,
+                has_payload,
+                max_discriminant,
+                opaque_discriminant,
+                generic,
+            },
+            end,
+        ))
+    }
+
+    /// Skips attributes and visibility before a field or variant.
+    fn skip_field_prefix(&self, mut i: usize) -> usize {
+        loop {
+            if self.peek_punct(i, '#') && self.peek_punct(i + 1, '[') {
+                i = self.skip_balanced(i + 1, '[', ']');
+            } else if self.peek_ident(i) == Some("pub") {
+                i += 1;
+                if self.peek_punct(i, '(') {
+                    i = self.skip_balanced(i, '(', ')');
+                }
+            } else {
+                return i;
+            }
+        }
+    }
+
+    /// Advances to the next `sep` at zero bracket depth, or to `end`.
+    fn seek_list_end(&self, mut i: usize, end: usize, sep: char) -> usize {
+        let mut angle = 0i64;
+        let mut round = 0i64;
+        let mut square = 0i64;
+        let mut brace = 0i64;
+        while i < end {
+            match self.toks[i].kind {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle = (angle - 1).max(0),
+                Tok::Punct('(') => round += 1,
+                Tok::Punct(')') => round -= 1,
+                Tok::Punct('[') => square += 1,
+                Tok::Punct(']') => square -= 1,
+                Tok::Punct('{') => brace += 1,
+                Tok::Punct('}') => brace -= 1,
+                Tok::Punct(c)
+                    if c == sep && angle == 0 && round <= 0 && square <= 0 && brace <= 0 =>
+                {
+                    return i;
+                }
+                _ => {}
+            }
+            if round < 0 || square < 0 || brace < 0 {
+                return i;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    // -- types -------------------------------------------------------------
+
+    /// Parses a type at `i`; returns the type (Opaque on failure) and the
+    /// index just past it (always > `i` when `i` is in range).
+    fn parse_ty(&self, i: usize, depth: u32) -> (Ty, usize) {
+        if depth > MAX_TYPE_DEPTH || i >= self.toks.len() {
+            return (Ty::Opaque, i + 1);
+        }
+        match &self.toks[i].kind {
+            Tok::Punct('&') => {
+                let mut j = i + 1;
+                if matches!(self.toks.get(j), Some(t) if t.kind == Tok::Lifetime) {
+                    j += 1;
+                }
+                if self.peek_ident(j) == Some("mut") {
+                    j += 1;
+                }
+                let (inner, next) = self.parse_ty(j, depth + 1);
+                (Ty::Ref(Box::new(inner)), next)
+            }
+            Tok::Punct('*') => {
+                let mut j = i + 1;
+                if matches!(self.peek_ident(j), Some("const") | Some("mut")) {
+                    j += 1;
+                }
+                let (inner, next) = self.parse_ty(j, depth + 1);
+                (Ty::Ptr(Box::new(inner)), next)
+            }
+            Tok::Punct('[') => {
+                let close = self.skip_balanced(i, '[', ']');
+                let (inner, next) = self.parse_ty(i + 1, depth + 1);
+                if self.peek_punct(next, ';') {
+                    // Length: a single literal we keep, anything else drops
+                    // to unknown.
+                    let len = match self.toks.get(next + 1).map(|t| &t.kind) {
+                        Some(Tok::Num(v)) if self.peek_punct(next + 2, ']') => *v,
+                        _ => None,
+                    };
+                    (Ty::Array(Box::new(inner), len), close)
+                } else {
+                    (Ty::Slice(Box::new(inner)), close)
+                }
+            }
+            Tok::Punct('(') => {
+                let close = self.skip_balanced(i, '(', ')');
+                let body_end = close.saturating_sub(1);
+                if i + 1 >= close.saturating_sub(1) && self.peek_punct(i + 1, ')') {
+                    return (Ty::Tuple(Vec::new()), close);
+                }
+                let mut elems = Vec::new();
+                let mut j = i + 1;
+                let mut saw_comma = false;
+                while j < body_end {
+                    let (t, next) = self.parse_ty(j, depth + 1);
+                    elems.push(t);
+                    let stop = self.seek_list_end(next.max(j + 1), body_end, ',');
+                    if self.peek_punct(stop, ',') {
+                        saw_comma = true;
+                        j = stop + 1;
+                    } else {
+                        j = stop;
+                    }
+                }
+                if elems.len() == 1 && !saw_comma {
+                    // Parenthesized type, not a 1-tuple.
+                    (elems.pop().unwrap_or(Ty::Opaque), close)
+                } else {
+                    (Ty::Tuple(elems), close)
+                }
+            }
+            Tok::Punct('!') => (Ty::Never, i + 1),
+            Tok::Punct('<') => {
+                // Qualified path `<T as Trait>::X`: opaque.
+                let close = self.skip_balanced(i, '<', '>');
+                let mut j = close;
+                while self.peek_punct(j, ':') {
+                    j += 1;
+                    if let Some(Tok::Ident(_)) = self.toks.get(j).map(|t| &t.kind) {
+                        j += 1;
+                    }
+                }
+                (Ty::Opaque, j.max(i + 1))
+            }
+            Tok::Ident(w) if w == "dyn" || w == "impl" => {
+                let next = self.skip_bounds(i + 1);
+                (if w == "dyn" { Ty::Dyn } else { Ty::Opaque }, next)
+            }
+            Tok::Ident(w) if w == "fn" || w == "unsafe" || w == "extern" => {
+                // fn pointer, possibly `unsafe extern "C" fn(..) -> T`.
+                let mut j = i;
+                while matches!(
+                    self.peek_ident(j),
+                    Some("unsafe") | Some("extern") | Some("fn")
+                ) {
+                    j += 1;
+                }
+                // Skip an ABI string (already consumed by the lexer as a
+                // string literal, which produced no token) then params.
+                if self.peek_punct(j, '(') {
+                    j = self.skip_balanced(j, '(', ')');
+                }
+                if self.peek_punct(j, '-') && self.peek_punct(j + 1, '>') {
+                    let (_, next) = self.parse_ty(j + 2, depth + 1);
+                    j = next;
+                }
+                (Ty::FnPtr, j.max(i + 1))
+            }
+            Tok::Ident(w) if !is_keyword(w) => {
+                let mut last = w.clone();
+                let mut args = Vec::new();
+                let mut j = i + 1;
+                loop {
+                    if self.peek_punct(j, '<') {
+                        let close = self.skip_balanced(j, '<', '>');
+                        args = self.parse_generic_args(j + 1, close.saturating_sub(1), depth);
+                        j = close;
+                    }
+                    if self.peek_punct(j, ':') && self.peek_punct(j + 1, ':') {
+                        if let Some(seg) = self.peek_ident(j + 2) {
+                            if is_keyword(seg) {
+                                break;
+                            }
+                            last = seg.to_string();
+                            args.clear();
+                            j += 3;
+                            continue;
+                        }
+                        if self.peek_punct(j + 2, '<') {
+                            // Turbofish in type position: `Vec::<u8>`.
+                            let close = self.skip_balanced(j + 2, '<', '>');
+                            args = self.parse_generic_args(j + 3, close.saturating_sub(1), depth);
+                            j = close;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                (Ty::Path { last, args }, j)
+            }
+            _ => (Ty::Opaque, i + 1),
+        }
+    }
+
+    /// Parses the comma-separated generic args in `[start, end)`.
+    fn parse_generic_args(&self, start: usize, end: usize, depth: u32) -> Vec<Ty> {
+        let mut args = Vec::new();
+        let mut j = start;
+        while j < end {
+            match self.toks.get(j).map(|t| &t.kind) {
+                Some(Tok::Lifetime) => {
+                    j += 1;
+                    if self.peek_punct(j, ',') {
+                        j += 1;
+                    }
+                    continue;
+                }
+                Some(Tok::Num(_)) | Some(Tok::Punct('{')) => {
+                    // Const argument: skip to the next separator.
+                    let stop = self.seek_list_end(j, end, ',');
+                    j = if self.peek_punct(stop, ',') {
+                        stop + 1
+                    } else {
+                        stop
+                    };
+                    continue;
+                }
+                Some(Tok::Ident(w)) if self.peek_punct(j + 1, '=') && !is_keyword(w) => {
+                    // Associated type binding `Item = T`: not a positional
+                    // argument.
+                    let stop = self.seek_list_end(j, end, ',');
+                    j = if self.peek_punct(stop, ',') {
+                        stop + 1
+                    } else {
+                        stop
+                    };
+                    continue;
+                }
+                None => break,
+                _ => {}
+            }
+            let (t, next) = self.parse_ty(j, depth + 1);
+            args.push(t);
+            let stop = self.seek_list_end(next.max(j + 1), end, ',');
+            j = if self.peek_punct(stop, ',') {
+                stop + 1
+            } else {
+                stop
+            };
+        }
+        args
+    }
+
+    /// Skips a bound list (`Trait + 'a + OtherTrait<..>`), stopping at a
+    /// list-level separator.
+    fn skip_bounds(&self, mut i: usize) -> usize {
+        let mut expecting_elem = true;
+        while i < self.toks.len() {
+            match &self.toks[i].kind {
+                Tok::Punct('+') => {
+                    expecting_elem = true;
+                    i += 1;
+                }
+                Tok::Lifetime if expecting_elem => {
+                    expecting_elem = false;
+                    i += 1;
+                }
+                Tok::Ident(w) if expecting_elem && !is_keyword(w) => {
+                    let (_, next) = self.parse_ty(i, MAX_TYPE_DEPTH - 1);
+                    i = next.max(i + 1);
+                    expecting_elem = false;
+                }
+                Tok::Punct('(') if expecting_elem => {
+                    i = self.skip_balanced(i, '(', ')');
+                    expecting_elem = false;
+                }
+                Tok::Punct('?') => i += 1,
+                _ => return i,
+            }
+        }
+        i
+    }
+}
+
+/// Keywords that can never be type or field names in our subset.
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_struct(src: &str) -> StructDef {
+        let parsed = parse_source("t.rs", src);
+        assert_eq!(parsed.structs.len(), 1, "expected one struct in {src:?}");
+        parsed.structs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_plain_struct() {
+        let s = one_struct("pub struct Foo { pub a: u64, b: u32, c: [u8; 4] }");
+        assert_eq!(s.name, "Foo");
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].name, "a");
+        assert_eq!(
+            s.fields[2].ty,
+            Ty::Array(
+                Box::new(Ty::Path {
+                    last: "u8".into(),
+                    args: vec![]
+                }),
+                Some(4)
+            )
+        );
+    }
+
+    #[test]
+    fn parses_repr_attrs() {
+        let s = one_struct("#[repr(C, align(32))] struct A { x: u8 }");
+        assert!(s.repr.c);
+        assert_eq!(s.repr.align, Some(32));
+        let s = one_struct("#[repr(packed)] struct B { x: u64 }");
+        assert_eq!(s.repr.packed, Some(1));
+        let s = one_struct("#[repr(C, packed(2))] struct P { x: u64 }");
+        assert_eq!(s.repr.packed, Some(2));
+    }
+
+    #[test]
+    fn derive_does_not_eat_repr() {
+        let s = one_struct("#[derive(Clone, Debug)]\n#[repr(C)]\npub struct X { a: u8 }");
+        assert!(s.repr.c);
+    }
+
+    #[test]
+    fn parses_paths_and_generics() {
+        let s = one_struct("struct S { v: std::vec::Vec<u64>, o: Option<Box<Node>> }");
+        assert_eq!(
+            s.fields[0].ty,
+            Ty::Path {
+                last: "Vec".into(),
+                args: vec![Ty::Path {
+                    last: "u64".into(),
+                    args: vec![]
+                }]
+            }
+        );
+        match &s.fields[1].ty {
+            Ty::Path { last, args } => {
+                assert_eq!(last, "Option");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("bad type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hot_annotations_leading_and_trailing() {
+        let src = "struct H {\n    // cc-hot: traversal key\n    key: u64,\n    left: u32, // cc-hot\n    cold: u64,\n}";
+        let s = one_struct(src);
+        assert!(s.fields[0].hot, "leading marker");
+        assert!(s.fields[1].hot, "trailing marker");
+        assert!(!s.fields[2].hot);
+    }
+
+    #[test]
+    fn generic_structs_are_flagged() {
+        let s = one_struct("struct G<T> { x: T }");
+        assert!(s.generic);
+        let s = one_struct("struct L<'a> { x: &'a u64 }");
+        assert!(!s.generic, "lifetime-only generics are modelable");
+        assert_eq!(
+            s.fields[0].ty,
+            Ty::Ref(Box::new(Ty::Path {
+                last: "u64".into(),
+                args: vec![]
+            }))
+        );
+    }
+
+    #[test]
+    fn tuple_and_unit_structs() {
+        let s = one_struct("struct T(u32, u64);");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "0");
+        let s = one_struct("struct U;");
+        assert!(s.fields.is_empty());
+    }
+
+    #[test]
+    fn enums_fieldless_and_payload() {
+        let p = parse_source("t.rs", "enum E { A, B = 300, C }\nenum D { X(u32), Y }");
+        assert_eq!(p.enums.len(), 2);
+        assert_eq!(p.enums[0].variants, 3);
+        assert!(!p.enums[0].has_payload);
+        assert_eq!(p.enums[0].max_discriminant, 300);
+        assert!(p.enums[1].has_payload);
+    }
+
+    #[test]
+    fn struct_keyword_in_code_is_skipped() {
+        let p = parse_source(
+            "t.rs",
+            "fn f() { let s = \"struct Fake { x: u64 }\"; }\nstruct Real { x: u8 }",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].name, "Real");
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        for src in [
+            "struct",
+            "struct {",
+            "struct X {",
+            "struct X { a: }",
+            "struct X { a: [u8; }",
+            "#[repr(",
+            "enum E { A(",
+            "'unterminated",
+            "\"unterminated",
+            "r#\"raw",
+            "struct X<'a { b: &'a }",
+        ] {
+            let _ = parse_source("t.rs", src);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The static rule catalog: PAD-01, SPAN-01, HOT-01, SOA-01.
+//!
+//! Every rule reasons purely about the offset model — no trace, no heap
+//! snapshot — and every finding carries a *concrete* suggested reorder or
+//! split plus a predicted before/after metric (padding bytes, cache lines
+//! per object, or elements per line).
+
+use crate::layout::{hot_lines, hot_packed_size, hot_prefix, straddle_index, StructLayout};
+use crate::modeled::ModeledStruct;
+use crate::report::{LintFinding, LintRule};
+
+/// Tunables for the rules.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Cache-line size the rules reason against.
+    pub block_bytes: u64,
+    /// PAD-01 fires when declaration order wastes at least this many
+    /// avoidable padding bytes versus the optimal reorder.
+    pub pad_threshold: u64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            block_bytes: 64,
+            pad_threshold: 8,
+        }
+    }
+}
+
+/// The `repr(Rust)` pessimism note appended to findings on unpinned
+/// structs.
+fn repr_note(m: &ModeledStruct) -> &'static str {
+    if m.repr_c {
+        ""
+    } else {
+        " [repr(Rust): layout unguaranteed, modeled pessimistically in \
+         declaration order — pin with #[repr(C)]]"
+    }
+}
+
+fn order_names(l: &StructLayout) -> String {
+    l.fields
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Runs every rule over one modeled struct.
+pub fn check(m: &ModeledStruct, config: &LintConfig) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    pad_01(m, config, &mut out);
+    span_01(m, config, &mut out);
+    hot_01(m, config, &mut out);
+    soa_01(m, config, &mut out);
+    out
+}
+
+/// PAD-01: declaration order wastes avoidable padding.
+fn pad_01(m: &ModeledStruct, config: &LintConfig, out: &mut Vec<LintFinding>) {
+    let avoidable = m.decl.padding.saturating_sub(m.opt.padding);
+    if avoidable < config.pad_threshold.max(1) {
+        return;
+    }
+    let block = config.block_bytes;
+    out.push(LintFinding {
+        rule: LintRule::Pad01,
+        strukt: m.name.clone(),
+        file: m.file.clone(),
+        line: m.line,
+        fields: Vec::new(),
+        message: format!(
+            "declaration order wastes {avoidable} avoidable padding byte(s): \
+             size {} ({} padding) vs {} ({} padding) after reorder{}",
+            m.decl.size,
+            m.decl.padding,
+            m.opt.size,
+            m.opt.padding,
+            repr_note(m)
+        ),
+        suggestion: format!(
+            "reorder fields as: {}{}",
+            order_names(&m.opt),
+            if m.repr_c {
+                ""
+            } else {
+                "; pin the order with #[repr(C)]"
+            }
+        ),
+        unit: "lines/object",
+        before: m.decl.lines_per_object(block) as f64,
+        after: m.opt.lines_per_object(block) as f64,
+        weight: m.weight,
+        waived: false,
+    });
+}
+
+/// SPAN-01: a field straddles a cache-line boundary.
+///
+/// For a *hot* field the rule considers every array stride (an AoS array
+/// of this struct places element `i` at `i * size`; the field straddles if
+/// any residue does). For unannotated fields only the line-aligned base
+/// placement is checked — with a stride that is not a multiple of the
+/// line, almost every field straddles at *some* index, which would be
+/// noise, but a field crossing a boundary within the first object is a
+/// defect at any allocation site.
+fn span_01(m: &ModeledStruct, config: &LintConfig, out: &mut Vec<LintFinding>) {
+    let block = config.block_bytes;
+    let stride = m.decl.size;
+    for f in &m.decl.fields {
+        if f.size == 0 || f.size > block {
+            continue;
+        }
+        // Hot fields: any array stride counts. Unannotated fields: only a
+        // boundary crossed within the first (line-aligned) object — with
+        // stride == block the scan degenerates to the base placement.
+        let hit = if f.hot {
+            straddle_index(f.offset, f.size, stride, block)
+        } else {
+            straddle_index(f.offset, f.size, block, block)
+        };
+        let Some(elem) = hit else { continue };
+        // Does the optimal reorder cure it (same check, reordered offset)?
+        let cured = m.opt.field(&f.name).is_none_or(|of| {
+            (if f.hot {
+                straddle_index(of.offset, of.size, m.opt.size, block)
+            } else {
+                straddle_index(of.offset, of.size, block, block)
+            })
+            .is_none()
+        });
+        out.push(LintFinding {
+            rule: LintRule::Span01,
+            strukt: m.name.clone(),
+            file: m.file.clone(),
+            line: m.line,
+            fields: vec![f.name.clone()],
+            message: if f.hot {
+                format!(
+                    "hot field `{}` ({} B at offset {}) straddles a {block}-byte \
+                     line at array element {elem} (stride {stride}){}",
+                    f.name,
+                    f.size,
+                    f.offset,
+                    repr_note(m)
+                )
+            } else {
+                format!(
+                    "field `{}` ({} B at offset {}) crosses a {block}-byte line \
+                     boundary within the object{}",
+                    f.name,
+                    f.size,
+                    f.offset,
+                    repr_note(m)
+                )
+            },
+            suggestion: if cured {
+                format!(
+                    "reorder fields as: {}{} — `{}` then stays within one line",
+                    order_names(&m.opt),
+                    if m.repr_c {
+                        ""
+                    } else {
+                        "; pin with #[repr(C)]"
+                    },
+                    f.name
+                )
+            } else {
+                format!(
+                    "align the element to the line (#[repr(align({block}))]) or \
+                     shrink the struct so `{}` cannot cross a boundary",
+                    f.name
+                )
+            },
+            unit: "lines/access",
+            before: 2.0,
+            after: 1.0,
+            weight: m.weight,
+            waived: false,
+        });
+    }
+}
+
+/// HOT-01: declared-hot fields are split across lines by cold ones.
+fn hot_01(m: &ModeledStruct, config: &LintConfig, out: &mut Vec<LintFinding>) {
+    if m.hot_count == 0 || m.hot_count == m.decl.fields.len() {
+        return;
+    }
+    let block = config.block_bytes;
+    let prefix = hot_prefix(&m.sized, m.packed, m.align_attr);
+    let before = hot_lines(&m.decl, block);
+    let after = hot_lines(&prefix, block);
+    if before <= after {
+        return;
+    }
+    let hot_names: Vec<String> = m
+        .decl
+        .fields
+        .iter()
+        .filter(|f| f.hot)
+        .map(|f| f.name.clone())
+        .collect();
+    let prefix_order: Vec<&str> = prefix
+        .fields
+        .iter()
+        .take(m.hot_count)
+        .map(|f| f.name.as_str())
+        .collect();
+    out.push(LintFinding {
+        rule: LintRule::Hot01,
+        strukt: m.name.clone(),
+        file: m.file.clone(),
+        line: m.line,
+        fields: hot_names.clone(),
+        message: format!(
+            "hot fields ({}) touch {before} line(s) per object; packed as a \
+             prefix they fit in {after}{}",
+            hot_names.join(", "),
+            repr_note(m)
+        ),
+        suggestion: format!(
+            "move the hot fields to a contiguous prefix: {}, then the cold \
+             fields; or split into {}Hot {{ {} }} + {}Cold",
+            prefix_order.join(", "),
+            m.name,
+            prefix_order.join(", "),
+            m.name
+        ),
+        unit: "hot-lines/object",
+        before: before as f64,
+        after: after as f64,
+        weight: m.weight,
+        waived: false,
+    });
+}
+
+/// SOA-01: an AoS array whose per-element hot bytes fit a line after
+/// splitting — the paper's structure-splitting/SoA opportunity.
+fn soa_01(m: &ModeledStruct, config: &LintConfig, out: &mut Vec<LintFinding>) {
+    if !m.array_element || m.hot_count == 0 || m.hot_count == m.decl.fields.len() {
+        return;
+    }
+    let block = config.block_bytes;
+    let hot_stride = hot_packed_size(&m.sized).max(1);
+    if hot_stride > block {
+        return;
+    }
+    let full_stride = m.decl.size.max(1);
+    let elems_before = (block / full_stride).max(if full_stride > block { 0 } else { 1 });
+    let elems_after = block / hot_stride;
+    if elems_after <= elems_before {
+        return;
+    }
+    let hot_names: Vec<String> = m
+        .decl
+        .fields
+        .iter()
+        .filter(|f| f.hot)
+        .map(|f| f.name.clone())
+        .collect();
+    let cold_names: Vec<String> = m
+        .decl
+        .fields
+        .iter()
+        .filter(|f| !f.hot)
+        .map(|f| f.name.clone())
+        .collect();
+    out.push(LintFinding {
+        rule: LintRule::Soa01,
+        strukt: m.name.clone(),
+        file: m.file.clone(),
+        line: m.line,
+        fields: hot_names.clone(),
+        message: format!(
+            "arrays of `{}` carry {} B/element but only {} B are hot; a \
+             hot/cold split packs {elems_after} hot element(s) per {block}-byte \
+             line instead of {elems_before}",
+            m.name, full_stride, hot_stride
+        ),
+        suggestion: format!(
+            "split the array structure-of-arrays style: a hot array of \
+             {{ {} }} ({hot_stride} B/elem) and a cold array of {{ {} }}; a \
+             hot-loop scan then fetches {:.1}x fewer lines",
+            hot_names.join(", "),
+            cold_names.join(", "),
+            full_stride as f64 / hot_stride as f64
+        ),
+        unit: "elements/line",
+        before: elems_before as f64,
+        after: elems_after as f64,
+        weight: m.weight,
+        waived: false,
+    });
+}

@@ -1,0 +1,128 @@
+//! Pins the `cc-lint` CLI exit-code convention — the same one `cc-audit`
+//! uses: 0 = clean (or fully baselined), 1 = new findings, 2 = input
+//! error. The parser is total, so no *source* input can produce exit 2;
+//! only a broken invocation can.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cc-lint"))
+        .args(args)
+        .output()
+        .expect("cc-lint runs")
+}
+
+/// A scratch directory unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cc-lint-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn clean_source_exits_zero() {
+    let dir = scratch("clean");
+    std::fs::write(
+        dir.join("good.rs"),
+        "#[repr(C)] pub struct Good { a: u64, b: u32, c: u32 }\n",
+    )
+    .unwrap();
+    let out = run(&[dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn findings_exit_one() {
+    let dir = scratch("findings");
+    std::fs::write(
+        dir.join("bad.rs"),
+        "pub struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }\n",
+    )
+    .unwrap();
+    let out = run(&[dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PAD-01"), "{stdout}");
+}
+
+#[test]
+fn baselined_findings_exit_zero() {
+    let dir = scratch("baselined");
+    let src = dir.join("bad.rs");
+    std::fs::write(
+        &src,
+        "pub struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }\n",
+    )
+    .unwrap();
+    let baseline = dir.join("baseline.txt");
+    // First run writes the baseline (and still exits 1: findings are new).
+    let out = run(&[
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+        src.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // Second run against the blessed baseline is clean.
+    let out = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        src.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("waived"), "{stdout}");
+}
+
+#[test]
+fn missing_path_exits_two() {
+    let out = run(&["/no/such/path/anywhere"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn invalid_hot_json_exits_two() {
+    let dir = scratch("badhot");
+    std::fs::write(dir.join("ok.rs"), "pub struct S { a: u64 }\n").unwrap();
+    let hot = dir.join("weights.json");
+    std::fs::write(&hot, "{\"S.a\": }").unwrap();
+    let out = run(&["--hot", hot.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid hotness JSON"), "{stderr}");
+}
+
+#[test]
+fn unreadable_baseline_exits_two() {
+    let dir = scratch("nobase");
+    std::fs::write(dir.join("ok.rs"), "pub struct S { a: u64 }\n").unwrap();
+    let out = run(&["--baseline", "/no/such/baseline", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no input paths is an input error"
+    );
+}
+
+#[test]
+fn garbage_source_is_not_an_input_error() {
+    // The parser is total: unparseable Rust degrades to skipped structs,
+    // never exit 2.
+    let dir = scratch("garbage");
+    std::fs::write(
+        dir.join("soup.rs"),
+        "struct { { ] 0xFFZZ 'a \"unterminated... #[repr(C)] fn ]]]",
+    )
+    .unwrap();
+    let out = run(&[dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

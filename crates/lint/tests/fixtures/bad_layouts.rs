@@ -1,0 +1,45 @@
+//! Deliberately-bad struct layouts for the cc-lint golden report test.
+//! This file is test DATA — it is parsed by the analyzer, never compiled
+//! into the workspace.
+
+/// PAD-01 bait: three u8/u64 interleavings waste 14 bytes of padding.
+#[repr(C)]
+pub struct Interleaved {
+    a: u8,
+    b: u64,
+    c: u8,
+    d: u64,
+    e: u8,
+    f: u64,
+}
+
+/// SPAN-01 bait: the hot timestamp sits at offset 60 of a 72-byte
+/// element, so in an array it crosses a 64-byte line boundary.
+#[repr(C)]
+pub struct Straddler {
+    header: [u8; 60],
+    stamp: [u8; 8], // cc-hot
+    tail: u32,
+}
+
+/// HOT-01 bait: hot fields separated by a cold page of bytes.
+#[repr(C)]
+pub struct SplitHot {
+    key: u64, // cc-hot
+    cold: [u8; 120],
+    next: u64, // cc-hot
+}
+
+/// SOA-01 bait: arrays of this carry 64 B/element, only 16 hot.
+#[repr(C)]
+pub struct Particle {
+    x: f64, // cc-hot
+    y: f64, // cc-hot
+    history: [u64; 6],
+}
+
+/// The arrays that make `Particle` an AoS element.
+pub struct World {
+    particles: Vec<Particle>,
+    bounds: [f64; 4],
+}

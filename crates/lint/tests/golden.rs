@@ -1,0 +1,101 @@
+//! Golden-file tests pinning the cc-lint report formats byte-for-byte,
+//! plus the acceptance checks on the deliberately-bad fixture structs.
+//!
+//! The JSON report is consumed by the CI lint gate and artifact diffing,
+//! so its encoding is a contract: fixed key order, `{:.4}` floats,
+//! canonical finding order. These tests compare against committed files
+//! under `tests/golden/`; set `CC_BLESS=1` to regenerate after an
+//! intentional format change (same convention as cc-obs).
+
+use cc_lint::{analyze_sources, HotSpec, LintConfig, LintRule};
+use std::path::PathBuf;
+
+fn check(name: &str, actual: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("CC_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("bless golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with CC_BLESS=1", name));
+    assert_eq!(
+        actual.trim_end_matches('\n'),
+        expected.trim_end_matches('\n'),
+        "{name} drifted from its golden file; if the format change is \
+         intentional, regenerate with CC_BLESS=1"
+    );
+}
+
+fn fixture_report() -> cc_lint::LintReport {
+    let src = include_str!("fixtures/bad_layouts.rs");
+    analyze_sources(
+        &[("fixtures/bad_layouts.rs".to_string(), src.to_string())],
+        &HotSpec::empty(),
+        &LintConfig::default(),
+    )
+}
+
+#[test]
+fn fixture_json_matches_golden() {
+    check("report.json", &fixture_report().to_json());
+}
+
+#[test]
+fn fixture_text_matches_golden() {
+    check("report.txt", &fixture_report().to_text());
+}
+
+/// Acceptance: PAD-01 fires on the fixture with a reorder suggestion
+/// whose modeled padding is strictly smaller than declaration order.
+#[test]
+fn pad_01_reorder_strictly_shrinks_padding() {
+    let report = fixture_report();
+    let pad = report
+        .findings
+        .iter()
+        .find(|f| f.rule == LintRule::Pad01 && f.strukt == "Interleaved")
+        .expect("PAD-01 fires on Interleaved");
+    let s = report
+        .structs
+        .iter()
+        .find(|s| s.name == "Interleaved")
+        .unwrap();
+    assert!(
+        s.optimal_padding < s.padding,
+        "reorder padding {} must be strictly below declared {}",
+        s.optimal_padding,
+        s.padding
+    );
+    assert_eq!(s.size, 48);
+    assert_eq!(s.optimal_size, 32);
+    assert!(pad.suggestion.contains("reorder fields as"));
+}
+
+/// Acceptance: SPAN-01 fires on the fixture's hot straddler at a
+/// concrete array element index.
+#[test]
+fn span_01_fires_on_hot_straddler() {
+    let report = fixture_report();
+    let span = report
+        .findings
+        .iter()
+        .find(|f| f.rule == LintRule::Span01 && f.strukt == "Straddler")
+        .expect("SPAN-01 fires on Straddler");
+    assert_eq!(span.fields, vec!["stamp".to_string()]);
+    assert!(span.message.contains("array element"), "{}", span.message);
+}
+
+#[test]
+fn hot_01_and_soa_01_fire_on_fixtures() {
+    let report = fixture_report();
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == LintRule::Hot01 && f.strukt == "SplitHot"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == LintRule::Soa01 && f.strukt == "Particle"));
+}

@@ -1,0 +1,355 @@
+//! Pins the `repr(C)` offset model against the real compiler.
+//!
+//! Every battery entry declares an actual Rust struct, feeds its
+//! *stringified source* through the cc-lint parser + layout model, and
+//! asserts the modeled offset of every field equals
+//! `core::mem::offset_of!`, and modeled size/align equal
+//! `core::mem::size_of` / `core::mem::align_of`. If the model ever
+//! disagrees with rustc, these tests fail — the model is verified, not
+//! assumed.
+//!
+//! The final test sweeps the workspace source tree and asserts every
+//! struct the model claims is *exact* (`repr(C)`, all field sizes
+//! guaranteed) is registered in [`VERIFIED`], i.e. has a compiler-backed
+//! verification site: either the battery below or an in-crate
+//! `#[cfg(test)]` module next to the definition (see `cc-trees/src/bst.rs`
+//! and `cc-sim/src/geometry.rs`). Adding a new `repr(C)` struct without a
+//! verification site fails the sweep.
+
+use cc_lint::{analyze_sources, HotSpec, LintConfig};
+
+/// `(file suffix, struct name)` pairs with a compiler-backed verification
+/// site somewhere in the workspace test suite.
+const VERIFIED: &[(&str, &str)] = &[
+    ("crates/trees/src/bst.rs", "Node"),
+    ("crates/sim/src/geometry.rs", "CacheGeometry"),
+];
+
+/// Runs the full parse → model pipeline on one source string and returns
+/// the summary for `name`.
+fn model_one(src: &str, name: &str) -> cc_lint::report::StructSummary {
+    let report = analyze_sources(
+        &[("verify.rs".to_string(), src.to_string())],
+        &HotSpec::empty(),
+        &LintConfig::default(),
+    );
+    report
+        .structs
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("struct {name} not modeled from: {src}"))
+        .clone()
+}
+
+fn field_offset(s: &cc_lint::report::StructSummary, field: &str) -> u64 {
+    s.fields
+        .iter()
+        .find(|(n, ..)| n == field)
+        .unwrap_or_else(|| panic!("field {field} missing from model of {}", s.name))
+        .1
+}
+
+/// Declares a real struct, models its stringified source, and checks every
+/// field offset plus size/align against the compiler.
+macro_rules! verify_repr_c {
+    ($(#[$meta:meta])* struct $name:ident { $($field:ident : $ty:ty),* $(,)? }) => {{
+        #[allow(dead_code)]
+        $(#[$meta])*
+        struct $name { $($field: $ty),* }
+        let src = stringify!($(#[$meta])* struct $name { $($field: $ty),* });
+        let modeled = model_one(src, stringify!($name));
+        assert!(modeled.exact, "{} must be exactly modeled", stringify!($name));
+        assert_eq!(
+            modeled.size,
+            core::mem::size_of::<$name>() as u64,
+            "size of {}",
+            stringify!($name)
+        );
+        assert_eq!(
+            modeled.align,
+            core::mem::align_of::<$name>() as u64,
+            "align of {}",
+            stringify!($name)
+        );
+        $(
+            assert_eq!(
+                field_offset(&modeled, stringify!($field)),
+                core::mem::offset_of!($name, $field) as u64,
+                "offset of {}.{}",
+                stringify!($name),
+                stringify!($field)
+            );
+        )*
+    }};
+}
+
+#[test]
+fn mixed_primitives() {
+    verify_repr_c!(
+        #[repr(C)]
+        struct Mixed {
+            a: u8,
+            b: u64,
+            c: u16,
+            d: u32,
+            e: i8,
+            f: f64,
+            g: bool,
+            h: char,
+        }
+    );
+}
+
+#[test]
+fn paper_shape_interleaved() {
+    // The lib.rs doctest's deliberately-bad shape: 3× (u8 + pad + u64).
+    verify_repr_c!(
+        #[repr(C)]
+        struct Bad {
+            a: u8,
+            b: u64,
+            c: u8,
+            d: u64,
+            e: u8,
+            f: u64,
+        }
+    );
+}
+
+#[test]
+fn arrays_and_pointers() {
+    verify_repr_c!(
+        #[repr(C)]
+        struct ArrPtr {
+            tag: u8,
+            block: [u8; 13],
+            words: [u64; 3],
+            p: *const u64,
+            q: *mut u8,
+            nested: [[u32; 2]; 2],
+        }
+    );
+}
+
+#[test]
+fn wide_and_narrow() {
+    verify_repr_c!(
+        #[repr(C)]
+        struct Wide {
+            lo: u128,
+            mid: u8,
+            hi: i128,
+            tail: u16,
+        }
+    );
+}
+
+#[test]
+fn usize_isize_floats() {
+    verify_repr_c!(
+        #[repr(C)]
+        struct Sizes {
+            n: usize,
+            d: f32,
+            i: isize,
+            x: f64,
+            b: i16,
+        }
+    );
+}
+
+#[test]
+fn align_attr_raises_alignment() {
+    verify_repr_c!(
+        #[repr(C, align(32))]
+        struct Aligned {
+            a: u8,
+            b: u32,
+        }
+    );
+}
+
+#[test]
+fn packed_one() {
+    verify_repr_c!(
+        #[repr(C, packed)]
+        struct Packed1 {
+            a: u8,
+            b: u64,
+            c: u16,
+        }
+    );
+}
+
+#[test]
+fn packed_two() {
+    verify_repr_c!(
+        #[repr(C, packed(2))]
+        struct Packed2 {
+            a: u8,
+            b: u64,
+            c: u32,
+        }
+    );
+}
+
+#[test]
+fn nonzero_niches() {
+    verify_repr_c!(
+        #[repr(C)]
+        struct Nz {
+            a: core::num::NonZeroU64,
+            b: core::num::NonZeroU8,
+            c: u16,
+        }
+    );
+}
+
+#[test]
+fn nested_repr_c_struct_field() {
+    // Two structs in one source: the outer embeds the inner by name, the
+    // model resolves it locally; both verified against the compiler.
+    #[allow(dead_code)]
+    #[repr(C)]
+    struct Inner {
+        x: u32,
+        y: u8,
+    }
+    #[allow(dead_code)]
+    #[repr(C)]
+    struct Outer {
+        head: u8,
+        mid: Inner,
+        tail: u64,
+    }
+    let src = "#[repr(C)] struct Inner { x: u32, y: u8 }\n\
+               #[repr(C)] struct Outer { head: u8, mid: Inner, tail: u64 }";
+    let inner = model_one(src, "Inner");
+    assert_eq!(inner.size, core::mem::size_of::<Inner>() as u64);
+    assert_eq!(inner.align, core::mem::align_of::<Inner>() as u64);
+    let outer = model_one(src, "Outer");
+    assert!(outer.exact);
+    assert_eq!(outer.size, core::mem::size_of::<Outer>() as u64);
+    assert_eq!(outer.align, core::mem::align_of::<Outer>() as u64);
+    assert_eq!(
+        field_offset(&outer, "head"),
+        core::mem::offset_of!(Outer, head) as u64
+    );
+    assert_eq!(
+        field_offset(&outer, "mid"),
+        core::mem::offset_of!(Outer, mid) as u64
+    );
+    assert_eq!(
+        field_offset(&outer, "tail"),
+        core::mem::offset_of!(Outer, tail) as u64
+    );
+}
+
+#[test]
+fn fieldless_enum_field() {
+    #[allow(dead_code)]
+    #[repr(u8)]
+    enum Kind {
+        A,
+        B,
+        C,
+    }
+    #[allow(dead_code)]
+    #[repr(C)]
+    struct Tagged {
+        kind: Kind,
+        pad_target: u64,
+        other: Kind,
+    }
+    let src = "#[repr(u8)] enum Kind { A, B, C }\n\
+               #[repr(C)] struct Tagged { kind: Kind, pad_target: u64, other: Kind }";
+    let t = model_one(src, "Tagged");
+    assert!(t.exact, "repr(u8) fieldless enum fields stay exact");
+    assert_eq!(t.size, core::mem::size_of::<Tagged>() as u64);
+    assert_eq!(
+        field_offset(&t, "pad_target"),
+        core::mem::offset_of!(Tagged, pad_target) as u64
+    );
+    assert_eq!(
+        field_offset(&t, "other"),
+        core::mem::offset_of!(Tagged, other) as u64
+    );
+}
+
+/// Collects workspace `.rs` sources relative to this crate's manifest.
+fn workspace_sources() -> Vec<(String, String)> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let mut files = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(&root)
+                    .unwrap_or(&path)
+                    .display()
+                    .to_string();
+                if let Ok(src) = std::fs::read_to_string(&path) {
+                    files.push((rel, src));
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Every struct the model claims is exact must have a verification site.
+#[test]
+fn every_exact_workspace_struct_is_verified() {
+    let files = workspace_sources();
+    assert!(files.len() > 50, "workspace sweep found too few files");
+    let report = analyze_sources(&files, &HotSpec::empty(), &LintConfig::default());
+    let exact: Vec<&cc_lint::report::StructSummary> =
+        report.structs.iter().filter(|s| s.exact).collect();
+    assert!(
+        !exact.is_empty(),
+        "expected at least the pinned Node/CacheGeometry structs"
+    );
+    for s in &exact {
+        // Files under crates/lint/tests/ are the verification battery and
+        // its fixtures — the structs there are compiler-checked in place.
+        if s.file.contains("crates/lint/tests/") {
+            continue;
+        }
+        assert!(
+            VERIFIED
+                .iter()
+                .any(|(file, name)| s.file.ends_with(file) && s.name == *name),
+            "exact-modeled struct {}::{} has no compiler-backed verification \
+             site — add one (in-crate #[cfg(test)] offset_of! check or the \
+             battery in crates/lint/tests/verify_offsets.rs) and register it \
+             in VERIFIED",
+            s.file,
+            s.name
+        );
+    }
+    // And the registry is live: every registered struct is actually found
+    // and exactly modeled (catches renames going stale).
+    for (file, name) in VERIFIED {
+        assert!(
+            exact
+                .iter()
+                .any(|s| s.file.ends_with(file) && s.name == *name),
+            "VERIFIED entry {file}::{name} not found as an exact-modeled \
+             struct in the workspace sweep"
+        );
+    }
+}

@@ -168,6 +168,23 @@ impl MissProfile {
         sum
     }
 
+    /// Measured per-region miss weights at `level`, in region-id order,
+    /// excluding regions with no misses.
+    ///
+    /// This is the join key for static layout analysis: map each region
+    /// name to the structure (or fields) it holds and feed the weights to
+    /// `cc-lint` as field-hotness input, so the static suggestions are
+    /// ranked by misses actually measured rather than by annotation alone.
+    pub fn region_weights(&self, level: Level) -> Vec<(String, f64)> {
+        (0..self.map.len())
+            .filter_map(|id| {
+                let region = RegionId::from_raw(id as u32);
+                let t = self.levels[level.index()][region.index()];
+                (t.misses > 0).then(|| (self.map.name(region).to_string(), t.misses as f64))
+            })
+            .collect()
+    }
+
     /// All conflict pairs with at least one eviction, ordered by
     /// (level, victim, evictor).
     pub fn conflict_pairs(&self) -> Vec<ConflictPair> {

@@ -146,9 +146,24 @@ pub mod strategy {
         }
     }
 
-    impl Arbitrary for u64 {
-        fn arbitrary(rng: &mut TestRng) -> u64 {
-            rng.next_u64()
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize);
+
+    /// Pair strategy: both sides drawn independently (mirrors proptest's
+    /// tuple strategies for the 2-tuple case this workspace uses).
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
         }
     }
 

@@ -21,17 +21,21 @@ use std::fmt;
 /// assert_eq!(l2.set_of(0), l2.set_of(63));
 /// assert_ne!(l2.set_of(0), l2.set_of(64));
 /// ```
+// Field order pinned per cc-lint PAD-01: declaration order interleaving the
+// u32 shifts with the u64 mask wasted 8 padding bytes (48 B vs 40 B). The
+// u64s lead, the two u32s pack the tail, and repr(C) guarantees it.
 #[derive(Clone, Copy)]
+#[repr(C)]
 pub struct CacheGeometry {
     sets: u64,
     block_bytes: u64,
     assoc: u64,
-    /// `log2(block_bytes)`, so `addr >> block_shift` is the block number.
-    block_shift: u32,
     /// `sets - 1`, so `blockno & set_mask` is the set index.
-    set_mask: u64,
+    set_mask: u64, // cc-hot
+    /// `log2(block_bytes)`, so `addr >> block_shift` is the block number.
+    block_shift: u32, // cc-hot
     /// `log2(block_bytes) + log2(sets)`, so `addr >> tag_shift` is the tag.
-    tag_shift: u32,
+    tag_shift: u32, // cc-hot
 }
 
 // Equality and hashing ignore the derived mask/shift fields (they are pure
@@ -251,5 +255,59 @@ mod tests {
     fn zero_size_access_touches_one_block() {
         let g = CacheGeometry::new(16, 64, 1);
         assert_eq!(g.blocks_touched(128, 0).count(), 1);
+    }
+}
+
+// Compiler-backed pin of the cc-lint offset model for `CacheGeometry`
+// (fields are private, so the check lives in-crate); registered in the
+// sweep in `cc-lint/tests/verify_offsets.rs`.
+#[cfg(test)]
+mod lint_verify {
+    use super::CacheGeometry;
+    use cc_lint::{analyze_sources, HotSpec, LintConfig};
+
+    #[test]
+    fn geometry_layout_matches_compiler() {
+        let report = analyze_sources(
+            &[(
+                "geometry.rs".to_string(),
+                include_str!("geometry.rs").to_string(),
+            )],
+            &HotSpec::empty(),
+            &LintConfig::default(),
+        );
+        let g = report
+            .structs
+            .iter()
+            .find(|s| s.name == "CacheGeometry")
+            .expect("CacheGeometry modeled");
+        assert!(g.exact);
+        assert_eq!(g.size, core::mem::size_of::<CacheGeometry>() as u64);
+        assert_eq!(g.align, core::mem::align_of::<CacheGeometry>() as u64);
+        assert_eq!(g.size, 40, "reorder recovered the 8 padding bytes");
+        assert_eq!(g.padding, 0);
+        assert_eq!(g.optimal_size, g.size, "declaration order is optimal now");
+        for (name, offset) in [
+            ("sets", core::mem::offset_of!(CacheGeometry, sets)),
+            (
+                "block_bytes",
+                core::mem::offset_of!(CacheGeometry, block_bytes),
+            ),
+            ("assoc", core::mem::offset_of!(CacheGeometry, assoc)),
+            ("set_mask", core::mem::offset_of!(CacheGeometry, set_mask)),
+            (
+                "block_shift",
+                core::mem::offset_of!(CacheGeometry, block_shift),
+            ),
+            ("tag_shift", core::mem::offset_of!(CacheGeometry, tag_shift)),
+        ] {
+            let modeled = g
+                .fields
+                .iter()
+                .find(|(n, ..)| n == name)
+                .map(|f| f.1)
+                .expect("field modeled");
+            assert_eq!(modeled, offset as u64, "offset of CacheGeometry.{name}");
+        }
     }
 }

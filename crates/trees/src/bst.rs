@@ -11,11 +11,16 @@ use cc_heap::VirtualSpace;
 use cc_sim::event::EventSink;
 use cc_sim::prefetch::greedy_prefetch_children;
 
+// Layout pinned per cc-lint: 24 B/node with zero padding, so a 64-byte line
+// holds 2 whole nodes (2.67 on average across an arena) — under repr(Rust)
+// the compiler was free to break that. The comparison key and child links
+// are the traversal-hot bytes; `addr` is only read to emit trace events.
 #[derive(Clone, Copy, Debug)]
+#[repr(C)]
 struct Node {
-    key: u64,
-    left: u32,
-    right: u32,
+    key: u64,   // cc-hot
+    left: u32,  // cc-hot
+    right: u32, // cc-hot
     addr: u64,
 }
 
@@ -320,5 +325,55 @@ mod tests {
             }
         }
         assert_eq!(same, 2, "exactly the two children join the root block");
+    }
+}
+
+// The cc-lint offset model for `Node` is pinned here, next to the
+// definition, because `Node` is private: the workspace sweep in
+// `cc-lint/tests/verify_offsets.rs` requires every exact-modeled repr(C)
+// struct to have exactly this kind of compiler-backed check.
+#[cfg(test)]
+mod lint_verify {
+    use super::Node;
+    use cc_lint::{analyze_sources, HotSpec, LintConfig};
+
+    #[test]
+    fn node_layout_matches_compiler() {
+        let report = analyze_sources(
+            &[("bst.rs".to_string(), include_str!("bst.rs").to_string())],
+            &HotSpec::empty(),
+            &LintConfig::default(),
+        );
+        let node = report
+            .structs
+            .iter()
+            .find(|s| s.name == "Node")
+            .expect("Node modeled");
+        assert!(node.exact, "repr(C) pin makes the model a guarantee");
+        assert_eq!(node.size, core::mem::size_of::<Node>() as u64);
+        assert_eq!(node.align, core::mem::align_of::<Node>() as u64);
+        assert_eq!(node.padding, 0, "24 B/node with zero padding");
+        for (name, offset) in [
+            ("key", core::mem::offset_of!(Node, key)),
+            ("left", core::mem::offset_of!(Node, left)),
+            ("right", core::mem::offset_of!(Node, right)),
+            ("addr", core::mem::offset_of!(Node, addr)),
+        ] {
+            let modeled = node
+                .fields
+                .iter()
+                .find(|(n, ..)| n == name)
+                .map(|f| f.1)
+                .expect("field modeled");
+            assert_eq!(modeled, offset as u64, "offset of Node.{name}");
+        }
+        // The traversal-hot annotations are picked up from the comments.
+        for (name, _, _, _, hot) in &node.fields {
+            assert_eq!(
+                *hot,
+                name != "addr",
+                "cc-hot marks key/left/right, not addr"
+            );
+        }
     }
 }
