@@ -212,14 +212,24 @@ impl<'a> SearchReplay<'a> {
             crate::obs::bump("replay.searches", count);
             let seg_name = format!("segment[epoch {} @ {}]", self.epoch, self.done);
             crate::obs::span(&seg_name, "replay", 0, || {
-                let split = match self.store {
+                // Store-backed segments split through the store's
+                // [`cc_sim::SplitPool`]: after replay the per-shard lane
+                // buffers go back to the pool, so a steady-state epoch
+                // allocates no lane storage at all (the pool hands the
+                // same capacity back on the next segment).
+                match self.store {
                     Some(store) => {
                         let bufs = store.get_or_generate(seg_key, generate);
-                        self.replayer.split(&bufs)
+                        let pool = store.split_pool();
+                        let split = self.replayer.split_pooled(&bufs, pool);
+                        self.replayer.replay(&split);
+                        pool.recycle(split);
                     }
-                    None => self.replayer.split(&generate()),
-                };
-                self.replayer.replay(&split);
+                    None => {
+                        let split = self.replayer.split(&generate());
+                        self.replayer.replay(&split);
+                    }
+                }
             });
             self.done += count;
         }

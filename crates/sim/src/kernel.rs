@@ -1,0 +1,121 @@
+//! Portable fixed-width "pseudo-SIMD" primitives for the replay hot
+//! loops.
+//!
+//! `std::simd` is still unstable, so the explicit-vector kernel is built
+//! the way the paper builds cache-conscious layouts: fixed-width chunks
+//! of plain `u64` lanes ([`WIDTH`] per chunk) over the structure-of-arrays
+//! trace, shaped so LLVM's autovectorizer turns each helper into vector
+//! shifts/masks/compares (one small loop of independent lane ops, no
+//! data-dependent branches, no cross-lane state). Callers process a
+//! scalar tail for the last `len % WIDTH` entries.
+//!
+//! The kernel only ever *reads* simulator state: each helper is a pure
+//! function, and the one consumer ([`crate::cache::Cache::read_direct_hits`]
+//! via the shard lane replay) uses it as an all-hit filter. That is what
+//! makes the chunked path bit-exact: a direct-mapped read *hit* mutates
+//! nothing (see [`crate::cache::Cache::read_direct`]), so probing a
+//! chunk's addresses against a snapshot of the tag lane is
+//! indistinguishable from probing them in order — and the moment any
+//! lane might miss, the caller falls back to the exact in-order scalar
+//! path for that chunk.
+
+/// Chunk width in `u64` lanes: 64 bytes of addresses per chunk — one AVX-512
+/// register, two AVX2 registers, or four NEON q-registers after
+/// autovectorization, and exactly one host cache line of the address lane.
+pub(crate) const WIDTH: usize = 8;
+
+/// Lane-wise set-index extraction: `(addr >> block_shift) & set_mask` per
+/// lane — the vectorized form of [`crate::geometry::CacheGeometry::set_of`].
+#[inline(always)]
+pub(crate) fn set_lanes(addrs: &[u64; WIDTH], block_shift: u32, set_mask: u64) -> [u64; WIDTH] {
+    let mut out = [0u64; WIDTH];
+    for (o, &a) in out.iter_mut().zip(addrs) {
+        *o = (a >> block_shift) & set_mask;
+    }
+    out
+}
+
+/// Lane-wise tag extraction: `addr >> tag_shift` per lane — the vectorized
+/// form of [`crate::geometry::CacheGeometry::tag_of`].
+#[inline(always)]
+pub(crate) fn tag_lanes(addrs: &[u64; WIDTH], tag_shift: u32) -> [u64; WIDTH] {
+    let mut out = [0u64; WIDTH];
+    for (o, &a) in out.iter_mut().zip(addrs) {
+        *o = a >> tag_shift;
+    }
+    out
+}
+
+/// Gathers `table[idx]` per lane (the resident-tag fetch). Indices must be
+/// in range — they are set indices masked by the table's own geometry.
+#[inline(always)]
+pub(crate) fn gather(table: &[u64], idx: &[u64; WIDTH]) -> [u64; WIDTH] {
+    let mut out = [0u64; WIDTH];
+    for (o, &i) in out.iter_mut().zip(idx) {
+        *o = table[i as usize];
+    }
+    out
+}
+
+/// Whether every lane of `a` equals the corresponding lane of `b`,
+/// branch-free: XOR the lanes, OR-reduce, one compare at the end.
+#[inline(always)]
+pub(crate) fn all_eq(a: &[u64; WIDTH], b: &[u64; WIDTH]) -> bool {
+    let mut acc = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Whether every op byte in `ops` (a [`WIDTH`]-long chunk of the lane's op
+/// stream) equals `op` — the chunk-uniformity test that guards the
+/// all-reads fast path.
+#[inline(always)]
+pub(crate) fn all_op(ops: &[u8], op: u8) -> bool {
+    debug_assert_eq!(ops.len(), WIDTH);
+    let mut acc = 0u8;
+    for &o in ops {
+        acc |= o ^ op;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_scalar_decomposition() {
+        let g = crate::geometry::CacheGeometry::new(64, 16, 1);
+        let (block_shift, set_mask, tag_shift) = g.probe_fields();
+        let addrs = [0u64, 0x13, 0x40, 0x3FF, 0x1000, 0xFFFF, 0x12345, 0x70];
+        let sets = set_lanes(&addrs, block_shift, set_mask);
+        let tags = tag_lanes(&addrs, tag_shift);
+        for i in 0..WIDTH {
+            assert_eq!(sets[i], g.set_of(addrs[i]));
+            assert_eq!(tags[i], g.tag_of(addrs[i]));
+        }
+    }
+
+    #[test]
+    fn gather_and_compare() {
+        let table: Vec<u64> = (0..16).map(|i| i * 10).collect();
+        let idx = [0u64, 3, 3, 15, 1, 2, 7, 8];
+        let got = gather(&table, &idx);
+        assert_eq!(got, [0, 30, 30, 150, 10, 20, 70, 80]);
+        assert!(all_eq(&got, &got.clone()));
+        let mut other = got;
+        other[5] ^= 1;
+        assert!(!all_eq(&got, &other));
+    }
+
+    #[test]
+    fn op_uniformity() {
+        assert!(all_op(&[2; WIDTH], 2));
+        let mut ops = [0u8; WIDTH];
+        assert!(all_op(&ops, 0));
+        ops[WIDTH - 1] = 1;
+        assert!(!all_op(&ops, 0));
+    }
+}

@@ -48,6 +48,7 @@ pub mod event;
 mod fasthash;
 pub mod geometry;
 pub mod hierarchy;
+mod kernel;
 pub mod pipeline;
 pub mod prefetch;
 pub mod shard;
@@ -60,7 +61,9 @@ pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessKind, AccessOutcome, Level, MemorySystem};
 pub use pipeline::{Breakdown, Pipeline, PipelineConfig};
-pub use shard::{ShardDegradation, ShardPlan, ShardReplayOutcome, ShardedReplayer, ShardedTrace};
+pub use shard::{
+    ShardDegradation, ShardPlan, ShardReplayOutcome, ShardedReplayer, ShardedTrace, SplitPool,
+};
 pub use stats::CacheStats;
 
 /// An [`EventSink`] that drives a [`MemorySystem`] and ignores pipeline

@@ -57,20 +57,46 @@
 //! repaired at split time ([`TraceBuf::repair`]) and counted, mirroring
 //! [`crate::batch::BatchSink`]'s validate-repair-fallback contract.
 //!
+//! # Winning on wall-clock, not just the model
+//!
+//! Three mechanisms keep the *measured* replay time close to the modeled
+//! critical path instead of losing it to overhead:
+//!
+//! * **Chunked probe kernel.** The lane fast path retires runs of
+//!   [`kernel::WIDTH`] reads as one vectorizable all-hit probe
+//!   ([`crate::cache::Cache::read_direct_hits`]); direct-mapped read hits
+//!   mutate nothing, so the chunk is bit-exact, and any possible miss
+//!   re-runs the chunk on the exact in-order scalar path.
+//! * **Pooled, parallel splits.** [`SplitPool`] recycles `Lane`/`TlbLane`
+//!   buffers across splits (no per-split allocation in the steady state),
+//!   and large splits fan the lane fill out over worker threads — every
+//!   walker derives the same memo state because it is a pure function of
+//!   the stream, so the parallel split is bit-identical to the serial one.
+//! * **Work-queue replay.** [`ShardedReplayer::replay`] claims lanes from
+//!   an atomic queue in longest-lane-first order with
+//!   `min(cores, shards)` workers (the caller joins after the serial TLB
+//!   lane), so a hot set-shard starts first instead of serializing the
+//!   merge, and a small host never oversubscribes itself with idle
+//!   threads.
+//!
 //! The whole module is pinned to the scalar and batched engines by
 //! differential property tests (`tests/shard_differential.rs`): identical
 //! statistics, cycles, and counts across shard counts, machines, and
 //! injected faults.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::batch::{PackedKind, TraceBuf};
 use crate::cache::ReadTally;
-use crate::config::MachineConfig;
+use crate::config::{Latency, MachineConfig};
 use crate::hierarchy::MemorySystem;
+use crate::kernel;
 use crate::stats::{CacheStats, TlbStats};
 use crate::tlb::Tlb;
+use crate::CacheGeometry;
 
 /// "Nothing memoized" sentinel (same convention as the batch cursor).
 const NO_MEMO: u64 = u64::MAX;
@@ -160,6 +186,13 @@ impl Lane {
         self.addrs.push(addr);
         self.nows.push(now);
     }
+
+    /// Empties the lane, keeping its allocations for reuse.
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.addrs.clear();
+        self.nows.clear();
+    }
 }
 
 /// The serial TLB lane: space-salted page keys in stream order.
@@ -167,6 +200,87 @@ impl Lane {
 struct TlbLane {
     ops: Vec<u8>,
     pages: Vec<u64>,
+}
+
+impl TlbLane {
+    /// Empties the lane, keeping its allocations for reuse.
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.pages.clear();
+    }
+}
+
+/// One reusable set of split buffers: the per-shard block lanes plus the
+/// TLB lane. These are exactly the allocations a split performs; pooling
+/// them is what makes steady-state splits allocation-free.
+// Field order per cc-lint SPAN-01: the 48-byte TLB lane leads so it sits
+// in the first cache line instead of straddling the boundary after the
+// lane vector's header.
+#[derive(Debug, Default)]
+struct SplitBuffers {
+    tlb: TlbLane,
+    lanes: Vec<Lane>,
+}
+
+impl SplitBuffers {
+    /// Empties every buffer and sizes the lane set to `shards`, keeping
+    /// allocations wherever the shard count allows.
+    fn reset(&mut self, shards: usize) {
+        self.lanes.resize_with(shards, Lane::default);
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.tlb.clear();
+    }
+}
+
+/// A pool of reusable split buffers, shared across replays (and across
+/// threads — all methods take `&self`).
+///
+/// [`ShardedTrace::split_pooled`] draws its `Lane`/`TlbLane` vectors from
+/// here instead of allocating, and [`SplitPool::recycle`] returns a
+/// consumed split's buffers with their capacity intact. A warm
+/// pool therefore makes the split step allocation-free in the steady
+/// state: the only per-split work left is the (possibly parallel) walk
+/// that fills the lanes. The trace store owns one so every figure sweep
+/// and benchmark shares the same warm buffers.
+#[derive(Debug, Default)]
+pub struct SplitPool {
+    free: Mutex<Vec<SplitBuffers>>,
+}
+
+impl SplitPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer set from the pool, or a fresh (empty) one when the
+    /// pool is dry. The split resets/sizes it either way.
+    fn acquire(&self) -> SplitBuffers {
+        self.free
+            .lock()
+            .expect("split pool")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a consumed split's buffers to the pool, cleared but with
+    /// their capacity intact, ready for the next
+    /// [`ShardedTrace::split_pooled`].
+    pub fn recycle(&self, split: ShardedTrace) {
+        let mut sb = SplitBuffers {
+            lanes: split.lanes,
+            tlb: split.tlb_lane,
+        };
+        sb.reset(sb.lanes.len());
+        self.free.lock().expect("split pool").push(sb);
+    }
+
+    /// Buffer sets currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("split pool").len()
+    }
 }
 
 /// A trace split into per-shard block lanes plus the serial TLB lane —
@@ -200,7 +314,21 @@ impl ShardedTrace {
     /// repaired on a clone and counted — the splitter's analogue of
     /// [`crate::batch::BatchSink`]'s corrupt-batch fallback.
     pub fn split(machine: &MachineConfig, plan: &ShardPlan, bufs: &[TraceBuf]) -> ShardedTrace {
-        Self::split_impl(machine, plan, bufs, true)
+        Self::split_impl(machine, plan, bufs, true, SplitBuffers::default())
+    }
+
+    /// [`ShardedTrace::split`] drawing its lane buffers from `pool`
+    /// instead of allocating. Bit-identical output; when the pool holds a
+    /// recycled buffer set of comparable capacity, the split performs no
+    /// allocation at all. Return the consumed split with
+    /// [`SplitPool::recycle`] to keep the loop warm.
+    pub fn split_pooled(
+        machine: &MachineConfig,
+        plan: &ShardPlan,
+        bufs: &[TraceBuf],
+        pool: &SplitPool,
+    ) -> ShardedTrace {
+        Self::split_impl(machine, plan, bufs, true, pool.acquire())
     }
 
     /// [`ShardedTrace::split`] with the guaranteed-hit memoizations
@@ -215,7 +343,7 @@ impl ShardedTrace {
         plan: &ShardPlan,
         bufs: &[TraceBuf],
     ) -> ShardedTrace {
-        Self::split_impl(machine, plan, bufs, false)
+        Self::split_impl(machine, plan, bufs, false, SplitBuffers::default())
     }
 
     fn split_impl(
@@ -223,132 +351,100 @@ impl ShardedTrace {
         plan: &ShardPlan,
         bufs: &[TraceBuf],
         memoize: bool,
+        mut buffers: SplitBuffers,
     ) -> ShardedTrace {
-        let lat = machine.latency;
-        let l1_geo = machine.l1;
-        let block_bytes = l1_geo.block_bytes();
-        let has_tlb = machine.tlb_entries > 0;
-        let page_bytes = machine.page_bytes;
-        let page_pow2 = page_bytes.is_power_of_two();
-        let page_shift = page_bytes.trailing_zeros();
-        let page_of = |a: u64| {
-            if page_pow2 {
-                a >> page_shift
-            } else {
-                a / page_bytes
-            }
-        };
-        let mut st = ShardedTrace {
-            shards: plan.shards(),
-            lanes: vec![Lane::default(); plan.shards()],
-            tlb_lane: TlbLane::default(),
-            base_cycles: 0,
-            l1_memo_reads: 0,
-            tlb_memo_accesses: 0,
-            insts: 0,
-            branches: 0,
-            events: 0,
-            repaired_bufs: 0,
-            repaired_entries: 0,
-        };
-        // The cursor memos are pure functions of the event stream (set by
-        // loads/stores, cleared by stores/prefetches), so the splitter
-        // resolves them here exactly as `access_batch` would at replay.
-        let mut memo_block = NO_MEMO;
-        let mut memo_page = NO_MEMO;
-        let mut now = 0u64;
+        let shards = plan.shards();
+        buffers.reset(shards);
+
+        // Repair pre-pass: every walker must see the same repaired stream,
+        // so corrupt buffers are cloned and repaired once, up front.
+        let mut repaired_bufs = 0u64;
+        let mut repaired_entries = 0u64;
+        let mut owned: Vec<TraceBuf> = Vec::new();
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(bufs.len());
         for src in bufs {
-            let owned;
-            let buf = if src.validate().is_ok() {
-                src
+            if src.validate().is_ok() {
+                slots.push(None);
             } else {
                 let mut repaired = src.clone();
-                st.repaired_bufs += 1;
-                st.repaired_entries += repaired.repair() as u64;
-                owned = repaired;
-                &owned
-            };
-            let salt = u64::from(buf.space()) << 32;
-            let (kinds, addrs, sizes, ticks) = buf.lanes();
-            for i in 0..kinds.len() {
-                let (addr, size) = (addrs[i], sizes[i]);
-                now += 1;
-                st.events += 1;
-                match kinds[i] {
-                    PackedKind::Inst => st.insts += addr,
-                    PackedKind::Branch => st.branches += addr,
-                    PackedKind::Gap => {
-                        now += addr - 1;
-                        st.events += addr - 1;
-                    }
-                    PackedKind::Prefetch => {
-                        st.lanes[plan.shard_of(addr)].push(OP_PREFETCH, addr, now);
-                        memo_block = NO_MEMO;
-                    }
-                    PackedKind::LoadDep | PackedKind::LoadIndep => {
-                        let span = u64::from(size).max(1) - 1;
-                        if has_tlb {
-                            let first_p = page_of(addr);
-                            let last_p = page_of(addr + span);
-                            let mut p = first_p;
-                            if memoize && memo_page == (salt | first_p) {
-                                st.tlb_memo_accesses += 1;
-                                p += 1;
-                            }
-                            while p <= last_p {
-                                st.tlb_lane.ops.push(TLB_LOAD);
-                                st.tlb_lane.pages.push(salt | p);
-                                p += 1;
-                            }
-                            memo_page = salt | last_p;
-                        }
-                        let first_b = l1_geo.block_of(addr);
-                        let last_b = l1_geo.block_of(addr + span);
-                        let mut b = first_b;
-                        if memoize && memo_block == first_b {
-                            st.l1_memo_reads += 1;
-                            st.base_cycles += lat.l1_hit;
-                            b += block_bytes;
-                        }
-                        while b <= last_b {
-                            st.lanes[plan.shard_of(b)].push(OP_READ, b, now);
-                            b += block_bytes;
-                        }
-                        memo_block = last_b;
-                    }
-                    PackedKind::Store => {
-                        let span = u64::from(size).max(1) - 1;
-                        if has_tlb {
-                            let mut p = page_of(addr);
-                            let last_p = page_of(addr + span);
-                            let mut op = TLB_STORE_FIRST;
-                            while p <= last_p {
-                                st.tlb_lane.ops.push(op);
-                                st.tlb_lane.pages.push(salt | p);
-                                op = TLB_STORE_CONT;
-                                p += 1;
-                            }
-                            memo_page = salt | page_of(addr + span);
-                        }
-                        let mut b = l1_geo.block_of(addr);
-                        let last_b = l1_geo.block_of(addr + span);
-                        while b <= last_b {
-                            st.lanes[plan.shard_of(b)].push(OP_WRITE, b, now);
-                            b += block_bytes;
-                        }
-                        // The scalar write path overrides its cycles to
-                        // `l1_hit` (+ one TLB penalty, accounted by the
-                        // store group in the TLB lane).
-                        st.base_cycles += lat.l1_hit;
-                        memo_block = NO_MEMO;
-                    }
-                }
-                let t = u64::from(ticks[i]);
-                now += t;
-                st.events += t;
+                repaired_bufs += 1;
+                repaired_entries += repaired.repair() as u64;
+                slots.push(Some(owned.len()));
+                owned.push(repaired);
             }
         }
-        st
+        let refs: Vec<&TraceBuf> = slots
+            .iter()
+            .zip(bufs)
+            .map(|(slot, src)| match slot {
+                Some(i) => &owned[*i],
+                None => src,
+            })
+            .collect();
+
+        let entries: usize = refs.iter().map(|b| b.len()).sum();
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(shards);
+        let totals = if threads > 1 && entries >= PARALLEL_SPLIT_MIN_ENTRIES {
+            // Parallel fill: each worker walks the whole (shared, read-only)
+            // stream and appends only its own contiguous range of shard
+            // lanes. The memo/routing state every walker needs is a pure
+            // function of the stream, so each derives it identically and
+            // the lanes come out bit-identical to a serial fill. The
+            // caller's own walk produces the TLB lane and the
+            // stream-constant totals concurrently.
+            let per = shards.div_ceil(threads);
+            let lanes = &mut buffers.lanes;
+            let tlb = &mut buffers.tlb;
+            std::thread::scope(|s| {
+                for (g, group) in lanes.chunks_mut(per).enumerate() {
+                    let refs = &refs;
+                    s.spawn(move || {
+                        let lo = g * per;
+                        let hi = lo + group.len();
+                        walk_stream(
+                            machine,
+                            plan,
+                            refs,
+                            memoize,
+                            |shard, op, addr, now| {
+                                if (lo..hi).contains(&shard) {
+                                    group[shard - lo].push(op, addr, now);
+                                }
+                            },
+                            None,
+                        );
+                    });
+                }
+                walk_stream(machine, plan, &refs, memoize, |_, _, _, _| {}, Some(tlb))
+            })
+        } else {
+            let SplitBuffers { lanes, tlb } = &mut buffers;
+            walk_stream(
+                machine,
+                plan,
+                &refs,
+                memoize,
+                |shard, op, addr, now| lanes[shard].push(op, addr, now),
+                Some(tlb),
+            )
+        };
+
+        let SplitBuffers { lanes, tlb } = buffers;
+        ShardedTrace {
+            shards,
+            lanes,
+            tlb_lane: tlb,
+            base_cycles: totals.base_cycles,
+            l1_memo_reads: totals.l1_memo_reads,
+            tlb_memo_accesses: totals.tlb_memo_accesses,
+            insts: totals.insts,
+            branches: totals.branches,
+            events: totals.events,
+            repaired_bufs,
+            repaired_entries,
+        }
     }
 
     /// The shard count this split was routed for.
@@ -380,6 +476,147 @@ impl ShardedTrace {
     pub fn repaired_entries(&self) -> u64 {
         self.repaired_entries
     }
+}
+
+/// Entry count below which a parallel split is not worth its thread
+/// spawns: a lane walk runs at hundreds of entries per microsecond, so a
+/// stream this small splits serially faster than a thread starts.
+const PARALLEL_SPLIT_MIN_ENTRIES: usize = 1 << 14;
+
+/// Stream-constant totals one full walk produces. Every walker of the
+/// same (repaired) stream derives identical values — they are pure
+/// functions of the event sequence, independent of which lanes the
+/// walker fills.
+#[derive(Debug, Default)]
+struct WalkTotals {
+    base_cycles: u64,
+    l1_memo_reads: u64,
+    tlb_memo_accesses: u64,
+    insts: u64,
+    branches: u64,
+    events: u64,
+}
+
+/// One walk over the (already repaired) stream: decomposes every event
+/// into block probes and page translations, resolving the batch cursor's
+/// stream-determined memoizations exactly as `access_batch` would at
+/// replay (the memos are set by loads/stores and cleared by
+/// stores/prefetches — pure functions of the stream). Each block probe is
+/// handed to `block(shard, op, addr, now)`; the caller decides whether to
+/// append it (and to which lane). Page translations append to `tlb_lane`
+/// when provided; a `None` walker skips all TLB work (parallel lane
+/// fillers only need the block routing) and must ignore the TLB fields of
+/// the returned totals.
+fn walk_stream(
+    machine: &MachineConfig,
+    plan: &ShardPlan,
+    bufs: &[&TraceBuf],
+    memoize: bool,
+    mut block: impl FnMut(usize, u8, u64, u64),
+    mut tlb_lane: Option<&mut TlbLane>,
+) -> WalkTotals {
+    let lat = machine.latency;
+    let l1_geo = machine.l1;
+    let block_bytes = l1_geo.block_bytes();
+    let track_tlb = machine.tlb_entries > 0 && tlb_lane.is_some();
+    let page_bytes = machine.page_bytes;
+    let page_pow2 = page_bytes.is_power_of_two();
+    let page_shift = page_bytes.trailing_zeros();
+    let page_of = |a: u64| {
+        if page_pow2 {
+            a >> page_shift
+        } else {
+            a / page_bytes
+        }
+    };
+    let mut t = WalkTotals::default();
+    let mut memo_block = NO_MEMO;
+    let mut memo_page = NO_MEMO;
+    let mut now = 0u64;
+    for buf in bufs {
+        let salt = u64::from(buf.space()) << 32;
+        let (kinds, addrs, sizes, ticks) = buf.lanes();
+        for i in 0..kinds.len() {
+            let (addr, size) = (addrs[i], sizes[i]);
+            now += 1;
+            t.events += 1;
+            match kinds[i] {
+                PackedKind::Inst => t.insts += addr,
+                PackedKind::Branch => t.branches += addr,
+                PackedKind::Gap => {
+                    now += addr - 1;
+                    t.events += addr - 1;
+                }
+                PackedKind::Prefetch => {
+                    block(plan.shard_of(addr), OP_PREFETCH, addr, now);
+                    memo_block = NO_MEMO;
+                }
+                PackedKind::LoadDep | PackedKind::LoadIndep => {
+                    let span = u64::from(size).max(1) - 1;
+                    if track_tlb {
+                        let tlb = tlb_lane.as_deref_mut().expect("track_tlb implies a lane");
+                        let first_p = page_of(addr);
+                        let last_p = page_of(addr + span);
+                        let mut p = first_p;
+                        if memoize && memo_page == (salt | first_p) {
+                            t.tlb_memo_accesses += 1;
+                            p += 1;
+                        }
+                        while p <= last_p {
+                            tlb.ops.push(TLB_LOAD);
+                            tlb.pages.push(salt | p);
+                            p += 1;
+                        }
+                        memo_page = salt | last_p;
+                    }
+                    let first_b = l1_geo.block_of(addr);
+                    let last_b = l1_geo.block_of(addr + span);
+                    let mut b = first_b;
+                    if memoize && memo_block == first_b {
+                        t.l1_memo_reads += 1;
+                        t.base_cycles += lat.l1_hit;
+                        b += block_bytes;
+                    }
+                    while b <= last_b {
+                        block(plan.shard_of(b), OP_READ, b, now);
+                        b += block_bytes;
+                    }
+                    memo_block = last_b;
+                }
+                PackedKind::Store => {
+                    let span = u64::from(size).max(1) - 1;
+                    if track_tlb {
+                        let tlb = tlb_lane.as_deref_mut().expect("track_tlb implies a lane");
+                        let mut p = page_of(addr);
+                        let last_p = page_of(addr + span);
+                        let mut op = TLB_STORE_FIRST;
+                        while p <= last_p {
+                            tlb.ops.push(op);
+                            tlb.pages.push(salt | p);
+                            op = TLB_STORE_CONT;
+                            p += 1;
+                        }
+                        memo_page = salt | page_of(addr + span);
+                    }
+                    let mut b = l1_geo.block_of(addr);
+                    let last_b = l1_geo.block_of(addr + span);
+                    while b <= last_b {
+                        block(plan.shard_of(b), OP_WRITE, b, now);
+                        b += block_bytes;
+                    }
+                    // The scalar write path overrides its cycles to
+                    // `l1_hit` (+ one TLB penalty, accounted by the
+                    // store group in the TLB lane).
+                    t.base_cycles += lat.l1_hit;
+                    memo_block = NO_MEMO;
+                }
+            }
+            let tick = u64::from(ticks[i]);
+            now += tick;
+            t.events += tick;
+        }
+    }
+    t
 }
 
 /// Degradation counters for a [`ShardedReplayer`] — the shard analogue of
@@ -506,6 +743,14 @@ impl ShardedReplayer {
         }
     }
 
+    /// [`ShardedReplayer::split`] drawing lane buffers from `pool`
+    /// (see [`ShardedTrace::split_pooled`]); the attribution-safe
+    /// unmemoized split is chosen automatically, as in `split`.
+    pub fn split_pooled(&self, bufs: &[TraceBuf], pool: &SplitPool) -> ShardedTrace {
+        let memoize = !self.attribution_enabled();
+        ShardedTrace::split_impl(&self.machine, &self.plan, bufs, memoize, pool.acquire())
+    }
+
     /// Starts attributing every lane's accesses and evictions to the
     /// regions of `map`. Workers route through the serial reference
     /// replay (the memoizing fast path cannot observe per-probe
@@ -540,8 +785,19 @@ impl ShardedReplayer {
         merged
     }
 
-    /// Replays one split segment on scoped worker threads (serial when
-    /// one shard), merging cycles and statistics exactly.
+    /// Replays one split segment by draining a work queue of lanes with
+    /// `min(host cores, shards)` workers, merging cycles and statistics
+    /// exactly.
+    ///
+    /// Lanes are claimed from an atomic queue in longest-lane-first order
+    /// (classic longest-processing-time scheduling): the hot set-shard
+    /// starts immediately and can never be picked up last, where it would
+    /// serialize the merge. The serial TLB lane runs on the caller
+    /// thread — it shares no state with the block lanes — after which the
+    /// caller joins the queue as one more worker. On a host with fewer
+    /// cores than shards this degrades to fewer (down to zero) spawned
+    /// threads draining the same queue, instead of `shards` threads
+    /// taking turns on the same core.
     ///
     /// # Panics
     ///
@@ -565,47 +821,64 @@ impl ShardedReplayer {
         );
         let base_now = self.now;
         let tlb_miss_lat = self.machine.latency.tlb_miss;
-        let (outcomes, tlb_cycles, tlb_acc, tlb_miss, tlb_nanos) = if self.lanes.len() == 1 {
-            let outcome = run_lane(
-                &mut self.lanes[0],
-                &split.lanes[0],
+        let n = self.lanes.len();
+        // Longest-lane-first claim order (ties by index, stable).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(split.lanes[i].ops.len()));
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |nz| nz.get())
+            .min(n);
+
+        // Each lane's state sits behind a mutex claimed exactly once per
+        // replay (via the atomic index, so the locks are uncontended);
+        // the mutexes exist so the borrow of the per-shard systems can
+        // move between workers without tearing the merge.
+        struct LaneSlot<'a> {
+            sys: &'a mut MemorySystem,
+            outcome: Option<LaneOutcome>,
+        }
+        let tlb = &mut self.tlb;
+        let slots: Vec<Mutex<LaneSlot>> = self
+            .lanes
+            .iter_mut()
+            .map(|sys| Mutex::new(LaneSlot { sys, outcome: None }))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let drain = || loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&i) = order.get(k) else { return };
+            let mut slot = slots[i].lock().expect("lane slot");
+            slot.outcome = Some(run_lane(
+                slot.sys,
+                &split.lanes[i],
                 base_now,
-                poisoned.contains(&0),
-            );
+                poisoned.contains(&i),
+            ));
+        };
+        let (tlb_cycles, tlb_acc, tlb_miss, tlb_nanos) = std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(drain);
+            }
+            // The TLB lane is inherently serial; run it here while the
+            // spawned workers own the cache sets, then join the queue.
             let start = Instant::now();
-            let (c, a, m) = match &mut self.tlb {
+            let (c, a, m) = match tlb {
                 Some(tlb) => replay_tlb_lane(tlb, &split.tlb_lane, tlb_miss_lat),
                 None => (0, 0, 0),
             };
-            (vec![outcome], c, a, m, start.elapsed().as_nanos() as u64)
-        } else {
-            let lanes = &mut self.lanes;
-            let tlb = &mut self.tlb;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = lanes
-                    .iter_mut()
-                    .zip(&split.lanes)
-                    .enumerate()
-                    .map(|(i, (sys, lane))| {
-                        let poison = poisoned.contains(&i);
-                        s.spawn(move || run_lane(sys, lane, base_now, poison))
-                    })
-                    .collect();
-                // The TLB lane is inherently serial; run it here while the
-                // shard workers own the cache sets.
-                let start = Instant::now();
-                let (c, a, m) = match tlb {
-                    Some(tlb) => replay_tlb_lane(tlb, &split.tlb_lane, tlb_miss_lat),
-                    None => (0, 0, 0),
-                };
-                let nanos = start.elapsed().as_nanos() as u64;
-                let outcomes = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panics are caught inside run_lane"))
-                    .collect();
-                (outcomes, c, a, m, nanos)
+            let nanos = start.elapsed().as_nanos() as u64;
+            drain();
+            (c, a, m, nanos)
+        });
+        let outcomes: Vec<LaneOutcome> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("lane slot")
+                    .outcome
+                    .expect("every lane was claimed from the queue")
             })
-        };
+            .collect();
 
         self.merge_segment(split, &outcomes, tlb_cycles, tlb_acc, tlb_miss, tlb_nanos)
     }
@@ -822,11 +1095,67 @@ fn run_lane(sys: &mut MemorySystem, lane: &Lane, base_now: u64, poison: bool) ->
     }
 }
 
+/// One `OP_READ` on the memoizing scalar path — the per-block body of
+/// [`MemorySystem::access_batch`]'s read handling, shared by the
+/// per-entry loop and the chunk-miss fallback in [`replay_lane_fast`].
+/// Only valid while no prefetch is in flight (the caller checks).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn scalar_read(
+    sys: &mut MemorySystem,
+    addr: u64,
+    lat: Latency,
+    l1_direct: bool,
+    l2_direct: bool,
+    l2_geo: CacheGeometry,
+    cycles: &mut u64,
+    l1_tally: &mut ReadTally,
+    l2_tally: &mut ReadTally,
+    l2_memo: &mut u64,
+) {
+    let l1_hit = if l1_direct {
+        sys.l1.read_direct(addr, l1_tally)
+    } else {
+        sys.l1.access(addr, false).hit
+    };
+    if l1_hit {
+        *cycles += lat.l1_hit;
+    } else {
+        let l2b = l2_geo.block_of(addr);
+        if *l2_memo == l2b {
+            l2_tally.reads += 1;
+            *cycles += lat.l1_hit + lat.l1_miss;
+        } else {
+            *l2_memo = l2b;
+            let l2_hit = if l2_direct {
+                sys.l2.read_direct(addr, l2_tally)
+            } else {
+                sys.l2.access(addr, false).hit
+            };
+            *cycles += lat.l1_hit + lat.l1_miss;
+            if !l2_hit {
+                *cycles += lat.l2_miss;
+            }
+        }
+    }
+}
+
 /// The lane fast path: the per-block body of
 /// [`MemorySystem::access_batch`], restricted to this shard's blocks.
 /// Guaranteed-hit shortcuts (the lane-local L2 memo) follow the same MRU
 /// argument as the batch cursor — sound here because no other lane can
 /// touch this shard's sets.
+///
+/// On top of the scalar body, runs of [`kernel::WIDTH`] consecutive reads
+/// (the dominant shape of a pointer-chase lane) retire through the
+/// chunked probe [`crate::cache::Cache::read_direct_hits`]: when every
+/// chunk lane hits a direct-mapped L1, the whole chunk is `WIDTH`
+/// guaranteed hits — `WIDTH · l1_hit` cycles and `WIDTH` tallied reads,
+/// no state change, bit-exact by the hits-don't-mutate argument. A chunk
+/// that may miss is re-run on the exact in-order scalar path (reads never
+/// change the in-flight set, so the run stays a read run), and the L2
+/// memo is untouched either way, exactly as a run of scalar L1 hits
+/// would leave it.
 fn replay_lane_fast(sys: &mut MemorySystem, lane: &Lane, base_now: u64) -> u64 {
     let lat = sys.config.latency;
     let l1_direct = sys.config.l1.assoc() == 1;
@@ -837,36 +1166,55 @@ fn replay_lane_fast(sys: &mut MemorySystem, lane: &Lane, base_now: u64) -> u64 {
     let mut l2_tally = ReadTally::default();
     let mut l2_memo = NO_MEMO;
     let mut no_inflight = sys.inflight.is_empty();
-    for i in 0..lane.ops.len() {
+    let n = lane.ops.len();
+    let mut i = 0usize;
+    while i < n {
+        if l1_direct
+            && no_inflight
+            && i + kernel::WIDTH <= n
+            && kernel::all_op(&lane.ops[i..i + kernel::WIDTH], OP_READ)
+        {
+            let addrs: &[u64; kernel::WIDTH] = lane.addrs[i..i + kernel::WIDTH]
+                .try_into()
+                .expect("chunk width");
+            if sys.l1.read_direct_hits(addrs) {
+                l1_tally.reads += kernel::WIDTH as u64;
+                cycles += lat.l1_hit * kernel::WIDTH as u64;
+            } else {
+                for j in i..i + kernel::WIDTH {
+                    scalar_read(
+                        sys,
+                        lane.addrs[j],
+                        lat,
+                        l1_direct,
+                        l2_direct,
+                        l2_geo,
+                        &mut cycles,
+                        &mut l1_tally,
+                        &mut l2_tally,
+                        &mut l2_memo,
+                    );
+                }
+            }
+            i += kernel::WIDTH;
+            continue;
+        }
         let addr = lane.addrs[i];
         match lane.ops[i] {
             OP_READ => {
                 if no_inflight {
-                    let l1_hit = if l1_direct {
-                        sys.l1.read_direct(addr, &mut l1_tally)
-                    } else {
-                        sys.l1.access(addr, false).hit
-                    };
-                    if l1_hit {
-                        cycles += lat.l1_hit;
-                    } else {
-                        let l2b = l2_geo.block_of(addr);
-                        if l2_memo == l2b {
-                            l2_tally.reads += 1;
-                            cycles += lat.l1_hit + lat.l1_miss;
-                        } else {
-                            l2_memo = l2b;
-                            let l2_hit = if l2_direct {
-                                sys.l2.read_direct(addr, &mut l2_tally)
-                            } else {
-                                sys.l2.access(addr, false).hit
-                            };
-                            cycles += lat.l1_hit + lat.l1_miss;
-                            if !l2_hit {
-                                cycles += lat.l2_miss;
-                            }
-                        }
-                    }
+                    scalar_read(
+                        sys,
+                        addr,
+                        lat,
+                        l1_direct,
+                        l2_direct,
+                        l2_geo,
+                        &mut cycles,
+                        &mut l1_tally,
+                        &mut l2_tally,
+                        &mut l2_memo,
+                    );
                 } else {
                     sys.access_block(addr, false, base_now + lane.nows[i], &mut cycles);
                     l2_memo = NO_MEMO;
@@ -884,6 +1232,7 @@ fn replay_lane_fast(sys: &mut MemorySystem, lane: &Lane, base_now: u64) -> u64 {
                 l2_memo = NO_MEMO;
             }
         }
+        i += 1;
     }
     if l1_tally.any() {
         sys.l1.stats_mut().add_read_tally(&l1_tally);
@@ -1205,6 +1554,89 @@ mod tests {
         let split = r.split(&pack(&events));
         assert_eq!(split.tlb_entries(), 0);
         r.replay(&split);
+        assert_eq!(r.tlb_stats(), scalar.system().tlb_stats());
+        assert_eq!(r.memory_cycles(), scalar.memory_cycles());
+    }
+
+    #[test]
+    fn pooled_split_is_bit_identical_and_reuses_buffers() {
+        let machine = overlapped();
+        let events = chase(23);
+        let bufs = pack(&events);
+        let pool = SplitPool::new();
+        for shards in [1usize, 3, 4, 8] {
+            let plan = ShardPlan::new(&machine, shards);
+            let eager = ShardedTrace::split(&machine, &plan, &bufs);
+            let pooled = ShardedTrace::split_pooled(&machine, &plan, &bufs, &pool);
+            // Lane-for-lane, entry-for-entry identical to the eager split.
+            assert_eq!(pooled.lanes.len(), eager.lanes.len());
+            for (p, e) in pooled.lanes.iter().zip(&eager.lanes) {
+                assert_eq!(p.ops, e.ops);
+                assert_eq!(p.addrs, e.addrs);
+                assert_eq!(p.nows, e.nows);
+            }
+            assert_eq!(pooled.tlb_lane.ops, eager.tlb_lane.ops);
+            assert_eq!(pooled.tlb_lane.pages, eager.tlb_lane.pages);
+            assert_eq!(pooled.base_cycles, eager.base_cycles);
+            assert_eq!(pooled.l1_memo_reads, eager.l1_memo_reads);
+            assert_eq!(pooled.tlb_memo_accesses, eager.tlb_memo_accesses);
+            assert_eq!(pooled.events, eager.events);
+            pool.recycle(pooled);
+            // The recycled buffers go back to the pool and come out again.
+            assert_eq!(pool.idle(), 1);
+        }
+        let plan = ShardPlan::new(&machine, 4);
+        let again = ShardedTrace::split_pooled(&machine, &plan, &bufs, &pool);
+        assert_eq!(pool.idle(), 0, "the warm buffer set was taken, not leaked");
+        let scalar = scalar_reference(machine, &events);
+        let mut r = ShardedReplayer::new(machine, 4);
+        r.replay(&again);
+        assert_eq!(r.l1_stats(), scalar.system().l1_stats());
+        assert_eq!(r.memory_cycles(), scalar.memory_cycles());
+        pool.recycle(again);
+    }
+
+    #[test]
+    fn pooled_split_repairs_corrupt_buffers_too() {
+        use crate::batch::TraceFault;
+        let machine = overlapped();
+        let mut bufs = pack(&chase(31));
+        bufs[1].inject_fault(&TraceFault::TruncateAddrLane { keep: 2 });
+        let pool = SplitPool::new();
+        let plan = ShardPlan::new(&machine, 4);
+        let eager = ShardedTrace::split(&machine, &plan, &bufs);
+        let pooled = ShardedTrace::split_pooled(&machine, &plan, &bufs, &pool);
+        assert_eq!(pooled.repaired_bufs(), eager.repaired_bufs());
+        assert_eq!(pooled.repaired_entries(), eager.repaired_entries());
+        let mut a = ShardedReplayer::new(machine, 4);
+        let mut b = ShardedReplayer::new(machine, 4);
+        a.replay(&eager);
+        b.replay(&pooled);
+        assert_eq!(a.l1_stats(), b.l1_stats());
+        assert_eq!(a.l2_stats(), b.l2_stats());
+        assert_eq!(a.tlb_stats(), b.tlb_stats());
+        assert_eq!(a.memory_cycles(), b.memory_cycles());
+    }
+
+    #[test]
+    fn parallel_split_matches_the_serial_walk() {
+        // A stream long enough to clear PARALLEL_SPLIT_MIN_ENTRIES, so the
+        // parallel fill actually engages on multi-core hosts (on a 1-core
+        // host both sides take the serial walk — still a valid identity).
+        let machine = overlapped();
+        let mut events = Vec::new();
+        for seed in 0..48 {
+            events.extend(chase(1000 + seed));
+        }
+        assert!(events.len() >= PARALLEL_SPLIT_MIN_ENTRIES);
+        let bufs = pack(&events);
+        let plan = ShardPlan::new(&machine, 5);
+        let split = ShardedTrace::split(&machine, &plan, &bufs);
+        let scalar = scalar_reference(machine, &events);
+        let mut r = ShardedReplayer::new(machine, 5);
+        r.replay(&split);
+        assert_eq!(r.l1_stats(), scalar.system().l1_stats());
+        assert_eq!(r.l2_stats(), scalar.system().l2_stats());
         assert_eq!(r.tlb_stats(), scalar.system().tlb_stats());
         assert_eq!(r.memory_cycles(), scalar.memory_cycles());
     }

@@ -29,7 +29,7 @@
 //!   an assertable fact rather than a hope.
 
 use cc_sim::cache::WritePolicy;
-use cc_sim::{CacheGeometry, MachineConfig, TraceBuf};
+use cc_sim::{CacheGeometry, MachineConfig, SplitPool, TraceBuf};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -139,6 +139,12 @@ pub struct TraceStore {
     inner: Mutex<StoreInner>,
     budget: usize,
     disk: Option<PathBuf>,
+    /// Reusable shard-split buffers, pooled at the same scope as the
+    /// traces themselves: a sweep that replays many cached traces splits
+    /// each one into lanes, and recycling those lane vectors here makes
+    /// the steady-state split allocation-free
+    /// ([`cc_sim::ShardedTrace::split_pooled`]).
+    split_pool: SplitPool,
 }
 
 impl TraceStore {
@@ -157,7 +163,17 @@ impl TraceStore {
             }),
             budget: budget.max(1),
             disk: None,
+            split_pool: SplitPool::new(),
         }
+    }
+
+    /// The store's shared shard-split buffer pool. Pass it to
+    /// [`cc_sim::ShardedTrace::split_pooled`] /
+    /// [`cc_sim::ShardedReplayer::split_pooled`] and return consumed
+    /// splits with [`SplitPool::recycle`]; every sweep worker sharing
+    /// this store then shares one warm set of lane buffers.
+    pub fn split_pool(&self) -> &SplitPool {
+        &self.split_pool
     }
 
     /// Adds an on-disk tier rooted at `dir` (created if absent;
