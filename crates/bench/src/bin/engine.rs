@@ -69,6 +69,13 @@ use std::time::Instant;
 /// varies this; every fig5 machine has at least 4 exact shards).
 const SHARDS: usize = 4;
 
+/// Wall-clock gate thresholds, recorded in every artifact so a skipped or
+/// failed gate is auditable from the JSON alone: the minimum speedup the
+/// threaded replay must show over the batched drain, and the core count
+/// below which the gate is skipped rather than enforced.
+const WALL_GATE_MIN: f64 = 2.0;
+const WALL_GATE_CORES: usize = 4;
+
 struct CaseSpec {
     name: &'static str,
     layout: &'static str,
@@ -342,6 +349,7 @@ fn write_json(
     path: &str,
     mode: &str,
     cores: usize,
+    parallelism: Option<usize>,
     reps: usize,
     wall_gate: &str,
     timings: &[Timing],
@@ -354,6 +362,19 @@ fn write_json(
     writeln!(f, "  \"mode\": \"{mode}\",")?;
     writeln!(f, "  \"machine\": \"ultrasparc_e5000\",")?;
     writeln!(f, "  \"cores\": {cores},")?;
+    // Host block: why the wall gate ran, skipped, or failed is auditable
+    // from the artifact alone — the raw detection result (null when the
+    // host would not say, in which case `cores` falls back to 1) next to
+    // the thresholds the gate applied.
+    writeln!(f, "  \"host\": {{")?;
+    match parallelism {
+        Some(n) => writeln!(f, "    \"available_parallelism\": {n},")?,
+        None => writeln!(f, "    \"available_parallelism\": null,")?,
+    }
+    writeln!(f, "    \"wall_gate_needs_cores\": {WALL_GATE_CORES},")?;
+    writeln!(f, "    \"wall_gate_min_speedup\": {WALL_GATE_MIN:.1},")?;
+    writeln!(f, "    \"wall_gate_shards\": {SHARDS}")?;
+    writeln!(f, "  }},")?;
     writeln!(f, "  \"repeats\": {reps},")?;
     writeln!(f, "  \"timing_stat\": \"median over repeats\",")?;
     writeln!(f, "  \"wall_gate\": \"{wall_gate}\",")?;
@@ -660,7 +681,8 @@ fn main() {
     };
 
     let reps = repeats(quick);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallelism = std::thread::available_parallelism().ok().map(|n| n.get());
+    let cores = parallelism.unwrap_or(1);
     header(
         "Engine benchmark: scalar vs batched vs sharded trace replay",
         &format!(
@@ -841,8 +863,6 @@ fn main() {
     // it. The threaded replay can only beat batched when the host can run
     // the shard lanes concurrently; on narrower hosts the gate is a
     // logged skip, not a silent pass.
-    const WALL_GATE_MIN: f64 = 2.0;
-    const WALL_GATE_CORES: usize = 4;
     let wall_headline = timings
         .iter()
         .find(|t| t.name == "fig5-ctree-full")
@@ -861,7 +881,15 @@ fn main() {
 
     let mode = if quick { "quick" } else { "full" };
     if let Err(e) = write_json(
-        &out_path, mode, cores, reps, &wall_gate, &timings, &scaling, &store,
+        &out_path,
+        mode,
+        cores,
+        parallelism,
+        reps,
+        &wall_gate,
+        &timings,
+        &scaling,
+        &store,
     ) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);

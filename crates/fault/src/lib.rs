@@ -50,6 +50,44 @@ const PLANE_HEAP: u64 = 0;
 const PLANE_TRACE: u64 = 1;
 const PLANE_SWEEP: u64 = 2;
 const PLANE_SHARD: u64 = 3;
+const PLANE_SERVER: u64 = 4;
+
+/// One server-plane fault for the cc-serve chaos harness.
+///
+/// Each variant maps to a hostile client behavior or worker misfortune
+/// the server's robustness contract must absorb with a typed reply (or a
+/// clean session close) and an honest degradation counter — never an
+/// escaped panic or a hung drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerFault {
+    /// The worker panics before doing any replay work
+    /// (`chaos_panic`): exercises `catch_unwind` isolation and the
+    /// circuit breaker.
+    WorkerPanicStart,
+    /// The worker panics mid-replay, after at least one segment
+    /// (`chaos_panic_mid`): exercises isolation with partially-built
+    /// state and shared-store writes already issued.
+    WorkerPanicMid,
+    /// The client vanishes without reading its reply after sending
+    /// `after_frames` complete frames: exercises dead-session reply
+    /// discard.
+    ConnectionDrop {
+        /// Complete frames sent before the hangup.
+        after_frames: u32,
+    },
+    /// The client sends a frame prefix and then stalls forever:
+    /// exercises the slow-loris read-stall guard.
+    SlowLoris,
+    /// The client sends `len` seed-derived garbage bytes plus a newline:
+    /// exercises framer totality (typed `bad_frame`, session survives).
+    GarbageFrame {
+        /// Garbage length in bytes (≥ 1).
+        len: u32,
+    },
+    /// The client streams an over-large frame with no newline until the
+    /// server's frame cap trips: exercises oversized-frame shedding.
+    OversizedFrame,
+}
 
 /// A seeded, replayable fault-injection plan.
 ///
@@ -73,6 +111,7 @@ pub struct FaultPlan {
     trace_faults: u32,
     sweep_poisons: u32,
     shard_poisons: u32,
+    server_faults: u32,
 }
 
 impl FaultPlan {
@@ -85,6 +124,7 @@ impl FaultPlan {
             trace_faults: 0,
             sweep_poisons: 0,
             shard_poisons: 0,
+            server_faults: 0,
         }
     }
 
@@ -129,12 +169,22 @@ impl FaultPlan {
         self
     }
 
+    /// Arms `n` server faults for the cc-serve chaos harness. The derived
+    /// schedule ([`FaultPlan::server_schedule`]) cycles through every
+    /// [`ServerFault`] variant before repeating, so any plan with
+    /// `n >= 6` is guaranteed to exercise the whole server plane.
+    pub fn server_faults(mut self, n: u32) -> Self {
+        self.server_faults = n;
+        self
+    }
+
     /// True when no plane is armed.
     pub fn is_empty(&self) -> bool {
         self.heap_faults == 0
             && self.trace_faults == 0
             && self.sweep_poisons == 0
             && self.shard_poisons == 0
+            && self.server_faults == 0
     }
 
     /// Derives the heap plane: `heap_faults` entries cycling through
@@ -229,6 +279,29 @@ impl FaultPlan {
         }
         set.into_iter().collect()
     }
+
+    /// Derives the server plane: `server_faults` faults, one per chaos
+    /// connection. The first six cycle through every [`ServerFault`]
+    /// variant in a seed-chosen rotation (full coverage before any
+    /// repeat); parameters within a variant are seed-derived.
+    pub fn server_schedule(&self) -> Vec<ServerFault> {
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_SERVER));
+        let rotation = rng.below(6);
+        (0..self.server_faults as u64)
+            .map(|i| match (i + rotation) % 6 {
+                0 => ServerFault::WorkerPanicStart,
+                1 => ServerFault::WorkerPanicMid,
+                2 => ServerFault::ConnectionDrop {
+                    after_frames: 1 + rng.below(3) as u32,
+                },
+                3 => ServerFault::SlowLoris,
+                4 => ServerFault::GarbageFrame {
+                    len: 1 + rng.below(512) as u32,
+                },
+                _ => ServerFault::OversizedFrame,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -243,7 +316,38 @@ mod tests {
         assert!(plan.trace_schedule().is_empty());
         assert!(plan.sweep_poison_set(100).is_empty());
         assert!(plan.shard_poison_set(8).is_empty());
+        assert!(plan.server_schedule().is_empty());
         assert!(!plan.poisons(0, 0, 100));
+    }
+
+    #[test]
+    fn server_schedule_covers_every_variant_before_repeating() {
+        for seed in 0..32 {
+            let plan = FaultPlan::new(seed).server_faults(6);
+            let schedule = plan.server_schedule();
+            assert_eq!(schedule.len(), 6);
+            let tags: BTreeSet<u8> = schedule
+                .iter()
+                .map(|f| match f {
+                    ServerFault::WorkerPanicStart => 0,
+                    ServerFault::WorkerPanicMid => 1,
+                    ServerFault::ConnectionDrop { .. } => 2,
+                    ServerFault::SlowLoris => 3,
+                    ServerFault::GarbageFrame { .. } => 4,
+                    ServerFault::OversizedFrame => 5,
+                })
+                .collect();
+            assert_eq!(tags.len(), 6, "seed {seed}: {schedule:?}");
+            // Replayable.
+            assert_eq!(schedule, plan.server_schedule());
+        }
+    }
+
+    #[test]
+    fn server_plane_is_independent_of_other_planes() {
+        let base = FaultPlan::new(13).server_faults(8);
+        let more = base.heap_faults(4, 50).trace_faults(2).sweep_poisons(1);
+        assert_eq!(base.server_schedule(), more.server_schedule());
     }
 
     #[test]

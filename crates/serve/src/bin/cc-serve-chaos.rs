@@ -1,0 +1,565 @@
+//! cc-serve-chaos: the server-plane chaos harness.
+//!
+//! Drives seeded [`ServerFault`] schedules (cc-fault plane 4) against
+//! live in-process servers and verifies the robustness contract:
+//!
+//! * no fault escapes as a process-level panic — every one lands as a
+//!   typed error reply or a clean session close;
+//! * every fault leaves an honest degradation counter behind;
+//! * the server stays serviceable after each fault (a follow-up health
+//!   and simulate both succeed);
+//! * drain completes cleanly after the abuse.
+//!
+//! `--soak` adds a concurrency stage: several clients hammer a small
+//! server through the retrying client path while one injected poison
+//! degrades a single request, then the server must drain cleanly.
+//!
+//! Exit codes: `0` all checks passed; `1` contract violations (printed);
+//! `2` bad invocation.
+
+use cc_fault::{FaultPlan, ServerFault};
+use cc_serve::breaker::BreakerConfig;
+use cc_serve::client::{Backoff, Client};
+use cc_serve::json::Json;
+use cc_serve::proto::{ErrorKind, Op, Reply, Request, MAX_FRAME_BYTES};
+use cc_serve::server::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+cc-serve-chaos: seeded fault matrix + soak for cc-serve
+
+USAGE:
+  cc-serve-chaos [--seeds N] [--base-seed S] [--faults N] [--soak]
+                 [--metrics-out PATH]
+
+  --seeds N         fault-matrix seeds to run (default 4)
+  --base-seed S     first seed (default 3405691582)
+  --faults N        faults per seed; 6+ covers every variant (default 6)
+  --soak            also run the concurrency soak stage
+  --metrics-out PATH  write the final server metrics snapshot here
+";
+
+struct Args {
+    seeds: u64,
+    base_seed: u64,
+    faults: u32,
+    soak: bool,
+    metrics_out: Option<std::path::PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        seeds: 4,
+        base_seed: 0xCAFE_BABE,
+        faults: 6,
+        soak: false,
+        metrics_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                out.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds: not a number".to_string())?
+            }
+            "--base-seed" => {
+                out.base_seed = value("--base-seed")?
+                    .parse()
+                    .map_err(|_| "--base-seed: not a number".to_string())?
+            }
+            "--faults" => {
+                out.faults = value("--faults")?
+                    .parse()
+                    .map_err(|_| "--faults: not a number".to_string())?
+            }
+            "--soak" => out.soak = true,
+            "--metrics-out" => {
+                out.metrics_out = Some(std::path::PathBuf::from(value("--metrics-out")?))
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// A small, fast simulate request body.
+fn small_simulate(id: u64, seed: u64, chaos: Option<&'static str>) -> Request {
+    let mut params = vec![
+        ("keys", Json::Uint(256)),
+        ("searches", Json::Uint(64)),
+        ("seed", Json::Uint(seed)),
+        ("shards", Json::Uint(1)),
+    ];
+    if let Some(flag) = chaos {
+        params.push((flag, Json::Bool(true)));
+    }
+    Request {
+        id,
+        op: Op::Simulate,
+        deadline_ms: Some(5_000),
+        params: Json::obj(params),
+    }
+}
+
+fn health(id: u64) -> Request {
+    Request {
+        id,
+        op: Op::Health,
+        deadline_ms: None,
+        params: Json::obj([]),
+    }
+}
+
+/// Pulls a `serve.*` counter out of a health reply's metrics snapshot.
+fn counter(reply: &Reply, key: &str) -> u64 {
+    let Ok((_, result)) = &reply.body else {
+        return 0;
+    };
+    let Some(metrics_json) = result.get("metrics").and_then(Json::as_str) else {
+        return 0;
+    };
+    let Ok(metrics) = Json::parse(metrics_json) else {
+        return 0;
+    };
+    metrics.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// The per-fault contract check: what the reply must look like and which
+/// counter must move.
+struct Check {
+    fault: ServerFault,
+    failures: Vec<String>,
+}
+
+impl Check {
+    fn fail(&mut self, msg: impl Into<String>) {
+        self.failures
+            .push(format!("{:?}: {}", self.fault, msg.into()));
+    }
+}
+
+fn counter_of(client: &mut Client, key: &str) -> u64 {
+    let id = client.next_id();
+    match client.request(&health(id)) {
+        Ok(reply) => counter(&reply, key),
+        Err(_) => 0,
+    }
+}
+
+/// Polls `key` on a fresh health until it reaches `want` (sessions close
+/// asynchronously after a drop/stall).
+fn wait_counter_at_least(client: &mut Client, key: &str, want: u64, check: &mut Check) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let have = counter_of(client, key);
+        if have >= want {
+            return;
+        }
+        if Instant::now() >= deadline {
+            check.fail(format!("counter {key} stuck at {have}, wanted >= {want}"));
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn run_fault(
+    addr: &str,
+    seed: u64,
+    ordinal: u64,
+    fault: ServerFault,
+    probe: &mut Client,
+) -> Vec<String> {
+    let mut check = Check {
+        fault,
+        failures: Vec::new(),
+    };
+    match fault {
+        ServerFault::WorkerPanicStart | ServerFault::WorkerPanicMid => {
+            let flag = if fault == ServerFault::WorkerPanicStart {
+                "chaos_panic"
+            } else {
+                "chaos_panic_mid"
+            };
+            let degraded_before = counter_of(probe, "serve.sessions.degraded");
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    check.fail(format!("connect: {e}"));
+                    return check.failures;
+                }
+            };
+            let req = small_simulate(1, seed ^ ordinal, Some(flag));
+            match client.request(&req) {
+                Ok(reply) => match reply.error_kind() {
+                    Some(ErrorKind::Degraded) | Some(ErrorKind::BreakerOpen) => {}
+                    other => check.fail(format!(
+                        "wanted typed degraded/breaker_open reply, got {other:?}"
+                    )),
+                },
+                Err(e) => check.fail(format!("no reply to panic request: {e}")),
+            }
+            // The same session must still be serviceable (isolation).
+            match client.request(&small_simulate(2, seed ^ ordinal ^ 1, None)) {
+                Ok(reply) => {
+                    if reply.body.is_err() && reply.error_kind() != Some(ErrorKind::BreakerOpen) {
+                        check.fail(format!("session degraded past the one request: {reply:?}"));
+                    }
+                }
+                Err(e) => check.fail(format!("session died after contained panic: {e}")),
+            }
+            if counter_of(probe, "serve.sessions.degraded") <= degraded_before
+                && counter_of(probe, "serve.breaker.rejected") == 0
+            {
+                check.fail("no degradation counter moved".to_string());
+            }
+        }
+        ServerFault::ConnectionDrop { after_frames } => {
+            let closed_before = counter_of(probe, "serve.sessions.closed");
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    for i in 0..after_frames {
+                        let req =
+                            small_simulate(u64::from(i) + 1, seed ^ ordinal ^ u64::from(i), None);
+                        if writeln!(stream, "{}", req.encode()).is_err() {
+                            break;
+                        }
+                    }
+                    drop(stream); // vanish without reading any reply
+                }
+                Err(e) => check.fail(format!("connect: {e}")),
+            }
+            // The abandoned session must wind down, not wedge a thread.
+            wait_counter_at_least(
+                probe,
+                "serve.sessions.closed",
+                closed_before + 1,
+                &mut check,
+            );
+        }
+        ServerFault::SlowLoris => {
+            let stalls_before = counter_of(probe, "serve.sessions.slow_loris");
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    // A frame prefix, then silence.
+                    let _ = stream.write_all(b"{\"v\":1,\"id\":9,\"op\":\"hea");
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut buf = Vec::new();
+                    let _ = stream.read_to_end(&mut buf); // server replies + closes
+                    let text = String::from_utf8_lossy(&buf);
+                    if !text.contains("bad_frame") {
+                        check.fail(format!("wanted a typed bad_frame close, got {text:?}"));
+                    }
+                }
+                Err(e) => check.fail(format!("connect: {e}")),
+            }
+            wait_counter_at_least(
+                probe,
+                "serve.sessions.slow_loris",
+                stalls_before + 1,
+                &mut check,
+            );
+        }
+        ServerFault::GarbageFrame { len } => {
+            let bad_before = counter_of(probe, "serve.errors.bad_frame")
+                + counter_of(probe, "serve.errors.bad_request");
+            match Client::connect(addr) {
+                Ok(mut client) => {
+                    // Seed-derived garbage, newline-free so it is one frame.
+                    let mut state = seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let garbage: Vec<u8> = (0..len)
+                        .map(|_| {
+                            state ^= state << 13;
+                            state ^= state >> 7;
+                            state ^= state << 17;
+                            let b = (state >> 32) as u8;
+                            if b == b'\n' || b == b'\r' {
+                                b'#'
+                            } else {
+                                b
+                            }
+                        })
+                        .collect();
+                    // Reach under the client: raw bytes, then a real request.
+                    let reply = raw_frame_roundtrip(addr, &garbage);
+                    match reply {
+                        Some(r) => match r.error_kind() {
+                            Some(ErrorKind::BadFrame) | Some(ErrorKind::BadRequest) => {}
+                            other => check
+                                .fail(format!("wanted typed bad_frame/bad_request, got {other:?}")),
+                        },
+                        None => check.fail("no reply to garbage frame".to_string()),
+                    }
+                    // Probe the server's pulse on an ordinary connection.
+                    let id = client.next_id();
+                    if client.request(&health(id)).is_err() {
+                        check.fail("server unserviceable after garbage frame".to_string());
+                    }
+                    if counter_of(probe, "serve.errors.bad_frame")
+                        + counter_of(probe, "serve.errors.bad_request")
+                        <= bad_before
+                    {
+                        check.fail("bad-frame counter did not move".to_string());
+                    }
+                }
+                Err(e) => check.fail(format!("connect: {e}")),
+            }
+        }
+        ServerFault::OversizedFrame => {
+            let over_before = counter_of(probe, "serve.errors.oversized_frame");
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    let chunk = vec![b'a'; 64 * 1024];
+                    let mut sent = 0usize;
+                    while sent <= MAX_FRAME_BYTES + chunk.len() {
+                        if stream.write_all(&chunk).is_err() {
+                            break;
+                        }
+                        sent += chunk.len();
+                    }
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut line = Vec::new();
+                    let mut byte = [0u8; 1];
+                    while let Ok(1) = stream.read(&mut byte) {
+                        if byte[0] == b'\n' {
+                            break;
+                        }
+                        line.push(byte[0]);
+                    }
+                    match Reply::decode(&String::from_utf8_lossy(&line)) {
+                        Some(r) if r.error_kind() == Some(ErrorKind::OversizedFrame) => {
+                            // The session must survive in discard mode: finish
+                            // the runaway line, then speak normally.
+                            let _ = stream.write_all(b"\n");
+                            let _ = writeln!(stream, "{}", health(5).encode());
+                            let mut rest = Vec::new();
+                            while let Ok(1) = stream.read(&mut byte) {
+                                if byte[0] == b'\n' {
+                                    break;
+                                }
+                                rest.push(byte[0]);
+                            }
+                            match Reply::decode(&String::from_utf8_lossy(&rest)) {
+                                Some(r2) if r2.body.is_ok() => {}
+                                other => check.fail(format!(
+                                    "session unusable after oversized frame: {other:?}"
+                                )),
+                            }
+                        }
+                        other => check.fail(format!("wanted typed oversized_frame, got {other:?}")),
+                    }
+                }
+                Err(e) => check.fail(format!("connect: {e}")),
+            }
+            wait_counter_at_least(
+                probe,
+                "serve.errors.oversized_frame",
+                over_before + 1,
+                &mut check,
+            );
+        }
+    }
+    check.failures
+}
+
+/// Writes raw bytes + newline on a fresh connection and decodes the
+/// one-line reply.
+fn raw_frame_roundtrip(addr: &str, bytes: &[u8]) -> Option<Reply> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.write_all(bytes).ok()?;
+    stream.write_all(b"\n").ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while let Ok(1) = stream.read(&mut byte) {
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+    }
+    Reply::decode(&String::from_utf8_lossy(&line))
+}
+
+fn chaos_config(metrics_out: Option<std::path::PathBuf>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        max_sessions: 32,
+        default_deadline_ms: 5_000,
+        max_deadline_ms: 10_000,
+        read_stall_ms: 250,
+        drain_deadline_ms: 3_000,
+        retry_after_ms: 10,
+        // High threshold: the matrix wants to see `degraded` replies, not
+        // a quarantine; the breaker's own paths are covered by crate tests.
+        breaker: BreakerConfig {
+            threshold: 64,
+            cooldown_ms: 200,
+        },
+        allow_chaos: true,
+        metrics_out,
+        ..ServeConfig::default()
+    }
+}
+
+/// One seed of the fault matrix: fresh server, scheduled faults, drain.
+fn run_seed(seed: u64, faults: u32, metrics_out: Option<std::path::PathBuf>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let plan = FaultPlan::new(seed).server_faults(faults);
+    let schedule = plan.server_schedule();
+    let server = match Server::spawn(chaos_config(metrics_out)) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("seed {seed}: server spawn failed: {e}")],
+    };
+    let addr = server.addr().to_string();
+    let mut probe = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return vec![format!("seed {seed}: probe connect failed: {e}")],
+    };
+
+    for (ordinal, fault) in schedule.iter().enumerate() {
+        for f in run_fault(&addr, seed, ordinal as u64, *fault, &mut probe) {
+            failures.push(format!("seed {seed}, fault {ordinal}: {f}"));
+        }
+    }
+
+    // After the whole schedule the server must still do real work.
+    let id = probe.next_id();
+    match probe.request(&small_simulate(id, seed, None)) {
+        Ok(reply) if reply.body.is_ok() => {}
+        other => failures.push(format!(
+            "seed {seed}: post-matrix simulate failed: {other:?}"
+        )),
+    }
+
+    drop(probe);
+    let outcome = server.drain();
+    if !outcome.clean {
+        failures.push(format!(
+            "seed {seed}: drain not clean: {outcome:?} (hung drain is a contract violation)"
+        ));
+    }
+    failures
+}
+
+/// The soak stage: concurrent retrying clients, one injected poison, and
+/// a clean drain under load.
+fn run_soak(metrics_out: Option<std::path::PathBuf>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 4, // small: force real shed/retry traffic
+        ..chaos_config(metrics_out)
+    };
+    let server = match Server::spawn(cfg) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("soak: server spawn failed: {e}")],
+    };
+    let addr = server.addr().to_string();
+
+    const CLIENTS: u64 = 4;
+    const REQUESTS: u64 = 12;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Vec<String> {
+                let mut failures = Vec::new();
+                let mut client = match Client::connect(&addr) {
+                    Ok(cl) => cl,
+                    Err(e) => return vec![format!("soak client {c}: connect: {e}")],
+                };
+                let mut backoff = Backoff::new(0x50AC ^ c);
+                for r in 0..REQUESTS {
+                    // Client 0's sixth request is the poison pill.
+                    let chaos = (c == 0 && r == 5).then_some("chaos_panic");
+                    let req = small_simulate(r + 1, c * 1000 + r, chaos);
+                    match client.request_with_retry(&req, &mut backoff, 6) {
+                        Ok(reply) => match (&reply.body, chaos) {
+                            (Ok(_), None) => {}
+                            (Err(e), Some(_)) if e.kind == ErrorKind::Degraded => {}
+                            (body, _) => failures.push(format!(
+                                "soak client {c} req {r}: unexpected reply {body:?}"
+                            )),
+                        },
+                        Err(e) => failures.push(format!("soak client {c} req {r}: {e}")),
+                    }
+                }
+                failures
+            })
+        })
+        .collect();
+    for h in handles {
+        match h.join() {
+            Ok(f) => failures.extend(f),
+            Err(_) => failures.push("soak: client thread panicked".to_string()),
+        }
+    }
+
+    let degraded = server.metrics().get("serve.sessions.degraded");
+    if degraded != 1 {
+        failures.push(format!(
+            "soak: wanted exactly 1 degraded request, counted {degraded}"
+        ));
+    }
+    let outcome = server.drain();
+    if !outcome.clean {
+        failures.push(format!("soak: drain not clean under load: {outcome:?}"));
+    }
+    failures
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("cc-serve-chaos: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = Vec::new();
+    for i in 0..args.seeds {
+        let seed = args.base_seed.wrapping_add(i);
+        // Only the final server writes the artifact (last writer wins
+        // anyway; this keeps intermediate snapshots from racing).
+        let out = (!args.soak && i + 1 == args.seeds)
+            .then(|| args.metrics_out.clone())
+            .flatten();
+        let fs = run_seed(seed, args.faults, out);
+        println!(
+            "seed {seed}: {} faults, {} violation(s)",
+            args.faults,
+            fs.len()
+        );
+        failures.extend(fs);
+    }
+    if args.soak {
+        let fs = run_soak(args.metrics_out.clone());
+        println!("soak: {} violation(s)", fs.len());
+        failures.extend(fs);
+    }
+
+    if failures.is_empty() {
+        println!("cc-serve-chaos: all contracts held");
+        std::process::exit(0);
+    }
+    eprintln!("cc-serve-chaos: {} contract violation(s):", failures.len());
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    std::process::exit(1);
+}

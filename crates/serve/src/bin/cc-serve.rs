@@ -1,0 +1,128 @@
+//! The cc-serve binary: bind, serve, drain on `shutdown` or SIGTERM-less
+//! environments via the wire `shutdown` request.
+//!
+//! Exit codes follow the workspace convention:
+//! * `0` — served and drained cleanly.
+//! * `1` — drain was not clean (hung workers/sessions) or runtime failure.
+//! * `2` — bad invocation (unparseable flags, bind failure).
+
+use cc_serve::breaker::BreakerConfig;
+use cc_serve::server::{ServeConfig, Server};
+
+const USAGE: &str = "\
+cc-serve: fault-tolerant layout-advisory server
+
+USAGE:
+  cc-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+           [--max-sessions N] [--deadline-ms MS] [--max-deadline-ms MS]
+           [--read-stall-ms MS] [--drain-ms MS] [--retry-after-ms MS]
+           [--breaker-threshold N] [--breaker-cooldown-ms MS]
+           [--metrics-out PATH] [--allow-chaos]
+
+  --addr HOST:PORT          bind address (default 127.0.0.1:7070; port 0 picks)
+  --workers N               worker pool size (default 2)
+  --queue-cap N             admission queue capacity (default 16)
+  --max-sessions N          concurrent session cap (default 64)
+  --deadline-ms MS          default per-request deadline (default 10000)
+  --max-deadline-ms MS      cap on client-requested deadlines (default 60000)
+  --read-stall-ms MS        slow-loris mid-frame stall limit (default 2000)
+  --drain-ms MS             drain deadline before cooperative cancel (default 5000)
+  --retry-after-ms MS       base overload retry hint (default 25)
+  --breaker-threshold N     consecutive panics tripping a class (default 3)
+  --breaker-cooldown-ms MS  breaker quarantine length (default 1000)
+  --metrics-out PATH        write the final metrics snapshot here on drain
+  --allow-chaos             honor chaos_* request params (testing only)
+
+The server speaks line-delimited JSON (protocol v1); send
+  {\"v\":1,\"id\":1,\"op\":\"shutdown\"}
+to begin a graceful drain.
+";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7070".into(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?.clone(),
+            "--workers" => cfg.workers = parse_num(value("--workers")?, "--workers")?,
+            "--queue-cap" => cfg.queue_cap = parse_num(value("--queue-cap")?, "--queue-cap")?,
+            "--max-sessions" => {
+                cfg.max_sessions = parse_num(value("--max-sessions")?, "--max-sessions")?
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = parse_num(value("--deadline-ms")?, "--deadline-ms")?
+            }
+            "--max-deadline-ms" => {
+                cfg.max_deadline_ms = parse_num(value("--max-deadline-ms")?, "--max-deadline-ms")?
+            }
+            "--read-stall-ms" => {
+                cfg.read_stall_ms = parse_num(value("--read-stall-ms")?, "--read-stall-ms")?
+            }
+            "--drain-ms" => cfg.drain_deadline_ms = parse_num(value("--drain-ms")?, "--drain-ms")?,
+            "--retry-after-ms" => {
+                cfg.retry_after_ms = parse_num(value("--retry-after-ms")?, "--retry-after-ms")?
+            }
+            "--breaker-threshold" => {
+                cfg.breaker = BreakerConfig {
+                    threshold: parse_num(value("--breaker-threshold")?, "--breaker-threshold")?,
+                    ..cfg.breaker
+                }
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.breaker = BreakerConfig {
+                    cooldown_ms: parse_num(
+                        value("--breaker-cooldown-ms")?,
+                        "--breaker-cooldown-ms",
+                    )?,
+                    ..cfg.breaker
+                }
+            }
+            "--metrics-out" => {
+                cfg.metrics_out = Some(std::path::PathBuf::from(value("--metrics-out")?))
+            }
+            "--allow-chaos" => cfg.allow_chaos = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("cc-serve: {msg}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = match Server::spawn(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cc-serve: bind failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("listening {}", server.addr());
+    server.wait_for_shutdown();
+    let outcome = server.drain();
+    std::process::exit(if outcome.clean { 0 } else { 1 });
+}

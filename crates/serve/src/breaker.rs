@@ -1,0 +1,211 @@
+//! Per-request-class circuit breaker.
+//!
+//! A worker panic is absorbed by `catch_unwind` and degrades one session
+//! — but a request class that panics *repeatedly* (a poisoned code path,
+//! not a poisoned request) would burn a worker slot per attempt and
+//! degrade every session that touches it. The breaker quarantines the
+//! class after `threshold` consecutive panics: requests are refused with
+//! a typed `breaker_open` reply (plus retry-after) without ever reaching
+//! a worker, and after `cooldown` one probe request is let through —
+//! success closes the breaker, another panic re-opens it.
+//!
+//! Time is injected as plain milliseconds so tests and the chaos harness
+//! can drive the state machine deterministically.
+
+use crate::proto::Op;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive worker panics that trip the class.
+    pub threshold: u32,
+    /// Quarantine length in milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown_ms: 1_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    /// Healthy; counts consecutive failures.
+    Closed { fails: u32 },
+    /// Quarantined until the given time.
+    Open { until_ms: u64 },
+    /// One probe in flight; further requests are refused until it
+    /// reports.
+    Probing,
+}
+
+/// The admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Run it.
+    Yes,
+    /// Class quarantined; retry after the given hint.
+    Quarantined {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// The breaker: one state machine per worker-served [`Op`].
+pub struct Breaker {
+    cfg: BreakerConfig,
+    classes: Mutex<HashMap<Op, State>>,
+    trips: Mutex<u64>,
+}
+
+impl Breaker {
+    /// A breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            classes: Mutex::new(HashMap::new()),
+            trips: Mutex::new(0),
+        }
+    }
+
+    /// Decides whether a request of class `op` may run at `now_ms`.
+    /// A `Yes` from an open-but-cooled class claims the probe slot; the
+    /// caller must follow up with [`Breaker::record`].
+    pub fn admit(&self, op: Op, now_ms: u64) -> Admit {
+        let mut classes = self.classes.lock().unwrap_or_else(|p| p.into_inner());
+        let state = classes.entry(op).or_insert(State::Closed { fails: 0 });
+        match *state {
+            State::Closed { .. } => Admit::Yes,
+            State::Open { until_ms } if now_ms >= until_ms => {
+                *state = State::Probing;
+                Admit::Yes
+            }
+            State::Open { until_ms } => Admit::Quarantined {
+                retry_after_ms: (until_ms - now_ms).max(1),
+            },
+            State::Probing => Admit::Quarantined {
+                retry_after_ms: self.cfg.cooldown_ms.max(1),
+            },
+        }
+    }
+
+    /// Reports the outcome of an admitted request at `now_ms`.
+    pub fn record(&self, op: Op, ok: bool, now_ms: u64) {
+        let mut classes = self.classes.lock().unwrap_or_else(|p| p.into_inner());
+        let state = classes.entry(op).or_insert(State::Closed { fails: 0 });
+        *state = match (*state, ok) {
+            (State::Closed { .. }, true) => State::Closed { fails: 0 },
+            (State::Closed { fails }, false) => {
+                if fails + 1 >= self.cfg.threshold {
+                    *self.trips.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+                    State::Open {
+                        until_ms: now_ms + self.cfg.cooldown_ms,
+                    }
+                } else {
+                    State::Closed { fails: fails + 1 }
+                }
+            }
+            (State::Probing, true) => State::Closed { fails: 0 },
+            (State::Probing, false) => {
+                *self.trips.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+                State::Open {
+                    until_ms: now_ms + self.cfg.cooldown_ms,
+                }
+            }
+            // A stale report against an Open class (e.g. a long request
+            // admitted before the trip): keep the quarantine.
+            (open @ State::Open { .. }, _) => open,
+        };
+    }
+
+    /// Total trips (closed/probing → open transitions) so far.
+    pub fn trips(&self) -> u64 {
+        *self.trips.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether `op` is currently quarantined at `now_ms` (no probe-slot
+    /// side effect; for health reporting).
+    pub fn is_open(&self, op: Op, now_ms: u64) -> bool {
+        let classes = self.classes.lock().unwrap_or_else(|p| p.into_inner());
+        match classes.get(&op) {
+            Some(State::Open { until_ms }) => now_ms < *until_ms,
+            Some(State::Probing) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown_ms: 100,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = breaker();
+        b.record(Op::Simulate, false, 0);
+        b.record(Op::Simulate, false, 1);
+        assert_eq!(b.admit(Op::Simulate, 2), Admit::Yes);
+        b.record(Op::Simulate, false, 2);
+        assert_eq!(
+            b.admit(Op::Simulate, 3),
+            Admit::Quarantined { retry_after_ms: 99 }
+        );
+        assert_eq!(b.trips(), 1);
+        // Other classes are unaffected.
+        assert_eq!(b.admit(Op::Lint, 3), Admit::Yes);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = breaker();
+        b.record(Op::Morph, false, 0);
+        b.record(Op::Morph, false, 0);
+        b.record(Op::Morph, true, 0);
+        b.record(Op::Morph, false, 0);
+        b.record(Op::Morph, false, 0);
+        assert_eq!(b.admit(Op::Morph, 0), Admit::Yes);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe_then_closes_on_success() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record(Op::Audit, false, 0);
+        }
+        assert!(matches!(b.admit(Op::Audit, 50), Admit::Quarantined { .. }));
+        // Cooled: exactly one probe gets through.
+        assert_eq!(b.admit(Op::Audit, 100), Admit::Yes);
+        assert!(matches!(b.admit(Op::Audit, 100), Admit::Quarantined { .. }));
+        b.record(Op::Audit, true, 101);
+        assert_eq!(b.admit(Op::Audit, 101), Admit::Yes);
+        assert!(!b.is_open(Op::Audit, 101));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker();
+        for _ in 0..3 {
+            b.record(Op::Audit, false, 0);
+        }
+        assert_eq!(b.admit(Op::Audit, 100), Admit::Yes);
+        b.record(Op::Audit, false, 100);
+        assert!(b.is_open(Op::Audit, 150));
+        assert_eq!(b.trips(), 2);
+        // And cools down again.
+        assert_eq!(b.admit(Op::Audit, 200), Admit::Yes);
+    }
+}

@@ -1,0 +1,199 @@
+//! A minimal blocking client for cc-serve, plus the jittered-backoff
+//! retry helper the protocol's `overloaded` replies are designed for.
+//!
+//! The client is deliberately dumb: one TCP connection, line-delimited
+//! frames, blocking reads. The interesting part is
+//! [`Client::request_with_retry`]: it honors the server's
+//! `retry_after_ms` hint, adds deterministic (seeded) jitter so a herd
+//! of shed clients doesn't re-stampede in lockstep, and gives up after a
+//! bounded number of attempts. The chaos harness uses exactly this path,
+//! which keeps the retry logic itself under test.
+
+use crate::proto::{ErrorKind, Reply, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Deterministic decorrelated jitter (SplitMix64-stepped), in the same
+/// spirit as cc-fault's seed derivation: same seed → same backoff
+/// schedule, so chaos runs are reproducible.
+pub struct Backoff {
+    state: u64,
+    /// Base delay when the server gives no hint.
+    pub base_ms: u64,
+    /// Ceiling on any single sleep.
+    pub cap_ms: u64,
+}
+
+impl Backoff {
+    /// A backoff schedule seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Backoff {
+            state: seed,
+            base_ms: 10,
+            cap_ms: 2_000,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 — the workspace's standard small PRNG.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The sleep for retry number `attempt` (0-based) given the
+    /// server's optional hint: `hint + uniform[0, hint)` jitter, capped.
+    pub fn delay_ms(&mut self, attempt: u32, hint_ms: Option<u64>) -> u64 {
+        let base = match hint_ms {
+            Some(h) => h.max(1),
+            None => self.base_ms.saturating_mul(1 << attempt.min(8)),
+        };
+        let jitter = self.next_u64() % base.max(1);
+        (base + jitter).min(self.cap_ms)
+    }
+}
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply didn't parse (protocol bug or wrong peer).
+    BadReply(String),
+    /// Retries exhausted; the last typed error is enclosed.
+    RetriesExhausted {
+        /// Error kind of the final refusal.
+        kind: ErrorKind,
+        /// Server's message on the final refusal.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::BadReply(m) => write!(f, "bad reply: {m}"),
+            ClientError::RetriesExhausted { kind, message } => {
+                write!(f, "retries exhausted on `{}`: {message}", kind.wire())
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a cc-serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7070`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            next_id: 0,
+        })
+    }
+
+    /// Allocates the next request id on this connection.
+    pub fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        writeln!(self.writer, "{}", req.encode())?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Reply::decode(line.trim_end())
+            .ok_or_else(|| ClientError::BadReply(line.trim_end().to_string()))
+    }
+
+    /// Sends `req`, retrying typed-retryable refusals (`overloaded`,
+    /// `breaker_open`) up to `max_retries` times with jittered backoff.
+    /// Non-retryable errors and successes return immediately.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        backoff: &mut Backoff,
+        max_retries: u32,
+    ) -> Result<Reply, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let reply = self.request(req)?;
+            match &reply.body {
+                Err(e) if e.kind.retryable() && attempt < max_retries => {
+                    let delay = backoff.delay_ms(attempt, e.retry_after_ms);
+                    std::thread::sleep(Duration::from_millis(delay));
+                    attempt += 1;
+                }
+                Err(e) if e.kind.retryable() => {
+                    return Err(ClientError::RetriesExhausted {
+                        kind: e.kind,
+                        message: e.message.clone(),
+                    });
+                }
+                _ => return Ok(reply),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mut a = Backoff::new(42);
+        let mut b = Backoff::new(42);
+        let mut c = Backoff::new(43);
+        let sa: Vec<u64> = (0..5).map(|i| a.delay_ms(i, None)).collect();
+        let sb: Vec<u64> = (0..5).map(|i| b.delay_ms(i, None)).collect();
+        let sc: Vec<u64> = (0..5).map(|i| c.delay_ms(i, None)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn backoff_honors_server_hint_and_cap() {
+        let mut b = Backoff::new(1);
+        for attempt in 0..4 {
+            let d = b.delay_ms(attempt, Some(40));
+            assert!((40..80).contains(&d), "hinted delay {d} out of [40,80)");
+        }
+        let d = b.delay_ms(0, Some(10_000));
+        assert_eq!(d, b.cap_ms, "hint beyond cap is clamped");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_without_hint() {
+        let mut b = Backoff::new(7);
+        let d0 = b.delay_ms(0, None);
+        let d4 = b.delay_ms(4, None);
+        assert!(d0 < 20 * 2, "attempt 0 near base: {d0}");
+        assert!(d4 >= 160, "attempt 4 at least 16x base: {d4}");
+    }
+}

@@ -1,0 +1,526 @@
+//! A total, dependency-free JSON codec for the wire protocol.
+//!
+//! The workspace has no serde; `cc-lint` already carries a JSON-subset
+//! reader for flat weight maps, but the serve protocol needs full values
+//! (nested objects for error payloads, arrays for batch parameters), so
+//! this module is a small general-purpose tree codec with the same
+//! contract as the lint parser: **total** — no input, valid or garbage,
+//! may panic it. Errors carry a byte position so `bad_frame` replies can
+//! point at the offending byte.
+//!
+//! Serialization is byte-stable: object keys are kept in a [`BTreeMap`],
+//! so two structurally equal values always encode to the same bytes —
+//! the property every report format in this workspace (cc-audit,
+//! cc-lint, cc-obs) already guarantees, extended to the wire.
+//!
+//! Numbers preserve integer exactness: `u64` and negative `i64` values
+//! round-trip bit-exactly (seeds and trace keys are full 64-bit), and
+//! only genuinely fractional numbers fall back to `f64`.
+
+use std::collections::BTreeMap;
+
+/// Nesting depth cap: a frame deeper than this is rejected rather than
+/// recursed into (the framer already caps byte length; this caps stack).
+const MAX_DEPTH: usize = 32;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the common protocol case: ids, sizes,
+    /// seeds). Preserved exactly up to `u64::MAX`.
+    Uint(u64),
+    /// A negative integer, preserved exactly down to `i64::MIN`.
+    Int(i64),
+    /// Any other number (fractional or exponent form).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps encoding byte-stable.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+
+    /// Byte-stable encoding: keys sorted (by the map), no whitespace,
+    /// integers exact, floats in Rust's shortest round-trip form.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Uint(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let s = v.to_string();
+                    out.push_str(&s);
+                    // `5f64.to_string()` is "5": keep a float marker so
+                    // the value re-parses as the same variant.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; degrade to null, never panic.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error. Total: never panics, whatever the bytes.
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value(0)?;
+        p.ws();
+        if p.i != p.bytes.len() {
+            return Err(p.err("trailing data"));
+        }
+        Ok(v)
+    }
+}
+
+/// A parse failure: message plus byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input where it went wrong.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.i) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect_word("null").map(|_| Json::Null),
+            Some(b't') => self.expect_word("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.expect_word("false").map(|_| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.i += 1; // [
+        let mut items = Vec::new();
+        self.ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value(depth + 1)?);
+            self.ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `]`"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.i += 1; // {
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.ws();
+            let val = self.value(depth + 1)?;
+            // Duplicate keys: last wins, like every lenient reader; the
+            // encoder can never produce them.
+            map.insert(key, val);
+            self.ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(map));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `}`"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.i += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\u`-escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid code point")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar, not one byte: the input
+                    // is a &str, so char boundaries are trustworthy.
+                    let rest = &self.bytes[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("bad hex digit")),
+            };
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.i;
+        let neg = self.eat(b'-');
+        let mut saw_digit = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            saw_digit = true;
+            self.i += 1;
+        }
+        if !saw_digit {
+            return Err(self.err("expected digits"));
+        }
+        let mut integral = true;
+        if self.eat(b'.') {
+            integral = false;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected fraction digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected exponent digits"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+        }
+        // The slice is ASCII digits/signs by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if neg {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(if v == 0 { Json::Uint(0) } else { Json::Int(v) });
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Uint(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Float(v)),
+            _ => Err(self.err("number out of range")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(src: &str) -> Json {
+        Json::parse(src).expect(src)
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(rt("null"), Json::Null);
+        assert_eq!(rt("true"), Json::Bool(true));
+        assert_eq!(rt("0"), Json::Uint(0));
+        assert_eq!(rt("-0"), Json::Uint(0));
+        assert_eq!(rt("18446744073709551615"), Json::Uint(u64::MAX));
+        assert_eq!(rt("-42"), Json::Int(-42));
+        assert_eq!(rt("1.5"), Json::Float(1.5));
+        assert_eq!(rt("1e3"), Json::Float(1000.0));
+        assert_eq!(rt("\"a\\nb\\u00e9\""), Json::Str("a\nbé".into()));
+    }
+
+    #[test]
+    fn u64_exactness_survives_encode_parse() {
+        for v in [0, 1, u64::MAX, 0xCC15_FA00, (1 << 53) + 1] {
+            let enc = Json::Uint(v).encode();
+            assert_eq!(rt(&enc), Json::Uint(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_sorted_and_stable() {
+        let a = rt("{\"z\":1,\"a\":{\"y\":[1,2],\"b\":null}}");
+        assert_eq!(a.encode(), "{\"a\":{\"b\":null,\"y\":[1,2]},\"z\":1}");
+        assert_eq!(rt(&a.encode()), a);
+    }
+
+    #[test]
+    fn floats_keep_their_variant() {
+        let v = Json::Float(5.0);
+        assert_eq!(v.encode(), "5.0");
+        assert_eq!(rt("5.0"), v);
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for src in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\"}",
+            "\"",
+            "\\",
+            "01x",
+            "nul",
+            "+1",
+            "1.",
+            "1e",
+            "--2",
+            "{\"a\":}",
+            "[,]",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\u{7f}",
+        ] {
+            assert!(Json::parse(src).is_err(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(20) + &"]".repeat(20);
+        assert!(Json::parse(&ok).is_ok());
+    }
+}

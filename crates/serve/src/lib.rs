@@ -1,0 +1,43 @@
+//! cc-serve: a fault-tolerant, multi-tenant layout-advisory server.
+//!
+//! Wraps the workspace's analysis engines — cc-bench's [`SearchReplay`]
+//! simulator, cc-audit's scenario auditor, cc-lint's struct-layout
+//! analyzer — behind one versioned, line-delimited JSON protocol over
+//! plain TCP (`std::net`; no async runtime, no dependencies).
+//!
+//! The point of the crate is not the RPC plumbing but the robustness
+//! contract around it, exercised by the `cc-serve-chaos` harness:
+//!
+//! * **Deadlines** — every request carries (or inherits) a deadline;
+//!   replay loops observe it cooperatively between segments and give a
+//!   typed `deadline` error, never a hung connection.
+//! * **Backpressure** — admission is a bounded queue; when it is full
+//!   the server *sheds* with a typed `overloaded` reply carrying a
+//!   retry-after hint, which [`client::Backoff`] turns into jittered
+//!   client-side retries.
+//! * **Isolation** — op bodies run under `catch_unwind`; a panic
+//!   degrades one request into a typed `degraded` reply and the process
+//!   survives. Repeated panics trip a per-request-class circuit
+//!   [`breaker`], quarantining the class while everything else serves.
+//! * **Fairness** — a per-session quota keeps one tenant from evicting
+//!   the shared [`TraceStore`] tier out from under the others; over-quota
+//!   requests bypass the cache (bit-identical results, just slower).
+//! * **Bounded work** — workloads beyond the full-replay budget are
+//!   refused with a typed `over_budget` error pointing at the sampled-
+//!   simulation roadmap item instead of being ground through.
+//! * **Graceful drain** — shutdown stops accepting, lets in-flight work
+//!   finish or deadline out, cancels stragglers, and flushes every
+//!   counter through the cc-obs [`MetricsRegistry`].
+//!
+//! [`SearchReplay`]: cc_bench::replay::SearchReplay
+//! [`TraceStore`]: cc_sweep::TraceStore
+//! [`MetricsRegistry`]: cc_obs::MetricsRegistry
+
+pub mod breaker;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod ops;
+pub mod proto;
+pub mod queue;
+pub mod server;

@@ -1,0 +1,130 @@
+//! The server's shared metrics surface, flowing through the cc-obs
+//! [`MetricsRegistry`].
+//!
+//! Every robustness event — shed, timeout, breaker trip, degraded
+//! session, quota bypass — lands here under a `serve.*` key, and the
+//! `health` request (plus the drain-time flush) snapshots the registry
+//! as the same byte-stable JSON every other tool in the workspace emits.
+//! Counter keys for the whole degradation taxonomy are pre-registered at
+//! zero so snapshots diff cleanly: an absent counter is a bug, a zero
+//! counter is good news.
+
+use crate::proto::{ErrorKind, Op};
+use cc_obs::MetricsRegistry;
+use std::sync::Mutex;
+
+/// Shared, thread-safe wrapper over one [`MetricsRegistry`].
+pub struct ServeMetrics {
+    reg: Mutex<MetricsRegistry>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// A registry with every taxonomy counter pre-registered at zero.
+    pub fn new() -> Self {
+        let mut reg = MetricsRegistry::new();
+        for kind in ErrorKind::ALL {
+            reg.set(&format!("serve.errors.{}", kind.wire()), 0);
+        }
+        for op in Op::WORKER_CLASSES {
+            reg.set(&format!("serve.requests.{}", op.wire()), 0);
+        }
+        for key in [
+            "serve.requests.total",
+            "serve.replies.ok",
+            "serve.queue.sheds",
+            "serve.queue.peak",
+            "serve.deadline.timeouts",
+            "serve.breaker.trips",
+            "serve.breaker.rejected",
+            "serve.sessions.opened",
+            "serve.sessions.closed",
+            "serve.sessions.degraded",
+            "serve.sessions.dropped",
+            "serve.sessions.slow_loris",
+            "serve.store.quota_bypasses",
+            "serve.drain.cancelled",
+        ] {
+            reg.set(key, 0);
+        }
+        ServeMetrics {
+            reg: Mutex::new(reg),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        // Counters are plain integers: a panicked bumper leaves them
+        // consistent, so poisoning is ignorable (same contract as
+        // cc-bench's process-global registry).
+        self.reg.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Adds `delta` to `key`.
+    pub fn bump(&self, key: &str, delta: u64) {
+        self.lock().bump(key, delta);
+    }
+
+    /// Sets `key` to `value` (gauges).
+    pub fn set(&self, key: &str, value: u64) {
+        self.lock().set(key, value);
+    }
+
+    /// Current value of `key` (0 when unset).
+    pub fn get(&self, key: &str) -> u64 {
+        self.lock().get(key).unwrap_or(0)
+    }
+
+    /// Counts one error reply of `kind` under the taxonomy key.
+    pub fn count_error(&self, kind: ErrorKind) {
+        self.bump(&format!("serve.errors.{}", kind.wire()), 1);
+    }
+
+    /// A full copy of the registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.lock().clone()
+    }
+
+    /// Byte-stable JSON snapshot.
+    pub fn to_json(&self) -> String {
+        self.lock().to_json()
+    }
+
+    /// Folds an external registry (e.g. trace-store counters) in.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        self.lock().merge(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_keys_are_preregistered_at_zero() {
+        let m = ServeMetrics::new();
+        let json = m.to_json();
+        for kind in ErrorKind::ALL {
+            assert!(
+                json.contains(&format!("\"serve.errors.{}\":0", kind.wire())),
+                "{json}"
+            );
+        }
+        assert!(json.contains("\"serve.queue.sheds\":0"));
+        assert!(json.contains("\"serve.sessions.degraded\":0"));
+    }
+
+    #[test]
+    fn bump_and_count_error() {
+        let m = ServeMetrics::new();
+        m.count_error(ErrorKind::Overloaded);
+        m.bump("serve.queue.sheds", 1);
+        assert_eq!(m.get("serve.errors.overloaded"), 1);
+        assert_eq!(m.get("serve.queue.sheds"), 1);
+        assert_eq!(m.get("serve.errors.degraded"), 0);
+    }
+}

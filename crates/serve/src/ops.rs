@@ -1,0 +1,723 @@
+//! Request execution: the four worker-served operations.
+//!
+//! Each op is a pure function of its parameters (plus the shared
+//! [`TraceStore`], which is proven not to change results), so success
+//! replies are deterministic and byte-stable — the property the chaos
+//! harness pins when it asserts a poisoned neighbour session cannot
+//! change a clean session's bytes.
+//!
+//! Robustness hooks threaded through every op:
+//!
+//! * **Deadlines** — [`Gate::check`] is called between replay segments
+//!   (cooperative cancellation; a segment is the unit of preemption).
+//! * **Budget admission** — a `simulate`/`morph` workload whose estimated
+//!   event count exceeds the full-replay budget is refused up front with
+//!   a typed `over_budget` error pointing at the sampled-simulation
+//!   roadmap item, instead of being allowed to starve other sessions.
+//! * **Store quota** — each session may charge at most
+//!   `store_quota_bytes` of generated trace into the shared cache tier;
+//!   past that its requests still run, but bypass the store
+//!   (`serve.store.quota_bypasses`), so one tenant cannot evict the
+//!   tier out from under the others.
+//! * **Chaos** — when (and only when) the server was started with
+//!   `allow_chaos`, a request may carry `chaos_panic` /
+//!   `chaos_panic_mid` to detonate the worker at a chosen point; the
+//!   harness uses this to prove panic isolation.
+
+use crate::json::Json;
+use crate::proto::ErrorKind;
+use cc_bench::replay::{build_bst, SearchReplay, TreeSpec, SEG_CAP};
+use cc_sim::MachineConfig;
+use cc_sweep::{TraceKey, TraceStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Admission limits for worker-served requests.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLimits {
+    /// Largest tree (`keys`) a request may build.
+    pub max_keys: u64,
+    /// Full-replay budget: the estimated event count above which a
+    /// request is refused with `over_budget`.
+    pub max_replay_events: u64,
+    /// Largest accepted `shards` parameter.
+    pub max_shards: u64,
+    /// Largest accepted `lint` source, in bytes.
+    pub max_lint_bytes: usize,
+    /// Largest accepted audit scenario size.
+    pub max_audit_n: u64,
+    /// Per-session byte quota on traces generated into the shared store.
+    pub store_quota_bytes: u64,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_keys: 1 << 20,
+            // The roadmap's "~2.4M events max" full-replay ceiling.
+            max_replay_events: 2_400_000,
+            max_shards: 8,
+            max_lint_bytes: 256 << 10,
+            max_audit_n: 1 << 16,
+            store_quota_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Per-session tenant state shared between the session thread and the
+/// workers serving its requests.
+#[derive(Debug, Default)]
+pub struct SessionCtx {
+    /// Bytes of generated trace charged against the store quota.
+    pub store_bytes: AtomicU64,
+    /// Requests from this session that ended in a worker panic.
+    pub degraded_requests: AtomicU64,
+}
+
+/// Cooperative cancellation: a deadline plus the server-wide drain flag,
+/// checked between replay segments.
+#[derive(Clone)]
+pub struct Gate {
+    /// When this request must be finished.
+    pub deadline: Instant,
+    /// Set when drain has given up on in-flight work.
+    pub cancel: Arc<AtomicBool>,
+}
+
+impl Gate {
+    /// A gate that can only expire by deadline.
+    pub fn with_deadline(deadline: Instant) -> Gate {
+        Gate {
+            deadline,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Errors with the typed kind when the request should stop now.
+    pub fn check(&self) -> Result<(), (ErrorKind, String)> {
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err((
+                ErrorKind::DeadlineExceeded,
+                "cancelled: server drain deadline passed with this request in flight".into(),
+            ));
+        }
+        if Instant::now() >= self.deadline {
+            return Err((
+                ErrorKind::DeadlineExceeded,
+                "deadline exceeded during replay (cooperative cancellation between segments)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand for op outcomes.
+pub type OpResult = Result<Json, (ErrorKind, String)>;
+
+fn bad(msg: impl Into<String>) -> (ErrorKind, String) {
+    (ErrorKind::BadRequest, msg.into())
+}
+
+/// Reads an optional `u64` parameter with a default.
+fn param_u64(params: &Json, key: &str, default: u64) -> Result<u64, (ErrorKind, String)> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn param_str<'a>(params: &'a Json, key: &str) -> Result<Option<&'a str>, (ErrorKind, String)> {
+    match params.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| bad(format!("`{key}` must be a string"))),
+    }
+}
+
+fn param_flag(params: &Json, key: &str) -> bool {
+    params.get(key).and_then(Json::as_bool).unwrap_or(false)
+}
+
+/// Tree depth in levels: the per-search memory-reference estimate the
+/// budget admission uses.
+fn levels(keys: u64) -> u64 {
+    64 - keys.leading_zeros() as u64
+}
+
+/// Estimated replay events for a search workload — used for both the
+/// budget gate and the store-quota charge. Deliberately simple and
+/// documented rather than exact: one node visit per tree level plus
+/// instruction overhead per search.
+pub fn estimate_events(keys: u64, searches: u64) -> u64 {
+    searches.saturating_mul(levels(keys) + 2)
+}
+
+/// `TraceBuf` bytes per packed event (`approx_bytes` per entry: 8-byte
+/// address lane + two 4-byte lanes + 1 kind byte).
+const BYTES_PER_EVENT: u64 = 17;
+
+/// The parameters of one replay run, shared by `simulate` and `morph`.
+/// Field order is cc-lint's: the wide members lead so `tag` stays within
+/// one 64-byte line (SPAN-01).
+struct ReplaySpec {
+    spec: TreeSpec,
+    tag: &'static str,
+    keys: u64,
+    searches: u64,
+    seed: u64,
+    shards: u64,
+}
+
+/// Everything an op needs from the server.
+pub struct OpEnv<'a> {
+    /// The shared cache tier.
+    pub store: &'a TraceStore,
+    /// Admission limits.
+    pub limits: &'a ServeLimits,
+    /// The requesting session's tenant state.
+    pub session: &'a SessionCtx,
+    /// Deadline/drain gate.
+    pub gate: &'a Gate,
+    /// Whether chaos parameters are honored.
+    pub allow_chaos: bool,
+    /// Bumped when this request bypasses the store for quota.
+    pub quota_bypass: &'a dyn Fn(),
+}
+
+/// Maps a layout name to the fig5 recipe.
+fn layout_spec(name: &str, layout_seed: u64) -> Result<TreeSpec, (ErrorKind, String)> {
+    Ok(match name {
+        "allocation" => TreeSpec {
+            randomize: None,
+            depth_first: false,
+            morph: false,
+        },
+        "random" => TreeSpec {
+            randomize: Some(layout_seed),
+            depth_first: false,
+            morph: false,
+        },
+        "dfs" => TreeSpec {
+            randomize: Some(layout_seed),
+            depth_first: true,
+            morph: false,
+        },
+        "ctree" => TreeSpec {
+            randomize: Some(layout_seed),
+            depth_first: false,
+            morph: true,
+        },
+        other => {
+            return Err(bad(format!(
+                "unknown layout `{other}` (expected allocation|random|dfs|ctree)"
+            )))
+        }
+    })
+}
+
+/// Runs one replay under the gate, returning the stats object.
+fn run_replay(env: &OpEnv<'_>, r: &ReplaySpec, chaos_mid: bool) -> OpResult {
+    let machine = MachineConfig::ultrasparc_e5000();
+    let est_events = estimate_events(r.keys, r.searches);
+    if est_events > env.limits.max_replay_events {
+        return Err((
+            ErrorKind::OverBudget,
+            format!(
+                "estimated {est_events} replay events exceed the full-replay budget of {} — \
+                 this server replays every event exactly; for workloads this size see the \
+                 sampled-simulation roadmap item (\"Improving the Representativeness of \
+                 Simulation Intervals for the Cache Memory System\", PAPERS.md), which trades \
+                 bounded extrapolation error for 100x-1000x capacity",
+                env.limits.max_replay_events
+            ),
+        ));
+    }
+
+    // Store-quota admission: a tenant past its generated-bytes quota
+    // keeps full service, but stops charging the shared tier.
+    let est_bytes = est_events.saturating_mul(BYTES_PER_EVENT);
+    let prior = env
+        .session
+        .store_bytes
+        .fetch_add(est_bytes, Ordering::Relaxed);
+    let use_store = prior + est_bytes <= env.limits.store_quota_bytes;
+    if !use_store {
+        (env.quota_bypass)();
+    }
+    let store = use_store.then_some(env.store);
+
+    let tree = build_bst(&machine, r.keys, r.spec);
+    let key = r.spec.fold_key(TraceKey::new(r.tag));
+    let mut replay = SearchReplay::new(machine, r.keys, r.seed, r.shards as usize, store, key);
+    let mut done = 0u64;
+    while done < r.searches {
+        env.gate.check()?;
+        done = (done + SEG_CAP).min(r.searches);
+        replay.advance_to(done, |k, buf| {
+            tree.search(k, buf, false);
+        });
+        if chaos_mid {
+            // Mid-request: at least one segment's worth of replay state
+            // exists (and shared-store writes may already be issued)
+            // when the worker dies.
+            panic!("chaos: injected mid-request worker panic");
+        }
+    }
+    env.gate.check()?;
+
+    let deg = replay.degradation();
+    let rep = replay.replayer();
+    Ok(Json::obj([
+        ("searches", Json::Uint(r.searches)),
+        ("keys", Json::Uint(r.keys)),
+        ("shards", Json::Uint(rep.shards() as u64)),
+        ("events", Json::Uint(rep.events())),
+        ("insts", Json::Uint(rep.insts())),
+        ("memory_cycles", Json::Uint(rep.memory_cycles())),
+        ("avg_us_per_search", Json::Float(replay.avg_us_per_search())),
+        (
+            "l1",
+            Json::obj([
+                ("hits", Json::Uint(rep.l1_stats().hits())),
+                ("misses", Json::Uint(rep.l1_stats().misses())),
+            ]),
+        ),
+        (
+            "l2",
+            Json::obj([
+                ("hits", Json::Uint(rep.l2_stats().hits())),
+                ("misses", Json::Uint(rep.l2_stats().misses())),
+            ]),
+        ),
+        (
+            "tlb",
+            Json::obj([
+                ("accesses", Json::Uint(rep.tlb_stats().accesses())),
+                ("misses", Json::Uint(rep.tlb_stats().misses())),
+            ]),
+        ),
+        (
+            "degraded",
+            Json::obj([
+                ("worker_panics", Json::Uint(deg.worker_panics)),
+                ("fallback_lanes", Json::Uint(deg.fallback_lanes)),
+                ("lost_lanes", Json::Uint(deg.lost_lanes)),
+                ("repaired_bufs", Json::Uint(deg.repaired_bufs)),
+            ]),
+        ),
+        ("shared_store", Json::Bool(use_store)),
+    ]))
+}
+
+fn replay_params(
+    env: &OpEnv<'_>,
+    params: &Json,
+    tag: &'static str,
+) -> Result<ReplaySpec, (ErrorKind, String)> {
+    let keys = param_u64(params, "keys", 4095)?;
+    if keys == 0 || keys > env.limits.max_keys {
+        return Err(bad(format!(
+            "`keys` must be in 1..={}",
+            env.limits.max_keys
+        )));
+    }
+    let searches = param_u64(params, "searches", 20_000)?;
+    if searches == 0 {
+        return Err(bad("`searches` must be positive"));
+    }
+    let shards = param_u64(params, "shards", 1)?;
+    if shards == 0 || shards > env.limits.max_shards {
+        return Err(bad(format!(
+            "`shards` must be in 1..={}",
+            env.limits.max_shards
+        )));
+    }
+    let seed = param_u64(params, "seed", 0x51EE7)?;
+    let layout_seed = param_u64(params, "layout_seed", 0xA11)?;
+    let layout = param_str(params, "layout")?.unwrap_or("random");
+    Ok(ReplaySpec {
+        keys,
+        searches,
+        seed,
+        shards,
+        spec: layout_spec(layout, layout_seed)?,
+        tag,
+    })
+}
+
+/// Honors chaos parameters when allowed; refuses them otherwise so a
+/// production server cannot be detonated from the wire. Returns the
+/// `chaos_panic_mid` flag after applying `chaos_panic` (panic now) and
+/// `chaos_sleep_ms` (a gate-checked stall, used by tests to fill the
+/// admission queue and exercise deadlines deterministically).
+fn chaos_prelude(env: &OpEnv<'_>, params: &Json) -> Result<bool, (ErrorKind, String)> {
+    let now = param_flag(params, "chaos_panic");
+    let mid = param_flag(params, "chaos_panic_mid");
+    let sleep_ms = param_u64(params, "chaos_sleep_ms", 0)?;
+    if (now || mid || sleep_ms > 0) && !env.allow_chaos {
+        return Err(bad(
+            "chaos parameters are refused unless the server runs with --allow-chaos",
+        ));
+    }
+    if now {
+        panic!("chaos: injected worker panic at request start");
+    }
+    let until = Instant::now() + std::time::Duration::from_millis(sleep_ms);
+    while Instant::now() < until {
+        env.gate.check()?;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    Ok(mid)
+}
+
+/// `simulate`: one replay of a tree-search workload.
+pub fn simulate(env: &OpEnv<'_>, params: &Json) -> OpResult {
+    let chaos_mid = chaos_prelude(env, params)?;
+    let spec = replay_params(env, params, "serve-simulate")?;
+    run_replay(env, &spec, chaos_mid)
+}
+
+/// `morph`: replay the same workload on the unorganized layout and on
+/// the ccmorph C-tree, and report the predicted deltas.
+pub fn morph(env: &OpEnv<'_>, params: &Json) -> OpResult {
+    let chaos_mid = chaos_prelude(env, params)?;
+    let mut base = replay_params(env, params, "serve-morph")?;
+    base.spec.morph = false;
+    let mut morphed = replay_params(env, params, "serve-morph")?;
+    morphed.spec.morph = true;
+
+    // The budget covers both replays.
+    let est = estimate_events(base.keys, base.searches).saturating_mul(2);
+    if est > env.limits.max_replay_events {
+        return Err((
+            ErrorKind::OverBudget,
+            format!(
+                "morph replays the workload twice (~{est} events), over the {} budget — \
+                 see the sampled-simulation roadmap item (PAPERS.md, \"Improving the \
+                 Representativeness of Simulation Intervals\")",
+                env.limits.max_replay_events
+            ),
+        ));
+    }
+
+    let before = run_replay(env, &base, chaos_mid)?;
+    let after = run_replay(env, &morphed, false)?;
+    let miss = |r: &Json, lvl: &str| {
+        r.get(lvl)
+            .and_then(|l| l.get("misses"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let delta_pct = |b: u64, a: u64| {
+        if b == 0 {
+            0.0
+        } else {
+            (b as f64 - a as f64) / b as f64 * 100.0
+        }
+    };
+    let us = |r: &Json| match r.get("avg_us_per_search") {
+        Some(Json::Float(v)) => *v,
+        _ => 0.0,
+    };
+    let speedup = if us(&after) > 0.0 {
+        us(&before) / us(&after)
+    } else {
+        0.0
+    };
+    Ok(Json::obj([
+        (
+            "predicted_l1_miss_delta_pct",
+            Json::Float(delta_pct(miss(&before, "l1"), miss(&after, "l1"))),
+        ),
+        (
+            "predicted_l2_miss_delta_pct",
+            Json::Float(delta_pct(miss(&before, "l2"), miss(&after, "l2"))),
+        ),
+        ("predicted_speedup", Json::Float(speedup)),
+        ("base", before),
+        ("morphed", after),
+    ]))
+}
+
+/// `audit`: run the layout auditor over a named scenario.
+pub fn audit(env: &OpEnv<'_>, params: &Json) -> OpResult {
+    chaos_prelude(env, params)?;
+    let scenario = param_str(params, "scenario")?.ok_or_else(|| {
+        bad("`scenario` is required (ccmorph-tree|malloc-tree|ccmalloc-list|malloc-list)")
+    })?;
+    let n = param_u64(params, "n", 1023)?;
+    if n == 0 || n > env.limits.max_audit_n {
+        return Err(bad(format!(
+            "`n` must be in 1..={}",
+            env.limits.max_audit_n
+        )));
+    }
+    env.gate.check()?;
+    let input = cc_audit::scenarios::build(scenario, n as usize)
+        .ok_or_else(|| bad(format!("unknown scenario `{scenario}`")))?;
+    let report = cc_audit::audit(&input, &cc_audit::AuditConfig::default());
+    Ok(Json::obj([
+        ("scenario", Json::str(scenario)),
+        ("n", Json::Uint(n)),
+        ("findings", Json::Uint(report.findings.len() as u64)),
+        ("errors", Json::Uint(report.error_count() as u64)),
+        ("clean", Json::Bool(report.is_clean())),
+        ("report", Json::Str(report.to_json())),
+    ]))
+}
+
+/// `lint`: static struct-layout analysis of client-supplied source.
+pub fn lint(env: &OpEnv<'_>, params: &Json) -> OpResult {
+    chaos_prelude(env, params)?;
+    let source = param_str(params, "source")?.ok_or_else(|| bad("`source` is required"))?;
+    if source.len() > env.limits.max_lint_bytes {
+        return Err(bad(format!(
+            "`source` is {} bytes; the limit is {}",
+            source.len(),
+            env.limits.max_lint_bytes
+        )));
+    }
+    env.gate.check()?;
+    let report = cc_lint::analyze_sources(
+        &[("request.rs".to_string(), source.to_string())],
+        &cc_lint::HotSpec::empty(),
+        &cc_lint::LintConfig::default(),
+    );
+    Ok(Json::obj([
+        ("findings", Json::Uint(report.findings.len() as u64)),
+        (
+            "structs_modeled",
+            Json::Uint(report.stats.structs_modeled as u64),
+        ),
+        (
+            "structs_skipped",
+            Json::Uint(report.stats.structs_skipped as u64),
+        ),
+        ("report", Json::Str(report.to_json())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn env_parts() -> (TraceStore, ServeLimits, SessionCtx) {
+        (
+            TraceStore::default(),
+            ServeLimits::default(),
+            SessionCtx::default(),
+        )
+    }
+
+    fn far_gate() -> Gate {
+        Gate::with_deadline(Instant::now() + Duration::from_secs(60))
+    }
+
+    #[test]
+    fn simulate_is_deterministic_across_store_and_shards() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let params = |shards: u64| {
+            Json::obj([
+                ("keys", Json::Uint(1023)),
+                ("searches", Json::Uint(3000)),
+                ("seed", Json::Uint(7)),
+                ("shards", Json::Uint(shards)),
+            ])
+        };
+        let a = simulate(&env, &params(1)).unwrap().encode();
+        let b = simulate(&env, &params(1)).unwrap().encode();
+        assert_eq!(a, b, "same request, same bytes (warm store)");
+        // Shard count shows up only in the `shards` field; stats agree.
+        let c = simulate(&env, &params(4)).unwrap();
+        let a = Json::parse(&a).unwrap();
+        assert_eq!(a.get("memory_cycles"), c.get("memory_cycles"));
+        assert_eq!(a.get("l1"), c.get("l1"));
+    }
+
+    #[test]
+    fn oversized_workload_is_refused_with_the_sampling_pointer() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let params = Json::obj([
+            ("keys", Json::Uint(1 << 19)),
+            ("searches", Json::Uint(10_000_000)),
+        ]);
+        let (kind, msg) = simulate(&env, &params).unwrap_err();
+        assert_eq!(kind, ErrorKind::OverBudget);
+        assert!(
+            msg.contains("Representativeness of Simulation Intervals"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn expired_gate_cancels_between_segments() {
+        let (store, limits, session) = env_parts();
+        let gate = Gate::with_deadline(Instant::now() - Duration::from_millis(1));
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let params = Json::obj([("keys", Json::Uint(255)), ("searches", Json::Uint(100))]);
+        let (kind, _) = simulate(&env, &params).unwrap_err();
+        assert_eq!(kind, ErrorKind::DeadlineExceeded);
+    }
+
+    #[test]
+    fn quota_exhaustion_bypasses_the_store_but_keeps_results_identical() {
+        let (store, mut limits, session) = env_parts();
+        limits.store_quota_bytes = 1; // any request is over quota
+        let gate = far_gate();
+        let bypasses = AtomicU64::new(0);
+        let on_bypass = || {
+            bypasses.fetch_add(1, Ordering::Relaxed);
+        };
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &on_bypass,
+        };
+        let params = Json::obj([("keys", Json::Uint(511)), ("searches", Json::Uint(2000))]);
+        let over = simulate(&env, &params).unwrap();
+        assert_eq!(over.get("shared_store"), Some(&Json::Bool(false)));
+        assert_eq!(bypasses.load(Ordering::Relaxed), 1);
+        assert_eq!(store.counters().generations, 0, "store untouched");
+
+        // An in-quota tenant gets byte-identical simulation results.
+        let session2 = SessionCtx::default();
+        let limits2 = ServeLimits::default();
+        let env2 = OpEnv {
+            store: &store,
+            limits: &limits2,
+            session: &session2,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &on_bypass,
+        };
+        let under = simulate(&env2, &params).unwrap();
+        assert!(store.counters().generations > 0);
+        assert_eq!(over.get("l1"), under.get("l1"));
+        assert_eq!(over.get("memory_cycles"), under.get("memory_cycles"));
+    }
+
+    #[test]
+    fn chaos_params_are_refused_without_allow_chaos() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let params = Json::obj([("chaos_panic", Json::Bool(true))]);
+        let (kind, _) = simulate(&env, &params).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn morph_reports_a_positive_l2_delta_on_the_paper_workload() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        // The tree must exceed L2 for clustering to pay off — an
+        // L2-resident tree sees only cold misses, which morphing cannot
+        // remove (the same scale threshold fig5 reproduces).
+        let params = Json::obj([
+            ("keys", Json::Uint(65_535)),
+            ("searches", Json::Uint(4_000)),
+            ("seed", Json::Uint(3)),
+        ]);
+        let r = morph(&env, &params).unwrap();
+        let delta = match r.get("predicted_l2_miss_delta_pct") {
+            Some(Json::Float(v)) => *v,
+            other => panic!("{other:?}"),
+        };
+        assert!(delta > 0.0, "ccmorph should cut L2 misses, got {delta}%");
+    }
+
+    #[test]
+    fn audit_and_lint_round_trip() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let a = audit(
+            &env,
+            &Json::obj([
+                ("scenario", Json::str("ccmorph-tree")),
+                ("n", Json::Uint(255)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(a.get("scenario"), Some(&Json::str("ccmorph-tree")));
+        assert!(a.get("report").is_some());
+
+        let l = lint(
+            &env,
+            &Json::obj([(
+                "source",
+                Json::str("pub struct Bad { a: u8, b: u64, c: u8, d: u64, e: u8, f: u64 }"),
+            )]),
+        )
+        .unwrap();
+        assert!(l.get("findings").and_then(Json::as_u64).unwrap() > 0);
+
+        let (kind, _) = audit(&env, &Json::obj([("scenario", Json::str("nope"))])).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        let (kind, _) = lint(&env, &Json::obj([])).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+    }
+}

@@ -1,0 +1,476 @@
+//! The cc-serve wire protocol: versioned, line-delimited JSON frames.
+//!
+//! One request per line, one reply per line, in order, over a plain TCP
+//! stream. Every frame is a JSON object with a `v` protocol-version
+//! field; replies are byte-stable (sorted keys, exact integers) in the
+//! same sense as the cc-audit / cc-lint report formats, so a scripted
+//! session can be golden-pinned.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"v":1,"id":7,"op":"simulate","keys":16383,"searches":40000,"seed":11,"shards":4,"layout":"ctree"}
+//! {"v":1,"id":8,"op":"audit","scenario":"ccmorph-tree","n":4095}
+//! {"v":1,"id":9,"op":"lint","source":"pub struct S { a: u8, b: u64 }"}
+//! {"v":1,"id":10,"op":"morph","keys":4095,"searches":20000,"seed":3}
+//! {"v":1,"id":11,"op":"health"}
+//! {"v":1,"id":12,"op":"shutdown"}
+//! ```
+//!
+//! `deadline_ms` is accepted on any request; omitted means the server
+//! default. A request the server cannot parse at all is answered with a
+//! `bad_frame` error carrying `id` 0 (the id was unreadable).
+//!
+//! # Replies
+//!
+//! ```json
+//! {"id":7,"ok":true,"op":"simulate","result":{...},"v":1}
+//! {"error":{"kind":"overloaded","message":"...","retry_after_ms":25},"id":8,"ok":false,"v":1}
+//! ```
+//!
+//! # Degradation taxonomy
+//!
+//! Every failure mode has exactly one [`ErrorKind`]; the server bumps the
+//! matching `serve.errors.<kind>` counter for each error reply, so the
+//! metrics snapshot and the wire agree about what went wrong and how
+//! often. See DESIGN.md §14 for the full taxonomy table.
+
+use crate::json::Json;
+
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Hard cap on one frame's byte length (newline included). A frame
+/// longer than this is answered with `oversized_frame` and discarded;
+/// the session survives.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// The typed failure taxonomy. Wire strings are stable API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The line was not a parseable protocol frame (bad JSON, not an
+    /// object, missing/wrong `v`, stalled mid-frame read).
+    BadFrame,
+    /// The line exceeded [`MAX_FRAME_BYTES`].
+    OversizedFrame,
+    /// A well-formed frame with an unknown op or invalid parameters.
+    BadRequest,
+    /// The workload exceeds the full-replay budget. The reply points at
+    /// the sampled-simulation roadmap item instead of starving other
+    /// sessions.
+    OverBudget,
+    /// The admission queue was full; reply carries `retry_after_ms`.
+    Overloaded,
+    /// The request missed its deadline (queued too long, or cancelled
+    /// cooperatively mid-replay).
+    DeadlineExceeded,
+    /// A worker panicked serving this session's request; the session is
+    /// degraded, the process is fine.
+    Degraded,
+    /// The circuit breaker has this request class quarantined; reply
+    /// carries `retry_after_ms`.
+    BreakerOpen,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The stable wire string (also the metrics-key suffix).
+    pub fn wire(self) -> &'static str {
+        match self {
+            ErrorKind::BadFrame => "bad_frame",
+            ErrorKind::OversizedFrame => "oversized_frame",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::OverBudget => "over_budget",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline",
+            ErrorKind::Degraded => "degraded",
+            ErrorKind::BreakerOpen => "breaker_open",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire string back to the kind (client side).
+    pub fn from_wire(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "bad_frame" => ErrorKind::BadFrame,
+            "oversized_frame" => ErrorKind::OversizedFrame,
+            "bad_request" => ErrorKind::BadRequest,
+            "over_budget" => ErrorKind::OverBudget,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline" => ErrorKind::DeadlineExceeded,
+            "degraded" => ErrorKind::Degraded,
+            "breaker_open" => ErrorKind::BreakerOpen,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client should retry the same request after a pause.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::BreakerOpen)
+    }
+
+    /// All kinds, for exhaustive metric pre-registration and tests.
+    pub const ALL: [ErrorKind; 9] = [
+        ErrorKind::BadFrame,
+        ErrorKind::OversizedFrame,
+        ErrorKind::BadRequest,
+        ErrorKind::OverBudget,
+        ErrorKind::Overloaded,
+        ErrorKind::DeadlineExceeded,
+        ErrorKind::Degraded,
+        ErrorKind::BreakerOpen,
+        ErrorKind::ShuttingDown,
+    ];
+}
+
+/// The request operations the server understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Batched/sharded trace replay of a tree-search workload.
+    Simulate,
+    /// Layout audit of a named scenario.
+    Audit,
+    /// Static struct-layout lint of client-supplied source text.
+    Lint,
+    /// ccmorph a tree and report the predicted miss delta.
+    Morph,
+    /// Metrics snapshot.
+    Health,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+impl Op {
+    /// Stable wire string.
+    pub fn wire(self) -> &'static str {
+        match self {
+            Op::Simulate => "simulate",
+            Op::Audit => "audit",
+            Op::Lint => "lint",
+            Op::Morph => "morph",
+            Op::Health => "health",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire string.
+    pub fn from_wire(s: &str) -> Option<Op> {
+        Some(match s {
+            "simulate" => Op::Simulate,
+            "audit" => Op::Audit,
+            "lint" => Op::Lint,
+            "morph" => Op::Morph,
+            "health" => Op::Health,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// The request classes the circuit breaker tracks (everything that
+    /// runs on a worker).
+    pub const WORKER_CLASSES: [Op; 4] = [Op::Simulate, Op::Audit, Op::Lint, Op::Morph];
+}
+
+/// A parsed, validated request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed on the reply.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// Optional per-request deadline override (milliseconds).
+    pub deadline_ms: Option<u64>,
+    /// Op parameters (everything else in the frame).
+    pub params: Json,
+}
+
+impl Request {
+    /// Builds a request frame value.
+    pub fn frame(&self) -> Json {
+        let mut obj = match &self.params {
+            Json::Obj(m) => m.clone(),
+            _ => Default::default(),
+        };
+        obj.insert("v".into(), Json::Uint(PROTO_VERSION));
+        obj.insert("id".into(), Json::Uint(self.id));
+        obj.insert("op".into(), Json::str(self.op.wire()));
+        if let Some(d) = self.deadline_ms {
+            obj.insert("deadline_ms".into(), Json::Uint(d));
+        }
+        Json::Obj(obj)
+    }
+
+    /// Encodes the request as one wire line (newline not included).
+    pub fn encode(&self) -> String {
+        self.frame().encode()
+    }
+
+    /// Parses and validates one frame. `Err` carries the typed kind and
+    /// a message for the error reply; the id is recovered when readable
+    /// so the reply can still be correlated.
+    pub fn decode(line: &str) -> Result<Request, (ErrorKind, u64, String)> {
+        let v =
+            Json::parse(line).map_err(|e| (ErrorKind::BadFrame, 0, format!("bad JSON: {e}")))?;
+        let Some(obj) = v.as_obj() else {
+            return Err((ErrorKind::BadFrame, 0, "frame is not an object".into()));
+        };
+        let id = obj.get("id").and_then(Json::as_u64).unwrap_or(0);
+        match obj.get("v").and_then(Json::as_u64) {
+            Some(PROTO_VERSION) => {}
+            Some(other) => {
+                return Err((
+                    ErrorKind::BadFrame,
+                    id,
+                    format!(
+                        "unsupported protocol version {other} (this server speaks {PROTO_VERSION})"
+                    ),
+                ))
+            }
+            None => {
+                return Err((
+                    ErrorKind::BadFrame,
+                    id,
+                    "missing protocol version field `v`".into(),
+                ))
+            }
+        }
+        if obj.get("id").and_then(Json::as_u64).is_none() {
+            return Err((
+                ErrorKind::BadFrame,
+                id,
+                "missing or non-integer `id`".into(),
+            ));
+        }
+        let op = match obj.get("op").and_then(Json::as_str) {
+            Some(s) => Op::from_wire(s)
+                .ok_or_else(|| (ErrorKind::BadRequest, id, format!("unknown op `{s}`")))?,
+            None => return Err((ErrorKind::BadRequest, id, "missing `op`".into())),
+        };
+        let deadline_ms = match obj.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(d.as_u64().ok_or_else(|| {
+                (
+                    ErrorKind::BadRequest,
+                    id,
+                    "`deadline_ms` must be a non-negative integer".into(),
+                )
+            })?),
+        };
+        let mut params = obj.clone();
+        params.remove("v");
+        params.remove("id");
+        params.remove("op");
+        params.remove("deadline_ms");
+        Ok(Request {
+            id,
+            op,
+            deadline_ms,
+            params: Json::Obj(params),
+        })
+    }
+}
+
+/// A reply frame, already shaped for the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// Echoed request id (0 when the request id was unreadable).
+    pub id: u64,
+    /// Success result or typed error.
+    pub body: Result<(Op, Json), WireError>,
+}
+
+/// The error half of a reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// The typed kind.
+    pub kind: ErrorKind,
+    /// Human-oriented detail.
+    pub message: String,
+    /// Backoff hint for retryable kinds.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl Reply {
+    /// A success reply.
+    pub fn ok(id: u64, op: Op, result: Json) -> Reply {
+        Reply {
+            id,
+            body: Ok((op, result)),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(id: u64, kind: ErrorKind, message: impl Into<String>) -> Reply {
+        Reply {
+            id,
+            body: Err(WireError {
+                kind,
+                message: message.into(),
+                retry_after_ms: None,
+            }),
+        }
+    }
+
+    /// An error reply with a retry-after hint.
+    pub fn err_retry(id: u64, kind: ErrorKind, message: impl Into<String>, after_ms: u64) -> Reply {
+        Reply {
+            id,
+            body: Err(WireError {
+                kind,
+                message: message.into(),
+                retry_after_ms: Some(after_ms),
+            }),
+        }
+    }
+
+    /// Encodes as one wire line (newline not included). Byte-stable.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![
+            ("v", Json::Uint(PROTO_VERSION)),
+            ("id", Json::Uint(self.id)),
+        ];
+        match &self.body {
+            Ok((op, result)) => {
+                fields.push(("ok", Json::Bool(true)));
+                fields.push(("op", Json::str(op.wire())));
+                fields.push(("result", result.clone()));
+            }
+            Err(e) => {
+                fields.push(("ok", Json::Bool(false)));
+                let mut err = vec![
+                    ("kind", Json::str(e.kind.wire())),
+                    ("message", Json::str(e.message.clone())),
+                ];
+                if let Some(ms) = e.retry_after_ms {
+                    err.push(("retry_after_ms", Json::Uint(ms)));
+                }
+                fields.push(("error", Json::obj(err)));
+            }
+        }
+        Json::obj(fields).encode()
+    }
+
+    /// Parses a reply line (client side). `None` when the line is not a
+    /// well-formed reply frame.
+    pub fn decode(line: &str) -> Option<Reply> {
+        let v = Json::parse(line).ok()?;
+        let obj = v.as_obj()?;
+        if obj.get("v").and_then(Json::as_u64) != Some(PROTO_VERSION) {
+            return None;
+        }
+        let id = obj.get("id").and_then(Json::as_u64)?;
+        match obj.get("ok").and_then(Json::as_bool)? {
+            true => {
+                let op = Op::from_wire(obj.get("op").and_then(Json::as_str)?)?;
+                Some(Reply::ok(id, op, obj.get("result")?.clone()))
+            }
+            false => {
+                let e = obj.get("error")?;
+                let kind = ErrorKind::from_wire(e.get("kind")?.as_str()?)?;
+                Some(Reply {
+                    id,
+                    body: Err(WireError {
+                        kind,
+                        message: e.get("message")?.as_str()?.to_string(),
+                        retry_after_ms: e.get("retry_after_ms").and_then(Json::as_u64),
+                    }),
+                })
+            }
+        }
+    }
+
+    /// The typed error kind, if this is an error reply.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        self.body.as_ref().err().map(|e| e.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 42,
+            op: Op::Simulate,
+            deadline_ms: Some(500),
+            params: Json::obj([
+                ("keys", Json::Uint(16383)),
+                ("searches", Json::Uint(40000)),
+                ("seed", Json::Uint(0xCC15_FA00)),
+            ]),
+        };
+        let line = req.encode();
+        assert_eq!(Request::decode(&line), Ok(req));
+    }
+
+    #[test]
+    fn decode_recovers_id_on_bad_version() {
+        let (kind, id, _) = Request::decode("{\"v\":9,\"id\":7,\"op\":\"health\"}").unwrap_err();
+        assert_eq!(kind, ErrorKind::BadFrame);
+        assert_eq!(id, 7);
+    }
+
+    #[test]
+    fn missing_version_or_id_is_bad_frame() {
+        assert_eq!(
+            Request::decode("{\"id\":1,\"op\":\"health\"}")
+                .unwrap_err()
+                .0,
+            ErrorKind::BadFrame
+        );
+        assert_eq!(
+            Request::decode("{\"v\":1,\"op\":\"health\"}")
+                .unwrap_err()
+                .0,
+            ErrorKind::BadFrame
+        );
+        assert_eq!(Request::decode("[]").unwrap_err().0, ErrorKind::BadFrame);
+    }
+
+    #[test]
+    fn unknown_op_is_bad_request_with_id() {
+        let (kind, id, msg) =
+            Request::decode("{\"v\":1,\"id\":3,\"op\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        assert_eq!(id, 3);
+        assert!(msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn replies_encode_byte_stably_and_round_trip() {
+        let ok = Reply::ok(7, Op::Health, Json::obj([("queue_depth", Json::Uint(0))]));
+        assert_eq!(
+            ok.encode(),
+            "{\"id\":7,\"ok\":true,\"op\":\"health\",\"result\":{\"queue_depth\":0},\"v\":1}"
+        );
+        assert_eq!(Reply::decode(&ok.encode()), Some(ok));
+
+        let err = Reply::err_retry(9, ErrorKind::Overloaded, "queue full", 25);
+        assert_eq!(
+            err.encode(),
+            "{\"error\":{\"kind\":\"overloaded\",\"message\":\"queue full\",\"retry_after_ms\":25},\"id\":9,\"ok\":false,\"v\":1}"
+        );
+        assert_eq!(Reply::decode(&err.encode()), Some(err));
+    }
+
+    #[test]
+    fn every_kind_round_trips_its_wire_string() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_wire(kind.wire()), Some(kind));
+        }
+        for op in [
+            Op::Simulate,
+            Op::Audit,
+            Op::Lint,
+            Op::Morph,
+            Op::Health,
+            Op::Shutdown,
+        ] {
+            assert_eq!(Op::from_wire(op.wire()), Some(op));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The bounded admission queue: backpressure with typed load-shedding.
+//!
+//! Sessions push parsed requests here; a fixed worker pool pops them.
+//! The queue never blocks a producer — a push against a full queue fails
+//! immediately so the session can answer `overloaded` with a retry-after
+//! hint instead of letting one impatient client's requests pile up and
+//! starve everyone's deadlines. Consumers block (that is the point of a
+//! worker pool), and `close` wakes them all for drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity: shed the request (`overloaded`).
+    Full,
+    /// Queue closed for drain (`shutting_down`).
+    Closed,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    closed: bool,
+    /// High-water mark since construction (for metrics).
+    peak: usize,
+}
+
+/// A bounded MPMC queue with non-blocking producers and blocking
+/// consumers.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `cap` pending items (floor 1).
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            inner: Mutex::new(Inner {
+                q: VecDeque::new(),
+                closed: false,
+                peak: 0,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Attempts to enqueue; never blocks.
+    pub fn push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.q.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        inner.q.push_back(item);
+        inner.peak = inner.peak.max(inner.q.len());
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means the consumer should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = inner.q.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait_timeout(inner, Duration::from_millis(100))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Closes the queue: pushes fail with [`PushError::Closed`], and
+    /// consumers drain the backlog then receive `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).q.len()
+    }
+
+    /// High-water mark since construction.
+    pub fn peak(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_without_blocking() {
+        let q = Bounded::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_stops_consumers() {
+        let q = Arc::new(Bounded::new(4));
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(1).unwrap();
+        assert_eq!(q.push(2), Err(PushError::Full));
+    }
+}

@@ -1,0 +1,748 @@
+//! The cc-serve server: acceptor, sessions, worker pool, and drain.
+//!
+//! Thread model (all `std`, no async runtime):
+//!
+//! * **Acceptor** — one thread polling a non-blocking listener; each
+//!   accepted connection becomes a *session* thread. A session cap
+//!   sheds excess connections with a typed `overloaded` reply rather
+//!   than letting accepts pile up unbounded.
+//! * **Sessions** — one thread per connection: frame the byte stream
+//!   (length-capped, slow-loris guarded), parse/validate, answer
+//!   `health`/`shutdown` inline, and push worker ops through the bounded
+//!   admission queue. One request in flight per session: a session's
+//!   replies are always in request order, and backpressure composes
+//!   (queue depth is bounded by live sessions, which are bounded by the
+//!   session cap).
+//! * **Workers** — a fixed pool popping the queue. Every op body runs
+//!   under `catch_unwind` (the sweep-cell contract): a panic degrades
+//!   exactly one session's request into a typed `degraded` reply,
+//!   feeds the circuit breaker, and never unwinds past the worker loop.
+//! * **Drain** — [`Server::drain`] stops the acceptor, closes the queue,
+//!   lets in-flight work finish or deadline out, cancels cooperatively
+//!   when the drain deadline passes, then flushes metrics. The outcome
+//!   reports whether anything had to be abandoned — the chaos harness
+//!   fails on a hung drain.
+
+use crate::breaker::{Admit, Breaker, BreakerConfig};
+use crate::json::Json;
+use crate::metrics::ServeMetrics;
+use crate::ops::{self, Gate, OpEnv, ServeLimits, SessionCtx};
+use crate::proto::{ErrorKind, Op, Reply, Request, MAX_FRAME_BYTES};
+use crate::queue::{Bounded, PushError};
+use cc_sweep::TraceStore;
+use std::io::{ErrorKind as IoKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning. `Default` is sized for tests and the chaos harness;
+/// the binary exposes the knobs as flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Maximum concurrent sessions.
+    pub max_sessions: usize,
+    /// Default per-request deadline when the frame names none.
+    pub default_deadline_ms: u64,
+    /// Hard cap on client-requested deadlines.
+    pub max_deadline_ms: u64,
+    /// How long a partially-read frame may stall before the session is
+    /// closed as a slow-loris client.
+    pub read_stall_ms: u64,
+    /// Drain: how long in-flight work may keep running after shutdown
+    /// begins before it is cooperatively cancelled.
+    pub drain_deadline_ms: u64,
+    /// Base retry-after hint on `overloaded` replies.
+    pub retry_after_ms: u64,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Op admission limits.
+    pub limits: ServeLimits,
+    /// Honor `chaos_*` request parameters (harness/tests only).
+    pub allow_chaos: bool,
+    /// Write the final metrics snapshot here on drain.
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 16,
+            max_sessions: 64,
+            default_deadline_ms: 10_000,
+            max_deadline_ms: 60_000,
+            read_stall_ms: 2_000,
+            drain_deadline_ms: 5_000,
+            retry_after_ms: 25,
+            breaker: BreakerConfig::default(),
+            limits: ServeLimits::default(),
+            allow_chaos: false,
+            metrics_out: None,
+        }
+    }
+}
+
+/// One queued unit of worker work.
+struct Job {
+    req: Request,
+    session: Arc<SessionCtx>,
+    gate: Gate,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+/// State shared by every thread.
+struct Shared {
+    cfg: ServeConfig,
+    metrics: ServeMetrics,
+    store: TraceStore,
+    queue: Bounded<Job>,
+    breaker: Breaker,
+    draining: AtomicBool,
+    /// Set when drain gives up on in-flight work (gates observe it).
+    cancel: Arc<AtomicBool>,
+    /// Millisecond clock for the breaker.
+    epoch: Instant,
+    active_sessions: AtomicUsize,
+    /// Signalled when a `shutdown` request arrives.
+    shutdown: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn error_reply(&self, id: u64, kind: ErrorKind, msg: impl Into<String>) -> Reply {
+        self.metrics.count_error(kind);
+        Reply::err(id, kind, msg)
+    }
+}
+
+/// What drain observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Everything wound down before the drain deadline.
+    pub clean: bool,
+    /// In-flight requests cancelled cooperatively.
+    pub cancelled: u64,
+    /// Worker threads that never exited (a hung drain — chaos fails).
+    pub hung_workers: usize,
+    /// Session threads that never exited.
+    pub hung_sessions: usize,
+}
+
+/// A running server.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds and spawns the acceptor and worker pool. Fails only on
+    /// bind errors.
+    pub fn spawn(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(cfg.queue_cap),
+            breaker: Breaker::new(cfg.breaker),
+            metrics: ServeMetrics::new(),
+            store: TraceStore::from_env(),
+            draining: AtomicBool::new(false),
+            cancel: Arc::new(AtomicBool::new(false)),
+            epoch: Instant::now(),
+            active_sessions: AtomicUsize::new(0),
+            shutdown: (Mutex::new(false), Condvar::new()),
+            cfg,
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("cc-serve-acceptor".into())
+                .spawn(move || acceptor_loop(listener, &shared, &sessions))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            sessions,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics surface.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Blocks until a `shutdown` request arrives.
+    pub fn wait_for_shutdown(&self) {
+        let (lock, cv) = &self.shared.shutdown;
+        let mut flag = lock.lock().unwrap_or_else(|p| p.into_inner());
+        while !*flag {
+            flag = cv
+                .wait_timeout(flag, Duration::from_millis(200))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Graceful drain: stop accepting, let in-flight work finish or
+    /// deadline out, cancel stragglers at the drain deadline, flush
+    /// metrics. Consumes the server.
+    pub fn drain(mut self) -> DrainOutcome {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.queue.close();
+        let deadline = Instant::now() + Duration::from_millis(shared.cfg.drain_deadline_ms);
+
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+
+        // Phase 1: wait for workers to drain the backlog politely.
+        let mut workers = std::mem::take(&mut self.workers);
+        let mut hung_workers = 0;
+        let mut cancelled_at: Option<Instant> = None;
+        while !workers.is_empty() {
+            workers.retain(|h| !h.is_finished());
+            if workers.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline && cancelled_at.is_none() {
+                // Phase 2: the deadline passed — cancel cooperatively.
+                shared.cancel.store(true, Ordering::SeqCst);
+                cancelled_at = Some(Instant::now());
+            }
+            if let Some(at) = cancelled_at {
+                // Grace period for the cancellation to be observed; a
+                // worker still alive after it is truly hung.
+                if at.elapsed() > Duration::from_secs(10) {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for h in workers {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                hung_workers += 1;
+            }
+        }
+
+        // Phase 3: sessions see `draining` on their next read tick and
+        // exit once their in-flight reply (if any) has been written.
+        let session_deadline = Instant::now() + Duration::from_secs(10);
+        let mut hung_sessions = 0;
+        let handles = {
+            let mut guard = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        let mut handles: Vec<JoinHandle<()>> = handles;
+        while !handles.is_empty() && Instant::now() < session_deadline {
+            handles.retain(|h| !h.is_finished());
+            if handles.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for h in handles {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                hung_sessions += 1;
+            }
+        }
+
+        // Flush: fold store counters in, write the snapshot, summarize.
+        let mut reg = cc_obs::MetricsRegistry::new();
+        cc_sweep::obs::export_store(&mut reg, "serve.trace_store", &shared.store.counters());
+        shared.metrics.absorb(&reg);
+        shared
+            .metrics
+            .set("serve.queue.peak", shared.queue.peak() as u64);
+        let cancelled = shared.metrics.get("serve.drain.cancelled");
+        if let Some(path) = &shared.cfg.metrics_out {
+            if let Err(e) = std::fs::write(path, shared.metrics.to_json() + "\n") {
+                eprintln!(
+                    "cc-serve: failed to write metrics to {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        let outcome = DrainOutcome {
+            clean: hung_workers == 0 && hung_sessions == 0,
+            cancelled,
+            hung_workers,
+            hung_sessions,
+        };
+        eprintln!(
+            "cc-serve: drained (clean={}, cancelled={}, hung_workers={}, hung_sessions={})",
+            outcome.clean, outcome.cancelled, outcome.hung_workers, outcome.hung_sessions
+        );
+        outcome
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                next_id += 1;
+                let sid = next_id;
+                if shared.active_sessions.load(Ordering::SeqCst) >= shared.cfg.max_sessions {
+                    // Session-level load shedding: answer the typed
+                    // error eagerly and close.
+                    shared.metrics.bump("serve.queue.sheds", 1);
+                    let reply = shared.error_reply(
+                        0,
+                        ErrorKind::Overloaded,
+                        format!(
+                            "session limit ({}) reached; retry after backoff",
+                            shared.cfg.max_sessions
+                        ),
+                    );
+                    let mut stream = stream;
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        Reply {
+                            id: 0,
+                            body: {
+                                let mut b = reply.body;
+                                if let Err(e) = &mut b {
+                                    e.retry_after_ms = Some(shared.cfg.retry_after_ms);
+                                }
+                                b
+                            },
+                        }
+                        .encode()
+                    );
+                    continue;
+                }
+                shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.bump("serve.sessions.opened", 1);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("cc-serve-session-{sid}"))
+                    .spawn(move || {
+                        session_loop(stream, &shared);
+                        shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                        shared.metrics.bump("serve.sessions.closed", 1);
+                    })
+                    .expect("spawn session");
+                sessions
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(handle);
+            }
+            Err(e) if e.kind() == IoKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Frames one session's byte stream and shepherds its requests.
+fn session_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let session = Arc::new(SessionCtx::default());
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut stalled_since: Option<Instant> = None;
+    // When a frame overflows, discard until the next newline instead of
+    // letting one runaway line kill the session.
+    let mut discarding = false;
+
+    loop {
+        // Extract complete lines first.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            stalled_since = None;
+            if discarding {
+                discarding = false;
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim_end_matches('\r');
+            if text.is_empty() {
+                continue;
+            }
+            if !handle_frame(&mut stream, shared, &session, text) {
+                return;
+            }
+        }
+
+        if buf.len() > MAX_FRAME_BYTES {
+            if !discarding {
+                let reply = shared.error_reply(
+                    0,
+                    ErrorKind::OversizedFrame,
+                    format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                );
+                if !write_reply(&mut stream, shared, &reply) {
+                    return;
+                }
+                discarding = true;
+            }
+            // No newline yet (the line-extraction loop above ran dry), so
+            // the whole buffer is runaway frame: drop it and keep
+            // discarding until the terminator shows up.
+            buf.clear();
+        }
+
+        if shared.draining.load(Ordering::SeqCst) && buf.is_empty() {
+            return; // polite close between frames
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                stalled_since = None;
+            }
+            Err(e) if e.kind() == IoKind::WouldBlock || e.kind() == IoKind::TimedOut => {
+                if !buf.is_empty() {
+                    // Mid-frame stall: slow-loris guard.
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= Duration::from_millis(shared.cfg.read_stall_ms) {
+                        shared.metrics.bump("serve.sessions.slow_loris", 1);
+                        let reply = shared.error_reply(
+                            0,
+                            ErrorKind::BadFrame,
+                            format!(
+                                "frame stalled mid-read for {}ms; closing session",
+                                shared.cfg.read_stall_ms
+                            ),
+                        );
+                        let _ = write_reply(&mut stream, shared, &reply);
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                shared.metrics.bump("serve.sessions.dropped", 1);
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one complete frame; returns `false` when the session must
+/// close (write failure).
+fn handle_frame(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    session: &Arc<SessionCtx>,
+    line: &str,
+) -> bool {
+    shared.metrics.bump("serve.requests.total", 1);
+    let req = match Request::decode(line) {
+        Ok(req) => req,
+        Err((kind, id, msg)) => {
+            let reply = shared.error_reply(id, kind, msg);
+            return write_reply(stream, shared, &reply);
+        }
+    };
+    shared
+        .metrics
+        .bump(&format!("serve.requests.{}", req.op.wire()), 1);
+
+    // Inline ops: never queued, never refused.
+    match req.op {
+        Op::Health => {
+            let reply = health_reply(shared, &req);
+            return write_reply(stream, shared, &reply);
+        }
+        Op::Shutdown => {
+            let reply = Reply::ok(
+                req.id,
+                Op::Shutdown,
+                Json::obj([("draining", Json::Bool(true))]),
+            );
+            let ok = write_reply(stream, shared, &reply);
+            let (lock, cv) = &shared.shutdown;
+            *lock.lock().unwrap_or_else(|p| p.into_inner()) = true;
+            cv.notify_all();
+            return ok;
+        }
+        _ => {}
+    }
+
+    if shared.draining.load(Ordering::SeqCst) {
+        let reply = shared.error_reply(
+            req.id,
+            ErrorKind::ShuttingDown,
+            "server is draining; no new work accepted",
+        );
+        return write_reply(stream, shared, &reply);
+    }
+
+    // Deadline: client ask, capped; default otherwise.
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms)
+        .min(shared.cfg.max_deadline_ms);
+    let gate = Gate {
+        deadline: Instant::now() + Duration::from_millis(deadline_ms),
+        cancel: Arc::clone(&shared.cancel),
+    };
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let id = req.id;
+    let job = Job {
+        req,
+        session: Arc::clone(session),
+        gate,
+        reply_tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.metrics.bump("serve.queue.sheds", 1);
+            shared.metrics.count_error(ErrorKind::Overloaded);
+            // Retry hint scales with how far over capacity we are
+            // relative to the worker pool, so a deeper overload backs
+            // clients off harder.
+            let hint = shared.cfg.retry_after_ms
+                * (1 + shared.queue.depth() as u64 / shared.cfg.workers.max(1) as u64);
+            let reply = Reply::err_retry(
+                id,
+                ErrorKind::Overloaded,
+                format!(
+                    "admission queue full ({} pending); retry after the hint",
+                    shared.queue.capacity()
+                ),
+                hint,
+            );
+            return write_reply(stream, shared, &reply);
+        }
+        Err(PushError::Closed) => {
+            let reply = shared.error_reply(
+                id,
+                ErrorKind::ShuttingDown,
+                "server is draining; no new work accepted",
+            );
+            return write_reply(stream, shared, &reply);
+        }
+    }
+
+    // One request in flight per session: wait for the worker's reply.
+    // The timeout is belt-and-braces — workers always reply, even for
+    // cancelled or panicked jobs.
+    let wait = Duration::from_millis(deadline_ms + shared.cfg.drain_deadline_ms + 15_000);
+    let reply = reply_rx.recv_timeout(wait).unwrap_or_else(|_| {
+        shared.error_reply(
+            id,
+            ErrorKind::Degraded,
+            "worker reply channel closed unexpectedly",
+        )
+    });
+    write_reply(stream, shared, &reply)
+}
+
+fn write_reply(stream: &mut TcpStream, shared: &Arc<Shared>, reply: &Reply) -> bool {
+    if writeln!(stream, "{}", reply.encode()).is_err() {
+        shared.metrics.bump("serve.sessions.dropped", 1);
+        return false;
+    }
+    true
+}
+
+fn health_reply(shared: &Arc<Shared>, req: &Request) -> Reply {
+    let now = shared.now_ms();
+    let breaker_open: Vec<Json> = Op::WORKER_CLASSES
+        .iter()
+        .filter(|&&op| shared.breaker.is_open(op, now))
+        .map(|op| Json::str(op.wire()))
+        .collect();
+    let c = shared.store.counters();
+    Reply::ok(
+        req.id,
+        Op::Health,
+        Json::obj([
+            ("queue_depth", Json::Uint(shared.queue.depth() as u64)),
+            ("queue_capacity", Json::Uint(shared.queue.capacity() as u64)),
+            (
+                "active_sessions",
+                Json::Uint(shared.active_sessions.load(Ordering::SeqCst) as u64),
+            ),
+            (
+                "draining",
+                Json::Bool(shared.draining.load(Ordering::SeqCst)),
+            ),
+            ("breaker_open", Json::Arr(breaker_open)),
+            ("breaker_trips", Json::Uint(shared.breaker.trips())),
+            (
+                "store",
+                Json::obj([
+                    ("hits", Json::Uint(c.hits)),
+                    ("misses", Json::Uint(c.misses)),
+                    ("generations", Json::Uint(c.generations)),
+                    ("evictions", Json::Uint(c.evictions)),
+                    (
+                        "resident_bytes",
+                        Json::Uint(shared.store.resident_bytes() as u64),
+                    ),
+                ]),
+            ),
+            ("metrics", Json::Str(shared.metrics.to_json())),
+        ]),
+    )
+}
+
+/// The worker loop: pop, admit, execute under `catch_unwind`, reply.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let reply = serve_job(shared, &job);
+        // A dead session (dropped receiver) is fine; the reply is lost
+        // with the connection.
+        let _ = job.reply_tx.send(reply);
+    }
+}
+
+fn serve_job(shared: &Arc<Shared>, job: &Job) -> Reply {
+    let op = job.req.op;
+    let id = job.req.id;
+
+    // Queued past its deadline? Timed out while waiting is still a
+    // deadline error — the client's clock doesn't care where the time
+    // went.
+    if let Err((kind, msg)) = job.gate.check() {
+        if kind == ErrorKind::DeadlineExceeded {
+            shared.metrics.bump("serve.deadline.timeouts", 1);
+            if job.gate.cancel.load(Ordering::Relaxed) {
+                shared.metrics.bump("serve.drain.cancelled", 1);
+            }
+        }
+        return shared.error_reply(id, kind, msg);
+    }
+
+    // Circuit breaker: refuse quarantined classes without burning a
+    // worker slot.
+    match shared.breaker.admit(op, shared.now_ms()) {
+        Admit::Yes => {}
+        Admit::Quarantined { retry_after_ms } => {
+            shared.metrics.bump("serve.breaker.rejected", 1);
+            shared.metrics.count_error(ErrorKind::BreakerOpen);
+            return Reply::err_retry(
+                id,
+                ErrorKind::BreakerOpen,
+                format!(
+                    "`{}` is quarantined after repeated worker panics; retry after the hint",
+                    op.wire()
+                ),
+                retry_after_ms,
+            );
+        }
+    }
+
+    let trips_before = shared.breaker.trips();
+    let quota_bypass = || {
+        shared.metrics.bump("serve.store.quota_bypasses", 1);
+    };
+    let env = OpEnv {
+        store: &shared.store,
+        limits: &shared.cfg.limits,
+        session: &job.session,
+        gate: &job.gate,
+        allow_chaos: shared.cfg.allow_chaos,
+        quota_bypass: &quota_bypass,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| match op {
+        Op::Simulate => ops::simulate(&env, &job.req.params),
+        Op::Audit => ops::audit(&env, &job.req.params),
+        Op::Lint => ops::lint(&env, &job.req.params),
+        Op::Morph => ops::morph(&env, &job.req.params),
+        // Inline ops never reach the queue.
+        Op::Health | Op::Shutdown => Err((
+            ErrorKind::BadRequest,
+            "internal: inline op routed to worker".into(),
+        )),
+    }));
+
+    match outcome {
+        Ok(Ok(result)) => {
+            shared.breaker.record(op, true, shared.now_ms());
+            shared.metrics.bump("serve.replies.ok", 1);
+            Reply::ok(id, op, result)
+        }
+        Ok(Err((kind, msg))) => {
+            // Typed refusals are not class failures: the op code ran to
+            // a controlled exit.
+            shared.breaker.record(op, true, shared.now_ms());
+            if kind == ErrorKind::DeadlineExceeded {
+                shared.metrics.bump("serve.deadline.timeouts", 1);
+                if job.gate.cancel.load(Ordering::Relaxed) {
+                    shared.metrics.bump("serve.drain.cancelled", 1);
+                }
+            }
+            shared.error_reply(id, kind, msg)
+        }
+        Err(panic) => {
+            // The sweep-cell contract at the server tier: the panic is
+            // contained, the session is degraded, the breaker learns.
+            shared.breaker.record(op, false, shared.now_ms());
+            if shared.breaker.trips() > trips_before {
+                shared.metrics.bump("serve.breaker.trips", 1);
+            }
+            job.session
+                .degraded_requests
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.bump("serve.sessions.degraded", 1);
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            shared.error_reply(
+                id,
+                ErrorKind::Degraded,
+                format!("worker panicked serving `{}`: {msg}", op.wire()),
+            )
+        }
+    }
+}

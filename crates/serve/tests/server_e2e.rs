@@ -1,0 +1,380 @@
+//! End-to-end tests over a live in-process server: the robustness
+//! contracts of ISSUE — deadline errors, typed load shedding with
+//! client-side retry, circuit-breaker quarantine, over-budget refusal,
+//! graceful drain, and the headline isolation guarantee: a poisoned
+//! session leaves concurrent sessions' replies *byte-identical* to a
+//! fault-free run.
+
+use cc_serve::breaker::BreakerConfig;
+use cc_serve::client::{Backoff, Client};
+use cc_serve::json::Json;
+use cc_serve::proto::{ErrorKind, Op, Reply, Request};
+use cc_serve::server::{ServeConfig, Server};
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        read_stall_ms: 500,
+        drain_deadline_ms: 3_000,
+        retry_after_ms: 5,
+        // High threshold: repeated injected panics must degrade requests,
+        // not quarantine the class (the breaker has its own test).
+        breaker: BreakerConfig {
+            threshold: 64,
+            cooldown_ms: 300,
+        },
+        allow_chaos: true,
+        ..ServeConfig::default()
+    }
+}
+
+/// Polls the server's `health` until `f(queue_depth)` holds.
+fn wait_health(client: &mut Client, mut f: impl FnMut(&Json) -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(3);
+    loop {
+        let id = client.next_id();
+        let reply = client
+            .request(&Request {
+                id,
+                op: Op::Health,
+                deadline_ms: None,
+                params: Json::obj([]),
+            })
+            .expect("health");
+        let (_, result) = reply.body.as_ref().expect("health ok");
+        if f(result) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health condition never held; last: {}",
+            result.encode()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+fn simulate_req(id: u64, keys: u64, searches: u64, seed: u64) -> Request {
+    Request {
+        id,
+        op: Op::Simulate,
+        deadline_ms: Some(10_000),
+        params: Json::obj([
+            ("keys", Json::Uint(keys)),
+            ("searches", Json::Uint(searches)),
+            ("seed", Json::Uint(seed)),
+        ]),
+    }
+}
+
+fn chaos_req(id: u64) -> Request {
+    Request {
+        id,
+        op: Op::Simulate,
+        deadline_ms: Some(10_000),
+        params: Json::obj([
+            ("keys", Json::Uint(256)),
+            ("searches", Json::Uint(64)),
+            ("chaos_panic", Json::Bool(true)),
+        ]),
+    }
+}
+
+/// Raw reply lines for a fixed request script on one session. Bytes, not
+/// parsed structures: the isolation guarantee is about the wire.
+fn session_script(addr: &str, reqs: &[Request]) -> Vec<String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    reqs.iter()
+        .map(|req| {
+            writeln!(writer, "{}", req.encode()).expect("write");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            line.trim_end().to_string()
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: replies on healthy sessions are byte-identical
+/// whether or not a concurrent session is being poisoned.
+#[test]
+fn poisoned_session_leaves_concurrent_replies_byte_identical() {
+    let scripts: [&[Request]; 2] = [
+        &[
+            simulate_req(1, 1023, 500, 7),
+            simulate_req(2, 511, 300, 8),
+            simulate_req(3, 1023, 500, 7),
+        ],
+        &[
+            simulate_req(10, 2047, 400, 9),
+            simulate_req(11, 255, 200, 10),
+        ],
+    ];
+
+    let run = |poison: bool| -> Vec<Vec<String>> {
+        let server = Server::spawn(test_config()).expect("spawn");
+        let addr = server.addr().to_string();
+        let poisoner = poison.then(|| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for i in 0..4 {
+                    let reply = client.request(&chaos_req(100 + i)).expect("reply");
+                    assert!(
+                        matches!(
+                            reply.error_kind(),
+                            Some(ErrorKind::Degraded) | Some(ErrorKind::BreakerOpen)
+                        ),
+                        "poison request got {reply:?}"
+                    );
+                }
+            })
+        });
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let addr = addr.clone();
+                let script: Vec<Request> = script.to_vec();
+                std::thread::spawn(move || session_script(&addr, &script))
+            })
+            .collect();
+        let replies: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        if let Some(p) = poisoner {
+            p.join().unwrap();
+        }
+        assert!(server.drain().clean, "drain must be clean");
+        replies
+    };
+
+    let clean = run(false);
+    let poisoned = run(true);
+    assert_eq!(
+        clean, poisoned,
+        "a poisoned concurrent session must not perturb healthy sessions' reply bytes"
+    );
+    // And the replies are real successes, not matching errors.
+    for line in clean.iter().flatten() {
+        let reply = Reply::decode(line).expect("parses");
+        assert!(reply.body.is_ok(), "{line}");
+    }
+}
+
+#[test]
+fn deadline_is_enforced_cooperatively() {
+    let server = Server::spawn(test_config()).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let req = Request {
+        id: 1,
+        op: Op::Simulate,
+        deadline_ms: Some(50),
+        params: Json::obj([
+            ("keys", Json::Uint(256)),
+            ("searches", Json::Uint(64)),
+            ("chaos_sleep_ms", Json::Uint(2_000)),
+        ]),
+    };
+    let t0 = std::time::Instant::now();
+    let reply = client.request(&req).expect("reply");
+    assert_eq!(
+        reply.error_kind(),
+        Some(ErrorKind::DeadlineExceeded),
+        "{reply:?}"
+    );
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(1_500),
+        "deadline reply must arrive well before the stall finishes"
+    );
+    assert!(server.metrics().get("serve.deadline.timeouts") >= 1);
+    assert!(server.drain().clean);
+}
+
+#[test]
+fn overload_sheds_with_retry_hint_and_retry_succeeds() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..test_config()
+    };
+    let server = Server::spawn(cfg).expect("spawn");
+    let addr = server.addr().to_string();
+    let mut probe = Client::connect(&addr).expect("connect");
+
+    // Occupy the worker, then the single queue slot, with slow requests —
+    // staged via health so the shed below is deterministic, not a race.
+    let spawn_blocker = |id: u64| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            let req = Request {
+                id,
+                op: Op::Simulate,
+                deadline_ms: Some(5_000),
+                params: Json::obj([
+                    ("keys", Json::Uint(256)),
+                    ("searches", Json::Uint(64)),
+                    ("chaos_sleep_ms", Json::Uint(600)),
+                ]),
+            };
+            c.request(&req).expect("reply")
+        })
+    };
+    let b1 = spawn_blocker(1);
+    // Stage 1: the worker has popped blocker 1 (admitted, queue empty).
+    wait_health(&mut probe, |h| {
+        let admitted = h
+            .get("metrics")
+            .and_then(Json::as_str)
+            .and_then(|m| Json::parse(m).ok())
+            .and_then(|m| m.get("serve.requests.simulate").and_then(Json::as_u64))
+            .unwrap_or(0);
+        admitted >= 1 && h.get("queue_depth") == Some(&Json::Uint(0))
+    });
+    let b2 = spawn_blocker(2);
+    // Stage 2: blocker 2 fills the one queue slot.
+    wait_health(&mut probe, |h| h.get("queue_depth") == Some(&Json::Uint(1)));
+
+    // Worker busy + queue full: this one must shed.
+    let mut client = Client::connect(&addr).expect("connect");
+    let reply = client.request(&simulate_req(9, 256, 64, 1)).expect("reply");
+    match &reply.body {
+        Err(e) => {
+            assert_eq!(e.kind, ErrorKind::Overloaded, "{reply:?}");
+            assert!(e.retry_after_ms.is_some(), "shed replies carry a hint");
+        }
+        Ok(_) => panic!("expected shed, got success (queue admitted a third job)"),
+    }
+
+    // The retry helper rides the hint and eventually gets through once
+    // the blockers finish.
+    let mut backoff = Backoff::new(77);
+    let reply = client
+        .request_with_retry(&simulate_req(10, 256, 64, 1), &mut backoff, 500)
+        .expect("retries succeed");
+    assert!(reply.body.is_ok(), "{reply:?}");
+    let blockers = [b1, b2];
+
+    for b in blockers {
+        assert!(b.join().unwrap().body.is_ok());
+    }
+    assert!(server.metrics().get("serve.queue.sheds") >= 1);
+    assert!(server.metrics().get("serve.errors.overloaded") >= 1);
+    assert!(server.drain().clean);
+}
+
+#[test]
+fn breaker_quarantines_a_panicking_class_and_recovers() {
+    let cfg = ServeConfig {
+        breaker: BreakerConfig {
+            threshold: 2,
+            cooldown_ms: 300,
+        },
+        ..test_config()
+    };
+    let server = Server::spawn(cfg).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    for i in 0..2 {
+        let reply = client.request(&chaos_req(i)).expect("reply");
+        assert_eq!(reply.error_kind(), Some(ErrorKind::Degraded), "{reply:?}");
+    }
+    // Class tripped: an honest request is refused without running.
+    let reply = client.request(&simulate_req(5, 256, 64, 1)).expect("reply");
+    match &reply.body {
+        Err(e) => {
+            assert_eq!(e.kind, ErrorKind::BreakerOpen, "{reply:?}");
+            assert!(e.retry_after_ms.is_some());
+        }
+        Ok(_) => panic!("breaker failed to quarantine after threshold panics"),
+    }
+    // Other classes still serve (quarantine is per-class).
+    let reply = client
+        .request(&Request {
+            id: 6,
+            op: Op::Lint,
+            deadline_ms: None,
+            params: Json::obj([("source", Json::str("pub struct S { a: u8, b: u64 }"))]),
+        })
+        .expect("reply");
+    assert!(reply.body.is_ok(), "{reply:?}");
+
+    // After cooldown the probe closes the breaker again.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let reply = client.request(&simulate_req(7, 256, 64, 1)).expect("reply");
+    assert!(
+        reply.body.is_ok(),
+        "probe should close the breaker: {reply:?}"
+    );
+    assert!(server.metrics().get("serve.breaker.rejected") >= 1);
+    assert!(server.drain().clean);
+}
+
+#[test]
+fn oversized_workload_gets_typed_over_budget_pointing_at_sampling() {
+    let server = Server::spawn(test_config()).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let reply = client
+        .request(&simulate_req(1, 1 << 20, 10_000_000, 1))
+        .expect("reply");
+    match &reply.body {
+        Err(e) => {
+            assert_eq!(e.kind, ErrorKind::OverBudget, "{reply:?}");
+            assert!(
+                e.message
+                    .contains("Representativeness of Simulation Intervals"),
+                "over-budget errors must point at the sampling roadmap item: {}",
+                e.message
+            );
+        }
+        Ok(_) => panic!("a 10M-search replay must be refused"),
+    }
+    assert!(server.drain().clean);
+}
+
+#[test]
+fn health_and_wire_shutdown_drain_cleanly() {
+    let server = Server::spawn(test_config()).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+
+    let id = client.next_id();
+    let reply = client
+        .request(&Request {
+            id,
+            op: Op::Health,
+            deadline_ms: None,
+            params: Json::obj([]),
+        })
+        .expect("reply");
+    let (_, result) = reply.body.as_ref().expect("health ok");
+    assert_eq!(result.get("draining"), Some(&Json::Bool(false)));
+    assert!(result.get("metrics").is_some());
+
+    let reply = client
+        .request(&Request {
+            id: id + 1,
+            op: Op::Shutdown,
+            deadline_ms: None,
+            params: Json::obj([]),
+        })
+        .expect("reply");
+    assert!(reply.body.is_ok(), "{reply:?}");
+    server.wait_for_shutdown();
+    let outcome = server.drain();
+    assert!(outcome.clean, "{outcome:?}");
+}
+
+#[test]
+fn chaos_params_are_refused_without_allow_chaos() {
+    let cfg = ServeConfig {
+        allow_chaos: false,
+        ..test_config()
+    };
+    let server = Server::spawn(cfg).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let reply = client.request(&chaos_req(1)).expect("reply");
+    assert_eq!(reply.error_kind(), Some(ErrorKind::BadRequest), "{reply:?}");
+    assert!(server.drain().clean);
+}

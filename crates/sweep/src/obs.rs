@@ -22,6 +22,8 @@ pub fn export_store(registry: &mut MetricsRegistry, prefix: &str, counters: &Sto
     registry.set(&format!("{prefix}.generations"), counters.generations);
     registry.set(&format!("{prefix}.evictions"), counters.evictions);
     registry.set(&format!("{prefix}.oversized"), counters.oversized);
+    registry.set(&format!("{prefix}.disk_errors"), counters.disk_errors);
+    registry.set(&format!("{prefix}.disk_corrupt"), counters.disk_corrupt);
 }
 
 /// Summarizes a grid of [`CellOutcome`]s into `registry`:
@@ -67,12 +69,16 @@ mod tests {
             generations: 1,
             evictions: 3,
             oversized: 4,
+            disk_errors: 6,
+            disk_corrupt: 7,
         };
         let mut reg = MetricsRegistry::new();
         export_store(&mut reg, "store", &counters);
         assert_eq!(reg.get("store.hits"), Some(5));
         assert_eq!(reg.get("store.oversized"), Some(4));
         assert_eq!(reg.get("store.generations"), Some(1));
+        assert_eq!(reg.get("store.disk_errors"), Some(6));
+        assert_eq!(reg.get("store.disk_corrupt"), Some(7));
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   `<dir>/<key:016x>.cctrace` files in the same hex-stable ASCII
 //!   encoding as sweep checkpoints ([`TraceBuf::encode_compact`]), so
 //!   warm traces survive process restarts and `fig5`-sized reruns skip
-//!   generation entirely. A file that fails to decode is treated as a
-//!   miss, never trusted.
+//!   generation entirely. The tier degrades, never fails: a file that
+//!   fails to decode is counted (`disk_corrupt`), reported on stderr, and
+//!   regenerated — never trusted — and an unusable directory or an I/O
+//!   error (bad mount, revoked permissions) is counted (`disk_errors`),
+//!   reported once, and latches the tier off, leaving a memory-only store
+//!   whose results are bit-identical to the healthy path.
 //! * **Deterministic generation.** The generator runs under the store
 //!   lock: a key is generated exactly once per process no matter how many
 //!   sweep workers race for it, and the counters
@@ -32,6 +36,7 @@ use cc_sim::cache::WritePolicy;
 use cc_sim::{CacheGeometry, MachineConfig, SplitPool, TraceBuf};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 /// SplitMix64's finalizer: the same mix `cell_seed` uses.
@@ -101,6 +106,16 @@ impl TraceKey {
     }
 }
 
+/// One on-disk lookup's outcome, separating the three failure shapes the
+/// caller treats differently: absent (plain miss), mangled (count and
+/// regenerate), unreadable (latch the tier off).
+enum DiskRead {
+    Hit(Arc<Vec<TraceBuf>>),
+    Miss,
+    Corrupt,
+    IoError(std::io::Error),
+}
+
 /// Observable store activity (monotonic over the store's life).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreCounters {
@@ -118,6 +133,14 @@ pub struct StoreCounters {
     /// caller but never cached (caching one would pin it resident while
     /// it evicted everything else).
     pub oversized: u64,
+    /// Disk-tier I/O failures: an unusable cache directory at
+    /// construction, or a read/write error at runtime. The first runtime
+    /// failure disables the tier for the store's life — the store
+    /// degrades to memory-only rather than failing requests.
+    pub disk_errors: u64,
+    /// On-disk files that failed to decode: treated as misses, never
+    /// trusted, and regenerated.
+    pub disk_corrupt: u64,
 }
 
 struct Entry {
@@ -139,6 +162,10 @@ pub struct TraceStore {
     inner: Mutex<StoreInner>,
     budget: usize,
     disk: Option<PathBuf>,
+    /// Latched by the first runtime disk failure: the tier is skipped
+    /// from then on (degraded to memory-only), so one bad mount surfaces
+    /// as one counter bump and one stderr line, not an error per miss.
+    disk_down: std::sync::atomic::AtomicBool,
     /// Reusable shard-split buffers, pooled at the same scope as the
     /// traces themselves: a sweep that replays many cached traces splits
     /// each one into lanes, and recycling those lane vectors here makes
@@ -163,6 +190,7 @@ impl TraceStore {
             }),
             budget: budget.max(1),
             disk: None,
+            disk_down: std::sync::atomic::AtomicBool::new(false),
             split_pool: SplitPool::new(),
         }
     }
@@ -176,10 +204,28 @@ impl TraceStore {
         &self.split_pool
     }
 
-    /// Adds an on-disk tier rooted at `dir` (created if absent;
-    /// creation failure quietly degrades to memory-only).
+    /// Adds an on-disk tier rooted at `dir` (created if absent). An
+    /// unusable directory — unwritable, or an existing non-directory —
+    /// degrades the store to memory-only: the failure is counted
+    /// ([`StoreCounters::disk_errors`]) and reported on stderr once, and
+    /// every request still succeeds from the memory tier.
     pub fn with_disk(mut self, dir: PathBuf) -> Self {
-        self.disk = std::fs::create_dir_all(&dir).is_ok().then_some(dir);
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => self.disk = Some(dir),
+            Err(e) => {
+                eprintln!(
+                    "cc-sweep: trace cache directory {} is unusable ({e}); \
+                     continuing with the memory tier only",
+                    dir.display()
+                );
+                self.inner
+                    .lock()
+                    .expect("trace store poisoned")
+                    .counters
+                    .disk_errors += 1;
+                self.disk = None;
+            }
+        }
         self
     }
 
@@ -220,19 +266,56 @@ impl TraceStore {
         }
         inner.counters.misses += 1;
 
-        let (bufs, from_disk) = match self.disk_read(k) {
-            Some(bufs) => (bufs, true),
-            None => {
-                inner.counters.generations += 1;
-                (Arc::new(generate()), false)
+        let disk_live = self.disk.is_some() && !self.disk_down.load(Ordering::Relaxed);
+        let mut from_disk = false;
+        let mut found = None;
+        if disk_live {
+            match self.disk_read(k) {
+                DiskRead::Hit(bufs) => {
+                    from_disk = true;
+                    found = Some(bufs);
+                }
+                DiskRead::Miss => {}
+                DiskRead::Corrupt => {
+                    // A mangled file is counted and regenerated, never
+                    // trusted; the tier itself stays up (other keys may be
+                    // intact).
+                    inner.counters.disk_corrupt += 1;
+                    eprintln!("cc-sweep: corrupt trace cache file {k:016x}.cctrace; regenerating");
+                }
+                DiskRead::IoError(e) => {
+                    // An unreadable tier (bad mount, revoked permissions)
+                    // is latched off: the store degrades to memory-only
+                    // for its remaining life instead of erroring per miss.
+                    inner.counters.disk_errors += 1;
+                    self.disk_down.store(true, Ordering::Relaxed);
+                    eprintln!(
+                        "cc-sweep: trace cache read failed ({e}); \
+                         disabling the disk tier, continuing memory-only"
+                    );
+                }
             }
-        };
+        }
+        let bufs = found.unwrap_or_else(|| {
+            inner.counters.generations += 1;
+            Arc::new(generate())
+        });
         if from_disk {
             inner.counters.disk_hits += 1;
-        } else if let Some(dir) = &self.disk {
+        } else if disk_live && !self.disk_down.load(Ordering::Relaxed) {
             // Best-effort persist: an unwritable cache directory degrades
-            // reuse, never results.
-            let _ = std::fs::write(dir.join(format!("{k:016x}.cctrace")), encode_file(&bufs));
+            // reuse, never results — counted once, then the tier is off.
+            let dir = self.disk.as_ref().expect("disk_live implies dir");
+            if let Err(e) =
+                std::fs::write(dir.join(format!("{k:016x}.cctrace")), encode_file(&bufs))
+            {
+                inner.counters.disk_errors += 1;
+                self.disk_down.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "cc-sweep: trace cache write failed ({e}); \
+                     disabling the disk tier, continuing memory-only"
+                );
+            }
         }
 
         let bytes: usize = bufs.iter().map(TraceBuf::approx_bytes).sum();
@@ -272,12 +355,21 @@ impl TraceStore {
         bufs
     }
 
-    /// Reads and decodes `key`'s on-disk file, if the tier is active and
-    /// the file is intact.
-    fn disk_read(&self, key: u64) -> Option<Arc<Vec<TraceBuf>>> {
-        let dir = self.disk.as_ref()?;
-        let text = std::fs::read_to_string(dir.join(format!("{key:016x}.cctrace"))).ok()?;
-        decode_file(&text).map(Arc::new)
+    /// Reads and decodes `key`'s on-disk file, distinguishing an absent
+    /// file (a plain miss) from a mangled one (corruption) and from an
+    /// I/O failure (a tier-level problem the caller should latch on).
+    fn disk_read(&self, key: u64) -> DiskRead {
+        let Some(dir) = self.disk.as_ref() else {
+            return DiskRead::Miss;
+        };
+        match std::fs::read_to_string(dir.join(format!("{key:016x}.cctrace"))) {
+            Ok(text) => match decode_file(&text) {
+                Some(bufs) => DiskRead::Hit(Arc::new(bufs)),
+                None => DiskRead::Corrupt,
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => DiskRead::Miss,
+            Err(e) => DiskRead::IoError(e),
+        }
     }
 
     /// A snapshot of the activity counters.
@@ -497,16 +589,97 @@ mod tests {
         let events_b: Vec<Event> = b.iter().flat_map(|x| x.events()).collect();
         assert_eq!(events_a, events_b);
 
-        // A corrupt file is a miss, never trusted.
+        // A corrupt file is counted, reported, and regenerated — never
+        // trusted, and never fatal.
         let path = dir.join(format!("{:016x}.cctrace", key(9).value()));
         std::fs::write(&path, "cctrace v1 zz\ngarbage").unwrap();
         let third = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
         let regen = AtomicUsize::new(0);
-        third.get_or_generate(key(9), || {
+        let d = third.get_or_generate(key(9), || {
             regen.fetch_add(1, Ordering::SeqCst);
             trace(9, 50)
         });
         assert_eq!(regen.load(Ordering::SeqCst), 1);
+        let c = third.counters();
+        assert_eq!(c.disk_corrupt, 1);
+        assert_eq!(c.disk_errors, 0, "corruption does not take the tier down");
+        let events_d: Vec<Event> = d.iter().flat_map(|x| x.events()).collect();
+        assert_eq!(events_a, events_d, "regenerated trace matches the original");
+
+        // The regeneration self-heals the file: a fourth store decodes it.
+        let fourth = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
+        fourth.get_or_generate(key(9), || unreachable!("healed file must serve this"));
+        assert_eq!(fourth.counters().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An unusable `CC_TRACE_CACHE` path (here: an existing plain file,
+    /// so `create_dir_all` fails even for root, unlike permission bits)
+    /// degrades the store to memory-only: counted, reported, and every
+    /// request still served.
+    #[test]
+    fn unusable_cache_directory_degrades_to_memory_only() {
+        let file = std::env::temp_dir().join(format!("cctrace-notadir-{}", std::process::id()));
+        std::fs::write(&file, "occupied").unwrap();
+
+        let store = TraceStore::with_budget(1 << 20).with_disk(file.clone());
+        assert!(
+            !store.has_disk(),
+            "unusable directory must not arm the tier"
+        );
+        assert_eq!(store.counters().disk_errors, 1);
+
+        let a = store.get_or_generate(key(11), || trace(11, 30));
+        store.get_or_generate(key(11), || unreachable!("memory tier is warm"));
+        let c = store.counters();
+        assert_eq!(c.generations, 1);
+        assert_eq!(c.hits, 1);
+        let reference: Vec<Event> = trace(11, 30).iter().flat_map(|x| x.events()).collect();
+        let got: Vec<Event> = a.iter().flat_map(|x| x.events()).collect();
+        assert_eq!(got, reference, "degraded results are bit-identical");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    /// A disk tier that turns bad mid-life (here: the cache *file* path is
+    /// occupied by a directory, so both read and write fail with a non-
+    /// NotFound error) is latched off after one counted, reported failure;
+    /// later keys skip the disk entirely and the store stays correct.
+    #[test]
+    fn runtime_disk_failure_latches_the_tier_off() {
+        let dir = std::env::temp_dir().join(format!("cctrace-latch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::with_budget(1 << 20).with_disk(dir.clone());
+        assert!(store.has_disk());
+
+        // Occupy the key's file path with a directory: reading it is an
+        // I/O error (not absence, not corruption).
+        std::fs::create_dir_all(dir.join(format!("{:016x}.cctrace", key(13).value()))).unwrap();
+        let a = store.get_or_generate(key(13), || trace(13, 30));
+        let c = store.counters();
+        assert_eq!(c.disk_errors, 1);
+        assert_eq!(c.disk_corrupt, 0);
+        assert_eq!(
+            c.generations, 1,
+            "the request is still served by generating"
+        );
+        let reference: Vec<Event> = trace(13, 30).iter().flat_map(|x| x.events()).collect();
+        let got: Vec<Event> = a.iter().flat_map(|x| x.events()).collect();
+        assert_eq!(got, reference);
+
+        // The tier is now down: a second key neither reads nor writes the
+        // directory, and the error counter does not grow per-request.
+        store.get_or_generate(key(14), || trace(14, 30));
+        let c = store.counters();
+        assert_eq!(
+            c.disk_errors, 1,
+            "one failure, one count — latched, not per-miss"
+        );
+        assert_eq!(c.generations, 2);
+        assert!(
+            !dir.join(format!("{:016x}.cctrace", key(14).value()))
+                .exists(),
+            "a downed tier must not be written"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
