@@ -22,6 +22,7 @@
 pub mod checkpoint;
 pub mod obs;
 pub mod replay;
+pub mod sample;
 
 use cc_sim::Breakdown;
 

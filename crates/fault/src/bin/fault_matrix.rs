@@ -4,9 +4,10 @@
 //! scripted workload against each fault plane — `heap` (allocation denials
 //! and hint tampering under `CcMalloc`/`Malloc`), `morph` (corrupted
 //! topologies and parameters into `try_ccmorph`), `sweep` (poisoned cells
-//! under `Sweep::run_isolated`), and `shard` (poisoned replay workers
-//! under `ShardedReplayer::replay_poisoned`) — inside a top-level
-//! `catch_unwind`.
+//! under `Sweep::run_isolated`), `shard` (poisoned replay workers
+//! under `ShardedReplayer::replay_poisoned`), and `sample` (poisoned
+//! cluster representatives under `cc_sample::replay_representatives`) —
+//! inside a top-level `catch_unwind`.
 //!
 //! The contract under test is *graceful degradation*: injected faults must
 //! surface as typed errors, fallback placements, or retried cells — never
@@ -266,6 +267,121 @@ fn shard_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
     ))
 }
 
+/// Sample plane: seed-chosen cluster representatives panic at replay; the
+/// sampler must degrade each to a counted neighbouring-interval fallback
+/// with full coverage and a near-identical estimate — degraded output
+/// visible, never silently wrong.
+fn sample_plane(seed: u64, reg: &mut MetricsRegistry) -> Result<String, String> {
+    let machine = MachineConfig::test_tiny();
+    const INTERVALS: usize = 12;
+    let plan = FaultPlan::new(seed).sample_poisons(1);
+
+    // Three phases cycling by interval index: distinct regions, strides,
+    // and write mixes give k-medoids real structure to find, and keep
+    // every cluster populated so a poisoned medoid always has a
+    // same-phase member to fall back to.
+    let interval_bufs = |i: usize| -> std::sync::Arc<Vec<cc_sim::TraceBuf>> {
+        let phase = (i % 3) as u32;
+        let base = 0x1000u64 << (8 * phase);
+        let stride = 16u64 << (2 * phase);
+        let mut buf = cc_sim::TraceBuf::with_capacity(1024);
+        for j in 0..600u64 {
+            let addr = base + (j * stride) % 8192;
+            if phase == 1 && j % 4 == 0 {
+                buf.push(cc_sim::event::Event::store(addr, 8));
+            } else {
+                buf.push(cc_sim::event::Event::load(addr, 8));
+            }
+            buf.push_ticks(1);
+        }
+        std::sync::Arc::new(vec![buf])
+    };
+
+    let cfg = cc_sample::SampleConfig {
+        max_clusters: 3,
+        ..cc_sample::SampleConfig::default()
+    };
+    let sigs: Vec<cc_sample::Signature> = (0..INTERVALS)
+        .map(|i| cc_sample::Signature::from_bufs(&interval_bufs(i), cfg.stride_shift))
+        .collect();
+    let sample_plan = cc_sample::cluster(&sigs, &cfg);
+    let poisoned = plan.sample_poison_set(sample_plan.representatives());
+    let mut provider = |i: usize| interval_bufs(i);
+
+    let faulted = cc_sample::replay_representatives(
+        &machine,
+        2,
+        &sample_plan,
+        &sigs,
+        cfg.warmup_intervals,
+        &poisoned,
+        &mut provider,
+    );
+    let d = faulted.degradation;
+    let want = poisoned.len() as u64;
+    if d.fallback_representatives != want
+        || d.lost_representatives != 0
+        || d.lost_weight_events != 0
+    {
+        return Err(format!(
+            "dishonest degradation counters: fallbacks={} lost={} lost_events={} (expected {want} fallbacks)",
+            d.fallback_representatives, d.lost_representatives, d.lost_weight_events
+        ));
+    }
+    let est = cc_sample::extrapolate(&sample_plan, &faulted, &cfg);
+    if est.coverage_pct != 100.0 {
+        return Err(format!("degraded run lost coverage: {}%", est.coverage_pct));
+    }
+
+    let clean = cc_sample::replay_representatives(
+        &machine,
+        2,
+        &sample_plan,
+        &sigs,
+        cfg.warmup_intervals,
+        &std::collections::BTreeSet::new(),
+        &mut provider,
+    );
+    if clean.degradation != cc_sample::SampleDegradation::default() {
+        return Err("clean representative replay reported degradation".into());
+    }
+    let clean_est = cc_sample::extrapolate(&sample_plan, &clean, &cfg);
+    let drift = cc_sample::error_report(&est.counters, &clean_est.counters);
+    if drift.max_error_pct > 10.0 {
+        return Err(format!(
+            "fallback estimate drifted {:.2}% ({}) from the clean estimate",
+            drift.max_error_pct, drift.worst
+        ));
+    }
+
+    // Replayable: the same poisons degrade to the same estimate.
+    let again = cc_sample::replay_representatives(
+        &machine,
+        2,
+        &sample_plan,
+        &sigs,
+        cfg.warmup_intervals,
+        &poisoned,
+        &mut provider,
+    );
+    if cc_sample::extrapolate(&sample_plan, &again, &cfg) != est {
+        return Err("poisoned sampler run was not replayable".into());
+    }
+
+    reg.bump(
+        "fault.sample.fallback_representatives",
+        d.fallback_representatives,
+    );
+    reg.bump("fault.sample.lost_representatives", d.lost_representatives);
+    Ok(format!(
+        "{} poisoned representative(s) of {} fell back, coverage exact, drift {:.3}% ({})",
+        poisoned.len(),
+        sample_plan.representatives(),
+        drift.max_error_pct,
+        drift.worst
+    ))
+}
+
 fn parse_seed(s: &str) -> Option<u64> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()
@@ -295,11 +411,12 @@ fn main() {
     let planes: [(
         &str,
         fn(u64, &mut MetricsRegistry) -> Result<String, String>,
-    ); 4] = [
+    ); 5] = [
         ("heap", heap_plane),
         ("morph", morph_plane),
         ("sweep", sweep_plane),
         ("shard", shard_plane),
+        ("sample", sample_plane),
     ];
     let mut reg = MetricsRegistry::new();
     let mut escaped = 0u32;

@@ -23,9 +23,12 @@
 //!   `Sweep::run_isolated`;
 //! * [`FaultPlan::shard_poison_set`] picks the replay workers to hand to
 //!   [`cc_sim::ShardedReplayer::replay_poisoned`], exercising the
-//!   sharded replayer's catch-unwind + serial-fallback path.
+//!   sharded replayer's catch-unwind + serial-fallback path;
+//! * [`FaultPlan::sample_poison_set`] picks the sampler representatives
+//!   to hand to [`cc_sample::replay_representatives`], exercising the
+//!   sampler's counted neighbouring-interval fallback path.
 //!
-//! The four planes draw from *independent* streams (the plane index is
+//! The planes draw from *independent* streams (the plane index is
 //! folded into the seed via [`cc_sweep::cell_seed`]), so arming one plane
 //! never shifts another plane's schedule.
 //!
@@ -51,6 +54,7 @@ const PLANE_TRACE: u64 = 1;
 const PLANE_SWEEP: u64 = 2;
 const PLANE_SHARD: u64 = 3;
 const PLANE_SERVER: u64 = 4;
+const PLANE_SAMPLE: u64 = 5;
 
 /// One server-plane fault for the cc-serve chaos harness.
 ///
@@ -112,6 +116,7 @@ pub struct FaultPlan {
     sweep_poisons: u32,
     shard_poisons: u32,
     server_faults: u32,
+    sample_poisons: u32,
 }
 
 impl FaultPlan {
@@ -125,6 +130,7 @@ impl FaultPlan {
             sweep_poisons: 0,
             shard_poisons: 0,
             server_faults: 0,
+            sample_poisons: 0,
         }
     }
 
@@ -178,6 +184,18 @@ impl FaultPlan {
         self
     }
 
+    /// Arms `n` sampler-representative poisons (distinct cluster
+    /// ordinals per plan, capped at the cluster count when it is
+    /// smaller). Feed the derived set to
+    /// [`cc_sample::replay_representatives`]: poisoned representatives
+    /// panic at replay, and the sampler must degrade each to a counted
+    /// neighbouring-interval fallback (or an honest lost-representative
+    /// coverage gap) — never a silent wrong estimate.
+    pub fn sample_poisons(mut self, n: u32) -> Self {
+        self.sample_poisons = n;
+        self
+    }
+
     /// True when no plane is armed.
     pub fn is_empty(&self) -> bool {
         self.heap_faults == 0
@@ -185,6 +203,7 @@ impl FaultPlan {
             && self.sweep_poisons == 0
             && self.shard_poisons == 0
             && self.server_faults == 0
+            && self.sample_poisons == 0
     }
 
     /// Derives the heap plane: `heap_faults` entries cycling through
@@ -280,6 +299,23 @@ impl FaultPlan {
         set.into_iter().collect()
     }
 
+    /// Derives the sample plane for a plan with `clusters`
+    /// representatives: the distinct representative ordinals whose replay
+    /// a harness should poison, for
+    /// [`cc_sample::replay_representatives`].
+    pub fn sample_poison_set(&self, clusters: usize) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        if clusters == 0 {
+            return set;
+        }
+        let want = (self.sample_poisons as usize).min(clusters);
+        let mut rng = SplitMix64::new(cell_seed(self.seed, PLANE_SAMPLE));
+        while set.len() < want {
+            set.insert(rng.below(clusters as u64) as usize);
+        }
+        set
+    }
+
     /// Derives the server plane: `server_faults` faults, one per chaos
     /// connection. The first six cycle through every [`ServerFault`]
     /// variant in a seed-chosen rotation (full coverage before any
@@ -316,6 +352,7 @@ mod tests {
         assert!(plan.trace_schedule().is_empty());
         assert!(plan.sweep_poison_set(100).is_empty());
         assert!(plan.shard_poison_set(8).is_empty());
+        assert!(plan.sample_poison_set(8).is_empty());
         assert!(plan.server_schedule().is_empty());
         assert!(!plan.poisons(0, 0, 100));
     }
@@ -353,10 +390,24 @@ mod tests {
     #[test]
     fn planes_are_independent_streams() {
         let base = FaultPlan::new(7).heap_faults(4, 50).sweep_poisons(2);
-        let more = base.trace_faults(3).shard_poisons(2);
+        let more = base.trace_faults(3).shard_poisons(2).sample_poisons(2);
         // Arming other planes must not move the armed planes' schedules.
         assert_eq!(base.heap_schedule(), more.heap_schedule());
         assert_eq!(base.sweep_poison_set(16), more.sweep_poison_set(16));
+    }
+
+    #[test]
+    fn sample_plane_is_independent_of_other_planes() {
+        let base = FaultPlan::new(21).sample_poisons(3);
+        let more = base.heap_faults(4, 50).shard_poisons(2).server_faults(4);
+        assert_eq!(base.sample_poison_set(8), more.sample_poison_set(8));
+        // And distinct from the other poison planes' draws for the same
+        // seed and intensity.
+        let cross = FaultPlan::new(21).sweep_poisons(3).shard_poisons(3);
+        let sweep: BTreeSet<usize> = cross.sweep_poison_set(64);
+        let shard: BTreeSet<usize> = cross.shard_poison_set(64).into_iter().collect();
+        let sample = FaultPlan::new(21).sample_poisons(3).sample_poison_set(64);
+        assert!(sample != sweep || sample != shard);
     }
 
     #[test]
@@ -411,5 +462,19 @@ mod tests {
         assert_eq!(plan.shard_poison_set(0).len(), 0);
         // Replayable.
         assert_eq!(set, plan.shard_poison_set(8));
+    }
+
+    #[test]
+    fn sample_poison_sets_are_distinct_and_bounded() {
+        let plan = FaultPlan::new(17).sample_poisons(4);
+        let set = plan.sample_poison_set(8);
+        assert_eq!(set.len(), 4, "distinct representatives");
+        assert!(set.iter().all(|&r| r < 8));
+        // Fewer representatives than poisons saturates instead of
+        // spinning.
+        assert_eq!(plan.sample_poison_set(2).len(), 2);
+        assert_eq!(plan.sample_poison_set(0).len(), 0);
+        // Replayable.
+        assert_eq!(set, plan.sample_poison_set(8));
     }
 }

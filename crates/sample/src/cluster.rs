@@ -1,0 +1,266 @@
+//! Deterministic seeded k-medoids over interval signatures.
+//!
+//! Medoids (not centroids) because a cluster's representative must be a
+//! *real interval* we can replay — the medoid is the member minimizing
+//! total distance to the rest of its cluster. Determinism is contractual:
+//! the seed picks the first medoid, every later choice is a greedy argmin
+//! / argmax with ties broken toward the lowest interval index, and the
+//! refinement loop runs a fixed sweep cap. Same signatures, seed, and
+//! config ⇒ same plan, bit for bit (pinned by proptest).
+
+use cc_core::rng::SplitMix64;
+
+use crate::signature::Signature;
+use crate::SampleConfig;
+
+/// Candidate/reference cap for the medoid-update step. A cluster larger
+/// than this evaluates stride-sampled candidates against stride-sampled
+/// references instead of the full O(m²) sweep — still deterministic, and
+/// it keeps clustering cost roughly linear in the interval count.
+const MEDOID_SWEEP_CAP: usize = 512;
+
+/// The output of the clustering stage: which intervals to replay, and
+/// with what extrapolation weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplePlan {
+    /// Total intervals in the trace.
+    pub intervals: usize,
+    /// Cluster ordinal → representative (medoid) interval index.
+    pub medoids: Vec<usize>,
+    /// Interval index → cluster ordinal.
+    pub assign: Vec<u32>,
+    /// Cluster ordinal → total events across member intervals (the
+    /// extrapolation numerator).
+    pub weight_events: Vec<u64>,
+    /// Cluster ordinal → events in the medoid interval itself (the
+    /// extrapolation denominator).
+    pub rep_events: Vec<u64>,
+    /// Event-weighted mean member→medoid signature distance: 0 when
+    /// every interval equals its representative, approaching the
+    /// distance ceiling when clusters are incoherent. Feeds the
+    /// confidence figure in the extrapolated report.
+    pub dispersion: f64,
+}
+
+impl SamplePlan {
+    /// The degenerate full-replay plan: every interval is its own
+    /// representative. Sample rate 1.0 — the bit-identity baseline.
+    pub fn full(sigs: &[Signature]) -> SamplePlan {
+        SamplePlan {
+            intervals: sigs.len(),
+            medoids: (0..sigs.len()).collect(),
+            assign: (0..sigs.len() as u32).collect(),
+            weight_events: sigs.iter().map(|s| s.events).collect(),
+            rep_events: sigs.iter().map(|s| s.events).collect(),
+            dispersion: 0.0,
+        }
+    }
+
+    /// Whether this plan replays every interval (no sampling).
+    pub fn is_full(&self) -> bool {
+        self.medoids.len() == self.intervals
+    }
+
+    /// Representatives to replay.
+    pub fn representatives(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// Member interval indices of cluster `c`, in trace order.
+    pub fn members(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &a)| a as usize == c)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Clusters interval signatures into `min(cfg.max_clusters, n)` groups.
+///
+/// Init is k-means++-shaped but fully deterministic: the seed draws the
+/// first medoid, then each further medoid is the interval *farthest*
+/// from every chosen medoid (greedy max-min, ties to the lowest index) —
+/// spreading seeds across the phase space without probabilistic
+/// sampling. Refinement alternates assignment and medoid update until a
+/// sweep changes nothing or `cfg.max_iters` sweeps have run.
+///
+/// # Panics
+///
+/// Panics if `sigs` is empty or `cfg.max_clusters` is zero.
+pub fn cluster(sigs: &[Signature], cfg: &SampleConfig) -> SamplePlan {
+    assert!(!sigs.is_empty(), "cannot cluster zero intervals");
+    assert!(cfg.max_clusters > 0, "need at least one cluster");
+    let n = sigs.len();
+    let k = cfg.max_clusters.min(n);
+    if k == n {
+        return SamplePlan::full(sigs);
+    }
+
+    // Seeded init: the RNG's only role, so the whole remainder is a pure
+    // function of (sigs, first medoid).
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut medoids = vec![rng.below(n as u64) as usize];
+    // min-distance of each interval to the chosen medoid set.
+    let mut min_d: Vec<f64> = sigs.iter().map(|s| s.distance(&sigs[medoids[0]])).collect();
+    while medoids.len() < k {
+        let mut best = (0usize, -1.0f64);
+        for (i, &d) in min_d.iter().enumerate() {
+            if d > best.1 && !medoids.contains(&i) {
+                best = (i, d);
+            }
+        }
+        medoids.push(best.0);
+        for (i, d) in min_d.iter_mut().enumerate() {
+            *d = d.min(sigs[i].distance(&sigs[best.0]));
+        }
+    }
+    medoids.sort_unstable();
+
+    let mut assign = vec![0u32; n];
+    for _ in 0..cfg.max_iters.max(1) {
+        // Assignment: nearest medoid, ties to the lowest cluster ordinal.
+        for (i, sig) in sigs.iter().enumerate() {
+            let mut best = (0u32, f64::INFINITY);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = sig.distance(&sigs[m]);
+                if d < best.1 {
+                    best = (c as u32, d);
+                }
+            }
+            assign[i] = best.0;
+        }
+        // Medoid update: per cluster, the member minimizing summed
+        // distance to (a deterministic sample of) the other members.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assign[i] as usize == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let stride = members.len().div_ceil(MEDOID_SWEEP_CAP);
+            let sampled: Vec<usize> = members.iter().copied().step_by(stride).collect();
+            let mut best = (*medoid, f64::INFINITY);
+            for &cand in &sampled {
+                let total: f64 = sampled
+                    .iter()
+                    .map(|&other| sigs[cand].distance(&sigs[other]))
+                    .sum();
+                if total < best.1 {
+                    best = (cand, total);
+                }
+            }
+            if best.0 != *medoid {
+                *medoid = best.0;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final assignment against the settled medoids, then weights.
+    for (i, sig) in sigs.iter().enumerate() {
+        let mut best = (0u32, f64::INFINITY);
+        for (c, &m) in medoids.iter().enumerate() {
+            let d = sig.distance(&sigs[m]);
+            if d < best.1 {
+                best = (c as u32, d);
+            }
+        }
+        assign[i] = best.0;
+    }
+    let mut weight_events = vec![0u64; medoids.len()];
+    let mut dispersion_num = 0.0f64;
+    let mut dispersion_den = 0u64;
+    for (i, sig) in sigs.iter().enumerate() {
+        let c = assign[i] as usize;
+        weight_events[c] += sig.events;
+        dispersion_num += sig.events as f64 * sig.distance(&sigs[medoids[c]]);
+        dispersion_den += sig.events;
+    }
+    SamplePlan {
+        intervals: n,
+        rep_events: medoids.iter().map(|&m| sigs[m].events).collect(),
+        medoids,
+        assign,
+        weight_events,
+        dispersion: if dispersion_den == 0 {
+            0.0
+        } else {
+            dispersion_num / dispersion_den as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::{Event, TraceBuf};
+
+    fn sig_of(addrs: &[u64]) -> Signature {
+        let mut b = TraceBuf::with_capacity(addrs.len());
+        for &a in addrs {
+            b.push(Event::load(a, 8));
+        }
+        Signature::from_bufs(std::slice::from_ref(&b), 0)
+    }
+
+    fn two_phase_sigs() -> Vec<Signature> {
+        // Eight intervals alternating between two disjoint working sets.
+        let near: Vec<u64> = (0..128).map(|i| 0x1000 + i * 64).collect();
+        let far: Vec<u64> = (0..128).map(|i| 0x90_0000 + i * 64).collect();
+        (0..8)
+            .map(|i| sig_of(if i % 2 == 0 { &near } else { &far }))
+            .collect()
+    }
+
+    #[test]
+    fn two_phases_separate_into_two_clusters() {
+        let sigs = two_phase_sigs();
+        let cfg = SampleConfig {
+            max_clusters: 2,
+            ..SampleConfig::default()
+        };
+        let plan = cluster(&sigs, &cfg);
+        assert_eq!(plan.representatives(), 2);
+        // Every even interval shares a cluster, every odd the other.
+        for i in (0..8).step_by(2) {
+            assert_eq!(plan.assign[i], plan.assign[0], "interval {i}");
+            assert_ne!(plan.assign[i], plan.assign[1], "interval {i}");
+        }
+        assert_eq!(plan.dispersion, 0.0, "identical members sit on the medoid");
+    }
+
+    #[test]
+    fn plan_is_deterministic_for_a_fixed_seed() {
+        let sigs = two_phase_sigs();
+        let cfg = SampleConfig::default();
+        assert_eq!(cluster(&sigs, &cfg), cluster(&sigs, &cfg));
+    }
+
+    #[test]
+    fn cluster_count_clamps_to_interval_count() {
+        let sigs = two_phase_sigs();
+        let cfg = SampleConfig {
+            max_clusters: 100,
+            ..SampleConfig::default()
+        };
+        let plan = cluster(&sigs, &cfg);
+        assert!(plan.is_full());
+        assert_eq!(plan.medoids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weights_cover_every_event_exactly_once() {
+        let sigs = two_phase_sigs();
+        let cfg = SampleConfig {
+            max_clusters: 3,
+            ..SampleConfig::default()
+        };
+        let plan = cluster(&sigs, &cfg);
+        let total: u64 = sigs.iter().map(|s| s.events).sum();
+        assert_eq!(plan.weight_events.iter().sum::<u64>(), total);
+    }
+}

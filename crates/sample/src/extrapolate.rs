@@ -1,0 +1,278 @@
+//! Weighted extrapolation and the per-counter error report.
+//!
+//! Each replayed representative yields exact engine counters for its own
+//! interval. Extrapolation scales those by the cluster's share of trace
+//! events — `Σ member events / representative events` — and sums across
+//! clusters, so a phase that covers half the trace contributes half the
+//! estimate regardless of how many representatives it needed. The report
+//! carries three honesty fields: *coverage* (what fraction of trace
+//! events a surviving representative speaks for — less than 100% only
+//! after unrecovered faults), *confidence* (derived from cluster
+//! dispersion: how well members resemble the representative that stands
+//! in for them), and an *error bound* (the measured per-counter error
+//! when ground truth is available, otherwise the calibrated
+//! operating-point bound, widened by dispersion).
+
+use cc_sim::ShardedReplayer;
+
+use crate::cluster::SamplePlan;
+use crate::replay::PlanReplay;
+use crate::SampleConfig;
+
+/// Counters below this ground-truth magnitude are reported but excluded
+/// from the headline `max_error_pct`: a counter of a dozen events has no
+/// meaningful relative error, and sampling never promises one.
+pub const ERROR_GATE_MIN_TRUTH: u64 = 1000;
+
+/// The full set of engine counters a sampled replay estimates — every
+/// public total of [`ShardedReplayer`], flattened to named integers so
+/// they can be scaled, summed, compared, and serialized without access
+/// to `CacheStats`' private fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// L1 demand accesses.
+    pub l1_accesses: u64,
+    /// L1 demand misses.
+    pub l1_misses: u64,
+    /// L1 evictions.
+    pub l1_evictions: u64,
+    /// L2 demand accesses.
+    pub l2_accesses: u64,
+    /// L2 demand misses.
+    pub l2_misses: u64,
+    /// L2 evictions.
+    pub l2_evictions: u64,
+    /// TLB probes.
+    pub tlb_accesses: u64,
+    /// TLB misses.
+    pub tlb_misses: u64,
+    /// Accumulated memory stall cycles.
+    pub memory_cycles: u64,
+    /// Instructions retired.
+    pub insts: u64,
+    /// Branches retired.
+    pub branches: u64,
+    /// Events replayed.
+    pub events: u64,
+}
+
+impl Counters {
+    /// Snapshots a replayer's totals since its last stats reset.
+    pub fn from_replayer(r: &ShardedReplayer) -> Counters {
+        Counters {
+            l1_accesses: r.l1_stats().accesses(),
+            l1_misses: r.l1_stats().misses(),
+            l1_evictions: r.l1_stats().evictions(),
+            l2_accesses: r.l2_stats().accesses(),
+            l2_misses: r.l2_stats().misses(),
+            l2_evictions: r.l2_stats().evictions(),
+            tlb_accesses: r.tlb_stats().accesses(),
+            tlb_misses: r.tlb_stats().misses(),
+            memory_cycles: r.memory_cycles(),
+            insts: r.insts(),
+            branches: r.branches(),
+            events: r.events(),
+        }
+    }
+
+    /// The counters as `(name, value)` pairs in a fixed order — the
+    /// iteration basis for error reports and serialization.
+    pub fn named(&self) -> [(&'static str, u64); 12] {
+        [
+            ("l1_accesses", self.l1_accesses),
+            ("l1_misses", self.l1_misses),
+            ("l1_evictions", self.l1_evictions),
+            ("l2_accesses", self.l2_accesses),
+            ("l2_misses", self.l2_misses),
+            ("l2_evictions", self.l2_evictions),
+            ("tlb_accesses", self.tlb_accesses),
+            ("tlb_misses", self.tlb_misses),
+            ("memory_cycles", self.memory_cycles),
+            ("insts", self.insts),
+            ("branches", self.branches),
+            ("events", self.events),
+        ]
+    }
+
+    /// Counter-wise difference against an earlier snapshot of the same
+    /// monotonically accumulating replayer — the per-interval slice a
+    /// persistent full replay attributes to each interval.
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        Counters {
+            l1_accesses: self.l1_accesses - earlier.l1_accesses,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l1_evictions: self.l1_evictions - earlier.l1_evictions,
+            l2_accesses: self.l2_accesses - earlier.l2_accesses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l2_evictions: self.l2_evictions - earlier.l2_evictions,
+            tlb_accesses: self.tlb_accesses - earlier.tlb_accesses,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
+            memory_cycles: self.memory_cycles - earlier.memory_cycles,
+            insts: self.insts - earlier.insts,
+            branches: self.branches - earlier.branches,
+            events: self.events - earlier.events,
+        }
+    }
+
+    fn scaled_add(&mut self, other: &Counters, scale: f64) {
+        // Weight 1 (a cluster exactly covering its representative — every
+        // cluster of a full plan) adds exactly: the rate-1.0 bit-identity
+        // contract must not hinge on f64 round-tripping.
+        let f = |acc: &mut u64, v: u64| {
+            *acc += if scale == 1.0 {
+                v
+            } else {
+                (v as f64 * scale).round() as u64
+            }
+        };
+        f(&mut self.l1_accesses, other.l1_accesses);
+        f(&mut self.l1_misses, other.l1_misses);
+        f(&mut self.l1_evictions, other.l1_evictions);
+        f(&mut self.l2_accesses, other.l2_accesses);
+        f(&mut self.l2_misses, other.l2_misses);
+        f(&mut self.l2_evictions, other.l2_evictions);
+        f(&mut self.tlb_accesses, other.tlb_accesses);
+        f(&mut self.tlb_misses, other.tlb_misses);
+        f(&mut self.memory_cycles, other.memory_cycles);
+        f(&mut self.insts, other.insts);
+        f(&mut self.branches, other.branches);
+        f(&mut self.events, other.events);
+    }
+}
+
+/// The extrapolated estimate plus its honesty fields.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampledStats {
+    /// Event-weighted extrapolated counters.
+    pub counters: Counters,
+    /// Percent of trace events represented by a surviving replayed
+    /// representative. 100 unless representatives were lost to faults.
+    pub coverage_pct: f64,
+    /// `100 × (1 − dispersion/2)`, clamped to `[0, 100]`: how closely
+    /// cluster members resemble the representative standing in for them
+    /// (the signature distance ceiling is 2).
+    pub confidence_pct: f64,
+    /// Claimed maximum relative error on material counters: the
+    /// calibrated operating-point bound widened by measured dispersion.
+    /// Replaced by the *measured* maximum when ground truth exists.
+    pub error_bound_pct: f64,
+}
+
+/// Extrapolates replayed representatives to full-trace counter
+/// estimates. Lost representatives (fault injection with no usable
+/// fallback) subtract their cluster's events from coverage instead of
+/// contributing a guess — degraded output is visible, never silently
+/// wrong.
+pub fn extrapolate(plan: &SamplePlan, replay: &PlanReplay, cfg: &SampleConfig) -> SampledStats {
+    let total_events: u64 = plan.weight_events.iter().sum();
+    let mut counters = Counters::default();
+    let mut covered = 0u64;
+    for (c, rep) in replay.reps.iter().enumerate() {
+        let Some(out) = rep else { continue };
+        // Scale by the cluster's event share over the events the
+        // replayed interval actually holds (the fallback interval's own
+        // event count when the medoid was poisoned).
+        let rep_events = out.counters.events.max(1);
+        let scale = plan.weight_events[c] as f64 / rep_events as f64;
+        counters.scaled_add(&out.counters, scale);
+        covered += plan.weight_events[c];
+    }
+    let coverage_pct = if total_events == 0 {
+        100.0
+    } else {
+        100.0 * covered as f64 / total_events as f64
+    };
+    let confidence_pct = (100.0 * (1.0 - plan.dispersion / 2.0)).clamp(0.0, 100.0);
+    SampledStats {
+        counters,
+        coverage_pct,
+        confidence_pct,
+        error_bound_pct: cfg.calibrated_error_pct * (1.0 + plan.dispersion),
+    }
+}
+
+/// One counter's estimate against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CounterError {
+    /// Counter name (see [`Counters::named`]).
+    pub name: &'static str,
+    /// Full-replay value.
+    pub truth: u64,
+    /// Extrapolated value.
+    pub estimate: u64,
+    /// `100 × |estimate − truth| / truth` (0 when both are zero, 100
+    /// when truth is zero but the estimate is not).
+    pub error_pct: f64,
+}
+
+/// Per-counter extrapolation error against a full-replay ground truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorReport {
+    /// Every counter, in [`Counters::named`] order.
+    pub counters: Vec<CounterError>,
+    /// Maximum error over *material* counters (ground truth ≥
+    /// [`ERROR_GATE_MIN_TRUTH`]) — the figure the engine benchmark gates.
+    pub max_error_pct: f64,
+    /// Name of the counter behind [`ErrorReport::max_error_pct`].
+    pub worst: &'static str,
+}
+
+/// Compares an extrapolated estimate against full-replay ground truth.
+pub fn error_report(estimate: &Counters, truth: &Counters) -> ErrorReport {
+    let mut counters = Vec::with_capacity(12);
+    let mut max_error_pct = 0.0f64;
+    let mut worst = "none";
+    for ((name, est), (_, tru)) in estimate.named().into_iter().zip(truth.named()) {
+        let error_pct = match (tru, est) {
+            (0, 0) => 0.0,
+            (0, _) => 100.0,
+            _ => 100.0 * (est.abs_diff(tru) as f64) / tru as f64,
+        };
+        if tru >= ERROR_GATE_MIN_TRUTH && error_pct > max_error_pct {
+            max_error_pct = error_pct;
+            worst = name;
+        }
+        counters.push(CounterError {
+            name,
+            truth: tru,
+            estimate: est,
+            error_pct,
+        });
+    }
+    ErrorReport {
+        counters,
+        max_error_pct,
+        worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_report_ignores_immaterial_counters_in_the_headline() {
+        let truth = Counters {
+            l1_accesses: 100_000,
+            l1_misses: 10_000,
+            tlb_misses: 10,
+            ..Counters::default()
+        };
+        let est = Counters {
+            l1_accesses: 101_000,
+            l1_misses: 10_050,
+            tlb_misses: 20,
+            ..Counters::default()
+        };
+        let report = error_report(&est, &truth);
+        assert_eq!(report.worst, "l1_accesses");
+        assert!((report.max_error_pct - 1.0).abs() < 1e-9);
+        // The noisy tiny counter is still *reported*.
+        let tlb = report
+            .counters
+            .iter()
+            .find(|c| c.name == "tlb_misses")
+            .unwrap();
+        assert_eq!(tlb.error_pct, 100.0);
+    }
+}

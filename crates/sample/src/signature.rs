@@ -1,0 +1,252 @@
+//! Interval slicing and miss-profile signatures.
+//!
+//! A signature must be *cheap* — it is computed for every interval of a
+//! trace that is precisely too long to replay — and *discriminating
+//! enough* that intervals with similar cache behaviour land close
+//! together. The default signature is simulation-free: a bucketed
+//! histogram of referenced block addresses (the "ref-footprint vector"),
+//! plus the write mix. Two intervals that touch the same blocks in the
+//! same proportions exercise the caches the same way; two phases that
+//! walk different structures produce visibly different footprints. When
+//! an attributed replay of the workload exists, its cc-obs
+//! [`MissProfile`] per-region miss tallies can be attached to ground the
+//! distance in measured misses instead.
+
+use std::collections::BTreeMap;
+
+use cc_obs::{Level, MissProfile};
+use cc_sim::TraceBuf;
+
+/// Footprint histogram width. 32 buckets keeps a signature to one cache
+/// line of counters while still separating the paper's workloads: a
+/// hash-mixed block address is equally likely to land in any bucket, so
+/// two intervals over disjoint working sets overlap only by chance.
+pub const FOOTPRINT_BUCKETS: usize = 32;
+
+/// SplitMix64 finalizer: the avalanche mix that turns a block number
+/// into a uniformly distributed bucket choice.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The per-interval fingerprint the clustering stage runs on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Signature {
+    /// Memory-referencing entries in the interval (loads, stores,
+    /// prefetches), before striding.
+    pub refs: u64,
+    /// Store entries among [`Signature::refs`].
+    pub writes: u64,
+    /// Total decoded events in the interval — the extrapolation weight
+    /// basis ([`TraceBuf::event_total`] summed over the interval).
+    pub events: u64,
+    /// Strided footprint histogram over 16KB *granules* (`addr >> 14`,
+    /// hash-mixed into buckets). Granule granularity is the
+    /// discriminator: a phase's working set spans few granules, so two
+    /// phases walking different regions occupy different buckets, while
+    /// block-granular hashing would wash both out to uniform noise.
+    pub footprint: [u64; FOOTPRINT_BUCKETS],
+    /// 64-bit linear-counting sketch of distinct blocks touched (bit
+    /// `mix64(addr >> 6) & 63` per strided reference): a cheap
+    /// working-set-size and -identity summary compared by Jaccard
+    /// distance.
+    pub sketch: u64,
+    /// Optional measured per-region miss weights (L1 + L2 misses by
+    /// region name), attached by [`Signature::attach_regions`].
+    pub regions: Option<BTreeMap<String, f64>>,
+}
+
+impl Signature {
+    /// Fingerprints one interval's packed buffers, examining every
+    /// `2^stride_shift`-th memory reference. The stride is deterministic
+    /// (reference ordinal, not random), so the same interval always
+    /// produces the same signature.
+    pub fn from_bufs(bufs: &[TraceBuf], stride_shift: u32) -> Signature {
+        let mask = (1u64 << stride_shift) - 1;
+        let mut sig = Signature {
+            refs: 0,
+            writes: 0,
+            events: 0,
+            footprint: [0; FOOTPRINT_BUCKETS],
+            sketch: 0,
+            regions: None,
+        };
+        for buf in bufs {
+            sig.events += buf.event_total();
+            for r in buf.mem_refs() {
+                if sig.refs & mask == 0 {
+                    let bucket = (mix64(r.addr >> 14) >> 59) as usize;
+                    sig.footprint[bucket] += 1;
+                    sig.sketch |= 1 << (mix64(r.addr >> 6) & 63);
+                }
+                sig.refs += 1;
+                sig.writes += u64::from(r.write);
+            }
+        }
+        sig
+    }
+
+    /// Attaches measured per-region miss weights from an attributed
+    /// replay: L1 and L2 misses summed per region name. Regions with no
+    /// misses are omitted on both sides of a comparison, which cancels
+    /// out in the normalized distance.
+    pub fn attach_regions(&mut self, profile: &MissProfile) {
+        let mut weights = BTreeMap::new();
+        for level in [Level::L1, Level::L2] {
+            for (name, misses) in profile.region_weights(level) {
+                *weights.entry(name).or_insert(0.0) += misses;
+            }
+        }
+        self.regions = Some(weights);
+    }
+
+    /// Normalized distance in `[0, 2]` per component: the L1 distance of
+    /// the two footprint frequency vectors, a small write-mix term, and —
+    /// when both signatures carry measured region weights — the L1
+    /// distance of the region miss distributions averaged in. Symmetric,
+    /// zero for identical signatures, and a pure function of the two
+    /// signatures (no global state), which is what makes the clustering
+    /// stage deterministic.
+    pub fn distance(&self, other: &Signature) -> f64 {
+        let footprint = vec_l1(&self.footprint, &other.footprint);
+        let wmix = (ratio(self.writes, self.refs) - ratio(other.writes, other.refs)).abs();
+        let base = footprint + 0.5 * sketch_jaccard(self.sketch, other.sketch) + 0.25 * wmix;
+        match (&self.regions, &other.regions) {
+            (Some(a), Some(b)) => 0.5 * base + 0.5 * region_l1(a, b),
+            _ => base,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Jaccard distance of two block sketches: `1 − |A∩B| / |A∪B|`, zero
+/// when both are empty. Saturated sketches (working sets far past 64
+/// blocks) converge to zero distance and the granule footprint carries
+/// the discrimination instead.
+fn sketch_jaccard(a: u64, b: u64) -> f64 {
+    let union = (a | b).count_ones();
+    if union == 0 {
+        return 0.0;
+    }
+    1.0 - f64::from((a & b).count_ones()) / f64::from(union)
+}
+
+/// L1 distance of two counter histograms after normalizing each to a
+/// frequency vector. An empty histogram is distance 2 (maximal) from a
+/// non-empty one and 0 from another empty one.
+fn vec_l1(a: &[u64; FOOTPRINT_BUCKETS], b: &[u64; FOOTPRINT_BUCKETS]) -> f64 {
+    let (ta, tb) = (a.iter().sum::<u64>(), b.iter().sum::<u64>());
+    match (ta, tb) {
+        (0, 0) => 0.0,
+        (0, _) | (_, 0) => 2.0,
+        _ => a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x as f64 / ta as f64 - y as f64 / tb as f64).abs())
+            .sum(),
+    }
+}
+
+/// L1 distance of two name-keyed weight maps after normalization, over
+/// the union of names.
+fn region_l1(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
+    let (ta, tb) = (a.values().sum::<f64>(), b.values().sum::<f64>());
+    match (ta <= 0.0, tb <= 0.0) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 2.0,
+        _ => {}
+    }
+    let mut d = 0.0;
+    for name in a.keys().chain(b.keys().filter(|n| !a.contains_key(*n))) {
+        let x = a.get(name).copied().unwrap_or(0.0) / ta;
+        let y = b.get(name).copied().unwrap_or(0.0) / tb;
+        d += (x - y).abs();
+    }
+    d
+}
+
+/// Slices a packed chunk stream into fixed-size intervals of
+/// `chunk_span` consecutive [`TraceBuf`]s (the last interval may be
+/// short). Chunk granularity is deliberate: replay, the store, and the
+/// splitter all move whole chunks, so interval boundaries on chunk
+/// boundaries mean a representative replays *exactly* the entries its
+/// signature fingerprinted.
+///
+/// # Panics
+///
+/// Panics if `chunk_span` is zero.
+pub fn slice_intervals(bufs: &[TraceBuf], chunk_span: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(chunk_span > 0, "interval span must be nonzero");
+    (0..bufs.len())
+        .step_by(chunk_span)
+        .map(|start| start..bufs.len().min(start + chunk_span))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_sim::Event;
+
+    fn buf_of(addrs: &[u64]) -> TraceBuf {
+        let mut b = TraceBuf::with_capacity(addrs.len().max(1));
+        for &a in addrs {
+            b.push(Event::load(a, 8));
+        }
+        b
+    }
+
+    #[test]
+    fn identical_intervals_have_zero_distance() {
+        let a = Signature::from_bufs(&[buf_of(&[0x40, 0x80, 0xC0])], 0);
+        let b = Signature::from_bufs(&[buf_of(&[0x40, 0x80, 0xC0])], 0);
+        assert_eq!(a.distance(&b), 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjoint_working_sets_are_far_apart() {
+        let near: Vec<u64> = (0..256).map(|i| 0x1000 + i * 64).collect();
+        let far: Vec<u64> = (0..256).map(|i| 0x80_0000 + i * 64).collect();
+        let a = Signature::from_bufs(&[buf_of(&near)], 0);
+        let b = Signature::from_bufs(&[buf_of(&far)], 0);
+        let c = Signature::from_bufs(&[buf_of(&near)], 0);
+        assert!(a.distance(&b) > 0.5, "disjoint sets: {}", a.distance(&b));
+        assert_eq!(a.distance(&c), 0.0);
+    }
+
+    #[test]
+    fn striding_counts_every_ref_but_buckets_a_subset() {
+        let addrs: Vec<u64> = (0..64).map(|i| i * 64).collect();
+        let full = Signature::from_bufs(&[buf_of(&addrs)], 0);
+        let strided = Signature::from_bufs(&[buf_of(&addrs)], 2);
+        assert_eq!(strided.refs, full.refs);
+        assert_eq!(strided.footprint.iter().sum::<u64>() * 4, 64);
+    }
+
+    #[test]
+    fn event_totals_include_folded_ticks() {
+        let mut b = TraceBuf::with_capacity(4);
+        b.push(Event::load(0x40, 8));
+        b.push_ticks(9);
+        let sig = Signature::from_bufs(std::slice::from_ref(&b), 0);
+        assert_eq!(sig.events, 10);
+        assert_eq!(sig.refs, 1);
+    }
+
+    #[test]
+    fn slicing_covers_the_stream_exactly_once() {
+        let bufs: Vec<TraceBuf> = (0..7).map(|i| buf_of(&[i * 64])).collect();
+        let ranges = slice_intervals(&bufs, 3);
+        assert_eq!(ranges, vec![0..3, 3..6, 6..7]);
+    }
+}

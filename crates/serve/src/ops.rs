@@ -11,9 +11,12 @@
 //! * **Deadlines** — [`Gate::check`] is called between replay segments
 //!   (cooperative cancellation; a segment is the unit of preemption).
 //! * **Budget admission** — a `simulate`/`morph` workload whose estimated
-//!   event count exceeds the full-replay budget is refused up front with
-//!   a typed `over_budget` error pointing at the sampled-simulation
-//!   roadmap item, instead of being allowed to starve other sessions.
+//!   event count exceeds the full-replay budget is answered by
+//!   *representative-interval sampled simulation* (`sampled: true` in
+//!   the reply, with coverage/confidence/error-bound fields) instead of
+//!   being refused; only workloads past the far larger sampled budget
+//!   still get the typed `over_budget` refusal, instead of being
+//!   allowed to starve other sessions.
 //! * **Store quota** — each session may charge at most
 //!   `store_quota_bytes` of generated trace into the shared cache tier;
 //!   past that its requests still run, but bypass the store
@@ -27,8 +30,10 @@
 use crate::json::Json;
 use crate::proto::ErrorKind;
 use cc_bench::replay::{build_bst, SearchReplay, TreeSpec, SEG_CAP};
+use cc_bench::sample::{Cancelled, SampledReplay, SampledSpec};
 use cc_sim::MachineConfig;
 use cc_sweep::{TraceKey, TraceStore};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,8 +44,14 @@ pub struct ServeLimits {
     /// Largest tree (`keys`) a request may build.
     pub max_keys: u64,
     /// Full-replay budget: the estimated event count above which a
-    /// request is refused with `over_budget`.
+    /// request is answered by sampled simulation instead of full replay.
     pub max_replay_events: u64,
+    /// Sampled-simulation budget: the estimated event count above which
+    /// even a sampled request is refused with `over_budget`. The default
+    /// is 1000× the full-replay budget — sampled cost scales with phase
+    /// diversity, not trace length, so the ceiling guards fingerprinting
+    /// cost, not replay cost.
+    pub max_sampled_events: u64,
     /// Largest accepted `shards` parameter.
     pub max_shards: u64,
     /// Largest accepted `lint` source, in bytes.
@@ -57,6 +68,7 @@ impl Default for ServeLimits {
             max_keys: 1 << 20,
             // The roadmap's "~2.4M events max" full-replay ceiling.
             max_replay_events: 2_400_000,
+            max_sampled_events: 2_400_000_000,
             max_shards: 8,
             max_lint_bytes: 256 << 10,
             max_audit_n: 1 << 16,
@@ -221,23 +233,32 @@ fn layout_spec(name: &str, layout_seed: u64) -> Result<TreeSpec, (ErrorKind, Str
     })
 }
 
-/// Runs one replay under the gate, returning the stats object.
-fn run_replay(env: &OpEnv<'_>, r: &ReplaySpec, chaos_mid: bool) -> OpResult {
+/// Searches per sampling interval on the serve path. Fixed (not a
+/// request parameter) so equal workloads always share cache keys and
+/// reply bytes.
+pub const SAMPLE_INTERVAL_SEARCHES: u64 = 2048;
+
+/// The chaos switches a request may carry (honored only under
+/// `--allow-chaos`).
+struct ChaosPlan {
+    /// Panic mid-request, after at least one segment/interval ran.
+    panic_mid: bool,
+    /// Poison the first `sample_poison` cluster representatives of a
+    /// sampled replay — the cc-fault sampler plane, reachable from the
+    /// wire for the chaos harness.
+    sample_poison: u64,
+}
+
+/// Runs one replay under the gate, returning the stats object. `over`
+/// divides both event budgets — `morph` passes 2 because it replays the
+/// workload twice on one request.
+fn run_replay(env: &OpEnv<'_>, r: &ReplaySpec, chaos: &ChaosPlan, over: u64) -> OpResult {
     let machine = MachineConfig::ultrasparc_e5000();
     let est_events = estimate_events(r.keys, r.searches);
-    if est_events > env.limits.max_replay_events {
-        return Err((
-            ErrorKind::OverBudget,
-            format!(
-                "estimated {est_events} replay events exceed the full-replay budget of {} — \
-                 this server replays every event exactly; for workloads this size see the \
-                 sampled-simulation roadmap item (\"Improving the Representativeness of \
-                 Simulation Intervals for the Cache Memory System\", PAPERS.md), which trades \
-                 bounded extrapolation error for 100x-1000x capacity",
-                env.limits.max_replay_events
-            ),
-        ));
+    if est_events > env.limits.max_replay_events / over.max(1) {
+        return run_sampled(env, r, chaos, over, est_events);
     }
+    let chaos_mid = chaos.panic_mid;
 
     // Store-quota admission: a tenant past its generated-bytes quota
     // keeps full service, but stops charging the shared tier.
@@ -311,7 +332,143 @@ fn run_replay(env: &OpEnv<'_>, r: &ReplaySpec, chaos_mid: bool) -> OpResult {
                 ("repaired_bufs", Json::Uint(deg.repaired_bufs)),
             ]),
         ),
+        ("sampled", Json::Bool(false)),
         ("shared_store", Json::Bool(use_store)),
+    ]))
+}
+
+/// Answers an over-full-budget replay by representative-interval sampled
+/// simulation (cc-sample via [`SampledReplay`]): fingerprint-cluster the
+/// interval stream, replay only cluster representatives behind warmup
+/// windows, extrapolate, and report coverage/confidence/error-bound
+/// alongside the usual stats. Results are cached in the store's sampled
+/// side cache keyed by workload *and* sampling configuration, so a warm
+/// server answers without generating a single event. Success replies
+/// stay deterministic and byte-stable: the sampling pipeline is
+/// seeded-deterministic, the reply carries no cache-provenance field,
+/// and a decoded cache hit reproduces the cold reply's bytes.
+fn run_sampled(
+    env: &OpEnv<'_>,
+    r: &ReplaySpec,
+    chaos: &ChaosPlan,
+    over: u64,
+    est_events: u64,
+) -> OpResult {
+    if est_events > env.limits.max_sampled_events / over.max(1) {
+        return Err((
+            ErrorKind::OverBudget,
+            format!(
+                "estimated {est_events} replay events exceed even the sampled-simulation \
+                 budget of {} — sampled capacity is bounded by the fingerprint pass \
+                 (\"Improving the Representativeness of Simulation Intervals for the \
+                 Cache Memory System\", PAPERS.md)",
+                env.limits.max_sampled_events
+            ),
+        ));
+    }
+
+    // No store-quota charge: a sampled run writes a <1 KB result into
+    // the sampled side cache, never generated-trace bytes.
+    let machine = MachineConfig::ultrasparc_e5000();
+    let tree = build_bst(&machine, r.keys, r.spec);
+    let key = r.spec.fold_key(TraceKey::new(r.tag));
+    let spec = SampledSpec {
+        interval_searches: SAMPLE_INTERVAL_SEARCHES,
+        ..SampledSpec::default()
+    };
+    let mut replay = SampledReplay::new(
+        machine,
+        r.keys,
+        r.seed,
+        r.shards as usize,
+        Some(env.store),
+        key,
+        spec,
+    );
+    if chaos.sample_poison > 0 {
+        replay.poison((0..chaos.sample_poison as usize).collect::<BTreeSet<_>>());
+    }
+    // The cancel hook doubles as the mid-request chaos trigger: polled
+    // between intervals, so the panic fires with fingerprint state (and
+    // possibly store writes) in flight — the same "at least one
+    // segment ran" point the full path detonates at.
+    let polls = AtomicU64::new(0);
+    let cancel = || {
+        if chaos.panic_mid && polls.fetch_add(1, Ordering::Relaxed) == 1 {
+            panic!("chaos: injected mid-request worker panic");
+        }
+        env.gate.check().is_err()
+    };
+    replay.cancel_with(&cancel);
+    let result = replay.run(r.searches, |k, buf| {
+        tree.search(k, buf, false);
+    });
+    let result = match result {
+        Ok(result) => result,
+        Err(Cancelled) => {
+            return Err(env.gate.check().expect_err("sampled replay cancelled"));
+        }
+    };
+    let c = &result.stats.counters;
+    Ok(Json::obj([
+        ("searches", Json::Uint(r.searches)),
+        ("keys", Json::Uint(r.keys)),
+        ("shards", Json::Uint(r.shards)),
+        ("events", Json::Uint(c.events)),
+        ("insts", Json::Uint(c.insts)),
+        ("memory_cycles", Json::Uint(c.memory_cycles)),
+        (
+            "avg_us_per_search",
+            Json::Float(result.avg_us_per_search(&machine)),
+        ),
+        (
+            "l1",
+            Json::obj([
+                (
+                    "hits",
+                    Json::Uint(c.l1_accesses.saturating_sub(c.l1_misses)),
+                ),
+                ("misses", Json::Uint(c.l1_misses)),
+            ]),
+        ),
+        (
+            "l2",
+            Json::obj([
+                (
+                    "hits",
+                    Json::Uint(c.l2_accesses.saturating_sub(c.l2_misses)),
+                ),
+                ("misses", Json::Uint(c.l2_misses)),
+            ]),
+        ),
+        (
+            "tlb",
+            Json::obj([
+                ("accesses", Json::Uint(c.tlb_accesses)),
+                ("misses", Json::Uint(c.tlb_misses)),
+            ]),
+        ),
+        ("sampled", Json::Bool(true)),
+        (
+            "sample",
+            Json::obj([
+                ("intervals", Json::Uint(result.intervals as u64)),
+                ("representatives", Json::Uint(result.representatives as u64)),
+                ("interval_searches", Json::Uint(result.interval_searches)),
+                ("coverage_pct", Json::Float(result.stats.coverage_pct)),
+                ("confidence_pct", Json::Float(result.stats.confidence_pct)),
+                ("error_bound_pct", Json::Float(result.stats.error_bound_pct)),
+                (
+                    "fallback_representatives",
+                    Json::Uint(result.degradation.fallback_representatives),
+                ),
+                (
+                    "lost_representatives",
+                    Json::Uint(result.degradation.lost_representatives),
+                ),
+            ]),
+        ),
+        ("shared_store", Json::Bool(true)),
     ]))
 }
 
@@ -353,14 +510,17 @@ fn replay_params(
 
 /// Honors chaos parameters when allowed; refuses them otherwise so a
 /// production server cannot be detonated from the wire. Returns the
-/// `chaos_panic_mid` flag after applying `chaos_panic` (panic now) and
+/// remaining [`ChaosPlan`] after applying `chaos_panic` (panic now) and
 /// `chaos_sleep_ms` (a gate-checked stall, used by tests to fill the
-/// admission queue and exercise deadlines deterministically).
-fn chaos_prelude(env: &OpEnv<'_>, params: &Json) -> Result<bool, (ErrorKind, String)> {
+/// admission queue and exercise deadlines deterministically);
+/// `chaos_panic_mid` and `chaos_sample_poison` detonate later, inside
+/// the replay they target.
+fn chaos_prelude(env: &OpEnv<'_>, params: &Json) -> Result<ChaosPlan, (ErrorKind, String)> {
     let now = param_flag(params, "chaos_panic");
     let mid = param_flag(params, "chaos_panic_mid");
+    let sample_poison = param_u64(params, "chaos_sample_poison", 0)?;
     let sleep_ms = param_u64(params, "chaos_sleep_ms", 0)?;
-    if (now || mid || sleep_ms > 0) && !env.allow_chaos {
+    if (now || mid || sample_poison > 0 || sleep_ms > 0) && !env.allow_chaos {
         return Err(bad(
             "chaos parameters are refused unless the server runs with --allow-chaos",
         ));
@@ -373,41 +533,36 @@ fn chaos_prelude(env: &OpEnv<'_>, params: &Json) -> Result<bool, (ErrorKind, Str
         env.gate.check()?;
         std::thread::sleep(std::time::Duration::from_millis(2));
     }
-    Ok(mid)
+    Ok(ChaosPlan {
+        panic_mid: mid,
+        sample_poison,
+    })
 }
 
 /// `simulate`: one replay of a tree-search workload.
 pub fn simulate(env: &OpEnv<'_>, params: &Json) -> OpResult {
-    let chaos_mid = chaos_prelude(env, params)?;
+    let chaos = chaos_prelude(env, params)?;
     let spec = replay_params(env, params, "serve-simulate")?;
-    run_replay(env, &spec, chaos_mid)
+    run_replay(env, &spec, &chaos, 1)
 }
 
 /// `morph`: replay the same workload on the unorganized layout and on
 /// the ccmorph C-tree, and report the predicted deltas.
 pub fn morph(env: &OpEnv<'_>, params: &Json) -> OpResult {
-    let chaos_mid = chaos_prelude(env, params)?;
+    let chaos = chaos_prelude(env, params)?;
     let mut base = replay_params(env, params, "serve-morph")?;
     base.spec.morph = false;
     let mut morphed = replay_params(env, params, "serve-morph")?;
     morphed.spec.morph = true;
 
-    // The budget covers both replays.
-    let est = estimate_events(base.keys, base.searches).saturating_mul(2);
-    if est > env.limits.max_replay_events {
-        return Err((
-            ErrorKind::OverBudget,
-            format!(
-                "morph replays the workload twice (~{est} events), over the {} budget — \
-                 see the sampled-simulation roadmap item (PAPERS.md, \"Improving the \
-                 Representativeness of Simulation Intervals\")",
-                env.limits.max_replay_events
-            ),
-        ));
-    }
-
-    let before = run_replay(env, &base, chaos_mid)?;
-    let after = run_replay(env, &morphed, false)?;
+    // Both budgets cover both replays (`over = 2`): each leg flips to
+    // sampled — or is refused — at half the single-replay thresholds.
+    let before = run_replay(env, &base, &chaos, 2)?;
+    let quiet = ChaosPlan {
+        panic_mid: false,
+        sample_poison: 0,
+    };
+    let after = run_replay(env, &morphed, &quiet, 2)?;
     let miss = |r: &Json, lvl: &str| {
         r.get(lvl)
             .and_then(|l| l.get("misses"))
@@ -564,9 +719,11 @@ mod tests {
             allow_chaos: false,
             quota_bypass: &noop,
         };
+        // Past even the sampled budget (200M searches × 22 events ≈
+        // 4.4B estimated events > 2.4B): still a typed refusal.
         let params = Json::obj([
             ("keys", Json::Uint(1 << 19)),
-            ("searches", Json::Uint(10_000_000)),
+            ("searches", Json::Uint(200_000_000)),
         ]);
         let (kind, msg) = simulate(&env, &params).unwrap_err();
         assert_eq!(kind, ErrorKind::OverBudget);
@@ -574,6 +731,89 @@ mod tests {
             msg.contains("Representativeness of Simulation Intervals"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn over_full_budget_workload_gets_a_sampled_answer() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        // 250k searches × 10 events/search ≈ 2.5M estimated events:
+        // past the 2.4M full-replay budget, well under the sampled one.
+        let params = Json::obj([
+            ("keys", Json::Uint(255)),
+            ("searches", Json::Uint(250_000)),
+            ("seed", Json::Uint(7)),
+        ]);
+        let a = simulate(&env, &params).unwrap();
+        assert_eq!(a.get("sampled"), Some(&Json::Bool(true)));
+        let sample = a.get("sample").expect("sample block");
+        assert_eq!(sample.get("coverage_pct"), Some(&Json::Float(100.0)));
+        let bound = match sample.get("error_bound_pct") {
+            Some(Json::Float(v)) => *v,
+            other => panic!("{other:?}"),
+        };
+        assert!(bound > 0.0, "an estimate must carry an error bound");
+        assert_eq!(sample.get("fallback_representatives"), Some(&Json::Uint(0)));
+        assert!(a.get("events").and_then(Json::as_u64).unwrap() > 2_400_000);
+        assert_eq!(store.counters().sampled_puts, 1);
+
+        // Warm repeat: answered from the sampled result cache, byte-stable.
+        let b = simulate(&env, &params).unwrap();
+        assert_eq!(
+            a.encode(),
+            b.encode(),
+            "sampled replies must be byte-stable"
+        );
+        assert_eq!(store.counters().sampled_hits, 1);
+    }
+
+    #[test]
+    fn chaos_sample_poison_degrades_to_fallbacks_with_counters() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: true,
+            quota_bypass: &noop,
+        };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = simulate(
+            &env,
+            &Json::obj([
+                ("keys", Json::Uint(255)),
+                ("searches", Json::Uint(250_000)),
+                ("seed", Json::Uint(7)),
+                ("chaos_sample_poison", Json::Uint(2)),
+            ]),
+        )
+        .unwrap();
+        std::panic::set_hook(prev);
+        assert_eq!(r.get("sampled"), Some(&Json::Bool(true)));
+        let sample = r.get("sample").expect("sample block");
+        let fallbacks = sample
+            .get("fallback_representatives")
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(
+            fallbacks >= 1,
+            "poisoned representatives must degrade to counted fallbacks: {sample:?}"
+        );
+        // Faulted runs bypass the result cache in both directions.
+        assert_eq!(store.counters().sampled_puts, 0);
     }
 
     #[test]

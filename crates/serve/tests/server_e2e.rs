@@ -316,8 +316,9 @@ fn breaker_quarantines_a_panicking_class_and_recovers() {
 fn oversized_workload_gets_typed_over_budget_pointing_at_sampling() {
     let server = Server::spawn(test_config()).expect("spawn");
     let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    // Past even the sampled-simulation budget (~4.4B estimated events).
     let reply = client
-        .request(&simulate_req(1, 1 << 20, 10_000_000, 1))
+        .request(&simulate_req(1, 1 << 20, 200_000_000, 1))
         .expect("reply");
     match &reply.body {
         Err(e) => {
@@ -329,8 +330,76 @@ fn oversized_workload_gets_typed_over_budget_pointing_at_sampling() {
                 e.message
             );
         }
-        Ok(_) => panic!("a 10M-search replay must be refused"),
+        Ok(_) => panic!("a 200M-search replay must be refused"),
     }
+    assert!(server.drain().clean);
+}
+
+/// The PR 9 headline: a request the seed server refused with
+/// `over_budget` (10M-search workloads were the canonical example) now
+/// gets a real answer — `sampled: true`, error-bound fields, byte-stable
+/// across repeats (the second served from the sampled result cache).
+#[test]
+fn previously_refused_over_budget_request_now_gets_sampled_answer() {
+    let server = Server::spawn(test_config()).expect("spawn");
+    let addr = server.addr().to_string();
+    // 250k searches × 10 events/search ≈ 2.5M estimated events: over the
+    // 2.4M full-replay budget, which refused this request before.
+    let req = simulate_req(1, 255, 250_000, 7);
+    let lines = session_script(&addr, &[req.clone(), req]);
+    let reply = Reply::decode(&lines[0]).expect("parses");
+    let (_, result) = reply.body.as_ref().expect("sampled success");
+    assert_eq!(result.get("sampled"), Some(&Json::Bool(true)));
+    let sample = result.get("sample").expect("sample block");
+    for field in [
+        "intervals",
+        "representatives",
+        "coverage_pct",
+        "confidence_pct",
+        "error_bound_pct",
+        "fallback_representatives",
+        "lost_representatives",
+    ] {
+        assert!(sample.get(field).is_some(), "missing sample.{field}");
+    }
+    assert_eq!(sample.get("coverage_pct"), Some(&Json::Float(100.0)));
+    assert_eq!(
+        lines[0], lines[1],
+        "sampled replies must be byte-stable, warm cache included"
+    );
+    assert!(server.drain().clean);
+}
+
+/// Sampler fault plane from the wire: poisoned representatives degrade
+/// to neighbouring-interval fallbacks with counters — the reply is still
+/// a success, and the degradation is visible, never silent.
+#[test]
+fn chaos_sample_poison_is_visible_and_non_silent() {
+    let server = Server::spawn(test_config()).expect("spawn");
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let reply = client
+        .request(&Request {
+            id: 1,
+            op: Op::Simulate,
+            deadline_ms: Some(30_000),
+            params: Json::obj([
+                ("keys", Json::Uint(255)),
+                ("searches", Json::Uint(250_000)),
+                ("seed", Json::Uint(7)),
+                ("chaos_sample_poison", Json::Uint(2)),
+            ]),
+        })
+        .expect("reply");
+    let (_, result) = reply.body.as_ref().expect("degraded success");
+    let sample = result.get("sample").expect("sample block");
+    assert!(
+        sample
+            .get("fallback_representatives")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1,
+        "poison must surface as fallback counters: {sample:?}"
+    );
     assert!(server.drain().clean);
 }
 

@@ -63,6 +63,19 @@ pub(crate) enum PackedKind {
     Gap,
 }
 
+/// One packed memory-referencing entry of a [`TraceBuf`], as streamed by
+/// [`TraceBuf::mem_refs`]. Prefetches stream as reads: a fingerprint cares
+/// about the block touched, not the probe's side-channel semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// Referenced virtual address.
+    pub addr: u64,
+    /// Access size in bytes (0 for prefetch probes).
+    pub size: u32,
+    /// Whether the entry writes (store) rather than reads.
+    pub write: bool,
+}
+
 /// A fixed-capacity structure-of-arrays event buffer.
 ///
 /// Events are split into parallel lanes (kind, address, size, trailing
@@ -249,6 +262,43 @@ impl TraceBuf {
             }
             None => false,
         }
+    }
+
+    /// Streams the memory-referencing entries (loads, stores, prefetches)
+    /// as packed [`MemRef`]s without decoding the folded clock runs — the
+    /// cheap per-entry walk interval fingerprinting needs. One item per
+    /// packed entry: a fingerprint pass over a buffer touches each lane
+    /// byte once, versus [`TraceBuf::events`] which re-expands every
+    /// folded instruction run into individual events.
+    pub fn mem_refs(&self) -> impl Iterator<Item = MemRef> + '_ {
+        (0..self.len()).filter_map(move |i| {
+            let write = match self.kinds[i] {
+                PackedKind::LoadDep | PackedKind::LoadIndep | PackedKind::Prefetch => false,
+                PackedKind::Store => true,
+                PackedKind::Inst | PackedKind::Branch | PackedKind::Gap => return None,
+            };
+            Some(MemRef {
+                write,
+                addr: self.addrs[i],
+                size: self.sizes[i],
+            })
+        })
+    }
+
+    /// Total decoded event count: packed entries, the instruction/branch
+    /// runs folded into tick lanes, and clock-gap run lengths. This is the
+    /// event total [`TraceBuf::events`] would yield, computed in one dense
+    /// pass — the extrapolation weight basis for sampled simulation.
+    pub fn event_total(&self) -> u64 {
+        let mut total = 0u64;
+        for i in 0..self.len() {
+            total += match self.kinds[i] {
+                PackedKind::Gap => self.addrs[i],
+                _ => 1,
+            };
+            total += u64::from(self.ticks[i]);
+        }
+        total
     }
 
     /// Decodes the buffered events back into [`Event`]s, in order. Folded

@@ -55,7 +55,9 @@ pub mod shard;
 pub mod stats;
 pub mod tlb;
 
-pub use batch::{BatchCursor, BatchOutcome, BatchSink, TraceBuf, TraceCorruption, TraceFault};
+pub use batch::{
+    BatchCursor, BatchOutcome, BatchSink, MemRef, TraceBuf, TraceCorruption, TraceFault,
+};
 pub use config::{Latency, MachineConfig};
 pub use event::{AffinityTrace, Event, EventSink, Tee};
 pub use geometry::CacheGeometry;

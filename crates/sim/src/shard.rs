@@ -178,10 +178,26 @@ struct Lane {
     /// Event time relative to the split's first event (the replayer adds
     /// its persistent clock), feeding prefetch arrival/wait arithmetic.
     nows: Vec<u64>,
+    /// Maximal runs of consecutive `OP_READ` entries as `(start, end)`
+    /// index pairs, maintained incrementally at push time. This moves the
+    /// chunk-uniformity scan out of the replay loop: a [`kernel::WIDTH`]
+    /// window starting at `i` is all-reads iff `i` lies in a run whose
+    /// end is at least `i + WIDTH`, so [`replay_lane_fast`] walks this
+    /// list with a cursor instead of re-inspecting `WIDTH` op bytes per
+    /// position. `u32` indices: a single split holding 2^32 lane entries
+    /// would be a ≥64 GiB trace segment, far past any segment cap.
+    read_runs: Vec<(u32, u32)>,
 }
 
 impl Lane {
     fn push(&mut self, op: u8, addr: u64, now: u64) {
+        if op == OP_READ {
+            let idx = self.ops.len() as u32;
+            match self.read_runs.last_mut() {
+                Some(run) if run.1 == idx => run.1 = idx + 1,
+                _ => self.read_runs.push((idx, idx + 1)),
+            }
+        }
         self.ops.push(op);
         self.addrs.push(addr);
         self.nows.push(now);
@@ -192,6 +208,7 @@ impl Lane {
         self.ops.clear();
         self.addrs.clear();
         self.nows.clear();
+        self.read_runs.clear();
     }
 }
 
@@ -1156,6 +1173,15 @@ fn scalar_read(
 /// change the in-flight set, so the run stays a read run), and the L2
 /// memo is untouched either way, exactly as a run of scalar L1 hits
 /// would leave it.
+///
+/// Chunk *eligibility* comes precomputed: the splitter segments each
+/// lane into maximal read runs ([`Lane::read_runs`]) as it pushes
+/// entries, so this loop advances a run cursor instead of scanning
+/// `WIDTH` op bytes per position. The decisions are identical to the
+/// old per-window [`kernel::all_op`] scan — a window crossing a maximal
+/// run's boundary contains a non-read and always failed the scan, a
+/// window inside a run always passed — which the pooled == eager ==
+/// batched == scalar differential proptests pin.
 fn replay_lane_fast(sys: &mut MemorySystem, lane: &Lane, base_now: u64) -> u64 {
     let lat = sys.config.latency;
     let l1_direct = sys.config.l1.assoc() == 1;
@@ -1167,13 +1193,18 @@ fn replay_lane_fast(sys: &mut MemorySystem, lane: &Lane, base_now: u64) -> u64 {
     let mut l2_memo = NO_MEMO;
     let mut no_inflight = sys.inflight.is_empty();
     let n = lane.ops.len();
+    let runs = &lane.read_runs;
+    let mut run = 0usize;
     let mut i = 0usize;
     while i < n {
-        if l1_direct
-            && no_inflight
-            && i + kernel::WIDTH <= n
-            && kernel::all_op(&lane.ops[i..i + kernel::WIDTH], OP_READ)
-        {
+        while run < runs.len() && runs[run].1 as usize <= i {
+            run += 1;
+        }
+        let in_chunkable_run = run < runs.len()
+            && runs[run].0 as usize <= i
+            && runs[run].1 as usize - i >= kernel::WIDTH;
+        if l1_direct && no_inflight && in_chunkable_run {
+            debug_assert!(kernel::all_op(&lane.ops[i..i + kernel::WIDTH], OP_READ));
             let addrs: &[u64; kernel::WIDTH] = lane.addrs[i..i + kernel::WIDTH]
                 .try_into()
                 .expect("chunk width");
@@ -1574,6 +1605,7 @@ mod tests {
                 assert_eq!(p.ops, e.ops);
                 assert_eq!(p.addrs, e.addrs);
                 assert_eq!(p.nows, e.nows);
+                assert_eq!(p.read_runs, e.read_runs);
             }
             assert_eq!(pooled.tlb_lane.ops, eager.tlb_lane.ops);
             assert_eq!(pooled.tlb_lane.pages, eager.tlb_lane.pages);

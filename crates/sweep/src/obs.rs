@@ -24,6 +24,9 @@ pub fn export_store(registry: &mut MetricsRegistry, prefix: &str, counters: &Sto
     registry.set(&format!("{prefix}.oversized"), counters.oversized);
     registry.set(&format!("{prefix}.disk_errors"), counters.disk_errors);
     registry.set(&format!("{prefix}.disk_corrupt"), counters.disk_corrupt);
+    registry.set(&format!("{prefix}.sampled_hits"), counters.sampled_hits);
+    registry.set(&format!("{prefix}.sampled_misses"), counters.sampled_misses);
+    registry.set(&format!("{prefix}.sampled_puts"), counters.sampled_puts);
 }
 
 /// Summarizes a grid of [`CellOutcome`]s into `registry`:
@@ -71,10 +74,15 @@ mod tests {
             oversized: 4,
             disk_errors: 6,
             disk_corrupt: 7,
+            sampled_hits: 8,
+            sampled_misses: 9,
+            sampled_puts: 10,
         };
         let mut reg = MetricsRegistry::new();
         export_store(&mut reg, "store", &counters);
         assert_eq!(reg.get("store.hits"), Some(5));
+        assert_eq!(reg.get("store.sampled_hits"), Some(8));
+        assert_eq!(reg.get("store.sampled_puts"), Some(10));
         assert_eq!(reg.get("store.oversized"), Some(4));
         assert_eq!(reg.get("store.generations"), Some(1));
         assert_eq!(reg.get("store.disk_errors"), Some(6));

@@ -141,6 +141,12 @@ pub struct StoreCounters {
     /// On-disk files that failed to decode: treated as misses, never
     /// trusted, and regenerated.
     pub disk_corrupt: u64,
+    /// Sampled-result lookups served from the side cache.
+    pub sampled_hits: u64,
+    /// Sampled-result lookups that missed.
+    pub sampled_misses: u64,
+    /// Sampled results stored.
+    pub sampled_puts: u64,
 }
 
 struct Entry {
@@ -154,6 +160,11 @@ struct StoreInner {
     bytes: usize,
     stamp: u64,
     counters: StoreCounters,
+    /// Sampled-simulation results (opaque encoded strings) keyed by a
+    /// [`TraceKey`] that folds the *sampling configuration* on top of the
+    /// trace coordinates — a couple hundred bytes each, so a count-capped
+    /// LRU rather than a byte-budgeted one.
+    sampled: HashMap<u64, (Arc<str>, u64)>,
 }
 
 /// The content-addressed trace store. Cheap to share behind an `Arc`;
@@ -187,6 +198,7 @@ impl TraceStore {
                 bytes: 0,
                 stamp: 0,
                 counters: StoreCounters::default(),
+                sampled: HashMap::new(),
             }),
             budget: budget.max(1),
             disk: None,
@@ -370,6 +382,63 @@ impl TraceStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => DiskRead::Miss,
             Err(e) => DiskRead::IoError(e),
         }
+    }
+
+    /// Resident sampled-result cap. Results are a few hundred bytes, so
+    /// the cap bounds memory at well under a megabyte while covering far
+    /// more distinct sampled workloads than any sweep or server session
+    /// touches.
+    pub const SAMPLED_CAP: usize = 256;
+
+    /// A cached sampled-simulation result for `key`, if present. `key`
+    /// must fold the sampling configuration in addition to the trace
+    /// coordinates — two sampling configs over one trace are different
+    /// results. The encoding is the caller's (the store treats it as an
+    /// opaque string); determinism of the content is the caller's
+    /// contract, exactly as with [`TraceStore::get_or_generate`].
+    pub fn sampled_get(&self, key: TraceKey) -> Option<Arc<str>> {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        match inner.sampled.get_mut(&key.value()) {
+            Some((encoded, touched)) => {
+                *touched = stamp;
+                let encoded = Arc::clone(encoded);
+                inner.counters.sampled_hits += 1;
+                Some(encoded)
+            }
+            None => {
+                inner.counters.sampled_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a sampled-simulation result under `key`, evicting the
+    /// least-recently-used result past [`TraceStore::SAMPLED_CAP`].
+    pub fn sampled_put(&self, key: TraceKey, encoded: String) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner.counters.sampled_puts += 1;
+        inner
+            .sampled
+            .insert(key.value(), (Arc::from(encoded), stamp));
+        while inner.sampled.len() > Self::SAMPLED_CAP {
+            let Some((&victim, _)) = inner.sampled.iter().min_by_key(|(_, (_, s))| *s) else {
+                break;
+            };
+            inner.sampled.remove(&victim);
+        }
+    }
+
+    /// Distinct sampled results resident.
+    pub fn sampled_len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .sampled
+            .len()
     }
 
     /// A snapshot of the activity counters.
@@ -681,6 +750,33 @@ mod tests {
             "a downed tier must not be written"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_results_cache_by_config_keyed_key() {
+        let store = TraceStore::default();
+        let base = key(21);
+        let cfg_a = base.fold(0xA);
+        let cfg_b = base.fold(0xB);
+        assert!(store.sampled_get(cfg_a).is_none());
+        store.sampled_put(cfg_a, "intervals=4;reps=2".to_string());
+        let hit = store.sampled_get(cfg_a).expect("warm sampled result");
+        assert_eq!(&*hit, "intervals=4;reps=2");
+        // A different sampling config over the same trace is a miss.
+        assert!(store.sampled_get(cfg_b).is_none());
+        let c = store.counters();
+        assert_eq!(c.sampled_hits, 1);
+        assert_eq!(c.sampled_misses, 2);
+        assert_eq!(c.sampled_puts, 1);
+
+        // The count-capped LRU keeps the hot entry.
+        for i in 0..TraceStore::SAMPLED_CAP as u64 + 8 {
+            store.sampled_put(base.fold(0x100 + i), format!("r{i}"));
+            // Keep cfg_a hot so eviction takes the cold tail.
+            store.sampled_get(cfg_a);
+        }
+        assert_eq!(store.sampled_len(), TraceStore::SAMPLED_CAP);
+        assert!(store.sampled_get(cfg_a).is_some(), "hot entry survives");
     }
 
     #[test]
