@@ -54,6 +54,13 @@
 //! bound only, since a short trace has too few intervals for sampling
 //! to pay.
 //!
+//! A `field_layout` block carries the fig5-style field-transform sweep:
+//! the fat-node tree under AoS, hot-prefix reorder, hot/cold split, and
+//! SoA, measured in deterministic simulated time on a search and a scan
+//! workload, with a headline `field_layout_speedup_vs_aos` (SoA over AoS
+//! on the array-ish scan) gated > 1.0 alongside a hot/cold-beats-AoS
+//! search gate.
+//!
 //! Results go to stdout and, machine-readably, to `BENCH_sim.json`
 //! (override with `--out <path>`), with a per-trace wall-vs-modeled
 //! table beside it (`<out stem>.wall.txt`). `--quick` shrinks trees and
@@ -69,6 +76,7 @@
 //! JSON (`wall_gate`); the modeled critical-path gate still holds the
 //! line.
 
+use cc_bench::field::{run_field_sweep, FieldCase, FieldSweep};
 use cc_bench::header;
 use cc_bench::replay::{build_bst, pack_chunks, pack_full, TreeSpec};
 use cc_bench::sample::{SampledReplay, SampledSpec};
@@ -103,13 +111,16 @@ const WALL_GATE_CORES: usize = 4;
 const SAMPLED_ERROR_GATE_PCT: f64 = 2.0;
 const SAMPLED_SPEEDUP_GATE: f64 = 10.0;
 
+// Field order is cc-lint's PAD-01 suggestion (wide members first, the
+// u32/bool tail packed); repr(C) pins it, the offset test below holds it.
+#[repr(C)]
 struct CaseSpec {
+    tree: TreeSpec,
     name: &'static str,
     layout: &'static str,
-    tree: TreeSpec,
+    searches: u64,
     /// Tree has `2^bits - 1` keys (a complete BST).
     bits: u32,
-    searches: u64,
     sw_prefetch: bool,
 }
 
@@ -523,6 +534,7 @@ fn write_json(
     timings: &[Timing],
     scaling: &[(usize, f64)],
     sampled: &SampledSweep,
+    field: &FieldSweep,
     store: &TraceStore,
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
@@ -687,6 +699,55 @@ fn write_json(
         None => writeln!(f, "    \"operating_point_clusters\": null")?,
     }
     writeln!(f, "  }},")?;
+    writeln!(f, "  \"field_layout\": {{")?;
+    writeln!(f, "    \"workload\": \"fat-bst search + key scan\",")?;
+    writeln!(f, "    \"keys\": {},", field.n)?;
+    writeln!(f, "    \"searches\": {},", field.searches)?;
+    writeln!(f, "    \"scans\": {},", field.scans)?;
+    writeln!(f, "    \"cases\": [")?;
+    for (i, r) in field.results.iter().enumerate() {
+        writeln!(f, "      {{")?;
+        writeln!(f, "        \"case\": \"{}\",", r.case.name())?;
+        writeln!(f, "        \"search_us\": {:.4},", r.search_us)?;
+        writeln!(f, "        \"scan_us\": {:.5},", r.scan_us)?;
+        writeln!(
+            f,
+            "        \"search_l1_miss_pct\": {:.2},",
+            r.search_l1_miss_pct
+        )?;
+        writeln!(f, "        \"hot_stride\": {},", r.hot_stride)?;
+        writeln!(
+            f,
+            "        \"search_speedup_vs_aos\": {:.2},",
+            field.search_speedup(r.case)
+        )?;
+        writeln!(
+            f,
+            "        \"scan_speedup_vs_aos\": {:.2},",
+            field.scan_speedup(r.case)
+        )?;
+        writeln!(f, "        \"search_l1_miss_shares\": [")?;
+        for (j, (name, share)) in r.field_misses.iter().enumerate() {
+            writeln!(
+                f,
+                "          {{ \"field\": \"{}\", \"share\": {share:.4} }}{}",
+                json_escape_free(name),
+                if j + 1 < r.field_misses.len() {
+                    ","
+                } else {
+                    ""
+                }
+            )?;
+        }
+        writeln!(f, "        ]")?;
+        writeln!(
+            f,
+            "      }}{}",
+            if i + 1 < field.results.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "    ]")?;
+    writeln!(f, "  }},")?;
     let c = store.counters();
     writeln!(f, "  \"trace_store\": {{")?;
     writeln!(f, "    \"hits\": {},", c.hits)?;
@@ -717,6 +778,11 @@ fn write_json(
     writeln!(
         f,
         "  \"sharded_wall_speedup_vs_batched\": {wall_headline:.2},"
+    )?;
+    writeln!(
+        f,
+        "  \"field_layout_speedup_vs_aos\": {:.2},",
+        field.headline_speedup()
     )?;
     match sampled.operating_point() {
         Some(p) => writeln!(
@@ -1058,6 +1124,11 @@ fn main() {
     // against a timed full replay of the same search stream.
     let sampled = run_sampled_sweep(&machine, quick);
 
+    // The field-layout sweep: AoS vs the three cc-core field transforms
+    // on the fat-node tree, in deterministic simulated time.
+    eprintln!("field-layout sweep on the fat-node tree…");
+    let field = run_field_sweep(&machine, quick);
+
     println!(
         "\n{:<24}{:>12}{:>11}{:>15}{:>15}{:>15}{:>9}{:>9}{:>9}{:>8}",
         "trace",
@@ -1126,6 +1197,38 @@ fn main() {
             println!("  operating point: NONE within the {SAMPLED_ERROR_GATE_PCT:.1}% error gate")
         }
     }
+    println!(
+        "\nfield-layout sweep (fat-bst, {} keys, simulated time; {} searches, {} scans):",
+        field.n, field.searches, field.scans
+    );
+    println!(
+        "  {:<10}{:>12}{:>12}{:>10}{:>10}{:>9}  {}",
+        "case",
+        "search µs",
+        "scan µs",
+        "search x",
+        "scan x",
+        "L1 miss%",
+        "hottest fields (L1 share)"
+    );
+    for r in &field.results {
+        let hot: Vec<String> = r
+            .field_misses
+            .iter()
+            .take(3)
+            .map(|(name, share)| format!("{name} {:.0}%", 100.0 * share))
+            .collect();
+        println!(
+            "  {:<10}{:>12.3}{:>12.4}{:>9.2}x{:>9.2}x{:>9.2}  {}",
+            r.case.name(),
+            r.search_us,
+            r.scan_us,
+            field.search_speedup(r.case),
+            field.scan_speedup(r.case),
+            r.search_l1_miss_pct,
+            hot.join(", ")
+        );
+    }
     let c = store.counters();
     println!(
         "trace store: {} generations, {} memory hits, {} disk hits",
@@ -1163,6 +1266,7 @@ fn main() {
         &timings,
         &scaling,
         &sampled,
+        &field,
         &store,
     ) {
         eprintln!("failed to write {out_path}: {e}");
@@ -1235,6 +1339,21 @@ fn main() {
         }
         Some(_) => {}
     }
+    if field.headline_speedup() <= 1.0 {
+        eprintln!(
+            "REGRESSION: SoA scan is {:.2}x the AoS baseline (gate: > 1.0x) — the \
+             field-layout headline no longer wins on its prescribed workload",
+            field.headline_speedup()
+        );
+        failed = true;
+    }
+    if field.search_speedup(FieldCase::HotCold) <= 1.0 {
+        eprintln!(
+            "REGRESSION: hot/cold split search is {:.2}x the AoS baseline (gate: > 1.0x)",
+            field.search_speedup(FieldCase::HotCold)
+        );
+        failed = true;
+    }
     if cores < WALL_GATE_CORES {
         eprintln!("wall-clock gate {wall_gate}");
     } else if wall_headline < WALL_GATE_MIN {
@@ -1247,5 +1366,24 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    // Compiler-backed pin of the PAD-01 reorder: the wide members lead
+    // and the packed tail leaves only the 3 trailing bytes rustc must
+    // keep for the struct's 8-byte alignment.
+    #[test]
+    fn case_spec_offsets_are_pinned() {
+        assert_eq!(core::mem::offset_of!(CaseSpec, tree), 0);
+        assert_eq!(core::mem::offset_of!(CaseSpec, name), 24);
+        assert_eq!(core::mem::offset_of!(CaseSpec, layout), 40);
+        assert_eq!(core::mem::offset_of!(CaseSpec, searches), 56);
+        assert_eq!(core::mem::offset_of!(CaseSpec, bits), 64);
+        assert_eq!(core::mem::offset_of!(CaseSpec, sw_prefetch), 68);
+        assert_eq!(core::mem::size_of::<CaseSpec>(), 72);
     }
 }

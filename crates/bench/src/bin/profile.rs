@@ -20,16 +20,30 @@
 //! usage: cc-profile [keys] [searches]        (defaults: 65535, 50000)
 //! ```
 //!
+//! A second, *field-granular* pass runs the same random-search workload
+//! over the fat-node tree with field attribution enabled and prints a
+//! field-hotness heat map — which **fields** (not regions) the misses
+//! land on — plus the reorder it suggests. The measured heat is written
+//! as a flat `"FatNode.field": misses` hotness spec that round-trips
+//! through `cc-lint --hot`: the profiler itself re-parses its own output
+//! and feeds it to the static analyzer, so the printed suggestions are
+//! ranked by measured misses.
+//!
 //! With `CC_OBS_OUT=<path>` set, the unified metrics snapshot goes to
-//! `<path>`, the span trace to `<path>.trace.json`, and the full
-//! attribution profile (byte-stable JSON) to `<path>.attrib.json`.
+//! `<path>`, the span trace to `<path>.trace.json`, the full attribution
+//! profile (byte-stable JSON) to `<path>.attrib.json`, the region-join
+//! hotness spec to `<path>.hot.json`, and the field heat map to
+//! `<path>.fieldhot.json`.
 
+use cc_bench::field::{aos_base, field_map_for_aos};
 use cc_bench::replay::{build_bst, SearchReplay, TreeSpec};
-use cc_bench::{header, human_bytes, obs};
+use cc_bench::{bar, header, human_bytes, obs};
+use cc_core::rng::SplitMix64;
 use cc_obs::attrib::Level;
 use cc_obs::{MissProfile, RegionId, RegionMap};
-use cc_sim::MachineConfig;
+use cc_sim::{MachineConfig, MemorySink};
 use cc_sweep::TraceKey;
+use cc_trees::fat::{fat_schema, FatBst};
 use cc_trees::BST_NODE_BYTES;
 use std::sync::Arc;
 
@@ -142,6 +156,7 @@ fn main() {
     }
 
     let hot = lint_join(&profile);
+    let field_hot = field_heat_map(&machine, n.min(8_191), searches.min(20_000));
 
     // Unified metrics snapshot: the profiler's headline numbers join the
     // process-wide registry the figure binaries share.
@@ -164,9 +179,17 @@ fn main() {
                     std::path::Path::new(&p).display()
                 );
             }
-            let mut p = path;
+            let mut p = path.clone();
             p.push(".hot.json");
             if let Err(e) = std::fs::write(&p, hot.to_json()) {
+                eprintln!(
+                    "warning: CC_OBS_OUT {}: {e}",
+                    std::path::Path::new(&p).display()
+                );
+            }
+            let mut p = path;
+            p.push(".fieldhot.json");
+            if let Err(e) = std::fs::write(&p, field_hot.to_json()) {
                 eprintln!(
                     "warning: CC_OBS_OUT {}: {e}",
                     std::path::Path::new(&p).display()
@@ -249,6 +272,130 @@ fn lint_join(profile: &MissProfile) -> cc_lint::HotSpec {
         println!("      {}", f.suggestion);
     }
     hot
+}
+
+/// A layout model of the fat node as `cc-lint` sees declared source:
+/// same field names, sizes, and declaration order as
+/// `cc_trees::fat::fat_schema()`, so the measured heat joins cleanly.
+/// The `FatArena` wrapper gives SOA-01 the AoS array context the paper's
+/// splitting transformation targets.
+const FAT_MODEL_SRC: &str = "\
+#[repr(C)]
+pub struct FatNode {
+    pub key: u64,
+    pub meta: [u64; 2],
+    pub left: u32,
+    pub right: u32,
+    pub payload: [u64; 4],
+}
+
+pub struct FatArena {
+    pub nodes: Vec<FatNode>,
+}
+";
+
+/// The field-granular pass: runs the fat-node search workload with field
+/// attribution, prints the per-field miss heat map and the hot-prefix
+/// reorder it implies, then round-trips the measured spec through its
+/// own serialized form into `cc-lint` (exactly what `cc-lint --hot
+/// <CC_OBS_OUT>.fieldhot.json` would do) and prints the analyzer's
+/// findings. Returns the spec that goes to `.fieldhot.json`.
+fn field_heat_map(machine: &MachineConfig, n: u64, searches: u64) -> cc_lint::HotSpec {
+    let t = obs::span("build fat tree", "profile", 0, || FatBst::build_complete(n));
+    let fmap = Arc::new(field_map_for_aos(aos_base(&t), n));
+    let mut regions = RegionMap::new();
+    regions.register("fat", 0, u64::MAX);
+    let mut sink = MemorySink::new(*machine);
+    sink.enable_attribution(Arc::new(regions));
+    sink.enable_field_attribution(Arc::clone(&fmap));
+    let mut rng = SplitMix64::new(0xFA7);
+    for _ in 0..searches {
+        t.search(2 * rng.below(n), &mut sink);
+    }
+    let p = sink.attribution().expect("field attribution was enabled");
+
+    let schema = fat_schema();
+    let weights: Vec<(String, f64)> = [Level::L1, Level::L2]
+        .iter()
+        .flat_map(|&level| p.field_weights(level))
+        .fold(Vec::new(), |mut acc: Vec<(String, f64)>, (name, w)| {
+            match acc.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += w,
+                None => acc.push((name.to_string(), w)),
+            }
+            acc
+        });
+    let heat = |field: &str| {
+        weights
+            .iter()
+            .find(|(n, _)| n == field)
+            .map_or(0.0, |(_, w)| *w)
+    };
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+
+    println!(
+        "\nfield heat map (fat-node AoS, {} random searches, L1+L2 misses):",
+        searches
+    );
+    for f in schema.fields() {
+        let w = heat(&f.name);
+        let pct = if total > 0.0 { 100.0 * w / total } else { 0.0 };
+        println!(
+            "  FatNode.{:<8} {:>8.0} misses {:>5.1}%  |{}",
+            f.name,
+            w,
+            pct,
+            bar(pct, 40)
+        );
+    }
+
+    // The reorder the heat implies: measured-hot fields first, each
+    // group packed the way cc-lint's hot-prefix layout packs (align
+    // desc, size desc, declaration order) so padding stays minimal.
+    let mut order: Vec<&cc_core::FieldDef> = schema.fields().iter().collect();
+    order.sort_by(|a, b| {
+        (heat(&b.name) > 0.0)
+            .cmp(&(heat(&a.name) > 0.0))
+            .then(b.align.cmp(&a.align))
+            .then(b.size.cmp(&a.size))
+    });
+    let names: Vec<&str> = order.iter().map(|f| f.name.as_str()).collect();
+    println!(
+        "  suggested reorder (hot prefix first): {}",
+        names.join(", ")
+    );
+
+    let spec = cc_lint::HotSpec::from_entries(
+        weights
+            .iter()
+            .map(|(name, w)| (format!("FatNode.{name}"), *w)),
+    );
+
+    // Round trip: re-parse the exact bytes `.fieldhot.json` will hold
+    // and hand the *parsed* spec to the analyzer — the measured heat
+    // must survive its own serialization to drive `cc-lint --hot`.
+    let parsed = cc_lint::HotSpec::parse_json(&spec.to_json())
+        .expect("fieldhot spec round-trips through its own JSON");
+    let report = cc_lint::analyze_sources(
+        &[(
+            String::from("fat-node.model.rs"),
+            String::from(FAT_MODEL_SRC),
+        )],
+        &parsed,
+        &cc_lint::LintConfig::default(),
+    );
+    println!("\ncc-lint --hot over the fat-node model (measured heat, round-tripped):");
+    if report.findings.is_empty() {
+        println!("  clean: no findings");
+    }
+    for f in &report.findings {
+        let weight = f
+            .weight
+            .map_or(String::from("unmeasured"), |w| format!("{w:.0} misses"));
+        println!("  [{}] ({weight}) {}::{}", f.rule.id(), f.file, f.strukt);
+        println!("      {}", f.suggestion);
+    }
+    spec
 }
 
 /// Tiny arg helper: next arg parsed, or the default.

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod field;
 pub mod obs;
 pub mod replay;
 pub mod sample;

@@ -1,0 +1,50 @@
+//! Byte-pins the hotness-spec artifacts `cc-profile` writes under
+//! `CC_OBS_OUT`. These files are the bridge into `cc-lint --hot`: any
+//! byte drift — key order, weight formatting, trailing newline — would
+//! silently change what the static analyzer ranks, and a formatting
+//! change would invalidate specs users have checked in. The whole run
+//! is simulated, so for fixed arguments the bytes are exact.
+
+use std::process::{Command, Stdio};
+
+#[test]
+fn profile_hot_specs_are_byte_stable() {
+    let dir = std::env::temp_dir().join(format!("cc-hot-pin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let out = dir.join("obs.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_cc-profile"))
+        .args(["4095", "6000"])
+        .env("CC_OBS_OUT", &out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("cc-profile spawns");
+    assert!(status.success(), "cc-profile exited nonzero");
+
+    let hot = std::fs::read_to_string(dir.join("obs.json.hot.json")).expect(".hot.json written");
+    assert_eq!(
+        hot, "{\n  \"Node.key\": 43955,\n  \"Node.left\": 43955,\n  \"Node.right\": 43955\n}\n",
+        "region-join hotness spec bytes drifted"
+    );
+
+    let fieldhot = std::fs::read_to_string(dir.join("obs.json.fieldhot.json"))
+        .expect(".fieldhot.json written");
+    assert_eq!(
+        fieldhot,
+        "{\n  \"FatNode.key\": 60870,\n  \"FatNode.left\": 25444,\n  \"FatNode.right\": 25675\n}\n",
+        "field heat map spec bytes drifted"
+    );
+
+    // Both artifacts must re-parse into the weights they serialize —
+    // the `--hot` consumer sees exactly what the profiler measured.
+    let spec = cc_lint::HotSpec::parse_json(&fieldhot).expect("fieldhot re-parses");
+    assert_eq!(
+        spec.struct_weight("FatNode"),
+        Some(60870.0 + 25444.0 + 25675.0)
+    );
+    assert!(spec.field_hot("FatNode", "key"));
+    assert!(!spec.field_hot("FatNode", "payload"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

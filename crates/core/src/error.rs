@@ -47,6 +47,38 @@ pub enum LayoutError {
         /// The unplaced node.
         node: usize,
     },
+    /// A field transform was asked to lay out a schema with no fields.
+    EmptySchema,
+    /// A schema field occupies zero bytes — the transforms address fields
+    /// by byte offset, so a zero-sized field can never be resolved.
+    ZeroFieldSize {
+        /// Declaration index of the offending field.
+        field: usize,
+    },
+    /// A schema field's alignment is not a power of two.
+    FieldAlignNotPow2 {
+        /// Declaration index of the offending field.
+        field: usize,
+    },
+    /// Two schema fields share a name — field addresses are looked up by
+    /// name, so a duplicate would be ambiguous.
+    DuplicateField {
+        /// Declaration index of the second occurrence.
+        field: usize,
+    },
+    /// A [`HotSpec`](crate::field_layout::HotSpec) entry names a field
+    /// the schema does not declare.
+    UnknownHotField {
+        /// Index of the offending entry in the hot spec.
+        entry: usize,
+    },
+    /// `split_hot_cold` needs at least one hot field to build the hot
+    /// half from.
+    NoHotFields,
+    /// `split_hot_cold` needs at least one cold field — with every field
+    /// hot there is nothing to split off, and the caller wants plain
+    /// `reorder_fields` (or `ccmorph`) instead.
+    NoColdFields,
 }
 
 impl fmt::Display for LayoutError {
@@ -67,6 +99,25 @@ impl fmt::Display for LayoutError {
             LayoutError::ZeroElemBytes => write!(f, "element size must be nonzero"),
             LayoutError::NodeNotLaidOut { node } => {
                 write!(f, "node {node} was not laid out")
+            }
+            LayoutError::EmptySchema => write!(f, "field schema declares no fields"),
+            LayoutError::ZeroFieldSize { field } => {
+                write!(f, "schema field {field} has zero size")
+            }
+            LayoutError::FieldAlignNotPow2 { field } => {
+                write!(f, "schema field {field} has a non-power-of-two alignment")
+            }
+            LayoutError::DuplicateField { field } => {
+                write!(f, "schema field {field} duplicates an earlier field name")
+            }
+            LayoutError::UnknownHotField { entry } => {
+                write!(f, "hot spec entry {entry} names a field the schema lacks")
+            }
+            LayoutError::NoHotFields => {
+                write!(f, "hot/cold split needs at least one hot field")
+            }
+            LayoutError::NoColdFields => {
+                write!(f, "hot/cold split needs at least one cold field")
             }
         }
     }

@@ -1,0 +1,1080 @@
+//! **Field-level layout transforms** — hot/cold structure splitting,
+//! field reordering, and SoA conversion as first-class layouts alongside
+//! clustering and coloring.
+//!
+//! `ccmorph` places *whole objects*; these transforms rearrange the bytes
+//! *inside* each object, the companion direction the paper sketches for
+//! structures too big to cluster profitably:
+//!
+//! * [`split_hot_cold`] — pack the hot fields into a small hot half laid
+//!   out with the full clustering machinery (the hot halves are what
+//!   traversals touch, so they get the cache-conscious placement) and
+//!   exile the cold fields to an index-linked cold arena;
+//! * [`reorder_fields`] — the `cc-lint` optimal reorder applied to the
+//!   in-heap object model: one contiguous object per node, fields packed
+//!   (align desc, size desc) with hot fields first when a [`HotSpec`] is
+//!   given;
+//! * [`soa_convert`] — structure-of-arrays conversion for array-ish node
+//!   pools: one parallel array per field, indexed by node id.
+//!
+//! Each transform follows the `ccmorph` contract: the fallible `try_*`
+//! form validates the schema, the parameters, and (where a topology is
+//! involved) the programmer's guarantee *before* touching the
+//! [`VirtualSpace`], so an `Err` leaves the space unchanged; the classic
+//! form panics with the error's `Display` text. Each produced
+//! [`FieldLayout`] can render itself as a [`LayoutSnapshot`] the existing
+//! auditor understands.
+//!
+//! Because `split_hot_cold` lays its hot halves out through the *same*
+//! clustering path as `ccmorph` (with `elem_bytes` = the packed hot
+//! stride), splitting composes with clustering by construction:
+//! `ccmorph` at the hot stride and the hot half of a split produce
+//! identical addresses, pages, and hot-element counts.
+
+use crate::ccmorph::{try_ccmorph, CcMorphParams, ColorConfig, Layout};
+use crate::cluster::ClusterKind;
+use crate::error::LayoutError;
+use crate::topology::Topology;
+use cc_heap::{AllocRecord, LayoutSnapshot, VirtualSpace};
+use cc_sim::{CacheGeometry, MachineConfig};
+
+/// One field of the simulated object: a name, a size, and an alignment —
+/// the in-heap analogue of a `cc-lint` `SizedField`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (unique within the schema).
+    pub name: String,
+    /// Size in bytes (nonzero).
+    pub size: u64,
+    /// Alignment in bytes (a power of two).
+    pub align: u64,
+}
+
+impl FieldDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, size: u64, align: u64) -> Self {
+        FieldDef {
+            name: name.into(),
+            size,
+            align,
+        }
+    }
+}
+
+/// The declared shape of the structure being transformed: an ordered
+/// list of fields, as the source declares them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldSchema {
+    strukt: String,
+    fields: Vec<FieldDef>,
+}
+
+impl FieldSchema {
+    /// A schema for struct `strukt` with `fields` in declaration order.
+    /// Validation happens at transform time (so the typed-error contract
+    /// is uniform with the parameter checks).
+    pub fn new(strukt: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+        FieldSchema {
+            strukt: strukt.into(),
+            fields,
+        }
+    }
+
+    /// The struct name.
+    pub fn struct_name(&self) -> &str {
+        &self.strukt
+    }
+
+    /// The declared fields.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Declaration index of `name`.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    fn validate(&self) -> Result<(), LayoutError> {
+        if self.fields.is_empty() {
+            return Err(LayoutError::EmptySchema);
+        }
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.size == 0 {
+                return Err(LayoutError::ZeroFieldSize { field: i });
+            }
+            if !f.align.is_power_of_two() {
+                return Err(LayoutError::FieldAlignNotPow2 { field: i });
+            }
+            if self.fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(LayoutError::DuplicateField { field: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which fields are hot, with observed weights — the dynamic profile
+/// that drives [`split_hot_cold`] and biases [`reorder_fields`]. The
+/// flat `"field": weight` shape round-trips with `cc-profile`'s field
+/// heat map and `cc-lint --hot`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HotSpec {
+    entries: Vec<(String, f64)>,
+}
+
+impl HotSpec {
+    /// An empty spec (nothing hot).
+    pub fn new() -> Self {
+        HotSpec::default()
+    }
+
+    /// Builds a spec from `(field, weight)` pairs; entries with
+    /// non-positive weight are dropped (they carry no heat).
+    pub fn from_weights<I, S>(weights: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        HotSpec {
+            entries: weights
+                .into_iter()
+                .map(|(n, w)| (n.into(), w))
+                .filter(|(_, w)| *w > 0.0)
+                .collect(),
+        }
+    }
+
+    /// Marks `field` hot with unit weight (builder-style).
+    pub fn mark(mut self, field: impl Into<String>) -> Self {
+        self.entries.push((field.into(), 1.0));
+        self
+    }
+
+    /// Whether `field` is marked hot.
+    pub fn is_hot(&self, field: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == field)
+    }
+
+    /// The observed weight of `field` (0 if unmarked).
+    pub fn weight(&self, field: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == field)
+            .map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Whether nothing is marked hot.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(field, weight)` entries in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    fn validate_against(&self, schema: &FieldSchema) -> Result<(), LayoutError> {
+        for (i, (name, _)) in self.entries.iter().enumerate() {
+            if schema.field_index(name).is_none() {
+                return Err(LayoutError::UnknownHotField { entry: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Machine parameters for the field transforms — [`CcMorphParams`]
+/// without `elem_bytes`, which the transforms derive from the schema.
+#[derive(Clone, Copy, Debug)]
+pub struct FieldLayoutParams {
+    /// Geometry of the cache being optimized for (the L2, as with
+    /// `ccmorph`).
+    pub cache: CacheGeometry,
+    /// Virtual-memory page size.
+    pub page_bytes: u64,
+    /// `Some` to color the hot placement; `None` for clustering only.
+    pub color: Option<ColorConfig>,
+    /// Cluster shape for the per-node placements (hot halves and
+    /// reordered objects); ignored by [`soa_convert`].
+    pub cluster_kind: ClusterKind,
+}
+
+impl FieldLayoutParams {
+    /// Clustering-only parameters for `machine` (the common case).
+    pub fn new(machine: &MachineConfig) -> Self {
+        FieldLayoutParams {
+            cache: machine.l2,
+            page_bytes: machine.page_bytes,
+            color: None,
+            cluster_kind: ClusterKind::SubtreeBfs,
+        }
+    }
+
+    /// Enables coloring (builder-style).
+    pub fn with_color(self, color: ColorConfig) -> Self {
+        FieldLayoutParams {
+            color: Some(color),
+            ..self
+        }
+    }
+
+    /// Sets the cluster kind (builder-style).
+    pub fn with_cluster_kind(self, cluster_kind: ClusterKind) -> Self {
+        FieldLayoutParams {
+            cluster_kind,
+            ..self
+        }
+    }
+
+    /// The equivalent whole-object morph parameters at `elem_bytes`.
+    pub fn morph_params(&self, elem_bytes: u64) -> CcMorphParams {
+        CcMorphParams {
+            cache: self.cache,
+            page_bytes: self.page_bytes,
+            elem_bytes,
+            color: self.color,
+            cluster_kind: self.cluster_kind,
+        }
+    }
+}
+
+/// Which transform produced a [`FieldLayout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldTransform {
+    /// [`reorder_fields`]: one contiguous object per node, fields packed.
+    Reorder,
+    /// [`split_hot_cold`]: hot half + index-linked cold arena.
+    HotCold,
+    /// [`soa_convert`]: one parallel array per field.
+    Soa,
+}
+
+impl FieldTransform {
+    /// Stable lower-case name (`reorder` / `hot_cold` / `soa`), used in
+    /// JSON artifacts and server requests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldTransform::Reorder => "reorder",
+            FieldTransform::HotCold => "hot_cold",
+            FieldTransform::Soa => "soa",
+        }
+    }
+}
+
+/// One field's placement inside the transformed layout.
+#[derive(Clone, Debug)]
+struct FieldSlot {
+    name: String,
+    size: u64,
+    /// Lives in the hot half (always true for `Reorder`; per-array for
+    /// `Soa`, where it records the `HotSpec` marking only).
+    hot: bool,
+    /// Offset within the owning half's stride (`Reorder`/`HotCold`);
+    /// zero for `Soa`.
+    offset: u64,
+}
+
+/// The address assignment a field transform produced: per-node (and
+/// per-field) simulated addresses, plus the placement metadata the
+/// observability layer needs to attribute misses back to fields.
+#[derive(Clone, Debug)]
+pub struct FieldLayout {
+    transform: FieldTransform,
+    strukt: String,
+    slots: Vec<FieldSlot>,
+    /// Per node: base of the hot half (`HotCold`), of the whole object
+    /// (`Reorder`), or of the node's slot in field 0's array (`Soa`).
+    base_addr: Vec<Option<u64>>,
+    /// Per node: base of the cold half (`HotCold` only, else empty).
+    cold_addr: Vec<Option<u64>>,
+    /// Per field: array base (`Soa` only, else empty).
+    array_base: Vec<u64>,
+    /// Pool length (`Soa` only).
+    pool_len: usize,
+    hot_stride: u64,
+    cold_stride: u64,
+    pages_touched: u64,
+    hot_elems: usize,
+}
+
+impl FieldLayout {
+    /// Which transform built this layout.
+    pub fn transform(&self) -> FieldTransform {
+        self.transform
+    }
+
+    /// The schema's struct name.
+    pub fn struct_name(&self) -> &str {
+        &self.strukt
+    }
+
+    /// Number of fields.
+    pub fn field_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Index of field `name` (declaration order is preserved).
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s.name == name)
+    }
+
+    /// Name of field `field`.
+    pub fn field_name(&self, field: usize) -> &str {
+        &self.slots[field].name
+    }
+
+    /// Size of field `field` in bytes.
+    pub fn field_size(&self, field: usize) -> u64 {
+        self.slots[field].size
+    }
+
+    /// Whether field `field` landed in the hot placement.
+    pub fn field_is_hot(&self, field: usize) -> bool {
+        self.slots[field].hot
+    }
+
+    /// Address of field `field` of `node`, or `None` if the node was
+    /// unreachable when the transform ran (or outside the SoA pool).
+    pub fn try_field_addr(&self, node: usize, field: usize) -> Option<u64> {
+        let slot = &self.slots[field];
+        match self.transform {
+            FieldTransform::Soa => {
+                (node < self.pool_len).then(|| self.array_base[field] + node as u64 * slot.size)
+            }
+            FieldTransform::Reorder => {
+                Some(self.base_addr.get(node).copied().flatten()? + slot.offset)
+            }
+            FieldTransform::HotCold => {
+                let half = if slot.hot {
+                    &self.base_addr
+                } else {
+                    &self.cold_addr
+                };
+                Some(half.get(node).copied().flatten()? + slot.offset)
+            }
+        }
+    }
+
+    /// Address of field `field` of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never laid out.
+    pub fn field_addr(&self, node: usize, field: usize) -> u64 {
+        self.try_field_addr(node, field)
+            .unwrap_or_else(|| panic!("{}", LayoutError::NodeNotLaidOut { node }))
+    }
+
+    /// Base address of `node`'s hot placement (the whole object for
+    /// `Reorder`, the hot half for `HotCold`, field 0's element for
+    /// `Soa`), or `None` if unreachable.
+    pub fn try_node_addr(&self, node: usize) -> Option<u64> {
+        match self.transform {
+            FieldTransform::Soa => self.try_field_addr(node, 0),
+            _ => self.base_addr.get(node).copied().flatten(),
+        }
+    }
+
+    /// Base address of `node`'s hot placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never laid out.
+    pub fn node_addr(&self, node: usize) -> u64 {
+        self.try_node_addr(node)
+            .unwrap_or_else(|| panic!("{}", LayoutError::NodeNotLaidOut { node }))
+    }
+
+    /// Bytes of one hot half / reordered object / (summed) SoA element.
+    pub fn hot_stride(&self) -> u64 {
+        self.hot_stride
+    }
+
+    /// Bytes of one cold half (0 unless `HotCold`).
+    pub fn cold_stride(&self) -> u64 {
+        self.cold_stride
+    }
+
+    /// Number of nodes laid out.
+    pub fn len(&self) -> usize {
+        match self.transform {
+            FieldTransform::Soa => self.pool_len,
+            _ => self.base_addr.iter().filter(|a| a.is_some()).count(),
+        }
+    }
+
+    /// Whether no nodes were laid out.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pages of physical memory the layout touches.
+    pub fn pages_touched(&self) -> u64 {
+        self.pages_touched
+    }
+
+    /// Elements placed in the colored hot region (0 without coloring).
+    pub fn hot_elems(&self) -> usize {
+        self.hot_elems
+    }
+
+    /// Renders the layout as a [`LayoutSnapshot`] the auditor (and the
+    /// field-attribution bridge in `cc-heap`) understands: one record
+    /// per hot half / object, one per cold half, one per SoA array.
+    /// Record ids are node ids (`HotCold` cold halves are offset by the
+    /// arena size so both halves stay distinguishable).
+    pub fn snapshot(&self) -> LayoutSnapshot {
+        let mut records = Vec::new();
+        match self.transform {
+            FieldTransform::Soa => {
+                for (f, slot) in self.slots.iter().enumerate() {
+                    if self.pool_len > 0 {
+                        records.push(AllocRecord {
+                            addr: self.array_base[f],
+                            size: slot.size * self.pool_len as u64,
+                            id: f as u64,
+                            hint: None,
+                        });
+                    }
+                }
+            }
+            _ => {
+                let arena = self.base_addr.len() as u64;
+                for (node, slot) in self.base_addr.iter().enumerate() {
+                    if let Some(addr) = slot {
+                        records.push(AllocRecord {
+                            addr: *addr,
+                            size: self.hot_stride,
+                            id: node as u64,
+                            hint: None,
+                        });
+                    }
+                }
+                for (node, slot) in self.cold_addr.iter().enumerate() {
+                    if let Some(addr) = slot {
+                        records.push(AllocRecord {
+                            addr: *addr,
+                            size: self.cold_stride,
+                            id: arena + node as u64,
+                            hint: None,
+                        });
+                    }
+                }
+            }
+        }
+        LayoutSnapshot::from_records(records)
+    }
+
+    /// Per-field spans within one hot-placement stride, as
+    /// `(name, offset, size)` — the span table the field-attribution
+    /// map consumes. For `Soa` the offsets are within one *element* of
+    /// each array and meaningful only per array.
+    pub fn hot_spans(&self) -> Vec<(&str, u64, u64)> {
+        self.slots
+            .iter()
+            .filter(|s| s.hot || self.transform == FieldTransform::Soa)
+            .map(|s| (s.name.as_str(), s.offset, s.size))
+            .collect()
+    }
+
+    /// Per-field spans within one cold stride (`HotCold` only).
+    pub fn cold_spans(&self) -> Vec<(&str, u64, u64)> {
+        self.slots
+            .iter()
+            .filter(|s| !s.hot && self.transform == FieldTransform::HotCold)
+            .map(|s| (s.name.as_str(), s.offset, s.size))
+            .collect()
+    }
+
+    /// `Soa` only: per-field `(name, array_base, elem_size)`.
+    pub fn arrays(&self) -> Vec<(&str, u64, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(f, s)| (s.name.as_str(), self.array_base[f], s.size))
+            .collect()
+    }
+}
+
+/// Packs `fields` (indices into the schema) by (align desc, size desc,
+/// declaration order) — the `cc-lint` optimal reorder — returning
+/// per-schema-field offsets and the padded stride.
+fn pack(schema: &FieldSchema, members: &[usize]) -> (Vec<u64>, u64) {
+    let mut order: Vec<usize> = members.to_vec();
+    order.sort_by(|&a, &b| {
+        let fa = &schema.fields[a];
+        let fb = &schema.fields[b];
+        (fb.align, fb.size)
+            .cmp(&(fa.align, fa.size))
+            .then(a.cmp(&b))
+    });
+    let mut offsets = vec![0u64; schema.fields.len()];
+    let mut off = 0u64;
+    let mut align = 1u64;
+    for &i in &order {
+        let f = &schema.fields[i];
+        off = off.next_multiple_of(f.align);
+        offsets[i] = off;
+        off += f.size;
+        align = align.max(f.align);
+    }
+    (offsets, off.next_multiple_of(align))
+}
+
+/// Hot-prefix packing: hot members first (optimally packed among
+/// themselves), cold members after — the in-heap `hot_prefix` layout.
+fn pack_hot_prefix(schema: &FieldSchema, hot: &[usize], cold: &[usize]) -> (Vec<u64>, u64) {
+    let (mut offsets, hot_size) = pack(schema, hot);
+    // Cold fields continue after the packed hot prefix; alignment of the
+    // whole object is the max over all members.
+    let mut order: Vec<usize> = cold.to_vec();
+    order.sort_by(|&a, &b| {
+        let fa = &schema.fields[a];
+        let fb = &schema.fields[b];
+        (fb.align, fb.size)
+            .cmp(&(fa.align, fa.size))
+            .then(a.cmp(&b))
+    });
+    let mut off = hot_size;
+    let mut align = 1u64;
+    for &i in hot {
+        align = align.max(schema.fields[i].align);
+    }
+    for &i in &order {
+        let f = &schema.fields[i];
+        off = off.next_multiple_of(f.align);
+        offsets[i] = off;
+        off += f.size;
+        align = align.max(f.align);
+    }
+    (offsets, off.next_multiple_of(align))
+}
+
+fn split_members(schema: &FieldSchema, hot: &HotSpec) -> (Vec<usize>, Vec<usize>) {
+    let (mut h, mut c) = (Vec::new(), Vec::new());
+    for (i, f) in schema.fields.iter().enumerate() {
+        if hot.is_hot(&f.name) {
+            h.push(i);
+        } else {
+            c.push(i);
+        }
+    }
+    (h, c)
+}
+
+fn slots_from(
+    schema: &FieldSchema,
+    offsets: &[u64],
+    hot_mask: impl Fn(usize) -> bool,
+) -> Vec<FieldSlot> {
+    schema
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FieldSlot {
+            name: f.name.clone(),
+            size: f.size,
+            hot: hot_mask(i),
+            offset: offsets[i],
+        })
+        .collect()
+}
+
+/// Fallible [`split_hot_cold`]: validates the schema, the hot spec, the
+/// parameters, and the topology before touching `vspace`.
+pub fn try_split_hot_cold<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+) -> Result<FieldLayout, LayoutError> {
+    schema.validate()?;
+    hot.validate_against(schema)?;
+    let (hot_members, cold_members) = split_members(schema, hot);
+    if hot_members.is_empty() {
+        return Err(LayoutError::NoHotFields);
+    }
+    if cold_members.is_empty() {
+        return Err(LayoutError::NoColdFields);
+    }
+    let (hot_offsets, hot_stride) = pack(schema, &hot_members);
+    let (cold_offsets, cold_stride) = pack(schema, &cold_members);
+
+    // The hot halves get the full clustering/coloring treatment — they
+    // are the bytes traversals touch, and laying them out through
+    // `try_ccmorph` is what makes splitting compose with clustering.
+    // `try_ccmorph` validates params + topology before touching vspace,
+    // preserving the Err-leaves-vspace-unchanged contract.
+    let morph = try_ccmorph(t, vspace, &params.morph_params(hot_stride))?;
+
+    // Cold halves are linked by *index*: node n's cold half lives at
+    // `cold_base + n * cold_stride`, so the split needs no pointer field
+    // added to the hot half. The arena is allocated dense over the node
+    // arena (reachable or not — the index link must stay O(1)).
+    let nodes = t.node_count() as u64;
+    let cold_base = vspace.align_to(params.cache.block_bytes().max(vspace.page_bytes()));
+    if nodes * cold_stride > 0 {
+        vspace.alloc_bytes(nodes * cold_stride);
+    }
+    let mut base_addr = vec![None; t.node_count()];
+    let mut cold_addr = vec![None; t.node_count()];
+    for node in 0..t.node_count() {
+        if let Some(a) = morph.try_addr_of(node) {
+            base_addr[node] = Some(a);
+            cold_addr[node] = Some(cold_base + node as u64 * cold_stride);
+        }
+    }
+
+    let mut offsets = vec![0u64; schema.fields.len()];
+    for &i in &hot_members {
+        offsets[i] = hot_offsets[i];
+    }
+    for &i in &cold_members {
+        offsets[i] = cold_offsets[i];
+    }
+    let hot_set: Vec<bool> = (0..schema.fields.len())
+        .map(|i| hot_members.contains(&i))
+        .collect();
+    let pages = morph.pages_touched() + (nodes * cold_stride).div_ceil(vspace.page_bytes());
+    Ok(FieldLayout {
+        transform: FieldTransform::HotCold,
+        strukt: schema.strukt.clone(),
+        slots: slots_from(schema, &offsets, |i| hot_set[i]),
+        base_addr,
+        cold_addr,
+        array_base: Vec::new(),
+        pool_len: 0,
+        hot_stride,
+        cold_stride,
+        pages_touched: pages,
+        hot_elems: morph.hot_elems(),
+    })
+}
+
+/// Splits each object into a hot half (clustered/colored like a
+/// `ccmorph` element of the packed hot size) and an index-linked cold
+/// half in a dense arena.
+///
+/// # Panics
+///
+/// Panics with the corresponding [`LayoutError`]'s message; use
+/// [`try_split_hot_cold`] to handle errors as values.
+pub fn split_hot_cold<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+) -> FieldLayout {
+    try_split_hot_cold(t, vspace, params, schema, hot).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`reorder_fields`].
+pub fn try_reorder_fields<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+) -> Result<FieldLayout, LayoutError> {
+    schema.validate()?;
+    hot.validate_against(schema)?;
+    let all: Vec<usize> = (0..schema.fields.len()).collect();
+    let (offsets, stride) = if hot.is_empty() {
+        pack(schema, &all)
+    } else {
+        let (h, c) = split_members(schema, hot);
+        if c.is_empty() {
+            pack(schema, &all)
+        } else {
+            pack_hot_prefix(schema, &h, &c)
+        }
+    };
+    let morph = try_ccmorph(t, vspace, &params.morph_params(stride))?;
+    let base_addr: Vec<Option<u64>> = (0..t.node_count()).map(|n| morph.try_addr_of(n)).collect();
+    Ok(FieldLayout {
+        transform: FieldTransform::Reorder,
+        strukt: schema.strukt.clone(),
+        slots: slots_from(schema, &offsets, |_| true),
+        base_addr,
+        cold_addr: Vec::new(),
+        array_base: Vec::new(),
+        pool_len: 0,
+        hot_stride: stride,
+        cold_stride: 0,
+        pages_touched: morph.pages_touched(),
+        hot_elems: morph.hot_elems(),
+    })
+}
+
+/// Reorders each object's fields into the `cc-lint` optimal packing
+/// (hot-prefix when `hot` is nonempty) and lays the reordered objects
+/// out with the clustering machinery at the packed stride.
+///
+/// # Panics
+///
+/// Panics with the corresponding [`LayoutError`]'s message; use
+/// [`try_reorder_fields`] to handle errors as values.
+pub fn reorder_fields<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+) -> FieldLayout {
+    try_reorder_fields(t, vspace, params, schema, hot).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`soa_convert`].
+pub fn try_soa_convert(
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+    pool_len: usize,
+) -> Result<FieldLayout, LayoutError> {
+    schema.validate()?;
+    hot.validate_against(schema)?;
+    let block = params.cache.block_bytes().max(vspace.page_bytes());
+    let mut array_base = vec![0u64; schema.fields.len()];
+    let mut pages = 0u64;
+    for (i, f) in schema.fields.iter().enumerate() {
+        // Each array starts block-aligned so two arrays never share a
+        // cache block (a scan of one array cannot be charged to another).
+        let base = vspace.align_to(block.max(f.align));
+        let bytes = f.size * pool_len as u64;
+        if bytes > 0 {
+            vspace.alloc_bytes(bytes);
+        }
+        array_base[i] = base;
+        pages += bytes.div_ceil(vspace.page_bytes());
+    }
+    let offsets = vec![0u64; schema.fields.len()];
+    let elem_total: u64 = schema.fields.iter().map(|f| f.size).sum();
+    Ok(FieldLayout {
+        transform: FieldTransform::Soa,
+        strukt: schema.strukt.clone(),
+        slots: slots_from(schema, &offsets, |i| hot.is_hot(&schema.fields[i].name)),
+        base_addr: Vec::new(),
+        cold_addr: Vec::new(),
+        array_base,
+        pool_len,
+        hot_stride: elem_total,
+        cold_stride: 0,
+        pages_touched: pages,
+        hot_elems: 0,
+    })
+}
+
+/// Converts an array-ish pool of `pool_len` objects to
+/// structure-of-arrays: one block-aligned parallel array per field,
+/// indexed by node id. A scan that touches one field streams through a
+/// dense array instead of striding over whole objects.
+///
+/// # Panics
+///
+/// Panics with the corresponding [`LayoutError`]'s message; use
+/// [`try_soa_convert`] to handle errors as values.
+pub fn soa_convert(
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+    pool_len: usize,
+) -> FieldLayout {
+    try_soa_convert(vspace, params, schema, hot, pool_len).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Lays out the hot halves of a split via plain [`try_ccmorph`] — the
+/// composition identity the proptests pin: `split_hot_cold`'s hot
+/// addresses equal `ccmorph`'s at the packed hot stride.
+pub fn hot_half_morph<T: Topology>(
+    t: &T,
+    vspace: &mut VirtualSpace,
+    params: &FieldLayoutParams,
+    schema: &FieldSchema,
+    hot: &HotSpec,
+) -> Result<Layout, LayoutError> {
+    schema.validate()?;
+    hot.validate_against(schema)?;
+    let (hot_members, cold_members) = split_members(schema, hot);
+    if hot_members.is_empty() {
+        return Err(LayoutError::NoHotFields);
+    }
+    if cold_members.is_empty() {
+        return Err(LayoutError::NoColdFields);
+    }
+    let (_, hot_stride) = pack(schema, &hot_members);
+    try_ccmorph(t, vspace, &params.morph_params(hot_stride))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::VecTree;
+    use cc_sim::MachineConfig;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::ultrasparc_e5000()
+    }
+
+    /// The fat-node shape the bench sweep uses: 16 hot bytes, 48 cold.
+    fn fat_schema() -> FieldSchema {
+        FieldSchema::new(
+            "FatNode",
+            vec![
+                FieldDef::new("key", 8, 8),
+                FieldDef::new("left", 4, 4),
+                FieldDef::new("right", 4, 4),
+                FieldDef::new("payload", 48, 8),
+            ],
+        )
+    }
+
+    fn hot_klr() -> HotSpec {
+        HotSpec::new().mark("key").mark("left").mark("right")
+    }
+
+    #[test]
+    fn split_packs_hot_half_to_sixteen_bytes() {
+        let t = VecTree::complete_binary(1023);
+        let mut vs = VirtualSpace::new(8192);
+        let fl = split_hot_cold(
+            &t,
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &fat_schema(),
+            &hot_klr(),
+        );
+        assert_eq!(fl.hot_stride(), 16);
+        assert_eq!(fl.cold_stride(), 48);
+        // Hot fields pack align-desc: key 0, left 8, right 12.
+        let key = fl.field_index("key").unwrap();
+        let left = fl.field_index("left").unwrap();
+        let right = fl.field_index("right").unwrap();
+        let payload = fl.field_index("payload").unwrap();
+        let base = fl.node_addr(0);
+        assert_eq!(fl.field_addr(0, key), base);
+        assert_eq!(fl.field_addr(0, left), base + 8);
+        assert_eq!(fl.field_addr(0, right), base + 12);
+        // The cold half is elsewhere, index-linked.
+        assert!(fl.field_addr(0, payload) != base);
+        assert_eq!(
+            fl.field_addr(5, payload) - fl.field_addr(0, payload),
+            5 * 48
+        );
+    }
+
+    #[test]
+    fn split_hot_addresses_equal_plain_ccmorph_at_hot_stride() {
+        let t = VecTree::complete_binary(2047);
+        let params = FieldLayoutParams::new(&machine());
+        let mut vs1 = VirtualSpace::new(8192);
+        let split = split_hot_cold(&t, &mut vs1, &params, &fat_schema(), &hot_klr());
+        let mut vs2 = VirtualSpace::new(8192);
+        let morph = hot_half_morph(&t, &mut vs2, &params, &fat_schema(), &hot_klr()).unwrap();
+        for n in 0..2047 {
+            assert_eq!(split.node_addr(n), morph.addr_of(n));
+        }
+        assert_eq!(split.hot_elems(), morph.hot_elems());
+    }
+
+    #[test]
+    fn reorder_packs_optimally_without_hotspec() {
+        // Declared (u8, u64, u16) C layout is 24 bytes; optimal is 16.
+        let schema = FieldSchema::new(
+            "S",
+            vec![
+                FieldDef::new("a", 1, 1),
+                FieldDef::new("b", 8, 8),
+                FieldDef::new("c", 2, 2),
+            ],
+        );
+        let t = VecTree::complete_binary(63);
+        let mut vs = VirtualSpace::new(8192);
+        let fl = reorder_fields(
+            &t,
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &schema,
+            &HotSpec::new(),
+        );
+        assert_eq!(fl.hot_stride(), 16);
+        let base = fl.node_addr(0);
+        assert_eq!(fl.field_addr(0, 1), base, "u64 first");
+        assert_eq!(fl.field_addr(0, 2), base + 8, "u16 next");
+        assert_eq!(fl.field_addr(0, 0), base + 10, "u8 last");
+    }
+
+    #[test]
+    fn reorder_hot_prefix_puts_hot_fields_first() {
+        let schema = fat_schema();
+        let t = VecTree::complete_binary(63);
+        let mut vs = VirtualSpace::new(8192);
+        let fl = reorder_fields(
+            &t,
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &schema,
+            &hot_klr(),
+        );
+        // Hot prefix: key/left/right in the first 16 bytes, payload after.
+        let base = fl.node_addr(0);
+        assert_eq!(fl.field_addr(0, fl.field_index("key").unwrap()), base);
+        assert_eq!(
+            fl.field_addr(0, fl.field_index("payload").unwrap()),
+            base + 16
+        );
+        assert_eq!(fl.hot_stride(), 64);
+    }
+
+    #[test]
+    fn soa_gives_each_field_a_dense_array() {
+        let mut vs = VirtualSpace::new(8192);
+        let fl = soa_convert(
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &fat_schema(),
+            &hot_klr(),
+            100,
+        );
+        let key = fl.field_index("key").unwrap();
+        let left = fl.field_index("left").unwrap();
+        assert_eq!(fl.field_addr(7, key) - fl.field_addr(6, key), 8);
+        assert_eq!(fl.field_addr(7, left) - fl.field_addr(6, left), 4);
+        // Arrays are disjoint and block-aligned.
+        let snap = fl.snapshot();
+        assert_eq!(snap.records().len(), 4);
+        for r in snap.records() {
+            assert_eq!(r.addr % 64, 0);
+        }
+        assert!(fl.try_field_addr(100, key).is_none(), "outside the pool");
+    }
+
+    #[test]
+    fn snapshot_covers_both_halves() {
+        let t = VecTree::complete_binary(31);
+        let mut vs = VirtualSpace::new(8192);
+        let fl = split_hot_cold(
+            &t,
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &fat_schema(),
+            &hot_klr(),
+        );
+        let snap = fl.snapshot();
+        assert_eq!(snap.records().len(), 62, "31 hot halves + 31 cold halves");
+        let key = fl.field_index("key").unwrap();
+        let payload = fl.field_index("payload").unwrap();
+        assert!(snap.record_at(fl.field_addr(3, key)).is_some());
+        assert!(snap.record_at(fl.field_addr(3, payload)).is_some());
+    }
+
+    #[test]
+    fn rejection_paths_leave_vspace_untouched() {
+        let t = VecTree::complete_binary(31);
+        let schema = fat_schema();
+        let params = FieldLayoutParams::new(&machine());
+        let mut vs = VirtualSpace::new(8192);
+        let before = vs.span_bytes();
+
+        let empty = FieldSchema::new("E", vec![]);
+        assert_eq!(
+            try_split_hot_cold(&t, &mut vs, &params, &empty, &hot_klr()).unwrap_err(),
+            LayoutError::EmptySchema
+        );
+        let zero = FieldSchema::new("Z", vec![FieldDef::new("z", 0, 1)]);
+        assert_eq!(
+            try_reorder_fields(&t, &mut vs, &params, &zero, &HotSpec::new()).unwrap_err(),
+            LayoutError::ZeroFieldSize { field: 0 }
+        );
+        let crooked = FieldSchema::new("C", vec![FieldDef::new("c", 4, 3)]);
+        assert_eq!(
+            try_soa_convert(&mut vs, &params, &crooked, &HotSpec::new(), 8).unwrap_err(),
+            LayoutError::FieldAlignNotPow2 { field: 0 }
+        );
+        let dup = FieldSchema::new(
+            "D",
+            vec![FieldDef::new("x", 4, 4), FieldDef::new("x", 4, 4)],
+        );
+        assert_eq!(
+            try_reorder_fields(&t, &mut vs, &params, &dup, &HotSpec::new()).unwrap_err(),
+            LayoutError::DuplicateField { field: 1 }
+        );
+        assert_eq!(
+            try_split_hot_cold(&t, &mut vs, &params, &schema, &HotSpec::new().mark("nope"))
+                .unwrap_err(),
+            LayoutError::UnknownHotField { entry: 0 }
+        );
+        assert_eq!(
+            try_split_hot_cold(&t, &mut vs, &params, &schema, &HotSpec::new()).unwrap_err(),
+            LayoutError::NoHotFields
+        );
+        let all_hot = HotSpec::new()
+            .mark("key")
+            .mark("left")
+            .mark("right")
+            .mark("payload");
+        assert_eq!(
+            try_split_hot_cold(&t, &mut vs, &params, &schema, &all_hot).unwrap_err(),
+            LayoutError::NoColdFields
+        );
+        // A broken topology is caught before any allocation too.
+        let mut cyc = VecTree::new(1);
+        let a = cyc.add_node();
+        let b = cyc.add_node();
+        cyc.link(a, b);
+        cyc.link(b, a);
+        assert_eq!(
+            try_split_hot_cold(&cyc, &mut vs, &params, &schema, &hot_klr()).unwrap_err(),
+            LayoutError::CyclicTopology { node: a }
+        );
+
+        assert_eq!(
+            vs.span_bytes(),
+            before,
+            "failed transforms leave vspace unchanged"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hot/cold split needs at least one hot field")]
+    fn infallible_wrapper_keeps_error_message() {
+        let t = VecTree::complete_binary(7);
+        let mut vs = VirtualSpace::new(8192);
+        let _ = split_hot_cold(
+            &t,
+            &mut vs,
+            &FieldLayoutParams::new(&machine()),
+            &fat_schema(),
+            &HotSpec::new(),
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes_get_no_addresses_in_any_transform() {
+        let mut t = VecTree::new(2);
+        let root = t.add_node();
+        let kid = t.add_node();
+        let orphan = t.add_node();
+        t.link(root, kid);
+        let params = FieldLayoutParams::new(&machine());
+        let mut vs = VirtualSpace::new(8192);
+        let split = split_hot_cold(&t, &mut vs, &params, &fat_schema(), &hot_klr());
+        assert!(split.try_node_addr(orphan).is_none());
+        assert_eq!(split.len(), 2);
+        let reord = reorder_fields(&t, &mut vs, &params, &fat_schema(), &hot_klr());
+        assert!(reord.try_field_addr(orphan, 0).is_none());
+    }
+
+    #[test]
+    fn hotspec_from_weights_drops_nonpositive() {
+        let spec = HotSpec::from_weights(vec![("a", 3.0), ("b", 0.0), ("c", -1.0)]);
+        assert!(spec.is_hot("a"));
+        assert!(!spec.is_hot("b"));
+        assert!(!spec.is_hot("c"));
+        assert_eq!(spec.weight("a"), 3.0);
+    }
+}

@@ -67,6 +67,7 @@ pub mod ccmorph;
 pub mod cluster;
 pub mod color;
 pub mod error;
+pub mod field_layout;
 pub mod rng;
 pub mod topology;
 
@@ -74,4 +75,9 @@ pub use ccmorph::{ccmorph, try_ccmorph, CcMorphParams, ColorConfig, Layout};
 pub use cluster::Order;
 pub use color::ColoredSpace;
 pub use error::LayoutError;
+pub use field_layout::{
+    reorder_fields, soa_convert, split_hot_cold, try_reorder_fields, try_soa_convert,
+    try_split_hot_cold, FieldDef, FieldLayout, FieldLayoutParams, FieldSchema, FieldTransform,
+    HotSpec,
+};
 pub use topology::{validate_topology, Topology};

@@ -107,11 +107,15 @@ pub enum ServerFault {
 /// let noisy = FaultPlan::new(42).heap_faults(3, 100).trace_faults(2).sweep_poisons(1);
 /// assert_eq!(noisy.heap_schedule(), noisy.heap_schedule()); // replayable
 /// ```
+// The two u64s lead and the six u32 intensities pack the tail — the
+// PAD-01-clean order (40 B, zero padding), pinned by repr(C) and the
+// offset test at the bottom of this file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
 pub struct FaultPlan {
     seed: u64,
-    heap_faults: u32,
     heap_horizon: u64,
+    heap_faults: u32,
     trace_faults: u32,
     sweep_poisons: u32,
     shard_poisons: u32,
@@ -343,6 +347,22 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Compiler-backed verification site for the repr(C) layout; the
+    // cc-lint offset-model sweep (verify_offsets.rs VERIFIED) points here.
+    #[test]
+    fn fault_plan_offsets_are_pinned() {
+        assert_eq!(core::mem::offset_of!(FaultPlan, seed), 0);
+        assert_eq!(core::mem::offset_of!(FaultPlan, heap_horizon), 8);
+        assert_eq!(core::mem::offset_of!(FaultPlan, heap_faults), 16);
+        assert_eq!(core::mem::offset_of!(FaultPlan, trace_faults), 20);
+        assert_eq!(core::mem::offset_of!(FaultPlan, sweep_poisons), 24);
+        assert_eq!(core::mem::offset_of!(FaultPlan, shard_poisons), 28);
+        assert_eq!(core::mem::offset_of!(FaultPlan, server_faults), 32);
+        assert_eq!(core::mem::offset_of!(FaultPlan, sample_poisons), 36);
+        assert_eq!(core::mem::size_of::<FaultPlan>(), 40);
+        assert_eq!(core::mem::align_of::<FaultPlan>(), 8);
+    }
 
     #[test]
     fn empty_plan_derives_empty_schedules() {

@@ -12,7 +12,7 @@
 //!   heap" (or to individual structures) rather than to the anonymous
 //!   catch-all region.
 
-use cc_obs::{MetricsRegistry, RegionId, RegionMap};
+use cc_obs::{FieldMap, MetricsRegistry, RegionId, RegionMap};
 
 use crate::snapshot::LayoutSnapshot;
 use crate::stats::HeapStats;
@@ -82,6 +82,47 @@ pub fn register_snapshot(
     Some(map.register(name, first.addr, last.end()))
 }
 
+/// Registers every live allocation of `snapshot` as a field-resolution
+/// extent of span table `table` in `map`, so the profiler can attribute
+/// misses to the individual *fields* of the objects the allocator
+/// reported. Returns the number of extents registered.
+///
+/// All records are assumed to share the layout `table` describes, with
+/// the object's fields repeating at each record's own size. Runs of
+/// equal-sized, back-to-back records (a dense pool) coalesce into one
+/// strided extent, which keeps [`FieldMap::resolve`]'s binary search
+/// shallow for arena allocators.
+///
+/// Snapshots that mix layouts (say, a hot/cold split's 16-byte hot
+/// halves plus its cold arena) should instead register each group with
+/// its own table via [`FieldMap::add_extent`] directly.
+pub fn register_snapshot_fields(
+    map: &mut FieldMap,
+    table: u32,
+    snapshot: &LayoutSnapshot,
+) -> usize {
+    let mut extents = 0;
+    let mut run: Option<(u64, u64, u64)> = None; // (start, end, stride)
+    for r in snapshot.records() {
+        run = Some(match run {
+            Some((start, end, stride)) if r.addr == end && r.size == stride => {
+                (start, r.end(), stride)
+            }
+            Some((start, end, stride)) => {
+                map.add_extent(start, end, stride, table);
+                extents += 1;
+                (r.addr, r.end(), r.size)
+            }
+            None => (r.addr, r.end(), r.size),
+        });
+    }
+    if let Some((start, end, stride)) = run {
+        map.add_extent(start, end, stride, table);
+        extents += 1;
+    }
+    extents
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +153,37 @@ mod tests {
         // Outside the span falls to the catch-all.
         assert_eq!(map.resolve(0x100), RegionId::OTHER);
         assert_eq!(register_heap_span(&mut map, "empty", 0), None);
+    }
+
+    #[test]
+    fn snapshot_fields_resolve_per_object_offsets() {
+        use crate::snapshot::AllocRecord;
+
+        // Three back-to-back 16-byte objects, then a gap, then one more:
+        // the dense run coalesces into a single strided extent.
+        let rec = |addr| AllocRecord {
+            addr,
+            size: 16,
+            id: addr,
+            hint: None,
+        };
+        let snapshot =
+            LayoutSnapshot::from_records(vec![rec(0x1000), rec(0x1010), rec(0x1020), rec(0x2000)]);
+        let mut fmap = FieldMap::new();
+        let key = fmap.field_id("key");
+        let next = fmap.field_id("next");
+        let t = fmap.add_table(&[(key, 0, 8), (next, 8, 8)]);
+        assert_eq!(register_snapshot_fields(&mut fmap, t, &snapshot), 2);
+        assert_eq!(fmap.resolve(0x1000), Some(key));
+        assert_eq!(fmap.resolve(0x1010 + 8), Some(next));
+        assert_eq!(fmap.resolve(0x102f), Some(next));
+        assert_eq!(fmap.resolve(0x1030), None, "gap after the dense run");
+        assert_eq!(fmap.resolve(0x2008), Some(next));
+        assert_eq!(
+            register_snapshot_fields(&mut fmap, t, &LayoutSnapshot::default()),
+            0,
+            "empty snapshot registers nothing"
+        );
     }
 
     #[test]

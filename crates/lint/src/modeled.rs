@@ -10,36 +10,40 @@ use std::collections::BTreeSet;
 
 /// One struct the offset model fully resolved.
 #[derive(Clone, Debug)]
+// Field order is the analyzer's own PAD-01 suggestion for itself (wide
+// members first, the bool tail packed); repr(C) pins it, the offset test
+// below holds it.
+#[repr(C)]
 pub struct ModeledStruct {
-    /// Type name.
-    pub name: String,
-    /// Source file label.
-    pub file: String,
-    /// 1-based line of the definition.
-    pub line: u32,
-    /// Has `#[repr(C)]` (layout guaranteed, declaration order binding).
-    pub repr_c: bool,
-    /// `repr(packed(N))` cap.
-    pub packed: Option<u64>,
-    /// `repr(align(N))` floor.
-    pub align_attr: Option<u64>,
-    /// Resolved fields in declaration order.
-    pub sized: Vec<SizedField>,
     /// Declaration-order layout (exact for `repr(C)`, the pessimistic
     /// model for `repr(Rust)`).
     pub decl: StructLayout,
     /// Optimal-reorder layout.
     pub opt: StructLayout,
+    /// Type name.
+    pub name: String,
+    /// Source file label.
+    pub file: String,
+    /// Resolved fields in declaration order.
+    pub sized: Vec<SizedField>,
+    /// `repr(packed(N))` cap.
+    pub packed: Option<u64>,
+    /// `repr(align(N))` floor.
+    pub align_attr: Option<u64>,
+    /// Measured heat joined from a hotness input, if any.
+    pub weight: Option<f64>,
+    /// Number of hot-marked fields.
+    pub hot_count: usize,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// Has `#[repr(C)]` (layout guaranteed, declaration order binding).
+    pub repr_c: bool,
     /// Every field's size/align is a language guarantee *and* the struct
     /// is `repr(C)` — i.e. `decl` must equal the compiler's layout.
     pub exact: bool,
-    /// Number of hot-marked fields.
-    pub hot_count: usize,
     /// The struct appears as an array element (`Vec<T>`, `[T; N]`,
     /// `Box<[T]>`, `&[T]`) somewhere in the corpus.
     pub array_element: bool,
-    /// Measured heat joined from a hotness input, if any.
-    pub weight: Option<f64>,
 }
 
 /// A struct the model had to skip, with the reason.
@@ -165,4 +169,33 @@ pub fn model_files(files: &[(String, ParsedFile)], hot: &HotSpec) -> Analysis {
         .skipped
         .sort_by(|a, b| (&a.file, &a.name).cmp(&(&b.file, &b.name)));
     analysis
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    // Compiler-backed pin of the repr(C) reorder (PAD-01 burn-down):
+    // the two layout blocks lead, strings and tables follow, the bool
+    // tail packs last. Offsets are relative to `StructLayout`'s size so
+    // the pin survives changes to that struct.
+    #[test]
+    fn modeled_struct_offsets_are_pinned() {
+        use core::mem::{offset_of, size_of};
+        let s = size_of::<StructLayout>();
+        assert_eq!(offset_of!(ModeledStruct, decl), 0);
+        assert_eq!(offset_of!(ModeledStruct, opt), s);
+        assert_eq!(offset_of!(ModeledStruct, name), 2 * s);
+        assert_eq!(offset_of!(ModeledStruct, file), 2 * s + 24);
+        assert_eq!(offset_of!(ModeledStruct, sized), 2 * s + 48);
+        assert_eq!(offset_of!(ModeledStruct, packed), 2 * s + 72);
+        assert_eq!(offset_of!(ModeledStruct, align_attr), 2 * s + 88);
+        assert_eq!(offset_of!(ModeledStruct, weight), 2 * s + 104);
+        assert_eq!(offset_of!(ModeledStruct, hot_count), 2 * s + 120);
+        assert_eq!(offset_of!(ModeledStruct, line), 2 * s + 128);
+        assert_eq!(offset_of!(ModeledStruct, repr_c), 2 * s + 132);
+        assert_eq!(offset_of!(ModeledStruct, exact), 2 * s + 133);
+        assert_eq!(offset_of!(ModeledStruct, array_element), 2 * s + 134);
+        assert_eq!(size_of::<ModeledStruct>(), 2 * s + 136);
+    }
 }

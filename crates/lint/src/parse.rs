@@ -404,38 +404,43 @@ pub struct FieldDef {
 
 /// A parsed struct definition.
 #[derive(Clone, Debug, PartialEq)]
+// Field order is the analyzer's own PAD-01 suggestion for itself;
+// repr(C) pins it, the offset test in this file holds it.
+#[repr(C)]
 pub struct StructDef {
+    /// Repr attributes.
+    pub repr: ReprAttr,
     /// Type name.
     pub name: String,
     /// Source file label (as given to the parser).
     pub file: String,
-    /// 1-based line of the `struct` keyword.
-    pub line: u32,
-    /// Repr attributes.
-    pub repr: ReprAttr,
     /// Fields in declaration order.
     pub fields: Vec<FieldDef>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
     /// The item has non-lifetime generic parameters (not modelable).
     pub generic: bool,
 }
 
 /// A parsed enum definition (modeled for size only, as a field type).
 #[derive(Clone, Debug, PartialEq)]
+// Same discipline as `StructDef`: the PAD-01-clean order, pinned.
+#[repr(C)]
 pub struct EnumDef {
+    /// Repr attributes.
+    pub repr: ReprAttr,
     /// Type name.
     pub name: String,
     /// Source file label.
     pub file: String,
-    /// 1-based line of the `enum` keyword.
-    pub line: u32,
-    /// Repr attributes.
-    pub repr: ReprAttr,
     /// Number of variants.
     pub variants: usize,
-    /// Any variant carries data (tuple or struct payload).
-    pub has_payload: bool,
     /// Largest literal discriminant seen (fieldless enums).
     pub max_discriminant: u64,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Any variant carries data (tuple or struct payload).
+    pub has_payload: bool,
     /// A discriminant was present but not a plain literal (pessimize).
     pub opaque_discriminant: bool,
     /// The item has non-lifetime generic parameters.
@@ -1161,6 +1166,39 @@ mod tests {
         let parsed = parse_source("t.rs", src);
         assert_eq!(parsed.structs.len(), 1, "expected one struct in {src:?}");
         parsed.structs.into_iter().next().unwrap()
+    }
+
+    // Compiler-backed pins of the repr(C) reorders (PAD-01 burn-down):
+    // `repr` leads, the strings and tables follow, narrow scalars and
+    // bools pack the tail. Offsets are relative to `ReprAttr`'s size so
+    // the pin survives changes to that struct.
+    #[test]
+    fn struct_def_offsets_are_pinned() {
+        use core::mem::{offset_of, size_of};
+        let r = size_of::<ReprAttr>();
+        assert_eq!(offset_of!(StructDef, repr), 0);
+        assert_eq!(offset_of!(StructDef, name), r);
+        assert_eq!(offset_of!(StructDef, file), r + 24);
+        assert_eq!(offset_of!(StructDef, fields), r + 48);
+        assert_eq!(offset_of!(StructDef, line), r + 72);
+        assert_eq!(offset_of!(StructDef, generic), r + 76);
+        assert_eq!(size_of::<StructDef>(), r + 80);
+    }
+
+    #[test]
+    fn enum_def_offsets_are_pinned() {
+        use core::mem::{offset_of, size_of};
+        let r = size_of::<ReprAttr>();
+        assert_eq!(offset_of!(EnumDef, repr), 0);
+        assert_eq!(offset_of!(EnumDef, name), r);
+        assert_eq!(offset_of!(EnumDef, file), r + 24);
+        assert_eq!(offset_of!(EnumDef, variants), r + 48);
+        assert_eq!(offset_of!(EnumDef, max_discriminant), r + 56);
+        assert_eq!(offset_of!(EnumDef, line), r + 64);
+        assert_eq!(offset_of!(EnumDef, has_payload), r + 68);
+        assert_eq!(offset_of!(EnumDef, opaque_discriminant), r + 69);
+        assert_eq!(offset_of!(EnumDef, generic), r + 70);
+        assert_eq!(size_of::<EnumDef>(), r + 72);
     }
 
     #[test]

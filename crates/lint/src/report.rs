@@ -57,15 +57,14 @@ impl fmt::Display for LintRule {
 
 /// One static finding.
 #[derive(Clone, Debug, PartialEq)]
+// Field order is the analyzer's own PAD-01 suggestion for itself;
+// repr(C) pins it, the offset test in this file holds it.
+#[repr(C)]
 pub struct LintFinding {
-    /// Which rule fired.
-    pub rule: LintRule,
     /// Offending struct.
     pub strukt: String,
     /// Source file label.
     pub file: String,
-    /// 1-based definition line.
-    pub line: u32,
     /// Offending fields (empty = whole struct).
     pub fields: Vec<String>,
     /// What happened, evidence inline.
@@ -74,12 +73,16 @@ pub struct LintFinding {
     pub suggestion: String,
     /// Unit of the before/after metric.
     pub unit: &'static str,
+    /// Measured heat joined from a hotness input.
+    pub weight: Option<f64>,
     /// Predicted metric under the current layout.
     pub before: f64,
     /// Predicted metric under the suggestion.
     pub after: f64,
-    /// Measured heat joined from a hotness input.
-    pub weight: Option<f64>,
+    /// 1-based definition line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: LintRule,
     /// Present in the baseline file (does not affect the exit code).
     pub waived: bool,
 }
@@ -414,4 +417,30 @@ fn escape_json(s: &str) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod layout_tests {
+    use super::*;
+
+    // Compiler-backed pin of the repr(C) reorder (PAD-01 burn-down):
+    // the five 24-byte string/vec headers lead, the f64/Option block
+    // follows, and line/rule/waived pack the tail.
+    #[test]
+    fn lint_finding_offsets_are_pinned() {
+        use core::mem::{offset_of, size_of};
+        assert_eq!(offset_of!(LintFinding, strukt), 0);
+        assert_eq!(offset_of!(LintFinding, file), 24);
+        assert_eq!(offset_of!(LintFinding, fields), 48);
+        assert_eq!(offset_of!(LintFinding, message), 72);
+        assert_eq!(offset_of!(LintFinding, suggestion), 96);
+        assert_eq!(offset_of!(LintFinding, unit), 120);
+        assert_eq!(offset_of!(LintFinding, weight), 136);
+        assert_eq!(offset_of!(LintFinding, before), 152);
+        assert_eq!(offset_of!(LintFinding, after), 160);
+        assert_eq!(offset_of!(LintFinding, line), 168);
+        assert_eq!(offset_of!(LintFinding, rule), 172);
+        assert_eq!(offset_of!(LintFinding, waived), 173);
+        assert_eq!(size_of::<LintFinding>(), 176);
+    }
 }

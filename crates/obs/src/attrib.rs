@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use crate::field::{FieldId, FieldMap};
 use crate::region::{RegionId, RegionMap};
 
 /// Cache level an attribution event happened at.
@@ -72,6 +73,22 @@ pub struct ConflictPair {
     pub count: u64,
 }
 
+/// Optional field-level attribution riding on a [`MissProfile`]: the
+/// same access/hit/miss tallies, but resolved through a [`FieldMap`] to
+/// the individual struct field each demand access touched.
+// The 64-byte unattributed block leads so it sits in one line (SPAN-01,
+// cc-lint's own suggestion for this struct).
+#[derive(Clone, Debug)]
+struct FieldAttrib {
+    /// Demand accesses whose address resolved to no field (outside
+    /// every object extent, or padding) — kept so field totals plus
+    /// this equal the per-level demand totals.
+    unattributed: [RegionTally; 2],
+    /// `[level][field id]`.
+    levels: [Vec<RegionTally>; 2],
+    map: Arc<FieldMap>,
+}
+
 /// Accumulates attribution events against a fixed [`RegionMap`].
 #[derive(Clone, Debug)]
 pub struct MissProfile {
@@ -81,6 +98,10 @@ pub struct MissProfile {
     /// `(level index, victim id, evictor id) → count`. A `BTreeMap`
     /// keeps export order deterministic for golden-file tests.
     conflicts: BTreeMap<(u8, u32, u32), u64>,
+    /// Field-level tallies, absent unless
+    /// [`MissProfile::enable_fields`] opted in. Boxed: the common
+    /// region-only profile pays one pointer.
+    fields: Option<Box<FieldAttrib>>,
 }
 
 impl MissProfile {
@@ -91,7 +112,30 @@ impl MissProfile {
             map,
             levels: [tallies.clone(), tallies],
             conflicts: BTreeMap::new(),
+            fields: None,
         }
+    }
+
+    /// Starts attributing demand accesses to the fields of `fmap` as
+    /// well as to regions. Region tallies, conflicts, and the JSON
+    /// encoding of profiles *without* fields are unchanged.
+    pub fn enable_fields(&mut self, fmap: Arc<FieldMap>) {
+        let tallies = vec![RegionTally::default(); fmap.len()];
+        self.fields = Some(Box::new(FieldAttrib {
+            map: fmap,
+            levels: [tallies.clone(), tallies],
+            unattributed: [RegionTally::default(); 2],
+        }));
+    }
+
+    /// Whether field-level attribution is enabled.
+    pub fn fields_enabled(&self) -> bool {
+        self.fields.is_some()
+    }
+
+    /// The field map, if field attribution is enabled.
+    pub fn field_map(&self) -> Option<&Arc<FieldMap>> {
+        self.fields.as_ref().map(|f| &f.map)
     }
 
     /// The region map this profile attributes against.
@@ -107,6 +151,27 @@ impl MissProfile {
     /// Records one demand access by `region` at `level`.
     pub fn record_access(&mut self, level: Level, region: RegionId, hit: bool) {
         let t = &mut self.levels[level.index()][region.index()];
+        t.accesses += 1;
+        if hit {
+            t.hits += 1;
+        } else {
+            t.misses += 1;
+        }
+    }
+
+    /// Records one demand access at `level` against the field owning
+    /// `addr` (no-op unless [`MissProfile::enable_fields`] opted in).
+    /// `addr` must be the first *referenced* byte the block access
+    /// covers — block-aligned addresses would alias every field sharing
+    /// the block.
+    pub fn record_field_access(&mut self, level: Level, addr: u64, hit: bool) {
+        let Some(f) = self.fields.as_deref_mut() else {
+            return;
+        };
+        let t = match f.map.resolve(addr) {
+            Some(field) => &mut f.levels[level.index()][field.index()],
+            None => &mut f.unattributed[level.index()],
+        };
         t.accesses += 1;
         if hit {
             t.hits += 1;
@@ -147,6 +212,28 @@ impl MissProfile {
         for (&k, &v) in &other.conflicts {
             *self.conflicts.entry(k).or_insert(0) += v;
         }
+        match (self.fields.as_deref_mut(), other.fields.as_deref()) {
+            (None, None) => {}
+            (Some(mine), Some(theirs)) => {
+                assert!(
+                    Arc::ptr_eq(&mine.map, &theirs.map),
+                    "merging MissProfiles built over different FieldMaps",
+                );
+                for (level, others) in mine.levels.iter_mut().zip(&theirs.levels) {
+                    for (t, o) in level.iter_mut().zip(others) {
+                        t.accesses += o.accesses;
+                        t.hits += o.hits;
+                        t.misses += o.misses;
+                    }
+                }
+                for (t, o) in mine.unattributed.iter_mut().zip(&theirs.unattributed) {
+                    t.accesses += o.accesses;
+                    t.hits += o.hits;
+                    t.misses += o.misses;
+                }
+            }
+            _ => panic!("merging a field-attributing MissProfile with a region-only one"),
+        }
     }
 
     /// The tally for one region at one level.
@@ -175,12 +262,50 @@ impl MissProfile {
     /// name to the structure (or fields) it holds and feed the weights to
     /// `cc-lint` as field-hotness input, so the static suggestions are
     /// ranked by misses actually measured rather than by annotation alone.
-    pub fn region_weights(&self, level: Level) -> Vec<(String, f64)> {
+    ///
+    /// Names are borrowed from the profile's region map — the hot join
+    /// calls this per level per report, and it used to clone a fresh
+    /// `String` per region each time.
+    pub fn region_weights(&self, level: Level) -> Vec<(&str, f64)> {
         (0..self.map.len())
             .filter_map(|id| {
                 let region = RegionId::from_raw(id as u32);
                 let t = self.levels[level.index()][region.index()];
-                (t.misses > 0).then(|| (self.map.name(region).to_string(), t.misses as f64))
+                (t.misses > 0).then(|| (self.map.name(region), t.misses as f64))
+            })
+            .collect()
+    }
+
+    /// The tally for one field at one level (zero unless field
+    /// attribution is enabled).
+    pub fn field_tally(&self, level: Level, field: FieldId) -> RegionTally {
+        self.fields
+            .as_deref()
+            .map(|f| f.levels[level.index()][field.index()])
+            .unwrap_or_default()
+    }
+
+    /// Demand accesses that resolved to no field at `level`.
+    pub fn field_unattributed(&self, level: Level) -> RegionTally {
+        self.fields
+            .as_deref()
+            .map(|f| f.unattributed[level.index()])
+            .unwrap_or_default()
+    }
+
+    /// Measured per-field miss weights at `level`, in field-id order,
+    /// excluding fields with no misses — the field-granular analogue of
+    /// [`MissProfile::region_weights`], and the input `cc-profile`
+    /// feeds to `cc-lint --hot`.
+    pub fn field_weights(&self, level: Level) -> Vec<(&str, f64)> {
+        let Some(f) = self.fields.as_deref() else {
+            return Vec::new();
+        };
+        (0..f.map.len())
+            .filter_map(|id| {
+                let field = FieldId::from_raw(id as u32);
+                let t = f.levels[level.index()][field.index()];
+                (t.misses > 0).then(|| (f.map.name(field), t.misses as f64))
             })
             .collect()
     }
@@ -201,6 +326,9 @@ impl MissProfile {
 
     /// Byte-stable JSON encoding: regions in id order, conflicts in
     /// (level, victim, evictor) order, fixed field order throughout.
+    /// When field attribution is enabled a `"fields"` section follows
+    /// the conflicts; a region-only profile's encoding is unchanged
+    /// byte-for-byte from before fields existed.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"regions\":[");
         for id in 0..self.map.len() {
@@ -236,7 +364,40 @@ impl MissProfile {
                 count
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(f) = self.fields.as_deref() {
+            out.push_str(",\"fields\":[");
+            for id in 0..f.map.len() {
+                if id > 0 {
+                    out.push(',');
+                }
+                let name = f.map.name(FieldId::from_raw(id as u32));
+                out.push_str(&format!("{{\"name\":{name:?}"));
+                for level in [Level::L1, Level::L2] {
+                    let t = f.levels[level.index()][id];
+                    out.push_str(&format!(
+                        ",\"{}\":{{\"accesses\":{},\"hits\":{},\"misses\":{}}}",
+                        level.label(),
+                        t.accesses,
+                        t.hits,
+                        t.misses
+                    ));
+                }
+                out.push('}');
+            }
+            out.push(']');
+            for level in [Level::L1, Level::L2] {
+                let t = f.unattributed[level.index()];
+                out.push_str(&format!(
+                    ",\"fields_unattributed_{}\":{{\"accesses\":{},\"hits\":{},\"misses\":{}}}",
+                    level.label(),
+                    t.accesses,
+                    t.hits,
+                    t.misses
+                ));
+            }
+        }
+        out.push('}');
         out
     }
 }
@@ -287,6 +448,104 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.totals(Level::L1).accesses, 2);
         assert_eq!(a.conflict_pairs()[0].count, 2);
+    }
+
+    fn node_field_map() -> Arc<FieldMap> {
+        let mut fmap = FieldMap::new();
+        let key = fmap.field_id("key");
+        let left = fmap.field_id("left");
+        let t = fmap.add_table(&[(key, 0, 8), (left, 8, 4)]);
+        // Sixteen 16-byte nodes at 0x1000.
+        fmap.add_extent(0x1000, 0x1100, 16, t);
+        Arc::new(fmap)
+    }
+
+    #[test]
+    fn field_tallies_resolve_through_the_field_map() {
+        let map = two_region_map();
+        let mut p = MissProfile::new(map);
+        let fmap = node_field_map();
+        p.enable_fields(Arc::clone(&fmap));
+        p.record_field_access(Level::L1, 0x1000, false); // key of node 0
+        p.record_field_access(Level::L1, 0x1000 + 3 * 16 + 8, true); // left of node 3
+        p.record_field_access(Level::L1, 0x1000 + 12, false); // padding
+        p.record_field_access(Level::L1, 0x9000, true); // outside
+        let mut f = FieldMap::new();
+        let key = f.field_id("key");
+        let left = f.field_id("left");
+        assert_eq!(p.field_tally(Level::L1, key).misses, 1);
+        assert_eq!(p.field_tally(Level::L1, left).hits, 1);
+        let un = p.field_unattributed(Level::L1);
+        assert_eq!((un.accesses, un.hits, un.misses), (2, 1, 1));
+        assert_eq!(p.field_weights(Level::L1), vec![("key", 1.0)]);
+    }
+
+    #[test]
+    fn field_records_are_noops_without_enable() {
+        let mut p = MissProfile::new(two_region_map());
+        p.record_field_access(Level::L1, 0x1000, false);
+        assert!(!p.fields_enabled());
+        assert!(p.field_weights(Level::L1).is_empty());
+    }
+
+    #[test]
+    fn merge_sums_field_tallies_over_a_shared_map() {
+        let map = two_region_map();
+        let fmap = node_field_map();
+        let mut a = MissProfile::new(Arc::clone(&map));
+        let mut b = MissProfile::new(map);
+        a.enable_fields(Arc::clone(&fmap));
+        b.enable_fields(Arc::clone(&fmap));
+        a.record_field_access(Level::L2, 0x1000, false);
+        b.record_field_access(Level::L2, 0x1010, false);
+        a.merge(&b);
+        let mut f = FieldMap::new();
+        let key = f.field_id("key");
+        assert_eq!(a.field_tally(Level::L2, key).misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "field-attributing")]
+    fn merging_mixed_field_enablement_panics() {
+        let map = two_region_map();
+        let mut a = MissProfile::new(Arc::clone(&map));
+        let b = MissProfile::new(map);
+        a.enable_fields(node_field_map());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn json_without_fields_is_unchanged_and_with_fields_appends() {
+        let map = two_region_map();
+        let tree = map.resolve(0x1000);
+        let mut plain = MissProfile::new(Arc::clone(&map));
+        plain.record_access(Level::L1, tree, false);
+        let plain_json = plain.to_json();
+        assert!(plain_json.ends_with("],\"conflicts\":[]}"), "{plain_json}");
+
+        let mut fielded = MissProfile::new(map);
+        fielded.record_access(Level::L1, tree, false);
+        fielded.enable_fields(node_field_map());
+        fielded.record_field_access(Level::L1, 0x1000, false);
+        let json = fielded.to_json();
+        assert!(
+            json.starts_with(plain_json.trim_end_matches('}')),
+            "prefix preserved"
+        );
+        assert!(json.contains(
+            "\"fields\":[{\"name\":\"key\",\"l1\":{\"accesses\":1,\"hits\":0,\"misses\":1}"
+        ));
+        assert!(json.contains("\"fields_unattributed_l1\":{\"accesses\":0"));
+    }
+
+    #[test]
+    fn region_weights_borrow_from_the_map() {
+        let map = two_region_map();
+        let tree = map.resolve(0x1000);
+        let mut p = MissProfile::new(map);
+        p.record_access(Level::L1, tree, false);
+        let w = p.region_weights(Level::L1);
+        assert_eq!(w, vec![("tree", 1.0)]);
     }
 
     #[test]

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod attrib;
+pub mod field;
 pub mod region;
 pub mod registry;
 pub mod span;
 
 pub use attrib::{Level, MissProfile, RegionTally};
+pub use field::{FieldId, FieldMap};
 pub use region::{RegionId, RegionMap};
 pub use registry::MetricsRegistry;
 pub use span::SpanTracer;

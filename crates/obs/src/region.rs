@@ -185,4 +185,75 @@ mod tests {
         map.register("a", 0x100, 0x200);
         map.register("b", 0x1ff, 0x300);
     }
+
+    #[test]
+    fn boundary_addresses_resolve_exactly() {
+        let mut map = RegionMap::new();
+        // Two adjacent ranges sharing a seam at 0x200, then a gap.
+        let a = map.register("a", 0x100, 0x200);
+        let b = map.register("b", 0x200, 0x280);
+        assert_eq!(map.resolve(0x0ff), RegionId::OTHER, "one below a start");
+        assert_eq!(map.resolve(0x100), a, "inclusive start");
+        assert_eq!(map.resolve(0x1ff), a, "last byte of a");
+        assert_eq!(map.resolve(0x200), b, "seam belongs to the right range");
+        assert_eq!(map.resolve(0x27f), b, "last byte of b");
+        assert_eq!(map.resolve(0x280), RegionId::OTHER, "end is exclusive");
+        assert_eq!(map.resolve(u64::MAX), RegionId::OTHER);
+    }
+
+    #[test]
+    fn u64_extremes_resolve() {
+        let mut map = RegionMap::new();
+        let lo = map.register("lo", 0, 1);
+        let hi = map.register("hi", u64::MAX - 1, u64::MAX);
+        assert_eq!(map.resolve(0), lo);
+        assert_eq!(map.resolve(1), RegionId::OTHER);
+        assert_eq!(map.resolve(u64::MAX - 1), hi);
+        assert_eq!(map.resolve(u64::MAX), RegionId::OTHER);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The O(n) oracle `resolve` must agree with.
+    fn resolve_linear(ranges: &[(u64, u64, RegionId)], addr: u64) -> RegionId {
+        ranges
+            .iter()
+            .find(|&&(s, e, _)| s <= addr && addr < e)
+            .map(|&(_, _, id)| id)
+            .unwrap_or(RegionId::OTHER)
+    }
+
+    proptest! {
+        #[test]
+        fn resolve_matches_linear_scan(
+            raw in proptest::collection::vec((0u64..0x4000, 1u64..0x200), 0..12),
+            probes in proptest::collection::vec(0u64..0x5000, 32..33),
+        ) {
+            let mut map = RegionMap::new();
+            let mut ranges: Vec<(u64, u64, RegionId)> = Vec::new();
+            for (i, &(start, len)) in raw.iter().enumerate() {
+                let end = start + len;
+                // Keep only ranges that don't overlap what we kept so far;
+                // register panics on overlap by design.
+                if ranges.iter().any(|&(s, e, _)| start < e && s < end) {
+                    continue;
+                }
+                let id = map.register(&format!("r{i}"), start, end);
+                ranges.push((start, end, id));
+            }
+            for &addr in &probes {
+                prop_assert_eq!(map.resolve(addr), resolve_linear(&ranges, addr));
+            }
+            // Probe every boundary of every kept range, inside and out.
+            for &(s, e, _) in &ranges {
+                for addr in [s, s.saturating_sub(1), e - 1, e] {
+                    prop_assert_eq!(map.resolve(addr), resolve_linear(&ranges, addr));
+                }
+            }
+        }
+    }
 }

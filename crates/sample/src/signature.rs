@@ -96,7 +96,7 @@ impl Signature {
         let mut weights = BTreeMap::new();
         for level in [Level::L1, Level::L2] {
             for (name, misses) in profile.region_weights(level) {
-                *weights.entry(name).or_insert(0.0) += misses;
+                *weights.entry(name.to_string()).or_insert(0.0) += misses;
             }
         }
         self.regions = Some(weights);

@@ -29,6 +29,7 @@
 
 use crate::json::Json;
 use crate::proto::ErrorKind;
+use cc_bench::field::{run_field_leg, FieldCase, FieldLegStats};
 use cc_bench::replay::{build_bst, SearchReplay, TreeSpec, SEG_CAP};
 use cc_bench::sample::{Cancelled, SampledReplay, SampledSpec};
 use cc_sim::MachineConfig;
@@ -548,8 +549,17 @@ pub fn simulate(env: &OpEnv<'_>, params: &Json) -> OpResult {
 
 /// `morph`: replay the same workload on the unorganized layout and on
 /// the ccmorph C-tree, and report the predicted deltas.
+///
+/// With a `transform` parameter (`reorder` | `hot_cold` | `soa`) the op
+/// compares *field-level* layouts instead: the AoS fat-node tree versus
+/// the requested cc-core field transform, both legs run with field
+/// attribution so the reply carries per-field before/after miss counts
+/// alongside the usual predicted deltas.
 pub fn morph(env: &OpEnv<'_>, params: &Json) -> OpResult {
     let chaos = chaos_prelude(env, params)?;
+    if let Some(name) = param_str(params, "transform")? {
+        return field_morph(env, params, name, &chaos);
+    }
     let mut base = replay_params(env, params, "serve-morph")?;
     base.spec.morph = false;
     let mut morphed = replay_params(env, params, "serve-morph")?;
@@ -597,6 +607,133 @@ pub fn morph(env: &OpEnv<'_>, params: &Json) -> OpResult {
         ("predicted_speedup", Json::Float(speedup)),
         ("base", before),
         ("morphed", after),
+    ]))
+}
+
+/// The stats object for one leg of a field-transform comparison.
+fn field_leg_json(leg: &FieldLegStats) -> Json {
+    Json::obj([
+        ("avg_us_per_search", Json::Float(leg.avg_us_per_search)),
+        ("hot_stride", Json::Uint(leg.hot_stride)),
+        (
+            "l1",
+            Json::obj([
+                ("hits", Json::Uint(leg.l1_hits)),
+                ("misses", Json::Uint(leg.l1_misses)),
+            ]),
+        ),
+        (
+            "l2",
+            Json::obj([
+                ("hits", Json::Uint(leg.l2_hits)),
+                ("misses", Json::Uint(leg.l2_misses)),
+            ]),
+        ),
+    ])
+}
+
+/// `morph` with `transform`: AoS baseline versus one cc-core field
+/// transform on the fat-node search workload, field attribution on both
+/// legs, per-field before/after miss deltas in the reply.
+fn field_morph(env: &OpEnv<'_>, params: &Json, name: &str, chaos: &ChaosPlan) -> OpResult {
+    let case = match name {
+        "reorder" => FieldCase::Reorder,
+        "hot_cold" => FieldCase::HotCold,
+        "soa" => FieldCase::Soa,
+        other => {
+            return Err(bad(format!(
+                "unknown transform `{other}` (expected reorder|hot_cold|soa)"
+            )))
+        }
+    };
+    let keys = param_u64(params, "keys", 4095)?;
+    if keys == 0 || keys > env.limits.max_keys {
+        return Err(bad(format!(
+            "`keys` must be in 1..={}",
+            env.limits.max_keys
+        )));
+    }
+    let searches = param_u64(params, "searches", 20_000)?;
+    if searches == 0 {
+        return Err(bad("`searches` must be positive"));
+    }
+    let seed = param_u64(params, "seed", 0x51EE7)?;
+    // Field-transform comparisons have no sampled fallback (the field
+    // funnel needs the full per-address stream), so the full-replay
+    // budget is the hard ceiling — halved, because one request runs two
+    // attributed legs.
+    let est_events = estimate_events(keys, searches);
+    if est_events > env.limits.max_replay_events / 2 {
+        return Err((
+            ErrorKind::OverBudget,
+            format!(
+                "estimated {est_events} events per leg exceed the field-transform budget \
+                 of {} (field-attributed comparisons always run the full replay — \
+                 shrink `searches` or `keys`)",
+                env.limits.max_replay_events / 2
+            ),
+        ));
+    }
+
+    // The mid-request chaos switch detonates after the first chunk of
+    // the first leg, matching the full path's "at least one segment
+    // ran" point.
+    let machine = MachineConfig::ultrasparc_e5000();
+    let polls = AtomicU64::new(0);
+    let base_check = || {
+        if chaos.panic_mid && polls.fetch_add(1, Ordering::Relaxed) == 1 {
+            panic!("chaos: injected mid-request worker panic");
+        }
+        env.gate.check()
+    };
+    let base = run_field_leg(&machine, keys, FieldCase::Aos, searches, seed, base_check)?;
+    let after = run_field_leg(&machine, keys, case, searches, seed, || env.gate.check())?;
+
+    let delta_pct = |b: u64, a: u64| {
+        if b == 0 {
+            0.0
+        } else {
+            (b as f64 - a as f64) / b as f64 * 100.0
+        }
+    };
+    let fields = base
+        .fields
+        .iter()
+        .zip(after.fields.iter())
+        .map(|((name, b1, b2), (_, a1, a2))| {
+            Json::obj([
+                ("field", Json::str(name.clone())),
+                ("l1_misses_before", Json::Uint(*b1)),
+                ("l1_misses_after", Json::Uint(*a1)),
+                ("l1_delta_pct", Json::Float(delta_pct(*b1, *a1))),
+                ("l2_misses_before", Json::Uint(*b2)),
+                ("l2_misses_after", Json::Uint(*a2)),
+            ])
+        })
+        .collect();
+    let speedup = if after.avg_us_per_search > 0.0 {
+        base.avg_us_per_search / after.avg_us_per_search
+    } else {
+        0.0
+    };
+    Ok(Json::obj([
+        ("transform", Json::str(case.name())),
+        ("keys", Json::Uint(keys)),
+        ("searches", Json::Uint(searches)),
+        (
+            "predicted_l1_miss_delta_pct",
+            Json::Float(delta_pct(base.l1_misses, after.l1_misses)),
+        ),
+        (
+            "predicted_l2_miss_delta_pct",
+            Json::Float(delta_pct(base.l2_misses, after.l2_misses)),
+        ),
+        ("predicted_speedup", Json::Float(speedup)),
+        ("base", field_leg_json(&base)),
+        ("transformed", field_leg_json(&after)),
+        ("fields", Json::Arr(fields)),
+        ("sampled", Json::Bool(false)),
+        ("shared_store", Json::Bool(false)),
     ]))
 }
 
@@ -919,6 +1056,101 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(delta > 0.0, "ccmorph should cut L2 misses, got {delta}%");
+    }
+
+    #[test]
+    fn field_morph_reports_per_field_deltas() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let params = Json::obj([
+            ("transform", Json::str("hot_cold")),
+            ("keys", Json::Uint(4095)),
+            ("searches", Json::Uint(4000)),
+            ("seed", Json::Uint(7)),
+        ]);
+        let r = morph(&env, &params).unwrap();
+        assert_eq!(r.get("transform"), Some(&Json::str("hot_cold")));
+        let delta = match r.get("predicted_l1_miss_delta_pct") {
+            Some(Json::Float(v)) => *v,
+            other => panic!("{other:?}"),
+        };
+        assert!(delta > 0.0, "hot/cold split should cut L1 misses: {delta}%");
+        let fields = match r.get("fields") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(fields.len(), 5, "every fat-node field is reported");
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|f| f.get("field") == Some(&Json::str(name)))
+                .unwrap_or_else(|| panic!("field {name} missing"))
+        };
+        assert!(
+            field("key")
+                .get("l1_misses_before")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        // Cold fields: never touched by searches, zero on both sides.
+        for cold in ["meta", "payload"] {
+            assert_eq!(
+                field(cold).get("l1_misses_before"),
+                Some(&Json::Uint(0)),
+                "{cold}"
+            );
+            assert_eq!(field(cold).get("l1_misses_after"), Some(&Json::Uint(0)));
+        }
+        // The split leaves a 16-byte hot stride behind.
+        assert_eq!(
+            r.get("transformed").and_then(|t| t.get("hot_stride")),
+            Some(&Json::Uint(16))
+        );
+
+        // Same request, same bytes.
+        let again = morph(&env, &params).unwrap();
+        assert_eq!(r.encode(), again.encode());
+    }
+
+    #[test]
+    fn field_morph_refuses_bad_and_oversized_requests() {
+        let (store, limits, session) = env_parts();
+        let gate = far_gate();
+        let noop = || {};
+        let env = OpEnv {
+            store: &store,
+            limits: &limits,
+            session: &session,
+            gate: &gate,
+            allow_chaos: false,
+            quota_bypass: &noop,
+        };
+        let (kind, msg) =
+            morph(&env, &Json::obj([("transform", Json::str("zorder"))])).unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        assert!(msg.contains("reorder|hot_cold|soa"), "{msg}");
+
+        let (kind, msg) = morph(
+            &env,
+            &Json::obj([
+                ("transform", Json::str("soa")),
+                ("keys", Json::Uint(1 << 19)),
+                ("searches", Json::Uint(10_000_000)),
+            ]),
+        )
+        .unwrap_err();
+        assert_eq!(kind, ErrorKind::OverBudget);
+        assert!(msg.contains("field-transform budget"), "{msg}");
     }
 
     #[test]

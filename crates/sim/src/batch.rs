@@ -942,7 +942,10 @@ impl MemorySystem {
                         }
                     } else {
                         while b <= last_b {
-                            self.access_block(b, false, now, &mut out.cycles);
+                            // First referenced byte, not the block base —
+                            // probes mask internally (stats identical), but
+                            // attribution resolves the precise field.
+                            self.access_block(addr.max(b), false, now, &mut out.cycles);
                             b += block_bytes;
                         }
                         // The slow path's L2 probes are not tracked.
@@ -984,7 +987,7 @@ impl MemorySystem {
                         let mut b = l1_geo.block_of(addr);
                         let last_b = l1_geo.block_of(addr + span);
                         while b <= last_b {
-                            self.access_block(b, true, now, &mut discard);
+                            self.access_block(addr.max(b), true, now, &mut discard);
                             b += block_bytes;
                         }
                         out.cycles += lat.l1_hit + tlb_missed * lat.tlb_miss;
@@ -1208,6 +1211,18 @@ impl<O: EventSink> BatchSink<O> {
     pub fn enable_attribution(&mut self, map: std::sync::Arc<cc_obs::RegionMap>) {
         self.flush();
         self.system.enable_attribution(map);
+    }
+
+    /// Additionally attributes demand accesses to struct fields; see
+    /// [`MemorySystem::enable_field_attribution`]. Flushes buffered
+    /// events first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`BatchSink::enable_attribution`] was not called.
+    pub fn enable_field_attribution(&mut self, map: std::sync::Arc<cc_obs::FieldMap>) {
+        self.flush();
+        self.system.enable_field_attribution(map);
     }
 
     /// The attribution profile, if [`BatchSink::enable_attribution`] was

@@ -28,16 +28,17 @@ impl Latency {
 }
 
 /// Full description of a simulated machine's memory system.
+// The two 40-byte geometries and the latency block lead, the u64/usize
+// scalars follow, and the two one-byte policies pack the tail — the
+// PAD-01-clean order (144 B vs 152 interleaved), pinned by repr(C) and
+// the offset test at the bottom of this file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
 pub struct MachineConfig {
     /// L1 data cache geometry.
     pub l1: CacheGeometry,
-    /// L1 write policy.
-    pub l1_policy: WritePolicy,
     /// Unified L2 cache geometry.
     pub l2: CacheGeometry,
-    /// L2 write policy.
-    pub l2_policy: WritePolicy,
     /// Latencies.
     pub latency: Latency,
     /// Virtual-memory page size in bytes.
@@ -47,6 +48,10 @@ pub struct MachineConfig {
     /// Clock frequency in MHz, used only to convert cycles to wall time
     /// when printing figures in the paper's units.
     pub clock_mhz: u64,
+    /// L1 write policy.
+    pub l1_policy: WritePolicy,
+    /// L2 write policy.
+    pub l2_policy: WritePolicy,
 }
 
 impl MachineConfig {
@@ -126,6 +131,21 @@ impl MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Compiler-backed pin of the repr(C) reorder: geometries and latency
+    // lead, scalars follow, the two policy bytes pack the tail.
+    #[test]
+    fn machine_config_offsets_are_pinned() {
+        assert_eq!(core::mem::offset_of!(MachineConfig, l1), 0);
+        assert_eq!(core::mem::offset_of!(MachineConfig, l2), 40);
+        assert_eq!(core::mem::offset_of!(MachineConfig, latency), 80);
+        assert_eq!(core::mem::offset_of!(MachineConfig, page_bytes), 112);
+        assert_eq!(core::mem::offset_of!(MachineConfig, tlb_entries), 120);
+        assert_eq!(core::mem::offset_of!(MachineConfig, clock_mhz), 128);
+        assert_eq!(core::mem::offset_of!(MachineConfig, l1_policy), 136);
+        assert_eq!(core::mem::offset_of!(MachineConfig, l2_policy), 137);
+        assert_eq!(core::mem::size_of::<MachineConfig>(), 144);
+    }
 
     #[test]
     fn e5000_matches_paper_parameters() {

@@ -6,7 +6,7 @@ use crate::fasthash::FastHashMap;
 use crate::stats::{CacheStats, TlbStats};
 use crate::tlb::Tlb;
 use cc_obs::attrib::Level as ObsLevel;
-use cc_obs::{MissProfile, RegionMap};
+use cc_obs::{FieldMap, MissProfile, RegionMap};
 use std::sync::Arc;
 
 /// Which level serviced an access.
@@ -30,16 +30,20 @@ pub enum AccessKind {
 }
 
 /// Result of one demand access.
+// The u64 leads and the two one-byte tails pack behind it: 16 B instead
+// of the 24 B the interleaved order cost (PAD-01); repr(C) pins it, the
+// offset test at the bottom of this file holds it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
 pub struct AccessOutcome {
-    /// Deepest level that had to be consulted.
-    pub level: Level,
     /// Processor-visible latency in cycles. For reads this follows the
     /// paper's Section 5.1 cost structure plus any TLB-miss penalty and any
     /// wait on an in-flight prefetch. For writes it is the L1 hit time plus
     /// TLB penalty: stores retire into the write buffer, whose occupancy
     /// the pipeline models separately.
     pub cycles: u64,
+    /// Deepest level that had to be consulted.
+    pub level: Level,
     /// Whether the TLB missed on this reference.
     pub tlb_miss: bool,
 }
@@ -106,6 +110,22 @@ impl MemorySystem {
         self.attrib.is_some()
     }
 
+    /// Additionally resolves each demand access below region granularity
+    /// to the struct *field* it touches, per `map` (see
+    /// [`cc_obs::FieldMap`]). Requires region attribution to be enabled
+    /// first — field tallies live inside the same [`MissProfile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MemorySystem::enable_attribution`] was not called.
+    pub fn enable_field_attribution(&mut self, map: Arc<FieldMap>) {
+        let p = self
+            .attrib
+            .as_deref_mut()
+            .expect("field attribution requires enable_attribution first");
+        p.enable_fields(map);
+    }
+
     /// The accumulated attribution profile, if enabled.
     pub fn attribution(&self) -> Option<&MissProfile> {
         self.attrib.as_deref()
@@ -128,6 +148,7 @@ impl MemorySystem {
         let region = p.resolve(addr);
         if let Some(hit) = hit {
             p.record_access(level, region, hit);
+            p.record_field_access(level, addr, hit);
         }
         if let Some(victim) = victim {
             let victim_region = p.resolve(victim);
@@ -205,7 +226,13 @@ impl MemorySystem {
             .blocks_touched(addr, u64::from(size))
             .collect();
         for baddr in blocks {
-            let level = self.access_block(baddr, write, now, &mut cycles);
+            // Pass the first byte the reference actually touches in this
+            // block (the raw address for the first block, the block base
+            // for the rest): every probe below masks to block/set/tag
+            // internally, so stats are unchanged, but attribution resolves
+            // the precise byte — and thus the right region and *field* —
+            // instead of smearing onto whatever owns the block base.
+            let level = self.access_block(addr.max(baddr), write, now, &mut cycles);
             deepest = deepest.max(level);
         }
 
@@ -344,6 +371,16 @@ mod tests {
 
     fn sys() -> MemorySystem {
         MemorySystem::new(MachineConfig::ultrasparc_e5000())
+    }
+
+    // Compiler-backed pin of the repr(C) reorder: cycles leads, the two
+    // byte-wide tails pack behind it (16 B total, down from 24).
+    #[test]
+    fn access_outcome_offsets_are_pinned() {
+        assert_eq!(core::mem::offset_of!(AccessOutcome, cycles), 0);
+        assert_eq!(core::mem::offset_of!(AccessOutcome, level), 8);
+        assert_eq!(core::mem::offset_of!(AccessOutcome, tlb_miss), 9);
+        assert_eq!(core::mem::size_of::<AccessOutcome>(), 16);
     }
 
     #[test]

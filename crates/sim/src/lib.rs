@@ -108,6 +108,16 @@ impl MemorySink {
         self.system.enable_attribution(map);
     }
 
+    /// Additionally attributes demand accesses to struct fields (see
+    /// [`MemorySystem::enable_field_attribution`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`MemorySink::enable_attribution`] was not called.
+    pub fn enable_field_attribution(&mut self, map: std::sync::Arc<cc_obs::FieldMap>) {
+        self.system.enable_field_attribution(map);
+    }
+
     /// The attribution profile, if [`MemorySink::enable_attribution`] was
     /// called.
     pub fn attribution(&self) -> Option<&cc_obs::MissProfile> {

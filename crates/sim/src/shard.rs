@@ -595,7 +595,11 @@ fn walk_stream(
                         b += block_bytes;
                     }
                     while b <= last_b {
-                        block(plan.shard_of(b), OP_READ, b, now);
+                        // Lane entries carry the first referenced byte of
+                        // each block (shard_of and every kernel probe mask
+                        // to the block internally), so lane-level
+                        // attribution resolves precise regions and fields.
+                        block(plan.shard_of(b), OP_READ, addr.max(b), now);
                         b += block_bytes;
                     }
                     memo_block = last_b;
@@ -618,7 +622,7 @@ fn walk_stream(
                     let mut b = l1_geo.block_of(addr);
                     let last_b = l1_geo.block_of(addr + span);
                     while b <= last_b {
-                        block(plan.shard_of(b), OP_WRITE, b, now);
+                        block(plan.shard_of(b), OP_WRITE, addr.max(b), now);
                         b += block_bytes;
                     }
                     // The scalar write path overrides its cycles to
@@ -784,6 +788,19 @@ impl ShardedReplayer {
     /// Whether attribution is enabled on the lanes.
     pub fn attribution_enabled(&self) -> bool {
         self.lanes.iter().any(MemorySystem::attribution_enabled)
+    }
+
+    /// Additionally attributes each lane's demand accesses to struct
+    /// fields. Every lane shares the same `map`, so the merged profile's
+    /// field tallies sum cleanly (see [`cc_obs::MissProfile::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ShardedReplayer::enable_attribution`] was not called.
+    pub fn enable_field_attribution(&mut self, map: std::sync::Arc<cc_obs::FieldMap>) {
+        for lane in &mut self.lanes {
+            lane.enable_field_attribution(std::sync::Arc::clone(&map));
+        }
     }
 
     /// The lanes' merged attribution profile, if enabled: a plain sum —

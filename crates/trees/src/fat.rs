@@ -1,0 +1,450 @@
+//! A *fat-node* binary search tree for the field-layout experiments
+//! (the paper's Section 4.2 tree, grown the way production structures
+//! grow: a handful of traversal-hot bytes buried in a cache block of
+//! cold payload).
+//!
+//! Unlike [`crate::bst::Bst`], whose 20-byte node is already dense,
+//! [`FatBst`] models a 64-byte struct in which only `key`, `left`, and
+//! `right` are touched by a search — the shape where the paper's
+//! structure-splitting pays. Its traversals emit **one load per field
+//! actually read**, not one load per node, so a [`FieldLayout`] from
+//! `cc-core` (hot/cold split, reorder, SoA) changes exactly the
+//! addresses those loads touch and the simulator measures the layout's
+//! true effect, field by field.
+
+use crate::NIL;
+use cc_core::field_layout::{FieldDef, FieldLayout, FieldSchema, HotSpec};
+use cc_core::Topology;
+use cc_heap::VirtualSpace;
+use cc_sim::event::EventSink;
+
+/// Declaration-order byte layout of one fat node (the AoS baseline):
+/// `key` at 0, 16 bytes of metadata, the child links, then payload out
+/// to a full 64-byte block.
+const FAT_FIELDS: [(&str, u64, u64); 5] = [
+    ("key", 8, 8),
+    ("meta", 16, 8),
+    ("left", 4, 4),
+    ("right", 4, 4),
+    ("payload", 32, 8),
+];
+
+/// Bytes per fat node in the declaration-order AoS baseline.
+pub const FAT_NODE_BYTES: u64 = 64;
+
+/// The schema of one fat node, as the field transforms consume it.
+pub fn fat_schema() -> FieldSchema {
+    FieldSchema::new(
+        "FatNode",
+        FAT_FIELDS
+            .iter()
+            .map(|&(name, size, align)| FieldDef::new(name, size, align))
+            .collect(),
+    )
+}
+
+/// The traversal-derived hot spec for [`fat_schema`]: searches read
+/// `key` every visit and one of the links; `meta`/`payload` are cold.
+pub fn fat_hot_spec() -> HotSpec {
+    HotSpec::from_weights([
+        ("key".to_string(), 1.0),
+        ("left".to_string(), 0.5),
+        ("right".to_string(), 0.5),
+    ])
+}
+
+/// Arena node: the semantic fields plus the simulated address of each
+/// field the traversals read.
+#[derive(Clone, Copy, Debug)]
+struct FatNode {
+    key: u64,
+    left: u32,
+    right: u32,
+    /// Simulated addresses of `key`, `left`, `right` under the current
+    /// layout (in that order).
+    addr: [u64; 3],
+}
+
+/// A balanced fat-node BST whose per-field addresses come from either
+/// the declaration-order AoS baseline or a [`FieldLayout`] transform.
+///
+/// # Example
+///
+/// ```
+/// use cc_trees::fat::FatBst;
+/// use cc_sim::event::NullSink;
+///
+/// let t = FatBst::build_complete(1023);
+/// assert!(t.search(500, &mut NullSink));
+/// assert!(!t.search(5001, &mut NullSink));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FatBst {
+    nodes: Vec<FatNode>,
+    root: u32,
+}
+
+impl FatBst {
+    /// Builds a balanced tree over keys `0, 2, 4, …, 2(n-1)` in the
+    /// declaration-order AoS layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn build_complete(n: u64) -> Self {
+        assert!(n > 0, "tree must be nonempty");
+        let mut t = FatBst {
+            nodes: Vec::with_capacity(n as usize),
+            root: NIL,
+        };
+        t.root = t.build_range(0, n);
+        t.layout_aos();
+        t
+    }
+
+    fn build_range(&mut self, lo: u64, hi: u64) -> u32 {
+        if lo >= hi {
+            return NIL;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let id = self.nodes.len() as u32;
+        self.nodes.push(FatNode {
+            key: 2 * mid,
+            left: NIL,
+            right: NIL,
+            addr: [0; 3],
+        });
+        let left = self.build_range(lo, mid);
+        let right = self.build_range(mid + 1, hi);
+        let node = &mut self.nodes[id as usize];
+        node.left = left;
+        node.right = right;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (never true after `build_complete`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Lays nodes out in allocation order at [`FAT_NODE_BYTES`] pitch
+    /// with declaration-order field offsets — the untransformed
+    /// array-of-structs baseline every transform is measured against.
+    /// Returns the byte extent `(base, end)` of the pool.
+    pub fn layout_aos(&mut self) -> (u64, u64) {
+        let mut vspace = VirtualSpace::new(8192);
+        let base = vspace.alloc_bytes(self.nodes.len() as u64 * FAT_NODE_BYTES);
+        self.layout_aos_at(base);
+        (base, base + self.nodes.len() as u64 * FAT_NODE_BYTES)
+    }
+
+    fn layout_aos_at(&mut self, base: u64) {
+        // Declaration-order offsets of key/left/right within the 64-byte
+        // record: key at 0; meta pushes the links to 24 and 28.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let rec = base + i as u64 * FAT_NODE_BYTES;
+            node.addr = [rec, rec + 24, rec + 28];
+        }
+    }
+
+    /// Points every traversal-read field at the addresses `layout`
+    /// assigned — the application step of a `cc-core` field transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout lacks any of `key`/`left`/`right`, or laid
+    /// out fewer nodes than the tree has (transforms run on this tree's
+    /// topology never do).
+    pub fn apply(&mut self, layout: &FieldLayout) {
+        let fields = ["key", "left", "right"].map(|name| {
+            layout
+                .field_index(name)
+                .unwrap_or_else(|| panic!("layout lacks field {name:?}"))
+        });
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.addr = fields.map(|f| layout.field_addr(i, f));
+        }
+    }
+
+    /// Searches for `key`, narrating one load per field read: the
+    /// node's `key` (8 bytes, dependent), then the taken child link
+    /// (4 bytes) — never the cold fields. Compares and branches mirror
+    /// [`crate::bst::Bst::search`].
+    pub fn search<S: EventSink>(&self, key: u64, sink: &mut S) -> bool {
+        let mut cur = self.root;
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            sink.load(node.addr[0], 8);
+            sink.inst(2);
+            sink.branch(1);
+            cur = match key.cmp(&node.key) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => {
+                    sink.load(node.addr[1], 4);
+                    sink.inst(1);
+                    node.left
+                }
+                std::cmp::Ordering::Greater => {
+                    sink.load(node.addr[2], 4);
+                    sink.inst(1);
+                    node.right
+                }
+            };
+        }
+        false
+    }
+
+    /// Scans every node's `key` in arena order — the array-ish workload
+    /// where structure-of-arrays pays: under AoS each 8-byte key sits in
+    /// its own 64-byte record; under SoA the keys pack densely.
+    /// Loads are independent (no pointer chase between iterations).
+    /// Returns the number of keys at or above `threshold`, so the scan
+    /// has a checkable result.
+    pub fn scan_keys<S: EventSink>(&self, threshold: u64, sink: &mut S) -> u64 {
+        let mut hits = 0;
+        for node in &self.nodes {
+            sink.load_indep(node.addr[0], 8);
+            sink.inst(1);
+            sink.branch(1);
+            hits += u64::from(node.key >= threshold);
+        }
+        hits
+    }
+
+    /// In-order key iteration (for correctness tests).
+    pub fn keys_in_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let n = stack.pop().expect("stack nonempty");
+            out.push(self.nodes[n as usize].key);
+            cur = self.nodes[n as usize].right;
+        }
+        out
+    }
+}
+
+impl Topology for FatBst {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn root(&self) -> Option<usize> {
+        (self.root != NIL).then_some(self.root as usize)
+    }
+
+    fn max_kids(&self) -> usize {
+        2
+    }
+
+    fn child(&self, node: usize, i: usize) -> Option<usize> {
+        let c = match i {
+            0 => self.nodes[node].left,
+            1 => self.nodes[node].right,
+            _ => NIL,
+        };
+        (c != NIL).then_some(c as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::field_layout::{FieldLayoutParams, FieldTransform};
+    use cc_core::{try_reorder_fields, try_soa_convert, try_split_hot_cold};
+    use cc_sim::event::{NullSink, TraceBuffer};
+    use cc_sim::MachineConfig;
+
+    fn transformed(t: &FatBst, which: FieldTransform) -> FieldLayout {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let params = FieldLayoutParams::new(&machine);
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        let schema = fat_schema();
+        let hot = fat_hot_spec();
+        match which {
+            FieldTransform::HotCold => try_split_hot_cold(t, &mut vs, &params, &schema, &hot),
+            FieldTransform::Reorder => try_reorder_fields(t, &mut vs, &params, &schema, &hot),
+            FieldTransform::Soa => try_soa_convert(&mut vs, &params, &schema, &hot, t.len()),
+        }
+        .expect("transform succeeds on a well-formed tree")
+    }
+
+    #[test]
+    fn aos_offsets_follow_declaration_order() {
+        let t = FatBst::build_complete(8);
+        let base = t.nodes[0].addr[0];
+        assert_eq!(t.nodes[0].addr, [base, base + 24, base + 28]);
+        assert_eq!(t.nodes[1].addr[0], base + FAT_NODE_BYTES);
+    }
+
+    #[test]
+    fn search_agrees_across_every_layout() {
+        let mut t = FatBst::build_complete(500);
+        let baseline: Vec<bool> = (0..1000).map(|k| t.search(k, &mut NullSink)).collect();
+        for which in [
+            FieldTransform::HotCold,
+            FieldTransform::Reorder,
+            FieldTransform::Soa,
+        ] {
+            let layout = transformed(&t, which);
+            t.apply(&layout);
+            let now: Vec<bool> = (0..1000).map(|k| t.search(k, &mut NullSink)).collect();
+            assert_eq!(now, baseline, "{} changed search results", which.name());
+        }
+    }
+
+    #[test]
+    fn search_loads_only_hot_bytes() {
+        let t = FatBst::build_complete((1 << 10) - 1);
+        let mut buf = TraceBuffer::new();
+        assert!(t.search(2 * 37, &mut buf));
+        let loads: Vec<_> = buf
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                cc_sim::Event::Load { addr, size, .. } => Some((*addr, *size)),
+                _ => None,
+            })
+            .collect();
+        // Alternating key (8 B) and link (4 B) loads; 12 hot bytes per
+        // visited node, out of the 64 the record occupies.
+        assert!(loads.len() >= 2);
+        assert!(loads.iter().all(|&(_, s)| s == 8 || s == 4));
+    }
+
+    #[test]
+    fn split_tree_search_touches_only_hot_halves() {
+        let mut t = FatBst::build_complete(255);
+        let layout = transformed(&t, FieldTransform::HotCold);
+        t.apply(&layout);
+        assert_eq!(layout.hot_stride(), 16, "key + both links pack to 16 B");
+        let spans = layout.hot_spans();
+        let hot_ok = |addr: u64| {
+            (0..t.len()).any(|n| {
+                let base = layout.node_addr(n);
+                spans
+                    .iter()
+                    .any(|&(_, off, size)| base + off <= addr && addr < base + off + size)
+            })
+        };
+        let mut buf = TraceBuffer::new();
+        t.search(2 * 101, &mut buf);
+        for e in buf.events() {
+            if let cc_sim::Event::Load { addr, .. } = e {
+                assert!(hot_ok(*addr), "search read a cold byte at {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_counts_match_across_layouts() {
+        let mut t = FatBst::build_complete(333);
+        let expect = t.scan_keys(300, &mut NullSink);
+        assert_eq!(expect, 333 - 150);
+        let layout = transformed(&t, FieldTransform::Soa);
+        t.apply(&layout);
+        assert_eq!(t.scan_keys(300, &mut NullSink), expect);
+    }
+
+    #[test]
+    fn soa_scan_is_denser_than_aos() {
+        let mut t = FatBst::build_complete(256);
+        let mut aos = TraceBuffer::new();
+        t.scan_keys(0, &mut aos);
+        let layout = transformed(&t, FieldTransform::Soa);
+        t.apply(&layout);
+        let mut soa = TraceBuffer::new();
+        t.scan_keys(0, &mut soa);
+        let blocks = |buf: &TraceBuffer| {
+            let mut b: Vec<u64> = buf
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    cc_sim::Event::Load { addr, .. } => Some(addr / 64),
+                    _ => None,
+                })
+                .collect();
+            b.sort_unstable();
+            b.dedup();
+            b.len()
+        };
+        // 256 keys: one 64-byte block each under AoS, 8 per block under SoA.
+        assert_eq!(blocks(&aos), 256);
+        assert_eq!(blocks(&soa), 32);
+    }
+}
+
+// Property tests for the field transforms' structural guarantees
+// (satellite of the field-layout PR): layouts never alias two fields,
+// and applying any transform preserves the tree's observable behaviour.
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use cc_core::field_layout::{FieldLayoutParams, FieldTransform};
+    use cc_core::{try_reorder_fields, try_soa_convert, try_split_hot_cold};
+    use cc_sim::event::NullSink;
+    use cc_sim::MachineConfig;
+    use proptest::prelude::*;
+
+    fn layout_for(t: &FatBst, which: FieldTransform) -> FieldLayout {
+        let machine = MachineConfig::ultrasparc_e5000();
+        let params = FieldLayoutParams::new(&machine);
+        let mut vs = VirtualSpace::new(machine.page_bytes);
+        let (schema, hot) = (fat_schema(), fat_hot_spec());
+        match which {
+            FieldTransform::HotCold => try_split_hot_cold(t, &mut vs, &params, &schema, &hot),
+            FieldTransform::Reorder => try_reorder_fields(t, &mut vs, &params, &schema, &hot),
+            FieldTransform::Soa => try_soa_convert(&mut vs, &params, &schema, &hot, t.len()),
+        }
+        .expect("transform succeeds")
+    }
+
+    proptest! {
+        #[test]
+        fn transforms_preserve_search_and_never_alias(
+            n in 1u64..400,
+            probes in proptest::collection::vec(0u64..1000, 16..17),
+            which in proptest::sample::select(vec![
+                FieldTransform::HotCold,
+                FieldTransform::Reorder,
+                FieldTransform::Soa,
+            ]),
+        ) {
+            let mut t = FatBst::build_complete(n);
+            let before: Vec<bool> =
+                probes.iter().map(|&k| t.search(k, &mut NullSink)).collect();
+            let layout = layout_for(&t, which);
+            t.apply(&layout);
+            let after: Vec<bool> =
+                probes.iter().map(|&k| t.search(k, &mut NullSink)).collect();
+            prop_assert_eq!(before, after);
+
+            // Reachability: every node of this (fully reachable) tree
+            // got an address for every field, and no two field spans
+            // alias.
+            let mut spans: Vec<(u64, u64)> = Vec::new();
+            for node in 0..t.len() {
+                for field in 0..layout.field_count() {
+                    let addr = layout.try_field_addr(node, field);
+                    prop_assert!(addr.is_some(), "node {node} field {field} unplaced");
+                    let a = addr.unwrap();
+                    spans.push((a, a + layout.field_size(field)));
+                }
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "field spans {w:?} alias");
+            }
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`bst`] — the binary search tree of the paper's microbenchmark
 //!   (Section 4.2), with random / depth-first / subtree-clustered /
 //!   colored layouts;
+//! * [`fat`] — the same tree with a production-shaped 64-byte node
+//!   (12 traversal-hot bytes in a block of cold payload), traversed
+//!   with one load per *field* so `cc-core`'s field transforms
+//!   (hot/cold split, reorder, SoA) are measurable;
 //! * [`btree`] — the in-core B-tree baseline the C-tree is compared with;
 //! * [`list`] — doubly linked lists (Olden `health`);
 //! * [`hash`] — an array of chained buckets (Olden `mst`);
@@ -25,6 +29,7 @@
 
 pub mod bst;
 pub mod btree;
+pub mod fat;
 pub mod hash;
 pub mod list;
 pub mod quadtree;
